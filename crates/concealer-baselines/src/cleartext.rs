@@ -1,0 +1,180 @@
+//! Plaintext baseline: no encryption, direct evaluation over the records.
+//!
+//! This is the "Cleartext processing" row of Table 5 — the latency floor
+//! every secure system is compared against.
+
+use concealer_core::query::{Accumulator, AnswerValue};
+use concealer_core::{Predicate, Query, Record};
+use std::collections::BTreeMap;
+
+/// Whether a record satisfies a predicate (shared by all baselines).
+#[must_use]
+pub fn record_matches(record: &Record, predicate: &Predicate) -> bool {
+    let (t_start, t_end) = predicate.time_span();
+    if record.time < t_start || record.time > t_end {
+        return false;
+    }
+    if let Some(dims) = predicate.dims() {
+        if record.dims != dims {
+            return false;
+        }
+    }
+    if let Some(obs) = predicate.observation() {
+        if record.observation() != Some(obs) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Aggregate a set of matching records exactly as the Concealer enclave
+/// would, producing the same [`AnswerValue`] shape.
+#[must_use]
+pub fn aggregate_records<'a>(
+    matching: impl Iterator<Item = &'a Record>,
+    query: &Query,
+) -> AnswerValue {
+    let mut acc = Accumulator::default();
+    let attr = match query.aggregate {
+        concealer_core::Aggregate::Sum { attr }
+        | concealer_core::Aggregate::Min { attr }
+        | concealer_core::Aggregate::Max { attr }
+        | concealer_core::Aggregate::Average { attr } => attr,
+        _ => 0,
+    };
+    let mut per_location: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in matching {
+        acc.count += 1;
+        let v = r.payload.get(attr).copied().unwrap_or(0);
+        acc.sum = acc.sum.wrapping_add(v);
+        acc.min = Some(acc.min.map_or(v, |m| m.min(v)));
+        acc.max = Some(acc.max.map_or(v, |m| m.max(v)));
+        *per_location.entry(r.dims.first().copied().unwrap_or(0)).or_insert(0) += 1;
+        if matches!(query.aggregate, concealer_core::Aggregate::CollectRows) {
+            acc.rows.push(r.clone());
+        }
+    }
+    acc.per_location = per_location;
+    acc.finish(&query.aggregate)
+}
+
+/// The plaintext baseline system.
+#[derive(Debug, Clone, Default)]
+pub struct CleartextBaseline {
+    epochs: BTreeMap<u64, Vec<Record>>,
+}
+
+impl CleartextBaseline {
+    /// Create an empty baseline store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one epoch of records.
+    pub fn ingest_epoch(&mut self, epoch_start: u64, records: Vec<Record>) {
+        self.epochs.insert(epoch_start, records);
+    }
+
+    /// Total rows stored.
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.epochs.values().map(Vec::len).sum()
+    }
+
+    /// Execute a query; returns the answer and the number of rows examined.
+    #[must_use]
+    pub fn query(&self, query: &Query) -> (AnswerValue, usize) {
+        let mut examined = 0usize;
+        let matching: Vec<&Record> = self
+            .epochs
+            .values()
+            .flatten()
+            .inspect(|_| examined += 1)
+            .filter(|r| record_matches(r, &query.predicate))
+            .collect();
+        (aggregate_records(matching.into_iter(), query), examined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concealer_core::Aggregate;
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record::spatial(1, 100, 10),
+            Record::spatial(1, 200, 20),
+            Record::spatial(2, 150, 30),
+            Record::spatial(1, 5000, 40),
+        ]
+    }
+
+    #[test]
+    fn count_query() {
+        let mut b = CleartextBaseline::new();
+        b.ingest_epoch(0, records());
+        let q = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Range {
+                dims: Some(vec![1]),
+                observation: None,
+                time_start: 0,
+                time_end: 1000,
+            },
+        };
+        let (answer, examined) = b.query(&q);
+        assert_eq!(answer, AnswerValue::Count(2));
+        assert_eq!(examined, 4);
+        assert_eq!(b.total_rows(), 4);
+    }
+
+    #[test]
+    fn sum_and_minmax() {
+        let mut b = CleartextBaseline::new();
+        b.ingest_epoch(0, records());
+        let pred = Predicate::Range {
+            dims: Some(vec![1]),
+            observation: None,
+            time_start: 0,
+            time_end: 10_000,
+        };
+        let (sum, _) = b.query(&Query { aggregate: Aggregate::Sum { attr: 0 }, predicate: pred.clone() });
+        assert_eq!(sum, AnswerValue::Number(Some(70)));
+        let (min, _) = b.query(&Query { aggregate: Aggregate::Min { attr: 0 }, predicate: pred.clone() });
+        assert_eq!(min, AnswerValue::Number(Some(10)));
+        let (max, _) = b.query(&Query { aggregate: Aggregate::Max { attr: 0 }, predicate: pred });
+        assert_eq!(max, AnswerValue::Number(Some(40)));
+    }
+
+    #[test]
+    fn observation_predicate() {
+        let mut b = CleartextBaseline::new();
+        b.ingest_epoch(0, records());
+        let q = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Range {
+                dims: None,
+                observation: Some(30),
+                time_start: 0,
+                time_end: 10_000,
+            },
+        };
+        assert_eq!(b.query(&q).0, AnswerValue::Count(1));
+    }
+
+    #[test]
+    fn record_matches_edges() {
+        let r = Record::spatial(3, 500, 9);
+        let p = Predicate::Range {
+            dims: Some(vec![3]),
+            observation: Some(9),
+            time_start: 500,
+            time_end: 500,
+        };
+        assert!(record_matches(&r, &p));
+        let p2 = Predicate::Point { dims: vec![3], time: 501 };
+        assert!(!record_matches(&r, &p2));
+    }
+}

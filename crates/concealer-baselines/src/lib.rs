@@ -1,0 +1,25 @@
+//! Baseline systems Concealer is compared against in the paper's
+//! evaluation.
+//!
+//! * [`opaque`] — an Opaque-style SGX analytics baseline (Exp 9/10 and
+//!   Table 7): no index over the encrypted data, so every query reads the
+//!   *entire* epoch into the enclave, decrypts, and filters there. This is
+//!   the system the paper beats by 3–4 orders of magnitude on point
+//!   queries.
+//! * [`cleartext`] — plaintext execution (the "Cleartext processing" row of
+//!   Table 5): the lower bound on query latency.
+//! * [`det_index`] — deterministic encryption with a plain index and *no*
+//!   volume hiding (the DET row of Table 1): fetches exactly the matching
+//!   rows, which is fast but leaks the output size. Used by the ablation
+//!   benches to quantify what volume hiding costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cleartext;
+pub mod det_index;
+pub mod opaque;
+
+pub use cleartext::CleartextBaseline;
+pub use det_index::DetIndexBaseline;
+pub use opaque::OpaqueBaseline;

@@ -1,0 +1,149 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * FFD vs BFD bin packing,
+//! * equal-real-fake vs simulate-bins fake-tuple strategies,
+//! * super-bins on vs off,
+//! * the cost of volume hiding versus a plain DET index,
+//! * the oblivious (Concealer+) overhead in the enclave filter path.
+
+use concealer_baselines::DetIndexBaseline;
+use concealer_bench::setup::{build_wifi_system, WifiScale};
+use concealer_core::bins::{BinPlan, PackingAlgorithm};
+use concealer_core::{RangeMethod, RangeOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ablation_ffd_vs_bfd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let c_tuple: Vec<u32> = (0..2_000).map(|_| rng.gen_range(0..500)).collect();
+    let mut group = c.benchmark_group("ablation_bin_packing");
+    group.sample_size(20);
+    for (label, algo) in [
+        ("ffd", PackingAlgorithm::FirstFitDecreasing),
+        ("bfd", PackingAlgorithm::BestFitDecreasing),
+    ] {
+        group.bench_function(BenchmarkId::new("build_plan", label), |b| {
+            b.iter(|| std::hint::black_box(BinPlan::build(&c_tuple, algo, None)));
+        });
+    }
+    group.finish();
+}
+
+fn ablation_fake_strategy(c: &mut Criterion) {
+    use concealer_core::{DataProvider, FakeTupleStrategy, GridShape, Record, SystemConfig};
+    use concealer_crypto::MasterKey;
+
+    let records: Vec<Record> = (0..3_000)
+        .map(|i| Record::spatial(i % 20, (i * 7) % 3600, 100 + i % 9))
+        .collect();
+    let mut group = c.benchmark_group("ablation_fake_strategy");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("equal_real_fake", FakeTupleStrategy::EqualRealFake),
+        ("simulate_bins", FakeTupleStrategy::SimulateBins),
+    ] {
+        let config = SystemConfig {
+            grid: GridShape {
+                dim_buckets: vec![10],
+                time_subintervals: 12,
+                num_cell_ids: 40,
+            },
+            epoch_duration: 3600,
+            time_granularity: 60,
+            fake_strategy: strategy,
+            verify_integrity: false,
+            oblivious: false,
+            winsec_rows_per_interval: 4,
+        };
+        let provider = DataProvider::new(MasterKey::from_bytes([7u8; 32]), config);
+        group.bench_function(BenchmarkId::new("encrypt_epoch", label), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(22);
+                std::hint::black_box(provider.encrypt_epoch(0, &records, &mut rng).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablation_superbins(c: &mut Criterion) {
+    let bench = build_wifi_system(WifiScale::Tiny, false, 23);
+    let mut group = c.benchmark_group("ablation_superbins");
+    group.sample_size(10);
+    for (label, use_superbins) in [("off", false), ("on", true)] {
+        group.bench_function(BenchmarkId::new("bpb_range_q1", label), |b| {
+            let mut rng = StdRng::seed_from_u64(24);
+            b.iter(|| {
+                let q = bench.workload.q1(15 * 60, &mut rng);
+                let opts = RangeOptions {
+                    method: RangeMethod::Bpb,
+                    use_superbins,
+                    num_super_bins: 4,
+                    ..Default::default()
+                };
+                std::hint::black_box(bench.system.range_query(&bench.user, &q, opts).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablation_volume_hiding_cost(c: &mut Criterion) {
+    let bench = build_wifi_system(WifiScale::Tiny, false, 25);
+    let mut det = DetIndexBaseline::new(
+        concealer_crypto::MasterKey::from_bytes([9u8; 32]),
+        60,
+    );
+    det.ingest_epoch(0, &bench.records);
+    let span = bench.span_seconds;
+
+    let mut group = c.benchmark_group("ablation_volume_hiding_cost");
+    group.sample_size(10);
+    group.bench_function("det_index_no_hiding", |b| {
+        let mut rng = StdRng::seed_from_u64(26);
+        b.iter(|| {
+            let q = bench.workload.q1(20 * 60, &mut rng);
+            std::hint::black_box(det.query(&q, span).unwrap());
+        });
+    });
+    group.bench_function("concealer_volume_hiding", |b| {
+        let mut rng = StdRng::seed_from_u64(26);
+        b.iter(|| {
+            let q = bench.workload.q1(20 * 60, &mut rng);
+            std::hint::black_box(
+                bench
+                    .system
+                    .range_query(&bench.user, &q, RangeOptions::default())
+                    .unwrap(),
+            );
+        });
+    });
+    group.finish();
+}
+
+fn ablation_oblivious_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_oblivious_overhead");
+    group.sample_size(10);
+    for (label, oblivious) in [("plain_enclave", false), ("oblivious_enclave", true)] {
+        let bench = build_wifi_system(WifiScale::Tiny, oblivious, 27);
+        group.bench_function(BenchmarkId::new("point_query", label), |b| {
+            let mut rng = StdRng::seed_from_u64(28);
+            b.iter(|| {
+                let q = bench.workload.q1_point(&mut rng);
+                std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_ffd_vs_bfd,
+    ablation_fake_strategy,
+    ablation_superbins,
+    ablation_volume_hiding_cost,
+    ablation_oblivious_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion benches for Exp 9 and Exp 10 / Table 7 (Opaque full-scan
+//! baseline vs Concealer's eBPB and winSecRange) and Exp 5 (dynamic,
+//! forward-private multi-round queries).
+
+use concealer_baselines::OpaqueBaseline;
+use concealer_bench::setup::{build_wifi_system, WifiScale};
+use concealer_core::{Aggregate, Predicate, Query, RangeMethod, RangeOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn exp9_exp10_opaque_vs_concealer(c: &mut Criterion) {
+    let bench = build_wifi_system(WifiScale::Tiny, false, 15);
+    let mut rng = StdRng::seed_from_u64(16);
+    let mut opaque = OpaqueBaseline::new(&mut rng);
+    opaque.ingest_epoch(0, &bench.records, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("exp9_exp10_opaque_vs_concealer");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("point", "opaque_full_scan"), |b| {
+        let mut rng = StdRng::seed_from_u64(17);
+        b.iter(|| {
+            let q = bench.workload.q1_point(&mut rng);
+            std::hint::black_box(opaque.query(&q).unwrap());
+        });
+    });
+    group.bench_function(BenchmarkId::new("point", "concealer_bpb"), |b| {
+        let mut rng = StdRng::seed_from_u64(17);
+        b.iter(|| {
+            let q = bench.workload.q1_point(&mut rng);
+            std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
+        });
+    });
+    for (label, method) in [("concealer_ebpb", RangeMethod::Ebpb), ("concealer_winsec", RangeMethod::WinSecRange)] {
+        group.bench_function(BenchmarkId::new("range_q1_20min", label), |b| {
+            let mut rng = StdRng::seed_from_u64(18);
+            b.iter(|| {
+                let q = bench.workload.q1(20 * 60, &mut rng);
+                let opts = RangeOptions { method, ..Default::default() };
+                std::hint::black_box(bench.system.range_query(&bench.user, &q, opts).unwrap());
+            });
+        });
+    }
+    group.bench_function(BenchmarkId::new("range_q1_20min", "opaque_full_scan"), |b| {
+        let mut rng = StdRng::seed_from_u64(18);
+        b.iter(|| {
+            let q = bench.workload.q1(20 * 60, &mut rng);
+            std::hint::black_box(opaque.query(&q).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn exp5_dynamic_multi_round(c: &mut Criterion) {
+    use concealer_core::{ConcealerSystem, FakeTupleStrategy, GridShape, SystemConfig};
+    use concealer_workloads::{WifiConfig, WifiGenerator};
+
+    let config = SystemConfig {
+        grid: GridShape {
+            dim_buckets: vec![10],
+            time_subintervals: 12,
+            num_cell_ids: 40,
+        },
+        epoch_duration: 3600,
+        time_granularity: 60,
+        fake_strategy: FakeTupleStrategy::SimulateBins,
+        verify_integrity: true,
+        oblivious: false,
+        winsec_rows_per_interval: 4,
+    };
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut system = ConcealerSystem::new(config, &mut rng);
+    let user = system.register_user(1, vec![], true);
+    let generator = WifiGenerator::new(WifiConfig::tiny());
+    for round in 0..3u64 {
+        let start = round * 3600;
+        let records = generator.generate_epoch(start, 3600, &mut rng);
+        system.ingest_epoch(start, records, &mut rng).unwrap();
+    }
+    let query = Query {
+        aggregate: Aggregate::Count,
+        predicate: Predicate::Range {
+            dims: Some(vec![2]),
+            observation: None,
+            time_start: 0,
+            time_end: 3 * 3600 - 1,
+        },
+    };
+    let opts = RangeOptions {
+        method: RangeMethod::Bpb,
+        forward_private: true,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("exp5_dynamic_insertion");
+    group.sample_size(10);
+    group.bench_function("forward_private_multi_round_query", |b| {
+        b.iter(|| {
+            std::hint::black_box(system.range_query(&user, &query, opts).unwrap());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, exp9_exp10_opaque_vs_concealer, exp5_dynamic_multi_round);
+criterion_main!(benches);

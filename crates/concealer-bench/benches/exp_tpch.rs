@@ -1,0 +1,35 @@
+//! Criterion benches for Exp 8 (Fig 8): TPC-H 2-D / 4-D count, sum, min and
+//! max queries.
+
+use concealer_bench::setup::{build_tpch_system, tpch_query_dims};
+use concealer_core::RangeOptions;
+use concealer_workloads::TpchIndex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn exp8_tpch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp8_tpch");
+    group.sample_size(10);
+    for (label, index) in [("2d", TpchIndex::TwoD), ("4d", TpchIndex::FourD)] {
+        let bench = build_tpch_system(index, 3_000, false, 13);
+        for agg in ["count", "sum", "min", "max"] {
+            group.bench_function(BenchmarkId::new(agg, label), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let dims = tpch_query_dims(&bench, i * 31 + 7);
+                    i += 1;
+                    let q = bench.workload_query(agg, dims);
+                    std::hint::black_box(
+                        bench
+                            .system
+                            .range_query(&bench.user, &q, RangeOptions::default())
+                            .unwrap(),
+                    );
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, exp8_tpch);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Criterion benches for the WiFi-dataset experiments: Exp 1 (throughput),
+//! Exp 2 (point + range queries, Table 5 / Figs 3-4), Exp 3 (range length,
+//! Fig 5), Exp 4 (verification, Table 6), Exp 6 (bin size, Fig 6) and
+//! Exp 7 (cell-ids, Fig 7).
+
+use concealer_bench::setup::{build_wifi_system, build_wifi_system_with, WifiScale};
+use concealer_core::{RangeMethod, RangeOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn exp1_throughput(c: &mut Criterion) {
+    let bench = build_wifi_system(WifiScale::Tiny, false, 1);
+    let provider = bench.system.provider().clone();
+    let records = bench.records.clone();
+    let mut group = c.benchmark_group("exp1_ingest_throughput");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(records.len() as u64));
+    group.bench_function("algorithm1_encrypt_epoch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            std::hint::black_box(provider.encrypt_epoch(0, &records, &mut rng).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn exp2_point_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2_point_query");
+    group.sample_size(10);
+    for (label, oblivious) in [("concealer", false), ("concealer_plus", true)] {
+        let bench = build_wifi_system(WifiScale::Tiny, oblivious, 3);
+        group.bench_function(BenchmarkId::new(label, "q1_point"), |b| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                let q = bench.workload.q1_point(&mut rng);
+                std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn exp2_range_queries(c: &mut Criterion) {
+    let bench = build_wifi_system(WifiScale::Tiny, false, 5);
+    let mut group = c.benchmark_group("exp2_range_queries");
+    group.sample_size(10);
+    for method in [RangeMethod::Bpb, RangeMethod::Ebpb, RangeMethod::WinSecRange] {
+        group.bench_function(BenchmarkId::new("q1_20min", format!("{method:?}")), |b| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| {
+                let q = bench.workload.q1(20 * 60, &mut rng);
+                let opts = RangeOptions { method, ..Default::default() };
+                std::hint::black_box(bench.system.range_query(&bench.user, &q, opts).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn exp3_range_length(c: &mut Criterion) {
+    let bench = build_wifi_system(WifiScale::Tiny, false, 7);
+    let mut group = c.benchmark_group("exp3_range_length");
+    group.sample_size(10);
+    for minutes in [20u64, 60, 100] {
+        group.bench_with_input(BenchmarkId::new("ebpb_q1", minutes), &minutes, |b, &m| {
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| {
+                let q = bench.workload.q1(m * 60, &mut rng);
+                std::hint::black_box(
+                    bench
+                        .system
+                        .range_query(&bench.user, &q, RangeOptions::default())
+                        .unwrap(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn exp4_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp4_verification_overhead");
+    group.sample_size(10);
+    for (label, verify) in [("verified", true), ("unverified", false)] {
+        let bench = concealer_bench::setup::build_wifi_system_full(
+            WifiScale::Tiny,
+            false,
+            9,
+            None,
+            None,
+            verify,
+        );
+        group.bench_function(BenchmarkId::new("point_query", label), |b| {
+            let mut rng = StdRng::seed_from_u64(10);
+            b.iter(|| {
+                let q = bench.workload.q1_point(&mut rng);
+                std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn exp7_cellids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp7_cell_id_count");
+    group.sample_size(10);
+    for cell_ids in [15u32, 30, 60] {
+        let bench = build_wifi_system_with(WifiScale::Tiny, false, 11, Some(cell_ids), None);
+        group.bench_with_input(BenchmarkId::new("point_query", cell_ids), &cell_ids, |b, _| {
+            let mut rng = StdRng::seed_from_u64(12);
+            b.iter(|| {
+                let q = bench.workload.q1_point(&mut rng);
+                std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    exp1_throughput,
+    exp2_point_queries,
+    exp2_range_queries,
+    exp3_range_length,
+    exp4_verification,
+    exp7_cellids
+);
+criterion_main!(benches);

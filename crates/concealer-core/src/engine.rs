@@ -1,0 +1,1420 @@
+//! Query execution engine and the top-level [`ConcealerSystem`] facade.
+//!
+//! The engine is the code that, in the real deployment, runs inside the SGX
+//! enclave at the service provider: it caches the decrypted per-epoch
+//! metadata (`cell_id[]`, `c_tuple[]`, per-cell counts, verifiable tags and
+//! per-bin re-encryption rounds), turns queries into fixed-size fetches via
+//! the BPB / eBPB / winSecRange methods, verifies, filters and aggregates
+//! the fetched tuples, and — for multi-round queries — re-encrypts what it
+//! fetched to preserve forward privacy.
+
+use std::collections::{BTreeMap, HashMap};
+
+
+use concealer_crypto::{EpochId, EpochKey, MasterKey};
+use concealer_enclave::registry::{Credential, QueryScope, UserId, UserRegistry};
+use concealer_enclave::{Enclave, EnclaveConfig, SideChannelMeter};
+use concealer_storage::{AccessObserver, EncryptedRow, EpochStore};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::bins::{BinPlan, PackingAlgorithm};
+use crate::codec;
+use crate::config::SystemConfig;
+use crate::dynamic;
+use crate::grid::Grid;
+use crate::provider::{DataProvider, EpochStats};
+use crate::query::filter::{build_filter_plan, process_rows_oblivious, process_rows_plain, FilterPlan};
+use crate::query::trapdoor::{generate_oblivious, generate_plain, FetchSpec};
+use crate::query::{Accumulator, Predicate, Query, QueryAnswer};
+use crate::superbin::SuperBinPlan;
+use crate::types::{EpochWindow, Record};
+use crate::verify::verify_cell_chain;
+use crate::{CoreError, Result};
+
+/// Which range-query execution method to use (§4.2, §5.2, §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RangeMethod {
+    /// Convert the range into point-style bin fetches (trivial method).
+    Bpb,
+    /// Enhanced BPB: fetch only the cell-ids covering the range, padded to
+    /// the worst-case window size (leaks under sliding windows —
+    /// Example 5.2.2).
+    #[default]
+    Ebpb,
+    /// Fixed-interval bins: fetch whole pre-defined time intervals, immune
+    /// to sliding-window attacks.
+    WinSecRange,
+}
+
+/// Options controlling range-query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeOptions {
+    /// Which method to execute the range with.
+    pub method: RangeMethod,
+    /// Whether to group bins into super-bins (§8) and fetch whole
+    /// super-bins, defending against query-workload frequency attacks.
+    pub use_superbins: bool,
+    /// Number of super-bins (`f` in §8).
+    pub num_super_bins: usize,
+    /// Whether to run the §6 multi-round protocol: fetch extra random bins
+    /// from every round the query spans and re-encrypt everything fetched.
+    pub forward_private: bool,
+}
+
+impl Default for RangeOptions {
+    fn default() -> Self {
+        RangeOptions {
+            method: RangeMethod::Ebpb,
+            use_superbins: false,
+            num_super_bins: 4,
+            forward_private: false,
+        }
+    }
+}
+
+/// Enclave-resident state for one registered epoch.
+#[derive(Debug)]
+struct EpochRuntime {
+    epoch_id: u64,
+    window: EpochWindow,
+    /// `cell_id[]`: flat cell index → cell-id.
+    cell_assignment: Vec<u32>,
+    /// Per-flat-cell tuple counts (eBPB metadata).
+    cell_counts: Vec<u32>,
+    /// `c_tuple[]`: cell-id → tuple count.
+    c_tuple: Vec<u32>,
+    /// cell-id → number of grid cells assigned to it (super-bin weights).
+    cells_per_cell_id: Vec<u32>,
+    /// Number of fake tuples shipped with the epoch.
+    total_fakes: u64,
+    /// Cached verifiable tags (encrypted), one per cell-id; empty when the
+    /// data provider skipped verification.
+    tags: Vec<Vec<u8>>,
+    /// The BPB bin plan.
+    bin_plan: BinPlan,
+    /// Per-bin re-encryption round counters (the §6 meta-index).
+    bin_rounds: Vec<u64>,
+    /// Super-bin plan, built lazily on first use.
+    superbin_plan: Option<SuperBinPlan>,
+    /// Cached eBPB worst-case window sizes, keyed by window length ℓ.
+    ebpb_sizes: HashMap<u64, u64>,
+    /// winSecRange interval plan, built lazily.
+    winsec: Option<WinSecPlan>,
+}
+
+/// winSecRange fixed-interval plan for one epoch.
+#[derive(Debug, Clone)]
+struct WinSecPlan {
+    /// Per interval: the cell-ids whose cells fall in the interval, with
+    /// their tuple counts, plus the fake range padding the interval to the
+    /// common size.
+    intervals: Vec<WinSecInterval>,
+    /// Common (maximum) interval size in tuples (kept for diagnostics).
+    #[allow(dead_code)]
+    interval_size: u64,
+    /// Interval length in grid time rows (λ).
+    rows_per_interval: u64,
+}
+
+#[derive(Debug, Clone)]
+struct WinSecInterval {
+    cells: Vec<(u32, u32)>,
+    #[allow(dead_code)]
+    real: u64,
+    fake_range: (u64, u64),
+}
+
+/// A user's handle on the system: their id and credential, as issued by the
+/// data provider at registration time.
+#[derive(Debug, Clone)]
+pub struct UserHandle {
+    /// The registered user id.
+    pub user_id: UserId,
+    /// The credential issued by the data provider.
+    pub credential: Credential,
+}
+
+/// The enclave-side query engine.
+pub struct QueryEngine {
+    config: SystemConfig,
+    enclave: Enclave,
+    store: EpochStore,
+    epochs: RwLock<BTreeMap<u64, EpochRuntime>>,
+    rng: Mutex<StdRng>,
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("epochs", &self.epochs.read().len())
+            .field("oblivious", &self.enclave.is_oblivious())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryEngine {
+    /// Create an engine bound to an enclave and a store.
+    #[must_use]
+    pub fn new(config: SystemConfig, enclave: Enclave, store: EpochStore, rng_seed: u64) -> Self {
+        QueryEngine {
+            config,
+            enclave,
+            store,
+            epochs: RwLock::new(BTreeMap::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(rng_seed)),
+        }
+    }
+
+    /// The enclave this engine runs in.
+    #[must_use]
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// The side-channel meter of the underlying enclave.
+    #[must_use]
+    pub fn meter(&self) -> &SideChannelMeter {
+        self.enclave.meter()
+    }
+
+    /// Epoch ids currently registered with the engine.
+    #[must_use]
+    pub fn registered_epochs(&self) -> Vec<u64> {
+        self.epochs.read().keys().copied().collect()
+    }
+
+    /// Bin-plan statistics for an epoch: `(num_bins, bin_size)`.
+    pub fn bin_stats(&self, epoch_id: u64) -> Result<(usize, u64)> {
+        let epochs = self.epochs.read();
+        let rt = epochs
+            .get(&epoch_id)
+            .ok_or(CoreError::NoDataForRange)?;
+        Ok((rt.bin_plan.num_bins(), rt.bin_plan.bin_size))
+    }
+
+    /// Register an ingested epoch: pull its metadata from the store,
+    /// decrypt it inside the enclave, and build the bin plan (Step 0 of the
+    /// BPB method).
+    pub fn register_epoch(&self, epoch_id: u64) -> Result<()> {
+        let metadata = self.store.metadata(epoch_id)?;
+        let key = self.enclave.epoch_key(EpochId(epoch_id), 0);
+
+        let assignment_and_counts = codec::decode_u32_vector(
+            &key.rand
+                .decrypt(&metadata.enc_cell_id)
+                .map_err(|_| CoreError::CorruptMetadata)?,
+        )?;
+        let c_tuple = codec::decode_u32_vector(
+            &key.rand
+                .decrypt(&metadata.enc_c_tuple)
+                .map_err(|_| CoreError::CorruptMetadata)?,
+        )?;
+        if assignment_and_counts.len() % 2 != 0 {
+            return Err(CoreError::CorruptMetadata);
+        }
+        let total_cells = assignment_and_counts.len() / 2;
+        let cell_assignment = assignment_and_counts[..total_cells].to_vec();
+        let cell_counts = assignment_and_counts[total_cells..].to_vec();
+
+        let mut cells_per_cell_id = vec![0u32; self.config.grid.num_cell_ids as usize];
+        for &cid in &cell_assignment {
+            if let Some(slot) = cells_per_cell_id.get_mut(cid as usize) {
+                *slot += 1;
+            }
+        }
+
+        let real_total: u64 = c_tuple.iter().map(|&c| u64::from(c)).sum();
+        let total_fakes = (metadata.advertised_rows as u64).saturating_sub(real_total);
+
+        let bin_plan = BinPlan::build(&c_tuple, PackingAlgorithm::FirstFitDecreasing, None);
+        let bin_rounds = vec![0u64; bin_plan.num_bins()];
+
+        let runtime = EpochRuntime {
+            epoch_id,
+            window: EpochWindow {
+                start: epoch_id,
+                duration: self.config.epoch_duration,
+            },
+            cell_assignment,
+            cell_counts,
+            c_tuple,
+            cells_per_cell_id,
+            total_fakes,
+            tags: metadata.enc_tags,
+            bin_plan,
+            bin_rounds,
+            superbin_plan: None,
+            ebpb_sizes: HashMap::new(),
+            winsec: None,
+        };
+        self.epochs.write().insert(epoch_id, runtime);
+        Ok(())
+    }
+
+    /// Execute a point query (§4.2).
+    pub fn point_query(
+        &self,
+        user: &UserHandle,
+        query: &Query,
+        registry_scope: QueryScope,
+    ) -> Result<QueryAnswer> {
+        let _session = self
+            .enclave
+            .open_session(user.user_id, &user.credential, registry_scope)?;
+        let Predicate::Point { dims, time } = &query.predicate else {
+            return Err(CoreError::InvalidQuery {
+                reason: "point_query requires a Point predicate",
+            });
+        };
+
+        let mut epochs = self.epochs.write();
+        let rt = epochs
+            .values_mut()
+            .find(|rt| rt.window.contains(*time))
+            .ok_or(CoreError::NoDataForRange)?;
+
+        let grid = self.grid_for(rt);
+        let coord = grid.locate(dims, *time)?;
+        let cid = rt.cell_assignment[coord.flat as usize];
+        let bin_idx = rt
+            .bin_plan
+            .bin_of_cell(cid)
+            .ok_or(CoreError::CorruptMetadata)?;
+
+        let mut fetched = 0usize;
+        let mut decrypted = 0usize;
+        let mut verified = false;
+        let mut acc = Accumulator::default();
+        self.fetch_and_process_bin(
+            rt,
+            bin_idx,
+            query,
+            &mut acc,
+            &mut fetched,
+            &mut decrypted,
+            &mut verified,
+        )?;
+        self.store.mark_query_boundary();
+
+        Ok(QueryAnswer {
+            value: acc.finish(&query.aggregate),
+            rows_fetched: fetched,
+            rows_decrypted: decrypted,
+            verified,
+            epochs_touched: 1,
+        })
+    }
+
+    /// Execute a range query with the selected method (§4.2, §5).
+    pub fn range_query(
+        &self,
+        user: &UserHandle,
+        query: &Query,
+        opts: RangeOptions,
+        registry_scope: QueryScope,
+    ) -> Result<QueryAnswer> {
+        let _session = self
+            .enclave
+            .open_session(user.user_id, &user.credential, registry_scope)?;
+        let (t_start, t_end) = query.predicate.time_span();
+
+        let mut epochs = self.epochs.write();
+        let touched: Vec<u64> = epochs
+            .values()
+            .filter(|rt| rt.window.overlaps(t_start, t_end))
+            .map(|rt| rt.epoch_id)
+            .collect();
+        if touched.is_empty() {
+            return Err(CoreError::NoDataForRange);
+        }
+        let multi_round = opts.forward_private && epochs.len() > 1;
+        // The §6 protocol spans the whole stretch of rounds between the
+        // first and last satisfying round.
+        let span: Vec<u64> = if multi_round {
+            let lo = *touched.first().expect("non-empty");
+            let hi = *touched.last().expect("non-empty");
+            epochs
+                .keys()
+                .copied()
+                .filter(|e| *e >= lo && *e <= hi)
+                .collect()
+        } else {
+            touched.clone()
+        };
+
+        let mut acc = Accumulator::default();
+        let mut fetched = 0usize;
+        let mut decrypted = 0usize;
+        let mut verified = self.config.verify_integrity;
+        let mut epochs_touched = 0usize;
+
+        for epoch_id in span {
+            let rt = epochs.get_mut(&epoch_id).expect("registered epoch");
+            let satisfies = rt.window.overlaps(t_start, t_end);
+            epochs_touched += 1;
+
+            let mut bins_fetched: Vec<usize> = Vec::new();
+            match opts.method {
+                RangeMethod::Bpb => {
+                    if satisfies {
+                        let mut bin_set = self.bins_for_range(rt, query)?;
+                        if opts.use_superbins {
+                            bin_set = self.expand_to_superbins(rt, &bin_set, opts.num_super_bins);
+                        }
+                        for bin_idx in bin_set {
+                            self.fetch_and_process_bin(
+                                rt,
+                                bin_idx,
+                                query,
+                                &mut acc,
+                                &mut fetched,
+                                &mut decrypted,
+                                &mut verified,
+                            )?;
+                            bins_fetched.push(bin_idx);
+                        }
+                    }
+                }
+                RangeMethod::Ebpb => {
+                    if satisfies {
+                        let (f, d) = self.execute_ebpb(rt, query, &mut acc)?;
+                        fetched += f;
+                        decrypted += d;
+                        // eBPB bypasses bins; verification is per cell-id and
+                        // covered inside execute_ebpb when enabled.
+                    }
+                }
+                RangeMethod::WinSecRange => {
+                    if satisfies {
+                        let (f, d) = self.execute_winsec(rt, query, &mut acc)?;
+                        fetched += f;
+                        decrypted += d;
+                    }
+                }
+            }
+
+            // §6: when the query spans multiple rounds, fetch extra random
+            // bins from every round in the span and re-encrypt everything.
+            if multi_round {
+                let extra = dynamic::extra_bins_per_round(rt.bin_plan.num_bins());
+                let mut rng = self.rng.lock();
+                while bins_fetched.len() < extra && bins_fetched.len() < rt.bin_plan.num_bins() {
+                    let candidate = rng.gen_range(0..rt.bin_plan.num_bins());
+                    if !bins_fetched.contains(&candidate) {
+                        drop(rng);
+                        self.fetch_and_process_bin(
+                            rt,
+                            candidate,
+                            query,
+                            &mut Accumulator::default(),
+                            &mut fetched,
+                            &mut decrypted,
+                            &mut verified,
+                        )?;
+                        bins_fetched.push(candidate);
+                        rng = self.rng.lock();
+                    }
+                }
+                drop(rng);
+                for bin_idx in bins_fetched {
+                    self.reencrypt_and_rewrite_bin(rt, bin_idx)?;
+                }
+            }
+        }
+        self.store.mark_query_boundary();
+
+        Ok(QueryAnswer {
+            value: acc.finish(&query.aggregate),
+            rows_fetched: fetched,
+            rows_decrypted: decrypted,
+            verified: verified && self.config.verify_integrity,
+            epochs_touched,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn grid_for(&self, rt: &EpochRuntime) -> Grid {
+        let key = self.enclave.epoch_key(EpochId(rt.epoch_id), 0);
+        Grid::new(self.config.grid.clone(), rt.window, key.grid_prf)
+    }
+
+    /// The bins covering a range query's cells (BPB trivial method).
+    fn bins_for_range(&self, rt: &EpochRuntime, query: &Query) -> Result<Vec<usize>> {
+        let grid = self.grid_for(rt);
+        let (t_start, t_end) = query.predicate.time_span();
+        let rows = grid.time_rows_for_range(t_start, t_end);
+        let cells = match query.predicate.dims() {
+            Some(dims) => grid.cells_for_dims(dims, &rows)?,
+            None => grid.cells_for_all_dims(&rows),
+        };
+        let mut bins: Vec<usize> = cells
+            .iter()
+            .filter_map(|&flat| {
+                let cid = rt.cell_assignment[flat as usize];
+                rt.bin_plan.bin_of_cell(cid)
+            })
+            .collect();
+        bins.sort_unstable();
+        bins.dedup();
+        Ok(bins)
+    }
+
+    fn expand_to_superbins(
+        &self,
+        rt: &mut EpochRuntime,
+        bins: &[usize],
+        num_super_bins: usize,
+    ) -> Vec<usize> {
+        if rt.superbin_plan.is_none() {
+            rt.superbin_plan = Some(SuperBinPlan::build(
+                &rt.bin_plan,
+                &rt.cells_per_cell_id,
+                num_super_bins,
+            ));
+        }
+        let plan = rt.superbin_plan.as_ref().expect("just built");
+        let mut expanded: Vec<usize> = bins
+            .iter()
+            .flat_map(|&b| plan.fetch_set_for_bin(b).to_vec())
+            .collect();
+        expanded.sort_unstable();
+        expanded.dedup();
+        expanded
+    }
+
+    /// Fetch one bin and fold its matching tuples into the accumulator.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_and_process_bin(
+        &self,
+        rt: &EpochRuntime,
+        bin_idx: usize,
+        query: &Query,
+        acc: &mut Accumulator,
+        fetched: &mut usize,
+        decrypted: &mut usize,
+        verified: &mut bool,
+    ) -> Result<()> {
+        let round = rt.bin_rounds[bin_idx];
+        let key = self.enclave.epoch_key(EpochId(rt.epoch_id), round);
+        let bin = &rt.bin_plan.bins[bin_idx];
+
+        let spec = FetchSpec {
+            cells: bin
+                .cell_ids
+                .iter()
+                .map(|&cid| (cid, rt.c_tuple[cid as usize]))
+                .collect(),
+            fake_range: clamp_fake_range(bin.fake_range, rt.total_fakes),
+        };
+        let meter = self.enclave.meter();
+        let trapdoors = if self.enclave.is_oblivious() {
+            generate_oblivious(
+                &key,
+                &spec,
+                rt.bin_plan.max_cells_per_bin(),
+                rt.c_tuple.iter().copied().max().unwrap_or(0),
+                rt.bin_plan.max_fakes_per_bin(),
+                meter,
+            )
+        } else {
+            generate_plain(&key, &spec, meter)
+        };
+        let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
+        *fetched += rows.len();
+
+        if self.config.verify_integrity && !rt.tags.is_empty() {
+            self.verify_bin(rt, &key, &bin.cell_ids, &rows)?;
+            *verified = true;
+        }
+
+        let (bin_acc, d) = self.process_rows(&key, rt, query, &rows)?;
+        *decrypted += d;
+        acc.merge(bin_acc);
+        Ok(())
+    }
+
+    /// Group fetched rows by cell-id (via the authenticated index
+    /// plaintext) and verify each chain against its tag.
+    fn verify_bin(
+        &self,
+        rt: &EpochRuntime,
+        key: &EpochKey,
+        cell_ids: &[u32],
+        rows: &[EncryptedRow],
+    ) -> Result<()> {
+        let mut per_cell: HashMap<u32, Vec<(u32, &EncryptedRow)>> = HashMap::new();
+        for row in rows {
+            if let Ok(plain) = key.det.decrypt(&row.index_key) {
+                if let Some((cid, counter)) = codec::decode_index_plain(&plain) {
+                    per_cell.entry(cid).or_default().push((counter, row));
+                }
+            }
+        }
+        for &cid in cell_ids {
+            let mut entries = per_cell.remove(&cid).unwrap_or_default();
+            entries.sort_unstable_by_key(|(ctr, _)| *ctr);
+            let ordered: Vec<&EncryptedRow> = entries.into_iter().map(|(_, r)| r).collect();
+            let tag = rt
+                .tags
+                .get(cid as usize)
+                .ok_or(CoreError::IntegrityViolation { cell_id: cid })?;
+            verify_cell_chain(key, cid, &ordered, tag)?;
+        }
+        Ok(())
+    }
+
+    fn process_rows(
+        &self,
+        key: &EpochKey,
+        rt: &EpochRuntime,
+        query: &Query,
+        rows: &[EncryptedRow],
+    ) -> Result<(Accumulator, usize)> {
+        let plan: FilterPlan = build_filter_plan(key, &self.config, &query.predicate, rt.window);
+        let meter = self.enclave.meter();
+        if self.enclave.is_oblivious() {
+            process_rows_oblivious(key, &plan, &query.aggregate, rows, meter)
+        } else {
+            process_rows_plain(key, &plan, &query.aggregate, rows, meter)
+        }
+    }
+
+    /// eBPB (§5.2): fetch exactly the cell-ids covering the range, padded to
+    /// the worst-case ℓ-row window size.
+    fn execute_ebpb(
+        &self,
+        rt: &mut EpochRuntime,
+        query: &Query,
+        acc: &mut Accumulator,
+    ) -> Result<(usize, usize)> {
+        let grid = self.grid_for(rt);
+        let (t_start, t_end) = query.predicate.time_span();
+        let rows_needed = grid.time_rows_for_range(t_start, t_end);
+        if rows_needed.is_empty() {
+            return Ok((0, 0));
+        }
+        let cells = match query.predicate.dims() {
+            Some(dims) => grid.cells_for_dims(dims, &rows_needed)?,
+            None => grid.cells_for_all_dims(&rows_needed),
+        };
+        let mut cids: Vec<u32> = cells
+            .iter()
+            .map(|&flat| rt.cell_assignment[flat as usize])
+            .collect();
+        cids.sort_unstable();
+        cids.dedup();
+
+        let real: u64 = cids.iter().map(|&c| u64::from(rt.c_tuple[c as usize])).sum();
+        let target = if query.predicate.dims().is_some() {
+            self.ebpb_window_size(rt, rows_needed.len() as u64).max(real)
+        } else {
+            real
+        };
+        let pad = (target - real).min(rt.total_fakes);
+
+        // Group the needed cell-ids by their bin's re-encryption round so
+        // trapdoors and filters use the right key even after §6 rewrites.
+        let mut by_round: BTreeMap<u64, Vec<(u32, u32)>> = BTreeMap::new();
+        for &cid in &cids {
+            let round = rt
+                .bin_plan
+                .bin_of_cell(cid)
+                .map_or(0, |b| rt.bin_rounds[b]);
+            by_round
+                .entry(round)
+                .or_default()
+                .push((cid, rt.c_tuple[cid as usize]));
+        }
+
+        let mut fetched = 0usize;
+        let mut decrypted = 0usize;
+        let mut first = true;
+        for (round, cells) in by_round {
+            let key = self.enclave.epoch_key(EpochId(rt.epoch_id), round);
+            let spec = FetchSpec {
+                cells,
+                fake_range: if first { (0, pad) } else { (0, 0) },
+            };
+            first = false;
+            let trapdoors = generate_plain(&key, &spec, self.enclave.meter());
+            let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
+            fetched += rows.len();
+            if self.config.verify_integrity && !rt.tags.is_empty() {
+                let cids_in_group: Vec<u32> = spec.cells.iter().map(|(c, _)| *c).collect();
+                self.verify_bin(rt, &key, &cids_in_group, &rows)?;
+            }
+            let (group_acc, d) = self.process_rows(&key, rt, query, &rows)?;
+            decrypted += d;
+            acc.merge(group_acc);
+        }
+        Ok((fetched, decrypted))
+    }
+
+    /// Worst-case tuples in any ℓ consecutive time rows of any dimension
+    /// column (the eBPB bin size), cached per ℓ.
+    fn ebpb_window_size(&self, rt: &mut EpochRuntime, window_len: u64) -> u64 {
+        if let Some(&cached) = rt.ebpb_sizes.get(&window_len) {
+            return cached;
+        }
+        let y = self.config.grid.time_subintervals as usize;
+        let len = (window_len as usize).clamp(1, y);
+        let mut best = 0u64;
+        let columns = rt.cell_counts.len() / y.max(1);
+        for col in 0..columns {
+            let col_counts = &rt.cell_counts[col * y..(col + 1) * y];
+            let mut window_sum: u64 = col_counts[..len].iter().map(|&c| u64::from(c)).sum();
+            best = best.max(window_sum);
+            for i in len..y {
+                window_sum += u64::from(col_counts[i]);
+                window_sum -= u64::from(col_counts[i - len]);
+                best = best.max(window_sum);
+            }
+        }
+        rt.ebpb_sizes.insert(window_len, best);
+        best
+    }
+
+    /// winSecRange (§5.3): fetch whole fixed time intervals.
+    fn execute_winsec(
+        &self,
+        rt: &mut EpochRuntime,
+        query: &Query,
+        acc: &mut Accumulator,
+    ) -> Result<(usize, usize)> {
+        if rt.winsec.is_none() {
+            rt.winsec = Some(self.build_winsec_plan(rt));
+        }
+        let plan = rt.winsec.clone().expect("just built");
+
+        let grid = self.grid_for(rt);
+        let (t_start, t_end) = query.predicate.time_span();
+        let rows_needed = grid.time_rows_for_range(t_start, t_end);
+        if rows_needed.is_empty() {
+            return Ok((0, 0));
+        }
+        let first_interval = rows_needed[0] / plan.rows_per_interval;
+        let last_interval = rows_needed[rows_needed.len() - 1] / plan.rows_per_interval;
+
+        // Union of the cell-ids of every interval overlapping the range.
+        // Cell-ids may appear in several intervals (the PRF assignment does
+        // not stratify them by time), so they are deduplicated here to avoid
+        // fetching — and counting — the same tuples twice.
+        let mut cids: Vec<u32> = Vec::new();
+        let mut fake_budget = 0u64;
+        for interval_idx in first_interval..=last_interval {
+            if let Some(interval) = plan.intervals.get(interval_idx as usize) {
+                cids.extend(interval.cells.iter().map(|(c, _)| *c));
+                fake_budget += interval.fake_range.1 - interval.fake_range.0;
+            }
+        }
+        cids.sort_unstable();
+        cids.dedup();
+
+        // Group by round like eBPB so trapdoors use the right key after §6
+        // rewrites.
+        let mut by_round: BTreeMap<u64, Vec<(u32, u32)>> = BTreeMap::new();
+        for &cid in &cids {
+            let round = rt
+                .bin_plan
+                .bin_of_cell(cid)
+                .map_or(0, |b| rt.bin_rounds[b]);
+            by_round
+                .entry(round)
+                .or_default()
+                .push((cid, rt.c_tuple[cid as usize]));
+        }
+
+        let mut fetched = 0usize;
+        let mut decrypted = 0usize;
+        let mut first = true;
+        for (round, cells) in by_round {
+            let key = self.enclave.epoch_key(EpochId(rt.epoch_id), round);
+            let spec = FetchSpec {
+                cells,
+                fake_range: if first {
+                    (0, fake_budget.min(rt.total_fakes))
+                } else {
+                    (0, 0)
+                },
+            };
+            first = false;
+            let trapdoors = generate_plain(&key, &spec, self.enclave.meter());
+            let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
+            fetched += rows.len();
+            let (group_acc, d) = self.process_rows(&key, rt, query, &rows)?;
+            decrypted += d;
+            acc.merge(group_acc);
+        }
+        Ok((fetched, decrypted))
+    }
+
+    fn build_winsec_plan(&self, rt: &EpochRuntime) -> WinSecPlan {
+        let y = self.config.grid.time_subintervals;
+        let lambda = self.config.winsec_rows_per_interval.max(1).min(y);
+        let num_intervals = y.div_ceil(lambda);
+
+        // Every interval lists every cell-id that has at least one grid cell
+        // in the interval's time rows. A cell-id may appear in several
+        // intervals (the PRF cell-id assignment is not time-stratified);
+        // retrieving an interval therefore retrieves every tuple of every
+        // cell-id that *could* hold tuples from the interval, which is the
+        // superset the volume-hiding argument needs. Queries spanning
+        // multiple intervals deduplicate the union before fetching.
+        let mut interval_cells: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_intervals as usize];
+        let mut seen: Vec<Vec<bool>> =
+            vec![vec![false; rt.c_tuple.len()]; num_intervals as usize];
+        for (flat, &cid) in rt.cell_assignment.iter().enumerate() {
+            let time_row = (flat as u64) % y;
+            let interval = (time_row / lambda) as usize;
+            if !seen[interval][cid as usize] {
+                seen[interval][cid as usize] = true;
+                interval_cells[interval].push((cid, rt.c_tuple[cid as usize]));
+            }
+        }
+
+        let reals: Vec<u64> = interval_cells
+            .iter()
+            .map(|cells| cells.iter().map(|(_, c)| u64::from(*c)).sum())
+            .collect();
+        let interval_size = reals.iter().copied().max().unwrap_or(0);
+
+        let mut intervals = Vec::with_capacity(num_intervals as usize);
+        let mut next_fake = 0u64;
+        for (cells, real) in interval_cells.into_iter().zip(reals) {
+            let need = (interval_size - real).min(rt.total_fakes.saturating_sub(next_fake));
+            intervals.push(WinSecInterval {
+                cells,
+                real,
+                fake_range: (next_fake, next_fake + need),
+            });
+            next_fake += need;
+        }
+        WinSecPlan {
+            intervals,
+            interval_size,
+            rows_per_interval: lambda,
+        }
+    }
+
+    /// Re-encrypt a fetched bin under the next round key and write it back
+    /// (§6), bumping the bin's round counter and refreshing its tags.
+    fn reencrypt_and_rewrite_bin(&self, rt: &mut EpochRuntime, bin_idx: usize) -> Result<()> {
+        let old_round = rt.bin_rounds[bin_idx];
+        let old_key = self.enclave.epoch_key(EpochId(rt.epoch_id), old_round);
+        let new_key = self.enclave.epoch_key(EpochId(rt.epoch_id), old_round + 1);
+        let bin = &rt.bin_plan.bins[bin_idx];
+
+        let spec = FetchSpec {
+            cells: bin
+                .cell_ids
+                .iter()
+                .map(|&cid| (cid, rt.c_tuple[cid as usize]))
+                .collect(),
+            fake_range: clamp_fake_range(bin.fake_range, rt.total_fakes),
+        };
+        let trapdoors = generate_plain(&old_key, &spec, self.enclave.meter());
+        let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
+
+        let mut rng = self.rng.lock();
+        let out = dynamic::reencrypt_bin(
+            &old_key,
+            &new_key,
+            &rows,
+            &bin.cell_ids,
+            self.config.grid.num_cell_ids as usize,
+            &mut *rng,
+        )?;
+        drop(rng);
+
+        self.store.rewrite_rows(rt.epoch_id, out.replacements)?;
+        if !rt.tags.is_empty() {
+            let updates: Vec<(usize, Vec<u8>)> = out
+                .new_tags
+                .iter()
+                .map(|(cid, tag)| (*cid as usize, tag.clone()))
+                .collect();
+            for (cid, tag) in &out.new_tags {
+                rt.tags[*cid as usize] = tag.clone();
+            }
+            self.store.update_tags(rt.epoch_id, updates)?;
+        }
+        rt.bin_rounds[bin_idx] = old_round + 1;
+        Ok(())
+    }
+}
+
+fn clamp_fake_range(range: (u64, u64), total_fakes: u64) -> (u64, u64) {
+    (range.0.min(total_fakes), range.1.min(total_fakes))
+}
+
+/// Convenience facade bundling the data provider, the service-provider
+/// store and the enclave-side query engine — the full deployment of
+/// Figure 1 of the paper in one value. Examples and benchmarks use this;
+/// library users who need to place the three roles on different machines
+/// can use [`DataProvider`], [`concealer_storage::EpochStore`] and
+/// [`QueryEngine`] directly.
+pub struct ConcealerSystem {
+    provider: DataProvider,
+    store: EpochStore,
+    engine: QueryEngine,
+    registry: UserRegistry,
+}
+
+impl std::fmt::Debug for ConcealerSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcealerSystem")
+            .field("epochs", &self.engine.registered_epochs().len())
+            .field("users", &self.registry.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConcealerSystem {
+    /// Set up a full deployment: generate the shared secret, provision the
+    /// enclave, and wire the store to it.
+    #[must_use]
+    pub fn new<R: RngCore>(config: SystemConfig, rng: &mut R) -> Self {
+        let master = MasterKey::generate(rng);
+        Self::with_master(config, master, rng.gen())
+    }
+
+    /// Set up a deployment with an explicit master key and engine RNG seed
+    /// (useful for reproducible tests and benchmarks).
+    #[must_use]
+    pub fn with_master(config: SystemConfig, master: MasterKey, engine_seed: u64) -> Self {
+        let provider = DataProvider::new(master.clone(), config.clone());
+        let store = EpochStore::new();
+        let enclave_config = if config.oblivious {
+            EnclaveConfig::oblivious()
+        } else {
+            EnclaveConfig::default()
+        };
+        let enclave = Enclave::provision(master, UserRegistry::new(), enclave_config);
+        let engine = QueryEngine::new(config, enclave, store.clone(), engine_seed);
+        ConcealerSystem {
+            provider,
+            store,
+            engine,
+            registry: UserRegistry::new(),
+        }
+    }
+
+    /// Register a user with the data provider; the updated registry is
+    /// pushed to the enclave, and the credential is returned to the user.
+    pub fn register_user(&mut self, user_id: u64, devices: Vec<u64>, aggregate: bool) -> UserHandle {
+        let credential = self.registry.register(
+            self.provider.master(),
+            UserId(user_id),
+            devices,
+            aggregate,
+        );
+        self.engine.enclave().update_registry(self.registry.clone());
+        UserHandle {
+            user_id: UserId(user_id),
+            credential,
+        }
+    }
+
+    /// Encrypt and ingest one epoch of records (Phase 1 of the paper).
+    pub fn ingest_epoch<R: RngCore>(
+        &mut self,
+        epoch_start: u64,
+        records: Vec<Record>,
+        rng: &mut R,
+    ) -> Result<EpochStats> {
+        let shipment = self.provider.encrypt_epoch(epoch_start, &records, rng)?;
+        let stats = shipment.stats.clone();
+        self.store
+            .ingest_epoch(shipment.epoch_id, shipment.rows, shipment.metadata)?;
+        self.engine.register_epoch(epoch_start)?;
+        Ok(stats)
+    }
+
+    /// Execute a point query on behalf of a user.
+    pub fn point_query(&self, user: &UserHandle, query: &Query) -> Result<QueryAnswer> {
+        self.engine
+            .point_query(user, query, scope_for_query(query))
+    }
+
+    /// Execute a range query on behalf of a user.
+    pub fn range_query(
+        &self,
+        user: &UserHandle,
+        query: &Query,
+        opts: RangeOptions,
+    ) -> Result<QueryAnswer> {
+        self.engine
+            .range_query(user, query, opts, scope_for_query(query))
+    }
+
+    /// The adversary's view of the storage layer.
+    #[must_use]
+    pub fn observer(&self) -> &AccessObserver {
+        self.store.observer()
+    }
+
+    /// The enclave's side-channel meter.
+    #[must_use]
+    pub fn meter(&self) -> &SideChannelMeter {
+        self.engine.meter()
+    }
+
+    /// The service-provider store.
+    #[must_use]
+    pub fn store(&self) -> &EpochStore {
+        &self.store
+    }
+
+    /// The enclave-side query engine.
+    #[must_use]
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The data provider.
+    #[must_use]
+    pub fn provider(&self) -> &DataProvider {
+        &self.provider
+    }
+}
+
+/// Individualized predicates (pinning an observation/device id) need
+/// individualized authorization; everything else runs under the aggregate
+/// scope.
+fn scope_for_query(query: &Query) -> QueryScope {
+    match query.predicate.observation() {
+        Some(device_id) => QueryScope::Individualized { device_id },
+        None => QueryScope::Aggregate,
+    }
+}
+
+// Re-export for the facade's users.
+pub use concealer_storage::EpochStore as Store;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FakeTupleStrategy, GridShape};
+    use crate::query::Aggregate;
+
+    fn test_config(oblivious: bool) -> SystemConfig {
+        SystemConfig {
+            grid: GridShape {
+                dim_buckets: vec![6],
+                time_subintervals: 8,
+                num_cell_ids: 16,
+            },
+            epoch_duration: 3600,
+            time_granularity: 60,
+            fake_strategy: FakeTupleStrategy::SimulateBins,
+            verify_integrity: true,
+            oblivious,
+            winsec_rows_per_interval: 2,
+        }
+    }
+
+    /// Deterministic workload: 8 locations, device ids 100-104, one record
+    /// every 9 seconds.
+    fn workload(epoch_start: u64, n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::spatial(i % 8, epoch_start + (i * 9) % 3600, 100 + i % 5))
+            .collect()
+    }
+
+    /// Count records matching a predicate in cleartext (ground truth).
+    fn cleartext_count(records: &[Record], dims: Option<&[u64]>, obs: Option<u64>, t: (u64, u64)) -> u64 {
+        records
+            .iter()
+            .filter(|r| {
+                dims.map_or(true, |d| r.dims == d)
+                    && obs.map_or(true, |o| r.observation() == Some(o))
+                    && r.time >= t.0
+                    && r.time <= t.1
+            })
+            .count() as u64
+    }
+
+    fn setup(oblivious: bool) -> (ConcealerSystem, UserHandle, Vec<Record>) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut system = ConcealerSystem::new(test_config(oblivious), &mut rng);
+        let user = system.register_user(1, vec![100, 101, 102, 103, 104], true);
+        let records = workload(0, 400);
+        system.ingest_epoch(0, records.clone(), &mut rng).unwrap();
+        (system, user, records)
+    }
+
+    #[test]
+    fn point_query_count_matches_cleartext() {
+        let (system, user, records) = setup(false);
+        // Pick an existing record's (location, time).
+        let target = &records[37];
+        let query = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Point {
+                dims: target.dims.clone(),
+                time: target.time,
+            },
+        };
+        let answer = system.point_query(&user, &query).unwrap();
+        // Point filter tokens cover the whole granule the target falls in.
+        let g = 60;
+        let granule_start = (target.time / g) * g;
+        let expected = cleartext_count(
+            &records,
+            Some(&target.dims),
+            None,
+            (granule_start, granule_start + g - 1),
+        );
+        assert_eq!(answer.value, crate::query::AnswerValue::Count(expected));
+        assert!(answer.verified);
+        assert!(answer.rows_fetched > 0);
+    }
+
+    #[test]
+    fn range_count_matches_cleartext_all_methods() {
+        let (system, user, records) = setup(false);
+        for method in [RangeMethod::Bpb, RangeMethod::Ebpb, RangeMethod::WinSecRange] {
+            let query = Query {
+                aggregate: Aggregate::Count,
+                predicate: Predicate::Range {
+                    dims: Some(vec![3]),
+                    observation: None,
+                    time_start: 0,
+                    time_end: 1799,
+                },
+            };
+            let opts = RangeOptions { method, ..Default::default() };
+            let answer = system.range_query(&user, &query, opts).unwrap();
+            let expected = cleartext_count(&records, Some(&[3]), None, (0, 1799));
+            assert_eq!(
+                answer.value,
+                crate::query::AnswerValue::Count(expected),
+                "{method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oblivious_engine_matches_plain_engine() {
+        let (plain_sys, plain_user, records) = setup(false);
+        let (obliv_sys, obliv_user, _) = setup(true);
+        let query = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Range {
+                dims: Some(vec![5]),
+                observation: None,
+                time_start: 600,
+                time_end: 2399,
+            },
+        };
+        let a = plain_sys
+            .range_query(&plain_user, &query, RangeOptions::default())
+            .unwrap();
+        let b = obliv_sys
+            .range_query(&obliv_user, &query, RangeOptions::default())
+            .unwrap();
+        assert_eq!(a.value, b.value);
+        let expected = cleartext_count(&records, Some(&[5]), None, (600, 2399));
+        assert_eq!(a.value, crate::query::AnswerValue::Count(expected));
+    }
+
+    #[test]
+    fn observation_query_requires_owned_device() {
+        let (mut system, _user, _records) = setup(false);
+        let stranger = system.register_user(2, vec![999], true);
+        let query = Query {
+            aggregate: Aggregate::CollectRows,
+            predicate: Predicate::Range {
+                dims: None,
+                observation: Some(100),
+                time_start: 0,
+                time_end: 3599,
+            },
+        };
+        let err = system
+            .range_query(&stranger, &query, RangeOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Enclave(_)));
+    }
+
+    #[test]
+    fn observation_query_counts_device_sightings() {
+        let (system, user, records) = setup(false);
+        let query = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Range {
+                dims: None,
+                observation: Some(102),
+                time_start: 0,
+                time_end: 3599,
+            },
+        };
+        let answer = system
+            .range_query(&user, &query, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+            .unwrap();
+        let expected = cleartext_count(&records, None, Some(102), (0, 3599));
+        assert_eq!(answer.value, crate::query::AnswerValue::Count(expected));
+    }
+
+    #[test]
+    fn top_k_locations_query() {
+        let (system, user, records) = setup(false);
+        let query = Query {
+            aggregate: Aggregate::TopKLocations { k: 3 },
+            predicate: Predicate::Range {
+                dims: None,
+                observation: None,
+                time_start: 0,
+                time_end: 3599,
+            },
+        };
+        let answer = system
+            .range_query(&user, &query, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+            .unwrap();
+        // Ground truth top-3.
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for r in &records {
+            *counts.entry(r.dims[0]).or_insert(0) += 1;
+        }
+        let mut pairs: Vec<(u64, u64)> = counts.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(3);
+        assert_eq!(answer.value, crate::query::AnswerValue::LocationCounts(pairs));
+    }
+
+    #[test]
+    fn volume_hiding_point_queries_fetch_identical_row_counts() {
+        let (system, user, records) = setup(false);
+        let targets: Vec<(Vec<u64>, u64)> = vec![
+            (records[3].dims.clone(), records[3].time),
+            (records[200].dims.clone(), records[200].time),
+            (vec![7], 3500), // likely sparse cell
+        ];
+        let mut sizes = Vec::new();
+        for (dims, time) in targets {
+            let query = Query {
+                aggregate: Aggregate::Count,
+                predicate: Predicate::Point { dims, time },
+            };
+            let answer = system.point_query(&user, &query).unwrap();
+            sizes.push(answer.rows_fetched);
+        }
+        assert_eq!(sizes[0], sizes[1]);
+        assert_eq!(sizes[1], sizes[2], "every point query fetches one full bin");
+        // And the adversary's trace shows identical per-query fetch counts.
+        let summaries = system.observer().per_query_summaries();
+        let fetch_counts: Vec<usize> = summaries.iter().map(|s| s.rows_fetched).collect();
+        assert!(fetch_counts.windows(2).all(|w| w[0] == w[1]), "{fetch_counts:?}");
+    }
+
+    #[test]
+    fn query_outside_ingested_data_errors() {
+        let (system, user, _) = setup(false);
+        let query = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Point { dims: vec![1], time: 999_999 },
+        };
+        assert!(matches!(
+            system.point_query(&user, &query),
+            Err(CoreError::NoDataForRange)
+        ));
+    }
+
+    #[test]
+    fn tampering_is_detected_at_query_time() {
+        let (system, user, records) = setup(false);
+        // The adversary (service provider) flips a byte in some stored row.
+        let epoch_rows = system.store().full_scan(0).unwrap();
+        let victim = epoch_rows[10].clone();
+        let mut tampered = victim.clone();
+        tampered.payload[5] ^= 0x01;
+        system
+            .store()
+            .rewrite_rows(0, vec![(victim.index_key.clone(), tampered)])
+            .unwrap();
+
+        // Sweep queries until one hits the tampered row's bin.
+        let mut detected = false;
+        for r in records.iter().step_by(7) {
+            let query = Query {
+                aggregate: Aggregate::Count,
+                predicate: Predicate::Point { dims: r.dims.clone(), time: r.time },
+            };
+            match system.point_query(&user, &query) {
+                Err(CoreError::IntegrityViolation { .. }) => {
+                    detected = true;
+                    break;
+                }
+                Ok(_) | Err(_) => continue,
+            }
+        }
+        assert!(detected, "tampering must surface as an integrity violation");
+    }
+
+    #[test]
+    fn multi_epoch_range_query_spans_epochs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut system = ConcealerSystem::new(test_config(false), &mut rng);
+        let user = system.register_user(1, vec![], true);
+        let r0 = workload(0, 200);
+        let r1 = workload(3600, 200);
+        system.ingest_epoch(0, r0.clone(), &mut rng).unwrap();
+        system.ingest_epoch(3600, r1.clone(), &mut rng).unwrap();
+
+        let query = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Range {
+                dims: Some(vec![2]),
+                observation: None,
+                time_start: 1800,
+                time_end: 5399,
+            },
+        };
+        let answer = system
+            .range_query(&user, &query, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+            .unwrap();
+        let mut all = r0;
+        all.extend(r1);
+        let expected = cleartext_count(&all, Some(&[2]), None, (1800, 5399));
+        assert_eq!(answer.value, crate::query::AnswerValue::Count(expected));
+        assert_eq!(answer.epochs_touched, 2);
+    }
+
+    #[test]
+    fn forward_private_query_reencrypts_and_stays_correct() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut system = ConcealerSystem::new(test_config(false), &mut rng);
+        let user = system.register_user(1, vec![], true);
+        let r0 = workload(0, 150);
+        let r1 = workload(3600, 150);
+        system.ingest_epoch(0, r0.clone(), &mut rng).unwrap();
+        system.ingest_epoch(3600, r1.clone(), &mut rng).unwrap();
+
+        let query = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Range {
+                dims: Some(vec![4]),
+                observation: None,
+                time_start: 0,
+                time_end: 7199,
+            },
+        };
+        let opts = RangeOptions {
+            method: RangeMethod::Bpb,
+            forward_private: true,
+            ..Default::default()
+        };
+        let mut all = r0;
+        all.extend(r1);
+        let expected = cleartext_count(&all, Some(&[4]), None, (0, 7199));
+
+        // Run the same query several times: answers stay correct even though
+        // the underlying rows are re-encrypted after every execution.
+        for i in 0..3 {
+            let answer = system.range_query(&user, &query, opts).unwrap();
+            assert_eq!(
+                answer.value,
+                crate::query::AnswerValue::Count(expected),
+                "iteration {i}"
+            );
+        }
+        // The store has seen rewrites.
+        assert!(system.store().rewrite_count(0).unwrap() > 0);
+        assert!(system.store().rewrite_count(3600).unwrap() > 0);
+    }
+
+    #[test]
+    fn superbins_fetch_more_but_answer_identically() {
+        let (system, user, records) = setup(false);
+        let query = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Range {
+                dims: Some(vec![1]),
+                observation: None,
+                time_start: 0,
+                time_end: 899,
+            },
+        };
+        let plain = system
+            .range_query(&user, &query, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+            .unwrap();
+        let with_super = system
+            .range_query(
+                &user,
+                &query,
+                RangeOptions {
+                    method: RangeMethod::Bpb,
+                    use_superbins: true,
+                    num_super_bins: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(plain.value, with_super.value);
+        assert!(with_super.rows_fetched >= plain.rows_fetched);
+        let expected = cleartext_count(&records, Some(&[1]), None, (0, 899));
+        assert_eq!(plain.value, crate::query::AnswerValue::Count(expected));
+    }
+
+    #[test]
+    fn sum_min_max_average_over_payload() {
+        let (system, user, records) = setup(false);
+        let predicate = Predicate::Range {
+            dims: Some(vec![0]),
+            observation: None,
+            time_start: 0,
+            time_end: 3599,
+        };
+        let matching: Vec<u64> = records
+            .iter()
+            .filter(|r| r.dims == [0])
+            .map(|r| r.payload[0])
+            .collect();
+        let sum: u64 = matching.iter().sum();
+        let min = matching.iter().copied().min();
+        let max = matching.iter().copied().max();
+
+        let run = |agg: Aggregate| {
+            system
+                .range_query(
+                    &user,
+                    &Query { aggregate: agg, predicate: predicate.clone() },
+                    RangeOptions { method: RangeMethod::Ebpb, ..Default::default() },
+                )
+                .unwrap()
+                .value
+        };
+        assert_eq!(run(Aggregate::Sum { attr: 0 }), crate::query::AnswerValue::Number(Some(sum)));
+        assert_eq!(run(Aggregate::Min { attr: 0 }), crate::query::AnswerValue::Number(min));
+        assert_eq!(run(Aggregate::Max { attr: 0 }), crate::query::AnswerValue::Number(max));
+        match run(Aggregate::Average { attr: 0 }) {
+            crate::query::AnswerValue::Ratio(Some(avg)) => {
+                assert!((avg - sum as f64 / matching.len() as f64).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn point_query_rejects_range_predicate() {
+        let (system, user, _) = setup(false);
+        let query = Query {
+            aggregate: Aggregate::Count,
+            predicate: Predicate::Range {
+                dims: Some(vec![1]),
+                observation: None,
+                time_start: 0,
+                time_end: 100,
+            },
+        };
+        assert!(matches!(
+            system.point_query(&user, &query),
+            Err(CoreError::InvalidQuery { .. })
+        ));
+    }
+}

@@ -1,0 +1,95 @@
+//! # Concealer
+//!
+//! A reproduction of *"Concealer: SGX-based Secure, Volume Hiding, and
+//! Verifiable Processing of Spatial Time-Series Datasets"* (EDBT 2021).
+//!
+//! Concealer lets a trusted **data provider** outsource encrypted spatial
+//! time-series data to an untrusted **service provider** that hosts a
+//! trusted-execution enclave, such that:
+//!
+//! * the data is encrypted with a *deterministic* scheme that an ordinary
+//!   DBMS B-tree index can serve (no custom index structures at the server),
+//! * every query fetches a **fixed-size bin** of tuples, so the output size
+//!   never leaks the data distribution (volume hiding),
+//! * the enclave can optionally process fetched tuples **obliviously**
+//!   ("Concealer+"), defending against SGX side channels,
+//! * the data provider can attach hash-chain tags so the enclave can
+//!   **verify** that the service provider did not tamper with the data,
+//! * data arrives **dynamically** in epochs, with forward privacy across
+//!   epochs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use concealer_core::{
+//!     ConcealerSystem, SystemConfig, GridShape, Record, Query, Predicate, Aggregate,
+//!     FakeTupleStrategy,
+//! };
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let config = SystemConfig {
+//!     grid: GridShape { dim_buckets: vec![8], time_subintervals: 4, num_cell_ids: 16 },
+//!     epoch_duration: 3_600,
+//!     time_granularity: 60,
+//!     fake_strategy: FakeTupleStrategy::SimulateBins,
+//!     verify_integrity: true,
+//!     oblivious: false,
+//!     winsec_rows_per_interval: 2,
+//! };
+//! let mut system = ConcealerSystem::new(config, &mut rng);
+//! let user = system.register_user(7, vec![1000], true);
+//!
+//! // One epoch of data: (location, time, device-id) readings.
+//! let records: Vec<Record> = (0..100)
+//!     .map(|i| Record { dims: vec![i % 8], time: i * 36, payload: vec![1000 + (i % 5)] })
+//!     .collect();
+//! system.ingest_epoch(0, records, &mut rng).unwrap();
+//!
+//! // "How many observations at location 3 during the first half hour?"
+//! let query = Query {
+//!     aggregate: Aggregate::Count,
+//!     predicate: Predicate::Range {
+//!         dims: Some(vec![3]),
+//!         observation: None,
+//!         time_start: 0,
+//!         time_end: 1_800,
+//!     },
+//! };
+//! let answer = system.range_query(&user, &query, Default::default()).unwrap();
+//! println!("count = {:?}", answer.value);
+//! ```
+//!
+//! See `examples/` for complete applications (occupancy heat-maps, contact
+//! tracing, TPC-H analytics) and `concealer-bench` for the harness that
+//! regenerates every table and figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bins;
+pub mod codec;
+pub mod config;
+pub mod dynamic;
+pub mod engine;
+pub mod grid;
+pub mod provider;
+pub mod query;
+pub mod superbin;
+pub mod types;
+pub mod verify;
+
+mod error;
+
+pub use bins::{Bin, BinPlan};
+pub use config::{FakeTupleStrategy, GridShape, SystemConfig};
+pub use engine::{ConcealerSystem, QueryEngine, RangeMethod, RangeOptions, UserHandle};
+pub use error::CoreError;
+pub use grid::{CellCoord, Grid};
+pub use provider::{DataProvider, EpochShipment};
+pub use query::{Aggregate, Predicate, Query, QueryAnswer};
+pub use superbin::SuperBinPlan;
+pub use types::{EpochWindow, Record};
+
+/// Convenience alias for fallible Concealer calls.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,558 @@
+//! In-enclave filtering and aggregation of fetched bins (Step 4 of the BPB
+//! method, §4.2–§4.3).
+//!
+//! A fetched bin contains every tuple of several cell-ids plus fake
+//! padding; only some of those tuples satisfy the actual query predicate.
+//! The enclave therefore:
+//!
+//! 1. builds the *filter tokens* — deterministic ciphertexts of the
+//!    predicate values concatenated with each time granule in the queried
+//!    range (`E_k(l||t)`, `E_k(o||t)`), exactly mirroring what the data
+//!    provider stored in the filter columns,
+//! 2. string-matches every fetched row's filter columns against the token
+//!    set (no decryption),
+//! 3. decrypts the payload column only for rows that the aggregate actually
+//!    needs values from (counts never decrypt; sums/min/max/top-k decrypt
+//!    matching rows only).
+//!
+//! The *oblivious* variant (Concealer+) touches every row and every token
+//! unconditionally, accumulates matches branch-free, decrypts every row when
+//! any decryption is needed, and reports its work to the
+//! [`SideChannelMeter`] so indistinguishability is testable.
+
+use std::collections::HashSet;
+
+use concealer_crypto::EpochKey;
+use concealer_enclave::oblivious::{oadd_if, oeq, omove};
+use concealer_enclave::SideChannelMeter;
+use concealer_storage::EncryptedRow;
+
+use crate::codec;
+use crate::config::SystemConfig;
+use crate::query::{Accumulator, Aggregate, Predicate};
+use crate::types::EpochWindow;
+use crate::Result;
+
+/// The filter tokens and residual (post-decryption) checks for one query on
+/// one epoch.
+#[derive(Debug, Clone)]
+pub struct FilterPlan {
+    /// Tokens matched against the dimension filter column. Empty when the
+    /// predicate does not pin the indexed attributes.
+    pub dim_tokens: HashSet<Vec<u8>>,
+    /// Tokens matched against the observation filter column. Empty when the
+    /// predicate does not pin an observation.
+    pub obs_tokens: HashSet<Vec<u8>>,
+    /// Inclusive time range every matching tuple must fall in (residual
+    /// check applied after decryption when no token filter constrains the
+    /// row).
+    pub time_range: (u64, u64),
+    /// Observation value residual check (when the row must be decrypted
+    /// anyway).
+    pub observation: Option<u64>,
+    /// Whether token matching alone decides membership (true when the
+    /// predicate pins the indexed attributes or the observation).
+    pub token_decides: bool,
+}
+
+/// Build the filter plan for a predicate against one epoch window.
+#[must_use]
+pub fn build_filter_plan(
+    key: &EpochKey,
+    config: &SystemConfig,
+    predicate: &Predicate,
+    window: EpochWindow,
+) -> FilterPlan {
+    let (t_start, t_end) = predicate.time_span();
+    let lo = t_start.max(window.start);
+    let hi = t_end.min(window.end().saturating_sub(1));
+    let g = config.time_granularity.max(1);
+
+    let mut dim_tokens = HashSet::new();
+    let mut obs_tokens = HashSet::new();
+
+    if lo <= hi {
+        let first_granule = lo / g;
+        let last_granule = hi / g;
+        if let Some(dims) = predicate.dims() {
+            for granule in first_granule..=last_granule {
+                dim_tokens.insert(key.det.encrypt(&codec::filter_dims_plain(dims, granule)));
+            }
+        }
+        if let Some(obs) = predicate.observation() {
+            for granule in first_granule..=last_granule {
+                obs_tokens.insert(key.det.encrypt(&codec::filter_obs_plain(obs, granule)));
+            }
+        }
+    }
+
+    let token_decides = !dim_tokens.is_empty() || !obs_tokens.is_empty();
+    FilterPlan {
+        dim_tokens,
+        obs_tokens,
+        time_range: (t_start, t_end),
+        observation: predicate.observation(),
+        token_decides,
+    }
+}
+
+/// Filter and aggregate the rows of one fetched bin (plain variant).
+pub fn process_rows_plain(
+    key: &EpochKey,
+    plan: &FilterPlan,
+    aggregate: &Aggregate,
+    rows: &[EncryptedRow],
+    meter: &SideChannelMeter,
+) -> Result<(Accumulator, usize)> {
+    let mut acc = Accumulator::default();
+    let mut decrypted = 0usize;
+
+    for row in rows {
+        // Fake tuples never match any token and their payloads are not
+        // decryptable; skip them cheaply by token mismatch / decrypt error.
+        let token_match = row_matches_tokens(plan, row);
+        if plan.token_decides {
+            if !token_match {
+                continue;
+            }
+            if !aggregate.needs_decryption() {
+                acc.count += 1;
+                continue;
+            }
+        }
+        // Need the payload: either the aggregate requires values, or the
+        // predicate could not be decided by tokens alone.
+        let Ok(plain) = key.det.decrypt(&row.payload) else {
+            continue; // fake tuple
+        };
+        decrypted += 1;
+        meter.add_decryptions(1);
+        let (dims, time, payload) = codec::decode_payload_plain(&plain)?;
+        if !plan.token_decides {
+            if time < plan.time_range.0 || time > plan.time_range.1 {
+                continue;
+            }
+            if let Some(obs) = plan.observation {
+                if payload.first().copied() != Some(obs) {
+                    continue;
+                }
+            }
+        }
+        fold_record(&mut acc, aggregate, &dims, &payload);
+    }
+    Ok((acc, decrypted))
+}
+
+/// Filter and aggregate obliviously (Concealer+): every row and every token
+/// is touched; the number of decryptions equals the number of rows whenever
+/// any decryption is needed at all.
+pub fn process_rows_oblivious(
+    key: &EpochKey,
+    plan: &FilterPlan,
+    aggregate: &Aggregate,
+    rows: &[EncryptedRow],
+    meter: &SideChannelMeter,
+) -> Result<(Accumulator, usize)> {
+    let mut acc = Accumulator::default();
+    let mut decrypted = 0usize;
+    let needs_payload = aggregate.needs_decryption() || !plan.token_decides;
+
+    for row in rows {
+        meter.add_element_touches(1);
+        // Branch-free token matching: compare against every token.
+        let mut dim_match = 0u64;
+        for token in &plan.dim_tokens {
+            meter.add_comparisons(1);
+            dim_match = omove(bytes_eq_flag(token, &row.filters[0]), 1, dim_match);
+        }
+        let mut obs_match = 0u64;
+        for token in &plan.obs_tokens {
+            meter.add_comparisons(1);
+            obs_match = omove(bytes_eq_flag(token, &row.filters[1]), 1, obs_match);
+        }
+        let dim_ok = if plan.dim_tokens.is_empty() { 1 } else { dim_match };
+        let obs_ok = if plan.obs_tokens.is_empty() { 1 } else { obs_match };
+        let mut matched = dim_ok & obs_ok;
+
+        if needs_payload {
+            // Decrypt every row regardless of the match flag.
+            let plain = key.det.decrypt(&row.payload).ok();
+            decrypted += 1;
+            meter.add_decryptions(1);
+            let Some(plain) = plain else {
+                // Fake rows fail authentication; they contribute nothing but
+                // the work above was already constant.
+                continue;
+            };
+            let (dims, time, payload) = codec::decode_payload_plain(&plain)?;
+            if !plan.token_decides {
+                let in_range = u64::from(time >= plan.time_range.0 && time <= plan.time_range.1);
+                let obs_ok = match plan.observation {
+                    Some(obs) => oeq(payload.first().copied().unwrap_or(u64::MAX), obs),
+                    None => 1,
+                };
+                matched = in_range & obs_ok;
+            }
+            meter.add_cmoves(4);
+            fold_record_oblivious(&mut acc, aggregate, &dims, &payload, matched);
+        } else {
+            meter.add_cmoves(1);
+            acc.count = oadd_if(matched, acc.count, 1);
+        }
+    }
+    Ok((acc, decrypted))
+}
+
+/// Whether a row's filter columns satisfy the token sets (plain variant —
+/// early exits are fine here because this path assumes a side-channel-free
+/// enclave).
+fn row_matches_tokens(plan: &FilterPlan, row: &EncryptedRow) -> bool {
+    let dim_ok = plan.dim_tokens.is_empty() || plan.dim_tokens.contains(&row.filters[0]);
+    let obs_ok = plan.obs_tokens.is_empty() || plan.obs_tokens.contains(&row.filters[1]);
+    dim_ok && obs_ok
+}
+
+/// Constant-shape byte equality: accumulates a difference mask over the full
+/// length and returns 1 when equal.
+fn bytes_eq_flag(a: &[u8], b: &[u8]) -> u64 {
+    if a.len() != b.len() {
+        // Lengths are public (all ciphertexts in a column share a width), so
+        // branching on them is not a leak.
+        return 0;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    oeq(u64::from(diff), 0)
+}
+
+fn fold_record(acc: &mut Accumulator, aggregate: &Aggregate, dims: &[u64], payload: &[u64]) {
+    acc.count += 1;
+    let attr = aggregate_attr(aggregate);
+    let value = payload.get(attr).copied().unwrap_or(0);
+    acc.sum = acc.sum.wrapping_add(value);
+    acc.min = Some(acc.min.map_or(value, |m| m.min(value)));
+    acc.max = Some(acc.max.map_or(value, |m| m.max(value)));
+    if matches!(
+        aggregate,
+        Aggregate::TopKLocations { .. } | Aggregate::LocationsWithAtLeast { .. }
+    ) {
+        *acc.per_location.entry(dims.first().copied().unwrap_or(0)).or_insert(0) += 1;
+    }
+    if matches!(aggregate, Aggregate::CollectRows) {
+        acc.rows.push(crate::types::Record {
+            dims: dims.to_vec(),
+            time: 0, // time is re-attached by the caller when needed
+            payload: payload.to_vec(),
+        });
+    }
+}
+
+fn fold_record_oblivious(
+    acc: &mut Accumulator,
+    aggregate: &Aggregate,
+    dims: &[u64],
+    payload: &[u64],
+    matched: u64,
+) {
+    acc.count = oadd_if(matched, acc.count, 1);
+    let attr = aggregate_attr(aggregate);
+    let value = payload.get(attr).copied().unwrap_or(0);
+    acc.sum = oadd_if(matched, acc.sum, value);
+    let cur_min = acc.min.unwrap_or(u64::MAX);
+    let cur_max = acc.max.unwrap_or(0);
+    let new_min = omove(matched, cur_min.min(value), cur_min);
+    let new_max = omove(matched, cur_max.max(value), cur_max);
+    if acc.count > 0 {
+        acc.min = Some(new_min);
+        acc.max = Some(new_max);
+    }
+    if matches!(
+        aggregate,
+        Aggregate::TopKLocations { .. } | Aggregate::LocationsWithAtLeast { .. }
+    ) && matched == 1
+    {
+        *acc.per_location.entry(dims.first().copied().unwrap_or(0)).or_insert(0) += 1;
+    }
+    if matches!(aggregate, Aggregate::CollectRows) && matched == 1 {
+        acc.rows.push(crate::types::Record {
+            dims: dims.to_vec(),
+            time: 0,
+            payload: payload.to_vec(),
+        });
+    }
+}
+
+fn aggregate_attr(aggregate: &Aggregate) -> usize {
+    match aggregate {
+        Aggregate::Sum { attr }
+        | Aggregate::Min { attr }
+        | Aggregate::Max { attr }
+        | Aggregate::Average { attr } => *attr,
+        _ => 0,
+    }
+}
+
+/// Re-attach exact timestamps to collected rows by decoding the payload
+/// plaintext again — helper for the engine's `CollectRows` path.
+pub fn decode_time(key: &EpochKey, row: &EncryptedRow) -> Option<u64> {
+    let plain = key.det.decrypt(&row.payload).ok()?;
+    codec::decode_payload_plain(&plain).ok().map(|(_, t, _)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use concealer_crypto::{EpochId, MasterKey};
+
+    fn key() -> EpochKey {
+        MasterKey::from_bytes([6u8; 32]).epoch_key(EpochId(0), 0)
+    }
+
+    fn config() -> SystemConfig {
+        SystemConfig::small_test()
+    }
+
+    fn window() -> EpochWindow {
+        EpochWindow { start: 0, duration: 3600 }
+    }
+
+    /// Encrypt a row exactly the way the provider does.
+    fn real_row(key: &EpochKey, loc: u64, time: u64, obs: u64) -> EncryptedRow {
+        let granule = time / config().time_granularity;
+        EncryptedRow {
+            index_key: key.det.encrypt(&codec::index_real_plain(0, 1)),
+            filters: vec![
+                key.det.encrypt(&codec::filter_dims_plain(&[loc], granule)),
+                key.det.encrypt(&codec::filter_obs_plain(obs, granule)),
+            ],
+            payload: key.det.encrypt(&codec::payload_plain(&[loc], time, &[obs])),
+        }
+    }
+
+    fn fake_row(key: &EpochKey) -> EncryptedRow {
+        EncryptedRow {
+            index_key: key.det.encrypt(&codec::index_fake_plain(1)),
+            filters: vec![vec![0u8; 41], vec![0u8; 33]],
+            payload: vec![0u8; 60],
+        }
+    }
+
+    #[test]
+    fn count_matches_without_decryption() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let rows = vec![
+            real_row(&key, 3, 100, 9),
+            real_row(&key, 3, 200, 9),
+            real_row(&key, 4, 100, 9),
+            fake_row(&key),
+        ];
+        let predicate = Predicate::Range {
+            dims: Some(vec![3]),
+            observation: None,
+            time_start: 0,
+            time_end: 3599,
+        };
+        let plan = build_filter_plan(&key, &config(), &predicate, window());
+        let (acc, decrypted) =
+            process_rows_plain(&key, &plan, &Aggregate::Count, &rows, &meter).unwrap();
+        assert_eq!(acc.count, 2);
+        assert_eq!(decrypted, 0, "count queries must not decrypt");
+    }
+
+    #[test]
+    fn sum_decrypts_only_matching_rows() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let rows = vec![
+            real_row(&key, 3, 100, 10),
+            real_row(&key, 3, 200, 20),
+            real_row(&key, 5, 100, 99),
+            fake_row(&key),
+        ];
+        let predicate = Predicate::Range {
+            dims: Some(vec![3]),
+            observation: None,
+            time_start: 0,
+            time_end: 3599,
+        };
+        let plan = build_filter_plan(&key, &config(), &predicate, window());
+        let (acc, decrypted) =
+            process_rows_plain(&key, &plan, &Aggregate::Sum { attr: 0 }, &rows, &meter).unwrap();
+        assert_eq!(acc.count, 2);
+        assert_eq!(acc.sum, 30);
+        assert_eq!(decrypted, 2);
+    }
+
+    #[test]
+    fn observation_predicate_uses_obs_tokens() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let rows = vec![
+            real_row(&key, 1, 100, 42),
+            real_row(&key, 2, 150, 42),
+            real_row(&key, 3, 100, 7),
+        ];
+        let predicate = Predicate::Range {
+            dims: None,
+            observation: Some(42),
+            time_start: 0,
+            time_end: 3599,
+        };
+        let plan = build_filter_plan(&key, &config(), &predicate, window());
+        assert!(plan.dim_tokens.is_empty());
+        assert!(!plan.obs_tokens.is_empty());
+        let (acc, _) =
+            process_rows_plain(&key, &plan, &Aggregate::Count, &rows, &meter).unwrap();
+        assert_eq!(acc.count, 2);
+    }
+
+    #[test]
+    fn unconstrained_dims_filters_on_decrypted_time() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let rows = vec![
+            real_row(&key, 1, 100, 1),
+            real_row(&key, 2, 2000, 1),
+            real_row(&key, 3, 3599, 1),
+        ];
+        let predicate = Predicate::Range {
+            dims: None,
+            observation: None,
+            time_start: 0,
+            time_end: 1000,
+        };
+        let plan = build_filter_plan(&key, &config(), &predicate, window());
+        assert!(!plan.token_decides);
+        let (acc, decrypted) = process_rows_plain(
+            &key,
+            &plan,
+            &Aggregate::TopKLocations { k: 5 },
+            &rows,
+            &meter,
+        )
+        .unwrap();
+        assert_eq!(acc.count, 1);
+        assert_eq!(decrypted, 3, "must decrypt everything to decide");
+        assert_eq!(acc.per_location.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn oblivious_matches_plain_results() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let rows = vec![
+            real_row(&key, 3, 100, 10),
+            real_row(&key, 3, 200, 20),
+            real_row(&key, 4, 100, 30),
+            fake_row(&key),
+        ];
+        for aggregate in [
+            Aggregate::Count,
+            Aggregate::Sum { attr: 0 },
+            Aggregate::Min { attr: 0 },
+            Aggregate::Max { attr: 0 },
+        ] {
+            let predicate = Predicate::Range {
+                dims: Some(vec![3]),
+                observation: None,
+                time_start: 0,
+                time_end: 3599,
+            };
+            let plan = build_filter_plan(&key, &config(), &predicate, window());
+            let (plain, _) =
+                process_rows_plain(&key, &plan, &aggregate, &rows, &meter).unwrap();
+            let (obliv, _) =
+                process_rows_oblivious(&key, &plan, &aggregate, &rows, &meter).unwrap();
+            assert_eq!(plain.count, obliv.count, "{aggregate:?}");
+            assert_eq!(plain.sum, obliv.sum, "{aggregate:?}");
+            assert_eq!(
+                plain.clone().finish(&aggregate),
+                obliv.clone().finish(&aggregate),
+                "{aggregate:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oblivious_decrypts_every_row_for_value_aggregates() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let rows = vec![
+            real_row(&key, 3, 100, 10),
+            real_row(&key, 9, 100, 20),
+            real_row(&key, 9, 200, 30),
+        ];
+        let predicate = Predicate::Range {
+            dims: Some(vec![3]),
+            observation: None,
+            time_start: 0,
+            time_end: 3599,
+        };
+        let plan = build_filter_plan(&key, &config(), &predicate, window());
+        let (_, decrypted) =
+            process_rows_oblivious(&key, &plan, &Aggregate::Sum { attr: 0 }, &rows, &meter)
+                .unwrap();
+        assert_eq!(decrypted, 3);
+    }
+
+    #[test]
+    fn oblivious_work_independent_of_predicate_selectivity() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let rows: Vec<EncryptedRow> = (0..20)
+            .map(|i| real_row(&key, i % 4, 100 + i * 10, i))
+            .collect();
+        let mk_plan = |loc: u64| {
+            build_filter_plan(
+                &key,
+                &config(),
+                &Predicate::Point { dims: vec![loc], time: 100 },
+                window(),
+            )
+        };
+        let (_, d1) = meter.measure(|| {
+            process_rows_oblivious(&key, &mk_plan(0), &Aggregate::Count, &rows, &meter).unwrap()
+        });
+        let (_, d2) = meter.measure(|| {
+            process_rows_oblivious(&key, &mk_plan(3), &Aggregate::Count, &rows, &meter).unwrap()
+        });
+        assert_eq!(d1.element_touches, d2.element_touches);
+        assert_eq!(d1.comparisons, d2.comparisons);
+        assert_eq!(d1.decryptions, d2.decryptions);
+    }
+
+    #[test]
+    fn point_predicate_single_token() {
+        let key = key();
+        let plan = build_filter_plan(
+            &key,
+            &config(),
+            &Predicate::Point { dims: vec![7], time: 120 },
+            window(),
+        );
+        assert_eq!(plan.dim_tokens.len(), 1);
+        assert!(plan.obs_tokens.is_empty());
+        assert!(plan.token_decides);
+    }
+
+    #[test]
+    fn range_outside_window_produces_no_tokens() {
+        let key = key();
+        let plan = build_filter_plan(
+            &key,
+            &config(),
+            &Predicate::Range {
+                dims: Some(vec![7]),
+                observation: None,
+                time_start: 10_000,
+                time_end: 20_000,
+            },
+            window(),
+        );
+        assert!(plan.dim_tokens.is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! Query model: predicates, aggregates, answers.
+//!
+//! Concealer supports the limited OLAP-style query repertoire the paper's
+//! Table 4 lists: aggregations (count, sum, min, max, average, top-k) with
+//! predicates over the indexed attributes, the observation attribute, and a
+//! time point or range. Queries fall into the paper's two application
+//! classes: *aggregate* applications (occupancy, heat maps, top-k locations)
+//! and *individualized* applications (a user's own past movements, keyed by
+//! an observation/device id they own).
+
+pub mod filter;
+pub mod trapdoor;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::Record;
+
+/// The selection predicate of a query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Exact indexed-attribute values at an exact time instant
+    /// (the paper's point query).
+    Point {
+        /// Values of the indexed attributes (e.g. `[location]`).
+        dims: Vec<u64>,
+        /// The time instant (seconds).
+        time: u64,
+    },
+    /// A time-range query, optionally restricted to specific indexed
+    /// attribute values and/or a specific observation value.
+    ///
+    /// * `dims: Some(values)` — queries Q1/Q5 style ("at location l…").
+    /// * `dims: None` — queries Q2/Q3 style (all locations).
+    /// * `observation: Some(o)` — queries Q4/Q5 style (individualized).
+    Range {
+        /// Indexed attribute values, or `None` for all.
+        dims: Option<Vec<u64>>,
+        /// Observation (device id) restriction, or `None`.
+        observation: Option<u64>,
+        /// Range start (inclusive, seconds).
+        time_start: u64,
+        /// Range end (inclusive, seconds).
+        time_end: u64,
+    },
+}
+
+impl Predicate {
+    /// The inclusive time span this predicate covers.
+    #[must_use]
+    pub fn time_span(&self) -> (u64, u64) {
+        match self {
+            Predicate::Point { time, .. } => (*time, *time),
+            Predicate::Range {
+                time_start,
+                time_end,
+                ..
+            } => (*time_start, *time_end),
+        }
+    }
+
+    /// The observation value this predicate pins, if any. Used to decide
+    /// whether the query needs individualized authorization.
+    #[must_use]
+    pub fn observation(&self) -> Option<u64> {
+        match self {
+            Predicate::Point { .. } => None,
+            Predicate::Range { observation, .. } => *observation,
+        }
+    }
+
+    /// The indexed-attribute values this predicate pins, if any.
+    #[must_use]
+    pub fn dims(&self) -> Option<&[u64]> {
+        match self {
+            Predicate::Point { dims, .. } => Some(dims),
+            Predicate::Range { dims, .. } => dims.as_deref(),
+        }
+    }
+}
+
+/// The aggregation requested by a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Number of matching tuples. Served purely by filter-column string
+    /// matching: no decryption needed (the paper's fastest class, see
+    /// Exp 8).
+    Count,
+    /// Sum of `payload[attr]` over matching tuples.
+    Sum {
+        /// Payload attribute index.
+        attr: usize,
+    },
+    /// Minimum of `payload[attr]` over matching tuples.
+    Min {
+        /// Payload attribute index.
+        attr: usize,
+    },
+    /// Maximum of `payload[attr]` over matching tuples.
+    Max {
+        /// Payload attribute index.
+        attr: usize,
+    },
+    /// Average of `payload[attr]` over matching tuples.
+    Average {
+        /// Payload attribute index.
+        attr: usize,
+    },
+    /// The `k` indexed-attribute values (first dimension) with the most
+    /// matching tuples (query Q2).
+    TopKLocations {
+        /// How many locations to return.
+        k: usize,
+    },
+    /// All first-dimension values with at least `threshold` matching tuples
+    /// (query Q3).
+    LocationsWithAtLeast {
+        /// The minimum count.
+        threshold: u64,
+    },
+    /// Return the matching tuples themselves (selection; used by
+    /// individualized applications).
+    CollectRows,
+}
+
+impl Aggregate {
+    /// Whether evaluating this aggregate requires decrypting the payload
+    /// column of matching tuples (everything except pure counting does).
+    #[must_use]
+    pub fn needs_decryption(&self) -> bool {
+        !matches!(self, Aggregate::Count)
+    }
+}
+
+/// A complete query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// The aggregation to compute.
+    pub aggregate: Aggregate,
+    /// The selection predicate.
+    pub predicate: Predicate,
+}
+
+/// The value part of a query answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnswerValue {
+    /// A count.
+    Count(u64),
+    /// Sum / min / max result (`None` when no tuple matched).
+    Number(Option<u64>),
+    /// An average (`None` when no tuple matched).
+    Ratio(Option<f64>),
+    /// `(first-dimension value, count)` pairs, ordered by descending count.
+    LocationCounts(Vec<(u64, u64)>),
+    /// Matching cleartext records.
+    Rows(Vec<Record>),
+}
+
+/// A query answer plus the execution metadata the evaluation section of the
+/// paper reports (rows fetched, rows decrypted, verification).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// The answer value.
+    pub value: AnswerValue,
+    /// Encrypted rows fetched from the service provider's DBMS.
+    pub rows_fetched: usize,
+    /// Rows the enclave decrypted.
+    pub rows_decrypted: usize,
+    /// Whether integrity verification ran (and passed — a failed
+    /// verification aborts the query with an error instead).
+    pub verified: bool,
+    /// Number of epochs the query touched.
+    pub epochs_touched: usize,
+}
+
+/// Partial aggregation state, merged across bins and epochs.
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    /// Matching-tuple count.
+    pub count: u64,
+    /// Sum of the aggregated payload attribute.
+    pub sum: u64,
+    /// Minimum seen.
+    pub min: Option<u64>,
+    /// Maximum seen.
+    pub max: Option<u64>,
+    /// Per-first-dimension counts.
+    pub per_location: std::collections::BTreeMap<u64, u64>,
+    /// Collected records.
+    pub rows: Vec<Record>,
+}
+
+impl Accumulator {
+    /// Fold another accumulator into this one.
+    pub fn merge(&mut self, other: Accumulator) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        for (loc, c) in other.per_location {
+            *self.per_location.entry(loc).or_insert(0) += c;
+        }
+        self.rows.extend(other.rows);
+    }
+
+    /// Produce the final answer value for `aggregate`.
+    #[must_use]
+    pub fn finish(self, aggregate: &Aggregate) -> AnswerValue {
+        match aggregate {
+            Aggregate::Count => AnswerValue::Count(self.count),
+            Aggregate::Sum { .. } => AnswerValue::Number(if self.count > 0 {
+                Some(self.sum)
+            } else {
+                None
+            }),
+            Aggregate::Min { .. } => AnswerValue::Number(self.min),
+            Aggregate::Max { .. } => AnswerValue::Number(self.max),
+            Aggregate::Average { .. } => AnswerValue::Ratio(if self.count > 0 {
+                Some(self.sum as f64 / self.count as f64)
+            } else {
+                None
+            }),
+            Aggregate::TopKLocations { k } => {
+                let mut pairs: Vec<(u64, u64)> =
+                    self.per_location.into_iter().map(|(l, c)| (l, c)).collect();
+                pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                pairs.truncate(*k);
+                AnswerValue::LocationCounts(pairs)
+            }
+            Aggregate::LocationsWithAtLeast { threshold } => {
+                let mut pairs: Vec<(u64, u64)> = self
+                    .per_location
+                    .into_iter()
+                    .filter(|(_, c)| *c >= *threshold)
+                    .collect();
+                pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                AnswerValue::LocationCounts(pairs)
+            }
+            Aggregate::CollectRows => AnswerValue::Rows(self.rows),
+        }
+    }
+}
+
+pub use self::AnswerValue as Answer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_time_span_and_accessors() {
+        let p = Predicate::Point { dims: vec![1], time: 50 };
+        assert_eq!(p.time_span(), (50, 50));
+        assert_eq!(p.dims(), Some(&[1u64][..]));
+        assert_eq!(p.observation(), None);
+
+        let r = Predicate::Range {
+            dims: None,
+            observation: Some(9),
+            time_start: 10,
+            time_end: 20,
+        };
+        assert_eq!(r.time_span(), (10, 20));
+        assert_eq!(r.dims(), None);
+        assert_eq!(r.observation(), Some(9));
+    }
+
+    #[test]
+    fn aggregate_decryption_requirements() {
+        assert!(!Aggregate::Count.needs_decryption());
+        assert!(Aggregate::Sum { attr: 0 }.needs_decryption());
+        assert!(Aggregate::TopKLocations { k: 3 }.needs_decryption());
+        assert!(Aggregate::CollectRows.needs_decryption());
+    }
+
+    #[test]
+    fn accumulator_merge_and_finish_count() {
+        let mut a = Accumulator { count: 3, ..Default::default() };
+        a.merge(Accumulator { count: 4, ..Default::default() });
+        assert_eq!(a.finish(&Aggregate::Count), AnswerValue::Count(7));
+    }
+
+    #[test]
+    fn accumulator_min_max_avg() {
+        let mut a = Accumulator::default();
+        a.merge(Accumulator {
+            count: 2,
+            sum: 30,
+            min: Some(10),
+            max: Some(20),
+            ..Default::default()
+        });
+        a.merge(Accumulator {
+            count: 1,
+            sum: 5,
+            min: Some(5),
+            max: Some(5),
+            ..Default::default()
+        });
+        assert_eq!(a.clone().finish(&Aggregate::Min { attr: 0 }), AnswerValue::Number(Some(5)));
+        assert_eq!(a.clone().finish(&Aggregate::Max { attr: 0 }), AnswerValue::Number(Some(20)));
+        assert_eq!(a.clone().finish(&Aggregate::Sum { attr: 0 }), AnswerValue::Number(Some(35)));
+        match a.finish(&Aggregate::Average { attr: 0 }) {
+            AnswerValue::Ratio(Some(v)) => assert!((v - 35.0 / 3.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_yields_none() {
+        let a = Accumulator::default();
+        assert_eq!(a.clone().finish(&Aggregate::Sum { attr: 0 }), AnswerValue::Number(None));
+        assert_eq!(a.clone().finish(&Aggregate::Min { attr: 0 }), AnswerValue::Number(None));
+        assert_eq!(a.finish(&Aggregate::Average { attr: 0 }), AnswerValue::Ratio(None));
+    }
+
+    #[test]
+    fn top_k_and_threshold() {
+        let mut a = Accumulator::default();
+        a.per_location = [(1u64, 10u64), (2, 30), (3, 20), (4, 5)].into_iter().collect();
+        assert_eq!(
+            a.clone().finish(&Aggregate::TopKLocations { k: 2 }),
+            AnswerValue::LocationCounts(vec![(2, 30), (3, 20)])
+        );
+        assert_eq!(
+            a.finish(&Aggregate::LocationsWithAtLeast { threshold: 10 }),
+            AnswerValue::LocationCounts(vec![(2, 30), (3, 20), (1, 10)])
+        );
+    }
+}

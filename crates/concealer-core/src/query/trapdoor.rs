@@ -1,0 +1,205 @@
+//! Trapdoor generation (Step 3 of the BPB method, §4.2–§4.3 of the paper).
+//!
+//! A trapdoor is the deterministic ciphertext `E_k(cid || counter)` (or
+//! `E_k(f || j)` for a fake tuple) that the DBMS index matches exactly. The
+//! plain generator simply enumerates the needed plaintexts; the *oblivious*
+//! generator (Concealer+) produces the same trapdoor set but via a
+//! data-independent schedule: it always materializes
+//! `#C_max × #max + #f_max` candidates with a validity flag, obliviously
+//! sorts so valid candidates come first, and only then truncates — so the
+//! enclave's memory/branch behaviour does not depend on which cell-ids the
+//! bin actually holds.
+
+use concealer_crypto::EpochKey;
+use concealer_enclave::sort::bitonic_sort_by_key;
+use concealer_enclave::SideChannelMeter;
+
+use crate::codec;
+
+/// Work items for trapdoor generation: which cell-ids (with their tuple
+/// counts) and which fake-id range one fetch unit needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchSpec {
+    /// `(cell_id, tuple_count)` pairs to fetch in full.
+    pub cells: Vec<(u32, u32)>,
+    /// Fake ids `[start, end)` to fetch.
+    pub fake_range: (u64, u64),
+}
+
+impl FetchSpec {
+    /// Total number of trapdoors this spec expands to.
+    #[must_use]
+    pub fn total_trapdoors(&self) -> u64 {
+        let real: u64 = self.cells.iter().map(|(_, c)| u64::from(*c)).sum();
+        real + (self.fake_range.1 - self.fake_range.0)
+    }
+}
+
+/// Generate the trapdoors for a fetch spec the straightforward way
+/// (Concealer without side-channel protection).
+#[must_use]
+pub fn generate_plain(key: &EpochKey, spec: &FetchSpec, meter: &SideChannelMeter) -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(spec.total_trapdoors() as usize);
+    for &(cid, count) in &spec.cells {
+        for counter in 1..=count {
+            out.push(key.det.encrypt(&codec::index_real_plain(cid, counter)));
+        }
+    }
+    for fake in spec.fake_range.0..spec.fake_range.1 {
+        out.push(key.det.encrypt(&codec::index_fake_plain(fake)));
+    }
+    meter.add_trapdoors(out.len() as u64);
+    out
+}
+
+/// Generate the trapdoors for a fetch spec obliviously (Concealer+,
+/// §4.3 Step 3).
+///
+/// * `max_cells` — `#C_max`, the maximum number of cell-ids any fetch unit
+///   may contain.
+/// * `max_per_cell` — `#max`, the maximum tuple count of any cell-id.
+/// * `max_fakes` — `#f_max`, the maximum fake tuples any fetch unit needs.
+///
+/// The candidate schedule — and therefore the number of encryptions, the
+/// sort network, and every memory touch — depends only on those public
+/// maxima, never on the bin's actual content.
+#[must_use]
+pub fn generate_oblivious(
+    key: &EpochKey,
+    spec: &FetchSpec,
+    max_cells: usize,
+    max_per_cell: u32,
+    max_fakes: u64,
+    meter: &SideChannelMeter,
+) -> Vec<Vec<u8>> {
+    // Candidate = (validity flag v, trapdoor bytes). Real candidates are
+    // generated for every (cell slot, counter slot) pair; slots beyond the
+    // spec's actual content carry v = 0 and a dummy-but-well-formed
+    // trapdoor.
+    let mut candidates: Vec<(u64, Vec<u8>)> =
+        Vec::with_capacity(max_cells * max_per_cell as usize + max_fakes as usize);
+
+    for cell_slot in 0..max_cells {
+        let (cid, count) = spec
+            .cells
+            .get(cell_slot)
+            .copied()
+            .unwrap_or((u32::MAX, 0));
+        for counter in 1..=max_per_cell {
+            let valid = u64::from(cell_slot < spec.cells.len() && counter <= count);
+            // Dummy slots still encrypt a syntactically valid plaintext so
+            // the work per slot is identical.
+            let trapdoor = key.det.encrypt(&codec::index_real_plain(cid, counter));
+            candidates.push((valid, trapdoor));
+        }
+    }
+
+    let fake_count = spec.fake_range.1 - spec.fake_range.0;
+    for j in 0..max_fakes {
+        let valid = u64::from(j < fake_count);
+        let fake_id = spec.fake_range.0 + (j % fake_count.max(1));
+        let trapdoor = key.det.encrypt(&codec::index_fake_plain(fake_id));
+        candidates.push((valid, trapdoor));
+    }
+
+    meter.add_trapdoors(candidates.len() as u64);
+    meter.add_element_touches(candidates.len() as u64);
+
+    // Data-independent sort: valid candidates (v = 1) first.
+    bitonic_sort_by_key(&mut candidates, meter, |(v, _)| 1 - *v);
+
+    let valid_total = spec.total_trapdoors() as usize;
+    candidates.truncate(valid_total);
+    candidates.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concealer_crypto::{EpochId, MasterKey};
+
+    fn key() -> EpochKey {
+        MasterKey::from_bytes([4u8; 32]).epoch_key(EpochId(7), 0)
+    }
+
+    fn sorted(mut v: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn plain_generates_expected_count() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let spec = FetchSpec {
+            cells: vec![(1, 3), (5, 2)],
+            fake_range: (10, 14),
+        };
+        let trapdoors = generate_plain(&key, &spec, &meter);
+        assert_eq!(trapdoors.len(), 3 + 2 + 4);
+        assert_eq!(spec.total_trapdoors(), 9);
+        // All distinct.
+        let set: std::collections::BTreeSet<&Vec<u8>> = trapdoors.iter().collect();
+        assert_eq!(set.len(), 9);
+        assert_eq!(meter.snapshot().trapdoors_generated, 9);
+    }
+
+    #[test]
+    fn oblivious_generates_same_set_as_plain() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let spec = FetchSpec {
+            cells: vec![(2, 4), (7, 1)],
+            fake_range: (3, 6),
+        };
+        let plain = generate_plain(&key, &spec, &meter);
+        let obliv = generate_oblivious(&key, &spec, 4, 6, 8, &meter);
+        assert_eq!(sorted(plain), sorted(obliv));
+    }
+
+    #[test]
+    fn oblivious_work_depends_only_on_maxima() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let spec_small = FetchSpec {
+            cells: vec![(1, 1)],
+            fake_range: (0, 1),
+        };
+        let spec_large = FetchSpec {
+            cells: vec![(1, 5), (2, 5), (3, 5)],
+            fake_range: (0, 4),
+        };
+        let (_, d1) = meter.measure(|| generate_oblivious(&key, &spec_small, 3, 5, 4, &meter));
+        let (_, d2) = meter.measure(|| generate_oblivious(&key, &spec_large, 3, 5, 4, &meter));
+        assert_eq!(d1.trapdoors_generated, d2.trapdoors_generated);
+        assert_eq!(d1.sort_steps, d2.sort_steps);
+        assert_eq!(d1.element_touches, d2.element_touches);
+    }
+
+    #[test]
+    fn empty_spec() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let spec = FetchSpec {
+            cells: vec![],
+            fake_range: (0, 0),
+        };
+        assert!(generate_plain(&key, &spec, &meter).is_empty());
+        assert!(generate_oblivious(&key, &spec, 2, 3, 2, &meter).is_empty());
+    }
+
+    #[test]
+    fn trapdoors_match_provider_side_index_keys() {
+        // The trapdoor for (cid, counter) must equal the Index ciphertext
+        // the data provider stored — that is the whole point.
+        let key = key();
+        let stored = key.det.encrypt(&codec::index_real_plain(9, 2));
+        let meter = SideChannelMeter::new();
+        let spec = FetchSpec {
+            cells: vec![(9, 2)],
+            fake_range: (0, 0),
+        };
+        let trapdoors = generate_plain(&key, &spec, &meter);
+        assert!(trapdoors.contains(&stored));
+    }
+}

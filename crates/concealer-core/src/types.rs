@@ -1,0 +1,115 @@
+//! Cleartext data model.
+
+use serde::{Deserialize, Serialize};
+
+/// One cleartext reading produced by the data provider's sensors.
+///
+/// The paper's running relation is `R(L, T, O)` — location, time,
+/// observation. To also cover the TPC-H evaluation (composite 2-D and 4-D
+/// indexes), the model generalizes to:
+///
+/// * `dims` — the values of the attributes covered by the grid index
+///   (`[location]` for the WiFi relation, `[orderkey, linenumber]` for the
+///   TPC-H 2-D index, …). Order matches [`crate::GridShape::dim_buckets`].
+/// * `time` — the reading's timestamp (seconds). For non-temporal relations
+///   the workload generator assigns a synthetic, monotonically increasing
+///   timestamp, which is also what makes the deterministic ciphertexts of
+///   repeated values distinct (Algorithm 1 encrypts `value || time`).
+/// * `payload` — every remaining attribute. By convention `payload[0]` is
+///   the *observation* (device id for WiFi), which is what observation
+///   predicates (query Q4/Q5) filter on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Values of the grid-indexed attributes.
+    pub dims: Vec<u64>,
+    /// Timestamp in seconds (absolute).
+    pub time: u64,
+    /// Remaining attribute values; `payload[0]` is the observation.
+    pub payload: Vec<u64>,
+}
+
+impl Record {
+    /// Convenience constructor for the WiFi-style three-attribute relation.
+    #[must_use]
+    pub fn spatial(location: u64, time: u64, observation: u64) -> Self {
+        Record {
+            dims: vec![location],
+            time,
+            payload: vec![observation],
+        }
+    }
+
+    /// The observation value (`payload[0]`), if any.
+    #[must_use]
+    pub fn observation(&self) -> Option<u64> {
+        self.payload.first().copied()
+    }
+}
+
+/// The absolute time window covered by one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochWindow {
+    /// Epoch start (inclusive), seconds. Also used as the epoch id.
+    pub start: u64,
+    /// Epoch duration, seconds.
+    pub duration: u64,
+}
+
+impl EpochWindow {
+    /// Epoch end (exclusive).
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.start + self.duration
+    }
+
+    /// Whether `time` falls inside this window.
+    #[must_use]
+    pub fn contains(&self, time: u64) -> bool {
+        time >= self.start && time < self.end()
+    }
+
+    /// Whether `[t_start, t_end]` (inclusive) overlaps this window.
+    #[must_use]
+    pub fn overlaps(&self, t_start: u64, t_end: u64) -> bool {
+        t_start < self.end() && t_end >= self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_constructor() {
+        let r = Record::spatial(5, 100, 777);
+        assert_eq!(r.dims, vec![5]);
+        assert_eq!(r.time, 100);
+        assert_eq!(r.observation(), Some(777));
+    }
+
+    #[test]
+    fn observation_of_empty_payload() {
+        let r = Record {
+            dims: vec![1, 2],
+            time: 0,
+            payload: vec![],
+        };
+        assert_eq!(r.observation(), None);
+    }
+
+    #[test]
+    fn epoch_window_contains_and_overlaps() {
+        let w = EpochWindow { start: 100, duration: 50 };
+        assert_eq!(w.end(), 150);
+        assert!(w.contains(100));
+        assert!(w.contains(149));
+        assert!(!w.contains(150));
+        assert!(!w.contains(99));
+
+        assert!(w.overlaps(0, 100));
+        assert!(w.overlaps(149, 200));
+        assert!(!w.overlaps(150, 200));
+        assert!(!w.overlaps(0, 99));
+        assert!(w.overlaps(120, 130));
+    }
+}

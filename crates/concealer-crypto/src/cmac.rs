@@ -1,0 +1,164 @@
+//! AES-CMAC (NIST SP 800-38B / RFC 4493).
+//!
+//! CMAC is the pseudorandom function used by the deterministic encryption
+//! mode in [`crate::det`]: the synthetic IV for a plaintext is
+//! `CMAC(k_mac, plaintext)`, which makes the whole construction
+//! deterministic (same plaintext ⇒ same ciphertext under a fixed epoch key)
+//! while remaining a secure PRF — exactly the property the paper's
+//! `E_k(value || timestamp)` columns need.
+
+use crate::aes::{Aes, Block, BLOCK_SIZE};
+
+/// AES-CMAC instance.
+#[derive(Clone)]
+pub struct Cmac {
+    cipher: Aes,
+    k1: Block,
+    k2: Block,
+}
+
+fn dbl(block: &Block) -> Block {
+    let mut out = [0u8; BLOCK_SIZE];
+    let mut carry = 0u8;
+    for i in (0..BLOCK_SIZE).rev() {
+        let b = block[i];
+        out[i] = (b << 1) | carry;
+        carry = b >> 7;
+    }
+    if carry == 1 {
+        out[BLOCK_SIZE - 1] ^= 0x87;
+    }
+    out
+}
+
+impl Cmac {
+    /// Build a CMAC instance from an already-expanded AES key.
+    #[must_use]
+    pub fn new(cipher: Aes) -> Self {
+        let zero = [0u8; BLOCK_SIZE];
+        let l = cipher.encrypt_block_copy(&zero);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        Cmac { cipher, k1, k2 }
+    }
+
+    /// Compute the CMAC tag over `message`.
+    #[must_use]
+    pub fn mac(&self, message: &[u8]) -> Block {
+        let n_blocks = if message.is_empty() {
+            1
+        } else {
+            message.len().div_ceil(BLOCK_SIZE)
+        };
+        let last_complete = !message.is_empty() && message.len() % BLOCK_SIZE == 0;
+
+        let mut x = [0u8; BLOCK_SIZE];
+        // Process all but the last block.
+        for i in 0..n_blocks - 1 {
+            let mut block = [0u8; BLOCK_SIZE];
+            block.copy_from_slice(&message[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE]);
+            for j in 0..BLOCK_SIZE {
+                x[j] ^= block[j];
+            }
+            self.cipher.encrypt_block(&mut x);
+        }
+
+        // Last block: XOR with K1 (complete) or pad + K2 (incomplete).
+        let mut last = [0u8; BLOCK_SIZE];
+        let start = (n_blocks - 1) * BLOCK_SIZE;
+        if last_complete {
+            last.copy_from_slice(&message[start..start + BLOCK_SIZE]);
+            for j in 0..BLOCK_SIZE {
+                last[j] ^= self.k1[j];
+            }
+        } else {
+            let rem = &message[start..];
+            last[..rem.len()].copy_from_slice(rem);
+            last[rem.len()] = 0x80;
+            for j in 0..BLOCK_SIZE {
+                last[j] ^= self.k2[j];
+            }
+        }
+
+        for j in 0..BLOCK_SIZE {
+            x[j] ^= last[j];
+        }
+        self.cipher.encrypt_block(&mut x);
+        x
+    }
+
+    /// Verify a tag in constant time.
+    #[must_use]
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
+        crate::ct_eq(&self.mac(message), tag)
+    }
+}
+
+/// One-shot AES-CMAC with a 16- or 32-byte key.
+#[must_use]
+pub fn aes_cmac(key: &[u8], message: &[u8]) -> Block {
+    let cipher = Aes::new(key).expect("aes_cmac: key must be 16 or 32 bytes");
+    Cmac::new(cipher).mac(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 4493 test vectors (AES-128 key).
+    const KEY: &str = "2b7e151628aed2a6abf7158809cf4f3c";
+
+    #[test]
+    fn rfc4493_empty_message() {
+        let tag = aes_cmac(&hex(KEY), b"");
+        assert_eq!(tag.to_vec(), hex("bb1d6929e95937287fa37d129b756746"));
+    }
+
+    #[test]
+    fn rfc4493_16_bytes() {
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a");
+        let tag = aes_cmac(&hex(KEY), &msg);
+        assert_eq!(tag.to_vec(), hex("070a16b46b4d4144f79bdd9dd04a287c"));
+    }
+
+    #[test]
+    fn rfc4493_40_bytes() {
+        let msg = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411");
+        let tag = aes_cmac(&hex(KEY), &msg);
+        assert_eq!(tag.to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
+    }
+
+    #[test]
+    fn rfc4493_64_bytes() {
+        let msg = hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+        );
+        let tag = aes_cmac(&hex(KEY), &msg);
+        assert_eq!(tag.to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+    }
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        let a = aes_cmac(&[1u8; 32], b"same message");
+        let b = aes_cmac(&[1u8; 32], b"same message");
+        let c = aes_cmac(&[2u8; 32], b"same message");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let cmac = Cmac::new(Aes::new_256(&[3u8; 32]));
+        let tag = cmac.mac(b"payload");
+        assert!(cmac.verify(b"payload", &tag));
+        assert!(!cmac.verify(b"payloae", &tag));
+    }
+}

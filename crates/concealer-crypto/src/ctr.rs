@@ -1,0 +1,175 @@
+//! Randomized AES-CTR encryption (the paper's `E^nd`, non-deterministic
+//! encryption).
+//!
+//! The `cell_id[]` and `c_tuple[]` vectors, the verifiable tags, and the
+//! fake-tuple payloads are encrypted with a *non-deterministic* scheme so
+//! that the adversary cannot correlate them across epochs. This module
+//! implements AES-CTR with a random 16-byte nonce prefixed to the
+//! ciphertext, plus an HMAC-SHA-256 tag (encrypt-then-MAC) so that tampering
+//! with the metadata vectors is detected just like tampering with tuples.
+
+use crate::aes::{Aes, BLOCK_SIZE};
+use crate::hmac::hmac_sha256;
+use crate::{CryptoError, Result};
+use rand::RngCore;
+
+/// Length of the random nonce prefixed to each ciphertext.
+pub const NONCE_SIZE: usize = 16;
+/// Length of the authentication tag appended to each ciphertext.
+pub const TAG_SIZE: usize = 32;
+
+/// Randomized authenticated encryption: AES-CTR + HMAC-SHA-256
+/// (encrypt-then-MAC).
+#[derive(Clone)]
+pub struct RandomizedCipher {
+    enc: Aes,
+    mac_key: [u8; 32],
+}
+
+impl RandomizedCipher {
+    /// Build a cipher from independent encryption and MAC keys.
+    #[must_use]
+    pub fn new(enc_key: &[u8; 32], mac_key: &[u8; 32]) -> Self {
+        RandomizedCipher {
+            enc: Aes::new_256(enc_key),
+            mac_key: *mac_key,
+        }
+    }
+
+    /// Encrypt `plaintext` with a nonce drawn from `rng`.
+    ///
+    /// Output layout: `nonce (16) || ciphertext (len) || tag (32)`.
+    #[must_use]
+    pub fn encrypt<R: RngCore>(&self, rng: &mut R, plaintext: &[u8]) -> Vec<u8> {
+        let mut nonce = [0u8; NONCE_SIZE];
+        rng.fill_bytes(&mut nonce);
+        self.encrypt_with_nonce(&nonce, plaintext)
+    }
+
+    /// Encrypt with an explicit nonce (exposed for tests; production callers
+    /// should use [`RandomizedCipher::encrypt`]).
+    #[must_use]
+    pub fn encrypt_with_nonce(&self, nonce: &[u8; NONCE_SIZE], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(NONCE_SIZE + plaintext.len() + TAG_SIZE);
+        out.extend_from_slice(nonce);
+        out.extend_from_slice(plaintext);
+        self.keystream_xor(nonce, &mut out[NONCE_SIZE..]);
+        let tag = hmac_sha256(&self.mac_key, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypt and verify a ciphertext produced by [`RandomizedCipher::encrypt`].
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>> {
+        if ciphertext.len() < NONCE_SIZE + TAG_SIZE {
+            return Err(CryptoError::MalformedCiphertext {
+                reason: "shorter than nonce + tag",
+            });
+        }
+        let (body, tag) = ciphertext.split_at(ciphertext.len() - TAG_SIZE);
+        let expected = hmac_sha256(&self.mac_key, body);
+        if !crate::ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let nonce: [u8; NONCE_SIZE] = body[..NONCE_SIZE].try_into().expect("checked length");
+        let mut plaintext = body[NONCE_SIZE..].to_vec();
+        self.keystream_xor(&nonce, &mut plaintext);
+        Ok(plaintext)
+    }
+
+    /// XOR `data` with the CTR keystream derived from `nonce`.
+    fn keystream_xor(&self, nonce: &[u8; NONCE_SIZE], data: &mut [u8]) {
+        let mut counter_block = *nonce;
+        let mut offset = 0usize;
+        let mut counter: u32 = 0;
+        while offset < data.len() {
+            // Counter occupies the last 4 bytes (big-endian), added to the nonce.
+            let mut block = counter_block;
+            let base = u32::from_be_bytes([block[12], block[13], block[14], block[15]]);
+            let ctr = base.wrapping_add(counter);
+            block[12..16].copy_from_slice(&ctr.to_be_bytes());
+            self.enc.encrypt_block(&mut block);
+            let take = BLOCK_SIZE.min(data.len() - offset);
+            for i in 0..take {
+                data[offset + i] ^= block[i];
+            }
+            offset += take;
+            counter = counter.wrapping_add(1);
+            // keep counter_block as the original nonce
+            counter_block = *nonce;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cipher() -> RandomizedCipher {
+        RandomizedCipher::new(&[11u8; 32], &[22u8; 32])
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let ct = c.encrypt(&mut rng, &plaintext);
+            assert_eq!(ct.len(), NONCE_SIZE + len + TAG_SIZE);
+            assert_eq!(c.decrypt(&ct).unwrap(), plaintext, "len {len}");
+        }
+    }
+
+    #[test]
+    fn same_plaintext_different_ciphertexts() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = c.encrypt(&mut rng, b"identical plaintext");
+        let b = c.encrypt(&mut rng, b"identical plaintext");
+        assert_ne!(a, b, "randomized encryption must not be deterministic");
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ct = c.encrypt(&mut rng, b"important metadata");
+        // Flip a ciphertext byte.
+        let mid = NONCE_SIZE + 3;
+        ct[mid] ^= 0x01;
+        assert_eq!(c.decrypt(&ct), Err(CryptoError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ct = c.encrypt(&mut rng, b"important metadata");
+        assert!(c.decrypt(&ct[..ct.len() - 1]).is_err());
+        assert!(matches!(
+            c.decrypt(&ct[..10]),
+            Err(CryptoError::MalformedCiphertext { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let c = cipher();
+        let other = RandomizedCipher::new(&[11u8; 32], &[23u8; 32]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ct = c.encrypt(&mut rng, b"data");
+        assert_eq!(other.decrypt(&ct), Err(CryptoError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn explicit_nonce_is_deterministic_for_tests() {
+        let c = cipher();
+        let nonce = [7u8; NONCE_SIZE];
+        let a = c.encrypt_with_nonce(&nonce, b"abc");
+        let b = c.encrypt_with_nonce(&nonce, b"abc");
+        assert_eq!(a, b);
+    }
+}

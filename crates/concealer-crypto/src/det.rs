@@ -1,0 +1,210 @@
+//! Deterministic authenticated encryption (the paper's `E_k`, DET).
+//!
+//! Concealer's Algorithm 1 requires an encryption function with two
+//! properties:
+//!
+//! 1. **Determinism within an epoch** — the enclave must be able to
+//!    regenerate exactly the same ciphertext as the data provider for a
+//!    given `cid || counter` (to form trapdoors) or `location || time`
+//!    (to form filters), using only the shared epoch key.
+//! 2. **Ciphertext indistinguishability across tuples** — because every
+//!    plaintext fed to `E_k` is concatenated with a timestamp (or a running
+//!    counter), no two tuples ever encrypt the same plaintext, so the
+//!    determinism never exposes equality of the underlying location /
+//!    observation values.
+//!
+//! The construction here is an SIV-style deterministic AEAD:
+//!
+//! ```text
+//! siv = CMAC(k_mac, plaintext)                 // synthetic IV, 16 bytes
+//! ct  = CTR(k_enc, iv = siv, plaintext)
+//! out = siv || ct
+//! ```
+//!
+//! Decryption recomputes the CMAC over the recovered plaintext and checks it
+//! against the transmitted SIV, giving integrity for free.
+//!
+//! For the *searchable* columns (the `Index` column and the filter columns)
+//! the full ciphertext is used as an opaque, fixed-derivation byte string:
+//! equality of trapdoor and stored value is what the DBMS index matches on.
+
+use crate::aes::{Aes, BLOCK_SIZE};
+use crate::cmac::Cmac;
+use crate::{CryptoError, Result};
+
+/// Length of the synthetic IV prepended to every DET ciphertext.
+pub const SIV_SIZE: usize = BLOCK_SIZE;
+
+/// Deterministic authenticated cipher (AES-CMAC-SIV).
+#[derive(Clone)]
+pub struct DeterministicCipher {
+    cmac: Cmac,
+    enc: Aes,
+}
+
+impl std::fmt::Debug for DeterministicCipher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeterministicCipher").finish_non_exhaustive()
+    }
+}
+
+impl DeterministicCipher {
+    /// Build a deterministic cipher from independent MAC and encryption keys.
+    #[must_use]
+    pub fn new(mac_key: &[u8; 32], enc_key: &[u8; 32]) -> Self {
+        DeterministicCipher {
+            cmac: Cmac::new(Aes::new_256(mac_key)),
+            enc: Aes::new_256(enc_key),
+        }
+    }
+
+    /// Deterministically encrypt `plaintext`.
+    ///
+    /// Output layout: `siv (16) || ciphertext (len)`. Calling this twice
+    /// with the same key and plaintext yields byte-identical output.
+    #[must_use]
+    pub fn encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
+        let siv = self.cmac.mac(plaintext);
+        let mut out = Vec::with_capacity(SIV_SIZE + plaintext.len());
+        out.extend_from_slice(&siv);
+        out.extend_from_slice(plaintext);
+        self.keystream_xor(&siv, &mut out[SIV_SIZE..]);
+        out
+    }
+
+    /// Decrypt and authenticate a ciphertext produced by [`Self::encrypt`].
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>> {
+        if ciphertext.len() < SIV_SIZE {
+            return Err(CryptoError::MalformedCiphertext {
+                reason: "shorter than synthetic IV",
+            });
+        }
+        let (siv_bytes, body) = ciphertext.split_at(SIV_SIZE);
+        let siv: [u8; SIV_SIZE] = siv_bytes.try_into().expect("checked length");
+        let mut plaintext = body.to_vec();
+        self.keystream_xor(&siv, &mut plaintext);
+        let expected = self.cmac.mac(&plaintext);
+        if !crate::ct_eq(&expected, &siv) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        Ok(plaintext)
+    }
+
+    /// Produce a *searchable token* for `plaintext`: the deterministic
+    /// ciphertext itself. The enclave uses this to generate trapdoors that
+    /// match the values the data provider stored in the indexed column.
+    #[must_use]
+    pub fn token(&self, plaintext: &[u8]) -> Vec<u8> {
+        self.encrypt(plaintext)
+    }
+
+    fn keystream_xor(&self, iv: &[u8; SIV_SIZE], data: &mut [u8]) {
+        let mut offset = 0usize;
+        let mut counter: u64 = 0;
+        while offset < data.len() {
+            let mut block = *iv;
+            // Mix the counter into the low 8 bytes of the IV copy.
+            let low = u64::from_be_bytes(block[8..16].try_into().expect("8 bytes"));
+            block[8..16].copy_from_slice(&low.wrapping_add(counter).to_be_bytes());
+            self.enc.encrypt_block(&mut block);
+            let take = BLOCK_SIZE.min(data.len() - offset);
+            for i in 0..take {
+                data[offset + i] ^= block[i];
+            }
+            offset += take;
+            counter = counter.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cipher() -> DeterministicCipher {
+        DeterministicCipher::new(&[1u8; 32], &[2u8; 32])
+    }
+
+    #[test]
+    fn deterministic_for_identical_inputs() {
+        let c = cipher();
+        assert_eq!(c.encrypt(b"loc-17||t=100"), c.encrypt(b"loc-17||t=100"));
+    }
+
+    #[test]
+    fn distinct_inputs_give_distinct_ciphertexts() {
+        let c = cipher();
+        assert_ne!(c.encrypt(b"loc-17||t=100"), c.encrypt(b"loc-17||t=101"));
+        assert_ne!(c.encrypt(b"cid-4||1"), c.encrypt(b"cid-4||2"));
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = cipher();
+        let b = DeterministicCipher::new(&[1u8; 32], &[3u8; 32]);
+        let d = DeterministicCipher::new(&[4u8; 32], &[2u8; 32]);
+        assert_ne!(a.encrypt(b"v"), b.encrypt(b"v"));
+        assert_ne!(a.encrypt(b"v"), d.encrypt(b"v"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = cipher();
+        for msg in [&b""[..], b"a", b"exactly sixteen!", b"a longer message spanning multiple aes blocks, yes indeed"] {
+            let ct = c.encrypt(msg);
+            assert_eq!(c.decrypt(&ct).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let c = cipher();
+        let mut ct = c.encrypt(b"the real tuple payload");
+        ct[SIV_SIZE + 2] ^= 0xff;
+        assert_eq!(c.decrypt(&ct), Err(CryptoError::AuthenticationFailed));
+        let mut ct2 = c.encrypt(b"the real tuple payload");
+        ct2[0] ^= 0x01; // corrupt the SIV
+        assert_eq!(c.decrypt(&ct2), Err(CryptoError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let c = cipher();
+        assert!(matches!(
+            c.decrypt(&[0u8; 5]),
+            Err(CryptoError::MalformedCiphertext { .. })
+        ));
+    }
+
+    #[test]
+    fn token_equals_encrypt() {
+        let c = cipher();
+        assert_eq!(c.token(b"cid7||3"), c.encrypt(b"cid7||3"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let c = cipher();
+            let ct = c.encrypt(&msg);
+            prop_assert_eq!(c.decrypt(&ct).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_deterministic(msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let c = cipher();
+            prop_assert_eq!(c.encrypt(&msg), c.encrypt(&msg));
+        }
+
+        #[test]
+        fn prop_distinct_messages_distinct_ciphertexts(
+            a in proptest::collection::vec(any::<u8>(), 0..128),
+            b in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            prop_assume!(a != b);
+            let c = cipher();
+            prop_assert_ne!(c.encrypt(&a), c.encrypt(&b));
+        }
+    }
+}

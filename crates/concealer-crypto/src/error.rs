@@ -1,0 +1,68 @@
+//! Error type shared by all primitives in this crate.
+
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A key of unsupported length was supplied to a cipher.
+    InvalidKeyLength {
+        /// The length that was supplied.
+        got: usize,
+        /// Human-readable list of accepted lengths.
+        expected: &'static str,
+    },
+    /// Ciphertext is malformed (too short to contain the tag/nonce, or not a
+    /// whole number of blocks where required).
+    MalformedCiphertext {
+        /// Description of what was wrong.
+        reason: &'static str,
+    },
+    /// Authentication failed: the tag did not verify, meaning the ciphertext
+    /// was corrupted or produced under a different key.
+    AuthenticationFailed,
+    /// A caller asked for an output length this primitive cannot produce.
+    InvalidOutputLength {
+        /// The requested length.
+        requested: usize,
+        /// The maximum supported length.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidKeyLength { got, expected } => {
+                write!(f, "invalid key length {got}, expected {expected}")
+            }
+            CryptoError::MalformedCiphertext { reason } => {
+                write!(f, "malformed ciphertext: {reason}")
+            }
+            CryptoError::AuthenticationFailed => write!(f, "authentication failed"),
+            CryptoError::InvalidOutputLength { requested, max } => {
+                write!(f, "invalid output length {requested} (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CryptoError::InvalidKeyLength {
+            got: 7,
+            expected: "16 or 32",
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains("16 or 32"));
+
+        let e = CryptoError::AuthenticationFailed;
+        assert_eq!(e.to_string(), "authentication failed");
+    }
+}

@@ -1,0 +1,142 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by the key-derivation function ([`crate::kdf`]) that turns the
+//! DP↔SGX shared secret `sk` plus an epoch id into the per-epoch key the
+//! paper calls `k ← sk || eid`, and by the small-domain PRF behind the grid
+//! hash `H`.
+
+use crate::sha256::{Digest, Sha256, DIGEST_SIZE};
+
+const BLOCK_SIZE: usize = 64;
+
+/// Streaming HMAC-SHA-256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key_pad: [u8; BLOCK_SIZE],
+}
+
+impl HmacSha256 {
+    /// Create an HMAC instance keyed with `key` (any length).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_SIZE];
+        if key.len() > BLOCK_SIZE {
+            let digest = crate::sha256::sha256(key);
+            key_block[..DIGEST_SIZE].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0u8; BLOCK_SIZE];
+        let mut opad = [0u8; BLOCK_SIZE];
+        for i in 0..BLOCK_SIZE {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            outer_key_pad: opad,
+        }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and return the 32-byte tag.
+    #[must_use]
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key_pad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA-256.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Verify a tag in constant time.
+#[must_use]
+pub fn verify_hmac_sha256(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    crate::ct_eq(&hmac_sha256(key, message), tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0b_u8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_3() {
+        let key = [0xaa_u8; 20];
+        let msg = [0xdd_u8; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaa_u8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"key", b"msg");
+        assert!(verify_hmac_sha256(b"key", b"msg", &tag));
+        assert!(!verify_hmac_sha256(b"key", b"msg2", &tag));
+        assert!(!verify_hmac_sha256(b"key2", b"msg", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!verify_hmac_sha256(b"key", b"msg", &bad));
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"part one ");
+        mac.update(b"part two");
+        assert_eq!(mac.finalize(), hmac_sha256(b"k", b"part one part two"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the enclave simulation.
+
+use std::fmt;
+
+/// Errors raised by the simulated enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnclaveError {
+    /// The user is not present in the registry DP provisioned.
+    UnknownUser,
+    /// The user exists but the presented credential did not verify.
+    AuthenticationFailed,
+    /// An authenticated user asked for data outside their authorization
+    /// scope (e.g. an individualized query over someone else's device).
+    Unauthorized {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The registry blob could not be decrypted / parsed.
+    CorruptRegistry,
+    /// A cryptographic operation failed inside the enclave.
+    Crypto(concealer_crypto::CryptoError),
+}
+
+impl fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnclaveError::UnknownUser => write!(f, "unknown user"),
+            EnclaveError::AuthenticationFailed => write!(f, "user authentication failed"),
+            EnclaveError::Unauthorized { reason } => write!(f, "unauthorized: {reason}"),
+            EnclaveError::CorruptRegistry => write!(f, "registry blob is corrupt"),
+            EnclaveError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnclaveError {}
+
+impl From<concealer_crypto::CryptoError> for EnclaveError {
+    fn from(e: concealer_crypto::CryptoError) -> Self {
+        EnclaveError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(EnclaveError::UnknownUser.to_string(), "unknown user");
+        let e: EnclaveError = concealer_crypto::CryptoError::AuthenticationFailed.into();
+        assert!(e.to_string().contains("crypto error"));
+        assert!(EnclaveError::Unauthorized { reason: "not your data" }
+            .to_string()
+            .contains("not your data"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated SGX enclave for the Concealer system.
+//!
+//! The paper runs its query-execution logic inside an Intel SGX enclave at
+//! the untrusted service provider. This crate substitutes a *software
+//! simulation* of that trusted region (see DESIGN.md for the substitution
+//! argument). What the simulation preserves — and what the paper's security
+//! argument actually depends on — is:
+//!
+//! * the **boundary**: the only state the untrusted side can read is what
+//!   crosses the boundary explicitly (trapdoors, fetched rows); key material
+//!   stays inside [`Enclave`];
+//! * **user authentication** against the encrypted registry DP provisions
+//!   (requirement R2 of the paper), in [`registry`];
+//! * **oblivious in-enclave computation** for Concealer+: the branch-free
+//!   [`oblivious::omove`] / [`oblivious::ogreater`] operators of
+//!   Ohrimenko et al. that the paper adopts (§4.3, Fig. 2), plus
+//!   data-independent [`sort::bitonic_sort_by_key`] and
+//!   [`sort::column_sort_by_key`];
+//! * a [`meter::SideChannelMeter`] that records the *shape* of in-enclave
+//!   computation (comparisons, swaps, memory touches) so tests can assert
+//!   that two executions over different query predicates are
+//!   indistinguishable — the simulation's stand-in for "no cache-line /
+//!   branch-shadow leakage".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enclave;
+pub mod meter;
+pub mod oblivious;
+pub mod registry;
+pub mod sort;
+
+mod error;
+
+pub use enclave::{Enclave, EnclaveConfig, Session};
+pub use error::EnclaveError;
+pub use meter::{MeterSnapshot, SideChannelMeter};
+pub use registry::{Credential, QueryScope, RegisteredUser, UserId, UserRegistry};
+
+/// Convenience alias for fallible enclave calls.
+pub type Result<T> = std::result::Result<T, EnclaveError>;

@@ -1,0 +1,405 @@
+//! Data-independent (oblivious) sorting.
+//!
+//! §4.3 of the paper sorts trapdoor lists and fetched tuples with a
+//! *data-independent* sorting algorithm so that the enclave's memory-access
+//! pattern does not depend on which tuples matched the query: bitonic sort
+//! (Batcher 1968) when everything fits in the enclave, and Leighton's
+//! column sort when it does not (footnote 5 of the paper). Both are
+//! implemented here over a generic element type with a `u64` sort key
+//! extracted up front, and both report every compare-exchange step to the
+//! [`SideChannelMeter`] so tests can check the step count depends only on
+//! the input *length*, never on the key values.
+
+use crate::meter::SideChannelMeter;
+use crate::oblivious::{ogreater, oswap_u64};
+
+/// Tag value marking padding / sentinel entries inside the sorting networks.
+const SENTINEL_TAG: u64 = u64::MAX;
+
+/// Sort `items` in ascending order of `key(item)` using a bitonic sorting
+/// network. The sequence of compare-exchange positions depends only on
+/// `items.len()`, never on the key values.
+///
+/// Inputs whose length is not a power of two are padded with
+/// maximal-key sentinels; sentinels are tagged and stripped after the
+/// network runs, so duplicate keys (including `u64::MAX`) are handled
+/// correctly.
+pub fn bitonic_sort_by_key<T, F>(items: &mut [T], meter: &SideChannelMeter, key: F)
+where
+    F: Fn(&T) -> u64,
+{
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    let mut pairs: Vec<(u64, u64)> = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| (key(item), i as u64))
+        .collect();
+    bitonic_network(&mut pairs, meter);
+    let perm: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+    apply_permutation(items, &perm);
+}
+
+/// Run the bitonic network over `(key, tag)` pairs. The network pads the
+/// working arrays to a power of two with its own marked padding entries and
+/// strips them again afterwards, so on return `pairs` holds exactly the
+/// caller's entries in non-decreasing key order — even when caller keys tie
+/// with the padding key (`u64::MAX`).
+fn bitonic_network(pairs: &mut Vec<(u64, u64)>, meter: &SideChannelMeter) {
+    let n = pairs.len();
+    if n <= 1 {
+        return;
+    }
+    let padded = n.next_power_of_two();
+
+    let mut keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+    let mut tags: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+    // 1 for caller entries, 0 for the network's own padding; travels with
+    // the entry through every compare-exchange so padding can be stripped
+    // without relying on key or tag values.
+    let mut real: Vec<u64> = vec![1; n];
+    keys.resize(padded, u64::MAX);
+    tags.resize(padded, SENTINEL_TAG);
+    real.resize(padded, 0);
+
+    let mut steps = 0u64;
+    let mut k = 2;
+    while k <= padded {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..padded {
+                let l = i ^ j;
+                if l > i {
+                    let ascending = (i & k) == 0;
+                    let out_of_order = if ascending {
+                        ogreater(keys[i], keys[l])
+                    } else {
+                        ogreater(keys[l], keys[i])
+                    };
+                    {
+                        let (lo, hi) = keys.split_at_mut(l);
+                        oswap_u64(out_of_order, &mut lo[i], &mut hi[0]);
+                    }
+                    {
+                        let (lo, hi) = tags.split_at_mut(l);
+                        oswap_u64(out_of_order, &mut lo[i], &mut hi[0]);
+                    }
+                    {
+                        let (lo, hi) = real.split_at_mut(l);
+                        oswap_u64(out_of_order, &mut lo[i], &mut hi[0]);
+                    }
+                    steps += 1;
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    meter.add_sort_steps(steps);
+    meter.add_comparisons(steps);
+    meter.add_cmoves(2 * steps);
+
+    pairs.clear();
+    pairs.extend(
+        (0..padded)
+            .filter(|&i| real[i] == 1)
+            .map(|i| (keys[i], tags[i])),
+    );
+    debug_assert_eq!(pairs.len(), n);
+}
+
+/// Collect the original indices of the non-sentinel entries, in sorted
+/// order. Exactly `n` such entries must exist.
+fn extract_permutation(pairs: &[(u64, u64)], n: usize) -> Vec<u64> {
+    let perm: Vec<u64> = pairs
+        .iter()
+        .filter(|p| p.1 != SENTINEL_TAG)
+        .map(|p| p.1)
+        .collect();
+    debug_assert_eq!(perm.len(), n, "sorting network lost elements");
+    perm
+}
+
+/// Sort `items` with Leighton's column sort, the algorithm the paper uses
+/// when the working set exceeds enclave memory (footnote 5). The data is
+/// laid out as an `r × s` matrix (`r` divisible by `s`, `r ≥ 2(s-1)²`)
+/// stored column-major and sorted with the eight fixed columnsort passes;
+/// the access pattern depends only on the length.
+///
+/// Falls back to a single bitonic sort when the input is too small for a
+/// valid column-sort geometry — the fallback is still data-independent.
+pub fn column_sort_by_key<T, F>(items: &mut [T], meter: &SideChannelMeter, key: F)
+where
+    F: Fn(&T) -> u64,
+{
+    let n = items.len();
+    let Some((r, s)) = column_sort_geometry(n) else {
+        bitonic_sort_by_key(items, meter, key);
+        return;
+    };
+
+    // (key, original index) pairs stored column-major, padded to r*s with
+    // high sentinels.
+    let mut pairs: Vec<(u64, u64)> = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| (key(item), i as u64))
+        .collect();
+    pairs.resize(r * s, (u64::MAX, SENTINEL_TAG));
+
+    let sort_columns = |pairs: &mut [(u64, u64)], meter: &SideChannelMeter| {
+        for c in 0..pairs.len() / r {
+            let col = &mut pairs[c * r..(c + 1) * r];
+            let mut col_vec = col.to_vec();
+            bitonic_network(&mut col_vec, meter);
+            col.copy_from_slice(&col_vec);
+        }
+    };
+
+    // Steps 1-2: sort columns, transpose.
+    sort_columns(&mut pairs, meter);
+    pairs = transpose_cm(&pairs, r, s);
+    // Steps 3-4: sort columns, untranspose.
+    sort_columns(&mut pairs, meter);
+    pairs = untranspose_cm(&pairs, r, s);
+    // Steps 5-6: sort columns, shift down by r/2 into an r×(s+1) matrix.
+    sort_columns(&mut pairs, meter);
+    let mut shifted = shift_cm(&pairs, r);
+    // Step 7: sort columns of the shifted matrix.
+    sort_columns(&mut shifted, meter);
+    // Step 8 (unshift) + extraction: the real elements now appear in sorted
+    // order; sentinels are stripped by tag.
+    let perm = extract_permutation(&shifted, n);
+    apply_permutation(items, &perm);
+}
+
+/// Pick a valid column-sort geometry `(rows, cols)` for `n` elements:
+/// `rows * cols >= n`, `cols >= 2`, `rows % cols == 0`, `rows >= 2*(cols-1)^2`.
+fn column_sort_geometry(n: usize) -> Option<(usize, usize)> {
+    if n < 8 {
+        return None;
+    }
+    for s in [8usize, 4, 2] {
+        let min_r = (2 * (s - 1) * (s - 1)).max(s);
+        let mut r = n.div_ceil(s).max(min_r);
+        r = r.div_ceil(s) * s;
+        if r * s >= n {
+            return Some((r, s));
+        }
+    }
+    None
+}
+
+/// Columnsort step 2: pick the entries up in column-major order and lay
+/// them back down in row-major order (keeping the `r × s` shape, stored
+/// column-major).
+fn transpose_cm(pairs: &[(u64, u64)], r: usize, s: usize) -> Vec<(u64, u64)> {
+    let mut out = vec![(0u64, 0u64); r * s];
+    for (j, p) in pairs.iter().enumerate() {
+        let row = j / s;
+        let col = j % s;
+        out[col * r + row] = *p;
+    }
+    out
+}
+
+/// Columnsort step 4: the inverse of [`transpose_cm`] — pick up in
+/// row-major order, lay down in column-major order.
+fn untranspose_cm(pairs: &[(u64, u64)], r: usize, s: usize) -> Vec<(u64, u64)> {
+    let mut out = vec![(0u64, 0u64); r * s];
+    for (j, slot) in out.iter_mut().enumerate() {
+        let row = j / s;
+        let col = j % s;
+        *slot = pairs[col * r + row];
+    }
+    out
+}
+
+/// Columnsort step 6: shift every entry down by `r/2` positions in flat
+/// column-major order, filling the vacated top half of the first column
+/// with minimal sentinels and the bottom half of the new last column with
+/// maximal sentinels. The result is an `r × (s+1)` matrix.
+fn shift_cm(pairs: &[(u64, u64)], r: usize) -> Vec<(u64, u64)> {
+    let half = r / 2;
+    let mut out = Vec::with_capacity(pairs.len() + r);
+    out.extend(std::iter::repeat((0u64, SENTINEL_TAG)).take(half));
+    out.extend_from_slice(pairs);
+    out.extend(std::iter::repeat((u64::MAX, SENTINEL_TAG)).take(r - half));
+    out
+}
+
+/// Reorder `items` so that output position `i` receives the input element
+/// at `perm[i]`. Runs in place via cycle-following on the inverse
+/// permutation, so no `Clone` bound is required.
+fn apply_permutation<T>(items: &mut [T], perm: &[u64]) {
+    let n = items.len();
+    debug_assert_eq!(perm.len(), n);
+    // inverse[src] = dest
+    let mut inverse = vec![0usize; n];
+    for (dest, &src) in perm.iter().enumerate() {
+        inverse[src as usize] = dest;
+    }
+    for start in 0..n {
+        while inverse[start] != start {
+            let dest = inverse[start];
+            items.swap(start, dest);
+            inverse.swap(start, dest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bitonic_sorts_various_lengths() {
+        let meter = SideChannelMeter::new();
+        for n in [0usize, 1, 2, 3, 4, 7, 8, 9, 15, 16, 17, 100, 255, 256, 1000] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+            let mut v: Vec<u64> = (0..n as u64).collect();
+            v.shuffle(&mut rng);
+            bitonic_sort_by_key(&mut v, &meter, |x| *x);
+            let expect: Vec<u64> = (0..n as u64).collect();
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bitonic_handles_extreme_keys() {
+        let meter = SideChannelMeter::new();
+        let mut v = vec![u64::MAX, 0, u64::MAX, 5, 0, u64::MAX - 1];
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        bitonic_sort_by_key(&mut v, &meter, |x| *x);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn bitonic_sort_step_count_depends_only_on_length() {
+        let meter = SideChannelMeter::new();
+        let mut sorted: Vec<u64> = (0..100).collect();
+        let (_, d1) = meter.measure(|| bitonic_sort_by_key(&mut sorted, &meter, |x| *x));
+
+        let mut reversed: Vec<u64> = (0..100).rev().collect();
+        let (_, d2) = meter.measure(|| bitonic_sort_by_key(&mut reversed, &meter, |x| *x));
+
+        let mut constant: Vec<u64> = vec![7; 100];
+        let (_, d3) = meter.measure(|| bitonic_sort_by_key(&mut constant, &meter, |x| *x));
+
+        assert_eq!(d1.sort_steps, d2.sort_steps);
+        assert_eq!(d2.sort_steps, d3.sort_steps);
+        assert_eq!(d1.cmoves, d2.cmoves);
+        assert!(d1.sort_steps > 0);
+    }
+
+    #[test]
+    fn bitonic_permutes_attached_payloads() {
+        let meter = SideChannelMeter::new();
+        let mut v = vec![(3u64, "c"), (1, "a"), (2, "b"), (5, "e"), (4, "d")];
+        bitonic_sort_by_key(&mut v, &meter, |x| x.0);
+        assert_eq!(
+            v.iter().map(|x| x.1).collect::<Vec<_>>(),
+            vec!["a", "b", "c", "d", "e"]
+        );
+    }
+
+    #[test]
+    fn bitonic_with_duplicate_keys_preserves_multiset() {
+        let meter = SideChannelMeter::new();
+        let mut v = vec![(3u64, 'a'), (1, 'b'), (3, 'c'), (1, 'd'), (2, 'e')];
+        bitonic_sort_by_key(&mut v, &meter, |x| x.0);
+        let keys: Vec<u64> = v.iter().map(|x| x.0).collect();
+        assert_eq!(keys, vec![1, 1, 2, 3, 3]);
+        let mut chars: Vec<char> = v.iter().map(|x| x.1).collect();
+        chars.sort_unstable();
+        assert_eq!(chars, vec!['a', 'b', 'c', 'd', 'e']);
+    }
+
+    #[test]
+    fn column_sort_matches_std_sort() {
+        let meter = SideChannelMeter::new();
+        for n in [0usize, 5, 16, 64, 100, 500, 1024, 2000] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64 + 7);
+            let mut v: Vec<u64> = (0..n as u64).map(|i| i * 37 % 101).collect();
+            v.shuffle(&mut rng);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            column_sort_by_key(&mut v, &meter, |x| *x);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn column_sort_step_count_depends_only_on_length() {
+        let meter = SideChannelMeter::new();
+        let mut a: Vec<u64> = (0..300).collect();
+        let (_, d1) = meter.measure(|| column_sort_by_key(&mut a, &meter, |x| *x));
+        let mut b: Vec<u64> = (0..300).rev().collect();
+        let (_, d2) = meter.measure(|| column_sort_by_key(&mut b, &meter, |x| *x));
+        assert_eq!(d1.sort_steps, d2.sort_steps);
+    }
+
+    #[test]
+    fn geometry_is_valid_when_some() {
+        for n in [8usize, 16, 100, 1000, 5000, 12345] {
+            if let Some((r, s)) = column_sort_geometry(n) {
+                assert!(r * s >= n, "n={n} r={r} s={s}");
+                assert_eq!(r % s, 0, "r={r} s={s}");
+                assert!(r >= 2 * (s - 1) * (s - 1), "r={r} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_permutation_identity_and_reverse() {
+        let mut v = vec![10, 20, 30, 40];
+        apply_permutation(&mut v, &[0, 1, 2, 3]);
+        assert_eq!(v, vec![10, 20, 30, 40]);
+        apply_permutation(&mut v, &[3, 2, 1, 0]);
+        assert_eq!(v, vec![40, 30, 20, 10]);
+        let mut v = vec!['a', 'b', 'c'];
+        apply_permutation(&mut v, &[2, 0, 1]);
+        assert_eq!(v, vec!['c', 'a', 'b']);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_bitonic_matches_std(mut v in proptest::collection::vec(any::<u64>(), 0..300)) {
+            let meter = SideChannelMeter::new();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            bitonic_sort_by_key(&mut v, &meter, |x| *x);
+            prop_assert_eq!(v, expect);
+        }
+
+        #[test]
+        fn prop_column_matches_std(mut v in proptest::collection::vec(any::<u64>(), 0..400)) {
+            let meter = SideChannelMeter::new();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            column_sort_by_key(&mut v, &meter, |x| *x);
+            prop_assert_eq!(v, expect);
+        }
+
+        #[test]
+        fn prop_apply_permutation_is_bijective(n in 1usize..50) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+            let mut perm: Vec<u64> = (0..n as u64).collect();
+            perm.shuffle(&mut rng);
+            let mut items: Vec<u64> = (0..n as u64).map(|i| i + 100).collect();
+            let original = items.clone();
+            apply_permutation(&mut items, &perm);
+            for (dest, &src) in perm.iter().enumerate() {
+                prop_assert_eq!(items[dest], original[src as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared helpers for the Concealer examples and the cross-crate
+//! integration tests.
+//!
+//! The runnable examples live in the repository-root `examples/` directory
+//! (`cargo run -p concealer-examples --example quickstart`), and the
+//! integration tests in the repository-root `tests/` directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use concealer_core::{
+    ConcealerSystem, FakeTupleStrategy, GridShape, Record, SystemConfig, UserHandle,
+};
+use concealer_workloads::{WifiConfig, WifiGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small but realistic campus deployment used by several examples and
+/// integration tests: one day of data, 24 hourly-ish time rows, moderate
+/// skew.
+pub fn demo_config(hours: u64) -> SystemConfig {
+    SystemConfig {
+        grid: GridShape {
+            dim_buckets: vec![12],
+            time_subintervals: (hours * 4).max(4),
+            num_cell_ids: 64,
+        },
+        epoch_duration: hours * 3600,
+        time_granularity: 60,
+        fake_strategy: FakeTupleStrategy::SimulateBins,
+        verify_integrity: true,
+        oblivious: false,
+        winsec_rows_per_interval: 4,
+    }
+}
+
+/// Build a demo deployment with `hours` of synthetic WiFi data already
+/// ingested. Returns the system, an all-powers user handle, and the
+/// cleartext records (for ground-truth comparison).
+pub fn demo_system(hours: u64, seed: u64) -> (ConcealerSystem, UserHandle, Vec<Record>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let generator = WifiGenerator::new(WifiConfig {
+        access_points: 30,
+        devices: 300,
+        peak_rows_per_hour: 1_500,
+        offpeak_rows_per_hour: 200,
+        location_skew: 0.8,
+    });
+    let records = generator.generate_epoch(0, hours * 3600, &mut rng);
+    let mut system = ConcealerSystem::new(demo_config(hours), &mut rng);
+    let devices: Vec<u64> = (1000..1300).collect();
+    let user = system.register_user(7, devices, true);
+    system
+        .ingest_epoch(0, records.clone(), &mut rng)
+        .expect("demo ingest");
+    (system, user, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_system_builds() {
+        let (system, _user, records) = demo_system(2, 1);
+        assert!(!records.is_empty());
+        assert_eq!(system.engine().registered_epochs(), vec![0]);
+    }
+}

@@ -1,0 +1,469 @@
+//! The service provider's database: one encrypted table segment per
+//! epoch/round, plus the encrypted metadata the data provider ships with it.
+//!
+//! Phase 1 of the paper has DP send, per epoch: the permuted encrypted
+//! tuples, the encrypted `cell_id[]` and `c_tuple[]` vectors, and the
+//! encrypted hash-chain tags. The store keeps all of that, lets the enclave
+//! fetch rows by trapdoor (recording every access in the
+//! [`AccessObserver`]), and supports atomically replacing an epoch's rows
+//! when the §6 dynamic-insertion protocol re-encrypts them.
+
+use crate::observer::{AccessEvent, AccessObserver};
+use crate::table::{EncryptedRow, EncryptedTable};
+use crate::{Result, StorageError};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Opaque encrypted metadata shipped with an epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochMetadata {
+    /// Encrypted `cell_id[x*y]` vector (non-deterministic encryption).
+    pub enc_cell_id: Vec<u8>,
+    /// Encrypted `c_tuple[u]` vector (non-deterministic encryption).
+    pub enc_c_tuple: Vec<u8>,
+    /// Encrypted per-cell-id verifiable tags (hash-chain heads), in cell-id
+    /// order. Empty when DP skipped the optional verification step.
+    pub enc_tags: Vec<Vec<u8>>,
+    /// Number of rows DP claims to have shipped (real + fake). Public.
+    pub advertised_rows: usize,
+}
+
+/// One stored epoch: the table segment and its metadata.
+#[derive(Debug, Clone)]
+pub struct StoredEpoch {
+    /// Encrypted tuples with the B+Tree index over the `Index` column.
+    pub table: EncryptedTable,
+    /// Encrypted metadata vectors and tags.
+    pub metadata: EpochMetadata,
+    /// How many times this epoch has been rewritten by the dynamic-insertion
+    /// protocol (the adversary can count rewrites; the paper accepts this).
+    pub rewrite_count: u64,
+}
+
+/// The untrusted service provider's storage engine.
+///
+/// Cloning shares the underlying store (it is an `Arc`): the data provider
+/// handle, the enclave handle and the test harness all talk to one store.
+#[derive(Debug, Clone, Default)]
+pub struct EpochStore {
+    inner: Arc<RwLock<BTreeMap<u64, StoredEpoch>>>,
+    observer: AccessObserver,
+}
+
+impl EpochStore {
+    /// Create an empty store with a fresh observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a store that reports accesses to an existing observer.
+    #[must_use]
+    pub fn with_observer(observer: AccessObserver) -> Self {
+        EpochStore {
+            inner: Arc::default(),
+            observer,
+        }
+    }
+
+    /// The adversary's view of this store.
+    #[must_use]
+    pub fn observer(&self) -> &AccessObserver {
+        &self.observer
+    }
+
+    /// Ingest a new epoch shipment. Replaces any previous segment for the
+    /// same epoch id (the paper never re-ships an epoch, but tests do).
+    pub fn ingest_epoch(
+        &self,
+        epoch_id: u64,
+        rows: Vec<EncryptedRow>,
+        metadata: EpochMetadata,
+    ) -> Result<()> {
+        let bytes: usize = rows.iter().map(EncryptedRow::byte_size).sum();
+        let row_count = rows.len();
+        let table = EncryptedTable::bulk_load(rows)?;
+        self.observer.record(AccessEvent::EpochIngested {
+            epoch_id,
+            rows: row_count,
+            bytes,
+        });
+        self.inner.write().insert(
+            epoch_id,
+            StoredEpoch {
+                table,
+                metadata,
+                rewrite_count: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Epoch ids currently stored, ascending.
+    #[must_use]
+    pub fn epoch_ids(&self) -> Vec<u64> {
+        self.inner.read().keys().copied().collect()
+    }
+
+    /// Number of epochs stored.
+    #[must_use]
+    pub fn epoch_count(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Total rows across all epochs (real + fake; indistinguishable here).
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.inner.read().values().map(|e| e.table.len()).sum()
+    }
+
+    /// Fetch the encrypted metadata for an epoch (the enclave decrypts it).
+    pub fn metadata(&self, epoch_id: u64) -> Result<EpochMetadata> {
+        self.inner
+            .read()
+            .get(&epoch_id)
+            .map(|e| e.metadata.clone())
+            .ok_or(StorageError::UnknownEpoch { epoch_id })
+    }
+
+    /// Number of rows in one epoch segment.
+    pub fn epoch_rows(&self, epoch_id: u64) -> Result<usize> {
+        self.inner
+            .read()
+            .get(&epoch_id)
+            .map(|e| e.table.len())
+            .ok_or(StorageError::UnknownEpoch { epoch_id })
+    }
+
+    /// Execute one exact-match trapdoor against an epoch's index, recording
+    /// what the adversary observes. Returns the matching row, if any.
+    pub fn fetch_by_trapdoor(
+        &self,
+        epoch_id: u64,
+        trapdoor: &[u8],
+    ) -> Result<Option<EncryptedRow>> {
+        let guard = self.inner.read();
+        let epoch = guard
+            .get(&epoch_id)
+            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
+        let hit = epoch.table.lookup(trapdoor);
+        self.observer.record(AccessEvent::TrapdoorIssued {
+            epoch_id,
+            trapdoor_len: trapdoor.len(),
+            hit: hit.is_some(),
+        });
+        if let Some((row_id, row)) = hit {
+            self.observer.record(AccessEvent::RowFetched {
+                epoch_id,
+                row_id,
+                bytes: row.byte_size(),
+            });
+            Ok(Some(row.clone()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Execute a batch of trapdoors (one bin fetch). Rows are returned in
+    /// trapdoor order; misses are silently skipped, as a DBMS `IN (...)`
+    /// predicate would.
+    pub fn fetch_batch(&self, epoch_id: u64, trapdoors: &[Vec<u8>]) -> Result<Vec<EncryptedRow>> {
+        let mut out = Vec::with_capacity(trapdoors.len());
+        for t in trapdoors {
+            if let Some(row) = self.fetch_by_trapdoor(epoch_id, t)? {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Read an entire epoch segment (full scan), as the Opaque-style
+    /// baseline must.
+    pub fn full_scan(&self, epoch_id: u64) -> Result<Vec<EncryptedRow>> {
+        let guard = self.inner.read();
+        let epoch = guard
+            .get(&epoch_id)
+            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
+        let rows: Vec<EncryptedRow> = epoch.table.scan().map(|(_, r)| r.clone()).collect();
+        self.observer.record(AccessEvent::FullScan {
+            epoch_id,
+            rows: rows.len(),
+            bytes: rows.iter().map(EncryptedRow::byte_size).sum(),
+        });
+        Ok(rows)
+    }
+
+    /// Mark a query boundary on the shared observer.
+    pub fn mark_query_boundary(&self) {
+        self.observer.mark_query_boundary();
+    }
+
+    /// Replace an epoch's rows after the enclave re-encrypted them (§6).
+    ///
+    /// The replacement must contain the same number of rows — the dynamic
+    /// insertion protocol rewrites bins in place and must not change the
+    /// observable cardinality.
+    pub fn replace_epoch_rows(
+        &self,
+        epoch_id: u64,
+        rows: Vec<EncryptedRow>,
+        metadata: Option<EpochMetadata>,
+    ) -> Result<()> {
+        let mut guard = self.inner.write();
+        let epoch = guard
+            .get_mut(&epoch_id)
+            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
+        if rows.len() != epoch.table.len() {
+            return Err(StorageError::CardinalityMismatch {
+                expected: epoch.table.len(),
+                got: rows.len(),
+            });
+        }
+        let row_count = rows.len();
+        epoch.table = EncryptedTable::bulk_load(rows)?;
+        if let Some(m) = metadata {
+            epoch.metadata = m;
+        }
+        epoch.rewrite_count += 1;
+        self.observer.record(AccessEvent::EpochRewritten {
+            epoch_id,
+            rows: row_count,
+        });
+        Ok(())
+    }
+
+    /// Replace a *subset* of an epoch's rows in place, keyed by their old
+    /// `Index` values. Used by the dynamic-insertion protocol (§6 of the
+    /// paper): the enclave re-encrypts exactly the rows it fetched and the
+    /// service provider swaps them in, leaving the rest of the segment
+    /// untouched. The segment's cardinality never changes.
+    pub fn rewrite_rows(
+        &self,
+        epoch_id: u64,
+        replacements: Vec<(Vec<u8>, EncryptedRow)>,
+    ) -> Result<()> {
+        if replacements.is_empty() {
+            return Ok(());
+        }
+        let mut guard = self.inner.write();
+        let epoch = guard
+            .get_mut(&epoch_id)
+            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
+
+        let mut rows: Vec<EncryptedRow> = epoch.table.scan().map(|(_, r)| r.clone()).collect();
+        let mut by_old_key: std::collections::HashMap<Vec<u8>, EncryptedRow> =
+            replacements.into_iter().collect();
+        let replaced_total = by_old_key.len();
+        let mut replaced = 0usize;
+        for row in &mut rows {
+            if let Some(new_row) = by_old_key.remove(&row.index_key) {
+                *row = new_row;
+                replaced += 1;
+            }
+        }
+        if replaced != replaced_total {
+            return Err(StorageError::CardinalityMismatch {
+                expected: replaced_total,
+                got: replaced,
+            });
+        }
+        let row_count = rows.len();
+        epoch.table = EncryptedTable::bulk_load(rows)?;
+        epoch.rewrite_count += 1;
+        self.observer.record(AccessEvent::EpochRewritten {
+            epoch_id,
+            rows: row_count,
+        });
+        Ok(())
+    }
+
+    /// Update a subset of an epoch's verifiable tags (the enclave refreshes
+    /// them after re-encrypting rows).
+    pub fn update_tags(&self, epoch_id: u64, updates: Vec<(usize, Vec<u8>)>) -> Result<()> {
+        let mut guard = self.inner.write();
+        let epoch = guard
+            .get_mut(&epoch_id)
+            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
+        for (cell_id, tag) in updates {
+            if let Some(slot) = epoch.metadata.enc_tags.get_mut(cell_id) {
+                *slot = tag;
+            }
+        }
+        Ok(())
+    }
+
+    /// How many times an epoch has been rewritten.
+    pub fn rewrite_count(&self, epoch_id: u64) -> Result<u64> {
+        self.inner
+            .read()
+            .get(&epoch_id)
+            .map(|e| e.rewrite_count)
+            .ok_or(StorageError::UnknownEpoch { epoch_id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(key: &[u8], tag: u8) -> EncryptedRow {
+        EncryptedRow {
+            index_key: key.to_vec(),
+            filters: vec![vec![tag; 16]],
+            payload: vec![tag; 48],
+        }
+    }
+
+    fn sample_epoch(n: u64, salt: u8) -> Vec<EncryptedRow> {
+        (0..n)
+            .map(|i| row(&[salt, (i >> 8) as u8, i as u8], (i % 251) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn ingest_and_fetch() {
+        let store = EpochStore::new();
+        store
+            .ingest_epoch(1, sample_epoch(100, 1), EpochMetadata::default())
+            .unwrap();
+        assert_eq!(store.epoch_count(), 1);
+        assert_eq!(store.total_rows(), 100);
+
+        let hit = store.fetch_by_trapdoor(1, &[1, 0, 5]).unwrap();
+        assert!(hit.is_some());
+        let miss = store.fetch_by_trapdoor(1, &[9, 9, 9]).unwrap();
+        assert!(miss.is_none());
+
+        let s = store.observer().summary();
+        assert_eq!(s.trapdoors, 2);
+        assert_eq!(s.rows_fetched, 1);
+    }
+
+    #[test]
+    fn unknown_epoch_errors() {
+        let store = EpochStore::new();
+        assert!(matches!(
+            store.fetch_by_trapdoor(7, b"x"),
+            Err(StorageError::UnknownEpoch { epoch_id: 7 })
+        ));
+        assert!(store.metadata(7).is_err());
+        assert!(store.full_scan(7).is_err());
+        assert!(store.rewrite_count(7).is_err());
+        assert!(store.epoch_rows(7).is_err());
+    }
+
+    #[test]
+    fn fetch_batch_skips_misses() {
+        let store = EpochStore::new();
+        store
+            .ingest_epoch(1, sample_epoch(10, 1), EpochMetadata::default())
+            .unwrap();
+        let trapdoors = vec![vec![1, 0, 2], vec![8, 8, 8], vec![1, 0, 3]];
+        let rows = store.fetch_batch(1, &trapdoors).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn full_scan_reads_everything() {
+        let store = EpochStore::new();
+        store
+            .ingest_epoch(2, sample_epoch(64, 2), EpochMetadata::default())
+            .unwrap();
+        let rows = store.full_scan(2).unwrap();
+        assert_eq!(rows.len(), 64);
+        assert_eq!(store.observer().summary().scanned_rows, 64);
+    }
+
+    #[test]
+    fn replace_epoch_enforces_cardinality() {
+        let store = EpochStore::new();
+        store
+            .ingest_epoch(3, sample_epoch(20, 3), EpochMetadata::default())
+            .unwrap();
+        let err = store.replace_epoch_rows(3, sample_epoch(19, 4), None);
+        assert!(matches!(err, Err(StorageError::CardinalityMismatch { expected: 20, got: 19 })));
+
+        store
+            .replace_epoch_rows(3, sample_epoch(20, 4), None)
+            .unwrap();
+        assert_eq!(store.rewrite_count(3).unwrap(), 1);
+        // New rows are findable, old rows are gone.
+        assert!(store.fetch_by_trapdoor(3, &[4, 0, 1]).unwrap().is_some());
+        assert!(store.fetch_by_trapdoor(3, &[3, 0, 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn metadata_roundtrip() {
+        let store = EpochStore::new();
+        let meta = EpochMetadata {
+            enc_cell_id: vec![1, 2, 3],
+            enc_c_tuple: vec![4, 5],
+            enc_tags: vec![vec![6], vec![7]],
+            advertised_rows: 12,
+        };
+        store.ingest_epoch(9, sample_epoch(12, 9), meta.clone()).unwrap();
+        assert_eq!(store.metadata(9).unwrap(), meta);
+        assert_eq!(store.epoch_rows(9).unwrap(), 12);
+        assert_eq!(store.epoch_ids(), vec![9]);
+    }
+
+    #[test]
+    fn rewrite_rows_swaps_in_place() {
+        let store = EpochStore::new();
+        store
+            .ingest_epoch(5, sample_epoch(30, 5), EpochMetadata::default())
+            .unwrap();
+        // Replace two rows, keeping the same index keys for one and changing
+        // the other's key.
+        let replacements = vec![
+            (vec![5, 0, 3], row(&[5, 0, 3], 0xAA)),
+            (vec![5, 0, 7], row(&[9, 9, 9], 0xBB)),
+        ];
+        store.rewrite_rows(5, replacements).unwrap();
+        assert_eq!(store.epoch_rows(5).unwrap(), 30, "cardinality unchanged");
+        let r = store.fetch_by_trapdoor(5, &[5, 0, 3]).unwrap().unwrap();
+        assert_eq!(r.payload, vec![0xAA; 48]);
+        assert!(store.fetch_by_trapdoor(5, &[5, 0, 7]).unwrap().is_none());
+        assert!(store.fetch_by_trapdoor(5, &[9, 9, 9]).unwrap().is_some());
+        assert_eq!(store.rewrite_count(5).unwrap(), 1);
+    }
+
+    #[test]
+    fn rewrite_rows_with_unknown_old_key_fails() {
+        let store = EpochStore::new();
+        store
+            .ingest_epoch(6, sample_epoch(10, 6), EpochMetadata::default())
+            .unwrap();
+        let err = store.rewrite_rows(6, vec![(vec![1, 2, 3], row(&[1, 2, 3], 1))]);
+        assert!(err.is_err());
+        // Empty replacement list is a no-op.
+        store.rewrite_rows(6, vec![]).unwrap();
+        assert_eq!(store.rewrite_count(6).unwrap(), 0);
+    }
+
+    #[test]
+    fn update_tags_in_place() {
+        let store = EpochStore::new();
+        let meta = EpochMetadata {
+            enc_tags: vec![vec![1], vec![2], vec![3]],
+            ..Default::default()
+        };
+        store.ingest_epoch(7, sample_epoch(3, 7), meta).unwrap();
+        store.update_tags(7, vec![(1, vec![9, 9]), (5, vec![0])]).unwrap();
+        let m = store.metadata(7).unwrap();
+        assert_eq!(m.enc_tags, vec![vec![1], vec![9, 9], vec![3]]);
+        assert!(store.update_tags(99, vec![]).is_err());
+    }
+
+    #[test]
+    fn multiple_epochs_isolated() {
+        let store = EpochStore::new();
+        store.ingest_epoch(1, sample_epoch(10, 1), EpochMetadata::default()).unwrap();
+        store.ingest_epoch(2, sample_epoch(10, 2), EpochMetadata::default()).unwrap();
+        // A key from epoch 1 is not findable in epoch 2.
+        assert!(store.fetch_by_trapdoor(2, &[1, 0, 1]).unwrap().is_none());
+        assert!(store.fetch_by_trapdoor(1, &[1, 0, 1]).unwrap().is_some());
+        assert_eq!(store.epoch_ids(), vec![1, 2]);
+    }
+}

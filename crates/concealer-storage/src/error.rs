@@ -1,0 +1,67 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A lookup referenced an epoch that was never ingested.
+    UnknownEpoch {
+        /// The raw epoch id that was requested.
+        epoch_id: u64,
+    },
+    /// A row id was out of bounds for the table it was used against.
+    InvalidRowId {
+        /// The offending row id.
+        row_id: u64,
+        /// Number of rows actually present.
+        table_len: u64,
+    },
+    /// An attempt was made to replace an epoch with a segment of a different
+    /// cardinality without explicitly allowing it.
+    CardinalityMismatch {
+        /// Rows previously stored for the epoch.
+        expected: usize,
+        /// Rows in the replacement segment.
+        got: usize,
+    },
+    /// Duplicate key inserted into a unique index.
+    DuplicateKey,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownEpoch { epoch_id } => write!(f, "unknown epoch {epoch_id}"),
+            StorageError::InvalidRowId { row_id, table_len } => {
+                write!(f, "invalid row id {row_id} (table has {table_len} rows)")
+            }
+            StorageError::CardinalityMismatch { expected, got } => {
+                write!(f, "cardinality mismatch: expected {expected} rows, got {got}")
+            }
+            StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(StorageError::UnknownEpoch { epoch_id: 9 }.to_string().contains('9'));
+        assert!(StorageError::InvalidRowId { row_id: 5, table_len: 2 }
+            .to_string()
+            .contains('5'));
+        assert!(StorageError::CardinalityMismatch { expected: 1, got: 2 }
+            .to_string()
+            .contains("mismatch"));
+        assert_eq!(
+            StorageError::DuplicateKey.to_string(),
+            "duplicate key in unique index"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Storage substrate for the Concealer system.
+//!
+//! The paper stores the encrypted relation in MySQL and relies on the
+//! DBMS's ordinary B-tree index over the `Index(L,T)` column — this is one
+//! of Concealer's headline advantages over specialized SSE index structures
+//! (PB-tree, IB-tree): *no custom index traversal protocol is needed at the
+//! server*. This crate provides the equivalent embedded substrate:
+//!
+//! * [`btree`] — a from-scratch B+Tree mapping arbitrary byte keys (the
+//!   deterministic `Index` ciphertexts) to row locations, with bulk load,
+//!   point lookup and ordered iteration. It plays the role of the MySQL
+//!   index.
+//! * [`table`] — [`table::EncryptedTable`], the encrypted relation: an
+//!   append-only heap of [`table::EncryptedRow`]s plus the B+Tree index over
+//!   the `Index` column.
+//! * [`epoch_store`] — [`epoch_store::EpochStore`], the service provider's
+//!   database: one table segment per epoch/round plus the encrypted
+//!   metadata blobs (`Ecell_id[]`, `Ec_tuple[]`, verifiable tags) DP ships
+//!   alongside the tuples, with support for atomically replacing an epoch's
+//!   rows (needed by the §6 dynamic-insertion re-encryption protocol).
+//! * [`observer`] — [`observer::AccessObserver`]: everything the untrusted
+//!   service provider can see (which trapdoors were issued, which rows were
+//!   fetched, how many bytes were transferred). The security tests assert
+//!   volume-hiding and partial access-pattern-hiding directly against this
+//!   trace, which is a stronger evaluation hook than the paper's informal
+//!   argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod epoch_store;
+pub mod observer;
+pub mod table;
+
+mod error;
+
+pub use btree::BPlusTree;
+pub use epoch_store::{EpochMetadata, EpochStore, StoredEpoch};
+pub use error::StorageError;
+pub use observer::{AccessEvent, AccessObserver, ObserverSummary};
+pub use table::{EncryptedRow, EncryptedTable, RowId};
+
+/// Convenience alias for fallible storage calls.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,24 @@
+//! Workload generators for the Concealer evaluation.
+//!
+//! The paper evaluates on two datasets that cannot be redistributed:
+//!
+//! 1. the UCI campus WiFi connectivity dataset (136M rows over 202 days,
+//!    2000+ access points, strongly diurnal), and
+//! 2. the TPC-H `LineItem` table at 136M rows with two composite indexes.
+//!
+//! This crate provides synthetic generators that reproduce the structural
+//! properties the evaluation depends on — row volume per hour, skew across
+//! locations, diurnal peak/off-peak shape, domain sizes of the TPC-H
+//! columns — plus the query workloads Q1–Q5 of Table 4 and the 2-D/4-D
+//! TPC-H aggregations of Exp 8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queries;
+pub mod tpch;
+pub mod wifi;
+
+pub use queries::{QueryWorkload, Q1, Q2, Q3, Q4, Q5};
+pub use tpch::{TpchConfig, TpchGenerator, TpchIndex};
+pub use wifi::{WifiConfig, WifiGenerator};

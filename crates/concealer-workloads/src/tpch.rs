@@ -1,0 +1,273 @@
+//! Synthetic TPC-H `LineItem` workload (Dataset 2 of the paper).
+//!
+//! The paper selects nine `LineItem` columns — Orderkey, Partkey, Suppkey,
+//! Linenumber, Quantity, Extendedprice, Discount, Tax, Returnflag — and
+//! builds two Concealer deployments over them:
+//!
+//! * a **2-D index** over ⟨Orderkey, Linenumber⟩, and
+//! * a **4-D index** over ⟨Orderkey, Partkey, Suppkey, Linenumber⟩.
+//!
+//! The remaining five columns travel in the encrypted payload. Since
+//! `LineItem` has no time attribute, records get a synthetic monotonically
+//! increasing timestamp (which is what makes deterministic ciphertexts of
+//! repeated values distinct, exactly as the paper concatenates values with
+//! a row-specific quantity).
+
+use concealer_core::Record;
+use rand::Rng;
+
+/// Which of the paper's two composite indexes to generate records for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpchIndex {
+    /// ⟨Orderkey, Linenumber⟩.
+    TwoD,
+    /// ⟨Orderkey, Partkey, Suppkey, Linenumber⟩.
+    FourD,
+}
+
+impl TpchIndex {
+    /// Number of indexed attributes.
+    #[must_use]
+    pub fn num_dims(self) -> usize {
+        match self {
+            TpchIndex::TwoD => 2,
+            TpchIndex::FourD => 4,
+        }
+    }
+}
+
+/// Configuration for the synthetic LineItem generator.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Number of rows to generate.
+    pub rows: u64,
+    /// Number of distinct orders (the paper's OK domain reaches 34M at
+    /// 136M rows; scaled proportionally here).
+    pub orders: u64,
+    /// Number of distinct parts.
+    pub parts: u64,
+    /// Number of distinct suppliers.
+    pub suppliers: u64,
+    /// Which composite index layout to emit.
+    pub index: TpchIndex,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            rows: 100_000,
+            orders: 25_000,
+            parts: 2_000,
+            suppliers: 100,
+            index: TpchIndex::TwoD,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// A small configuration for unit tests.
+    #[must_use]
+    pub fn tiny(index: TpchIndex) -> Self {
+        TpchConfig {
+            rows: 2_000,
+            orders: 500,
+            parts: 100,
+            suppliers: 10,
+            index,
+        }
+    }
+}
+
+/// One cleartext LineItem row (before conversion to a Concealer [`Record`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineItem {
+    /// L_ORDERKEY.
+    pub orderkey: u64,
+    /// L_PARTKEY.
+    pub partkey: u64,
+    /// L_SUPPKEY.
+    pub suppkey: u64,
+    /// L_LINENUMBER (1–7, as in TPC-H).
+    pub linenumber: u64,
+    /// L_QUANTITY (1–50).
+    pub quantity: u64,
+    /// L_EXTENDEDPRICE in cents.
+    pub extendedprice: u64,
+    /// L_DISCOUNT in basis points (0–1000).
+    pub discount: u64,
+    /// L_TAX in basis points (0–800).
+    pub tax: u64,
+    /// L_RETURNFLAG encoded 0=A, 1=N, 2=R.
+    pub returnflag: u64,
+}
+
+/// Generator producing LineItem rows / Concealer records.
+#[derive(Debug, Clone)]
+pub struct TpchGenerator {
+    config: TpchConfig,
+}
+
+impl TpchGenerator {
+    /// Build a generator.
+    #[must_use]
+    pub fn new(config: TpchConfig) -> Self {
+        TpchGenerator { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TpchConfig {
+        &self.config
+    }
+
+    /// Generate the raw LineItem rows.
+    pub fn generate_lineitems<R: Rng>(&self, rng: &mut R) -> Vec<LineItem> {
+        let c = &self.config;
+        (0..c.rows)
+            .map(|i| {
+                // Orders receive 1–7 line items; cycle through orders so
+                // the orderkey domain is densely used like dbgen's.
+                let orderkey = 1 + (i / 4) % c.orders;
+                let linenumber = 1 + i % 7;
+                let quantity = rng.gen_range(1..=50);
+                let price_per_unit = rng.gen_range(90_000..=110_000);
+                LineItem {
+                    orderkey,
+                    partkey: 1 + rng.gen_range(0..c.parts),
+                    suppkey: 1 + rng.gen_range(0..c.suppliers),
+                    linenumber,
+                    quantity,
+                    extendedprice: quantity * price_per_unit,
+                    discount: rng.gen_range(0..=1_000),
+                    tax: rng.gen_range(0..=800),
+                    returnflag: rng.gen_range(0..3),
+                }
+            })
+            .collect()
+    }
+
+    /// Convert LineItem rows into Concealer [`Record`]s for the configured
+    /// index layout. The `i`-th record gets synthetic timestamp `i` so the
+    /// whole table fits in a single epoch of duration ≥ `rows`.
+    #[must_use]
+    pub fn to_records(&self, items: &[LineItem]) -> Vec<Record> {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, li)| {
+                let dims = match self.config.index {
+                    TpchIndex::TwoD => vec![li.orderkey, li.linenumber],
+                    TpchIndex::FourD => {
+                        vec![li.orderkey, li.partkey, li.suppkey, li.linenumber]
+                    }
+                };
+                // payload[0] plays the "observation" role; the remaining
+                // non-indexed columns follow.
+                let payload = match self.config.index {
+                    TpchIndex::TwoD => vec![
+                        li.quantity,
+                        li.extendedprice,
+                        li.discount,
+                        li.tax,
+                        li.returnflag,
+                        li.partkey,
+                        li.suppkey,
+                    ],
+                    TpchIndex::FourD => vec![
+                        li.quantity,
+                        li.extendedprice,
+                        li.discount,
+                        li.tax,
+                        li.returnflag,
+                    ],
+                };
+                Record {
+                    dims,
+                    time: i as u64,
+                    payload,
+                }
+            })
+            .collect()
+    }
+
+    /// Generate Concealer records directly.
+    pub fn generate_records<R: Rng>(&self, rng: &mut R) -> Vec<Record> {
+        let items = self.generate_lineitems(rng);
+        self.to_records(&items)
+    }
+
+    /// An epoch duration sufficient to hold all generated records with
+    /// their synthetic timestamps.
+    #[must_use]
+    pub fn epoch_duration(&self) -> u64 {
+        self.config.rows.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lineitem_domains_respected() {
+        let generator = TpchGenerator::new(TpchConfig::tiny(TpchIndex::TwoD));
+        let mut rng = StdRng::seed_from_u64(1);
+        let items = generator.generate_lineitems(&mut rng);
+        assert_eq!(items.len(), 2000);
+        for li in &items {
+            assert!(li.orderkey >= 1 && li.orderkey <= 500);
+            assert!(li.linenumber >= 1 && li.linenumber <= 7);
+            assert!(li.quantity >= 1 && li.quantity <= 50);
+            assert!(li.partkey >= 1 && li.partkey <= 100);
+            assert!(li.suppkey >= 1 && li.suppkey <= 10);
+            assert!(li.discount <= 1000);
+            assert!(li.tax <= 800);
+            assert!(li.returnflag < 3);
+            assert_eq!(li.extendedprice % li.quantity, 0);
+        }
+    }
+
+    #[test]
+    fn two_d_records_shape() {
+        let generator = TpchGenerator::new(TpchConfig::tiny(TpchIndex::TwoD));
+        let mut rng = StdRng::seed_from_u64(2);
+        let records = generator.generate_records(&mut rng);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.dims.len(), 2);
+            assert_eq!(r.time, i as u64);
+            assert_eq!(r.payload.len(), 7);
+        }
+    }
+
+    #[test]
+    fn four_d_records_shape() {
+        let generator = TpchGenerator::new(TpchConfig::tiny(TpchIndex::FourD));
+        let mut rng = StdRng::seed_from_u64(3);
+        let records = generator.generate_records(&mut rng);
+        for r in &records {
+            assert_eq!(r.dims.len(), 4);
+            assert_eq!(r.payload.len(), 5);
+        }
+        assert_eq!(TpchIndex::FourD.num_dims(), 4);
+        assert_eq!(TpchIndex::TwoD.num_dims(), 2);
+    }
+
+    #[test]
+    fn timestamps_fit_epoch_duration() {
+        let generator = TpchGenerator::new(TpchConfig::tiny(TpchIndex::TwoD));
+        let mut rng = StdRng::seed_from_u64(4);
+        let records = generator.generate_records(&mut rng);
+        let max_time = records.iter().map(|r| r.time).max().unwrap();
+        assert!(max_time < generator.epoch_duration());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let generator = TpchGenerator::new(TpchConfig::tiny(TpchIndex::FourD));
+        let a = generator.generate_records(&mut StdRng::seed_from_u64(7));
+        let b = generator.generate_records(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+//! Equivalence tests: Concealer, the Opaque-style full-scan baseline, the
+//! DET+index baseline and plaintext execution must all return the same
+//! answers — they differ only in what they leak and what they cost.
+
+use concealer_baselines::{CleartextBaseline, DetIndexBaseline, OpaqueBaseline};
+use concealer_core::{Aggregate, Predicate, Query, RangeOptions};
+use concealer_examples::demo_system;
+use concealer_workloads::QueryWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_systems_agree_on_counts_and_sums() {
+    let (system, user, records) = demo_system(2, 301);
+
+    let mut cleartext = CleartextBaseline::new();
+    cleartext.ingest_epoch(0, records.clone());
+
+    let mut rng = StdRng::seed_from_u64(302);
+    let mut opaque = OpaqueBaseline::new(&mut rng);
+    opaque.ingest_epoch(0, &records, &mut rng).unwrap();
+
+    let mut det = DetIndexBaseline::new(concealer_crypto::MasterKey::from_bytes([3u8; 32]), 60);
+    det.ingest_epoch(0, &records);
+
+    let workload = QueryWorkload {
+        locations: 30,
+        devices: vec![],
+        time_extent: (0, 2 * 3600),
+    };
+    let mut qrng = StdRng::seed_from_u64(303);
+    for _ in 0..6 {
+        let query = workload.q1(30 * 60, &mut qrng);
+        let concealer_answer = system
+            .range_query(&user, &query, RangeOptions::default())
+            .unwrap()
+            .value;
+        let (cleartext_answer, _) = cleartext.query(&query);
+        let (opaque_answer, _, _) = opaque.query(&query).unwrap();
+        let (det_answer, _) = det.query(&query, 2 * 3600).unwrap();
+        assert_eq!(concealer_answer, cleartext_answer);
+        assert_eq!(concealer_answer, opaque_answer);
+        assert_eq!(concealer_answer, det_answer);
+    }
+}
+
+#[test]
+fn leakage_profiles_differ_even_though_answers_match() {
+    let (system, user, records) = demo_system(1, 304);
+    let mut det = DetIndexBaseline::new(concealer_crypto::MasterKey::from_bytes([5u8; 32]), 60);
+    det.ingest_epoch(0, &records);
+
+    // Two locations with very different true counts.
+    let mut by_loc: std::collections::BTreeMap<u64, usize> = Default::default();
+    for r in &records {
+        *by_loc.entry(r.dims[0]).or_default() += 1;
+    }
+    let busiest = *by_loc.iter().max_by_key(|(_, c)| **c).unwrap().0;
+    let quietest = *by_loc.iter().min_by_key(|(_, c)| **c).unwrap().0;
+
+    let q = |loc: u64| Query {
+        aggregate: Aggregate::Count,
+        predicate: Predicate::Range {
+            dims: Some(vec![loc]),
+            observation: None,
+            time_start: 0,
+            time_end: 3599,
+        },
+    };
+
+    // DET leaks the volume difference...
+    let (_, det_busy) = det.query(&q(busiest), 3600).unwrap();
+    let (_, det_quiet) = det.query(&q(quietest), 3600).unwrap();
+    assert!(det_busy > det_quiet, "DET baseline exposes the true volumes");
+
+    // ...while Concealer's point queries fetch identical volumes (the range
+    // query's fetch size depends only on the covered cells, not the data).
+    system.observer().reset();
+    let target_busy = records.iter().find(|r| r.dims[0] == busiest).unwrap();
+    let target_quiet_dims = vec![quietest];
+    let a = system
+        .point_query(
+            &user,
+            &Query {
+                aggregate: Aggregate::Count,
+                predicate: Predicate::Point { dims: target_busy.dims.clone(), time: target_busy.time },
+            },
+        )
+        .unwrap();
+    let b = system
+        .point_query(
+            &user,
+            &Query {
+                aggregate: Aggregate::Count,
+                predicate: Predicate::Point { dims: target_quiet_dims, time: target_busy.time },
+            },
+        )
+        .unwrap();
+    assert_eq!(a.rows_fetched, b.rows_fetched, "Concealer hides the volume");
+}
+
+#[test]
+fn opaque_scans_entire_store_while_concealer_fetches_bins() {
+    let (system, user, records) = demo_system(1, 305);
+    let mut rng = StdRng::seed_from_u64(306);
+    let mut opaque = OpaqueBaseline::new(&mut rng);
+    opaque.ingest_epoch(0, &records, &mut rng).unwrap();
+
+    let target = &records[9];
+    let query = Query {
+        aggregate: Aggregate::Count,
+        predicate: Predicate::Point { dims: target.dims.clone(), time: target.time },
+    };
+    let (_, scanned, decrypted) = opaque.query(&query).unwrap();
+    assert_eq!(scanned, records.len());
+    assert_eq!(decrypted, records.len());
+
+    let answer = system.point_query(&user, &query).unwrap();
+    assert!(
+        answer.rows_fetched * 4 < records.len(),
+        "Concealer must fetch a small fraction of the data ({} of {})",
+        answer.rows_fetched,
+        records.len()
+    );
+}
