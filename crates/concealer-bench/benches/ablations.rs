@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices DESIGN.md calls out:
+//! Ablation benches for the design choices ARCHITECTURE.md calls out:
 //!
 //! * FFD vs BFD bin packing,
 //! * equal-real-fake vs simulate-bins fake-tuple strategies,

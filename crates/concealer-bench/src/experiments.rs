@@ -206,7 +206,7 @@ pub fn exp5_dynamic() -> Vec<String> {
         grid: GridShape {
             dim_buckets: vec![20],
             time_subintervals: 60,
-            num_cell_ids: 400.min(20 * 60),
+            num_cell_ids: 400,
         },
         epoch_duration: 3600,
         time_granularity: 60,

@@ -1031,8 +1031,8 @@ mod tests {
         records
             .iter()
             .filter(|r| {
-                dims.map_or(true, |d| r.dims == d)
-                    && obs.map_or(true, |o| r.observation() == Some(o))
+                dims.is_none_or(|d| r.dims == d)
+                    && obs.is_none_or(|o| r.observation() == Some(o))
                     && r.time >= t.0
                     && r.time <= t.1
             })
@@ -1228,15 +1228,21 @@ mod tests {
     #[test]
     fn tampering_is_detected_at_query_time() {
         let (system, user, records) = setup(false);
-        // The adversary (service provider) flips a byte in some stored row.
+        // The adversary (service provider) flips a payload byte in every
+        // stored row. Tampering a single arbitrary row would make the test
+        // depend on whether that row happens to be real or a volume-hiding
+        // fake (fakes carry no data, so their payloads are covered by no
+        // hash chain); hitting all rows guarantees a covered victim.
         let epoch_rows = system.store().full_scan(0).unwrap();
-        let victim = epoch_rows[10].clone();
-        let mut tampered = victim.clone();
-        tampered.payload[5] ^= 0x01;
-        system
-            .store()
-            .rewrite_rows(0, vec![(victim.index_key.clone(), tampered)])
-            .unwrap();
+        let rewrites: Vec<_> = epoch_rows
+            .iter()
+            .map(|row| {
+                let mut tampered = row.clone();
+                tampered.payload[5] ^= 0x01;
+                (row.index_key.clone(), tampered)
+            })
+            .collect();
+        system.store().rewrite_rows(0, rewrites).unwrap();
 
         // Sweep queries until one hits the tampered row's bin.
         let mut detected = false;

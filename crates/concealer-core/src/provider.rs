@@ -352,7 +352,7 @@ mod tests {
         let real: Vec<&EncryptedRow> = shipment
             .rows
             .iter()
-            .filter(|r| r.index_key.len() > 0)
+            .filter(|r| !r.index_key.is_empty())
             .collect();
         assert_eq!(real.len(), 4); // 2 real + 2 fake
         let payloads: std::collections::BTreeSet<&Vec<u8>> =

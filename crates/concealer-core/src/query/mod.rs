@@ -227,7 +227,7 @@ impl Accumulator {
             }),
             Aggregate::TopKLocations { k } => {
                 let mut pairs: Vec<(u64, u64)> =
-                    self.per_location.into_iter().map(|(l, c)| (l, c)).collect();
+                    self.per_location.into_iter().collect();
                 pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
                 pairs.truncate(*k);
                 AnswerValue::LocationCounts(pairs)
@@ -321,8 +321,10 @@ mod tests {
 
     #[test]
     fn top_k_and_threshold() {
-        let mut a = Accumulator::default();
-        a.per_location = [(1u64, 10u64), (2, 30), (3, 20), (4, 5)].into_iter().collect();
+        let a = Accumulator {
+            per_location: [(1u64, 10u64), (2, 30), (3, 20), (4, 5)].into_iter().collect(),
+            ..Default::default()
+        };
         assert_eq!(
             a.clone().finish(&Aggregate::TopKLocations { k: 2 }),
             AnswerValue::LocationCounts(vec![(2, 30), (3, 20)])

@@ -18,7 +18,7 @@
 //! The paper builds one chain per column (`E_l`, `E_o`, `E_r`); this
 //! implementation chains the concatenation of all columns, which detects
 //! the same tamper classes with a third of the tag volume. The consolidation
-//! is noted in DESIGN.md.
+//! is noted in ARCHITECTURE.md.
 
 use concealer_crypto::sha256::{Digest, Sha256};
 use concealer_crypto::EpochKey;
@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn detects_forged_tag() {
         let key = key();
-        let rows = vec![row(1)];
+        let rows = [row(1)];
         let refs: Vec<&EncryptedRow> = rows.iter().collect();
         // A tag not produced under the epoch key fails decryption → error.
         assert!(verify_cell_chain(&key, 0, &refs, &[0u8; 64]).is_err());

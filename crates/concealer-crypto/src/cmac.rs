@@ -50,7 +50,7 @@ impl Cmac {
         } else {
             message.len().div_ceil(BLOCK_SIZE)
         };
-        let last_complete = !message.is_empty() && message.len() % BLOCK_SIZE == 0;
+        let last_complete = !message.is_empty() && message.len().is_multiple_of(BLOCK_SIZE);
 
         let mut x = [0u8; BLOCK_SIZE];
         // Process all but the last block.
@@ -68,15 +68,15 @@ impl Cmac {
         let start = (n_blocks - 1) * BLOCK_SIZE;
         if last_complete {
             last.copy_from_slice(&message[start..start + BLOCK_SIZE]);
-            for j in 0..BLOCK_SIZE {
-                last[j] ^= self.k1[j];
+            for (b, k) in last.iter_mut().zip(&self.k1) {
+                *b ^= k;
             }
         } else {
             let rem = &message[start..];
             last[..rem.len()].copy_from_slice(rem);
             last[rem.len()] = 0x80;
-            for j in 0..BLOCK_SIZE {
-                last[j] ^= self.k2[j];
+            for (b, k) in last.iter_mut().zip(&self.k2) {
+                *b ^= k;
             }
         }
 

@@ -2,7 +2,7 @@
 //!
 //! The paper runs its query-execution logic inside an Intel SGX enclave at
 //! the untrusted service provider. This crate substitutes a *software
-//! simulation* of that trusted region (see DESIGN.md for the substitution
+//! simulation* of that trusted region (see ARCHITECTURE.md for the substitution
 //! argument). What the simulation preserves — and what the paper's security
 //! argument actually depends on — is:
 //!

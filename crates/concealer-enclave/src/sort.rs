@@ -224,9 +224,9 @@ fn untranspose_cm(pairs: &[(u64, u64)], r: usize, s: usize) -> Vec<(u64, u64)> {
 fn shift_cm(pairs: &[(u64, u64)], r: usize) -> Vec<(u64, u64)> {
     let half = r / 2;
     let mut out = Vec::with_capacity(pairs.len() + r);
-    out.extend(std::iter::repeat((0u64, SENTINEL_TAG)).take(half));
+    out.extend(std::iter::repeat_n((0u64, SENTINEL_TAG), half));
     out.extend_from_slice(pairs);
-    out.extend(std::iter::repeat((u64::MAX, SENTINEL_TAG)).take(r - half));
+    out.extend(std::iter::repeat_n((u64::MAX, SENTINEL_TAG), r - half));
     out
 }
 

@@ -2,7 +2,7 @@
 //! integration tests.
 //!
 //! The runnable examples live in the repository-root `examples/` directory
-//! (`cargo run -p concealer-examples --example quickstart`), and the
+//! (`cargo run --example quickstart`), and the
 //! integration tests in the repository-root `tests/` directory.
 
 #![forbid(unsafe_code)]

@@ -1,0 +1,16 @@
+//! Offline shim for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! Re-exports no-op `Serialize` / `Deserialize` derive macros so Concealer's
+//! types keep their upstream-compatible annotations while the build runs
+//! without crates.io access. No serializer exists yet, so the derives emit
+//! nothing; the marker traits below are what generic code may bound on.
+//! Replace this shim with the real serde when a wire format is introduced.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no required items).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no required items, lifetime
+/// kept for signature compatibility).
+pub trait Deserialize<'de> {}
