@@ -1,10 +1,13 @@
 //! Plaintext baseline: no encryption, direct evaluation over the records.
 //!
 //! This is the "Cleartext processing" row of Table 5 — the latency floor
-//! every secure system is compared against.
+//! every secure system is compared against. Queries go through the
+//! [`SecureIndex`] trait like every other backend.
 
-use concealer_core::query::{Accumulator, AnswerValue};
+use concealer_core::api::{IndexStats, SecureIndex};
+use concealer_core::query::{Accumulator, AnswerValue, QueryAnswer};
 use concealer_core::{Predicate, Query, Record};
+use rand::RngCore;
 use std::collections::BTreeMap;
 
 /// Whether a record satisfies a predicate (shared by all baselines).
@@ -49,7 +52,9 @@ pub fn aggregate_records<'a>(
         acc.sum = acc.sum.wrapping_add(v);
         acc.min = Some(acc.min.map_or(v, |m| m.min(v)));
         acc.max = Some(acc.max.map_or(v, |m| m.max(v)));
-        *per_location.entry(r.dims.first().copied().unwrap_or(0)).or_insert(0) += 1;
+        *per_location
+            .entry(r.dims.first().copied().unwrap_or(0))
+            .or_insert(0) += 1;
         if matches!(query.aggregate, concealer_core::Aggregate::CollectRows) {
             acc.rows.push(r.clone());
         }
@@ -71,20 +76,29 @@ impl CleartextBaseline {
         Self::default()
     }
 
-    /// Ingest one epoch of records.
-    pub fn ingest_epoch(&mut self, epoch_start: u64, records: Vec<Record>) {
-        self.epochs.insert(epoch_start, records);
-    }
-
     /// Total rows stored.
     #[must_use]
     pub fn total_rows(&self) -> usize {
         self.epochs.values().map(Vec::len).sum()
     }
+}
 
-    /// Execute a query; returns the answer and the number of rows examined.
-    #[must_use]
-    pub fn query(&self, query: &Query) -> (AnswerValue, usize) {
+impl SecureIndex for CleartextBaseline {
+    /// Store one epoch of records as-is (no encryption; `rng` unused).
+    fn ingest_epoch(
+        &mut self,
+        epoch_start: u64,
+        records: &[Record],
+        _rng: &mut dyn RngCore,
+    ) -> concealer_core::Result<()> {
+        self.epochs.insert(epoch_start, records.to_vec());
+        Ok(())
+    }
+
+    /// Execute a query by scanning every stored record. `rows_fetched`
+    /// reports the rows examined — the baseline "reads" its whole store,
+    /// but decrypts nothing.
+    fn execute(&self, query: &Query) -> concealer_core::Result<QueryAnswer> {
         let mut examined = 0usize;
         let matching: Vec<&Record> = self
             .epochs
@@ -93,7 +107,24 @@ impl CleartextBaseline {
             .inspect(|_| examined += 1)
             .filter(|r| record_matches(r, &query.predicate))
             .collect();
-        (aggregate_records(matching.into_iter(), query), examined)
+        Ok(QueryAnswer {
+            value: aggregate_records(matching.into_iter(), query),
+            rows_fetched: examined,
+            rows_decrypted: 0,
+            verified: false,
+            epochs_touched: self.epochs.len(),
+        })
+    }
+
+    fn answer_stats(&self) -> IndexStats {
+        IndexStats {
+            backend: "cleartext",
+            epochs: self.epochs.len(),
+            rows_stored: self.total_rows(),
+            volume_hiding: false,
+            verifiable: false,
+            full_scan_per_query: true,
+        }
     }
 }
 
@@ -101,6 +132,8 @@ impl CleartextBaseline {
 mod tests {
     use super::*;
     use concealer_core::Aggregate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn records() -> Vec<Record> {
         vec![
@@ -111,47 +144,45 @@ mod tests {
         ]
     }
 
+    fn loaded() -> CleartextBaseline {
+        let mut b = CleartextBaseline::new();
+        b.ingest_epoch(0, &records(), &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        b
+    }
+
     #[test]
     fn count_query() {
-        let mut b = CleartextBaseline::new();
-        b.ingest_epoch(0, records());
-        let q = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(vec![1]),
-                observation: None,
-                time_start: 0,
-                time_end: 1000,
-            },
-        };
-        let (answer, examined) = b.query(&q);
-        assert_eq!(answer, AnswerValue::Count(2));
-        assert_eq!(examined, 4);
+        let b = loaded();
+        let q = Query::count().at_dims([1]).between(0, 1000);
+        let answer = b.execute(&q).unwrap();
+        assert_eq!(answer.value, AnswerValue::Count(2));
+        assert_eq!(answer.rows_fetched, 4);
+        assert_eq!(answer.rows_decrypted, 0);
+        assert!(!answer.verified);
         assert_eq!(b.total_rows(), 4);
     }
 
     #[test]
     fn sum_and_minmax() {
-        let mut b = CleartextBaseline::new();
-        b.ingest_epoch(0, records());
-        let pred = Predicate::Range {
-            dims: Some(vec![1]),
-            observation: None,
-            time_start: 0,
-            time_end: 10_000,
-        };
-        let (sum, _) = b.query(&Query { aggregate: Aggregate::Sum { attr: 0 }, predicate: pred.clone() });
-        assert_eq!(sum, AnswerValue::Number(Some(70)));
-        let (min, _) = b.query(&Query { aggregate: Aggregate::Min { attr: 0 }, predicate: pred.clone() });
-        assert_eq!(min, AnswerValue::Number(Some(10)));
-        let (max, _) = b.query(&Query { aggregate: Aggregate::Max { attr: 0 }, predicate: pred });
-        assert_eq!(max, AnswerValue::Number(Some(40)));
+        let b = loaded();
+        let sum = b
+            .execute(&Query::sum(0).at_dims([1]).between(0, 10_000))
+            .unwrap();
+        assert_eq!(sum.value, AnswerValue::Number(Some(70)));
+        let min = b
+            .execute(&Query::min(0).at_dims([1]).between(0, 10_000))
+            .unwrap();
+        assert_eq!(min.value, AnswerValue::Number(Some(10)));
+        let max = b
+            .execute(&Query::max(0).at_dims([1]).between(0, 10_000))
+            .unwrap();
+        assert_eq!(max.value, AnswerValue::Number(Some(40)));
     }
 
     #[test]
     fn observation_predicate() {
-        let mut b = CleartextBaseline::new();
-        b.ingest_epoch(0, records());
+        let b = loaded();
         let q = Query {
             aggregate: Aggregate::Count,
             predicate: Predicate::Range {
@@ -161,7 +192,7 @@ mod tests {
                 time_end: 10_000,
             },
         };
-        assert_eq!(b.query(&q).0, AnswerValue::Count(1));
+        assert_eq!(b.execute(&q).unwrap().value, AnswerValue::Count(1));
     }
 
     #[test]
@@ -174,7 +205,20 @@ mod tests {
             time_end: 500,
         };
         assert!(record_matches(&r, &p));
-        let p2 = Predicate::Point { dims: vec![3], time: 501 };
+        let p2 = Predicate::Point {
+            dims: vec![3],
+            time: 501,
+        };
         assert!(!record_matches(&r, &p2));
+    }
+
+    #[test]
+    fn stats_describe_the_backend() {
+        let stats = loaded().answer_stats();
+        assert_eq!(stats.backend, "cleartext");
+        assert_eq!(stats.epochs, 1);
+        assert_eq!(stats.rows_stored, 4);
+        assert!(stats.full_scan_per_query);
+        assert!(!stats.volume_hiding);
     }
 }

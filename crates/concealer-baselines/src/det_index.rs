@@ -7,14 +7,19 @@
 //! is visible to the adversary, and the ciphertext itself reveals the data
 //! distribution because equal plaintexts encrypt identically. This baseline
 //! exists so the ablation benches can quantify exactly what Concealer's
-//! volume hiding costs relative to "just use DET".
+//! volume hiding costs relative to "just use DET". Queries go through the
+//! [`SecureIndex`] trait like every other backend; the epoch duration and
+//! time granularity are fixed at construction so `execute` needs no
+//! per-call deployment parameters.
 
 use std::collections::{BTreeMap, HashMap};
 
+use concealer_core::api::{IndexStats, SecureIndex};
 use concealer_core::codec;
-use concealer_core::query::AnswerValue;
+use concealer_core::query::QueryAnswer;
 use concealer_core::{Query, Record};
 use concealer_crypto::{EpochId, EpochKey, MasterKey};
+use rand::RngCore;
 
 use crate::cleartext::{aggregate_records, record_matches};
 
@@ -24,6 +29,7 @@ pub struct DetIndexBaseline {
     /// Non-unique index emulation: filter token → encrypted payloads.
     epochs: BTreeMap<u64, DetEpoch>,
     time_granularity: u64,
+    epoch_duration: u64,
 }
 
 struct DetEpoch {
@@ -40,14 +46,15 @@ impl std::fmt::Debug for DetIndexBaseline {
 }
 
 impl DetIndexBaseline {
-    /// Create a baseline with the given filter-time granularity (matching
-    /// the Concealer deployment it is compared against).
+    /// Create a baseline with the given filter-time granularity and epoch
+    /// duration (matching the Concealer deployment it is compared against).
     #[must_use]
-    pub fn new(master: MasterKey, time_granularity: u64) -> Self {
+    pub fn new(master: MasterKey, time_granularity: u64, epoch_duration: u64) -> Self {
         DetIndexBaseline {
             master,
             epochs: BTreeMap::new(),
             time_granularity: time_granularity.max(1),
+            epoch_duration: epoch_duration.max(1),
         }
     }
 
@@ -55,10 +62,23 @@ impl DetIndexBaseline {
         self.master.epoch_key(EpochId(epoch_start), 0)
     }
 
+    /// Total rows stored.
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.epochs.values().map(|e| e.rows).sum()
+    }
+}
+
+impl SecureIndex for DetIndexBaseline {
     /// Encrypt and ingest one epoch: the index key is the deterministic
     /// ciphertext of (dims, time granule), exactly the value a query
     /// recomputes.
-    pub fn ingest_epoch(&mut self, epoch_start: u64, records: &[Record]) {
+    fn ingest_epoch(
+        &mut self,
+        epoch_start: u64,
+        records: &[Record],
+        _rng: &mut dyn RngCore,
+    ) -> concealer_core::Result<()> {
         let key = self.key(epoch_start);
         let mut index: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
         for r in records {
@@ -76,18 +96,13 @@ impl DetIndexBaseline {
                 rows: records.len(),
             },
         );
+        Ok(())
     }
 
-    /// Total rows stored.
-    #[must_use]
-    pub fn total_rows(&self) -> usize {
-        self.epochs.values().map(|e| e.rows).sum()
-    }
-
-    /// Execute a query with pinned dims: returns the answer and the number
-    /// of rows the (untrusted) index lookup returned — the leaked output
-    /// size.
-    pub fn query(&self, query: &Query, epoch_duration: u64) -> concealer_core::Result<(AnswerValue, usize)> {
+    /// Execute a query with pinned dims. `rows_fetched` is the number of
+    /// rows the (untrusted) index lookup returned — the leaked output size;
+    /// every fetched row is also decrypted.
+    fn execute(&self, query: &Query) -> concealer_core::Result<QueryAnswer> {
         let Some(dims) = query.predicate.dims() else {
             return Err(concealer_core::CoreError::InvalidQuery {
                 reason: "DET baseline requires pinned indexed attributes",
@@ -95,13 +110,15 @@ impl DetIndexBaseline {
         };
         let (t_start, t_end) = query.predicate.time_span();
         let mut fetched = 0usize;
+        let mut epochs_touched = 0usize;
         let mut matching: Vec<Record> = Vec::new();
 
         for (&epoch_start, epoch) in &self.epochs {
-            let window_end = epoch_start + epoch_duration;
+            let window_end = epoch_start + self.epoch_duration;
             if t_start >= window_end || t_end < epoch_start {
                 continue;
             }
+            epochs_touched += 1;
             let key = self.key(epoch_start);
             let lo = t_start.max(epoch_start) / self.time_granularity;
             let hi = t_end.min(window_end - 1) / self.time_granularity;
@@ -115,7 +132,11 @@ impl DetIndexBaseline {
                             .decrypt(p)
                             .map_err(concealer_core::CoreError::Crypto)?;
                         let (dims, time, payload) = codec::decode_payload_plain(&plain)?;
-                        let record = Record { dims, time, payload };
+                        let record = Record {
+                            dims,
+                            time,
+                            payload,
+                        };
                         if record_matches(&record, &query.predicate) {
                             matching.push(record);
                         }
@@ -123,17 +144,36 @@ impl DetIndexBaseline {
                 }
             }
         }
-        Ok((aggregate_records(matching.iter(), query), fetched))
+        Ok(QueryAnswer {
+            value: aggregate_records(matching.iter(), query),
+            rows_fetched: fetched,
+            rows_decrypted: fetched,
+            verified: false,
+            epochs_touched,
+        })
+    }
+
+    fn answer_stats(&self) -> IndexStats {
+        IndexStats {
+            backend: "det-index",
+            epochs: self.epochs.len(),
+            rows_stored: self.total_rows(),
+            volume_hiding: false,
+            verifiable: false,
+            full_scan_per_query: false,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use concealer_core::{Aggregate, Predicate};
+    use concealer_core::query::AnswerValue;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn system() -> DetIndexBaseline {
-        DetIndexBaseline::new(MasterKey::from_bytes([8u8; 32]), 60)
+        DetIndexBaseline::new(MasterKey::from_bytes([8u8; 32]), 60, 3600)
     }
 
     fn records() -> Vec<Record> {
@@ -142,67 +182,61 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn count_matches_cleartext_and_leaks_volume() {
+    fn loaded() -> (DetIndexBaseline, Vec<Record>) {
         let mut det = system();
         let recs = records();
-        det.ingest_epoch(0, &recs);
+        det.ingest_epoch(0, &recs, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        (det, recs)
+    }
+
+    #[test]
+    fn count_matches_cleartext_and_leaks_volume() {
+        let (det, recs) = loaded();
         assert_eq!(det.total_rows(), 300);
 
-        let q = |loc: u64| Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(vec![loc]),
-                observation: None,
-                time_start: 0,
-                time_end: 1799,
-            },
-        };
         for loc in 0..3 {
             let expected = recs
                 .iter()
                 .filter(|r| r.dims == [loc] && r.time <= 1799)
                 .count() as u64;
-            let (answer, fetched) = det.query(&q(loc), 3600).unwrap();
-            assert_eq!(answer, AnswerValue::Count(expected));
+            let answer = det
+                .execute(&Query::count().at_dims([loc]).between(0, 1799))
+                .unwrap();
+            assert_eq!(answer.value, AnswerValue::Count(expected));
             // The leak: the number of fetched rows tracks the true count.
-            assert_eq!(fetched as u64, expected);
+            assert_eq!(answer.rows_fetched as u64, expected);
+            assert_eq!(answer.rows_decrypted, answer.rows_fetched);
         }
     }
 
     #[test]
     fn unpinned_dims_rejected() {
         let det = system();
-        let q = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: None,
-                observation: None,
-                time_start: 0,
-                time_end: 10,
-            },
-        };
-        assert!(det.query(&q, 3600).is_err());
+        let q = Query::count().between(0, 10);
+        assert!(det.execute(&q).is_err());
     }
 
     #[test]
     fn point_query_single_granule() {
-        let mut det = system();
-        let recs = records();
-        det.ingest_epoch(0, &recs);
+        let (det, recs) = loaded();
         let target = &recs[10];
-        let q = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Point {
-                dims: target.dims.clone(),
-                time: target.time,
-            },
-        };
-        let (answer, fetched) = det.query(&q, 3600).unwrap();
-        match answer {
+        let q = Query::count().at_dims(target.dims.clone()).at(target.time);
+        let answer = det.execute(&q).unwrap();
+        match answer.value {
             AnswerValue::Count(c) => assert!(c >= 1),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(fetched >= 1);
+        assert!(answer.rows_fetched >= 1);
+    }
+
+    #[test]
+    fn stats_describe_the_backend() {
+        let (det, _) = loaded();
+        let stats = det.answer_stats();
+        assert_eq!(stats.backend, "det-index");
+        assert_eq!(stats.rows_stored, 300);
+        assert!(!stats.volume_hiding, "DET leaks output sizes");
+        assert!(!stats.full_scan_per_query);
     }
 }

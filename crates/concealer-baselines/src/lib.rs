@@ -12,6 +12,11 @@
 //!   volume hiding (the DET row of Table 1): fetches exactly the matching
 //!   rows, which is fast but leaks the output size. Used by the ablation
 //!   benches to quantify what volume hiding costs.
+//!
+//! All three implement [`concealer_core::SecureIndex`]
+//! (`ingest_epoch` / `execute` / `answer_stats`) behind the normalized
+//! [`concealer_core::QueryAnswer`], so tests and benchmarks drive every
+//! backend — including `ConcealerSystem` itself — through one interface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -8,10 +8,12 @@
 //! [`concealer_storage::EpochStore`] substrate so the benchmark comparison
 //! is apples-to-apples: same storage layer, same crypto, same enclave
 //! simulation — the only difference is "scan everything" versus "fetch one
-//! bin through the index".
+//! bin through the index". Queries go through the [`SecureIndex`] trait
+//! like every other backend.
 
+use concealer_core::api::{IndexStats, SecureIndex};
 use concealer_core::codec;
-use concealer_core::query::{Accumulator, AnswerValue};
+use concealer_core::query::QueryAnswer;
 use concealer_core::{Query, Record};
 use concealer_crypto::{EpochId, MasterKey};
 use concealer_enclave::{Enclave, EnclaveConfig, SideChannelMeter, UserRegistry};
@@ -41,7 +43,11 @@ impl OpaqueBaseline {
     #[must_use]
     pub fn new<R: RngCore>(rng: &mut R) -> Self {
         let master = MasterKey::generate(rng);
-        let enclave = Enclave::provision(master.clone(), UserRegistry::new(), EnclaveConfig::default());
+        let enclave = Enclave::provision(
+            master.clone(),
+            UserRegistry::new(),
+            EnclaveConfig::default(),
+        );
         OpaqueBaseline {
             master,
             enclave,
@@ -61,16 +67,17 @@ impl OpaqueBaseline {
     pub fn meter(&self) -> &SideChannelMeter {
         self.enclave.meter()
     }
+}
 
+impl SecureIndex for OpaqueBaseline {
     /// Encrypt and ingest one epoch. Opaque keeps no index, so the `Index`
     /// column is just a unique row counter.
-    pub fn ingest_epoch<R: RngCore>(
+    fn ingest_epoch(
         &mut self,
         epoch_start: u64,
         records: &[Record],
-        rng: &mut R,
+        _rng: &mut dyn RngCore,
     ) -> concealer_core::Result<()> {
-        let _ = rng;
         let key = self.master.epoch_key(EpochId(epoch_start), 0);
         let rows: Vec<EncryptedRow> = records
             .iter()
@@ -96,9 +103,10 @@ impl OpaqueBaseline {
     }
 
     /// Execute a query: full scan of every epoch, decrypt in the enclave,
-    /// filter, aggregate. Returns the answer plus the number of rows read
-    /// and decrypted.
-    pub fn query(&self, query: &Query) -> concealer_core::Result<(AnswerValue, usize, usize)> {
+    /// filter, aggregate. `rows_fetched` and `rows_decrypted` both equal
+    /// the full relation size — the leakage-free but ruinously expensive
+    /// profile the paper compares against.
+    fn execute(&self, query: &Query) -> concealer_core::Result<QueryAnswer> {
         let mut scanned = 0usize;
         let mut decrypted = 0usize;
         let mut matching: Vec<Record> = Vec::new();
@@ -114,29 +122,42 @@ impl OpaqueBaseline {
                 decrypted += 1;
                 self.enclave.meter().add_decryptions(1);
                 let (dims, time, payload) = codec::decode_payload_plain(&plain)?;
-                let record = Record { dims, time, payload };
+                let record = Record {
+                    dims,
+                    time,
+                    payload,
+                };
                 if record_matches(&record, &query.predicate) {
                     matching.push(record);
                 }
             }
         }
         self.store.mark_query_boundary();
-        let answer = aggregate_records(matching.iter(), query);
-        Ok((answer, scanned, decrypted))
+        Ok(QueryAnswer {
+            value: aggregate_records(matching.iter(), query),
+            rows_fetched: scanned,
+            rows_decrypted: decrypted,
+            verified: false,
+            epochs_touched: self.epoch_ids.len(),
+        })
     }
 
-    /// Merge an [`Accumulator`] API shim for parity with the core engine —
-    /// exposed mainly for tests that want the intermediate state.
-    #[must_use]
-    pub fn empty_accumulator() -> Accumulator {
-        Accumulator::default()
+    fn answer_stats(&self) -> IndexStats {
+        IndexStats {
+            backend: "opaque",
+            epochs: self.epoch_ids.len(),
+            rows_stored: self.store.total_rows(),
+            volume_hiding: true,
+            verifiable: false,
+            full_scan_per_query: true,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use concealer_core::{Aggregate, Predicate};
+    use concealer_core::query::AnswerValue;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -153,23 +174,21 @@ mod tests {
         let records = sample();
         opaque.ingest_epoch(0, &records, &mut rng).unwrap();
 
-        let q = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(vec![2]),
-                observation: None,
-                time_start: 0,
-                time_end: 1000,
-            },
-        };
-        let (answer, scanned, decrypted) = opaque.query(&q).unwrap();
+        let q = Query::count().at_dims([2]).between(0, 1000);
+        let answer = opaque.execute(&q).unwrap();
         let expected = records
             .iter()
             .filter(|r| r.dims == [2] && r.time <= 1000)
             .count() as u64;
-        assert_eq!(answer, AnswerValue::Count(expected));
-        assert_eq!(scanned, 200, "Opaque must scan the entire relation");
-        assert_eq!(decrypted, 200, "Opaque must decrypt the entire relation");
+        assert_eq!(answer.value, AnswerValue::Count(expected));
+        assert_eq!(
+            answer.rows_fetched, 200,
+            "Opaque must scan the entire relation"
+        );
+        assert_eq!(
+            answer.rows_decrypted, 200,
+            "Opaque must decrypt the entire relation"
+        );
     }
 
     #[test]
@@ -178,12 +197,10 @@ mod tests {
         let mut opaque = OpaqueBaseline::new(&mut rng);
         opaque.ingest_epoch(0, &sample(), &mut rng).unwrap();
         opaque.ingest_epoch(10_000, &sample(), &mut rng).unwrap();
-        let q = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Point { dims: vec![1], time: 10 },
-        };
-        let (_, scanned, _) = opaque.query(&q).unwrap();
-        assert_eq!(scanned, 400);
+        let q = Query::count().at_dims([1]).at(10);
+        let answer = opaque.execute(&q).unwrap();
+        assert_eq!(answer.rows_fetched, 400);
+        assert_eq!(answer.epochs_touched, 2);
         // The adversary sees full scans, not selective fetches.
         let summary = opaque.store().observer().summary();
         assert_eq!(summary.full_scans, 2);
@@ -196,20 +213,27 @@ mod tests {
         let mut opaque = OpaqueBaseline::new(&mut rng);
         let records = sample();
         opaque.ingest_epoch(0, &records, &mut rng).unwrap();
-        let q = Query {
-            aggregate: Aggregate::Sum { attr: 0 },
-            predicate: Predicate::Range {
-                dims: Some(vec![0]),
-                observation: None,
-                time_start: 0,
-                time_end: u64::MAX,
-            },
-        };
+        let q = Query::sum(0).at_dims([0]).between(0, u64::MAX);
         let expected: u64 = records
             .iter()
             .filter(|r| r.dims == [0])
             .map(|r| r.payload[0])
             .sum();
-        assert_eq!(opaque.query(&q).unwrap().0, AnswerValue::Number(Some(expected)));
+        assert_eq!(
+            opaque.execute(&q).unwrap().value,
+            AnswerValue::Number(Some(expected))
+        );
+    }
+
+    #[test]
+    fn stats_describe_the_backend() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut opaque = OpaqueBaseline::new(&mut rng);
+        opaque.ingest_epoch(0, &sample(), &mut rng).unwrap();
+        let stats = opaque.answer_stats();
+        assert_eq!(stats.backend, "opaque");
+        assert_eq!(stats.rows_stored, 200);
+        assert!(stats.full_scan_per_query);
+        assert!(stats.volume_hiding, "a full scan leaks no volumes");
     }
 }

@@ -9,7 +9,7 @@
 use concealer_baselines::DetIndexBaseline;
 use concealer_bench::setup::{build_wifi_system, WifiScale};
 use concealer_core::bins::{BinPlan, PackingAlgorithm};
-use concealer_core::{RangeMethod, RangeOptions};
+use concealer_core::{ExecOptions, RangeMethod, SecureIndex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,16 +73,16 @@ fn ablation_superbins(c: &mut Criterion) {
     group.sample_size(10);
     for (label, use_superbins) in [("off", false), ("on", true)] {
         group.bench_function(BenchmarkId::new("bpb_range_q1", label), |b| {
+            let session = bench.session().with_options(ExecOptions {
+                method: RangeMethod::Bpb,
+                use_superbins,
+                num_super_bins: 4,
+                ..ExecOptions::default()
+            });
             let mut rng = StdRng::seed_from_u64(24);
             b.iter(|| {
                 let q = bench.workload.q1(15 * 60, &mut rng);
-                let opts = RangeOptions {
-                    method: RangeMethod::Bpb,
-                    use_superbins,
-                    num_super_bins: 4,
-                    ..Default::default()
-                };
-                std::hint::black_box(bench.system.range_query(&bench.user, &q, opts).unwrap());
+                std::hint::black_box(session.execute(&q).unwrap());
             });
         });
     }
@@ -94,9 +94,10 @@ fn ablation_volume_hiding_cost(c: &mut Criterion) {
     let mut det = DetIndexBaseline::new(
         concealer_crypto::MasterKey::from_bytes([9u8; 32]),
         60,
+        bench.span_seconds,
     );
-    det.ingest_epoch(0, &bench.records);
-    let span = bench.span_seconds;
+    det.ingest_epoch(0, &bench.records, &mut StdRng::seed_from_u64(25))
+        .unwrap();
 
     let mut group = c.benchmark_group("ablation_volume_hiding_cost");
     group.sample_size(10);
@@ -104,19 +105,15 @@ fn ablation_volume_hiding_cost(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(26);
         b.iter(|| {
             let q = bench.workload.q1(20 * 60, &mut rng);
-            std::hint::black_box(det.query(&q, span).unwrap());
+            std::hint::black_box(det.execute(&q).unwrap());
         });
     });
     group.bench_function("concealer_volume_hiding", |b| {
+        let session = bench.session();
         let mut rng = StdRng::seed_from_u64(26);
         b.iter(|| {
             let q = bench.workload.q1(20 * 60, &mut rng);
-            std::hint::black_box(
-                bench
-                    .system
-                    .range_query(&bench.user, &q, RangeOptions::default())
-                    .unwrap(),
-            );
+            std::hint::black_box(session.execute(&q).unwrap());
         });
     });
     group.finish();
@@ -128,10 +125,11 @@ fn ablation_oblivious_overhead(c: &mut Criterion) {
     for (label, oblivious) in [("plain_enclave", false), ("oblivious_enclave", true)] {
         let bench = build_wifi_system(WifiScale::Tiny, oblivious, 27);
         group.bench_function(BenchmarkId::new("point_query", label), |b| {
+            let session = bench.session();
             let mut rng = StdRng::seed_from_u64(28);
             b.iter(|| {
                 let q = bench.workload.q1_point(&mut rng);
-                std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
+                std::hint::black_box(session.execute(&q).unwrap());
             });
         });
     }

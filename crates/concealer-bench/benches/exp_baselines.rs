@@ -4,7 +4,7 @@
 
 use concealer_baselines::OpaqueBaseline;
 use concealer_bench::setup::{build_wifi_system, WifiScale};
-use concealer_core::{Aggregate, Predicate, Query, RangeMethod, RangeOptions};
+use concealer_core::{ExecOptions, Query, RangeMethod, SecureIndex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,33 +22,42 @@ fn exp9_exp10_opaque_vs_concealer(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(17);
         b.iter(|| {
             let q = bench.workload.q1_point(&mut rng);
-            std::hint::black_box(opaque.query(&q).unwrap());
+            std::hint::black_box(opaque.execute(&q).unwrap());
         });
     });
     group.bench_function(BenchmarkId::new("point", "concealer_bpb"), |b| {
+        let session = bench.session();
         let mut rng = StdRng::seed_from_u64(17);
         b.iter(|| {
             let q = bench.workload.q1_point(&mut rng);
-            std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
+            std::hint::black_box(session.execute(&q).unwrap());
         });
     });
-    for (label, method) in [("concealer_ebpb", RangeMethod::Ebpb), ("concealer_winsec", RangeMethod::WinSecRange)] {
+    for (label, method) in [
+        ("concealer_ebpb", RangeMethod::Ebpb),
+        ("concealer_winsec", RangeMethod::WinSecRange),
+    ] {
         group.bench_function(BenchmarkId::new("range_q1_20min", label), |b| {
+            let session = bench
+                .session()
+                .with_options(ExecOptions::with_method(method));
             let mut rng = StdRng::seed_from_u64(18);
             b.iter(|| {
                 let q = bench.workload.q1(20 * 60, &mut rng);
-                let opts = RangeOptions { method, ..Default::default() };
-                std::hint::black_box(bench.system.range_query(&bench.user, &q, opts).unwrap());
+                std::hint::black_box(session.execute(&q).unwrap());
             });
         });
     }
-    group.bench_function(BenchmarkId::new("range_q1_20min", "opaque_full_scan"), |b| {
-        let mut rng = StdRng::seed_from_u64(18);
-        b.iter(|| {
-            let q = bench.workload.q1(20 * 60, &mut rng);
-            std::hint::black_box(opaque.query(&q).unwrap());
-        });
-    });
+    group.bench_function(
+        BenchmarkId::new("range_q1_20min", "opaque_full_scan"),
+        |b| {
+            let mut rng = StdRng::seed_from_u64(18);
+            b.iter(|| {
+                let q = bench.workload.q1(20 * 60, &mut rng);
+                std::hint::black_box(opaque.execute(&q).unwrap());
+            });
+        },
+    );
     group.finish();
 }
 
@@ -76,32 +85,28 @@ fn exp5_dynamic_multi_round(c: &mut Criterion) {
     for round in 0..3u64 {
         let start = round * 3600;
         let records = generator.generate_epoch(start, 3600, &mut rng);
-        system.ingest_epoch(start, records, &mut rng).unwrap();
+        system.ingest_epoch(start, &records, &mut rng).unwrap();
     }
-    let query = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Range {
-            dims: Some(vec![2]),
-            observation: None,
-            time_start: 0,
-            time_end: 3 * 3600 - 1,
-        },
-    };
-    let opts = RangeOptions {
+    let query = Query::count().at_dims([2]).between(0, 3 * 3600 - 1);
+    let session = system.session(&user).with_options(ExecOptions {
         method: RangeMethod::Bpb,
         forward_private: true,
-        ..Default::default()
-    };
+        ..ExecOptions::default()
+    });
 
     let mut group = c.benchmark_group("exp5_dynamic_insertion");
     group.sample_size(10);
     group.bench_function("forward_private_multi_round_query", |b| {
         b.iter(|| {
-            std::hint::black_box(system.range_query(&user, &query, opts).unwrap());
+            std::hint::black_box(session.execute(&query).unwrap());
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, exp9_exp10_opaque_vs_concealer, exp5_dynamic_multi_round);
+criterion_group!(
+    benches,
+    exp9_exp10_opaque_vs_concealer,
+    exp5_dynamic_multi_round
+);
 criterion_main!(benches);

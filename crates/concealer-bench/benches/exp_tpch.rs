@@ -2,7 +2,6 @@
 //! max queries.
 
 use concealer_bench::setup::{build_tpch_system, tpch_query_dims};
-use concealer_core::RangeOptions;
 use concealer_workloads::TpchIndex;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -13,17 +12,13 @@ fn exp8_tpch(c: &mut Criterion) {
         let bench = build_tpch_system(index, 3_000, false, 13);
         for agg in ["count", "sum", "min", "max"] {
             group.bench_function(BenchmarkId::new(agg, label), |b| {
+                let session = bench.session();
                 let mut i = 0usize;
                 b.iter(|| {
                     let dims = tpch_query_dims(&bench, i * 31 + 7);
                     i += 1;
                     let q = bench.workload_query(agg, dims);
-                    std::hint::black_box(
-                        bench
-                            .system
-                            .range_query(&bench.user, &q, RangeOptions::default())
-                            .unwrap(),
-                    );
+                    std::hint::black_box(session.execute(&q).unwrap());
                 });
             });
         }

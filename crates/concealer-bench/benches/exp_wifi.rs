@@ -1,10 +1,10 @@
 //! Criterion benches for the WiFi-dataset experiments: Exp 1 (throughput),
 //! Exp 2 (point + range queries, Table 5 / Figs 3-4), Exp 3 (range length,
-//! Fig 5), Exp 4 (verification, Table 6), Exp 6 (bin size, Fig 6) and
-//! Exp 7 (cell-ids, Fig 7).
+//! Fig 5), Exp 4 (verification, Table 6), Exp 7 (cell-ids, Fig 7), plus
+//! the batched-execution hot path (cross-query bin deduplication).
 
 use concealer_bench::setup::{build_wifi_system, build_wifi_system_with, WifiScale};
-use concealer_core::{RangeMethod, RangeOptions};
+use concealer_core::{ExecOptions, Query, RangeMethod};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,10 +31,11 @@ fn exp2_point_queries(c: &mut Criterion) {
     for (label, oblivious) in [("concealer", false), ("concealer_plus", true)] {
         let bench = build_wifi_system(WifiScale::Tiny, oblivious, 3);
         group.bench_function(BenchmarkId::new(label, "q1_point"), |b| {
+            let session = bench.session();
             let mut rng = StdRng::seed_from_u64(4);
             b.iter(|| {
                 let q = bench.workload.q1_point(&mut rng);
-                std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
+                std::hint::black_box(session.execute(&q).unwrap());
             });
         });
     }
@@ -45,13 +46,19 @@ fn exp2_range_queries(c: &mut Criterion) {
     let bench = build_wifi_system(WifiScale::Tiny, false, 5);
     let mut group = c.benchmark_group("exp2_range_queries");
     group.sample_size(10);
-    for method in [RangeMethod::Bpb, RangeMethod::Ebpb, RangeMethod::WinSecRange] {
+    for method in [
+        RangeMethod::Bpb,
+        RangeMethod::Ebpb,
+        RangeMethod::WinSecRange,
+    ] {
         group.bench_function(BenchmarkId::new("q1_20min", format!("{method:?}")), |b| {
+            let session = bench
+                .session()
+                .with_options(ExecOptions::with_method(method));
             let mut rng = StdRng::seed_from_u64(6);
             b.iter(|| {
                 let q = bench.workload.q1(20 * 60, &mut rng);
-                let opts = RangeOptions { method, ..Default::default() };
-                std::hint::black_box(bench.system.range_query(&bench.user, &q, opts).unwrap());
+                std::hint::black_box(session.execute(&q).unwrap());
             });
         });
     }
@@ -64,15 +71,11 @@ fn exp3_range_length(c: &mut Criterion) {
     group.sample_size(10);
     for minutes in [20u64, 60, 100] {
         group.bench_with_input(BenchmarkId::new("ebpb_q1", minutes), &minutes, |b, &m| {
+            let session = bench.session();
             let mut rng = StdRng::seed_from_u64(8);
             b.iter(|| {
                 let q = bench.workload.q1(m * 60, &mut rng);
-                std::hint::black_box(
-                    bench
-                        .system
-                        .range_query(&bench.user, &q, RangeOptions::default())
-                        .unwrap(),
-                );
+                std::hint::black_box(session.execute(&q).unwrap());
             });
         });
     }
@@ -92,10 +95,11 @@ fn exp4_verification(c: &mut Criterion) {
             verify,
         );
         group.bench_function(BenchmarkId::new("point_query", label), |b| {
+            let session = bench.session();
             let mut rng = StdRng::seed_from_u64(10);
             b.iter(|| {
                 let q = bench.workload.q1_point(&mut rng);
-                std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
+                std::hint::black_box(session.execute(&q).unwrap());
             });
         });
     }
@@ -107,14 +111,54 @@ fn exp7_cellids(c: &mut Criterion) {
     group.sample_size(10);
     for cell_ids in [15u32, 30, 60] {
         let bench = build_wifi_system_with(WifiScale::Tiny, false, 11, Some(cell_ids), None);
-        group.bench_with_input(BenchmarkId::new("point_query", cell_ids), &cell_ids, |b, _| {
-            let mut rng = StdRng::seed_from_u64(12);
-            b.iter(|| {
-                let q = bench.workload.q1_point(&mut rng);
-                std::hint::black_box(bench.system.point_query(&bench.user, &q).unwrap());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("point_query", cell_ids),
+            &cell_ids,
+            |b, _| {
+                let session = bench.session();
+                let mut rng = StdRng::seed_from_u64(12);
+                b.iter(|| {
+                    let q = bench.workload.q1_point(&mut rng);
+                    std::hint::black_box(session.execute(&q).unwrap());
+                });
+            },
+        );
     }
+    group.finish();
+}
+
+/// The batched hot path: a 32-query mix executed sequentially versus via
+/// `Session::execute_batch`, which fetches every shared bin once.
+fn batch_dedup(c: &mut Criterion) {
+    let bench = build_wifi_system(WifiScale::Tiny, false, 13);
+    let mut rng = StdRng::seed_from_u64(14);
+    let queries: Vec<Query> = (0..32)
+        .map(|i| {
+            if i % 4 == 0 {
+                bench.workload.q1_point(&mut rng)
+            } else {
+                bench.workload.q1(30 * 60, &mut rng)
+            }
+        })
+        .collect();
+    let session = bench
+        .session()
+        .with_options(ExecOptions::with_method(RangeMethod::Bpb));
+
+    let mut group = c.benchmark_group("batch_execution");
+    group.sample_size(10);
+    group.bench_function("sequential_32", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(session.execute(q).unwrap());
+            }
+        });
+    });
+    group.bench_function("batched_32", |b| {
+        b.iter(|| {
+            std::hint::black_box(session.execute_batch(&queries));
+        });
+    });
     group.finish();
 }
 
@@ -125,6 +169,7 @@ criterion_group!(
     exp2_range_queries,
     exp3_range_length,
     exp4_verification,
-    exp7_cellids
+    exp7_cellids,
+    batch_dedup
 );
 criterion_main!(benches);

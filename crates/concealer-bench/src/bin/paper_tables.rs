@@ -27,8 +27,14 @@ fn main() {
     }
     if want("exp2") {
         blocks.push(("exp2 (point)", experiments::exp2_point()));
-        blocks.push(("exp2 (range, small)", experiments::exp2_range(WifiScale::Small)));
-        blocks.push(("exp2 (range, large)", experiments::exp2_range(WifiScale::Large)));
+        blocks.push((
+            "exp2 (range, small)",
+            experiments::exp2_range(WifiScale::Small),
+        ));
+        blocks.push((
+            "exp2 (range, large)",
+            experiments::exp2_range(WifiScale::Large),
+        ));
     }
     if want("exp3") {
         blocks.push(("exp3", experiments::exp3_range_length()));
@@ -60,7 +66,10 @@ fn main() {
         std::process::exit(1);
     }
 
-    println!("Concealer paper reproduction — CONCEALER_SCALE={}", concealer_bench::scale_multiplier());
+    println!(
+        "Concealer paper reproduction — CONCEALER_SCALE={}",
+        concealer_bench::scale_multiplier()
+    );
     println!("================================================================");
     for (_, lines) in blocks {
         for line in lines {

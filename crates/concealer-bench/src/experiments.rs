@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use concealer_baselines::{CleartextBaseline, OpaqueBaseline};
-use concealer_core::{Aggregate, Predicate, Query, RangeMethod, RangeOptions};
+use concealer_core::{Aggregate, ExecOptions, Predicate, Query, RangeMethod, SecureIndex};
 use concealer_workloads::TpchIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,22 +26,16 @@ const QUERY_REPS: usize = 5;
 fn mean_query_time(
     bench: &crate::setup::ScaledWifi,
     make_query: impl Fn(&mut StdRng) -> Query,
-    opts: Option<RangeOptions>,
+    opts: Option<ExecOptions>,
     seed: u64,
 ) -> (Duration, usize) {
+    let session = bench.session().with_options(opts.unwrap_or_default());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut total = Duration::ZERO;
     let mut fetched = 0usize;
     for _ in 0..QUERY_REPS {
         let q = make_query(&mut rng);
-        let (answer, d) = time_once(|| match (&q.predicate, opts) {
-            (Predicate::Point { .. }, _) => bench.system.point_query(&bench.user, &q).unwrap(),
-            (_, Some(o)) => bench.system.range_query(&bench.user, &q, o).unwrap(),
-            (_, None) => bench
-                .system
-                .range_query(&bench.user, &q, RangeOptions::default())
-                .unwrap(),
-        });
+        let (answer, d) = time_once(|| session.execute(&q).unwrap());
         total += d;
         fetched = answer.rows_fetched;
     }
@@ -84,15 +78,18 @@ pub fn exp2_point() -> Vec<String> {
         let obliv = build_wifi_system(scale, true, 21);
         let cleartext = {
             let mut c = CleartextBaseline::new();
-            c.ingest_epoch(0, plain.records.clone());
+            c.ingest_epoch(0, &plain.records, &mut StdRng::seed_from_u64(0))
+                .expect("cleartext ingest");
             c
         };
         let mut rng = StdRng::seed_from_u64(22);
-        let queries: Vec<Query> = (0..QUERY_REPS).map(|_| plain.workload.q1_point(&mut rng)).collect();
+        let queries: Vec<Query> = (0..QUERY_REPS)
+            .map(|_| plain.workload.q1_point(&mut rng))
+            .collect();
 
         let clear_t = crate::time_mean(QUERY_REPS, || {
             for q in &queries {
-                std::hint::black_box(cleartext.query(q));
+                std::hint::black_box(cleartext.execute(q).unwrap());
             }
         }) / QUERY_REPS as u32;
         let (conc_t, fetched) = mean_query_time(&plain, |r| plain.workload.q1_point(r), None, 23);
@@ -109,7 +106,9 @@ pub fn exp2_point() -> Vec<String> {
             fmt_duration(obliv_t)
         ));
     }
-    out.push("  paper: 0.03/0.05 s cleartext, 0.23/0.90 s Concealer, 0.37/1.38 s Concealer+".to_string());
+    out.push(
+        "  paper: 0.03/0.05 s cleartext, 0.23/0.90 s Concealer, 0.37/1.38 s Concealer+".to_string(),
+    );
     out
 }
 
@@ -120,16 +119,29 @@ pub fn exp2_range(scale: WifiScale) -> Vec<String> {
     let range = 20 * 60;
     for oblivious in [false, true] {
         let bench = build_wifi_system(scale, oblivious, 31);
-        let label = if oblivious { "Concealer+" } else { "Concealer " };
-        for method in [RangeMethod::Bpb, RangeMethod::Ebpb, RangeMethod::WinSecRange] {
+        let label = if oblivious {
+            "Concealer+"
+        } else {
+            "Concealer "
+        };
+        for method in [
+            RangeMethod::Bpb,
+            RangeMethod::Ebpb,
+            RangeMethod::WinSecRange,
+        ] {
+            let session = bench
+                .session()
+                .with_options(ExecOptions::with_method(method));
             let mut rng = StdRng::seed_from_u64(32);
             let queries = bench.workload.all_range_queries(range, &mut rng);
             let mut cells = Vec::new();
             for (name, q) in &queries {
-                let opts = RangeOptions { method, ..Default::default() };
-                let (answer, d) =
-                    time_once(|| bench.system.range_query(&bench.user, q, opts).unwrap());
-                cells.push(format!("{name}={} ({} rows)", fmt_duration(d), answer.rows_fetched));
+                let (answer, d) = time_once(|| session.execute(q).unwrap());
+                cells.push(format!(
+                    "{name}={} ({} rows)",
+                    fmt_duration(d),
+                    answer.rows_fetched
+                ));
             }
             out.push(format!("  {label} {method:?}: {}", cells.join(", ")));
         }
@@ -144,11 +156,15 @@ pub fn exp3_range_length() -> Vec<String> {
     let bench = build_wifi_system(WifiScale::Large, false, 41);
     for minutes in [20u64, 60, 100, 200, 400] {
         let mut cells = Vec::new();
-        for method in [RangeMethod::Bpb, RangeMethod::Ebpb, RangeMethod::WinSecRange] {
+        for method in [
+            RangeMethod::Bpb,
+            RangeMethod::Ebpb,
+            RangeMethod::WinSecRange,
+        ] {
             let (d, fetched) = mean_query_time(
                 &bench,
                 |r| bench.workload.q1(minutes * 60, r),
-                Some(RangeOptions { method, ..Default::default() }),
+                Some(ExecOptions::with_method(method)),
                 42 + minutes,
             );
             cells.push(format!("{method:?}={} ({fetched} rows)", fmt_duration(d)));
@@ -171,13 +187,13 @@ pub fn exp4_verification() -> Vec<String> {
         let (t_win_v, fetched_win) = mean_query_time(
             &with,
             |r| with.workload.q1(with.span_seconds / 3, r),
-            Some(RangeOptions { method: RangeMethod::WinSecRange, ..Default::default() }),
+            Some(ExecOptions::with_method(RangeMethod::WinSecRange)),
             53,
         );
         let (t_win_nv, _) = mean_query_time(
             &without,
             |r| without.workload.q1(without.span_seconds / 3, r),
-            Some(RangeOptions { method: RangeMethod::WinSecRange, ..Default::default() }),
+            Some(ExecOptions::with_method(RangeMethod::WinSecRange)),
             53,
         );
         out.push(format!(
@@ -191,7 +207,9 @@ pub fn exp4_verification() -> Vec<String> {
             fmt_duration(t_win_nv)
         ));
     }
-    out.push("  paper: verification adds 0.09-0.16 s (point) and 0.8-3 s (winSecRange)".to_string());
+    out.push(
+        "  paper: verification adds 0.09-0.16 s (point) and 0.8-3 s (winSecRange)".to_string(),
+    );
     out
 }
 
@@ -234,7 +252,7 @@ pub fn exp5_dynamic() -> Vec<String> {
         let records = generator.generate_epoch(start, 3600, &mut rng);
         rows_total += records.len();
         let ((), d) = time_once(|| {
-            system.ingest_epoch(start, records, &mut rng).unwrap();
+            system.ingest_epoch(start, &records, &mut rng).unwrap();
         });
         insert_total += d;
     }
@@ -245,21 +263,15 @@ pub fn exp5_dynamic() -> Vec<String> {
     ));
 
     // A forward-private query spanning all rounds.
-    let query = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Range {
-            dims: Some(vec![3]),
-            observation: None,
-            time_start: 8 * 3600,
-            time_end: 8 * 3600 + rounds * 3600 - 1,
-        },
-    };
-    let opts = RangeOptions {
+    let query = Query::count()
+        .at_dims([3])
+        .between(8 * 3600, 8 * 3600 + rounds * 3600 - 1);
+    let session = system.session(&user).with_options(ExecOptions {
         method: RangeMethod::Bpb,
         forward_private: true,
-        ..Default::default()
-    };
-    let (answer, d) = time_once(|| system.range_query(&user, &query, opts).unwrap());
+        ..ExecOptions::default()
+    });
+    let (answer, d) = time_once(|| session.execute(&query).unwrap());
     out.push(format!(
         "  multi-round query across {rounds} rounds: {} ({} rows fetched, incl. log|Bin| extra bins per round, all re-encrypted)",
         fmt_duration(d),
@@ -278,7 +290,9 @@ pub fn exp6_binsize() -> Vec<String> {
     let mut out = vec!["Exp 6 / Fig 6: real vs fake tuples per bin as bin size grows".to_string()];
     let bench = build_wifi_system(WifiScale::Large, false, 71);
     let (num_bins, min_bin) = bench.bin_stats;
-    out.push(format!("  ingested plan: {num_bins} bins at minimum bin size {min_bin}"));
+    out.push(format!(
+        "  ingested plan: {num_bins} bins at minimum bin size {min_bin}"
+    ));
 
     // Recompute the per-cell-id tuple histogram exactly as Algorithm 1
     // distributes it (the data provider legitimately knows this).
@@ -286,7 +300,10 @@ pub fn exp6_binsize() -> Vec<String> {
     let config = provider.config().clone();
     let grid = Grid::new(
         config.grid.clone(),
-        EpochWindow { start: 0, duration: config.epoch_duration },
+        EpochWindow {
+            start: 0,
+            duration: config.epoch_duration,
+        },
         provider.master().grid_prf(EpochId(0)),
     );
     let assignment = grid.cell_id_assignment();
@@ -308,14 +325,18 @@ pub fn exp6_binsize() -> Vec<String> {
             plan.num_bins()
         ));
     }
-    out.push("  paper shape: bins stay mostly real; growing the bin size does not inflate fakes per bin".to_string());
+    out.push(
+        "  paper shape: bins stay mostly real; growing the bin size does not inflate fakes per bin"
+            .to_string(),
+    );
     out
 }
 
 /// Exp 7 / Figure 7: impact of the number of cell-ids on rows fetched per
 /// point query.
 pub fn exp7_cellids() -> Vec<String> {
-    let mut out = vec!["Exp 7 / Fig 7: tuples fetched per point query vs number of cell-ids".to_string()];
+    let mut out =
+        vec!["Exp 7 / Fig 7: tuples fetched per point query vs number of cell-ids".to_string()];
     for cell_ids in [60u32, 120, 240, 450, 900] {
         let bench = build_wifi_system_with(WifiScale::Large, false, 81, Some(cell_ids), None);
         let (_, fetched) = mean_query_time(&bench, |r| bench.workload.q1_point(r), None, 82);
@@ -330,9 +351,12 @@ pub fn exp7_cellids() -> Vec<String> {
 
 /// Exp 8 / Figure 8: TPC-H 2-D and 4-D aggregations.
 pub fn exp8_tpch(rows: u64) -> Vec<String> {
-    let mut out = vec![format!("Exp 8 / Fig 8: TPC-H aggregations ({rows} rows per index)")];
+    let mut out = vec![format!(
+        "Exp 8 / Fig 8: TPC-H aggregations ({rows} rows per index)"
+    )];
     for index in [TpchIndex::TwoD, TpchIndex::FourD] {
         let bench = build_tpch_system(index, rows, false, 91);
+        let session = bench.session();
         let mut cells = Vec::new();
         for agg in ["count", "sum", "min", "max"] {
             let mut rng = StdRng::seed_from_u64(92);
@@ -340,12 +364,7 @@ pub fn exp8_tpch(rows: u64) -> Vec<String> {
             for i in 0..QUERY_REPS {
                 let dims = tpch_query_dims(&bench, i * 37 + rng.gen_range(0..13));
                 let q = bench.workload_query(agg, dims);
-                let (_, d) = time_once(|| {
-                    bench
-                        .system
-                        .range_query(&bench.user, &q, RangeOptions::default())
-                        .unwrap()
-                });
+                let (_, d) = time_once(|| session.execute(&q).unwrap());
                 total += d;
             }
             cells.push(format!("{agg}={}", fmt_duration(total / QUERY_REPS as u32)));
@@ -366,7 +385,7 @@ pub fn exp9_opaque_point() -> Vec<String> {
         opaque.ingest_epoch(0, &bench.records, &mut rng).unwrap();
 
         let q = bench.workload.q1_point(&mut rng);
-        let (_, opaque_t) = time_once(|| opaque.query(&q).unwrap());
+        let (_, opaque_t) = time_once(|| opaque.execute(&q).unwrap());
         let (conc_t, _) = mean_query_time(&bench, |r| bench.workload.q1_point(r), None, 103);
         let speedup = opaque_t.as_secs_f64() / conc_t.as_secs_f64().max(1e-9);
         out.push(format!(
@@ -385,27 +404,24 @@ pub fn exp9_opaque_point() -> Vec<String> {
 /// Exp 10 / Table 7: Opaque vs Concealer (eBPB and winSecRange) on range
 /// queries Q1-Q5.
 pub fn exp10_opaque_range() -> Vec<String> {
-    let mut out = vec!["Exp 10 / Table 7: Opaque vs Concealer, range queries Q1-Q5 (large)".to_string()];
+    let mut out =
+        vec!["Exp 10 / Table 7: Opaque vs Concealer, range queries Q1-Q5 (large)".to_string()];
     let bench = build_wifi_system(WifiScale::Large, false, 111);
     let mut rng = StdRng::seed_from_u64(112);
     let mut opaque = OpaqueBaseline::new(&mut rng);
     opaque.ingest_epoch(0, &bench.records, &mut rng).unwrap();
 
+    let ebpb_session = bench
+        .session()
+        .with_options(ExecOptions::with_method(RangeMethod::Ebpb));
+    let win_session = bench
+        .session()
+        .with_options(ExecOptions::with_method(RangeMethod::WinSecRange));
     let queries = bench.workload.all_range_queries(20 * 60, &mut rng);
     for (name, q) in &queries {
-        let (_, opaque_t) = time_once(|| opaque.query(q).unwrap());
-        let (_, ebpb_t) = time_once(|| {
-            bench
-                .system
-                .range_query(&bench.user, q, RangeOptions { method: RangeMethod::Ebpb, ..Default::default() })
-                .unwrap()
-        });
-        let (_, win_t) = time_once(|| {
-            bench
-                .system
-                .range_query(&bench.user, q, RangeOptions { method: RangeMethod::WinSecRange, ..Default::default() })
-                .unwrap()
-        });
+        let (_, opaque_t) = time_once(|| opaque.execute(q).unwrap());
+        let (_, ebpb_t) = time_once(|| ebpb_session.execute(q).unwrap());
+        let (_, win_t) = time_once(|| win_session.execute(q).unwrap());
         out.push(format!(
             "  {name}: Opaque {} | eBPB {} | winSecRange {}",
             fmt_duration(opaque_t),

@@ -2,9 +2,11 @@
 //! binary.
 
 use concealer_core::{
-    ConcealerSystem, FakeTupleStrategy, GridShape, Query, Record, SystemConfig, UserHandle,
+    ConcealerSystem, FakeTupleStrategy, GridShape, Query, Record, Session, SystemConfig, UserHandle,
 };
-use concealer_workloads::{QueryWorkload, TpchConfig, TpchGenerator, TpchIndex, WifiConfig, WifiGenerator};
+use concealer_workloads::{
+    QueryWorkload, TpchConfig, TpchGenerator, TpchIndex, WifiConfig, WifiGenerator,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -90,6 +92,14 @@ pub struct ScaledWifi {
     pub bin_stats: (usize, u64),
 }
 
+impl ScaledWifi {
+    /// Open a query session for the benchmark user with default options.
+    #[must_use]
+    pub fn session(&self) -> Session<'_> {
+        self.system.session(&self.user)
+    }
+}
+
 /// Build a Concealer system loaded with synthetic WiFi data at the given
 /// scale. `oblivious` selects Concealer (+) — the paper's side-channel
 /// hardened variant.
@@ -109,7 +119,14 @@ pub fn build_wifi_system_with(
     num_cell_ids_override: Option<u32>,
     winsec_rows_override: Option<u64>,
 ) -> ScaledWifi {
-    build_wifi_system_full(scale, oblivious, seed, num_cell_ids_override, winsec_rows_override, true)
+    build_wifi_system_full(
+        scale,
+        oblivious,
+        seed,
+        num_cell_ids_override,
+        winsec_rows_override,
+        true,
+    )
 }
 
 /// The fully parameterized WiFi system builder.
@@ -156,7 +173,7 @@ pub fn build_wifi_system_full(
     let devices: Vec<u64> = (1000..1500).collect();
     let user = system.register_user(1, devices.clone(), true);
     system
-        .ingest_epoch(0, records.clone(), &mut rng)
+        .ingest_epoch(0, &records, &mut rng)
         .expect("ingest benchmark epoch");
     let bin_stats = system.engine().bin_stats(0).expect("bin stats");
 
@@ -187,6 +204,14 @@ pub struct TpchBench {
     pub epoch_duration: u64,
     /// The index layout generated.
     pub index: TpchIndex,
+}
+
+impl TpchBench {
+    /// Open a query session for the benchmark user with default options.
+    #[must_use]
+    pub fn session(&self) -> Session<'_> {
+        self.system.session(&self.user)
+    }
 }
 
 /// Build a Concealer system loaded with synthetic TPC-H LineItem data for
@@ -231,7 +256,7 @@ pub fn build_tpch_system(index: TpchIndex, rows: u64, oblivious: bool, seed: u64
     let mut system = ConcealerSystem::new(config, &mut rng);
     let user = system.register_user(1, vec![], true);
     system
-        .ingest_epoch(0, records.clone(), &mut rng)
+        .ingest_epoch(0, &records, &mut rng)
         .expect("ingest TPC-H epoch");
     TpchBench {
         system,
@@ -262,7 +287,6 @@ pub fn cleartext_count(records: &[Record], query: &Query) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use concealer_core::{Aggregate, Predicate, RangeOptions};
 
     #[test]
     fn tiny_wifi_system_builds_and_answers() {
@@ -271,33 +295,27 @@ mod tests {
         assert!(bench.bin_stats.0 > 0);
         let mut rng = StdRng::seed_from_u64(2);
         let q = bench.workload.q1(600, &mut rng);
-        let answer = bench
-            .system
-            .range_query(&bench.user, &q, RangeOptions::default())
-            .unwrap();
+        let answer = bench.session().execute(&q).unwrap();
         let expected = cleartext_count(&bench.records, &q);
-        assert_eq!(answer.value, concealer_core::query::AnswerValue::Count(expected));
+        assert_eq!(
+            answer.value,
+            concealer_core::query::AnswerValue::Count(expected)
+        );
     }
 
     #[test]
     fn tiny_tpch_system_builds_and_answers() {
         let bench = build_tpch_system(TpchIndex::TwoD, 1_500, false, 3);
         let dims = tpch_query_dims(&bench, 7);
-        let q = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(dims.clone()),
-                observation: None,
-                time_start: 0,
-                time_end: bench.epoch_duration - 1,
-            },
-        };
-        let answer = bench
-            .system
-            .range_query(&bench.user, &q, RangeOptions::default())
-            .unwrap();
+        let q = Query::count()
+            .at_dims(dims)
+            .between(0, bench.epoch_duration - 1);
+        let answer = bench.session().execute(&q).unwrap();
         let expected = cleartext_count(&bench.records, &q);
-        assert_eq!(answer.value, concealer_core::query::AnswerValue::Count(expected));
+        assert_eq!(
+            answer.value,
+            concealer_core::query::AnswerValue::Count(expected)
+        );
         assert!(expected >= 1);
     }
 

@@ -1,0 +1,252 @@
+//! The unified query surface: [`ExecOptions`], [`Session`] handles and the
+//! [`SecureIndex`] trait.
+//!
+//! Every executor in the workspace — [`ConcealerSystem`] and the three
+//! baselines in `concealer-baselines` — answers the same [`Query`] model
+//! behind the same normalized [`QueryAnswer`], so equivalence tests,
+//! benchmarks and examples are written once against this module instead of
+//! hand-rolling per-backend glue.
+//!
+//! The three pieces:
+//!
+//! * [`ExecOptions`] — everything that tunes *how* a query executes (range
+//!   method, super-bins, forward privacy, verification, obliviousness),
+//!   the merge of the old `RangeOptions` with the per-deployment toggles.
+//! * [`Session`] — a user's handle on a [`ConcealerSystem`]: it carries the
+//!   authenticated [`UserHandle`] plus default `ExecOptions`, and exposes
+//!   [`Session::execute`] (dispatching on the predicate, replacing the old
+//!   `point_query`/`range_query` split) and [`Session::execute_batch`]
+//!   (cross-query bin deduplication — see the engine docs).
+//! * [`SecureIndex`] — the minimal executor interface (`ingest_epoch` /
+//!   `execute` / `answer_stats`) every backend implements.
+
+use rand::RngCore;
+
+use crate::engine::{scope_for_query, ConcealerSystem, RangeMethod, UserHandle};
+use crate::query::{Query, QueryAnswer};
+use crate::types::Record;
+use crate::Result;
+
+/// Options controlling query execution (the merge of the old
+/// `RangeOptions` with the verification and obliviousness toggles).
+///
+/// A [`Session`] carries one of these as its defaults; individual calls can
+/// override them with [`Session::execute_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Which method range queries execute with (§4.2, §5.2, §5.3).
+    /// Point queries always fetch their single bin and ignore this.
+    pub method: RangeMethod,
+    /// Whether to group bins into super-bins (§8) and fetch whole
+    /// super-bins, defending against query-workload frequency attacks.
+    pub use_superbins: bool,
+    /// Number of super-bins (`f` in §8).
+    pub num_super_bins: usize,
+    /// Whether to run the §6 multi-round protocol: fetch extra random bins
+    /// from every round the query spans and re-encrypt everything fetched.
+    pub forward_private: bool,
+    /// Whether to hash-chain-verify fetched bins. Effective only when the
+    /// deployment shipped verification tags (`SystemConfig::verify_integrity`);
+    /// setting it to `false` skips verification even when tags exist.
+    pub verify: bool,
+    /// Override the enclave's oblivious (Concealer+) mode for this
+    /// execution: `None` inherits the deployment default.
+    pub oblivious: Option<bool>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            method: RangeMethod::default(),
+            use_superbins: false,
+            num_super_bins: 4,
+            forward_private: false,
+            verify: true,
+            oblivious: None,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options selecting a specific range method, otherwise default.
+    #[must_use]
+    pub fn with_method(method: RangeMethod) -> Self {
+        ExecOptions {
+            method,
+            ..Self::default()
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<crate::engine::RangeOptions> for ExecOptions {
+    fn from(opts: crate::engine::RangeOptions) -> Self {
+        ExecOptions {
+            method: opts.method,
+            use_superbins: opts.use_superbins,
+            num_super_bins: opts.num_super_bins,
+            forward_private: opts.forward_private,
+            ..Self::default()
+        }
+    }
+}
+
+/// A user's authenticated handle on a [`ConcealerSystem`]: the single entry
+/// point for executing queries.
+///
+/// ```
+/// # use concealer_core::{ConcealerSystem, SystemConfig, Query, Record};
+/// # use rand::SeedableRng;
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// # let mut system = ConcealerSystem::new(SystemConfig::small_test(), &mut rng);
+/// # let user = system.register_user(7, vec![1000], true);
+/// # let records: Vec<Record> = (0..50)
+/// #     .map(|i| Record::spatial(i % 4, i * 60, 1000 + i % 3))
+/// #     .collect();
+/// # system.ingest_epoch(0, &records, &mut rng).unwrap();
+/// let session = system.session(&user);
+/// let answer = session
+///     .execute(&Query::count().at_dims([3]).between(0, 1_799))
+///     .unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session<'a> {
+    system: &'a ConcealerSystem,
+    user: UserHandle,
+    options: ExecOptions,
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn new(system: &'a ConcealerSystem, user: UserHandle) -> Self {
+        Session {
+            system,
+            user,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Replace the session's default execution options (builder style).
+    #[must_use]
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The session's default execution options.
+    #[must_use]
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
+    }
+
+    /// The user this session executes as.
+    #[must_use]
+    pub fn user(&self) -> &UserHandle {
+        &self.user
+    }
+
+    /// Execute one query with the session's default options, dispatching on
+    /// the predicate (point fetches its bin; ranges run the configured
+    /// range method).
+    pub fn execute(&self, query: &Query) -> Result<QueryAnswer> {
+        self.execute_with(query, self.options)
+    }
+
+    /// Execute one query with explicit options (overriding the session
+    /// defaults for this call only).
+    pub fn execute_with(&self, query: &Query, options: ExecOptions) -> Result<QueryAnswer> {
+        self.system
+            .engine()
+            .execute(&self.user, query, options, scope_for_query(query))
+    }
+
+    /// Execute a batch of queries. Under the bin-granular BPB method
+    /// (`ExecOptions::method = RangeMethod::Bpb`), `(epoch, bin)` fetches
+    /// are deduplicated across the batch: each bin the batch needs is
+    /// fetched — and hash-chain-verified — exactly once, then filtered and
+    /// aggregated per query, with answers (including per-query fetch
+    /// metadata) identical to sequential execution. Sessions configured
+    /// with eBPB / winSecRange or forward privacy execute the batch
+    /// sequentially instead, preserving their access-pattern profile
+    /// exactly; see [`crate::engine::QueryEngine::execute_batch`] for the
+    /// leakage argument.
+    pub fn execute_batch(&self, queries: &[Query]) -> Vec<Result<QueryAnswer>> {
+        self.system
+            .engine()
+            .execute_batch(&self.user, queries, self.options)
+    }
+}
+
+/// Descriptive statistics a [`SecureIndex`] backend reports about how it
+/// answers queries — its cost/leakage profile plus storage totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Short backend identifier (`"concealer"`, `"cleartext"`, …).
+    pub backend: &'static str,
+    /// Epochs ingested so far.
+    pub epochs: usize,
+    /// Rows stored (for Concealer this includes volume-hiding fakes).
+    pub rows_stored: usize,
+    /// Whether per-query fetch volumes are independent of the data
+    /// distribution.
+    pub volume_hiding: bool,
+    /// Whether fetched data is integrity-verified against provider tags.
+    pub verifiable: bool,
+    /// Whether every query scans the full store (Opaque-style baselines).
+    pub full_scan_per_query: bool,
+}
+
+/// The minimal interface every secure-index backend exposes: ingest epochs,
+/// execute queries behind the normalized [`QueryAnswer`], and describe
+/// itself. Implemented by [`ConcealerSystem`] and by all three baselines in
+/// `concealer-baselines`, so equivalence tests and benchmarks can treat
+/// backends uniformly.
+pub trait SecureIndex {
+    /// Encrypt (where applicable) and ingest one epoch of records.
+    fn ingest_epoch(
+        &mut self,
+        epoch_start: u64,
+        records: &[Record],
+        rng: &mut dyn RngCore,
+    ) -> Result<()>;
+
+    /// Execute one query and return the normalized answer.
+    fn execute(&self, query: &Query) -> Result<QueryAnswer>;
+
+    /// The backend's execution profile and storage totals.
+    fn answer_stats(&self) -> IndexStats;
+}
+
+impl SecureIndex for ConcealerSystem {
+    /// Ingest via the data provider pipeline (Phase 1 of the paper).
+    fn ingest_epoch(
+        &mut self,
+        epoch_start: u64,
+        records: &[Record],
+        mut rng: &mut dyn RngCore,
+    ) -> Result<()> {
+        // `&mut &mut dyn RngCore` is a sized `RngCore`, satisfying the
+        // inherent method's generic bound.
+        ConcealerSystem::ingest_epoch(self, epoch_start, records, &mut rng).map(|_| ())
+    }
+
+    /// Execute as the system's default user (the first registered user)
+    /// with default [`ExecOptions`]. Use [`ConcealerSystem::session`] when
+    /// a specific user or non-default options are needed.
+    fn execute(&self, query: &Query) -> Result<QueryAnswer> {
+        let user = self.default_user().ok_or(crate::CoreError::InvalidQuery {
+            reason: "SecureIndex::execute needs a registered user; call register_user first",
+        })?;
+        self.session(user).execute(query)
+    }
+
+    fn answer_stats(&self) -> IndexStats {
+        IndexStats {
+            backend: "concealer",
+            epochs: self.engine().registered_epochs().len(),
+            rows_stored: self.store().total_rows(),
+            volume_hiding: true,
+            verifiable: self.engine().config().verify_integrity,
+            full_scan_per_query: false,
+        }
+    }
+}

@@ -87,9 +87,9 @@ impl BinPlan {
         for cid in order {
             let w = c_tuple[cid as usize] as u64;
             let slot = match algorithm {
-                PackingAlgorithm::FirstFitDecreasing => loads
-                    .iter()
-                    .position(|&load| load + w <= bin_size),
+                PackingAlgorithm::FirstFitDecreasing => {
+                    loads.iter().position(|&load| load + w <= bin_size)
+                }
                 PackingAlgorithm::BestFitDecreasing => loads
                     .iter()
                     .enumerate()
@@ -169,7 +169,11 @@ impl BinPlan {
     /// the oblivious trapdoor generation).
     #[must_use]
     pub fn max_cells_per_bin(&self) -> usize {
-        self.bins.iter().map(|b| b.cell_ids.len()).max().unwrap_or(0)
+        self.bins
+            .iter()
+            .map(|b| b.cell_ids.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum number of fake tuples any bin needs (`#f_max` in §4.3).
@@ -218,7 +222,10 @@ mod tests {
     #[test]
     fn fake_ranges_are_disjoint_and_cover_padding() {
         let c_tuple = [10u32, 3, 9, 1, 0, 6];
-        for algo in [PackingAlgorithm::FirstFitDecreasing, PackingAlgorithm::BestFitDecreasing] {
+        for algo in [
+            PackingAlgorithm::FirstFitDecreasing,
+            PackingAlgorithm::BestFitDecreasing,
+        ] {
             let plan = BinPlan::build(&c_tuple, algo, None);
             let mut ranges: Vec<(u64, u64)> = plan.bins.iter().map(|b| b.fake_range).collect();
             ranges.sort_unstable();

@@ -187,7 +187,11 @@ mod tests {
     fn reencrypted_rows_are_findable_under_new_key() {
         let (old, new) = keys();
         let mut rng = StdRng::seed_from_u64(1);
-        let rows = vec![real_row(&old, 2, 1), real_row(&old, 2, 2), fake_row(&old, 0)];
+        let rows = vec![
+            real_row(&old, 2, 1),
+            real_row(&old, 2, 2),
+            fake_row(&old, 0),
+        ];
         let out = reencrypt_bin(&old, &new, &rows, &[2], 4, &mut rng).unwrap();
         assert_eq!(out.replacements.len(), 3);
 
@@ -209,7 +213,10 @@ mod tests {
 
         // Old-key trapdoors no longer match any replacement.
         let old_trapdoor = old.det.encrypt(&codec::index_real_plain(2, 1));
-        assert!(out.replacements.iter().all(|(_, r)| r.index_key != old_trapdoor));
+        assert!(out
+            .replacements
+            .iter()
+            .all(|(_, r)| r.index_key != old_trapdoor));
     }
 
     #[test]

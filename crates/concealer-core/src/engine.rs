@@ -7,9 +7,14 @@
 //! the BPB / eBPB / winSecRange methods, verifies, filters and aggregates
 //! the fetched tuples, and — for multi-round queries — re-encrypts what it
 //! fetched to preserve forward privacy.
+//!
+//! The public entry points are [`QueryEngine::execute`] (one query,
+//! dispatching on its predicate) and [`QueryEngine::execute_batch`]
+//! (many queries with cross-query bin deduplication); both are normally
+//! reached through [`crate::Session`]. The pre-0.2 `point_query` /
+//! `range_query` split survives as deprecated shims.
 
-use std::collections::{BTreeMap, HashMap};
-
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use concealer_crypto::{EpochId, EpochKey, MasterKey};
 use concealer_enclave::registry::{Credential, QueryScope, UserId, UserRegistry};
@@ -19,13 +24,16 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use crate::api::{ExecOptions, Session};
 use crate::bins::{BinPlan, PackingAlgorithm};
 use crate::codec;
 use crate::config::SystemConfig;
 use crate::dynamic;
 use crate::grid::Grid;
 use crate::provider::{DataProvider, EpochStats};
-use crate::query::filter::{build_filter_plan, process_rows_oblivious, process_rows_plain, FilterPlan};
+use crate::query::filter::{
+    build_filter_plan, process_rows_oblivious, process_rows_plain, FilterPlan,
+};
 use crate::query::trapdoor::{generate_oblivious, generate_plain, FetchSpec};
 use crate::query::{Accumulator, Predicate, Query, QueryAnswer};
 use crate::superbin::SuperBinPlan;
@@ -48,7 +56,12 @@ pub enum RangeMethod {
     WinSecRange,
 }
 
-/// Options controlling range-query execution.
+/// Options controlling range-query execution (pre-0.2 API).
+///
+/// Superseded by [`ExecOptions`], which adds the verification and
+/// obliviousness toggles; `ExecOptions::from(range_options)` migrates a
+/// value. Kept (un-deprecated) because the deprecated `range_query` shims
+/// still accept it.
 #[derive(Debug, Clone, Copy)]
 pub struct RangeOptions {
     /// Which method to execute the range with.
@@ -111,8 +124,7 @@ struct WinSecPlan {
     /// their tuple counts, plus the fake range padding the interval to the
     /// common size.
     intervals: Vec<WinSecInterval>,
-    /// Common (maximum) interval size in tuples (kept for diagnostics).
-    #[allow(dead_code)]
+    /// Common (maximum) interval size in tuples.
     interval_size: u64,
     /// Interval length in grid time rows (λ).
     rows_per_interval: u64,
@@ -121,9 +133,36 @@ struct WinSecPlan {
 #[derive(Debug, Clone)]
 struct WinSecInterval {
     cells: Vec<(u32, u32)>,
-    #[allow(dead_code)]
     real: u64,
     fake_range: (u64, u64),
+}
+
+/// Diagnostics for one epoch's query plans, exposed by
+/// [`QueryEngine::plan_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStats {
+    /// The epoch the statistics describe.
+    pub epoch_id: u64,
+    /// Number of BPB bins.
+    pub num_bins: usize,
+    /// Common bin size (tuples fetched per bin retrieval).
+    pub bin_size: u64,
+    /// winSecRange interval diagnostics (the plan is built on demand).
+    pub winsec: WinSecStats,
+}
+
+/// winSecRange plan diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WinSecStats {
+    /// Number of fixed intervals the epoch is divided into.
+    pub num_intervals: usize,
+    /// Common (maximum) interval size in tuples — every interval retrieval
+    /// transfers this many rows.
+    pub interval_size: u64,
+    /// Interval length in grid time rows (λ).
+    pub rows_per_interval: u64,
+    /// Real tuples per interval (before fake padding to `interval_size`).
+    pub real_tuples_per_interval: Vec<u64>,
 }
 
 /// A user's handle on the system: their id and credential, as issued by the
@@ -134,6 +173,14 @@ pub struct UserHandle {
     pub user_id: UserId,
     /// The credential issued by the data provider.
     pub credential: Credential,
+}
+
+/// The per-query fetch plan computed by the batch planner: which
+/// `(epoch, bin)` pairs the query needs, and the epochs it touches.
+struct BinFetchPlan {
+    bins: BTreeSet<(u64, usize)>,
+    epochs_touched: usize,
+    verified: bool,
 }
 
 /// The enclave-side query engine.
@@ -173,6 +220,12 @@ impl QueryEngine {
         &self.enclave
     }
 
+    /// The system configuration this engine was provisioned with.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
     /// The side-channel meter of the underlying enclave.
     #[must_use]
     pub fn meter(&self) -> &SideChannelMeter {
@@ -188,10 +241,31 @@ impl QueryEngine {
     /// Bin-plan statistics for an epoch: `(num_bins, bin_size)`.
     pub fn bin_stats(&self, epoch_id: u64) -> Result<(usize, u64)> {
         let epochs = self.epochs.read();
-        let rt = epochs
-            .get(&epoch_id)
-            .ok_or(CoreError::NoDataForRange)?;
+        let rt = epochs.get(&epoch_id).ok_or(CoreError::NoDataForRange)?;
         Ok((rt.bin_plan.num_bins(), rt.bin_plan.bin_size))
+    }
+
+    /// Full query-plan diagnostics for an epoch: the BPB bin plan plus the
+    /// winSecRange interval layout (building the interval plan on demand if
+    /// no winSecRange query has run yet).
+    pub fn plan_stats(&self, epoch_id: u64) -> Result<PlanStats> {
+        let mut epochs = self.epochs.write();
+        let rt = epochs.get_mut(&epoch_id).ok_or(CoreError::NoDataForRange)?;
+        if rt.winsec.is_none() {
+            rt.winsec = Some(self.build_winsec_plan(rt));
+        }
+        let plan = rt.winsec.as_ref().expect("just built");
+        Ok(PlanStats {
+            epoch_id,
+            num_bins: rt.bin_plan.num_bins(),
+            bin_size: rt.bin_plan.bin_size,
+            winsec: WinSecStats {
+                num_intervals: plan.intervals.len(),
+                interval_size: plan.interval_size,
+                rows_per_interval: plan.rows_per_interval,
+                real_tuples_per_interval: plan.intervals.iter().map(|i| i.real).collect(),
+            },
+        })
     }
 
     /// Register an ingested epoch: pull its metadata from the store,
@@ -253,11 +327,207 @@ impl QueryEngine {
         Ok(())
     }
 
+    /// Execute one query, dispatching on its predicate: point predicates
+    /// fetch their single bin, range predicates run the method selected by
+    /// `opts.method`.
+    pub fn execute(
+        &self,
+        user: &UserHandle,
+        query: &Query,
+        opts: ExecOptions,
+        registry_scope: QueryScope,
+    ) -> Result<QueryAnswer> {
+        match &query.predicate {
+            Predicate::Point { .. } => self.execute_point(user, query, opts, registry_scope),
+            Predicate::Range { .. } => self.execute_range(user, query, opts, registry_scope),
+        }
+    }
+
     /// Execute a point query (§4.2).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use QueryEngine::execute (or Session::execute) instead"
+    )]
     pub fn point_query(
         &self,
         user: &UserHandle,
         query: &Query,
+        registry_scope: QueryScope,
+    ) -> Result<QueryAnswer> {
+        if !matches!(query.predicate, Predicate::Point { .. }) {
+            return Err(CoreError::InvalidQuery {
+                reason: "point_query requires a Point predicate",
+            });
+        }
+        self.execute_point(user, query, ExecOptions::default(), registry_scope)
+    }
+
+    /// Execute a range query with the selected method (§4.2, §5).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use QueryEngine::execute (or Session::execute) instead"
+    )]
+    pub fn range_query(
+        &self,
+        user: &UserHandle,
+        query: &Query,
+        opts: RangeOptions,
+        registry_scope: QueryScope,
+    ) -> Result<QueryAnswer> {
+        self.execute_range(user, query, ExecOptions::from(opts), registry_scope)
+    }
+
+    /// Execute a batch of queries with cross-query bin deduplication.
+    ///
+    /// Under the bin-granular BPB method the engine plans every query,
+    /// takes the union of the `(epoch, bin)` fetches, fetches and
+    /// hash-chain-verifies each bin **once**, then filters and aggregates
+    /// the fetched rows per query — fixed-size bins are the unit of
+    /// deduplication.
+    ///
+    /// Leakage: the set of rows the adversary observes is exactly the
+    /// *union* of the per-query row sets of sequential execution — each bin
+    /// is still fetched whole, so per-bin fetch sizes are unchanged and
+    /// batching reveals nothing a sequential execution of the same queries
+    /// would not (it only *removes* duplicate fetches). Per-query answers,
+    /// including the fetch metadata, equal sequential BPB execution.
+    ///
+    /// Batches with any other configuration fall back to executing the
+    /// queries sequentially, preserving the configured profile exactly:
+    ///
+    /// * `opts.method` = `Ebpb` / `WinSecRange` — those methods fetch
+    ///   cell-groups and whole intervals, not bins; silently re-planning
+    ///   them at bin granularity would change the access pattern the
+    ///   caller chose (winSecRange exists to resist sliding-window
+    ///   attacks, Example 5.2.2).
+    /// * `opts.forward_private` — the §6 protocol re-encrypts fetched bins
+    ///   after every query, so deduplicating fetches across queries would
+    ///   change its semantics.
+    pub fn execute_batch(
+        &self,
+        user: &UserHandle,
+        queries: &[Query],
+        opts: ExecOptions,
+    ) -> Vec<Result<QueryAnswer>> {
+        if opts.forward_private || opts.method != RangeMethod::Bpb {
+            return queries
+                .iter()
+                .map(|q| self.execute(user, q, opts, scope_for_query(q)))
+                .collect();
+        }
+
+        let mut results: Vec<Option<Result<QueryAnswer>>> = queries.iter().map(|_| None).collect();
+        let mut plans: Vec<Option<BinFetchPlan>> = queries.iter().map(|_| None).collect();
+
+        let mut epochs = self.epochs.write();
+        for (i, query) in queries.iter().enumerate() {
+            if let Err(e) =
+                self.enclave
+                    .open_session(user.user_id, &user.credential, scope_for_query(query))
+            {
+                results[i] = Some(Err(e.into()));
+                continue;
+            }
+            match self.plan_bins(&mut epochs, query, &opts) {
+                Ok(plan) => plans[i] = Some(plan),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+
+        // The union of every query's fetch set: each pair fetched once.
+        let union: BTreeSet<(u64, usize)> = plans
+            .iter()
+            .flatten()
+            .flat_map(|p| &p.bins)
+            .copied()
+            .collect();
+
+        let mut accs: Vec<Accumulator> = queries.iter().map(|_| Accumulator::default()).collect();
+        let mut fetched: Vec<usize> = vec![0; queries.len()];
+        let mut decrypted: Vec<usize> = vec![0; queries.len()];
+
+        for (epoch_id, bin_idx) in union {
+            let rt = epochs.get(&epoch_id).expect("planned epoch is registered");
+            let fetch = self.fetch_bin_rows(rt, bin_idx, &opts);
+            let interested = |plan: &BinFetchPlan| plan.bins.contains(&(epoch_id, bin_idx));
+            match fetch {
+                Err(e) => {
+                    // Every query that needed this bin fails with the fetch
+                    // error (integrity violation, storage fault, …).
+                    for (i, plan) in plans.iter_mut().enumerate() {
+                        if plan.as_ref().is_some_and(&interested) {
+                            results[i] = Some(Err(e.clone()));
+                            *plan = None;
+                        }
+                    }
+                }
+                Ok((key, rows)) => {
+                    for (i, plan) in plans.iter_mut().enumerate() {
+                        if !plan.as_ref().is_some_and(&interested) {
+                            continue;
+                        }
+                        fetched[i] += rows.len();
+                        match self.process_rows(&key, rt, &queries[i], &opts, &rows) {
+                            Ok((bin_acc, d)) => {
+                                decrypted[i] += d;
+                                accs[i].merge(bin_acc);
+                            }
+                            Err(e) => {
+                                // Drop the failed query's plan so its
+                                // remaining bins are neither fetched on its
+                                // behalf nor processed, and the *first*
+                                // error is the one reported.
+                                results[i] = Some(Err(e));
+                                *plan = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.store.mark_query_boundary();
+
+        let mut out = Vec::with_capacity(queries.len());
+        for (i, result) in results.into_iter().enumerate() {
+            if let Some(r) = result {
+                out.push(r);
+                continue;
+            }
+            let plan = plans[i].take().expect("planned or errored");
+            let acc = std::mem::take(&mut accs[i]);
+            out.push(Ok(QueryAnswer {
+                value: acc.finish(&queries[i].aggregate),
+                rows_fetched: fetched[i],
+                rows_decrypted: decrypted[i],
+                verified: plan.verified,
+                epochs_touched: plan.epochs_touched,
+            }));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Whether this execution runs the oblivious (Concealer+) code paths.
+    fn oblivious_enabled(&self, opts: &ExecOptions) -> bool {
+        opts.oblivious
+            .unwrap_or_else(|| self.enclave.is_oblivious())
+    }
+
+    /// Whether fetched bins of `rt` get hash-chain-verified under `opts`.
+    fn verification_active(&self, opts: &ExecOptions, rt: &EpochRuntime) -> bool {
+        opts.verify && self.config.verify_integrity && !rt.tags.is_empty()
+    }
+
+    /// Execute a query with a point predicate: locate the cell, fetch its
+    /// bin, filter and aggregate.
+    fn execute_point(
+        &self,
+        user: &UserHandle,
+        query: &Query,
+        opts: ExecOptions,
         registry_scope: QueryScope,
     ) -> Result<QueryAnswer> {
         let _session = self
@@ -265,37 +535,30 @@ impl QueryEngine {
             .open_session(user.user_id, &user.credential, registry_scope)?;
         let Predicate::Point { dims, time } = &query.predicate else {
             return Err(CoreError::InvalidQuery {
-                reason: "point_query requires a Point predicate",
+                reason: "point execution requires a Point predicate",
             });
         };
 
-        let mut epochs = self.epochs.write();
+        let epochs = self.epochs.read();
         let rt = epochs
-            .values_mut()
+            .values()
             .find(|rt| rt.window.contains(*time))
             .ok_or(CoreError::NoDataForRange)?;
-
-        let grid = self.grid_for(rt);
-        let coord = grid.locate(dims, *time)?;
-        let cid = rt.cell_assignment[coord.flat as usize];
-        let bin_idx = rt
-            .bin_plan
-            .bin_of_cell(cid)
-            .ok_or(CoreError::CorruptMetadata)?;
+        let bin_idx = self.locate_point_bin(rt, dims, *time)?;
 
         let mut fetched = 0usize;
         let mut decrypted = 0usize;
-        let mut verified = false;
         let mut acc = Accumulator::default();
         self.fetch_and_process_bin(
             rt,
             bin_idx,
             query,
+            &opts,
             &mut acc,
             &mut fetched,
             &mut decrypted,
-            &mut verified,
         )?;
+        let verified = self.verification_active(&opts, rt);
         self.store.mark_query_boundary();
 
         Ok(QueryAnswer {
@@ -307,12 +570,14 @@ impl QueryEngine {
         })
     }
 
-    /// Execute a range query with the selected method (§4.2, §5).
-    pub fn range_query(
+    /// Execute a query over its time span with the method in `opts`
+    /// (§4.2, §5). Also accepts point predicates (treated as a
+    /// single-instant range) for the deprecated `range_query` shim.
+    fn execute_range(
         &self,
         user: &UserHandle,
         query: &Query,
-        opts: RangeOptions,
+        opts: ExecOptions,
         registry_scope: QueryScope,
     ) -> Result<QueryAnswer> {
         let _session = self
@@ -347,31 +612,29 @@ impl QueryEngine {
         let mut acc = Accumulator::default();
         let mut fetched = 0usize;
         let mut decrypted = 0usize;
-        let mut verified = self.config.verify_integrity;
+        let mut verified = true;
         let mut epochs_touched = 0usize;
 
         for epoch_id in span {
             let rt = epochs.get_mut(&epoch_id).expect("registered epoch");
             let satisfies = rt.window.overlaps(t_start, t_end);
             epochs_touched += 1;
+            verified &= self.verification_active(&opts, rt);
 
             let mut bins_fetched: Vec<usize> = Vec::new();
             match opts.method {
                 RangeMethod::Bpb => {
                     if satisfies {
-                        let mut bin_set = self.bins_for_range(rt, query)?;
-                        if opts.use_superbins {
-                            bin_set = self.expand_to_superbins(rt, &bin_set, opts.num_super_bins);
-                        }
+                        let bin_set = self.range_bins_for_epoch(rt, query, &opts)?;
                         for bin_idx in bin_set {
                             self.fetch_and_process_bin(
                                 rt,
                                 bin_idx,
                                 query,
+                                &opts,
                                 &mut acc,
                                 &mut fetched,
                                 &mut decrypted,
-                                &mut verified,
                             )?;
                             bins_fetched.push(bin_idx);
                         }
@@ -379,16 +642,14 @@ impl QueryEngine {
                 }
                 RangeMethod::Ebpb => {
                     if satisfies {
-                        let (f, d) = self.execute_ebpb(rt, query, &mut acc)?;
+                        let (f, d) = self.execute_ebpb(rt, query, &opts, &mut acc)?;
                         fetched += f;
                         decrypted += d;
-                        // eBPB bypasses bins; verification is per cell-id and
-                        // covered inside execute_ebpb when enabled.
                     }
                 }
                 RangeMethod::WinSecRange => {
                     if satisfies {
-                        let (f, d) = self.execute_winsec(rt, query, &mut acc)?;
+                        let (f, d) = self.execute_winsec(rt, query, &opts, &mut acc)?;
                         fetched += f;
                         decrypted += d;
                     }
@@ -408,10 +669,10 @@ impl QueryEngine {
                             rt,
                             candidate,
                             query,
+                            &opts,
                             &mut Accumulator::default(),
                             &mut fetched,
                             &mut decrypted,
-                            &mut verified,
                         )?;
                         bins_fetched.push(candidate);
                         rng = self.rng.lock();
@@ -429,14 +690,88 @@ impl QueryEngine {
             value: acc.finish(&query.aggregate),
             rows_fetched: fetched,
             rows_decrypted: decrypted,
-            verified: verified && self.config.verify_integrity,
+            verified,
             epochs_touched,
         })
     }
 
-    // ------------------------------------------------------------------
-    // Internals
-    // ------------------------------------------------------------------
+    /// Plan a query's bin-granular fetch set: the `(epoch, bin)` pairs a
+    /// BPB execution would fetch. Used by [`QueryEngine::execute_batch`];
+    /// shares [`QueryEngine::locate_point_bin`] /
+    /// [`QueryEngine::range_bins_for_epoch`] with the sequential paths so
+    /// batched and sequential execution cannot drift apart.
+    fn plan_bins(
+        &self,
+        epochs: &mut BTreeMap<u64, EpochRuntime>,
+        query: &Query,
+        opts: &ExecOptions,
+    ) -> Result<BinFetchPlan> {
+        match &query.predicate {
+            Predicate::Point { dims, time } => {
+                let rt = epochs
+                    .values()
+                    .find(|rt| rt.window.contains(*time))
+                    .ok_or(CoreError::NoDataForRange)?;
+                let bin_idx = self.locate_point_bin(rt, dims, *time)?;
+                Ok(BinFetchPlan {
+                    bins: BTreeSet::from([(rt.epoch_id, bin_idx)]),
+                    epochs_touched: 1,
+                    verified: self.verification_active(opts, rt),
+                })
+            }
+            Predicate::Range { .. } => {
+                let (t_start, t_end) = query.predicate.time_span();
+                let touched: Vec<u64> = epochs
+                    .values()
+                    .filter(|rt| rt.window.overlaps(t_start, t_end))
+                    .map(|rt| rt.epoch_id)
+                    .collect();
+                if touched.is_empty() {
+                    return Err(CoreError::NoDataForRange);
+                }
+                let mut bins: BTreeSet<(u64, usize)> = BTreeSet::new();
+                let mut verified = true;
+                for epoch_id in &touched {
+                    let rt = epochs.get_mut(epoch_id).expect("registered epoch");
+                    verified &= self.verification_active(opts, rt);
+                    let bin_set = self.range_bins_for_epoch(rt, query, opts)?;
+                    bins.extend(bin_set.into_iter().map(|b| (*epoch_id, b)));
+                }
+                Ok(BinFetchPlan {
+                    bins,
+                    epochs_touched: touched.len(),
+                    verified,
+                })
+            }
+        }
+    }
+
+    /// The bin a point predicate's cell lands in (shared by the point
+    /// execution path and the batch planner).
+    fn locate_point_bin(&self, rt: &EpochRuntime, dims: &[u64], time: u64) -> Result<usize> {
+        let grid = self.grid_for(rt);
+        let coord = grid.locate(dims, time)?;
+        let cid = rt.cell_assignment[coord.flat as usize];
+        rt.bin_plan
+            .bin_of_cell(cid)
+            .ok_or(CoreError::CorruptMetadata)
+    }
+
+    /// The sorted, deduplicated bin set a BPB range execution fetches from
+    /// one epoch, including super-bin expansion (shared by the sequential
+    /// BPB path and the batch planner).
+    fn range_bins_for_epoch(
+        &self,
+        rt: &mut EpochRuntime,
+        query: &Query,
+        opts: &ExecOptions,
+    ) -> Result<Vec<usize>> {
+        let mut bin_set = self.bins_for_range(rt, query)?;
+        if opts.use_superbins {
+            bin_set = self.expand_to_superbins(rt, &bin_set, opts.num_super_bins);
+        }
+        Ok(bin_set)
+    }
 
     fn grid_for(&self, rt: &EpochRuntime) -> Grid {
         let key = self.enclave.epoch_key(EpochId(rt.epoch_id), 0);
@@ -487,18 +822,14 @@ impl QueryEngine {
         expanded
     }
 
-    /// Fetch one bin and fold its matching tuples into the accumulator.
-    #[allow(clippy::too_many_arguments)]
-    fn fetch_and_process_bin(
+    /// Fetch one bin's rows (and hash-chain-verify them when verification
+    /// is active), returning the round key the rows are encrypted under.
+    fn fetch_bin_rows(
         &self,
         rt: &EpochRuntime,
         bin_idx: usize,
-        query: &Query,
-        acc: &mut Accumulator,
-        fetched: &mut usize,
-        decrypted: &mut usize,
-        verified: &mut bool,
-    ) -> Result<()> {
+        opts: &ExecOptions,
+    ) -> Result<(EpochKey, Vec<EncryptedRow>)> {
         let round = rt.bin_rounds[bin_idx];
         let key = self.enclave.epoch_key(EpochId(rt.epoch_id), round);
         let bin = &rt.bin_plan.bins[bin_idx];
@@ -512,7 +843,7 @@ impl QueryEngine {
             fake_range: clamp_fake_range(bin.fake_range, rt.total_fakes),
         };
         let meter = self.enclave.meter();
-        let trapdoors = if self.enclave.is_oblivious() {
+        let trapdoors = if self.oblivious_enabled(opts) {
             generate_oblivious(
                 &key,
                 &spec,
@@ -525,14 +856,28 @@ impl QueryEngine {
             generate_plain(&key, &spec, meter)
         };
         let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
-        *fetched += rows.len();
 
-        if self.config.verify_integrity && !rt.tags.is_empty() {
+        if self.verification_active(opts, rt) {
             self.verify_bin(rt, &key, &bin.cell_ids, &rows)?;
-            *verified = true;
         }
+        Ok((key, rows))
+    }
 
-        let (bin_acc, d) = self.process_rows(&key, rt, query, &rows)?;
+    /// Fetch one bin and fold its matching tuples into the accumulator.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_and_process_bin(
+        &self,
+        rt: &EpochRuntime,
+        bin_idx: usize,
+        query: &Query,
+        opts: &ExecOptions,
+        acc: &mut Accumulator,
+        fetched: &mut usize,
+        decrypted: &mut usize,
+    ) -> Result<()> {
+        let (key, rows) = self.fetch_bin_rows(rt, bin_idx, opts)?;
+        *fetched += rows.len();
+        let (bin_acc, d) = self.process_rows(&key, rt, query, opts, &rows)?;
         *decrypted += d;
         acc.merge(bin_acc);
         Ok(())
@@ -573,11 +918,12 @@ impl QueryEngine {
         key: &EpochKey,
         rt: &EpochRuntime,
         query: &Query,
+        opts: &ExecOptions,
         rows: &[EncryptedRow],
     ) -> Result<(Accumulator, usize)> {
         let plan: FilterPlan = build_filter_plan(key, &self.config, &query.predicate, rt.window);
         let meter = self.enclave.meter();
-        if self.enclave.is_oblivious() {
+        if self.oblivious_enabled(opts) {
             process_rows_oblivious(key, &plan, &query.aggregate, rows, meter)
         } else {
             process_rows_plain(key, &plan, &query.aggregate, rows, meter)
@@ -590,6 +936,7 @@ impl QueryEngine {
         &self,
         rt: &mut EpochRuntime,
         query: &Query,
+        opts: &ExecOptions,
         acc: &mut Accumulator,
     ) -> Result<(usize, usize)> {
         let grid = self.grid_for(rt);
@@ -609,9 +956,13 @@ impl QueryEngine {
         cids.sort_unstable();
         cids.dedup();
 
-        let real: u64 = cids.iter().map(|&c| u64::from(rt.c_tuple[c as usize])).sum();
+        let real: u64 = cids
+            .iter()
+            .map(|&c| u64::from(rt.c_tuple[c as usize]))
+            .sum();
         let target = if query.predicate.dims().is_some() {
-            self.ebpb_window_size(rt, rows_needed.len() as u64).max(real)
+            self.ebpb_window_size(rt, rows_needed.len() as u64)
+                .max(real)
         } else {
             real
         };
@@ -621,10 +972,7 @@ impl QueryEngine {
         // trapdoors and filters use the right key even after §6 rewrites.
         let mut by_round: BTreeMap<u64, Vec<(u32, u32)>> = BTreeMap::new();
         for &cid in &cids {
-            let round = rt
-                .bin_plan
-                .bin_of_cell(cid)
-                .map_or(0, |b| rt.bin_rounds[b]);
+            let round = rt.bin_plan.bin_of_cell(cid).map_or(0, |b| rt.bin_rounds[b]);
             by_round
                 .entry(round)
                 .or_default()
@@ -644,11 +992,11 @@ impl QueryEngine {
             let trapdoors = generate_plain(&key, &spec, self.enclave.meter());
             let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
             fetched += rows.len();
-            if self.config.verify_integrity && !rt.tags.is_empty() {
+            if self.verification_active(opts, rt) {
                 let cids_in_group: Vec<u32> = spec.cells.iter().map(|(c, _)| *c).collect();
                 self.verify_bin(rt, &key, &cids_in_group, &rows)?;
             }
-            let (group_acc, d) = self.process_rows(&key, rt, query, &rows)?;
+            let (group_acc, d) = self.process_rows(&key, rt, query, opts, &rows)?;
             decrypted += d;
             acc.merge(group_acc);
         }
@@ -684,6 +1032,7 @@ impl QueryEngine {
         &self,
         rt: &mut EpochRuntime,
         query: &Query,
+        opts: &ExecOptions,
         acc: &mut Accumulator,
     ) -> Result<(usize, usize)> {
         if rt.winsec.is_none() {
@@ -719,10 +1068,7 @@ impl QueryEngine {
         // rewrites.
         let mut by_round: BTreeMap<u64, Vec<(u32, u32)>> = BTreeMap::new();
         for &cid in &cids {
-            let round = rt
-                .bin_plan
-                .bin_of_cell(cid)
-                .map_or(0, |b| rt.bin_rounds[b]);
+            let round = rt.bin_plan.bin_of_cell(cid).map_or(0, |b| rt.bin_rounds[b]);
             by_round
                 .entry(round)
                 .or_default()
@@ -746,7 +1092,11 @@ impl QueryEngine {
             let trapdoors = generate_plain(&key, &spec, self.enclave.meter());
             let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
             fetched += rows.len();
-            let (group_acc, d) = self.process_rows(&key, rt, query, &rows)?;
+            if self.verification_active(opts, rt) {
+                let cids_in_group: Vec<u32> = spec.cells.iter().map(|(c, _)| *c).collect();
+                self.verify_bin(rt, &key, &cids_in_group, &rows)?;
+            }
+            let (group_acc, d) = self.process_rows(&key, rt, query, opts, &rows)?;
             decrypted += d;
             acc.merge(group_acc);
         }
@@ -766,8 +1116,7 @@ impl QueryEngine {
         // superset the volume-hiding argument needs. Queries spanning
         // multiple intervals deduplicate the union before fetching.
         let mut interval_cells: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_intervals as usize];
-        let mut seen: Vec<Vec<bool>> =
-            vec![vec![false; rt.c_tuple.len()]; num_intervals as usize];
+        let mut seen: Vec<Vec<bool>> = vec![vec![false; rt.c_tuple.len()]; num_intervals as usize];
         for (flat, &cid) in rt.cell_assignment.iter().enumerate() {
             let time_row = (flat as u64) % y;
             let interval = (time_row / lambda) as usize;
@@ -858,11 +1207,19 @@ fn clamp_fake_range(range: (u64, u64), total_fakes: u64) -> (u64, u64) {
 /// library users who need to place the three roles on different machines
 /// can use [`DataProvider`], [`concealer_storage::EpochStore`] and
 /// [`QueryEngine`] directly.
+///
+/// Queries go through [`ConcealerSystem::session`]:
+///
+/// ```text
+/// let session = system.session(&user);
+/// let answer = session.execute(&Query::count().at_dims([3]).between(0, 1799))?;
+/// ```
 pub struct ConcealerSystem {
     provider: DataProvider,
     store: EpochStore,
     engine: QueryEngine,
     registry: UserRegistry,
+    default_user: Option<UserHandle>,
 }
 
 impl std::fmt::Debug for ConcealerSystem {
@@ -901,33 +1258,56 @@ impl ConcealerSystem {
             store,
             engine,
             registry: UserRegistry::new(),
+            default_user: None,
         }
     }
 
     /// Register a user with the data provider; the updated registry is
     /// pushed to the enclave, and the credential is returned to the user.
-    pub fn register_user(&mut self, user_id: u64, devices: Vec<u64>, aggregate: bool) -> UserHandle {
-        let credential = self.registry.register(
-            self.provider.master(),
-            UserId(user_id),
-            devices,
-            aggregate,
-        );
+    /// The first registered user becomes the system's default user (used by
+    /// the [`crate::SecureIndex`] impl).
+    pub fn register_user(
+        &mut self,
+        user_id: u64,
+        devices: Vec<u64>,
+        aggregate: bool,
+    ) -> UserHandle {
+        let credential =
+            self.registry
+                .register(self.provider.master(), UserId(user_id), devices, aggregate);
         self.engine.enclave().update_registry(self.registry.clone());
-        UserHandle {
+        let handle = UserHandle {
             user_id: UserId(user_id),
             credential,
+        };
+        if self.default_user.is_none() {
+            self.default_user = Some(handle.clone());
         }
+        handle
+    }
+
+    /// The system's default user: the first user registered, if any.
+    #[must_use]
+    pub fn default_user(&self) -> Option<&UserHandle> {
+        self.default_user.as_ref()
+    }
+
+    /// Open a query session for a registered user. The session carries the
+    /// user's handle plus default [`ExecOptions`] and is the primary way to
+    /// execute queries (see [`Session`]).
+    #[must_use]
+    pub fn session(&self, user: &UserHandle) -> Session<'_> {
+        Session::new(self, user.clone())
     }
 
     /// Encrypt and ingest one epoch of records (Phase 1 of the paper).
     pub fn ingest_epoch<R: RngCore>(
         &mut self,
         epoch_start: u64,
-        records: Vec<Record>,
+        records: &[Record],
         rng: &mut R,
     ) -> Result<EpochStats> {
-        let shipment = self.provider.encrypt_epoch(epoch_start, &records, rng)?;
+        let shipment = self.provider.encrypt_epoch(epoch_start, records, rng)?;
         let stats = shipment.stats.clone();
         self.store
             .ingest_epoch(shipment.epoch_id, shipment.rows, shipment.metadata)?;
@@ -935,19 +1315,25 @@ impl ConcealerSystem {
         Ok(stats)
     }
 
-    /// Execute a point query on behalf of a user.
+    /// Execute a point query on behalf of a user (pre-0.2 API).
+    #[deprecated(since = "0.2.0", note = "use system.session(&user).execute(&query)")]
     pub fn point_query(&self, user: &UserHandle, query: &Query) -> Result<QueryAnswer> {
-        self.engine
-            .point_query(user, query, scope_for_query(query))
+        #[allow(deprecated)]
+        self.engine.point_query(user, query, scope_for_query(query))
     }
 
-    /// Execute a range query on behalf of a user.
+    /// Execute a range query on behalf of a user (pre-0.2 API).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use system.session(&user).execute(&query), with ExecOptions for the method"
+    )]
     pub fn range_query(
         &self,
         user: &UserHandle,
         query: &Query,
         opts: RangeOptions,
     ) -> Result<QueryAnswer> {
+        #[allow(deprecated)]
         self.engine
             .range_query(user, query, opts, scope_for_query(query))
     }
@@ -986,7 +1372,7 @@ impl ConcealerSystem {
 /// Individualized predicates (pinning an observation/device id) need
 /// individualized authorization; everything else runs under the aggregate
 /// scope.
-fn scope_for_query(query: &Query) -> QueryScope {
+pub(crate) fn scope_for_query(query: &Query) -> QueryScope {
     match query.predicate.observation() {
         Some(device_id) => QueryScope::Individualized { device_id },
         None => QueryScope::Aggregate,
@@ -1000,7 +1386,7 @@ pub use concealer_storage::EpochStore as Store;
 mod tests {
     use super::*;
     use crate::config::{FakeTupleStrategy, GridShape};
-    use crate::query::Aggregate;
+    use crate::query::AnswerValue;
 
     fn test_config(oblivious: bool) -> SystemConfig {
         SystemConfig {
@@ -1027,7 +1413,12 @@ mod tests {
     }
 
     /// Count records matching a predicate in cleartext (ground truth).
-    fn cleartext_count(records: &[Record], dims: Option<&[u64]>, obs: Option<u64>, t: (u64, u64)) -> u64 {
+    fn cleartext_count(
+        records: &[Record],
+        dims: Option<&[u64]>,
+        obs: Option<u64>,
+        t: (u64, u64),
+    ) -> u64 {
         records
             .iter()
             .filter(|r| {
@@ -1044,7 +1435,7 @@ mod tests {
         let mut system = ConcealerSystem::new(test_config(oblivious), &mut rng);
         let user = system.register_user(1, vec![100, 101, 102, 103, 104], true);
         let records = workload(0, 400);
-        system.ingest_epoch(0, records.clone(), &mut rng).unwrap();
+        system.ingest_epoch(0, &records, &mut rng).unwrap();
         (system, user, records)
     }
 
@@ -1053,14 +1444,8 @@ mod tests {
         let (system, user, records) = setup(false);
         // Pick an existing record's (location, time).
         let target = &records[37];
-        let query = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Point {
-                dims: target.dims.clone(),
-                time: target.time,
-            },
-        };
-        let answer = system.point_query(&user, &query).unwrap();
+        let query = Query::count().at_dims(target.dims.clone()).at(target.time);
+        let answer = system.session(&user).execute(&query).unwrap();
         // Point filter tokens cover the whole granule the target falls in.
         let g = 60;
         let granule_start = (target.time / g) * g;
@@ -1070,7 +1455,7 @@ mod tests {
             None,
             (granule_start, granule_start + g - 1),
         );
-        assert_eq!(answer.value, crate::query::AnswerValue::Count(expected));
+        assert_eq!(answer.value, AnswerValue::Count(expected));
         assert!(answer.verified);
         assert!(answer.rows_fetched > 0);
     }
@@ -1078,24 +1463,18 @@ mod tests {
     #[test]
     fn range_count_matches_cleartext_all_methods() {
         let (system, user, records) = setup(false);
-        for method in [RangeMethod::Bpb, RangeMethod::Ebpb, RangeMethod::WinSecRange] {
-            let query = Query {
-                aggregate: Aggregate::Count,
-                predicate: Predicate::Range {
-                    dims: Some(vec![3]),
-                    observation: None,
-                    time_start: 0,
-                    time_end: 1799,
-                },
-            };
-            let opts = RangeOptions { method, ..Default::default() };
-            let answer = system.range_query(&user, &query, opts).unwrap();
+        let session = system.session(&user);
+        for method in [
+            RangeMethod::Bpb,
+            RangeMethod::Ebpb,
+            RangeMethod::WinSecRange,
+        ] {
+            let query = Query::count().at_dims([3]).between(0, 1799);
+            let answer = session
+                .execute_with(&query, ExecOptions::with_method(method))
+                .unwrap();
             let expected = cleartext_count(&records, Some(&[3]), None, (0, 1799));
-            assert_eq!(
-                answer.value,
-                crate::query::AnswerValue::Count(expected),
-                "{method:?}"
-            );
+            assert_eq!(answer.value, AnswerValue::Count(expected), "{method:?}");
         }
     }
 
@@ -1103,78 +1482,85 @@ mod tests {
     fn oblivious_engine_matches_plain_engine() {
         let (plain_sys, plain_user, records) = setup(false);
         let (obliv_sys, obliv_user, _) = setup(true);
-        let query = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(vec![5]),
-                observation: None,
-                time_start: 600,
-                time_end: 2399,
-            },
-        };
-        let a = plain_sys
-            .range_query(&plain_user, &query, RangeOptions::default())
-            .unwrap();
-        let b = obliv_sys
-            .range_query(&obliv_user, &query, RangeOptions::default())
-            .unwrap();
+        let query = Query::count().at_dims([5]).between(600, 2399);
+        let a = plain_sys.session(&plain_user).execute(&query).unwrap();
+        let b = obliv_sys.session(&obliv_user).execute(&query).unwrap();
         assert_eq!(a.value, b.value);
         let expected = cleartext_count(&records, Some(&[5]), None, (600, 2399));
-        assert_eq!(a.value, crate::query::AnswerValue::Count(expected));
+        assert_eq!(a.value, AnswerValue::Count(expected));
+    }
+
+    #[test]
+    fn oblivious_override_matches_deployment_default() {
+        // Same master key, one plain deployment: forcing oblivious on via
+        // ExecOptions must return the same answers as the plain path.
+        let (system, user, records) = setup(false);
+        let session = system.session(&user);
+        let query = Query::count().at_dims([2]).between(0, 3599);
+        let plain = session.execute(&query).unwrap();
+        let forced = session
+            .execute_with(
+                &query,
+                ExecOptions {
+                    oblivious: Some(true),
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(plain.value, forced.value);
+        let expected = cleartext_count(&records, Some(&[2]), None, (0, 3599));
+        assert_eq!(plain.value, AnswerValue::Count(expected));
+    }
+
+    #[test]
+    fn verification_toggle_disables_verified_flag() {
+        let (system, user, records) = setup(false);
+        let session = system.session(&user);
+        let target = &records[10];
+        let query = Query::count().at_dims(target.dims.clone()).at(target.time);
+        let on = session.execute(&query).unwrap();
+        assert!(on.verified);
+        let off = session
+            .execute_with(
+                &query,
+                ExecOptions {
+                    verify: false,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(!off.verified);
+        assert_eq!(on.value, off.value);
     }
 
     #[test]
     fn observation_query_requires_owned_device() {
         let (mut system, _user, _records) = setup(false);
         let stranger = system.register_user(2, vec![999], true);
-        let query = Query {
-            aggregate: Aggregate::CollectRows,
-            predicate: Predicate::Range {
-                dims: None,
-                observation: Some(100),
-                time_start: 0,
-                time_end: 3599,
-            },
-        };
-        let err = system
-            .range_query(&stranger, &query, RangeOptions::default())
-            .unwrap_err();
+        let query = Query::collect_rows().observing(100).between(0, 3599);
+        let err = system.session(&stranger).execute(&query).unwrap_err();
         assert!(matches!(err, CoreError::Enclave(_)));
     }
 
     #[test]
     fn observation_query_counts_device_sightings() {
         let (system, user, records) = setup(false);
-        let query = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: None,
-                observation: Some(102),
-                time_start: 0,
-                time_end: 3599,
-            },
-        };
+        let query = Query::count().observing(102).between(0, 3599);
         let answer = system
-            .range_query(&user, &query, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+            .session(&user)
+            .execute_with(&query, ExecOptions::with_method(RangeMethod::Bpb))
             .unwrap();
         let expected = cleartext_count(&records, None, Some(102), (0, 3599));
-        assert_eq!(answer.value, crate::query::AnswerValue::Count(expected));
+        assert_eq!(answer.value, AnswerValue::Count(expected));
     }
 
     #[test]
     fn top_k_locations_query() {
         let (system, user, records) = setup(false);
-        let query = Query {
-            aggregate: Aggregate::TopKLocations { k: 3 },
-            predicate: Predicate::Range {
-                dims: None,
-                observation: None,
-                time_start: 0,
-                time_end: 3599,
-            },
-        };
+        let query = Query::top_k_locations(3).between(0, 3599);
         let answer = system
-            .range_query(&user, &query, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+            .session(&user)
+            .execute_with(&query, ExecOptions::with_method(RangeMethod::Bpb))
             .unwrap();
         // Ground truth top-3.
         let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
@@ -1184,12 +1570,13 @@ mod tests {
         let mut pairs: Vec<(u64, u64)> = counts.into_iter().collect();
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         pairs.truncate(3);
-        assert_eq!(answer.value, crate::query::AnswerValue::LocationCounts(pairs));
+        assert_eq!(answer.value, AnswerValue::LocationCounts(pairs));
     }
 
     #[test]
     fn volume_hiding_point_queries_fetch_identical_row_counts() {
         let (system, user, records) = setup(false);
+        let session = system.session(&user);
         let targets: Vec<(Vec<u64>, u64)> = vec![
             (records[3].dims.clone(), records[3].time),
             (records[200].dims.clone(), records[200].time),
@@ -1197,11 +1584,8 @@ mod tests {
         ];
         let mut sizes = Vec::new();
         for (dims, time) in targets {
-            let query = Query {
-                aggregate: Aggregate::Count,
-                predicate: Predicate::Point { dims, time },
-            };
-            let answer = system.point_query(&user, &query).unwrap();
+            let query = Query::count().at_dims(dims).at(time);
+            let answer = session.execute(&query).unwrap();
             sizes.push(answer.rows_fetched);
         }
         assert_eq!(sizes[0], sizes[1]);
@@ -1209,18 +1593,18 @@ mod tests {
         // And the adversary's trace shows identical per-query fetch counts.
         let summaries = system.observer().per_query_summaries();
         let fetch_counts: Vec<usize> = summaries.iter().map(|s| s.rows_fetched).collect();
-        assert!(fetch_counts.windows(2).all(|w| w[0] == w[1]), "{fetch_counts:?}");
+        assert!(
+            fetch_counts.windows(2).all(|w| w[0] == w[1]),
+            "{fetch_counts:?}"
+        );
     }
 
     #[test]
     fn query_outside_ingested_data_errors() {
         let (system, user, _) = setup(false);
-        let query = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Point { dims: vec![1], time: 999_999 },
-        };
+        let query = Query::count().at_dims([1]).at(999_999);
         assert!(matches!(
-            system.point_query(&user, &query),
+            system.session(&user).execute(&query),
             Err(CoreError::NoDataForRange)
         ));
     }
@@ -1245,13 +1629,11 @@ mod tests {
         system.store().rewrite_rows(0, rewrites).unwrap();
 
         // Sweep queries until one hits the tampered row's bin.
+        let session = system.session(&user);
         let mut detected = false;
         for r in records.iter().step_by(7) {
-            let query = Query {
-                aggregate: Aggregate::Count,
-                predicate: Predicate::Point { dims: r.dims.clone(), time: r.time },
-            };
-            match system.point_query(&user, &query) {
+            let query = Query::count().at_dims(r.dims.clone()).at(r.time);
+            match session.execute(&query) {
                 Err(CoreError::IntegrityViolation { .. }) => {
                     detected = true;
                     break;
@@ -1269,25 +1651,18 @@ mod tests {
         let user = system.register_user(1, vec![], true);
         let r0 = workload(0, 200);
         let r1 = workload(3600, 200);
-        system.ingest_epoch(0, r0.clone(), &mut rng).unwrap();
-        system.ingest_epoch(3600, r1.clone(), &mut rng).unwrap();
+        system.ingest_epoch(0, &r0, &mut rng).unwrap();
+        system.ingest_epoch(3600, &r1, &mut rng).unwrap();
 
-        let query = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(vec![2]),
-                observation: None,
-                time_start: 1800,
-                time_end: 5399,
-            },
-        };
+        let query = Query::count().at_dims([2]).between(1800, 5399);
         let answer = system
-            .range_query(&user, &query, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+            .session(&user)
+            .execute_with(&query, ExecOptions::with_method(RangeMethod::Bpb))
             .unwrap();
         let mut all = r0;
         all.extend(r1);
         let expected = cleartext_count(&all, Some(&[2]), None, (1800, 5399));
-        assert_eq!(answer.value, crate::query::AnswerValue::Count(expected));
+        assert_eq!(answer.value, AnswerValue::Count(expected));
         assert_eq!(answer.epochs_touched, 2);
     }
 
@@ -1298,22 +1673,14 @@ mod tests {
         let user = system.register_user(1, vec![], true);
         let r0 = workload(0, 150);
         let r1 = workload(3600, 150);
-        system.ingest_epoch(0, r0.clone(), &mut rng).unwrap();
-        system.ingest_epoch(3600, r1.clone(), &mut rng).unwrap();
+        system.ingest_epoch(0, &r0, &mut rng).unwrap();
+        system.ingest_epoch(3600, &r1, &mut rng).unwrap();
 
-        let query = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(vec![4]),
-                observation: None,
-                time_start: 0,
-                time_end: 7199,
-            },
-        };
-        let opts = RangeOptions {
+        let query = Query::count().at_dims([4]).between(0, 7199);
+        let opts = ExecOptions {
             method: RangeMethod::Bpb,
             forward_private: true,
-            ..Default::default()
+            ..ExecOptions::default()
         };
         let mut all = r0;
         all.extend(r1);
@@ -1321,13 +1688,10 @@ mod tests {
 
         // Run the same query several times: answers stay correct even though
         // the underlying rows are re-encrypted after every execution.
+        let session = system.session(&user).with_options(opts);
         for i in 0..3 {
-            let answer = system.range_query(&user, &query, opts).unwrap();
-            assert_eq!(
-                answer.value,
-                crate::query::AnswerValue::Count(expected),
-                "iteration {i}"
-            );
+            let answer = session.execute(&query).unwrap();
+            assert_eq!(answer.value, AnswerValue::Count(expected), "iteration {i}");
         }
         // The store has seen rewrites.
         assert!(system.store().rewrite_count(0).unwrap() > 0);
@@ -1337,45 +1701,31 @@ mod tests {
     #[test]
     fn superbins_fetch_more_but_answer_identically() {
         let (system, user, records) = setup(false);
-        let query = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(vec![1]),
-                observation: None,
-                time_start: 0,
-                time_end: 899,
-            },
-        };
-        let plain = system
-            .range_query(&user, &query, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+        let session = system.session(&user);
+        let query = Query::count().at_dims([1]).between(0, 899);
+        let plain = session
+            .execute_with(&query, ExecOptions::with_method(RangeMethod::Bpb))
             .unwrap();
-        let with_super = system
-            .range_query(
-                &user,
+        let with_super = session
+            .execute_with(
                 &query,
-                RangeOptions {
+                ExecOptions {
                     method: RangeMethod::Bpb,
                     use_superbins: true,
                     num_super_bins: 2,
-                    ..Default::default()
+                    ..ExecOptions::default()
                 },
             )
             .unwrap();
         assert_eq!(plain.value, with_super.value);
         assert!(with_super.rows_fetched >= plain.rows_fetched);
         let expected = cleartext_count(&records, Some(&[1]), None, (0, 899));
-        assert_eq!(plain.value, crate::query::AnswerValue::Count(expected));
+        assert_eq!(plain.value, AnswerValue::Count(expected));
     }
 
     #[test]
     fn sum_min_max_average_over_payload() {
         let (system, user, records) = setup(false);
-        let predicate = Predicate::Range {
-            dims: Some(vec![0]),
-            observation: None,
-            time_start: 0,
-            time_end: 3599,
-        };
         let matching: Vec<u64> = records
             .iter()
             .filter(|r| r.dims == [0])
@@ -1385,21 +1735,21 @@ mod tests {
         let min = matching.iter().copied().min();
         let max = matching.iter().copied().max();
 
-        let run = |agg: Aggregate| {
-            system
-                .range_query(
-                    &user,
-                    &Query { aggregate: agg, predicate: predicate.clone() },
-                    RangeOptions { method: RangeMethod::Ebpb, ..Default::default() },
+        let session = system.session(&user);
+        let run = |builder: crate::query::QueryBuilder| {
+            session
+                .execute_with(
+                    &builder.at_dims([0]).between(0, 3599),
+                    ExecOptions::with_method(RangeMethod::Ebpb),
                 )
                 .unwrap()
                 .value
         };
-        assert_eq!(run(Aggregate::Sum { attr: 0 }), crate::query::AnswerValue::Number(Some(sum)));
-        assert_eq!(run(Aggregate::Min { attr: 0 }), crate::query::AnswerValue::Number(min));
-        assert_eq!(run(Aggregate::Max { attr: 0 }), crate::query::AnswerValue::Number(max));
-        match run(Aggregate::Average { attr: 0 }) {
-            crate::query::AnswerValue::Ratio(Some(avg)) => {
+        assert_eq!(run(Query::sum(0)), AnswerValue::Number(Some(sum)));
+        assert_eq!(run(Query::min(0)), AnswerValue::Number(min));
+        assert_eq!(run(Query::max(0)), AnswerValue::Number(max));
+        match run(Query::average(0)) {
+            AnswerValue::Ratio(Some(avg)) => {
                 assert!((avg - sum as f64 / matching.len() as f64).abs() < 1e-9);
             }
             other => panic!("unexpected {other:?}"),
@@ -1407,20 +1757,121 @@ mod tests {
     }
 
     #[test]
-    fn point_query_rejects_range_predicate() {
+    fn deprecated_point_query_rejects_range_predicate() {
         let (system, user, _) = setup(false);
-        let query = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(vec![1]),
-                observation: None,
-                time_start: 0,
-                time_end: 100,
-            },
-        };
+        let query = Query::count().at_dims([1]).between(0, 100);
+        #[allow(deprecated)]
+        let result = system.point_query(&user, &query);
+        assert!(matches!(result, Err(CoreError::InvalidQuery { .. })));
+    }
+
+    #[test]
+    fn deprecated_shims_agree_with_execute() {
+        let (system, user, _) = setup(false);
+        let point = Query::count().at_dims([3]).at(700);
+        let range = Query::count().at_dims([3]).between(0, 1799);
+        let session = system.session(&user);
+
+        #[allow(deprecated)]
+        let old_point = system.point_query(&user, &point).unwrap();
+        assert_eq!(old_point, session.execute(&point).unwrap());
+
+        #[allow(deprecated)]
+        let old_range = system
+            .range_query(&user, &range, RangeOptions::default())
+            .unwrap();
+        assert_eq!(old_range, session.execute(&range).unwrap());
+    }
+
+    #[test]
+    fn plan_stats_exposes_winsec_intervals() {
+        let (system, user, _) = setup(false);
+        let stats = system.engine().plan_stats(0).unwrap();
+        assert_eq!(stats.epoch_id, 0);
+        assert!(stats.num_bins > 0);
+        assert!(stats.bin_size > 0);
+        // 8 time rows at λ=2 → 4 intervals, each padded to the common size.
+        assert_eq!(stats.winsec.num_intervals, 4);
+        assert_eq!(stats.winsec.rows_per_interval, 2);
+        assert_eq!(stats.winsec.real_tuples_per_interval.len(), 4);
+        assert!(
+            stats
+                .winsec
+                .real_tuples_per_interval
+                .iter()
+                .all(|&r| r <= stats.winsec.interval_size),
+            "no interval may exceed the common interval size"
+        );
+        // The winSecRange execution path agrees with the diagnostics: a
+        // whole-epoch query fetches at most every interval's worth of rows.
+        let answer = system
+            .session(&user)
+            .execute_with(
+                &Query::count().at_dims([0]).between(0, 3599),
+                ExecOptions::with_method(RangeMethod::WinSecRange),
+            )
+            .unwrap();
+        assert!(answer.rows_fetched > 0);
+
         assert!(matches!(
-            system.point_query(&user, &query),
-            Err(CoreError::InvalidQuery { .. })
+            system.engine().plan_stats(999),
+            Err(CoreError::NoDataForRange)
         ));
+    }
+
+    #[test]
+    fn batch_execution_dedupes_and_matches_sequential() {
+        let (system, user, records) = setup(false);
+        let session = system
+            .session(&user)
+            .with_options(ExecOptions::with_method(RangeMethod::Bpb));
+
+        // A mix with guaranteed overlap: two identical ranges plus points.
+        let queries = vec![
+            Query::count().at_dims([1]).between(0, 899),
+            Query::count().at_dims([1]).between(0, 899),
+            Query::count()
+                .at_dims(records[5].dims.clone())
+                .at(records[5].time),
+            Query::sum(0).at_dims([2]).between(0, 1799),
+        ];
+
+        let sequential: Vec<QueryAnswer> = queries
+            .iter()
+            .map(|q| session.execute(q).unwrap())
+            .collect();
+        let sequential_rows: usize = {
+            let summaries = system.observer().per_query_summaries();
+            summaries.iter().map(|s| s.rows_fetched).sum()
+        };
+
+        system.observer().reset();
+        let batch: Vec<QueryAnswer> = session
+            .execute_batch(&queries)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let batch_rows = system.observer().summary().rows_fetched;
+
+        assert_eq!(batch, sequential, "batch answers must equal sequential");
+        assert!(
+            batch_rows < sequential_rows,
+            "dedup must fetch strictly fewer rows ({batch_rows} vs {sequential_rows})"
+        );
+    }
+
+    #[test]
+    fn batch_surfaces_per_query_errors() {
+        let (system, user, _) = setup(false);
+        let session = system
+            .session(&user)
+            .with_options(ExecOptions::with_method(RangeMethod::Bpb));
+        let queries = vec![
+            Query::count().at_dims([1]).between(0, 899),
+            Query::count().at_dims([1]).at(999_999), // outside any epoch
+        ];
+        let results = session.execute_batch(&queries);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CoreError::NoDataForRange)));
     }
 }

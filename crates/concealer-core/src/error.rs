@@ -50,7 +50,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::SchemaMismatch { expected, got } => {
-                write!(f, "schema mismatch: expected {expected} grid attributes, got {got}")
+                write!(
+                    f,
+                    "schema mismatch: expected {expected} grid attributes, got {got}"
+                )
             }
             CoreError::TimeOutOfEpoch {
                 time,
@@ -99,9 +102,18 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::SchemaMismatch { expected: 2, got: 3 }.to_string().contains('3'));
-        assert!(CoreError::NoDataForRange.to_string().contains("no ingested epoch"));
-        assert!(CoreError::IntegrityViolation { cell_id: 4 }.to_string().contains('4'));
+        assert!(CoreError::SchemaMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains('3'));
+        assert!(CoreError::NoDataForRange
+            .to_string()
+            .contains("no ingested epoch"));
+        assert!(CoreError::IntegrityViolation { cell_id: 4 }
+            .to_string()
+            .contains('4'));
         let e: CoreError = concealer_storage::StorageError::DuplicateKey.into();
         assert!(e.to_string().contains("storage error"));
         let e: CoreError = concealer_crypto::CryptoError::AuthenticationFailed.into();

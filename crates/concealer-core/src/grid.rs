@@ -212,7 +212,10 @@ mod tests {
             time_subintervals: 6,
             num_cell_ids: 10,
         };
-        let window = EpochWindow { start: 1000, duration: 600 };
+        let window = EpochWindow {
+            start: 1000,
+            duration: 600,
+        };
         let prf = MasterKey::from_bytes([1u8; 32]).grid_prf(EpochId(1000));
         Grid::new(shape, window, prf)
     }
@@ -237,7 +240,10 @@ mod tests {
         let g = grid();
         assert!(matches!(
             g.locate(&[1, 2], 1000),
-            Err(CoreError::SchemaMismatch { expected: 1, got: 2 })
+            Err(CoreError::SchemaMismatch {
+                expected: 1,
+                got: 2
+            })
         ));
         assert!(matches!(
             g.locate(&[1], 999),
@@ -307,7 +313,10 @@ mod tests {
             time_subintervals: 6,
             num_cell_ids: 10,
         };
-        let window = EpochWindow { start: 0, duration: 600 };
+        let window = EpochWindow {
+            start: 0,
+            duration: 600,
+        };
         let mk = MasterKey::from_bytes([1u8; 32]);
         let g1 = Grid::new(shape.clone(), window, mk.grid_prf(EpochId(0)));
         let g2 = Grid::new(shape, window, mk.grid_prf(EpochId(600)));

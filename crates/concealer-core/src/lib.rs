@@ -22,8 +22,7 @@
 //!
 //! ```
 //! use concealer_core::{
-//!     ConcealerSystem, SystemConfig, GridShape, Record, Query, Predicate, Aggregate,
-//!     FakeTupleStrategy,
+//!     ConcealerSystem, SystemConfig, GridShape, Record, Query, FakeTupleStrategy,
 //! };
 //! use rand::SeedableRng;
 //!
@@ -44,20 +43,24 @@
 //! let records: Vec<Record> = (0..100)
 //!     .map(|i| Record { dims: vec![i % 8], time: i * 36, payload: vec![1000 + (i % 5)] })
 //!     .collect();
-//! system.ingest_epoch(0, records, &mut rng).unwrap();
+//! system.ingest_epoch(0, &records, &mut rng).unwrap();
 //!
-//! // "How many observations at location 3 during the first half hour?"
-//! let query = Query {
-//!     aggregate: Aggregate::Count,
-//!     predicate: Predicate::Range {
-//!         dims: Some(vec![3]),
-//!         observation: None,
-//!         time_start: 0,
-//!         time_end: 1_800,
-//!     },
-//! };
-//! let answer = system.range_query(&user, &query, Default::default()).unwrap();
+//! // Open a session and ask: "how many observations at location 3 during
+//! // the first half hour?"
+//! let session = system.session(&user);
+//! let query = Query::count().at_dims([3]).between(0, 1_800);
+//! let answer = session.execute(&query).unwrap();
 //! println!("count = {:?}", answer.value);
+//!
+//! // Under the bin-granular BPB method, batches dedupe shared bin
+//! // fetches across queries.
+//! use concealer_core::{ExecOptions, RangeMethod};
+//! let batch_session = session.with_options(ExecOptions::with_method(RangeMethod::Bpb));
+//! let answers = batch_session.execute_batch(&[
+//!     Query::count().at_dims([3]).between(0, 1_800),
+//!     Query::count().at_dims([5]).between(0, 3_599),
+//! ]);
+//! assert!(answers.iter().all(Result::is_ok));
 //! ```
 //!
 //! See `examples/` for complete applications (occupancy heat-maps, contact
@@ -67,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod bins;
 pub mod codec;
 pub mod config;
@@ -81,13 +85,16 @@ pub mod verify;
 
 mod error;
 
+pub use api::{ExecOptions, IndexStats, SecureIndex, Session};
 pub use bins::{Bin, BinPlan};
 pub use config::{FakeTupleStrategy, GridShape, SystemConfig};
-pub use engine::{ConcealerSystem, QueryEngine, RangeMethod, RangeOptions, UserHandle};
+pub use engine::{
+    ConcealerSystem, PlanStats, QueryEngine, RangeMethod, RangeOptions, UserHandle, WinSecStats,
+};
 pub use error::CoreError;
 pub use grid::{CellCoord, Grid};
 pub use provider::{DataProvider, EpochShipment};
-pub use query::{Aggregate, Predicate, Query, QueryAnswer};
+pub use query::{Aggregate, Predicate, Query, QueryAnswer, QueryBuilder};
 pub use superbin::SuperBinPlan;
 pub use types::{EpochWindow, Record};
 

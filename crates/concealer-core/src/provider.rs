@@ -325,7 +325,9 @@ mod tests {
         let sim = provider(FakeTupleStrategy::SimulateBins)
             .encrypt_epoch(0, &records, &mut rng)
             .unwrap();
-        assert!(sim.stats.fake_rows <= equal.stats.fake_rows + equal.stats.max_cell_id_load as usize);
+        assert!(
+            sim.stats.fake_rows <= equal.stats.fake_rows + equal.stats.max_cell_id_load as usize
+        );
     }
 
     #[test]
@@ -333,11 +335,8 @@ mod tests {
         let dp = provider(FakeTupleStrategy::EqualRealFake);
         let mut rng = StdRng::seed_from_u64(3);
         let shipment = dp.encrypt_epoch(0, &sample_records(150), &mut rng).unwrap();
-        let keys: std::collections::BTreeSet<Vec<u8>> = shipment
-            .rows
-            .iter()
-            .map(|r| r.index_key.clone())
-            .collect();
+        let keys: std::collections::BTreeSet<Vec<u8>> =
+            shipment.rows.iter().map(|r| r.index_key.clone()).collect();
         assert_eq!(keys.len(), shipment.rows.len());
     }
 
@@ -405,7 +404,11 @@ mod tests {
             .iter()
             .map(|r| (r.filters[0].len(), r.filters[1].len(), r.payload.len()))
             .collect();
-        assert_eq!(widths.len(), 1, "all rows must have identical column widths");
+        assert_eq!(
+            widths.len(),
+            1,
+            "all rows must have identical column widths"
+        );
     }
 
     #[test]

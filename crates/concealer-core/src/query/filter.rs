@@ -170,8 +170,16 @@ pub fn process_rows_oblivious(
             meter.add_comparisons(1);
             obs_match = omove(bytes_eq_flag(token, &row.filters[1]), 1, obs_match);
         }
-        let dim_ok = if plan.dim_tokens.is_empty() { 1 } else { dim_match };
-        let obs_ok = if plan.obs_tokens.is_empty() { 1 } else { obs_match };
+        let dim_ok = if plan.dim_tokens.is_empty() {
+            1
+        } else {
+            dim_match
+        };
+        let obs_ok = if plan.obs_tokens.is_empty() {
+            1
+        } else {
+            obs_match
+        };
         let mut matched = dim_ok & obs_ok;
 
         if needs_payload {
@@ -238,7 +246,9 @@ fn fold_record(acc: &mut Accumulator, aggregate: &Aggregate, dims: &[u64], paylo
         aggregate,
         Aggregate::TopKLocations { .. } | Aggregate::LocationsWithAtLeast { .. }
     ) {
-        *acc.per_location.entry(dims.first().copied().unwrap_or(0)).or_insert(0) += 1;
+        *acc.per_location
+            .entry(dims.first().copied().unwrap_or(0))
+            .or_insert(0) += 1;
     }
     if matches!(aggregate, Aggregate::CollectRows) {
         acc.rows.push(crate::types::Record {
@@ -273,7 +283,9 @@ fn fold_record_oblivious(
         Aggregate::TopKLocations { .. } | Aggregate::LocationsWithAtLeast { .. }
     ) && matched == 1
     {
-        *acc.per_location.entry(dims.first().copied().unwrap_or(0)).or_insert(0) += 1;
+        *acc.per_location
+            .entry(dims.first().copied().unwrap_or(0))
+            .or_insert(0) += 1;
     }
     if matches!(aggregate, Aggregate::CollectRows) && matched == 1 {
         acc.rows.push(crate::types::Record {
@@ -316,7 +328,10 @@ mod tests {
     }
 
     fn window() -> EpochWindow {
-        EpochWindow { start: 0, duration: 3600 }
+        EpochWindow {
+            start: 0,
+            duration: 3600,
+        }
     }
 
     /// Encrypt a row exactly the way the provider does.
@@ -405,8 +420,7 @@ mod tests {
         let plan = build_filter_plan(&key, &config(), &predicate, window());
         assert!(plan.dim_tokens.is_empty());
         assert!(!plan.obs_tokens.is_empty());
-        let (acc, _) =
-            process_rows_plain(&key, &plan, &Aggregate::Count, &rows, &meter).unwrap();
+        let (acc, _) = process_rows_plain(&key, &plan, &Aggregate::Count, &rows, &meter).unwrap();
         assert_eq!(acc.count, 2);
     }
 
@@ -463,8 +477,7 @@ mod tests {
                 time_end: 3599,
             };
             let plan = build_filter_plan(&key, &config(), &predicate, window());
-            let (plain, _) =
-                process_rows_plain(&key, &plan, &aggregate, &rows, &meter).unwrap();
+            let (plain, _) = process_rows_plain(&key, &plan, &aggregate, &rows, &meter).unwrap();
             let (obliv, _) =
                 process_rows_oblivious(&key, &plan, &aggregate, &rows, &meter).unwrap();
             assert_eq!(plain.count, obliv.count, "{aggregate:?}");
@@ -510,7 +523,10 @@ mod tests {
             build_filter_plan(
                 &key,
                 &config(),
-                &Predicate::Point { dims: vec![loc], time: 100 },
+                &Predicate::Point {
+                    dims: vec![loc],
+                    time: 100,
+                },
                 window(),
             )
         };
@@ -531,7 +547,10 @@ mod tests {
         let plan = build_filter_plan(
             &key,
             &config(),
-            &Predicate::Point { dims: vec![7], time: 120 },
+            &Predicate::Point {
+                dims: vec![7],
+                time: 120,
+            },
             window(),
         );
         assert_eq!(plan.dim_tokens.len(), 1);

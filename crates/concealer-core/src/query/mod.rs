@@ -140,6 +140,136 @@ pub struct Query {
     pub predicate: Predicate,
 }
 
+impl Query {
+    /// Build a count query: `Query::count().at_dims([l]).between(t0, t1)`.
+    #[must_use]
+    pub fn count() -> QueryBuilder {
+        QueryBuilder::new(Aggregate::Count)
+    }
+
+    /// Build a sum query over `payload[attr]`.
+    #[must_use]
+    pub fn sum(attr: usize) -> QueryBuilder {
+        QueryBuilder::new(Aggregate::Sum { attr })
+    }
+
+    /// Build a minimum query over `payload[attr]`.
+    #[must_use]
+    pub fn min(attr: usize) -> QueryBuilder {
+        QueryBuilder::new(Aggregate::Min { attr })
+    }
+
+    /// Build a maximum query over `payload[attr]`.
+    #[must_use]
+    pub fn max(attr: usize) -> QueryBuilder {
+        QueryBuilder::new(Aggregate::Max { attr })
+    }
+
+    /// Build an average query over `payload[attr]`.
+    #[must_use]
+    pub fn average(attr: usize) -> QueryBuilder {
+        QueryBuilder::new(Aggregate::Average { attr })
+    }
+
+    /// Build a top-k-locations query (query Q2).
+    #[must_use]
+    pub fn top_k_locations(k: usize) -> QueryBuilder {
+        QueryBuilder::new(Aggregate::TopKLocations { k })
+    }
+
+    /// Build a locations-with-at-least-`threshold` query (query Q3).
+    #[must_use]
+    pub fn locations_with_at_least(threshold: u64) -> QueryBuilder {
+        QueryBuilder::new(Aggregate::LocationsWithAtLeast { threshold })
+    }
+
+    /// Build a row-collection (selection) query.
+    #[must_use]
+    pub fn collect_rows() -> QueryBuilder {
+        QueryBuilder::new(Aggregate::CollectRows)
+    }
+}
+
+/// Fluent builder for [`Query`] values, entered through the constructors on
+/// [`Query`] (`Query::count()`, `Query::sum(attr)`, …) and finished by a
+/// time selector:
+///
+/// ```
+/// use concealer_core::{Predicate, Query};
+///
+/// let q = Query::count().at_dims([3]).between(0, 1_799);
+/// assert_eq!(q.predicate.dims(), Some(&[3u64][..]));
+///
+/// let p = Query::count().at_dims([3]).at(600);
+/// assert!(matches!(p.predicate, Predicate::Point { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    aggregate: Aggregate,
+    dims: Option<Vec<u64>>,
+    observation: Option<u64>,
+}
+
+impl QueryBuilder {
+    fn new(aggregate: Aggregate) -> Self {
+        QueryBuilder {
+            aggregate,
+            dims: None,
+            observation: None,
+        }
+    }
+
+    /// Pin the indexed-attribute values (e.g. `[location]`). Omitting this
+    /// queries all locations (Q2/Q3 style).
+    #[must_use]
+    pub fn at_dims(mut self, dims: impl Into<Vec<u64>>) -> Self {
+        self.dims = Some(dims.into());
+        self
+    }
+
+    /// Pin the observation (device id) — the individualized Q4/Q5 style.
+    #[must_use]
+    pub fn observing(mut self, observation: u64) -> Self {
+        self.observation = Some(observation);
+        self
+    }
+
+    /// Finish as a time-range query over `[time_start, time_end]`
+    /// (inclusive).
+    #[must_use]
+    pub fn between(self, time_start: u64, time_end: u64) -> Query {
+        Query {
+            aggregate: self.aggregate,
+            predicate: Predicate::Range {
+                dims: self.dims,
+                observation: self.observation,
+                time_start,
+                time_end,
+            },
+        }
+    }
+
+    /// Finish as a single-instant query. Produces a [`Predicate::Point`]
+    /// when dims are pinned and no observation is; otherwise it degrades
+    /// to a one-instant range — point predicates carry no observation, and
+    /// omitted dims mean "all locations" (which only ranges express), so
+    /// both cases keep `.at(t)` consistent with `.between(t, t)` instead
+    /// of building a point query that can never execute.
+    #[must_use]
+    pub fn at(self, time: u64) -> Query {
+        match (&self.dims, self.observation) {
+            (Some(_), None) => Query {
+                aggregate: self.aggregate,
+                predicate: Predicate::Point {
+                    dims: self.dims.expect("just matched Some"),
+                    time,
+                },
+            },
+            _ => self.between(time, time),
+        }
+    }
+}
+
 /// The value part of a query answer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnswerValue {
@@ -213,11 +343,9 @@ impl Accumulator {
     pub fn finish(self, aggregate: &Aggregate) -> AnswerValue {
         match aggregate {
             Aggregate::Count => AnswerValue::Count(self.count),
-            Aggregate::Sum { .. } => AnswerValue::Number(if self.count > 0 {
-                Some(self.sum)
-            } else {
-                None
-            }),
+            Aggregate::Sum { .. } => {
+                AnswerValue::Number(if self.count > 0 { Some(self.sum) } else { None })
+            }
             Aggregate::Min { .. } => AnswerValue::Number(self.min),
             Aggregate::Max { .. } => AnswerValue::Number(self.max),
             Aggregate::Average { .. } => AnswerValue::Ratio(if self.count > 0 {
@@ -226,8 +354,7 @@ impl Accumulator {
                 None
             }),
             Aggregate::TopKLocations { k } => {
-                let mut pairs: Vec<(u64, u64)> =
-                    self.per_location.into_iter().collect();
+                let mut pairs: Vec<(u64, u64)> = self.per_location.into_iter().collect();
                 pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
                 pairs.truncate(*k);
                 AnswerValue::LocationCounts(pairs)
@@ -254,7 +381,10 @@ mod tests {
 
     #[test]
     fn predicate_time_span_and_accessors() {
-        let p = Predicate::Point { dims: vec![1], time: 50 };
+        let p = Predicate::Point {
+            dims: vec![1],
+            time: 50,
+        };
         assert_eq!(p.time_span(), (50, 50));
         assert_eq!(p.dims(), Some(&[1u64][..]));
         assert_eq!(p.observation(), None);
@@ -280,8 +410,14 @@ mod tests {
 
     #[test]
     fn accumulator_merge_and_finish_count() {
-        let mut a = Accumulator { count: 3, ..Default::default() };
-        a.merge(Accumulator { count: 4, ..Default::default() });
+        let mut a = Accumulator {
+            count: 3,
+            ..Default::default()
+        };
+        a.merge(Accumulator {
+            count: 4,
+            ..Default::default()
+        });
         assert_eq!(a.finish(&Aggregate::Count), AnswerValue::Count(7));
     }
 
@@ -302,9 +438,18 @@ mod tests {
             max: Some(5),
             ..Default::default()
         });
-        assert_eq!(a.clone().finish(&Aggregate::Min { attr: 0 }), AnswerValue::Number(Some(5)));
-        assert_eq!(a.clone().finish(&Aggregate::Max { attr: 0 }), AnswerValue::Number(Some(20)));
-        assert_eq!(a.clone().finish(&Aggregate::Sum { attr: 0 }), AnswerValue::Number(Some(35)));
+        assert_eq!(
+            a.clone().finish(&Aggregate::Min { attr: 0 }),
+            AnswerValue::Number(Some(5))
+        );
+        assert_eq!(
+            a.clone().finish(&Aggregate::Max { attr: 0 }),
+            AnswerValue::Number(Some(20))
+        );
+        assert_eq!(
+            a.clone().finish(&Aggregate::Sum { attr: 0 }),
+            AnswerValue::Number(Some(35))
+        );
         match a.finish(&Aggregate::Average { attr: 0 }) {
             AnswerValue::Ratio(Some(v)) => assert!((v - 35.0 / 3.0).abs() < 1e-9),
             other => panic!("unexpected {other:?}"),
@@ -314,15 +459,83 @@ mod tests {
     #[test]
     fn empty_accumulator_yields_none() {
         let a = Accumulator::default();
-        assert_eq!(a.clone().finish(&Aggregate::Sum { attr: 0 }), AnswerValue::Number(None));
-        assert_eq!(a.clone().finish(&Aggregate::Min { attr: 0 }), AnswerValue::Number(None));
-        assert_eq!(a.finish(&Aggregate::Average { attr: 0 }), AnswerValue::Ratio(None));
+        assert_eq!(
+            a.clone().finish(&Aggregate::Sum { attr: 0 }),
+            AnswerValue::Number(None)
+        );
+        assert_eq!(
+            a.clone().finish(&Aggregate::Min { attr: 0 }),
+            AnswerValue::Number(None)
+        );
+        assert_eq!(
+            a.finish(&Aggregate::Average { attr: 0 }),
+            AnswerValue::Ratio(None)
+        );
+    }
+
+    #[test]
+    fn builder_produces_expected_queries() {
+        let q = Query::count().at_dims([3]).between(0, 1799);
+        assert_eq!(q.aggregate, Aggregate::Count);
+        assert_eq!(
+            q.predicate,
+            Predicate::Range {
+                dims: Some(vec![3]),
+                observation: None,
+                time_start: 0,
+                time_end: 1799,
+            }
+        );
+
+        let q = Query::sum(1).between(10, 20);
+        assert_eq!(q.aggregate, Aggregate::Sum { attr: 1 });
+        assert_eq!(q.predicate.dims(), None);
+
+        let q = Query::collect_rows().observing(42).between(0, 99);
+        assert_eq!(q.predicate.observation(), Some(42));
+
+        let point = Query::count().at_dims(vec![5, 6]).at(300);
+        assert_eq!(
+            point.predicate,
+            Predicate::Point {
+                dims: vec![5, 6],
+                time: 300
+            }
+        );
+
+        // Pinning an observation degrades `.at` to a one-instant range.
+        let pinned = Query::count().at_dims([5]).observing(9).at(300);
+        assert_eq!(
+            pinned.predicate,
+            Predicate::Range {
+                dims: Some(vec![5]),
+                observation: Some(9),
+                time_start: 300,
+                time_end: 300,
+            }
+        );
+
+        // Omitting dims also degrades `.at` to a one-instant range (an
+        // all-locations instant, consistent with `.between`), never an
+        // unexecutable empty-dims point.
+        let all_locations = Query::count().at(300);
+        assert_eq!(
+            all_locations.predicate,
+            Predicate::Range {
+                dims: None,
+                observation: None,
+                time_start: 300,
+                time_end: 300,
+            }
+        );
     }
 
     #[test]
     fn top_k_and_threshold() {
         let a = Accumulator {
-            per_location: [(1u64, 10u64), (2, 30), (3, 20), (4, 5)].into_iter().collect(),
+            per_location: [(1u64, 10u64), (2, 30), (3, 20), (4, 5)]
+                .into_iter()
+                .collect(),
             ..Default::default()
         };
         assert_eq!(

@@ -80,11 +80,7 @@ pub fn generate_oblivious(
         Vec::with_capacity(max_cells * max_per_cell as usize + max_fakes as usize);
 
     for cell_slot in 0..max_cells {
-        let (cid, count) = spec
-            .cells
-            .get(cell_slot)
-            .copied()
-            .unwrap_or((u32::MAX, 0));
+        let (cid, count) = spec.cells.get(cell_slot).copied().unwrap_or((u32::MAX, 0));
         for counter in 1..=max_per_cell {
             let valid = u64::from(cell_slot < spec.cells.len() && counter <= count);
             // Dummy slots still encrypt a syntactically valid plaintext so

@@ -50,7 +50,9 @@ impl SuperBinPlan {
             .map(|bin| {
                 bin.cell_ids
                     .iter()
-                    .map(|&cid| u64::from(cells_per_cell_id.get(cid as usize).copied().unwrap_or(0)))
+                    .map(|&cid| {
+                        u64::from(cells_per_cell_id.get(cid as usize).copied().unwrap_or(0))
+                    })
                     .sum()
             })
             .collect();

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn epoch_window_contains_and_overlaps() {
-        let w = EpochWindow { start: 100, duration: 50 };
+        let w = EpochWindow {
+            start: 100,
+            duration: 50,
+        };
         assert_eq!(w.end(), 150);
         assert!(w.contains(100));
         assert!(w.contains(149));

@@ -130,7 +130,8 @@ mod tests {
 
     #[test]
     fn rfc4493_40_bytes() {
-        let msg = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411");
+        let msg =
+            hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411");
         let tag = aes_cmac(&hex(KEY), &msg);
         assert_eq!(tag.to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
     }

@@ -44,7 +44,8 @@ pub struct DeterministicCipher {
 
 impl std::fmt::Debug for DeterministicCipher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DeterministicCipher").finish_non_exhaustive()
+        f.debug_struct("DeterministicCipher")
+            .finish_non_exhaustive()
     }
 }
 
@@ -151,7 +152,12 @@ mod tests {
     #[test]
     fn roundtrip() {
         let c = cipher();
-        for msg in [&b""[..], b"a", b"exactly sixteen!", b"a longer message spanning multiple aes blocks, yes indeed"] {
+        for msg in [
+            &b""[..],
+            b"a",
+            b"exactly sixteen!",
+            b"a longer message spanning multiple aes blocks, yes indeed",
+        ] {
             let ct = c.encrypt(msg);
             assert_eq!(c.decrypt(&ct).unwrap(), msg);
         }

@@ -54,7 +54,12 @@ impl KeyPurpose {
 /// * `round_counter` — the re-encryption counter used by the dynamic
 ///   insertion protocol (§6); 0 for freshly ingested data.
 #[must_use]
-pub fn derive_key(sk: &[u8; 32], purpose: KeyPurpose, epoch_id: u64, round_counter: u64) -> [u8; 32] {
+pub fn derive_key(
+    sk: &[u8; 32],
+    purpose: KeyPurpose,
+    epoch_id: u64,
+    round_counter: u64,
+) -> [u8; 32] {
     let mut mac = HmacSha256::new(sk);
     mac.update(purpose.label());
     mac.update(&epoch_id.to_be_bytes());

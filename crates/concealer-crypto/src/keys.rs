@@ -133,7 +133,10 @@ mod tests {
         let a = mk.epoch_key(EpochId(10), 0);
         let b = mk.epoch_key(EpochId(10), 0);
         assert_eq!(a.det.encrypt(b"v"), b.det.encrypt(b"v"));
-        assert_eq!(a.grid_prf.eval_u64_mod(3, 100), b.grid_prf.eval_u64_mod(3, 100));
+        assert_eq!(
+            a.grid_prf.eval_u64_mod(3, 100),
+            b.grid_prf.eval_u64_mod(3, 100)
+        );
     }
 
     #[test]

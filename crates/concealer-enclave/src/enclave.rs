@@ -200,7 +200,11 @@ mod tests {
     fn session_rejected_for_foreign_device() {
         let (enclave, cred) = setup();
         let err = enclave
-            .open_session(UserId(1), &cred, QueryScope::Individualized { device_id: 999 })
+            .open_session(
+                UserId(1),
+                &cred,
+                QueryScope::Individualized { device_id: 999 },
+            )
             .unwrap_err();
         assert!(matches!(err, EnclaveError::Unauthorized { .. }));
     }

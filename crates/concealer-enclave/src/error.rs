@@ -50,8 +50,10 @@ mod tests {
         assert_eq!(EnclaveError::UnknownUser.to_string(), "unknown user");
         let e: EnclaveError = concealer_crypto::CryptoError::AuthenticationFailed.into();
         assert!(e.to_string().contains("crypto error"));
-        assert!(EnclaveError::Unauthorized { reason: "not your data" }
-            .to_string()
-            .contains("not your data"));
+        assert!(EnclaveError::Unauthorized {
+            reason: "not your data"
+        }
+        .to_string()
+        .contains("not your data"));
     }
 }

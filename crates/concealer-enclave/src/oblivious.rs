@@ -70,8 +70,16 @@ pub fn omin(x: u64, y: u64) -> u64 {
 /// Panics if the three slices do not have identical lengths (lengths are
 /// public data in Concealer — every bin entry is padded to a fixed width).
 pub fn oselect_bytes(cond: u64, a: &[u8], b: &[u8], out: &mut [u8]) {
-    assert_eq!(a.len(), b.len(), "oselect_bytes: inputs must be same length");
-    assert_eq!(a.len(), out.len(), "oselect_bytes: output must match input length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "oselect_bytes: inputs must be same length"
+    );
+    assert_eq!(
+        a.len(),
+        out.len(),
+        "oselect_bytes: output must match input length"
+    );
     let nz = (cond | cond.wrapping_neg()) >> 63;
     let mask = (nz as u8).wrapping_neg();
     for i in 0..a.len() {

@@ -139,7 +139,10 @@ impl UserRegistry {
         credential: &Credential,
         scope: QueryScope,
     ) -> Result<&RegisteredUser> {
-        let entry = self.users.get(&user_id.0).ok_or(EnclaveError::UnknownUser)?;
+        let entry = self
+            .users
+            .get(&user_id.0)
+            .ok_or(EnclaveError::UnknownUser)?;
         let expected = Self::credential_for(master, user_id);
         if !ct_eq(&expected.0, &credential.0) {
             return Err(EnclaveError::AuthenticationFailed);
@@ -220,10 +223,20 @@ mod tests {
         let mut reg = UserRegistry::new();
         let cred = reg.register(&mk, UserId(1), vec![500], true);
         assert!(reg
-            .authenticate(&mk, UserId(1), &cred, QueryScope::Individualized { device_id: 500 })
+            .authenticate(
+                &mk,
+                UserId(1),
+                &cred,
+                QueryScope::Individualized { device_id: 500 }
+            )
             .is_ok());
         assert!(matches!(
-            reg.authenticate(&mk, UserId(1), &cred, QueryScope::Individualized { device_id: 501 }),
+            reg.authenticate(
+                &mk,
+                UserId(1),
+                &cred,
+                QueryScope::Individualized { device_id: 501 }
+            ),
             Err(EnclaveError::Unauthorized { .. })
         ));
     }
@@ -238,7 +251,12 @@ mod tests {
             Err(EnclaveError::Unauthorized { .. })
         ));
         assert!(reg
-            .authenticate(&mk, UserId(3), &cred, QueryScope::Individualized { device_id: 7 })
+            .authenticate(
+                &mk,
+                UserId(3),
+                &cred,
+                QueryScope::Individualized { device_id: 7 }
+            )
             .is_ok());
     }
 

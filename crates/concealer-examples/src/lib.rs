@@ -51,7 +51,7 @@ pub fn demo_system(hours: u64, seed: u64) -> (ConcealerSystem, UserHandle, Vec<R
     let devices: Vec<u64> = (1000..1300).collect();
     let user = system.register_user(7, devices, true);
     system
-        .ingest_epoch(0, records.clone(), &mut rng)
+        .ingest_epoch(0, &records, &mut rng)
         .expect("demo ingest");
     (system, user, records)
 }

@@ -163,7 +163,8 @@ impl BPlusTree {
     }
 
     fn maybe_split_leaf(&mut self, node: NodeId) -> InsertResult {
-        let needs_split = matches!(&self.nodes[node], Node::Leaf { keys, .. } if keys.len() > ORDER);
+        let needs_split =
+            matches!(&self.nodes[node], Node::Leaf { keys, .. } if keys.len() > ORDER);
         if !needs_split {
             return InsertResult::Done;
         }

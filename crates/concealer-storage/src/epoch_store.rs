@@ -382,7 +382,13 @@ mod tests {
             .ingest_epoch(3, sample_epoch(20, 3), EpochMetadata::default())
             .unwrap();
         let err = store.replace_epoch_rows(3, sample_epoch(19, 4), None);
-        assert!(matches!(err, Err(StorageError::CardinalityMismatch { expected: 20, got: 19 })));
+        assert!(matches!(
+            err,
+            Err(StorageError::CardinalityMismatch {
+                expected: 20,
+                got: 19
+            })
+        ));
 
         store
             .replace_epoch_rows(3, sample_epoch(20, 4), None)
@@ -402,7 +408,9 @@ mod tests {
             enc_tags: vec![vec![6], vec![7]],
             advertised_rows: 12,
         };
-        store.ingest_epoch(9, sample_epoch(12, 9), meta.clone()).unwrap();
+        store
+            .ingest_epoch(9, sample_epoch(12, 9), meta.clone())
+            .unwrap();
         assert_eq!(store.metadata(9).unwrap(), meta);
         assert_eq!(store.epoch_rows(9).unwrap(), 12);
         assert_eq!(store.epoch_ids(), vec![9]);
@@ -450,7 +458,9 @@ mod tests {
             ..Default::default()
         };
         store.ingest_epoch(7, sample_epoch(3, 7), meta).unwrap();
-        store.update_tags(7, vec![(1, vec![9, 9]), (5, vec![0])]).unwrap();
+        store
+            .update_tags(7, vec![(1, vec![9, 9]), (5, vec![0])])
+            .unwrap();
         let m = store.metadata(7).unwrap();
         assert_eq!(m.enc_tags, vec![vec![1], vec![9, 9], vec![3]]);
         assert!(store.update_tags(99, vec![]).is_err());
@@ -459,8 +469,12 @@ mod tests {
     #[test]
     fn multiple_epochs_isolated() {
         let store = EpochStore::new();
-        store.ingest_epoch(1, sample_epoch(10, 1), EpochMetadata::default()).unwrap();
-        store.ingest_epoch(2, sample_epoch(10, 2), EpochMetadata::default()).unwrap();
+        store
+            .ingest_epoch(1, sample_epoch(10, 1), EpochMetadata::default())
+            .unwrap();
+        store
+            .ingest_epoch(2, sample_epoch(10, 2), EpochMetadata::default())
+            .unwrap();
         // A key from epoch 1 is not findable in epoch 2.
         assert!(store.fetch_by_trapdoor(2, &[1, 0, 1]).unwrap().is_none());
         assert!(store.fetch_by_trapdoor(1, &[1, 0, 1]).unwrap().is_some());

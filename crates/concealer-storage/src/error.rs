@@ -37,7 +37,10 @@ impl fmt::Display for StorageError {
                 write!(f, "invalid row id {row_id} (table has {table_len} rows)")
             }
             StorageError::CardinalityMismatch { expected, got } => {
-                write!(f, "cardinality mismatch: expected {expected} rows, got {got}")
+                write!(
+                    f,
+                    "cardinality mismatch: expected {expected} rows, got {got}"
+                )
             }
             StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
         }
@@ -52,13 +55,21 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(StorageError::UnknownEpoch { epoch_id: 9 }.to_string().contains('9'));
-        assert!(StorageError::InvalidRowId { row_id: 5, table_len: 2 }
+        assert!(StorageError::UnknownEpoch { epoch_id: 9 }
             .to_string()
-            .contains('5'));
-        assert!(StorageError::CardinalityMismatch { expected: 1, got: 2 }
-            .to_string()
-            .contains("mismatch"));
+            .contains('9'));
+        assert!(StorageError::InvalidRowId {
+            row_id: 5,
+            table_len: 2
+        }
+        .to_string()
+        .contains('5'));
+        assert!(StorageError::CardinalityMismatch {
+            expected: 1,
+            got: 2
+        }
+        .to_string()
+        .contains("mismatch"));
         assert_eq!(
             StorageError::DuplicateKey.to_string(),
             "duplicate key in unique index"

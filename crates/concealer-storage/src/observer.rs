@@ -206,13 +206,14 @@ impl AccessObserver {
         let mut current = Vec::new();
         for e in trace {
             match e {
-                AccessEvent::QueryBoundary
-                    if !current.is_empty() => {
-                        let mut set: Vec<(u64, u64)> = std::mem::take(&mut current);
-                        set.sort_unstable();
-                        out.push(set);
-                    }
-                AccessEvent::RowFetched { epoch_id, row_id, .. } => {
+                AccessEvent::QueryBoundary if !current.is_empty() => {
+                    let mut set: Vec<(u64, u64)> = std::mem::take(&mut current);
+                    set.sort_unstable();
+                    out.push(set);
+                }
+                AccessEvent::RowFetched {
+                    epoch_id, row_id, ..
+                } => {
                     current.push((epoch_id, row_id));
                 }
                 _ => {}

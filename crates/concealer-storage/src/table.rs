@@ -32,9 +32,7 @@ impl EncryptedRow {
     /// Total ciphertext bytes in this row (used for transfer accounting).
     #[must_use]
     pub fn byte_size(&self) -> usize {
-        self.index_key.len()
-            + self.filters.iter().map(Vec::len).sum::<usize>()
-            + self.payload.len()
+        self.index_key.len() + self.filters.iter().map(Vec::len).sum::<usize>() + self.payload.len()
     }
 }
 
@@ -161,7 +159,10 @@ mod tests {
         assert!(table.row(4).is_ok());
         assert!(matches!(
             table.row(5),
-            Err(StorageError::InvalidRowId { row_id: 5, table_len: 5 })
+            Err(StorageError::InvalidRowId {
+                row_id: 5,
+                table_len: 5
+            })
         ));
     }
 

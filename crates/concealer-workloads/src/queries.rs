@@ -127,7 +127,11 @@ impl QueryWorkload {
 
     /// All five templates with the same range length, in order Q1..Q5
     /// (used by Exps 2, 3 and 10).
-    pub fn all_range_queries<R: Rng>(&self, range_seconds: u64, rng: &mut R) -> Vec<(&'static str, Query)> {
+    pub fn all_range_queries<R: Rng>(
+        &self,
+        range_seconds: u64,
+        rng: &mut R,
+    ) -> Vec<(&'static str, Query)> {
         vec![
             ("Q1", self.q1(range_seconds, rng)),
             ("Q2", self.q2(range_seconds, 5, rng)),
@@ -139,16 +143,11 @@ impl QueryWorkload {
 
     /// TPC-H aggregation queries of Exp 8: count / sum / min / max over a
     /// random orderkey (and linenumber) point.
-    pub fn tpch_query<R: Rng>(
-        &self,
-        dims: Vec<u64>,
-        aggregate_name: &str,
-        rng: &mut R,
-    ) -> Query {
+    pub fn tpch_query<R: Rng>(&self, dims: Vec<u64>, aggregate_name: &str, rng: &mut R) -> Query {
         let _ = rng;
         let aggregate = match aggregate_name {
             "count" => Aggregate::Count,
-            "sum" => Aggregate::Sum { attr: 1 },   // extendedprice
+            "sum" => Aggregate::Sum { attr: 1 }, // extendedprice
             "min" => Aggregate::Min { attr: 1 },
             "max" => Aggregate::Max { attr: 1 },
             other => panic!("unknown TPC-H aggregate {other}"),
@@ -212,7 +211,12 @@ mod tests {
         let q = w.q1(1200, &mut rng);
         assert_eq!(q.aggregate, Aggregate::Count);
         match q.predicate {
-            Predicate::Range { dims: Some(d), observation: None, time_start, time_end } => {
+            Predicate::Range {
+                dims: Some(d),
+                observation: None,
+                time_start,
+                time_end,
+            } => {
                 assert_eq!(d.len(), 1);
                 assert!(d[0] < 10);
                 assert_eq!(time_end - time_start + 1, 1200);
@@ -273,7 +277,10 @@ mod tests {
     fn tpch_aggregates() {
         let w = workload();
         let mut rng = StdRng::seed_from_u64(6);
-        assert_eq!(w.tpch_query(vec![1, 2], "count", &mut rng).aggregate, Aggregate::Count);
+        assert_eq!(
+            w.tpch_query(vec![1, 2], "count", &mut rng).aggregate,
+            Aggregate::Count
+        );
         assert_eq!(
             w.tpch_query(vec![1, 2], "sum", &mut rng).aggregate,
             Aggregate::Sum { attr: 1 }

@@ -200,7 +200,12 @@ mod tests {
         // Peak hour: 12:00. Off-peak: 03:00.
         let peak = generator.generate_hour(12 * 3600, &mut rng);
         let off = generator.generate_hour(3 * 3600, &mut rng);
-        assert!(peak.len() > 3 * off.len(), "peak {} off {}", peak.len(), off.len());
+        assert!(
+            peak.len() > 3 * off.len(),
+            "peak {} off {}",
+            peak.len(),
+            off.len()
+        );
     }
 
     #[test]
@@ -230,7 +235,10 @@ mod tests {
         }
         let max = counts.values().copied().max().unwrap();
         let min = counts.values().copied().min().unwrap_or(0);
-        assert!(max >= 3 * min.max(1), "expected skew, got max={max} min={min}");
+        assert!(
+            max >= 3 * min.max(1),
+            "expected skew, got max={max} min={min}"
+        );
     }
 
     #[test]

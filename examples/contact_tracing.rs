@@ -9,7 +9,7 @@
 //! ```
 
 use concealer_core::query::AnswerValue;
-use concealer_core::{Aggregate, CoreError, Predicate, Query, RangeMethod, RangeOptions};
+use concealer_core::{CoreError, ExecOptions, Query, RangeMethod};
 use concealer_examples::demo_system;
 use std::collections::BTreeSet;
 
@@ -18,55 +18,43 @@ fn main() {
     let my_device = 1001u64;
     println!("tracing device {my_device} over {} readings", records.len());
 
+    let session = system
+        .session(&alice)
+        .with_options(ExecOptions::with_method(RangeMethod::Bpb));
+
     // Step 1 (individualized, authorized): where was my device seen?
-    let my_visits = Query {
-        aggregate: Aggregate::CollectRows,
-        predicate: Predicate::Range {
-            dims: None,
-            observation: Some(my_device),
-            time_start: 0,
-            time_end: 3 * 3600 - 1,
-        },
-    };
-    let answer = system
-        .range_query(&alice, &my_visits, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
-        .expect("own-trajectory query");
+    let my_visits = Query::collect_rows()
+        .observing(my_device)
+        .between(0, 3 * 3600 - 1);
+    let answer = session.execute(&my_visits).expect("own-trajectory query");
     let visited: BTreeSet<u64> = match &answer.value {
-        AnswerValue::Rows(rows) => rows.iter().filter_map(|r| r.dims.first().copied()).collect(),
+        AnswerValue::Rows(rows) => rows
+            .iter()
+            .filter_map(|r| r.dims.first().copied())
+            .collect(),
         other => panic!("unexpected answer {other:?}"),
     };
     println!("device {my_device} was seen at locations: {visited:?}");
 
     // Step 2 (aggregate, allowed): how many readings happened at each of
     // those locations — the size of the potentially exposed population.
-    for loc in &visited {
-        let q = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Range {
-                dims: Some(vec![*loc]),
-                observation: None,
-                time_start: 0,
-                time_end: 3 * 3600 - 1,
-            },
-        };
-        let a = system
-            .range_query(&alice, &q, RangeOptions::default())
-            .expect("exposure count");
+    // One batch; bins shared between the visited locations are fetched
+    // once.
+    let exposure: Vec<Query> = visited
+        .iter()
+        .map(|loc| Query::count().at_dims([*loc]).between(0, 3 * 3600 - 1))
+        .collect();
+    for (loc, answer) in visited.iter().zip(session.execute_batch(&exposure)) {
+        let a = answer.expect("exposure count");
         println!("  location {loc}: {:?} co-located readings", a.value);
     }
 
     // Step 3: trying to pull another user's trajectory is rejected by the
     // enclave's authorization check — Alice does not own device 1000000.
-    let someone_else = Query {
-        aggregate: Aggregate::CollectRows,
-        predicate: Predicate::Range {
-            dims: None,
-            observation: Some(1_000_000),
-            time_start: 0,
-            time_end: 3 * 3600 - 1,
-        },
-    };
-    match system.range_query(&alice, &someone_else, RangeOptions::default()) {
+    let someone_else = Query::collect_rows()
+        .observing(1_000_000)
+        .between(0, 3 * 3600 - 1);
+    match session.execute(&someone_else) {
         Err(CoreError::Enclave(e)) => println!("foreign-device query rejected as expected: {e}"),
         other => println!("unexpected outcome for foreign-device query: {other:?}"),
     }

@@ -2,11 +2,14 @@
 //! of a smart building from encrypted WiFi connectivity data, without the
 //! service provider ever learning per-location counts.
 //!
+//! The hour-by-hour queries go through `Session::execute_batch`, so bins
+//! shared between hours are fetched once for the whole heat map.
+//!
 //! ```text
 //! cargo run --release -p concealer-examples --example occupancy_heatmap
 //! ```
 
-use concealer_core::{Aggregate, Predicate, Query, RangeMethod, RangeOptions};
+use concealer_core::{ExecOptions, Query, RangeMethod};
 use concealer_examples::demo_system;
 
 fn main() {
@@ -18,46 +21,37 @@ fn main() {
         records.iter().map(|r| r.dims[0]).max().unwrap_or(0) + 1
     );
 
-    // Hour-by-hour top-5 busiest locations (query Q2 of the paper).
-    for hour in 0..hours {
-        let query = Query {
-            aggregate: Aggregate::TopKLocations { k: 5 },
-            predicate: Predicate::Range {
-                dims: None,
-                observation: None,
-                time_start: hour * 3600,
-                time_end: (hour + 1) * 3600 - 1,
-            },
-        };
-        let answer = system
-            .range_query(&operator, &query, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
-            .expect("heat map query");
+    let session = system
+        .session(&operator)
+        .with_options(ExecOptions::with_method(RangeMethod::Bpb));
+
+    // Hour-by-hour top-5 busiest locations (query Q2 of the paper), as one
+    // batch: each bin the hours share is fetched and verified once.
+    let hourly: Vec<Query> = (0..hours)
+        .map(|hour| Query::top_k_locations(5).between(hour * 3600, (hour + 1) * 3600 - 1))
+        .collect();
+    for (hour, answer) in session.execute_batch(&hourly).into_iter().enumerate() {
+        let answer = answer.expect("heat map query");
         println!("hour {hour:>2}: top locations {:?}", answer.value);
     }
 
     // Locations that ever exceed 50 readings in an hour (query Q3): the
     // "crowded rooms" alert of the intro's motivating application.
-    let alert = Query {
-        aggregate: Aggregate::LocationsWithAtLeast { threshold: 50 },
-        predicate: Predicate::Range {
-            dims: None,
-            observation: None,
-            time_start: 0,
-            time_end: hours * 3600 - 1,
-        },
-    };
-    let answer = system
-        .range_query(&operator, &alert, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
-        .expect("alert query");
-    println!("locations with >= 50 readings over the whole window: {:?}", answer.value);
+    let alert = Query::locations_with_at_least(50).between(0, hours * 3600 - 1);
+    let answer = session.execute(&alert).expect("alert query");
+    println!(
+        "locations with >= 50 readings over the whole window: {:?}",
+        answer.value
+    );
 
     // Every one of those queries fetched fixed-size bins; show the flat
-    // per-query volumes the adversary observed.
+    // per-query volumes the adversary observed (the whole batch appears as
+    // one interaction to the service provider).
     let volumes: Vec<usize> = system
         .observer()
         .per_query_summaries()
         .iter()
         .map(|s| s.rows_fetched)
         .collect();
-    println!("per-query rows observed by the service provider: {volumes:?}");
+    println!("per-interaction rows observed by the service provider: {volumes:?}");
 }

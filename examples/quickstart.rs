@@ -1,11 +1,12 @@
 //! Quickstart: stand up a full Concealer deployment, ingest one epoch of
-//! spatial time-series readings, and run the basic query classes.
+//! spatial time-series readings, and run the basic query classes through a
+//! [`concealer_core::Session`].
 //!
 //! ```text
 //! cargo run --release -p concealer-examples --example quickstart
 //! ```
 
-use concealer_core::{Aggregate, Predicate, Query, RangeMethod, RangeOptions, Record};
+use concealer_core::{ExecOptions, Query, RangeMethod, Record};
 use concealer_examples::demo_config;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,62 +26,64 @@ fn main() {
     let records: Vec<Record> = (0..2_000u64)
         .map(|i| Record::spatial(i % 12, (i * 3) % 7200, 1000 + i % 40))
         .collect();
-    let stats = system.ingest_epoch(0, records, &mut rng).expect("ingest");
+    let stats = system.ingest_epoch(0, &records, &mut rng).expect("ingest");
     println!(
         "ingested epoch 0: {} real rows + {} fake rows ({} cell-ids used, max load {})",
         stats.real_rows, stats.fake_rows, stats.cell_ids_used, stats.max_cell_id_load
     );
 
-    // 4. A point query: "how many devices were seen at location 3 at 10:00?"
-    let point = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Point { dims: vec![3], time: 600 },
-    };
-    let answer = system.point_query(&alice, &point).expect("point query");
+    // 4. Alice opens a session: her handle plus default execution options.
+    let session = system.session(&alice);
+
+    // 5. A point query: "how many devices were seen at location 3 at 10:00?"
+    let point = Query::count().at_dims([3]).at(600);
+    let answer = session.execute(&point).expect("point query");
     println!(
         "point query  -> {:?} (fetched {} rows, verified: {})",
         answer.value, answer.rows_fetched, answer.verified
     );
 
-    // 5. A range query: occupancy of location 5 over the first half hour,
+    // 6. A range query: occupancy of location 5 over the first half hour,
     //    executed with the volume-hiding eBPB method.
-    let range = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Range {
-            dims: Some(vec![5]),
-            observation: None,
-            time_start: 0,
-            time_end: 1799,
-        },
-    };
-    let answer = system
-        .range_query(&alice, &range, RangeOptions { method: RangeMethod::Ebpb, ..Default::default() })
+    let range = Query::count().at_dims([5]).between(0, 1_799);
+    let answer = session
+        .execute_with(&range, ExecOptions::with_method(RangeMethod::Ebpb))
         .expect("range query");
     println!(
         "range query  -> {:?} (fetched {} rows, decrypted {})",
         answer.value, answer.rows_fetched, answer.rows_decrypted
     );
 
-    // 6. An individualized query: where was Alice's device (1001) seen?
-    let my_device = Query {
-        aggregate: Aggregate::CollectRows,
-        predicate: Predicate::Range {
-            dims: None,
-            observation: Some(1001),
-            time_start: 0,
-            time_end: 7199,
-        },
-    };
-    let answer = system
-        .range_query(&alice, &my_device, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+    // 7. An individualized query: where was Alice's device (1001) seen?
+    let my_device = Query::collect_rows().observing(1001).between(0, 7_199);
+    let answer = session
+        .execute_with(&my_device, ExecOptions::with_method(RangeMethod::Bpb))
         .expect("individualized query");
     println!("individualized query -> {:?}", answer.value);
 
-    // 7. What did the untrusted service provider observe? Only fixed-size
+    // 8. A batch: per-location occupancy for every location, in one call.
+    //    Queries that share bins cause a single fetch instead of one each.
+    let batch: Vec<Query> = (0..12)
+        .map(|loc| Query::count().at_dims([loc]).between(0, 3_599))
+        .collect();
+    let batch_session = session
+        .clone()
+        .with_options(ExecOptions::with_method(RangeMethod::Bpb));
+    let answers = batch_session.execute_batch(&batch);
+    println!(
+        "batch of {} occupancy queries -> {} answered",
+        batch.len(),
+        answers.iter().filter(|a| a.is_ok()).count()
+    );
+
+    // 9. What did the untrusted service provider observe? Only fixed-size
     //    fetches — no output sizes, no predicates.
     let summary = system.observer().summary();
     println!(
         "adversary view: {} trapdoors issued, {} rows fetched ({} distinct), {} bytes moved",
-        summary.trapdoors, summary.rows_fetched, summary.distinct_rows_touched, summary.bytes_fetched
+        summary.trapdoors,
+        summary.rows_fetched,
+        summary.distinct_rows_touched,
+        summary.bytes_fetched
     );
 }

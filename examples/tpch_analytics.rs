@@ -1,6 +1,8 @@
 //! Non-spatial workload (Exp 8 of the paper): OLAP aggregations over an
 //! encrypted TPC-H LineItem table using Concealer's 2-D composite index
 //! ⟨Orderkey, Linenumber⟩, compared against an Opaque-style full scan.
+//! Both backends are driven through the [`concealer_core::SecureIndex`]
+//! trait — the same interface the equivalence tests and benchmarks use.
 //!
 //! ```text
 //! cargo run --release -p concealer-examples --example tpch_analytics
@@ -8,8 +10,7 @@
 
 use concealer_baselines::OpaqueBaseline;
 use concealer_core::{
-    Aggregate, ConcealerSystem, FakeTupleStrategy, GridShape, Predicate, Query, RangeOptions,
-    SystemConfig,
+    ConcealerSystem, FakeTupleStrategy, GridShape, Query, QueryBuilder, SecureIndex, SystemConfig,
 };
 use concealer_workloads::{TpchConfig, TpchGenerator, TpchIndex};
 use rand::rngs::StdRng;
@@ -43,47 +44,49 @@ fn main() {
         winsec_rows_per_interval: 1,
     };
     let mut system = ConcealerSystem::new(config, &mut rng);
-    let analyst = system.register_user(1, vec![], true);
-    system
-        .ingest_epoch(0, records.clone(), &mut rng)
-        .expect("ingest LineItem");
-    println!("ingested {} LineItem rows under the 2-D index", records.len());
+    let _analyst = system.register_user(1, vec![], true);
+    SecureIndex::ingest_epoch(&mut system, 0, &records, &mut rng).expect("ingest LineItem");
+    println!(
+        "ingested {} LineItem rows under the 2-D index",
+        records.len()
+    );
 
     let mut opaque = OpaqueBaseline::new(&mut rng);
-    opaque.ingest_epoch(0, &records, &mut rng).expect("opaque ingest");
+    opaque
+        .ingest_epoch(0, &records, &mut rng)
+        .expect("opaque ingest");
 
-    // Aggregate extended price for a specific (orderkey, linenumber).
+    // Aggregate extended price for a specific (orderkey, linenumber), on
+    // both backends through the shared SecureIndex interface.
     let target = &records[1234];
     let dims = target.dims.clone();
-    for (name, aggregate) in [
-        ("count", Aggregate::Count),
-        ("sum(extendedprice)", Aggregate::Sum { attr: 1 }),
-        ("min(extendedprice)", Aggregate::Min { attr: 1 }),
-        ("max(extendedprice)", Aggregate::Max { attr: 1 }),
+    let backends: [(&str, &dyn SecureIndex); 2] = [("Concealer", &system), ("Opaque", &opaque)];
+    for (name, builder) in [
+        ("count", Query::count()),
+        ("sum(extendedprice)", Query::sum(1)),
+        ("min(extendedprice)", Query::min(1)),
+        ("max(extendedprice)", Query::max(1)),
     ] {
-        let query = Query {
-            aggregate,
-            predicate: Predicate::Range {
-                dims: Some(dims.clone()),
-                observation: None,
-                time_start: 0,
-                time_end: epoch_duration - 1,
-            },
-        };
-        let start = Instant::now();
-        let answer = system
-            .range_query(&analyst, &query, RangeOptions::default())
-            .expect("tpch query");
-        let concealer_time = start.elapsed();
-
-        let start = Instant::now();
-        let (opaque_answer, scanned, _) = opaque.query(&query).expect("opaque query");
-        let opaque_time = start.elapsed();
-
-        assert_eq!(answer.value, opaque_answer, "both systems agree");
-        println!(
-            "{name:>20}: Concealer {:>9.3?} ({} rows fetched) | Opaque full scan {:>9.3?} ({} rows scanned)",
-            concealer_time, answer.rows_fetched, opaque_time, scanned
-        );
+        let query = finish(builder, &dims, epoch_duration);
+        let mut answers = Vec::new();
+        let mut report = Vec::new();
+        for (label, backend) in backends {
+            let start = Instant::now();
+            let answer = backend.execute(&query).expect("query");
+            let elapsed = start.elapsed();
+            report.push(format!(
+                "{label} {elapsed:>9.3?} ({} rows fetched)",
+                answer.rows_fetched
+            ));
+            answers.push(answer.value);
+        }
+        assert_eq!(answers[0], answers[1], "both systems agree");
+        println!("{name:>20}: {}", report.join(" | "));
     }
+}
+
+fn finish(builder: QueryBuilder, dims: &[u64], epoch_duration: u64) -> Query {
+    builder
+        .at_dims(dims.to_vec())
+        .between(0, epoch_duration - 1)
 }

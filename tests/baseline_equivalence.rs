@@ -1,9 +1,10 @@
 //! Equivalence tests: Concealer, the Opaque-style full-scan baseline, the
 //! DET+index baseline and plaintext execution must all return the same
-//! answers — they differ only in what they leak and what they cost.
+//! answers — they differ only in what they leak and what they cost. All
+//! four backends are driven through the shared [`SecureIndex`] trait.
 
 use concealer_baselines::{CleartextBaseline, DetIndexBaseline, OpaqueBaseline};
-use concealer_core::{Aggregate, Predicate, Query, RangeOptions};
+use concealer_core::{Query, SecureIndex};
 use concealer_examples::demo_system;
 use concealer_workloads::QueryWorkload;
 use rand::rngs::StdRng;
@@ -11,17 +12,24 @@ use rand::SeedableRng;
 
 #[test]
 fn all_systems_agree_on_counts_and_sums() {
-    let (system, user, records) = demo_system(2, 301);
-
-    let mut cleartext = CleartextBaseline::new();
-    cleartext.ingest_epoch(0, records.clone());
+    let (system, _user, records) = demo_system(2, 301);
 
     let mut rng = StdRng::seed_from_u64(302);
+    let mut cleartext = CleartextBaseline::new();
+    cleartext.ingest_epoch(0, &records, &mut rng).unwrap();
+
     let mut opaque = OpaqueBaseline::new(&mut rng);
     opaque.ingest_epoch(0, &records, &mut rng).unwrap();
 
-    let mut det = DetIndexBaseline::new(concealer_crypto::MasterKey::from_bytes([3u8; 32]), 60);
-    det.ingest_epoch(0, &records);
+    let mut det = DetIndexBaseline::new(
+        concealer_crypto::MasterKey::from_bytes([3u8; 32]),
+        60,
+        2 * 3600,
+    );
+    det.ingest_epoch(0, &records, &mut rng).unwrap();
+
+    // One slice of executors, one loop — no per-backend glue.
+    let backends: [&dyn SecureIndex; 4] = [&system, &cleartext, &opaque, &det];
 
     let workload = QueryWorkload {
         locations: 30,
@@ -31,24 +39,45 @@ fn all_systems_agree_on_counts_and_sums() {
     let mut qrng = StdRng::seed_from_u64(303);
     for _ in 0..6 {
         let query = workload.q1(30 * 60, &mut qrng);
-        let concealer_answer = system
-            .range_query(&user, &query, RangeOptions::default())
-            .unwrap()
-            .value;
-        let (cleartext_answer, _) = cleartext.query(&query);
-        let (opaque_answer, _, _) = opaque.query(&query).unwrap();
-        let (det_answer, _) = det.query(&query, 2 * 3600).unwrap();
-        assert_eq!(concealer_answer, cleartext_answer);
-        assert_eq!(concealer_answer, opaque_answer);
-        assert_eq!(concealer_answer, det_answer);
+        let answers: Vec<_> = backends
+            .iter()
+            .map(|b| b.execute(&query).unwrap().value)
+            .collect();
+        for other in &answers[1..] {
+            assert_eq!(&answers[0], other, "backends disagree on {query:?}");
+        }
     }
+}
+
+#[test]
+fn answer_stats_describe_the_leakage_profiles() {
+    let (system, _user, records) = demo_system(1, 309);
+    let mut rng = StdRng::seed_from_u64(310);
+    let mut det =
+        DetIndexBaseline::new(concealer_crypto::MasterKey::from_bytes([4u8; 32]), 60, 3600);
+    det.ingest_epoch(0, &records, &mut rng).unwrap();
+
+    let concealer_stats = system.answer_stats();
+    assert_eq!(concealer_stats.backend, "concealer");
+    assert!(concealer_stats.volume_hiding);
+    assert!(concealer_stats.verifiable);
+    assert!(
+        concealer_stats.rows_stored >= records.len(),
+        "fakes included"
+    );
+
+    let det_stats = det.answer_stats();
+    assert!(!det_stats.volume_hiding);
+    assert_eq!(det_stats.rows_stored, records.len());
 }
 
 #[test]
 fn leakage_profiles_differ_even_though_answers_match() {
     let (system, user, records) = demo_system(1, 304);
-    let mut det = DetIndexBaseline::new(concealer_crypto::MasterKey::from_bytes([5u8; 32]), 60);
-    det.ingest_epoch(0, &records);
+    let mut rng = StdRng::seed_from_u64(305);
+    let mut det =
+        DetIndexBaseline::new(concealer_crypto::MasterKey::from_bytes([5u8; 32]), 60, 3600);
+    det.ingest_epoch(0, &records, &mut rng).unwrap();
 
     // Two locations with very different true counts.
     let mut by_loc: std::collections::BTreeMap<u64, usize> = Default::default();
@@ -58,64 +87,50 @@ fn leakage_profiles_differ_even_though_answers_match() {
     let busiest = *by_loc.iter().max_by_key(|(_, c)| **c).unwrap().0;
     let quietest = *by_loc.iter().min_by_key(|(_, c)| **c).unwrap().0;
 
-    let q = |loc: u64| Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Range {
-            dims: Some(vec![loc]),
-            observation: None,
-            time_start: 0,
-            time_end: 3599,
-        },
-    };
+    let q = |loc: u64| Query::count().at_dims([loc]).between(0, 3599);
 
     // DET leaks the volume difference...
-    let (_, det_busy) = det.query(&q(busiest), 3600).unwrap();
-    let (_, det_quiet) = det.query(&q(quietest), 3600).unwrap();
-    assert!(det_busy > det_quiet, "DET baseline exposes the true volumes");
+    let det_busy = det.execute(&q(busiest)).unwrap().rows_fetched;
+    let det_quiet = det.execute(&q(quietest)).unwrap().rows_fetched;
+    assert!(
+        det_busy > det_quiet,
+        "DET baseline exposes the true volumes"
+    );
 
     // ...while Concealer's point queries fetch identical volumes (the range
     // query's fetch size depends only on the covered cells, not the data).
     system.observer().reset();
+    let session = system.session(&user);
     let target_busy = records.iter().find(|r| r.dims[0] == busiest).unwrap();
-    let target_quiet_dims = vec![quietest];
-    let a = system
-        .point_query(
-            &user,
-            &Query {
-                aggregate: Aggregate::Count,
-                predicate: Predicate::Point { dims: target_busy.dims.clone(), time: target_busy.time },
-            },
+    let a = session
+        .execute(
+            &Query::count()
+                .at_dims(target_busy.dims.clone())
+                .at(target_busy.time),
         )
         .unwrap();
-    let b = system
-        .point_query(
-            &user,
-            &Query {
-                aggregate: Aggregate::Count,
-                predicate: Predicate::Point { dims: target_quiet_dims, time: target_busy.time },
-            },
-        )
+    let b = session
+        .execute(&Query::count().at_dims([quietest]).at(target_busy.time))
         .unwrap();
     assert_eq!(a.rows_fetched, b.rows_fetched, "Concealer hides the volume");
 }
 
 #[test]
 fn opaque_scans_entire_store_while_concealer_fetches_bins() {
-    let (system, user, records) = demo_system(1, 305);
+    let (system, _user, records) = demo_system(1, 305);
     let mut rng = StdRng::seed_from_u64(306);
     let mut opaque = OpaqueBaseline::new(&mut rng);
     opaque.ingest_epoch(0, &records, &mut rng).unwrap();
 
     let target = &records[9];
-    let query = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Point { dims: target.dims.clone(), time: target.time },
-    };
-    let (_, scanned, decrypted) = opaque.query(&query).unwrap();
-    assert_eq!(scanned, records.len());
-    assert_eq!(decrypted, records.len());
+    let query = Query::count().at_dims(target.dims.clone()).at(target.time);
+    let opaque_answer = opaque.execute(&query).unwrap();
+    assert_eq!(opaque_answer.rows_fetched, records.len());
+    assert_eq!(opaque_answer.rows_decrypted, records.len());
 
-    let answer = system.point_query(&user, &query).unwrap();
+    // Through the same trait, Concealer fetches one bin.
+    let answer = system.execute(&query).unwrap();
+    assert_eq!(answer.value, opaque_answer.value, "answers agree");
     assert!(
         answer.rows_fetched * 4 < records.len(),
         "Concealer must fetch a small fraction of the data ({} of {})",

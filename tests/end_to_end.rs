@@ -1,9 +1,10 @@
 //! Cross-crate end-to-end tests: data provider → storage → enclave → query
-//! engine, over the synthetic workload generators.
+//! engine, over the synthetic workload generators, driven through the
+//! `Session` API.
 
 use concealer_baselines::cleartext::record_matches;
 use concealer_core::query::AnswerValue;
-use concealer_core::{Aggregate, Predicate, Query, RangeMethod, RangeOptions};
+use concealer_core::{Aggregate, ExecOptions, Query, RangeMethod};
 use concealer_examples::demo_system;
 use concealer_workloads::{QueryWorkload, TpchConfig, TpchGenerator, TpchIndex};
 use rand::rngs::StdRng;
@@ -26,29 +27,40 @@ fn wifi_workload_q1_to_q5_match_ground_truth_for_all_methods() {
     };
     let mut rng = StdRng::seed_from_u64(102);
 
-    for method in [RangeMethod::Bpb, RangeMethod::Ebpb, RangeMethod::WinSecRange] {
+    for method in [
+        RangeMethod::Bpb,
+        RangeMethod::Ebpb,
+        RangeMethod::WinSecRange,
+    ] {
+        let session = system
+            .session(&user)
+            .with_options(ExecOptions::with_method(method));
         for (name, query) in workload.all_range_queries(25 * 60, &mut rng) {
-            let opts = RangeOptions { method, ..Default::default() };
-            let answer = system
-                .range_query(&user, &query, opts)
+            let answer = session
+                .execute(&query)
                 .unwrap_or_else(|e| panic!("{name} failed under {method:?}: {e}"));
             match (&query.aggregate, &answer.value) {
                 (Aggregate::Count, AnswerValue::Count(c)) => {
-                    assert_eq!(*c, ground_truth_count(&records, &query), "{name} {method:?}");
+                    assert_eq!(
+                        *c,
+                        ground_truth_count(&records, &query),
+                        "{name} {method:?}"
+                    );
                 }
                 (Aggregate::TopKLocations { .. }, AnswerValue::LocationCounts(pairs)) => {
                     // Counts must match ground truth for every reported location.
                     for (loc, count) in pairs {
                         let expected = records
                             .iter()
-                            .filter(|r| {
-                                r.dims == [*loc] && record_matches(r, &query.predicate)
-                            })
+                            .filter(|r| r.dims == [*loc] && record_matches(r, &query.predicate))
                             .count() as u64;
                         assert_eq!(*count, expected, "{name} {method:?} loc {loc}");
                     }
                 }
-                (Aggregate::LocationsWithAtLeast { threshold }, AnswerValue::LocationCounts(pairs)) => {
+                (
+                    Aggregate::LocationsWithAtLeast { threshold },
+                    AnswerValue::LocationCounts(pairs),
+                ) => {
                     for (_, count) in pairs {
                         assert!(*count >= *threshold, "{name} {method:?}");
                     }
@@ -69,12 +81,10 @@ fn wifi_workload_q1_to_q5_match_ground_truth_for_all_methods() {
 #[test]
 fn point_queries_across_many_targets_match_ground_truth() {
     let (system, user, records) = demo_system(2, 103);
+    let session = system.session(&user);
     for r in records.iter().step_by(97) {
-        let query = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Point { dims: r.dims.clone(), time: r.time },
-        };
-        let answer = system.point_query(&user, &query).expect("point query");
+        let query = Query::count().at_dims(r.dims.clone()).at(r.time);
+        let answer = session.execute(&query).expect("point query");
         // The point filter covers the record's whole time granule.
         let granule = r.time / 60;
         let expected = records
@@ -112,22 +122,25 @@ fn tpch_two_d_and_four_d_indexes_answer_aggregations() {
         };
         let mut system = concealer_core::ConcealerSystem::new(config, &mut rng);
         let user = system.register_user(1, vec![], true);
-        system.ingest_epoch(0, records.clone(), &mut rng).unwrap();
+        system.ingest_epoch(0, &records, &mut rng).unwrap();
 
         let target = &records[55];
-        for aggregate in [Aggregate::Count, Aggregate::Sum { attr: 1 }, Aggregate::Max { attr: 0 }] {
+        let session = system.session(&user);
+        for aggregate in [
+            Aggregate::Count,
+            Aggregate::Sum { attr: 1 },
+            Aggregate::Max { attr: 0 },
+        ] {
             let query = Query {
                 aggregate,
-                predicate: Predicate::Range {
+                predicate: concealer_core::Predicate::Range {
                     dims: Some(target.dims.clone()),
                     observation: None,
                     time_start: 0,
                     time_end: epoch_duration - 1,
                 },
             };
-            let answer = system
-                .range_query(&user, &query, RangeOptions::default())
-                .expect("tpch query");
+            let answer = session.execute(&query).expect("tpch query");
             let matching: Vec<&concealer_core::Record> = records
                 .iter()
                 .filter(|r| record_matches(r, &query.predicate))
@@ -154,7 +167,8 @@ fn multi_epoch_ingest_and_query_with_forward_privacy() {
     use concealer_workloads::{WifiConfig, WifiGenerator};
 
     let mut rng = StdRng::seed_from_u64(105);
-    let mut system = concealer_core::ConcealerSystem::new(concealer_examples::demo_config(1), &mut rng);
+    let mut system =
+        concealer_core::ConcealerSystem::new(concealer_examples::demo_config(1), &mut rng);
     let user = system.register_user(1, vec![], true);
     let generator = WifiGenerator::new(WifiConfig::tiny());
 
@@ -163,28 +177,20 @@ fn multi_epoch_ingest_and_query_with_forward_privacy() {
         let start = epoch * 3600;
         let records = generator.generate_epoch(start, 3600, &mut rng);
         all_records.extend(records.clone());
-        system.ingest_epoch(start, records, &mut rng).unwrap();
+        system.ingest_epoch(start, &records, &mut rng).unwrap();
     }
 
-    let query = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Range {
-            dims: Some(vec![5]),
-            observation: None,
-            time_start: 0,
-            time_end: 3 * 3600 - 1,
-        },
-    };
+    let query = Query::count().at_dims([5]).between(0, 3 * 3600 - 1);
     let expected = ground_truth_count(&all_records, &query);
-    let opts = RangeOptions {
+    let session = system.session(&user).with_options(ExecOptions {
         method: RangeMethod::Bpb,
         forward_private: true,
-        ..Default::default()
-    };
+        ..ExecOptions::default()
+    });
     // Repeated execution keeps returning the right answer even though the
     // underlying ciphertexts are re-encrypted after every run.
     for _ in 0..3 {
-        let answer = system.range_query(&user, &query, opts).unwrap();
+        let answer = session.execute(&query).unwrap();
         assert_eq!(answer.value, AnswerValue::Count(expected));
         assert_eq!(answer.epochs_touched, 3);
     }
@@ -211,19 +217,25 @@ fn oblivious_and_plain_deployments_agree_on_answers() {
     let mut obliv = concealer_core::ConcealerSystem::with_master(obliv_cfg, master, 1);
     let pu = plain.register_user(1, vec![], true);
     let ou = obliv.register_user(1, vec![], true);
-    plain.ingest_epoch(0, records.clone(), &mut StdRng::seed_from_u64(7)).unwrap();
-    obliv.ingest_epoch(0, records, &mut StdRng::seed_from_u64(7)).unwrap();
+    plain
+        .ingest_epoch(0, &records, &mut StdRng::seed_from_u64(7))
+        .unwrap();
+    obliv
+        .ingest_epoch(0, &records, &mut StdRng::seed_from_u64(7))
+        .unwrap();
 
     let workload = QueryWorkload {
         locations: 16,
         devices: vec![],
         time_extent: (0, 3600),
     };
+    let plain_session = plain.session(&pu);
+    let obliv_session = obliv.session(&ou);
     let mut qrng = StdRng::seed_from_u64(108);
     for _ in 0..5 {
         let q = workload.q1(900, &mut qrng);
-        let a = plain.range_query(&pu, &q, RangeOptions::default()).unwrap();
-        let b = obliv.range_query(&ou, &q, RangeOptions::default()).unwrap();
+        let a = plain_session.execute(&q).unwrap();
+        let b = obliv_session.execute(&q).unwrap();
         assert_eq!(a.value, b.value);
     }
 }

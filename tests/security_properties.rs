@@ -3,7 +3,7 @@
 //! enclave side-channel meter).
 
 use concealer_core::query::AnswerValue;
-use concealer_core::{Aggregate, CoreError, Predicate, Query, RangeMethod, RangeOptions};
+use concealer_core::{CoreError, ExecOptions, Query, RangeMethod};
 use concealer_examples::{demo_config, demo_system};
 use concealer_workloads::{WifiConfig, WifiGenerator};
 use rand::rngs::StdRng;
@@ -16,6 +16,7 @@ use std::collections::BTreeSet;
 fn volume_hiding_across_point_queries() {
     let (system, user, records) = demo_system(2, 201);
     system.observer().reset();
+    let session = system.session(&user);
 
     // Mix of dense targets (existing records) and sparse targets (locations
     // and times chosen to likely have few or no matches).
@@ -29,14 +30,15 @@ fn volume_hiding_across_point_queries() {
 
     let mut counts = BTreeSet::new();
     for (dims, time) in targets {
-        let q = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Point { dims, time },
-        };
-        let answer = system.point_query(&user, &q).expect("point query");
+        let q = Query::count().at_dims(dims).at(time);
+        let answer = session.execute(&q).expect("point query");
         counts.insert(answer.rows_fetched);
     }
-    assert_eq!(counts.len(), 1, "all point queries must fetch identical volumes: {counts:?}");
+    assert_eq!(
+        counts.len(),
+        1,
+        "all point queries must fetch identical volumes: {counts:?}"
+    );
 
     // The adversary's own per-query trace agrees.
     let observed: BTreeSet<usize> = system
@@ -55,34 +57,30 @@ fn volume_hiding_across_point_queries() {
 fn same_bin_queries_produce_identical_fetch_sets() {
     let (system, user, records) = demo_system(2, 202);
     system.observer().reset();
+    let session = system.session(&user);
 
     // Two predicates over the same (location, time-granule) cell — one that
     // matches records and one (different observation) that matches nothing.
     let target = &records[17];
-    let q_real = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Point { dims: target.dims.clone(), time: target.time },
-    };
+    let q_real = Query::count().at_dims(target.dims.clone()).at(target.time);
     // Same cell, but a count restricted to an absent device: same bin, very
     // different true output size.
-    let q_empty = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Range {
-            dims: Some(target.dims.clone()),
-            observation: Some(1299), // registered to the demo user, rarely present
-            time_start: target.time,
-            time_end: target.time,
-        },
-    };
-    let a = system.point_query(&user, &q_real).unwrap();
-    let b = system
-        .range_query(&user, &q_empty, RangeOptions { method: RangeMethod::Bpb, ..Default::default() })
+    let q_empty = Query::count()
+        .at_dims(target.dims.clone())
+        .observing(1299) // registered to the demo user, rarely present
+        .between(target.time, target.time);
+    let a = session.execute(&q_real).unwrap();
+    let b = session
+        .execute_with(&q_empty, ExecOptions::with_method(RangeMethod::Bpb))
         .unwrap();
     assert_eq!(a.rows_fetched, b.rows_fetched);
 
     let sets = system.observer().per_query_fetch_sets();
     assert_eq!(sets.len(), 2);
-    assert_eq!(sets[0], sets[1], "fetched row sets must be indistinguishable");
+    assert_eq!(
+        sets[0], sets[1],
+        "fetched row sets must be indistinguishable"
+    );
 }
 
 /// Ciphertext indistinguishability: no two stored ciphertexts repeat, even
@@ -91,7 +89,10 @@ fn same_bin_queries_produce_identical_fetch_sets() {
 fn ciphertext_uniqueness_in_the_store() {
     let (system, _user, records) = demo_system(1, 203);
     assert!(records.len() > 100);
-    let rows = system.store().full_scan(0).expect("adversary can read its own disk");
+    let rows = system
+        .store()
+        .full_scan(0)
+        .expect("adversary can read its own disk");
     let mut index_keys = BTreeSet::new();
     let mut filters = BTreeSet::new();
     let mut payloads = BTreeSet::new();
@@ -121,10 +122,14 @@ fn forward_privacy_across_epochs() {
     let epoch0 = generator.generate_epoch(0, 3600, &mut StdRng::seed_from_u64(1));
     let epoch1: Vec<_> = epoch0
         .iter()
-        .map(|r| concealer_core::Record { dims: r.dims.clone(), time: r.time + 3600, payload: r.payload.clone() })
+        .map(|r| concealer_core::Record {
+            dims: r.dims.clone(),
+            time: r.time + 3600,
+            payload: r.payload.clone(),
+        })
         .collect();
-    system.ingest_epoch(0, epoch0, &mut rng).unwrap();
-    system.ingest_epoch(3600, epoch1, &mut rng).unwrap();
+    system.ingest_epoch(0, &epoch0, &mut rng).unwrap();
+    system.ingest_epoch(3600, &epoch1, &mut rng).unwrap();
 
     let rows0: BTreeSet<Vec<u8>> = system
         .store()
@@ -140,19 +145,14 @@ fn forward_privacy_across_epochs() {
         .into_iter()
         .map(|r| r.index_key)
         .collect();
-    assert!(rows0.is_disjoint(&rows1), "epoch keys must make index columns unlinkable");
+    assert!(
+        rows0.is_disjoint(&rows1),
+        "epoch keys must make index columns unlinkable"
+    );
 
     // And queries still work on both epochs.
-    let q = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Range {
-            dims: Some(vec![3]),
-            observation: None,
-            time_start: 0,
-            time_end: 7199,
-        },
-    };
-    assert!(system.range_query(&user, &q, RangeOptions::default()).is_ok());
+    let q = Query::count().at_dims([3]).between(0, 7199);
+    assert!(system.session(&user).execute(&q).is_ok());
 }
 
 /// Integrity: deleting a row (as the malicious service provider) is caught
@@ -171,13 +171,14 @@ fn row_deletion_detected() {
         .rewrite_rows(0, vec![(victim.index_key.clone(), forged)])
         .unwrap();
 
+    let session = system.session(&user);
     let mut detected = false;
     for r in records.iter().step_by(11) {
-        let q = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Point { dims: r.dims.clone(), time: r.time },
-        };
-        if matches!(system.point_query(&user, &q), Err(CoreError::IntegrityViolation { .. })) {
+        let q = Query::count().at_dims(r.dims.clone()).at(r.time);
+        if matches!(
+            session.execute(&q),
+            Err(CoreError::IntegrityViolation { .. })
+        ) {
             detected = true;
             break;
         }
@@ -197,33 +198,33 @@ fn oblivious_processing_is_predicate_independent() {
     let records = generator.generate_epoch(0, 3600, &mut rng);
     let mut system = concealer_core::ConcealerSystem::new(config, &mut rng);
     let user = system.register_user(1, vec![], true);
-    system.ingest_epoch(0, records.clone(), &mut rng).unwrap();
+    system.ingest_epoch(0, &records, &mut rng).unwrap();
 
     let target = &records[5];
     let meter = system.meter();
+    let session = system.session(&user);
 
-    let q_dense = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Point { dims: target.dims.clone(), time: target.time },
-    };
+    let q_dense = Query::count().at_dims(target.dims.clone()).at(target.time);
     meter.reset();
-    let a = system.point_query(&user, &q_dense).unwrap();
+    let a = session.execute(&q_dense).unwrap();
     let snap_dense = meter.snapshot();
 
     // Same cell (same location bucket and time row), different granule
     // position — same bin, different true answer.
-    let q_sparse = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Point { dims: target.dims.clone(), time: target.time ^ 1 },
-    };
+    let q_sparse = Query::count()
+        .at_dims(target.dims.clone())
+        .at(target.time ^ 1);
     meter.reset();
-    let b = system.point_query(&user, &q_sparse).unwrap();
+    let b = session.execute(&q_sparse).unwrap();
     let snap_sparse = meter.snapshot();
 
     assert_eq!(a.rows_fetched, b.rows_fetched);
     assert_eq!(snap_dense.sort_steps, snap_sparse.sort_steps);
     assert_eq!(snap_dense.element_touches, snap_sparse.element_touches);
-    assert_eq!(snap_dense.trapdoors_generated, snap_sparse.trapdoors_generated);
+    assert_eq!(
+        snap_dense.trapdoors_generated,
+        snap_sparse.trapdoors_generated
+    );
     assert_eq!(snap_dense.decryptions, snap_sparse.decryptions);
 }
 
@@ -238,24 +239,18 @@ fn superbins_coarsen_observable_access_patterns() {
 
     let run_workload = |use_superbins: bool| -> (Vec<Vec<(u64, u64)>>, Vec<usize>) {
         system.observer().reset();
+        let session = system.session(&user).with_options(ExecOptions {
+            method: RangeMethod::Bpb,
+            use_superbins,
+            num_super_bins: 3,
+            ..ExecOptions::default()
+        });
         for loc in 0..12u64 {
             for window in 0..4u64 {
-                let q = Query {
-                    aggregate: Aggregate::Count,
-                    predicate: Predicate::Range {
-                        dims: Some(vec![loc]),
-                        observation: None,
-                        time_start: window * 900,
-                        time_end: window * 900 + 899,
-                    },
-                };
-                let opts = RangeOptions {
-                    method: RangeMethod::Bpb,
-                    use_superbins,
-                    num_super_bins: 3,
-                    ..Default::default()
-                };
-                system.range_query(&user, &q, opts).unwrap();
+                let q = Query::count()
+                    .at_dims([loc])
+                    .between(window * 900, window * 900 + 899);
+                session.execute(&q).unwrap();
             }
         }
         let sets = system.observer().per_query_fetch_sets();
@@ -267,7 +262,10 @@ fn superbins_coarsen_observable_access_patterns() {
     let (sets_with, vol_with) = run_workload(true);
 
     let distinct = |sets: &[Vec<(u64, u64)>]| {
-        sets.iter().cloned().collect::<BTreeSet<Vec<(u64, u64)>>>().len()
+        sets.iter()
+            .cloned()
+            .collect::<BTreeSet<Vec<(u64, u64)>>>()
+            .len()
     };
     assert!(
         distinct(&sets_with) <= distinct(&sets_without),
@@ -278,20 +276,15 @@ fn superbins_coarsen_observable_access_patterns() {
     // Volumes never shrink: fetching the whole super-bin is a superset of
     // fetching the bin alone.
     for (w, wo) in vol_with.iter().zip(vol_without.iter()) {
-        assert!(w >= wo, "super-bin fetch {w} smaller than plain bin fetch {wo}");
+        assert!(
+            w >= wo,
+            "super-bin fetch {w} smaller than plain bin fetch {wo}"
+        );
     }
 
     // AnswerValue sanity so the workload above is not vacuous.
-    let q = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Range {
-            dims: Some(vec![0]),
-            observation: None,
-            time_start: 0,
-            time_end: 3599,
-        },
-    };
-    match system.range_query(&user, &q, RangeOptions::default()).unwrap().value {
+    let q = Query::count().at_dims([0]).between(0, 3599);
+    match system.session(&user).execute(&q).unwrap().value {
         AnswerValue::Count(_) => {}
         other => panic!("unexpected {other:?}"),
     }

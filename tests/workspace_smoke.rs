@@ -7,10 +7,7 @@
 //! rows (uniform bin sizes, the volume-hiding invariant).
 
 use concealer_core::query::AnswerValue;
-use concealer_core::{
-    Aggregate, ConcealerSystem, FakeTupleStrategy, GridShape, Predicate, Query, Record,
-    SystemConfig,
-};
+use concealer_core::{ConcealerSystem, FakeTupleStrategy, GridShape, Query, Record, SystemConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,19 +45,12 @@ fn quickstart_flow_answers_correctly_with_uniform_bins() {
     let user = system.register_user(7, vec![1000], true);
 
     let records = quickstart_records();
-    system.ingest_epoch(0, records.clone(), &mut rng).unwrap();
+    system.ingest_epoch(0, &records, &mut rng).unwrap();
 
     // "How many observations at location 3 during the first half hour?"
-    let query = Query {
-        aggregate: Aggregate::Count,
-        predicate: Predicate::Range {
-            dims: Some(vec![3]),
-            observation: None,
-            time_start: 0,
-            time_end: 1_800,
-        },
-    };
-    let answer = system.range_query(&user, &query, Default::default()).unwrap();
+    let session = system.session(&user);
+    let query = Query::count().at_dims([3]).between(0, 1_800);
+    let answer = session.execute(&query).unwrap();
 
     // Ground truth at the engine's resolution: predicates match whole time
     // granules (60 s here), so a record at t=1836 falls into granule 30,
@@ -77,14 +67,8 @@ fn quickstart_flow_answers_correctly_with_uniform_bins() {
     // volume is identical whether the queried cell is crowded or empty.
     let mut fetch_sizes = Vec::new();
     for record in records.iter().step_by(13) {
-        let point = Query {
-            aggregate: Aggregate::Count,
-            predicate: Predicate::Point {
-                dims: record.dims.clone(),
-                time: record.time,
-            },
-        };
-        fetch_sizes.push(system.point_query(&user, &point).unwrap().rows_fetched);
+        let point = Query::count().at_dims(record.dims.clone()).at(record.time);
+        fetch_sizes.push(session.execute(&point).unwrap().rows_fetched);
     }
     assert!(!fetch_sizes.is_empty());
     assert!(
