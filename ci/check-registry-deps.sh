@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Guard: no crates.io (or any remote) dependency may sneak past the shims/
+# policy. Every external crate this workspace uses is served by a local
+# path shim (see shims/README.md); a registry dependency would break the
+# offline build and silently widen the supply chain.
+#
+# Cargo.lock records a `source = ...` line (and a `checksum = ...`) only
+# for non-path dependencies, so an empty scan proves the whole graph is
+# path-resolved. This replaces the previous implicit reliance on
+# CARGO_NET_OFFLINE alone, which only failed at download time.
+set -eu
+
+LOCKFILE="${1:-Cargo.lock}"
+
+if [ ! -f "$LOCKFILE" ]; then
+    echo "error: $LOCKFILE not found (run from the workspace root)" >&2
+    exit 2
+fi
+
+violations=$(grep -nE '^(source|checksum) *=' "$LOCKFILE" || true)
+if [ -n "$violations" ]; then
+    echo "error: non-path dependencies found in $LOCKFILE:" >&2
+    echo "$violations" >&2
+    echo "All dependencies must resolve to local paths (shims/ policy)." >&2
+    exit 1
+fi
+
+count=$(grep -c '^name = ' "$LOCKFILE")
+echo "ok: all $count packages in $LOCKFILE are path-resolved (no registry sources)"

@@ -1,0 +1,54 @@
+//! Batched-query throughput: queries/sec for a 64-query WiFi mix executed
+//! through `Session::execute_batch` sequentially and on the scoped thread
+//! pool at 1/2/4/8 workers.
+//!
+//! Parallel execution is bit-identical to sequential (same answers, same
+//! adversary-observable trace), so this bench measures pure wall-clock
+//! scaling of the fetch+verify and filter/aggregate stages. On a single
+//! hardware thread the parallel rows degenerate to sequential-plus-pool
+//! overhead; on a ≥4-core runner the 4/8-worker rows should clearly beat
+//! the 1-worker row.
+
+use concealer_bench::setup::{build_wifi_system, WifiScale};
+use concealer_core::{ExecOptions, Query, RangeMethod};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The 64-query WiFi mix: points, short ranges and device trajectories,
+/// with overlapping windows so the batch has bins to dedupe.
+fn wifi_mix(bench: &concealer_bench::ScaledWifi, seed: u64, len: usize) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| match i % 4 {
+            0 => bench.workload.q1_point(&mut rng),
+            1 | 2 => bench.workload.q1(30 * 60, &mut rng),
+            _ => bench.workload.q2(45 * 60, 5, &mut rng),
+        })
+        .collect()
+}
+
+fn batch_throughput(c: &mut Criterion) {
+    let bench = build_wifi_system(WifiScale::Tiny, false, 11);
+    let queries = wifi_mix(&bench, 12, 64);
+
+    let mut group = c.benchmark_group("batch_throughput_64q");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let session = bench
+            .session()
+            .with_options(ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(threads));
+        group.bench_function(BenchmarkId::new("execute_batch", threads), |b| {
+            b.iter(|| {
+                let answers = session.execute_batch(&queries);
+                assert!(answers.iter().all(Result::is_ok));
+                std::hint::black_box(answers);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_throughput);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! CI perf-smoke harness: a short, deterministic benchmark run that emits a
+//! machine-readable `BENCH_pr.json` summary so every PR appends a point to
+//! the perf trajectory.
+//!
+//! Measures, on the Tiny WiFi workload:
+//!
+//! * queries/sec for a 64-query batch executed sequentially and on the
+//!   scoped thread pool (2, 4 and `available_parallelism` workers), with
+//!   answers cross-checked against the sequential run (a divergence
+//!   panics, failing the CI job);
+//! * the batch dedup ratio: rows fetched by per-query execution vs. the
+//!   deduplicated batch.
+//!
+//! Invocation: `bench_smoke [--quick] [--out PATH]`. `--quick` (or
+//! `BENCH_SMOKE_ITERS=1`) caps the timing loop for CI; the default is 3
+//! iterations. Numbers from this harness are trend indicators, not
+//! statistically rigorous measurements — see the criterion benches for
+//! those.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use concealer_bench::setup::{build_wifi_system, WifiScale};
+use concealer_bench::time_once;
+use concealer_core::{ExecOptions, Query, QueryAnswer, RangeMethod};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BATCH_LEN: usize = 64;
+
+fn wifi_mix(bench: &concealer_bench::ScaledWifi, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..BATCH_LEN)
+        .map(|i| match i % 4 {
+            0 => bench.workload.q1_point(&mut rng),
+            1 | 2 => bench.workload.q1(30 * 60, &mut rng),
+            _ => bench.workload.q2(45 * 60, 5, &mut rng),
+        })
+        .collect()
+}
+
+/// Run the batch `iters` times at the given parallelism; returns the best
+/// (minimum) duration and the answers of the last run.
+fn time_batch(
+    bench: &concealer_bench::ScaledWifi,
+    queries: &[Query],
+    parallelism: usize,
+    iters: usize,
+) -> (Duration, Vec<QueryAnswer>) {
+    let session = bench
+        .session()
+        .with_options(ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(parallelism));
+    let mut best = Duration::MAX;
+    let mut answers = Vec::new();
+    for _ in 0..iters.max(1) {
+        let (result, elapsed) = time_once(|| session.execute_batch(queries));
+        answers = result
+            .into_iter()
+            .collect::<Result<Vec<QueryAnswer>, _>>()
+            .expect("bench query failed");
+        best = best.min(elapsed);
+    }
+    (best, answers)
+}
+
+fn qps(queries: usize, elapsed: Duration) -> f64 {
+    queries as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_pr.json", String::as_str);
+    let iters: usize = std::env::var("BENCH_SMOKE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 3 });
+
+    let hw_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!("bench_smoke: {BATCH_LEN}-query WiFi mix, {iters} iteration(s), {hw_threads} hardware thread(s)");
+
+    let bench = build_wifi_system(WifiScale::Tiny, false, 21);
+    let queries = wifi_mix(&bench, 22);
+
+    // Dedup ratio: per-query execution vs. the deduplicated batch.
+    let observer = bench.system.observer();
+    let session = bench
+        .session()
+        .with_options(ExecOptions::with_method(RangeMethod::Bpb));
+    observer.reset();
+    for q in &queries {
+        session.execute(q).expect("per-query execution failed");
+    }
+    let rows_per_query = observer.summary().rows_fetched;
+    observer.reset();
+    let (sequential_elapsed, sequential_answers) = time_batch(&bench, &queries, 1, iters);
+    let rows_batched = observer.summary().rows_fetched / iters.max(1);
+    let dedup_ratio = rows_per_query as f64 / rows_batched.max(1) as f64;
+
+    // Parallel runs, each cross-checked against the sequential answers.
+    let mut thread_counts = vec![2usize, 4];
+    if !thread_counts.contains(&hw_threads) && hw_threads > 1 {
+        thread_counts.push(hw_threads);
+    }
+    let mut parallel_rows = String::new();
+    let mut report_lines = Vec::new();
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        let (elapsed, answers) = time_batch(&bench, &queries, threads, iters);
+        assert_eq!(
+            answers, sequential_answers,
+            "parallel answers diverged at {threads} threads"
+        );
+        let speedup = sequential_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+        report_lines.push(format!(
+            "parallel x{threads}: {:.0} q/s (speedup {speedup:.2})",
+            qps(BATCH_LEN, elapsed)
+        ));
+        if i > 0 {
+            parallel_rows.push(',');
+        }
+        write!(
+            parallel_rows,
+            "\n    {{\"threads\": {threads}, \"qps\": {:.2}, \"elapsed_ms\": {:.3}, \"speedup\": {speedup:.3}}}",
+            qps(BATCH_LEN, elapsed),
+            elapsed.as_secs_f64() * 1e3
+        )
+        .expect("writing to a String cannot fail");
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"concealer-bench-smoke/v1\",\n  \"workload\": \"wifi-tiny-{BATCH_LEN}-query-mix\",\n  \"queries\": {BATCH_LEN},\n  \"iterations\": {iters},\n  \"threads_available\": {hw_threads},\n  \"sequential\": {{\"qps\": {:.2}, \"elapsed_ms\": {:.3}}},\n  \"parallel\": [{parallel_rows}\n  ],\n  \"batch_dedup\": {{\"rows_per_query\": {rows_per_query}, \"rows_batched\": {rows_batched}, \"dedup_ratio\": {dedup_ratio:.4}}}\n}}\n",
+        qps(BATCH_LEN, sequential_elapsed),
+        sequential_elapsed.as_secs_f64() * 1e3,
+    );
+    std::fs::write(out_path, &json).expect("writing the benchmark summary failed");
+
+    eprintln!(
+        "sequential: {:.0} q/s; dedup ratio {dedup_ratio:.2} ({rows_per_query} -> {rows_batched} rows)",
+        qps(BATCH_LEN, sequential_elapsed)
+    );
+    for line in report_lines {
+        eprintln!("{line}");
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -52,6 +52,16 @@ pub struct ExecOptions {
     /// Override the enclave's oblivious (Concealer+) mode for this
     /// execution: `None` inherits the deployment default.
     pub oblivious: Option<bool>,
+    /// Worker threads for batch execution (`0` and `1` both mean
+    /// sequential). Only dedup-eligible batches — bin-granular BPB without
+    /// forward privacy — parallelize their fetch+verify and per-query
+    /// aggregation stages; answers and the adversary-observable trace are
+    /// bit-identical to sequential execution either way. Batches that fall
+    /// back to per-query execution (eBPB, winSecRange, forward privacy)
+    /// ignore this knob and stay fully sequential, because interleaving
+    /// their fetches would observably reorder the access pattern the
+    /// caller configured.
+    pub parallelism: usize,
 }
 
 impl Default for ExecOptions {
@@ -63,6 +73,7 @@ impl Default for ExecOptions {
             forward_private: false,
             verify: true,
             oblivious: None,
+            parallelism: 1,
         }
     }
 }
@@ -76,18 +87,12 @@ impl ExecOptions {
             ..Self::default()
         }
     }
-}
 
-#[allow(deprecated)]
-impl From<crate::engine::RangeOptions> for ExecOptions {
-    fn from(opts: crate::engine::RangeOptions) -> Self {
-        ExecOptions {
-            method: opts.method,
-            use_superbins: opts.use_superbins,
-            num_super_bins: opts.num_super_bins,
-            forward_private: opts.forward_private,
-            ..Self::default()
-        }
+    /// Set the batch-execution worker-thread count (builder style).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -173,6 +178,28 @@ impl<'a> Session<'a> {
         self.system
             .engine()
             .execute_batch(&self.user, queries, self.options)
+    }
+
+    /// Execute a batch of queries on all available cores: [`Session::execute_batch`]
+    /// with [`ExecOptions::parallelism`] set to
+    /// [`std::thread::available_parallelism`].
+    ///
+    /// Parallelism changes **nothing observable**: per-query answers
+    /// (including fetch metadata) are bit-identical to sequential
+    /// execution, and the storage-level trace is merged back in
+    /// deterministic bin order, so it equals the sequential trace exactly.
+    /// Batches that are not dedup-eligible (eBPB, winSecRange, forward
+    /// privacy) still run fully sequentially — their access-pattern
+    /// profile is never reordered.
+    pub fn par_execute_batch(&self, queries: &[Query]) -> Vec<Result<QueryAnswer>> {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let options = ExecOptions {
+            parallelism: threads,
+            ..self.options
+        };
+        self.system
+            .engine()
+            .execute_batch(&self.user, queries, options)
     }
 }
 

@@ -10,9 +10,10 @@
 //!
 //! The public entry points are [`QueryEngine::execute`] (one query,
 //! dispatching on its predicate) and [`QueryEngine::execute_batch`]
-//! (many queries with cross-query bin deduplication); both are normally
-//! reached through [`crate::Session`]. The pre-0.2 `point_query` /
-//! `range_query` split survives as deprecated shims.
+//! (many queries with cross-query bin deduplication, optionally executed on
+//! a scoped thread pool — see [`ExecOptions::parallelism`]); both are
+//! normally reached through [`crate::Session`]. The pre-0.2 `point_query` /
+//! `range_query` split was removed in 0.3 (see `MIGRATION.md`).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -54,37 +55,6 @@ pub enum RangeMethod {
     /// Fixed-interval bins: fetch whole pre-defined time intervals, immune
     /// to sliding-window attacks.
     WinSecRange,
-}
-
-/// Options controlling range-query execution (pre-0.2 API).
-///
-/// Superseded by [`ExecOptions`], which adds the verification and
-/// obliviousness toggles; `ExecOptions::from(range_options)` migrates a
-/// value. Kept (un-deprecated) because the deprecated `range_query` shims
-/// still accept it.
-#[derive(Debug, Clone, Copy)]
-pub struct RangeOptions {
-    /// Which method to execute the range with.
-    pub method: RangeMethod,
-    /// Whether to group bins into super-bins (§8) and fetch whole
-    /// super-bins, defending against query-workload frequency attacks.
-    pub use_superbins: bool,
-    /// Number of super-bins (`f` in §8).
-    pub num_super_bins: usize,
-    /// Whether to run the §6 multi-round protocol: fetch extra random bins
-    /// from every round the query spans and re-encrypt everything fetched.
-    pub forward_private: bool,
-}
-
-impl Default for RangeOptions {
-    fn default() -> Self {
-        RangeOptions {
-            method: RangeMethod::Ebpb,
-            use_superbins: false,
-            num_super_bins: 4,
-            forward_private: false,
-        }
-    }
 }
 
 /// Enclave-resident state for one registered epoch.
@@ -181,6 +151,14 @@ struct BinFetchPlan {
     bins: BTreeSet<(u64, usize)>,
     epochs_touched: usize,
     verified: bool,
+}
+
+/// The outcome of one parallel bin fetch: the fetched (and verified) rows
+/// with their round key, plus the storage-access events the fetch produced,
+/// buffered task-locally for deterministic merging.
+struct BinFetchOutcome {
+    result: Result<(EpochKey, Vec<EncryptedRow>)>,
+    events: Vec<concealer_storage::AccessEvent>,
 }
 
 /// The enclave-side query engine.
@@ -343,40 +321,6 @@ impl QueryEngine {
         }
     }
 
-    /// Execute a point query (§4.2).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use QueryEngine::execute (or Session::execute) instead"
-    )]
-    pub fn point_query(
-        &self,
-        user: &UserHandle,
-        query: &Query,
-        registry_scope: QueryScope,
-    ) -> Result<QueryAnswer> {
-        if !matches!(query.predicate, Predicate::Point { .. }) {
-            return Err(CoreError::InvalidQuery {
-                reason: "point_query requires a Point predicate",
-            });
-        }
-        self.execute_point(user, query, ExecOptions::default(), registry_scope)
-    }
-
-    /// Execute a range query with the selected method (§4.2, §5).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use QueryEngine::execute (or Session::execute) instead"
-    )]
-    pub fn range_query(
-        &self,
-        user: &UserHandle,
-        query: &Query,
-        opts: RangeOptions,
-        registry_scope: QueryScope,
-    ) -> Result<QueryAnswer> {
-        self.execute_range(user, query, ExecOptions::from(opts), registry_scope)
-    }
-
     /// Execute a batch of queries with cross-query bin deduplication.
     ///
     /// Under the bin-granular BPB method the engine plans every query,
@@ -403,6 +347,18 @@ impl QueryEngine {
     /// * `opts.forward_private` — the §6 protocol re-encrypts fetched bins
     ///   after every query, so deduplicating fetches across queries would
     ///   change its semantics.
+    ///
+    /// With `opts.parallelism > 1`, dedup-eligible batches run their
+    /// fetch+verify stage and their per-query filter/aggregate stage on a
+    /// scoped thread pool. Parallel execution is **observably identical**
+    /// to sequential execution: answers (including fetch metadata) are
+    /// bit-identical, and every worker records storage accesses into a
+    /// task-local buffer that is merged into the shared observer in
+    /// ascending `(epoch, bin)` order — the order the sequential loop
+    /// fetches in — so even the event-level trace matches. The fallback
+    /// configurations above ignore the knob entirely and stay sequential:
+    /// interleaving their fetches across threads would observably reorder
+    /// the access pattern the caller configured.
     pub fn execute_batch(
         &self,
         user: &UserHandle,
@@ -434,13 +390,46 @@ impl QueryEngine {
             }
         }
 
-        // The union of every query's fetch set: each pair fetched once.
-        let union: BTreeSet<(u64, usize)> = plans
+        // The union of every query's fetch set, ascending: each pair
+        // fetched once, in deterministic order.
+        let union: Vec<(u64, usize)> = plans
             .iter()
             .flatten()
             .flat_map(|p| &p.bins)
             .copied()
+            .collect::<BTreeSet<(u64, usize)>>()
+            .into_iter()
             .collect();
+
+        // Planning needed `&mut` (lazy super-bin plans); execution only
+        // reads, so downgrade to a read guard: batches from different
+        // sessions, point queries and ingest registration all proceed
+        // concurrently with the fetch/aggregate stages. Across the guard
+        // swap the registry can only grow — epochs are never removed
+        // (re-shipping an epoch concurrently with querying it is outside
+        // the deployment model, which appends epochs) — and
+        // `fetch_bin_rows` re-derives each bin's round key at fetch time,
+        // so the plans stay valid.
+        drop(epochs);
+        let epochs = self.epochs.read();
+        let epochs: &BTreeMap<u64, EpochRuntime> = &epochs;
+        let workers = opts.parallelism.min(union.len());
+        if workers > 1 {
+            self.execute_union_parallel(
+                epochs,
+                queries,
+                &opts,
+                &union,
+                workers,
+                &plans,
+                &mut results,
+            );
+            self.store.mark_query_boundary();
+            return results
+                .into_iter()
+                .map(|r| r.expect("parallel batch resolves every query"))
+                .collect();
+        }
 
         let mut accs: Vec<Accumulator> = queries.iter().map(|_| Accumulator::default()).collect();
         let mut fetched: Vec<usize> = vec![0; queries.len()];
@@ -448,7 +437,7 @@ impl QueryEngine {
 
         for (epoch_id, bin_idx) in union {
             let rt = epochs.get(&epoch_id).expect("planned epoch is registered");
-            let fetch = self.fetch_bin_rows(rt, bin_idx, &opts);
+            let fetch = self.fetch_bin_rows(&self.store, rt, bin_idx, &opts);
             let interested = |plan: &BinFetchPlan| plan.bins.contains(&(epoch_id, bin_idx));
             match fetch {
                 Err(e) => {
@@ -504,6 +493,120 @@ impl QueryEngine {
             }));
         }
         out
+    }
+
+    /// The parallel execution of a planned batch: stage 1 fetches and
+    /// hash-chain-verifies every `(epoch, bin)` of `union` once across the
+    /// pool; stage 2 filters and aggregates each query's bins in ascending
+    /// bin order (the sequential order) from the shared fetch results.
+    ///
+    /// Each fetch task records storage accesses into a task-local observer;
+    /// the buffers are concatenated in `union` order and appended to the
+    /// shared observer atomically, so the adversary-visible trace is
+    /// event-for-event identical to the sequential loop.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_union_parallel(
+        &self,
+        epochs: &BTreeMap<u64, EpochRuntime>,
+        queries: &[Query],
+        opts: &ExecOptions,
+        union: &[(u64, usize)],
+        workers: usize,
+        plans: &[Option<BinFetchPlan>],
+        results: &mut [Option<Result<QueryAnswer>>],
+    ) {
+        // The calling thread participates in draining the pool's queue, so
+        // spawn one fewer worker than the requested parallelism: `workers`
+        // threads execute in total, matching the knob's documentation.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers - 1)
+            .build()
+            .expect("the threadpool shim never fails to build");
+
+        // Stage 1: fetch + verify each union bin exactly once.
+        let mut fetches: Vec<Option<BinFetchOutcome>> = union.iter().map(|_| None).collect();
+        pool.scope(|s| {
+            for (slot, &(epoch_id, bin_idx)) in fetches.iter_mut().zip(union) {
+                s.spawn(move |_| {
+                    let rt = epochs.get(&epoch_id).expect("planned epoch is registered");
+                    let local = AccessObserver::new();
+                    let store = self.store.observed_by(local.clone());
+                    let result = self.fetch_bin_rows(&store, rt, bin_idx, opts);
+                    *slot = Some(BinFetchOutcome {
+                        result,
+                        events: local.take_events(),
+                    });
+                });
+            }
+        });
+
+        // Deterministic merge: task buffers in ascending (epoch, bin) order
+        // — the exact order the sequential loop records in — under a single
+        // observer lock acquisition.
+        let merged: Vec<_> = fetches
+            .iter_mut()
+            .flat_map(|outcome| {
+                std::mem::take(&mut outcome.as_mut().expect("stage 1 filled every slot").events)
+            })
+            .collect();
+        self.store.observer().record_batch(merged);
+
+        // Stage 2: per-query filter/aggregate over the shared fetch results.
+        let fetches = &fetches;
+        pool.scope(|s| {
+            for ((result, plan), query) in results.iter_mut().zip(plans).zip(queries) {
+                if result.is_some() {
+                    continue; // session or planning error
+                }
+                let plan = plan.as_ref().expect("planned or errored");
+                s.spawn(move |_| {
+                    *result = Some(
+                        self.aggregate_planned_query(epochs, union, fetches, plan, query, opts),
+                    );
+                });
+            }
+        });
+    }
+
+    /// Filter and aggregate one planned query from the batch's shared fetch
+    /// results, visiting its bins in ascending order so accumulator merges
+    /// (and therefore collected-row order) match sequential execution. The
+    /// first failing bin — fetch error or processing error — determines the
+    /// query's error, as in the sequential loop.
+    fn aggregate_planned_query(
+        &self,
+        epochs: &BTreeMap<u64, EpochRuntime>,
+        union: &[(u64, usize)],
+        fetches: &[Option<BinFetchOutcome>],
+        plan: &BinFetchPlan,
+        query: &Query,
+        opts: &ExecOptions,
+    ) -> Result<QueryAnswer> {
+        let mut acc = Accumulator::default();
+        let mut fetched = 0usize;
+        let mut decrypted = 0usize;
+        for pair in &plan.bins {
+            let idx = union
+                .binary_search(pair)
+                .expect("every planned bin is in the union");
+            let outcome = fetches[idx].as_ref().expect("stage 1 filled every slot");
+            let (key, rows) = match &outcome.result {
+                Ok(fetch) => fetch,
+                Err(e) => return Err(e.clone()),
+            };
+            let rt = epochs.get(&pair.0).expect("planned epoch is registered");
+            fetched += rows.len();
+            let (bin_acc, d) = self.process_rows(key, rt, query, opts, rows)?;
+            decrypted += d;
+            acc.merge(bin_acc);
+        }
+        Ok(QueryAnswer {
+            value: acc.finish(&query.aggregate),
+            rows_fetched: fetched,
+            rows_decrypted: decrypted,
+            verified: plan.verified,
+            epochs_touched: plan.epochs_touched,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -824,8 +927,13 @@ impl QueryEngine {
 
     /// Fetch one bin's rows (and hash-chain-verify them when verification
     /// is active), returning the round key the rows are encrypted under.
+    ///
+    /// Takes the store handle explicitly so the parallel batch path can
+    /// substitute a handle bound to a task-local observer (same stored
+    /// data, buffered trace); sequential paths pass `&self.store`.
     fn fetch_bin_rows(
         &self,
+        store: &EpochStore,
         rt: &EpochRuntime,
         bin_idx: usize,
         opts: &ExecOptions,
@@ -855,7 +963,7 @@ impl QueryEngine {
         } else {
             generate_plain(&key, &spec, meter)
         };
-        let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
+        let rows = store.fetch_batch(rt.epoch_id, &trapdoors)?;
 
         if self.verification_active(opts, rt) {
             self.verify_bin(rt, &key, &bin.cell_ids, &rows)?;
@@ -875,7 +983,7 @@ impl QueryEngine {
         fetched: &mut usize,
         decrypted: &mut usize,
     ) -> Result<()> {
-        let (key, rows) = self.fetch_bin_rows(rt, bin_idx, opts)?;
+        let (key, rows) = self.fetch_bin_rows(&self.store, rt, bin_idx, opts)?;
         *fetched += rows.len();
         let (bin_acc, d) = self.process_rows(&key, rt, query, opts, &rows)?;
         *decrypted += d;
@@ -1301,8 +1409,13 @@ impl ConcealerSystem {
     }
 
     /// Encrypt and ingest one epoch of records (Phase 1 of the paper).
+    ///
+    /// Takes `&self`: ingest only touches the (sharded, internally locked)
+    /// store and the engine's epoch registry, so epochs can be ingested
+    /// concurrently with query execution — late epochs land while earlier
+    /// ones keep serving.
     pub fn ingest_epoch<R: RngCore>(
-        &mut self,
+        &self,
         epoch_start: u64,
         records: &[Record],
         rng: &mut R,
@@ -1313,29 +1426,6 @@ impl ConcealerSystem {
             .ingest_epoch(shipment.epoch_id, shipment.rows, shipment.metadata)?;
         self.engine.register_epoch(epoch_start)?;
         Ok(stats)
-    }
-
-    /// Execute a point query on behalf of a user (pre-0.2 API).
-    #[deprecated(since = "0.2.0", note = "use system.session(&user).execute(&query)")]
-    pub fn point_query(&self, user: &UserHandle, query: &Query) -> Result<QueryAnswer> {
-        #[allow(deprecated)]
-        self.engine.point_query(user, query, scope_for_query(query))
-    }
-
-    /// Execute a range query on behalf of a user (pre-0.2 API).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use system.session(&user).execute(&query), with ExecOptions for the method"
-    )]
-    pub fn range_query(
-        &self,
-        user: &UserHandle,
-        query: &Query,
-        opts: RangeOptions,
-    ) -> Result<QueryAnswer> {
-        #[allow(deprecated)]
-        self.engine
-            .range_query(user, query, opts, scope_for_query(query))
     }
 
     /// The adversary's view of the storage layer.
@@ -1756,31 +1846,126 @@ mod tests {
         }
     }
 
-    #[test]
-    fn deprecated_point_query_rejects_range_predicate() {
-        let (system, user, _) = setup(false);
-        let query = Query::count().at_dims([1]).between(0, 100);
-        #[allow(deprecated)]
-        let result = system.point_query(&user, &query);
-        assert!(matches!(result, Err(CoreError::InvalidQuery { .. })));
+    /// The standard 4-query mix used by the parallel-equivalence tests.
+    fn parallel_test_queries(records: &[Record]) -> Vec<Query> {
+        vec![
+            Query::count().at_dims([1]).between(0, 899),
+            Query::sum(0).at_dims([2]).between(0, 1799),
+            Query::count()
+                .at_dims(records[5].dims.clone())
+                .at(records[5].time),
+            Query::collect_rows().at_dims([3]).between(0, 3599),
+        ]
     }
 
     #[test]
-    fn deprecated_shims_agree_with_execute() {
+    fn parallel_batch_matches_sequential_answers_and_trace() {
+        let (system, user, records) = setup(false);
+        let queries = parallel_test_queries(&records);
+        let session = system
+            .session(&user)
+            .with_options(ExecOptions::with_method(RangeMethod::Bpb));
+
+        system.observer().reset();
+        let sequential: Vec<QueryAnswer> = session
+            .execute_batch(&queries)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let sequential_trace = system.observer().take_events();
+
+        for threads in [2usize, 4, 8] {
+            let par_session = system
+                .session(&user)
+                .with_options(ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(threads));
+            system.observer().reset();
+            let parallel: Vec<QueryAnswer> = par_session
+                .execute_batch(&queries)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            let parallel_trace = system.observer().take_events();
+            assert_eq!(parallel, sequential, "answers at parallelism={threads}");
+            assert_eq!(
+                parallel_trace, sequential_trace,
+                "event-level trace at parallelism={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_execute_batch_matches_execute_batch() {
+        let (system, user, records) = setup(false);
+        let queries = parallel_test_queries(&records);
+        let session = system
+            .session(&user)
+            .with_options(ExecOptions::with_method(RangeMethod::Bpb));
+        let sequential: Vec<Result<QueryAnswer>> = session.execute_batch(&queries);
+        let parallel: Vec<Result<QueryAnswer>> = session.par_execute_batch(&queries);
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.as_ref().unwrap(), p.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_batch_surfaces_per_query_errors_like_sequential() {
         let (system, user, _) = setup(false);
-        let point = Query::count().at_dims([3]).at(700);
-        let range = Query::count().at_dims([3]).between(0, 1799);
-        let session = system.session(&user);
+        let queries = vec![
+            Query::count().at_dims([1]).between(0, 899),
+            Query::count().at_dims([1]).at(999_999), // outside any epoch
+        ];
+        let session = system
+            .session(&user)
+            .with_options(ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(4));
+        let results = session.execute_batch(&queries);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CoreError::NoDataForRange)));
+    }
 
-        #[allow(deprecated)]
-        let old_point = system.point_query(&user, &point).unwrap();
-        assert_eq!(old_point, session.execute(&point).unwrap());
-
-        #[allow(deprecated)]
-        let old_range = system
-            .range_query(&user, &range, RangeOptions::default())
-            .unwrap();
-        assert_eq!(old_range, session.execute(&range).unwrap());
+    #[test]
+    fn parallel_batch_reports_integrity_violations_deterministically() {
+        // Tamper with every stored row, then run the same batch sequentially
+        // and in parallel: both must fail the same queries with an
+        // integrity violation (the per-query error is chosen by ascending
+        // bin order, not thread timing).
+        let (seq_sys, seq_user, records) = setup(false);
+        let (par_sys, par_user, _) = setup(false);
+        for system in [&seq_sys, &par_sys] {
+            let epoch_rows = system.store().full_scan(0).unwrap();
+            let rewrites: Vec<_> = epoch_rows
+                .iter()
+                .map(|row| {
+                    let mut tampered = row.clone();
+                    tampered.payload[5] ^= 0x01;
+                    (row.index_key.clone(), tampered)
+                })
+                .collect();
+            system.store().rewrite_rows(0, rewrites).unwrap();
+        }
+        let queries = parallel_test_queries(&records);
+        let sequential = seq_sys
+            .session(&seq_user)
+            .with_options(ExecOptions::with_method(RangeMethod::Bpb))
+            .execute_batch(&queries);
+        let parallel = par_sys
+            .session(&par_user)
+            .with_options(ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(4))
+            .execute_batch(&queries);
+        // Both deployments share the same master key per `setup` seed, so
+        // the outcomes must agree query by query.
+        for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+            match (s, p) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "query {i}"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(format!("{a:?}"), format!("{b:?}"), "query {i}");
+                }
+                other => panic!("query {i} diverged: {other:?}"),
+            }
+        }
+        assert!(
+            sequential.iter().any(Result::is_err),
+            "tampering must surface in at least one query"
+        );
     }
 
     #[test]

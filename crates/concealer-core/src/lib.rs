@@ -53,14 +53,22 @@
 //! println!("count = {:?}", answer.value);
 //!
 //! // Under the bin-granular BPB method, batches dedupe shared bin
-//! // fetches across queries.
+//! // fetches across queries; `par_execute_batch` additionally spreads
+//! // the fetch/aggregate stages across all cores with bit-identical
+//! // answers and an unchanged adversary-observable trace.
 //! use concealer_core::{ExecOptions, RangeMethod};
 //! let batch_session = session.with_options(ExecOptions::with_method(RangeMethod::Bpb));
-//! let answers = batch_session.execute_batch(&[
+//! let queries = [
 //!     Query::count().at_dims([3]).between(0, 1_800),
 //!     Query::count().at_dims([5]).between(0, 3_599),
-//! ]);
+//! ];
+//! let answers = batch_session.execute_batch(&queries);
 //! assert!(answers.iter().all(Result::is_ok));
+//! let parallel = batch_session.par_execute_batch(&queries);
+//! assert_eq!(
+//!     parallel.iter().flatten().collect::<Vec<_>>(),
+//!     answers.iter().flatten().collect::<Vec<_>>(),
+//! );
 //! ```
 //!
 //! See `examples/` for complete applications (occupancy heat-maps, contact
@@ -88,9 +96,7 @@ mod error;
 pub use api::{ExecOptions, IndexStats, SecureIndex, Session};
 pub use bins::{Bin, BinPlan};
 pub use config::{FakeTupleStrategy, GridShape, SystemConfig};
-pub use engine::{
-    ConcealerSystem, PlanStats, QueryEngine, RangeMethod, RangeOptions, UserHandle, WinSecStats,
-};
+pub use engine::{ConcealerSystem, PlanStats, QueryEngine, RangeMethod, UserHandle, WinSecStats};
 pub use error::CoreError;
 pub use grid::{CellCoord, Grid};
 pub use provider::{DataProvider, EpochShipment};

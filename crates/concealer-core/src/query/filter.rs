@@ -24,7 +24,7 @@ use std::collections::HashSet;
 
 use concealer_crypto::EpochKey;
 use concealer_enclave::oblivious::{oadd_if, oeq, omove};
-use concealer_enclave::SideChannelMeter;
+use concealer_enclave::{MeterSnapshot, SideChannelMeter};
 use concealer_storage::EncryptedRow;
 
 use crate::codec;
@@ -106,6 +106,10 @@ pub fn process_rows_plain(
 ) -> Result<(Accumulator, usize)> {
     let mut acc = Accumulator::default();
     let mut decrypted = 0usize;
+    // Counters are accumulated locally and flushed once per call so the
+    // shared meter mutex is not taken per row (see
+    // `SideChannelMeter::add_snapshot`).
+    let mut ops = MeterSnapshot::default();
 
     for row in rows {
         // Fake tuples never match any token and their payloads are not
@@ -126,8 +130,17 @@ pub fn process_rows_plain(
             continue; // fake tuple
         };
         decrypted += 1;
-        meter.add_decryptions(1);
-        let (dims, time, payload) = codec::decode_payload_plain(&plain)?;
+        ops.decryptions += 1;
+        let (dims, time, payload) = match codec::decode_payload_plain(&plain) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                // Flush the counters accumulated so far: the work *was*
+                // performed, and the meter is the side-channel model the
+                // security tests reason about.
+                meter.add_snapshot(ops);
+                return Err(e);
+            }
+        };
         if !plan.token_decides {
             if time < plan.time_range.0 || time > plan.time_range.1 {
                 continue;
@@ -140,6 +153,7 @@ pub fn process_rows_plain(
         }
         fold_record(&mut acc, aggregate, &dims, &payload);
     }
+    meter.add_snapshot(ops);
     Ok((acc, decrypted))
 }
 
@@ -156,18 +170,22 @@ pub fn process_rows_oblivious(
     let mut acc = Accumulator::default();
     let mut decrypted = 0usize;
     let needs_payload = aggregate.needs_decryption() || !plan.token_decides;
+    // Accumulated locally, flushed once per call — the computation *shape*
+    // recorded is unchanged, but the shared mutex is not taken per row or
+    // per token (see `SideChannelMeter::add_snapshot`).
+    let mut ops = MeterSnapshot::default();
 
     for row in rows {
-        meter.add_element_touches(1);
+        ops.element_touches += 1;
         // Branch-free token matching: compare against every token.
         let mut dim_match = 0u64;
         for token in &plan.dim_tokens {
-            meter.add_comparisons(1);
+            ops.comparisons += 1;
             dim_match = omove(bytes_eq_flag(token, &row.filters[0]), 1, dim_match);
         }
         let mut obs_match = 0u64;
         for token in &plan.obs_tokens {
-            meter.add_comparisons(1);
+            ops.comparisons += 1;
             obs_match = omove(bytes_eq_flag(token, &row.filters[1]), 1, obs_match);
         }
         let dim_ok = if plan.dim_tokens.is_empty() {
@@ -186,13 +204,19 @@ pub fn process_rows_oblivious(
             // Decrypt every row regardless of the match flag.
             let plain = key.det.decrypt(&row.payload).ok();
             decrypted += 1;
-            meter.add_decryptions(1);
+            ops.decryptions += 1;
             let Some(plain) = plain else {
                 // Fake rows fail authentication; they contribute nothing but
                 // the work above was already constant.
                 continue;
             };
-            let (dims, time, payload) = codec::decode_payload_plain(&plain)?;
+            let (dims, time, payload) = match codec::decode_payload_plain(&plain) {
+                Ok(decoded) => decoded,
+                Err(e) => {
+                    meter.add_snapshot(ops);
+                    return Err(e);
+                }
+            };
             if !plan.token_decides {
                 let in_range = u64::from(time >= plan.time_range.0 && time <= plan.time_range.1);
                 let obs_ok = match plan.observation {
@@ -201,13 +225,14 @@ pub fn process_rows_oblivious(
                 };
                 matched = in_range & obs_ok;
             }
-            meter.add_cmoves(4);
+            ops.cmoves += 4;
             fold_record_oblivious(&mut acc, aggregate, &dims, &payload, matched);
         } else {
-            meter.add_cmoves(1);
+            ops.cmoves += 1;
             acc.count = oadd_if(matched, acc.count, 1);
         }
     }
+    meter.add_snapshot(ops);
     Ok((acc, decrypted))
 }
 

@@ -50,7 +50,7 @@ impl Cmac {
         } else {
             message.len().div_ceil(BLOCK_SIZE)
         };
-        let last_complete = !message.is_empty() && message.len().is_multiple_of(BLOCK_SIZE);
+        let last_complete = !message.is_empty() && message.len() % BLOCK_SIZE == 0;
 
         let mut x = [0u8; BLOCK_SIZE];
         // Process all but the last block.

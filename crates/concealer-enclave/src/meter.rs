@@ -87,6 +87,24 @@ impl SideChannelMeter {
         self.inner.lock().trapdoors_generated += n;
     }
 
+    /// Fold a whole counter delta in under a single lock acquisition.
+    ///
+    /// The per-row filtering loops accumulate into a local
+    /// [`MeterSnapshot`] and flush once per call: the recorded totals are
+    /// identical, but the shared mutex is taken O(1) times per bin instead
+    /// of O(rows × tokens) — which also keeps parallel batch workers from
+    /// serializing on the meter. (Trapdoor generation already recorded
+    /// once per bin via the `add_*` methods.)
+    pub fn add_snapshot(&self, delta: MeterSnapshot) {
+        let mut inner = self.inner.lock();
+        inner.comparisons += delta.comparisons;
+        inner.cmoves += delta.cmoves;
+        inner.element_touches += delta.element_touches;
+        inner.sort_steps += delta.sort_steps;
+        inner.decryptions += delta.decryptions;
+        inner.trapdoors_generated += delta.trapdoors_generated;
+    }
+
     /// Read the current counters.
     #[must_use]
     pub fn snapshot(&self) -> MeterSnapshot {

@@ -41,13 +41,49 @@ pub struct StoredEpoch {
     pub rewrite_count: u64,
 }
 
+/// Number of independently locked epoch shards. Epochs hash to a fixed
+/// shard, so queries touching different epochs never contend on one lock
+/// and parallel batch fetches scale with the shard count rather than
+/// serializing on a single store-wide `RwLock`.
+const EPOCH_SHARDS: usize = 16;
+
+/// The epoch map, split into [`EPOCH_SHARDS`] independently locked shards.
+#[derive(Debug)]
+struct ShardedEpochs {
+    shards: Vec<RwLock<BTreeMap<u64, StoredEpoch>>>,
+}
+
+impl Default for ShardedEpochs {
+    fn default() -> Self {
+        ShardedEpochs {
+            shards: (0..EPOCH_SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
+}
+
+impl ShardedEpochs {
+    /// The shard owning `epoch_id`. Epoch ids are epoch *start times*
+    /// (multiples of the epoch duration), so they are mixed before
+    /// reduction — a plain modulo would park every epoch of a deployment
+    /// whose duration is divisible by the shard count on one shard.
+    fn shard(&self, epoch_id: u64) -> &RwLock<BTreeMap<u64, StoredEpoch>> {
+        let mixed = epoch_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 32) as usize % self.shards.len()]
+    }
+}
+
 /// The untrusted service provider's storage engine.
 ///
 /// Cloning shares the underlying store (it is an `Arc`): the data provider
 /// handle, the enclave handle and the test harness all talk to one store.
+///
+/// Internally the epoch map is split into [`EpochStore::shard_count`]
+/// independently locked shards keyed by epoch id, so concurrent fetches against different
+/// epochs — and concurrent ingest of new epochs — do not serialize on one
+/// store-wide lock.
 #[derive(Debug, Clone, Default)]
 pub struct EpochStore {
-    inner: Arc<RwLock<BTreeMap<u64, StoredEpoch>>>,
+    inner: Arc<ShardedEpochs>,
     observer: AccessObserver,
 }
 
@@ -67,10 +103,29 @@ impl EpochStore {
         }
     }
 
+    /// A handle on the *same* stored data that reports accesses to a
+    /// different observer. The parallel batch path hands each worker task a
+    /// handle bound to a task-local observer, then merges the task traces
+    /// into the shared observer in deterministic (bin) order — see
+    /// [`AccessObserver::record_batch`].
+    #[must_use]
+    pub fn observed_by(&self, observer: AccessObserver) -> EpochStore {
+        EpochStore {
+            inner: Arc::clone(&self.inner),
+            observer,
+        }
+    }
+
     /// The adversary's view of this store.
     #[must_use]
     pub fn observer(&self) -> &AccessObserver {
         &self.observer
+    }
+
+    /// Number of independently locked epoch shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
     }
 
     /// Ingest a new epoch shipment. Replaces any previous segment for the
@@ -89,7 +144,7 @@ impl EpochStore {
             rows: row_count,
             bytes,
         });
-        self.inner.write().insert(
+        self.inner.shard(epoch_id).write().insert(
             epoch_id,
             StoredEpoch {
                 table,
@@ -103,24 +158,40 @@ impl EpochStore {
     /// Epoch ids currently stored, ascending.
     #[must_use]
     pub fn epoch_ids(&self) -> Vec<u64> {
-        self.inner.read().keys().copied().collect()
+        let mut ids: Vec<u64> = self
+            .inner
+            .shards
+            .iter()
+            .flat_map(|shard| shard.read().keys().copied().collect::<Vec<u64>>())
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Number of epochs stored.
     #[must_use]
     pub fn epoch_count(&self) -> usize {
-        self.inner.read().len()
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| shard.read().len())
+            .sum()
     }
 
     /// Total rows across all epochs (real + fake; indistinguishable here).
     #[must_use]
     pub fn total_rows(&self) -> usize {
-        self.inner.read().values().map(|e| e.table.len()).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| shard.read().values().map(|e| e.table.len()).sum::<usize>())
+            .sum()
     }
 
     /// Fetch the encrypted metadata for an epoch (the enclave decrypts it).
     pub fn metadata(&self, epoch_id: u64) -> Result<EpochMetadata> {
         self.inner
+            .shard(epoch_id)
             .read()
             .get(&epoch_id)
             .map(|e| e.metadata.clone())
@@ -130,6 +201,7 @@ impl EpochStore {
     /// Number of rows in one epoch segment.
     pub fn epoch_rows(&self, epoch_id: u64) -> Result<usize> {
         self.inner
+            .shard(epoch_id)
             .read()
             .get(&epoch_id)
             .map(|e| e.table.len())
@@ -143,7 +215,7 @@ impl EpochStore {
         epoch_id: u64,
         trapdoor: &[u8],
     ) -> Result<Option<EncryptedRow>> {
-        let guard = self.inner.read();
+        let guard = self.inner.shard(epoch_id).read();
         let epoch = guard
             .get(&epoch_id)
             .ok_or(StorageError::UnknownEpoch { epoch_id })?;
@@ -181,7 +253,7 @@ impl EpochStore {
     /// Read an entire epoch segment (full scan), as the Opaque-style
     /// baseline must.
     pub fn full_scan(&self, epoch_id: u64) -> Result<Vec<EncryptedRow>> {
-        let guard = self.inner.read();
+        let guard = self.inner.shard(epoch_id).read();
         let epoch = guard
             .get(&epoch_id)
             .ok_or(StorageError::UnknownEpoch { epoch_id })?;
@@ -210,7 +282,7 @@ impl EpochStore {
         rows: Vec<EncryptedRow>,
         metadata: Option<EpochMetadata>,
     ) -> Result<()> {
-        let mut guard = self.inner.write();
+        let mut guard = self.inner.shard(epoch_id).write();
         let epoch = guard
             .get_mut(&epoch_id)
             .ok_or(StorageError::UnknownEpoch { epoch_id })?;
@@ -246,7 +318,7 @@ impl EpochStore {
         if replacements.is_empty() {
             return Ok(());
         }
-        let mut guard = self.inner.write();
+        let mut guard = self.inner.shard(epoch_id).write();
         let epoch = guard
             .get_mut(&epoch_id)
             .ok_or(StorageError::UnknownEpoch { epoch_id })?;
@@ -281,7 +353,7 @@ impl EpochStore {
     /// Update a subset of an epoch's verifiable tags (the enclave refreshes
     /// them after re-encrypting rows).
     pub fn update_tags(&self, epoch_id: u64, updates: Vec<(usize, Vec<u8>)>) -> Result<()> {
-        let mut guard = self.inner.write();
+        let mut guard = self.inner.shard(epoch_id).write();
         let epoch = guard
             .get_mut(&epoch_id)
             .ok_or(StorageError::UnknownEpoch { epoch_id })?;
@@ -296,6 +368,7 @@ impl EpochStore {
     /// How many times an epoch has been rewritten.
     pub fn rewrite_count(&self, epoch_id: u64) -> Result<u64> {
         self.inner
+            .shard(epoch_id)
             .read()
             .get(&epoch_id)
             .map(|e| e.rewrite_count)

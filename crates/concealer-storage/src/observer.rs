@@ -113,6 +113,29 @@ impl AccessObserver {
         self.record(AccessEvent::QueryBoundary);
     }
 
+    /// Append a pre-ordered batch of events under a single lock
+    /// acquisition, so no event from another thread can interleave inside
+    /// the batch.
+    ///
+    /// This is the merge half of the parallel execution protocol: worker
+    /// tasks record into task-local observers (one per `(epoch, bin)`
+    /// fetch), and the engine concatenates the buffers **in ascending bin
+    /// order** before appending them here. The resulting trace is
+    /// byte-identical to a sequential execution of the same batch — the
+    /// union-of-per-query-traces invariant holds exactly, not just up to
+    /// reordering.
+    pub fn record_batch(&self, events: Vec<AccessEvent>) {
+        self.events.lock().extend(events);
+    }
+
+    /// Drain all recorded events, leaving the observer empty. Used to move
+    /// a task-local trace into the shared observer via
+    /// [`AccessObserver::record_batch`].
+    #[must_use]
+    pub fn take_events(&self) -> Vec<AccessEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
     /// Number of events recorded so far.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -294,6 +317,20 @@ mod tests {
         handle.record(fetched(3, 7));
         assert_eq!(obs.len(), 1);
         assert_eq!(obs.trace(), handle.trace());
+    }
+
+    #[test]
+    fn record_batch_appends_in_order_and_take_events_drains() {
+        let obs = AccessObserver::new();
+        obs.record(fetched(1, 1));
+        obs.record_batch(vec![fetched(2, 2), fetched(3, 3)]);
+        assert_eq!(
+            obs.trace(),
+            vec![fetched(1, 1), fetched(2, 2), fetched(3, 3)]
+        );
+        let drained = obs.take_events();
+        assert_eq!(drained.len(), 3);
+        assert!(obs.is_empty());
     }
 
     #[test]

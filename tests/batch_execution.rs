@@ -53,7 +53,8 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 16 })]
 
     /// Batched answers — values *and* execution metadata — equal running
-    /// the same queries sequentially under the bin-granular BPB method.
+    /// the same queries sequentially under the bin-granular BPB method,
+    /// for the sequential batch path *and* the thread-pool path.
     #[test]
     fn batch_answers_equal_sequential(seed in 0u64..1_000, len in 1usize..12) {
         let (system, user, _) = shared_system();
@@ -71,7 +72,16 @@ proptest! {
             .into_iter()
             .map(|r| r.expect("batched execute"))
             .collect();
-        prop_assert_eq!(batched, sequential);
+        prop_assert_eq!(&batched, &sequential);
+
+        let parallel: Vec<QueryAnswer> = system
+            .session(user)
+            .with_options(ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(4))
+            .execute_batch(&queries)
+            .into_iter()
+            .map(|r| r.expect("parallel batched execute"))
+            .collect();
+        prop_assert_eq!(&parallel, &sequential);
     }
 }
 
@@ -143,6 +153,32 @@ fn batch_of_32_fetches_strictly_less_with_identical_answers_and_trace_union() {
         "no row may be fetched more than once in a batch"
     );
     assert_eq!(batch_summary.rows_fetched, sequential_union.len());
+
+    // The thread-pool path satisfies the exact same contract: identical
+    // answers, row set = union, no duplicate fetches — and, because worker
+    // traces are merged back in ascending bin order, the event-level trace
+    // equals the sequential batch trace too.
+    let batch_trace = system.observer().take_events();
+    let parallel: Vec<QueryAnswer> = session
+        .with_options(ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(4))
+        .execute_batch(&queries)
+        .into_iter()
+        .map(|r| r.expect("parallel batched"))
+        .collect();
+    let parallel_trace = system.observer().take_events();
+    assert_eq!(parallel, sequential);
+    let parallel_summary = concealer_storage::AccessObserver::summarize(&parallel_trace);
+    let parallel_rows: BTreeSet<(u64, u64)> =
+        parallel_summary.fetch_frequency.keys().copied().collect();
+    assert_eq!(parallel_rows, sequential_union, "parallel row set = union");
+    assert!(
+        parallel_summary.fetch_frequency.values().all(|&f| f == 1),
+        "no row may be fetched more than once by the parallel path"
+    );
+    assert_eq!(
+        parallel_trace, batch_trace,
+        "parallel trace must be event-for-event identical to the sequential batch"
+    );
 }
 
 #[test]
