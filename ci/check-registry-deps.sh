@@ -8,6 +8,12 @@
 # for non-path dependencies, so an empty scan proves the whole graph is
 # path-resolved. This replaces the previous implicit reliance on
 # CARGO_NET_OFFLINE alone, which only failed at download time.
+#
+# The lockfile scan alone has a gap: a registry dependency added to a crate
+# manifest is invisible until someone regenerates Cargo.lock, so the guard
+# additionally scans every workspace manifest's dependency sections for a
+# `version = "..."` requirement with no `path` — the shape a crates.io
+# dependency takes before lockfile regeneration.
 set -eu
 
 LOCKFILE="${1:-Cargo.lock}"
@@ -27,3 +33,65 @@ fi
 
 count=$(grep -c '^name = ' "$LOCKFILE")
 echo "ok: all $count packages in $LOCKFILE are path-resolved (no registry sources)"
+
+# --- Manifest scan: catch a registry dep before the lockfile records it ---
+manifest_violations=""
+for manifest in Cargo.toml crates/*/Cargo.toml shims/*/Cargo.toml; do
+    [ -f "$manifest" ] || continue
+    hits=$(awk '
+        # A `[dependencies.foo]`-style table spreads version/path across
+        # lines, so it is judged as a whole at the next section header
+        # (or EOF), not line by line.
+        function flush_table() {
+            if (table_header != "" && table_version && !table_path) {
+                printf "%s:%d: %s (version with no path)\n",
+                    FILENAME, table_fnr, table_header;
+            }
+            table_header = ""; table_version = 0; table_path = 0;
+        }
+        /^\[/ {
+            flush_table();
+            in_deps = 0;
+            if ($0 ~ /dependencies\][ \t]*$/) {
+                in_deps = 1;
+            } else if ($0 ~ /dependencies\.["'"'"']?[A-Za-z0-9_-]+["'"'"']?\][ \t]*$/) {
+                table_header = $0; table_fnr = FNR;
+            }
+            next
+        }
+        table_header != "" {
+            line = $0; sub(/#.*/, "", line);
+            if (line ~ /^version[ \t]*=/) table_version = 1;
+            if (line ~ /^path[ \t]*=/) table_path = 1;
+            next
+        }
+        in_deps {
+            line = $0; sub(/#.*/, "", line);
+            # `foo = "1.2"`: the registry shorthand.
+            if (line ~ /^[A-Za-z0-9_-]+[ \t]*=[ \t]*"[^"]*"[ \t]*$/) {
+                printf "%s:%d: %s\n", FILENAME, FNR, $0;
+            }
+            # `foo = { version = "1.2", ... }` with no path = registry dep.
+            else if (line ~ /version[ \t]*=/ && line !~ /path[ \t]*=/) {
+                printf "%s:%d: %s\n", FILENAME, FNR, $0;
+            }
+        }
+        END { flush_table() }
+    ' "$manifest")
+    if [ -n "$hits" ]; then
+        manifest_violations="$manifest_violations$hits
+"
+    fi
+done
+
+if [ -n "$manifest_violations" ]; then
+    echo "error: version-only (registry) dependency declarations found:" >&2
+    printf '%s' "$manifest_violations" >&2
+    echo "Every dependency must carry a path (shims/ policy); a bare" >&2
+    echo "version requirement resolves to crates.io once the lockfile is" >&2
+    echo "regenerated." >&2
+    exit 1
+fi
+
+manifest_count=$(ls Cargo.toml crates/*/Cargo.toml shims/*/Cargo.toml 2>/dev/null | wc -l)
+echo "ok: no version-only dependency declarations across $manifest_count manifests"

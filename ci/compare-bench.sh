@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Gate: the perf-smoke run must not regress sequential batch throughput by
+# more than MAX_REGRESSION_PCT (default 35%) against the committed
+# baseline, BENCH_baseline.json. This is the tracked bench trajectory's
+# floor — BENCH_pr.json artifacts from the bench-smoke job are the points.
+#
+# The baseline is hardware-specific (queries/sec on whatever machine wrote
+# it). When CI hardware changes, refresh it by copying a representative
+# BENCH_pr.json artifact over BENCH_baseline.json in a dedicated commit;
+# the wide 35% band absorbs ordinary runner-to-runner noise, not
+# generational hardware shifts.
+#
+# Usage: compare-bench.sh [baseline.json] [current.json]
+set -eu
+
+BASELINE="${1:-BENCH_baseline.json}"
+CURRENT="${2:-BENCH_pr.json}"
+MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-35}"
+
+for f in "$BASELINE" "$CURRENT"; do
+    if [ ! -f "$f" ]; then
+        echo "error: $f not found" >&2
+        exit 2
+    fi
+done
+
+# The summaries are single-purpose JSON written by bench_smoke; pull the
+# sequential qps with sed so the gate needs no jq on the runner.
+extract_seq_qps() {
+    sed -n 's/.*"sequential": *{ *"qps": *\([0-9][0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+extract_dedup() {
+    sed -n 's/.*"dedup_ratio": *\([0-9][0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+
+base_qps=$(extract_seq_qps "$BASELINE")
+cur_qps=$(extract_seq_qps "$CURRENT")
+if [ -z "$base_qps" ] || [ -z "$cur_qps" ]; then
+    echo "error: could not extract sequential qps (baseline='$base_qps', current='$cur_qps')" >&2
+    exit 2
+fi
+
+echo "sequential qps: baseline=$base_qps current=$cur_qps (allowed regression: ${MAX_REGRESSION_PCT}%)"
+echo "batch dedup ratio: baseline=$(extract_dedup "$BASELINE") current=$(extract_dedup "$CURRENT")"
+
+awk -v base="$base_qps" -v cur="$cur_qps" -v pct="$MAX_REGRESSION_PCT" 'BEGIN {
+    floor = base * (1 - pct / 100);
+    if (cur < floor) {
+        printf "FAIL: %.2f q/s is below the regression floor %.2f q/s (baseline %.2f, -%s%%)\n", cur, floor, base, pct;
+        exit 1;
+    }
+    printf "ok: %.2f q/s clears the regression floor %.2f q/s\n", cur, floor;
+}'

@@ -84,6 +84,8 @@ fn main() {
     eprintln!("bench_smoke: {BATCH_LEN}-query WiFi mix, {iters} iteration(s), {hw_threads} hardware thread(s)");
 
     let bench = build_wifi_system(WifiScale::Tiny, false, 21);
+    let backend = bench.system.store().backend_kind();
+    eprintln!("bench_smoke: storage backend = {backend}");
     let queries = wifi_mix(&bench, 22);
 
     // Dedup ratio: per-query execution vs. the deduplicated batch.
@@ -132,7 +134,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"concealer-bench-smoke/v1\",\n  \"workload\": \"wifi-tiny-{BATCH_LEN}-query-mix\",\n  \"queries\": {BATCH_LEN},\n  \"iterations\": {iters},\n  \"threads_available\": {hw_threads},\n  \"sequential\": {{\"qps\": {:.2}, \"elapsed_ms\": {:.3}}},\n  \"parallel\": [{parallel_rows}\n  ],\n  \"batch_dedup\": {{\"rows_per_query\": {rows_per_query}, \"rows_batched\": {rows_batched}, \"dedup_ratio\": {dedup_ratio:.4}}}\n}}\n",
+        "{{\n  \"schema\": \"concealer-bench-smoke/v1\",\n  \"workload\": \"wifi-tiny-{BATCH_LEN}-query-mix\",\n  \"backend\": \"{backend}\",\n  \"queries\": {BATCH_LEN},\n  \"iterations\": {iters},\n  \"threads_available\": {hw_threads},\n  \"sequential\": {{\"qps\": {:.2}, \"elapsed_ms\": {:.3}}},\n  \"parallel\": [{parallel_rows}\n  ],\n  \"batch_dedup\": {{\"rows_per_query\": {rows_per_query}, \"rows_batched\": {rows_batched}, \"dedup_ratio\": {dedup_ratio:.4}}}\n}}\n",
         qps(BATCH_LEN, sequential_elapsed),
         sequential_elapsed.as_secs_f64() * 1e3,
     );

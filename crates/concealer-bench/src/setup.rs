@@ -169,7 +169,9 @@ pub fn build_wifi_system_full(
     });
     let records = generator.generate_epoch(0, span_seconds, &mut rng);
 
-    let mut system = ConcealerSystem::new(config, &mut rng);
+    // Honors the `CONCEALER_TEST_BACKEND` harness hook, so the whole bench
+    // harness is backend-agnostic like the integration suites.
+    let mut system = concealer_examples::build_system(config, &mut rng);
     let devices: Vec<u64> = (1000..1500).collect();
     let user = system.register_user(1, devices.clone(), true);
     system
@@ -253,7 +255,7 @@ pub fn build_tpch_system(index: TpchIndex, rows: u64, oblivious: bool, seed: u64
         oblivious,
         winsec_rows_per_interval: 1,
     };
-    let mut system = ConcealerSystem::new(config, &mut rng);
+    let mut system = concealer_examples::build_system(config, &mut rng);
     let user = system.register_user(1, vec![], true);
     system
         .ingest_epoch(0, &records, &mut rng)

@@ -7,7 +7,7 @@
 //! benchmarks and examples are written once against this module instead of
 //! hand-rolling per-backend glue.
 //!
-//! The three pieces:
+//! The pieces:
 //!
 //! * [`ExecOptions`] — everything that tunes *how* a query executes (range
 //!   method, super-bins, forward privacy, verification, obliviousness),
@@ -17,15 +17,25 @@
 //!   [`Session::execute`] (dispatching on the predicate, replacing the old
 //!   `point_query`/`range_query` split) and [`Session::execute_batch`]
 //!   (cross-query bin deduplication — see the engine docs).
+//! * [`SystemBuilder`] — deployment construction: master key, engine seed
+//!   and, most importantly, *where the sealed epochs live* via
+//!   [`SystemBuilder::with_backend`] (in-memory by default, or the durable
+//!   [`DiskEpochStore`]). Reopening a durable backend re-registers every
+//!   committed epoch with the enclave engine.
 //! * [`SecureIndex`] — the minimal executor interface (`ingest_epoch` /
 //!   `execute` / `answer_stats`) every backend implements.
 
-use rand::RngCore;
+use std::sync::Arc;
 
+use concealer_crypto::MasterKey;
+use concealer_storage::{DiskEpochStore, EpochStore, StorageBackend};
+use rand::{Rng, RngCore};
+
+use crate::config::SystemConfig;
 use crate::engine::{scope_for_query, ConcealerSystem, RangeMethod, UserHandle};
 use crate::query::{Query, QueryAnswer};
 use crate::types::Record;
-use crate::Result;
+use crate::{CoreError, Result};
 
 /// Options controlling query execution (the merge of the old
 /// `RangeOptions` with the verification and obliviousness toggles).
@@ -203,6 +213,146 @@ impl<'a> Session<'a> {
     }
 }
 
+/// Environment variable the test and bench harnesses use to select the
+/// storage backend (`memory` — the default — or `disk`). Read by
+/// [`SystemBuilder::backend_from_env`]; ordinary construction paths never
+/// consult the environment.
+pub const BACKEND_ENV_VAR: &str = "CONCEALER_TEST_BACKEND";
+
+/// Deployment constructor: configuration plus the optional master key,
+/// engine RNG seed and storage backend.
+///
+/// ```
+/// use std::sync::Arc;
+/// use concealer_core::{DiskEpochStore, Query, Record, SystemBuilder, SystemConfig};
+/// use rand::SeedableRng;
+///
+/// # let root = std::env::temp_dir().join(format!("concealer-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&root);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// // Place the sealed epochs on disk instead of in memory:
+/// let backend = Arc::new(DiskEpochStore::open(&root)?);
+/// let mut system = SystemBuilder::new(SystemConfig::small_test())
+///     .with_backend(backend)
+///     .build(&mut rng)?;
+/// let user = system.register_user(7, vec![1000], true);
+/// let records: Vec<Record> = (0..50)
+///     .map(|i| Record::spatial(i % 4, i * 60, 1000 + i % 3))
+///     .collect();
+/// system.ingest_epoch(0, &records, &mut rng)?;
+/// // ... the ingested epoch now survives a process restart: reopening the
+/// // same root with the same master key serves it again.
+/// # let _ = std::fs::remove_dir_all(&root);
+/// # Ok::<(), concealer_core::CoreError>(())
+/// ```
+///
+/// Durability does not change what the adversary may do — the backend is
+/// the *untrusted* service provider's storage either way, and hash-chain
+/// verification catches tampering identically. One restriction applies to
+/// reopened deployments: the §6 forward-privacy round counters are
+/// enclave-resident state, so epochs rewritten by forward-private queries
+/// do not survive a restart of the enclave (re-ingest them instead).
+#[derive(Debug)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+    master: Option<MasterKey>,
+    engine_seed: Option<u64>,
+    backend: Option<Arc<dyn StorageBackend>>,
+}
+
+impl SystemBuilder {
+    /// Start a builder for the given deployment configuration.
+    #[must_use]
+    pub fn new(config: SystemConfig) -> Self {
+        SystemBuilder {
+            config,
+            master: None,
+            engine_seed: None,
+            backend: None,
+        }
+    }
+
+    /// Use an explicit master key (required to reopen a durable backend:
+    /// the epochs on it are sealed under this key). Default: generated
+    /// from the `build` RNG.
+    #[must_use]
+    pub fn master(mut self, master: MasterKey) -> Self {
+        self.master = Some(master);
+        self
+    }
+
+    /// Seed the engine's internal RNG (reproducible §6 extra-bin choices).
+    /// Default: drawn from the `build` RNG.
+    #[must_use]
+    pub fn engine_seed(mut self, seed: u64) -> Self {
+        self.engine_seed = Some(seed);
+        self
+    }
+
+    /// Store sealed epochs on an explicit [`StorageBackend`] — e.g. a
+    /// [`DiskEpochStore`] — instead of the default in-memory backend.
+    /// Epochs already committed on the backend (a reopened durable store)
+    /// are re-registered with the engine during [`SystemBuilder::build`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: Arc<dyn StorageBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Honor the [`BACKEND_ENV_VAR`] harness hook: `disk` swaps in a
+    /// [`DiskEpochStore`] rooted in a fresh scratch directory under the OS
+    /// temp dir; unset, empty or `memory` leaves the builder unchanged.
+    /// Any other value is an error — a typo must not silently run the
+    /// matrix against the wrong backend.
+    ///
+    /// This is for test/bench harnesses (the CI backend matrix reruns the
+    /// integration suites with `CONCEALER_TEST_BACKEND=disk`); production
+    /// callers pick their backend explicitly via
+    /// [`SystemBuilder::with_backend`].
+    pub fn backend_from_env(self) -> Result<Self> {
+        match std::env::var(BACKEND_ENV_VAR) {
+            Err(_) => Ok(self),
+            Ok(v) if v.is_empty() || v == "memory" => Ok(self),
+            Ok(v) if v == "disk" => {
+                // A scratch store: the directory is deleted when the last
+                // handle drops, so matrix runs leave no residue in /tmp.
+                let backend = DiskEpochStore::open_scratch(scratch_dir())?;
+                Ok(self.with_backend(Arc::new(backend)))
+            }
+            Ok(v) => Err(CoreError::InvalidConfig {
+                reason: format!("unknown {BACKEND_ENV_VAR} value {v:?} (expected memory or disk)"),
+            }),
+        }
+    }
+
+    /// Assemble the deployment. Fails when a pre-populated backend's
+    /// epochs cannot be registered (metadata sealed under a different
+    /// master key, or corrupt).
+    pub fn build<R: RngCore>(self, rng: &mut R) -> Result<ConcealerSystem> {
+        let master = self.master.unwrap_or_else(|| MasterKey::generate(rng));
+        let engine_seed = self.engine_seed.unwrap_or_else(|| rng.gen());
+        let store = match self.backend {
+            Some(backend) => EpochStore::with_backend(backend),
+            None => EpochStore::new(),
+        };
+        ConcealerSystem::assemble(self.config, master, engine_seed, store)
+    }
+}
+
+/// A fresh, unique scratch directory for an env-selected disk backend.
+fn scratch_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos: u64 = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::from(d.subsec_nanos()));
+    std::env::temp_dir().join(format!(
+        "concealer-backend-{}-{}-{nanos}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
 /// Descriptive statistics a [`SecureIndex`] backend reports about how it
 /// answers queries — its cost/leakage profile plus storage totals.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -275,5 +425,149 @@ impl SecureIndex for ConcealerSystem {
             verifiable: self.engine().config().verify_integrity,
             full_scan_per_query: false,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("concealer-api-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records() -> Vec<Record> {
+        (0..60)
+            .map(|i| Record::spatial(i % 4, i * 55, 1000 + i % 3))
+            .collect()
+    }
+
+    #[test]
+    fn disk_backed_system_survives_drop_and_reopen() {
+        let root = scratch("reopen");
+        let master = MasterKey::from_bytes([3u8; 32]);
+        let records = sample_records();
+        let query = Query::count().at_dims([2]).between(0, 3_599);
+
+        let expected = {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut system = SystemBuilder::new(SystemConfig::small_test())
+                .master(master.clone())
+                .with_backend(Arc::new(DiskEpochStore::open(&root).unwrap()))
+                .build(&mut rng)
+                .unwrap();
+            let user = system.register_user(1, vec![], true);
+            system.ingest_epoch(0, &records, &mut rng).unwrap();
+            let answer = system.session(&user).execute(&query).unwrap();
+            assert!(answer.verified);
+            answer
+        };
+
+        // A new process: same root, same master, nothing re-ingested.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut system = SystemBuilder::new(SystemConfig::small_test())
+            .master(master)
+            .with_backend(Arc::new(DiskEpochStore::open(&root).unwrap()))
+            .build(&mut rng)
+            .unwrap();
+        assert_eq!(system.store().backend_kind(), "disk");
+        assert_eq!(system.engine().registered_epochs(), vec![0]);
+        let user = system.register_user(1, vec![], true);
+        let answer = system.session(&user).execute(&query).unwrap();
+        assert_eq!(answer, expected);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopening_with_the_wrong_master_fails_registration() {
+        let root = scratch("wrongmaster");
+        {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut system = SystemBuilder::new(SystemConfig::small_test())
+                .master(MasterKey::from_bytes([7u8; 32]))
+                .with_backend(Arc::new(DiskEpochStore::open(&root).unwrap()))
+                .build(&mut rng)
+                .unwrap();
+            system.register_user(1, vec![], true);
+            system.ingest_epoch(0, &sample_records(), &mut rng).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let err = SystemBuilder::new(SystemConfig::small_test())
+            .master(MasterKey::from_bytes([8u8; 32]))
+            .with_backend(Arc::new(DiskEpochStore::open(&root).unwrap()))
+            .build(&mut rng)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::CorruptMetadata));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn backend_env_hook_passthrough_when_unset() {
+        // Env mutation is process-global, so this test only covers the
+        // variable's current state: pass-through when unset/memory, a disk
+        // backend when the matrix set `disk`.
+        let builder = SystemBuilder::new(SystemConfig::small_test())
+            .backend_from_env()
+            .unwrap();
+        match std::env::var(BACKEND_ENV_VAR).as_deref() {
+            Ok("disk") => assert!(builder.backend.is_some()),
+            _ => assert!(builder.backend.is_none()),
+        }
+    }
+
+    #[test]
+    fn reopening_a_forward_private_rewritten_epoch_fails_at_build() {
+        let root = scratch("fwdpriv");
+        let master = MasterKey::from_bytes([9u8; 32]);
+        {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut system = SystemBuilder::new(SystemConfig::small_test())
+                .master(master.clone())
+                .with_backend(Arc::new(DiskEpochStore::open(&root).unwrap()))
+                .build(&mut rng)
+                .unwrap();
+            let user = system.register_user(1, vec![], true);
+            let later: Vec<Record> = sample_records()
+                .into_iter()
+                .map(|mut r| {
+                    r.time += 3_600;
+                    r
+                })
+                .collect();
+            system.ingest_epoch(0, &sample_records(), &mut rng).unwrap();
+            system.ingest_epoch(3_600, &later, &mut rng).unwrap();
+            // A forward-private multi-epoch query triggers the §6 rewrite
+            // protocol, bumping round keys the reopened enclave cannot know.
+            let opts = ExecOptions {
+                method: RangeMethod::Bpb,
+                forward_private: true,
+                ..ExecOptions::default()
+            };
+            let q = Query::count().at_dims([1]).between(0, 7_199);
+            system
+                .session(&user)
+                .with_options(opts)
+                .execute(&q)
+                .unwrap();
+            assert!(system.store().rewrite_count(0).unwrap() > 0);
+        }
+        // Build must refuse cleanly instead of serving round-0 trapdoors
+        // against round-1 ciphertexts (a spurious integrity violation at
+        // best, a wrong answer with verification off at worst).
+        let mut rng = StdRng::seed_from_u64(9);
+        let err = SystemBuilder::new(SystemConfig::small_test())
+            .master(master)
+            .with_backend(Arc::new(DiskEpochStore::open(&root).unwrap()))
+            .build(&mut rng)
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::InvalidConfig { ref reason } if reason.contains("re-ingest")),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

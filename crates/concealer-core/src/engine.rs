@@ -1288,17 +1288,22 @@ impl QueryEngine {
         )?;
         drop(rng);
 
-        self.store.rewrite_rows(rt.epoch_id, out.replacements)?;
-        if !rt.tags.is_empty() {
-            let updates: Vec<(usize, Vec<u8>)> = out
-                .new_tags
+        // Rows and refreshed tags land in one store commit: the durable
+        // backend persists a single new segment generation per bin rewrite.
+        let updates: Vec<(usize, Vec<u8>)> = if rt.tags.is_empty() {
+            Vec::new()
+        } else {
+            out.new_tags
                 .iter()
                 .map(|(cid, tag)| (*cid as usize, tag.clone()))
-                .collect();
+                .collect()
+        };
+        self.store
+            .rewrite_bin(rt.epoch_id, out.replacements, updates)?;
+        if !rt.tags.is_empty() {
             for (cid, tag) in &out.new_tags {
                 rt.tags[*cid as usize] = tag.clone();
             }
-            self.store.update_tags(rt.epoch_id, updates)?;
         }
         rt.bin_rounds[bin_idx] = old_round + 1;
         Ok(())
@@ -1350,10 +1355,28 @@ impl ConcealerSystem {
 
     /// Set up a deployment with an explicit master key and engine RNG seed
     /// (useful for reproducible tests and benchmarks).
+    ///
+    /// Uses the default in-memory store; to place the sealed segments on a
+    /// different [`concealer_storage::StorageBackend`] (e.g. the durable
+    /// [`concealer_storage::DiskEpochStore`]), use [`crate::SystemBuilder`].
     #[must_use]
     pub fn with_master(config: SystemConfig, master: MasterKey, engine_seed: u64) -> Self {
+        Self::assemble(config, master, engine_seed, EpochStore::new())
+            .expect("an empty in-memory store has no epochs to re-register")
+    }
+
+    /// Wire a deployment around an existing store, re-registering with the
+    /// engine every epoch the store already holds (a reopened durable
+    /// backend). Registration decrypts each epoch's metadata, so it fails
+    /// with [`CoreError::CorruptMetadata`] when `master` does not match the
+    /// key the epochs were sealed under.
+    pub(crate) fn assemble(
+        config: SystemConfig,
+        master: MasterKey,
+        engine_seed: u64,
+        store: EpochStore,
+    ) -> Result<Self> {
         let provider = DataProvider::new(master.clone(), config.clone());
-        let store = EpochStore::new();
         let enclave_config = if config.oblivious {
             EnclaveConfig::oblivious()
         } else {
@@ -1361,13 +1384,31 @@ impl ConcealerSystem {
         };
         let enclave = Enclave::provision(master, UserRegistry::new(), enclave_config);
         let engine = QueryEngine::new(config, enclave, store.clone(), engine_seed);
-        ConcealerSystem {
+        for epoch_id in store.epoch_ids() {
+            // The §6 protocol re-encrypts bins under per-bin round keys whose
+            // counters are enclave-resident state; registration would reset
+            // them to round 0 and the next query on a rewritten bin would
+            // issue trapdoors that miss every row (surfacing as a spurious
+            // integrity violation, or a wrong answer with verification off).
+            // Fail at build time instead, where the remedy is actionable.
+            if store.rewrite_count(epoch_id)? > 0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "epoch {epoch_id} was rewritten by the forward-private (§6) \
+                         protocol; its round counters are enclave state and do not \
+                         survive a restart — re-ingest the epoch"
+                    ),
+                });
+            }
+            engine.register_epoch(epoch_id)?;
+        }
+        Ok(ConcealerSystem {
             provider,
             store,
             engine,
             registry: UserRegistry::new(),
             default_user: None,
-        }
+        })
     }
 
     /// Register a user with the data provider; the updated registry is

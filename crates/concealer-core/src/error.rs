@@ -38,6 +38,12 @@ pub enum CoreError {
     },
     /// Metadata vectors shipped by the data provider could not be decoded.
     CorruptMetadata,
+    /// A deployment was configured inconsistently (builder misuse, bad
+    /// environment hook value, …).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// Error from the cryptographic substrate.
     Crypto(concealer_crypto::CryptoError),
     /// Error from the storage substrate.
@@ -69,6 +75,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
             CoreError::CorruptMetadata => write!(f, "corrupt epoch metadata"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             CoreError::Crypto(e) => write!(f, "crypto error: {e}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Enclave(e) => write!(f, "enclave error: {e}"),
@@ -114,6 +121,11 @@ mod tests {
         assert!(CoreError::IntegrityViolation { cell_id: 4 }
             .to_string()
             .contains('4'));
+        assert!(CoreError::InvalidConfig {
+            reason: "bad backend".into()
+        }
+        .to_string()
+        .contains("bad backend"));
         let e: CoreError = concealer_storage::StorageError::DuplicateKey.into();
         assert!(e.to_string().contains("storage error"));
         let e: CoreError = concealer_crypto::CryptoError::AuthenticationFailed.into();

@@ -93,7 +93,7 @@ pub mod verify;
 
 mod error;
 
-pub use api::{ExecOptions, IndexStats, SecureIndex, Session};
+pub use api::{ExecOptions, IndexStats, SecureIndex, Session, SystemBuilder, BACKEND_ENV_VAR};
 pub use bins::{Bin, BinPlan};
 pub use config::{FakeTupleStrategy, GridShape, SystemConfig};
 pub use engine::{ConcealerSystem, PlanStats, QueryEngine, RangeMethod, UserHandle, WinSecStats};
@@ -103,6 +103,13 @@ pub use provider::{DataProvider, EpochShipment};
 pub use query::{Aggregate, Predicate, Query, QueryAnswer, QueryBuilder};
 pub use superbin::SuperBinPlan;
 pub use types::{EpochWindow, Record};
+
+// Storage backends, re-exported so deployments can pick where sealed
+// epochs live without depending on `concealer-storage` directly; the
+// master key type, because reopening a durable backend requires passing
+// the key the epochs were sealed under to [`SystemBuilder::master`].
+pub use concealer_crypto::MasterKey;
+pub use concealer_storage::{DiskEpochStore, MemoryBackend, StorageBackend};
 
 /// Convenience alias for fallible Concealer calls.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -9,11 +9,45 @@
 #![warn(missing_docs)]
 
 use concealer_core::{
-    ConcealerSystem, FakeTupleStrategy, GridShape, Record, SystemConfig, UserHandle,
+    ConcealerSystem, FakeTupleStrategy, GridShape, MasterKey, Record, SystemBuilder, SystemConfig,
+    UserHandle,
 };
 use concealer_workloads::{WifiConfig, WifiGenerator};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+
+/// Build a deployment honoring the `CONCEALER_TEST_BACKEND` harness hook
+/// (see [`concealer_core::BACKEND_ENV_VAR`]): unset or `memory` is the
+/// default in-memory store; `disk` places the sealed epochs in a
+/// crash-safe on-disk store under a fresh scratch directory, which is how
+/// the CI backend matrix reruns the integration suites against
+/// [`concealer_core::DiskEpochStore`]. Every test and example that does
+/// not need a *specific* backend should construct its system through this
+/// (or [`demo_system`]) so it participates in the matrix.
+pub fn build_system<R: RngCore>(config: SystemConfig, rng: &mut R) -> ConcealerSystem {
+    SystemBuilder::new(config)
+        .backend_from_env()
+        .expect("CONCEALER_TEST_BACKEND must be unset, \"memory\" or \"disk\"")
+        .build(rng)
+        .expect("a fresh backend has no epochs that could fail registration")
+}
+
+/// [`build_system`] with a pinned master key and engine seed, for tests
+/// that compare deployments sharing key material.
+pub fn build_system_with_master(
+    config: SystemConfig,
+    master: MasterKey,
+    engine_seed: u64,
+) -> ConcealerSystem {
+    let mut rng = StdRng::seed_from_u64(engine_seed);
+    SystemBuilder::new(config)
+        .master(master)
+        .engine_seed(engine_seed)
+        .backend_from_env()
+        .expect("CONCEALER_TEST_BACKEND must be unset, \"memory\" or \"disk\"")
+        .build(&mut rng)
+        .expect("a fresh backend has no epochs that could fail registration")
+}
 
 /// A small but realistic campus deployment used by several examples and
 /// integration tests: one day of data, 24 hourly-ish time rows, moderate
@@ -47,7 +81,7 @@ pub fn demo_system(hours: u64, seed: u64) -> (ConcealerSystem, UserHandle, Vec<R
         location_skew: 0.8,
     });
     let records = generator.generate_epoch(0, hours * 3600, &mut rng);
-    let mut system = ConcealerSystem::new(demo_config(hours), &mut rng);
+    let mut system = build_system(demo_config(hours), &mut rng);
     let devices: Vec<u64> = (1000..1300).collect();
     let user = system.register_user(7, devices, true);
     system

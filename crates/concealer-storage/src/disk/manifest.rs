@@ -1,0 +1,160 @@
+//! The manifest: the store-level atomic commit point.
+//!
+//! `MANIFEST` maps each *committed* epoch to the generation of the segment
+//! file holding it. Epoch commit order is therefore:
+//!
+//! 1. write + fsync the new segment file (`segments/ep-<epoch>-g<gen>.seg`),
+//! 2. atomically replace `MANIFEST` (write temp, fsync, rename, fsync dir)
+//!    with the entry pointing at the new generation,
+//! 3. only then delete any superseded generation.
+//!
+//! A crash anywhere in that sequence leaves either the old manifest (the
+//! new segment is an uncommitted leftover, removed on reopen) or the new
+//! manifest (the old segment is a superseded leftover, removed on reopen)
+//! — never a state that mixes the two.
+//!
+//! The manifest itself carries a checksum; because it is only ever replaced
+//! via rename, a checksum failure means damage outside the crash model and
+//! surfaces as [`StorageError::Corrupt`] rather than being silently
+//! "recovered" into an empty store.
+
+use super::segment::fnv1a;
+use crate::{Result, StorageError};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name within the store root.
+pub(crate) const MANIFEST_FILE: &str = "MANIFEST";
+const MAGIC: [u8; 4] = *b"CMN1";
+
+/// Committed epochs: epoch id → segment-file generation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Manifest {
+    pub(crate) entries: BTreeMap<u64, u64>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&serde::bin::to_bytes(&self.entries));
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Manifest> {
+        let body_len = bytes.len().checked_sub(8)?;
+        let (body, tail) = bytes.split_at(body_len);
+        let checksum = u64::from_le_bytes(tail.try_into().ok()?);
+        if body.len() < MAGIC.len() || body[..MAGIC.len()] != MAGIC || fnv1a(body) != checksum {
+            return None;
+        }
+        let entries = serde::bin::from_bytes(&body[MAGIC.len()..]).ok()?;
+        Some(Manifest { entries })
+    }
+
+    pub(crate) fn path(root: &Path) -> PathBuf {
+        root.join(MANIFEST_FILE)
+    }
+
+    /// Load the manifest from `root`. A missing file is an empty (fresh)
+    /// store; a present-but-invalid file is corruption.
+    pub(crate) fn load(root: &Path) -> Result<Manifest> {
+        let path = Self::path(root);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Manifest::default()),
+            Err(e) => return Err(io_err("read manifest", &path, &e)),
+        };
+        Manifest::decode(&bytes).ok_or_else(|| StorageError::Corrupt {
+            path: path.display().to_string(),
+            reason: "manifest checksum or framing mismatch",
+        })
+    }
+
+    /// Durably replace the manifest on disk: temp file, fsync, rename over
+    /// the live name, fsync the directory.
+    pub(crate) fn save(&self, root: &Path) -> Result<()> {
+        let path = Self::path(root);
+        let tmp = root.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut f =
+                fs::File::create(&tmp).map_err(|e| io_err("create manifest temp", &tmp, &e))?;
+            f.write_all(&self.encode())
+                .map_err(|e| io_err("write manifest temp", &tmp, &e))?;
+            f.sync_all()
+                .map_err(|e| io_err("sync manifest temp", &tmp, &e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| io_err("rename manifest", &path, &e))?;
+        sync_dir(root)
+    }
+}
+
+/// fsync a directory so a just-renamed file inside it survives a crash.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    let f = fs::File::open(dir).map_err(|e| io_err("open dir for sync", dir, &e))?;
+    f.sync_all().map_err(|e| io_err("sync dir", dir, &e))
+}
+
+/// Wrap an `std::io::Error` (not `Clone`, so stringified) for `op` on `path`.
+pub(crate) fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> StorageError {
+    StorageError::Io {
+        op,
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("concealer-manifest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let root = temp_root("roundtrip");
+        assert_eq!(Manifest::load(&root).unwrap(), Manifest::default());
+
+        let mut m = Manifest::default();
+        m.entries.insert(0, 3);
+        m.entries.insert(3600, 1);
+        m.save(&root).unwrap();
+        assert_eq!(Manifest::load(&root).unwrap(), m);
+
+        // Replacing is atomic-by-rename: saving again leaves no temp file.
+        m.entries.insert(7200, 9);
+        m.save(&root).unwrap();
+        assert_eq!(Manifest::load(&root).unwrap(), m);
+        assert!(!root.join("MANIFEST.tmp").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error_not_an_empty_store() {
+        let root = temp_root("corrupt");
+        let mut m = Manifest::default();
+        m.entries.insert(1, 1);
+        m.save(&root).unwrap();
+
+        let path = Manifest::path(&root);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Manifest::load(&root),
+            Err(StorageError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

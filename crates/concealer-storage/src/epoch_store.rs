@@ -7,16 +7,23 @@
 //! fetch rows by trapdoor (recording every access in the
 //! [`AccessObserver`]), and supports atomically replacing an epoch's rows
 //! when the §6 dynamic-insertion protocol re-encrypts them.
+//!
+//! Where the sealed segments live is pluggable: [`EpochStore`] drives a
+//! [`StorageBackend`] — the in-memory [`crate::MemoryBackend`] by default,
+//! or the crash-safe [`crate::DiskEpochStore`] for deployments that must
+//! survive a restart. The query path, observer instrumentation and every
+//! invariant the security tests assert are backend-agnostic: answers and
+//! adversary-observable traces are identical across backends.
 
+use crate::backend::{MemoryBackend, StorageBackend};
 use crate::observer::{AccessEvent, AccessObserver};
 use crate::table::{EncryptedRow, EncryptedTable};
 use crate::{Result, StorageError};
-use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Opaque encrypted metadata shipped with an epoch.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EpochMetadata {
     /// Encrypted `cell_id[x*y]` vector (non-deterministic encryption).
     pub enc_cell_id: Vec<u8>,
@@ -41,65 +48,59 @@ pub struct StoredEpoch {
     pub rewrite_count: u64,
 }
 
-/// Number of independently locked epoch shards. Epochs hash to a fixed
-/// shard, so queries touching different epochs never contend on one lock
-/// and parallel batch fetches scale with the shard count rather than
-/// serializing on a single store-wide `RwLock`.
-const EPOCH_SHARDS: usize = 16;
-
-/// The epoch map, split into [`EPOCH_SHARDS`] independently locked shards.
-#[derive(Debug)]
-struct ShardedEpochs {
-    shards: Vec<RwLock<BTreeMap<u64, StoredEpoch>>>,
+/// The untrusted service provider's storage engine.
+///
+/// Cloning shares the underlying backend (it is an `Arc`): the data
+/// provider handle, the enclave handle and the test harness all talk to one
+/// store.
+///
+/// Epoch segments are held by a pluggable [`StorageBackend`]; the default
+/// is the in-memory [`MemoryBackend`], whose epoch map is split into
+/// [`EpochStore::shard_count`] independently locked shards keyed by epoch
+/// id, so concurrent fetches against different epochs — and concurrent
+/// ingest of new epochs — do not serialize on one store-wide lock. The
+/// on-disk backend keeps the same shard discipline over its resident cache.
+#[derive(Debug, Clone)]
+pub struct EpochStore {
+    backend: Arc<dyn StorageBackend>,
+    observer: AccessObserver,
 }
 
-impl Default for ShardedEpochs {
+impl Default for EpochStore {
     fn default() -> Self {
-        ShardedEpochs {
-            shards: (0..EPOCH_SHARDS).map(|_| RwLock::default()).collect(),
+        EpochStore {
+            backend: Arc::new(MemoryBackend::new()),
+            observer: AccessObserver::default(),
         }
     }
 }
 
-impl ShardedEpochs {
-    /// The shard owning `epoch_id`. Epoch ids are epoch *start times*
-    /// (multiples of the epoch duration), so they are mixed before
-    /// reduction — a plain modulo would park every epoch of a deployment
-    /// whose duration is divisible by the shard count on one shard.
-    fn shard(&self, epoch_id: u64) -> &RwLock<BTreeMap<u64, StoredEpoch>> {
-        let mixed = epoch_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(mixed >> 32) as usize % self.shards.len()]
-    }
-}
-
-/// The untrusted service provider's storage engine.
-///
-/// Cloning shares the underlying store (it is an `Arc`): the data provider
-/// handle, the enclave handle and the test harness all talk to one store.
-///
-/// Internally the epoch map is split into [`EpochStore::shard_count`]
-/// independently locked shards keyed by epoch id, so concurrent fetches against different
-/// epochs — and concurrent ingest of new epochs — do not serialize on one
-/// store-wide lock.
-#[derive(Debug, Clone, Default)]
-pub struct EpochStore {
-    inner: Arc<ShardedEpochs>,
-    observer: AccessObserver,
-}
-
 impl EpochStore {
-    /// Create an empty store with a fresh observer.
+    /// Create an empty in-memory store with a fresh observer.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Create a store that reports accesses to an existing observer.
+    /// Create an in-memory store that reports accesses to an existing
+    /// observer.
     #[must_use]
     pub fn with_observer(observer: AccessObserver) -> Self {
         EpochStore {
-            inner: Arc::default(),
+            backend: Arc::new(MemoryBackend::new()),
             observer,
+        }
+    }
+
+    /// Create a store over an explicit [`StorageBackend`] (e.g. a
+    /// [`crate::DiskEpochStore`]) with a fresh observer. Epochs already
+    /// committed in the backend — a reopened on-disk store — are
+    /// immediately visible.
+    #[must_use]
+    pub fn with_backend(backend: Arc<dyn StorageBackend>) -> Self {
+        EpochStore {
+            backend,
+            observer: AccessObserver::default(),
         }
     }
 
@@ -111,7 +112,7 @@ impl EpochStore {
     #[must_use]
     pub fn observed_by(&self, observer: AccessObserver) -> EpochStore {
         EpochStore {
-            inner: Arc::clone(&self.inner),
+            backend: Arc::clone(&self.backend),
             observer,
         }
     }
@@ -122,10 +123,22 @@ impl EpochStore {
         &self.observer
     }
 
+    /// The backend holding the sealed segments.
+    #[must_use]
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// The backend's short identifier (`"memory"`, `"disk"`, …).
+    #[must_use]
+    pub fn backend_kind(&self) -> &'static str {
+        self.backend.kind()
+    }
+
     /// Number of independently locked epoch shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.inner.shards.len()
+        self.backend.shard_count()
     }
 
     /// Ingest a new epoch shipment. Replaces any previous segment for the
@@ -144,68 +157,48 @@ impl EpochStore {
             rows: row_count,
             bytes,
         });
-        self.inner.shard(epoch_id).write().insert(
+        self.backend.put_epoch(
             epoch_id,
             StoredEpoch {
                 table,
                 metadata,
                 rewrite_count: 0,
             },
-        );
-        Ok(())
+        )
     }
 
     /// Epoch ids currently stored, ascending.
     #[must_use]
     pub fn epoch_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self
-            .inner
-            .shards
-            .iter()
-            .flat_map(|shard| shard.read().keys().copied().collect::<Vec<u64>>())
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.backend.epoch_ids()
     }
 
     /// Number of epochs stored.
     #[must_use]
     pub fn epoch_count(&self) -> usize {
-        self.inner
-            .shards
-            .iter()
-            .map(|shard| shard.read().len())
-            .sum()
+        self.backend.epoch_count()
     }
 
     /// Total rows across all epochs (real + fake; indistinguishable here).
     #[must_use]
     pub fn total_rows(&self) -> usize {
-        self.inner
-            .shards
-            .iter()
-            .map(|shard| shard.read().values().map(|e| e.table.len()).sum::<usize>())
-            .sum()
+        self.backend.total_rows()
     }
 
     /// Fetch the encrypted metadata for an epoch (the enclave decrypts it).
     pub fn metadata(&self, epoch_id: u64) -> Result<EpochMetadata> {
-        self.inner
-            .shard(epoch_id)
-            .read()
-            .get(&epoch_id)
-            .map(|e| e.metadata.clone())
-            .ok_or(StorageError::UnknownEpoch { epoch_id })
+        let mut out = None;
+        self.backend
+            .with_epoch(epoch_id, &mut |e| out = Some(e.metadata.clone()))?;
+        Ok(out.expect("with_epoch ran the closure"))
     }
 
     /// Number of rows in one epoch segment.
     pub fn epoch_rows(&self, epoch_id: u64) -> Result<usize> {
-        self.inner
-            .shard(epoch_id)
-            .read()
-            .get(&epoch_id)
-            .map(|e| e.table.len())
-            .ok_or(StorageError::UnknownEpoch { epoch_id })
+        let mut out = 0;
+        self.backend
+            .with_epoch(epoch_id, &mut |e| out = e.table.len())?;
+        Ok(out)
     }
 
     /// Execute one exact-match trapdoor against an epoch's index, recording
@@ -215,26 +208,24 @@ impl EpochStore {
         epoch_id: u64,
         trapdoor: &[u8],
     ) -> Result<Option<EncryptedRow>> {
-        let guard = self.inner.shard(epoch_id).read();
-        let epoch = guard
-            .get(&epoch_id)
-            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
-        let hit = epoch.table.lookup(trapdoor);
-        self.observer.record(AccessEvent::TrapdoorIssued {
-            epoch_id,
-            trapdoor_len: trapdoor.len(),
-            hit: hit.is_some(),
-        });
-        if let Some((row_id, row)) = hit {
-            self.observer.record(AccessEvent::RowFetched {
+        let mut out = None;
+        self.backend.with_epoch(epoch_id, &mut |epoch| {
+            let hit = epoch.table.lookup(trapdoor);
+            self.observer.record(AccessEvent::TrapdoorIssued {
                 epoch_id,
-                row_id,
-                bytes: row.byte_size(),
+                trapdoor_len: trapdoor.len(),
+                hit: hit.is_some(),
             });
-            Ok(Some(row.clone()))
-        } else {
-            Ok(None)
-        }
+            if let Some((row_id, row)) = hit {
+                self.observer.record(AccessEvent::RowFetched {
+                    epoch_id,
+                    row_id,
+                    bytes: row.byte_size(),
+                });
+                out = Some(row.clone());
+            }
+        })?;
+        Ok(out)
     }
 
     /// Execute a batch of trapdoors (one bin fetch). Rows are returned in
@@ -253,11 +244,10 @@ impl EpochStore {
     /// Read an entire epoch segment (full scan), as the Opaque-style
     /// baseline must.
     pub fn full_scan(&self, epoch_id: u64) -> Result<Vec<EncryptedRow>> {
-        let guard = self.inner.shard(epoch_id).read();
-        let epoch = guard
-            .get(&epoch_id)
-            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
-        let rows: Vec<EncryptedRow> = epoch.table.scan().map(|(_, r)| r.clone()).collect();
+        let mut rows: Vec<EncryptedRow> = Vec::new();
+        self.backend.with_epoch(epoch_id, &mut |epoch| {
+            rows = epoch.table.scan().map(|(_, r)| r.clone()).collect();
+        })?;
         self.observer.record(AccessEvent::FullScan {
             epoch_id,
             rows: rows.len(),
@@ -282,22 +272,25 @@ impl EpochStore {
         rows: Vec<EncryptedRow>,
         metadata: Option<EpochMetadata>,
     ) -> Result<()> {
-        let mut guard = self.inner.shard(epoch_id).write();
-        let epoch = guard
-            .get_mut(&epoch_id)
-            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
-        if rows.len() != epoch.table.len() {
-            return Err(StorageError::CardinalityMismatch {
-                expected: epoch.table.len(),
-                got: rows.len(),
-            });
-        }
-        let row_count = rows.len();
-        epoch.table = EncryptedTable::bulk_load(rows)?;
-        if let Some(m) = metadata {
-            epoch.metadata = m;
-        }
-        epoch.rewrite_count += 1;
+        let mut rows = Some(rows);
+        let mut metadata = metadata;
+        let mut row_count = 0;
+        self.backend.update_epoch(epoch_id, &mut |epoch| {
+            let rows = rows.take().expect("update closure runs once");
+            if rows.len() != epoch.table.len() {
+                return Err(StorageError::CardinalityMismatch {
+                    expected: epoch.table.len(),
+                    got: rows.len(),
+                });
+            }
+            row_count = rows.len();
+            epoch.table = EncryptedTable::bulk_load(rows)?;
+            if let Some(m) = metadata.take() {
+                epoch.metadata = m;
+            }
+            epoch.rewrite_count += 1;
+            Ok(())
+        })?;
         self.observer.record(AccessEvent::EpochRewritten {
             epoch_id,
             rows: row_count,
@@ -315,64 +308,90 @@ impl EpochStore {
         epoch_id: u64,
         replacements: Vec<(Vec<u8>, EncryptedRow)>,
     ) -> Result<()> {
-        if replacements.is_empty() {
+        self.rewrite_bin(epoch_id, replacements, Vec::new())
+    }
+
+    /// Apply a full §6 bin rewrite atomically: swap re-encrypted rows in
+    /// place (keyed by old `Index` values, as [`EpochStore::rewrite_rows`])
+    /// *and* refresh the affected verifiable tags in one backend commit —
+    /// on the durable backend this persists a single new segment generation
+    /// instead of one per call. The rewrite counter advances (and the
+    /// rewrite is observable) only when rows were actually replaced.
+    pub fn rewrite_bin(
+        &self,
+        epoch_id: u64,
+        replacements: Vec<(Vec<u8>, EncryptedRow)>,
+        tag_updates: Vec<(usize, Vec<u8>)>,
+    ) -> Result<()> {
+        if replacements.is_empty() && tag_updates.is_empty() {
             return Ok(());
         }
-        let mut guard = self.inner.shard(epoch_id).write();
-        let epoch = guard
-            .get_mut(&epoch_id)
-            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
-
-        let mut rows: Vec<EncryptedRow> = epoch.table.scan().map(|(_, r)| r.clone()).collect();
-        let mut by_old_key: std::collections::HashMap<Vec<u8>, EncryptedRow> =
-            replacements.into_iter().collect();
-        let replaced_total = by_old_key.len();
-        let mut replaced = 0usize;
-        for row in &mut rows {
-            if let Some(new_row) = by_old_key.remove(&row.index_key) {
-                *row = new_row;
-                replaced += 1;
+        let rows_replaced = !replacements.is_empty();
+        let mut replacements = Some(replacements);
+        let mut tag_updates = Some(tag_updates);
+        let mut row_count = 0;
+        self.backend.update_epoch(epoch_id, &mut |epoch| {
+            let replacements = replacements.take().expect("update closure runs once");
+            if !replacements.is_empty() {
+                let mut rows: Vec<EncryptedRow> =
+                    epoch.table.scan().map(|(_, r)| r.clone()).collect();
+                let mut by_old_key: std::collections::HashMap<Vec<u8>, EncryptedRow> =
+                    replacements.into_iter().collect();
+                let replaced_total = by_old_key.len();
+                let mut replaced = 0usize;
+                for row in &mut rows {
+                    if let Some(new_row) = by_old_key.remove(&row.index_key) {
+                        *row = new_row;
+                        replaced += 1;
+                    }
+                }
+                if replaced != replaced_total {
+                    return Err(StorageError::CardinalityMismatch {
+                        expected: replaced_total,
+                        got: replaced,
+                    });
+                }
+                row_count = rows.len();
+                epoch.table = EncryptedTable::bulk_load(rows)?;
+                epoch.rewrite_count += 1;
             }
-        }
-        if replaced != replaced_total {
-            return Err(StorageError::CardinalityMismatch {
-                expected: replaced_total,
-                got: replaced,
+            for (cell_id, tag) in tag_updates.take().expect("update closure runs once") {
+                if let Some(slot) = epoch.metadata.enc_tags.get_mut(cell_id) {
+                    *slot = tag;
+                }
+            }
+            Ok(())
+        })?;
+        if rows_replaced {
+            self.observer.record(AccessEvent::EpochRewritten {
+                epoch_id,
+                rows: row_count,
             });
         }
-        let row_count = rows.len();
-        epoch.table = EncryptedTable::bulk_load(rows)?;
-        epoch.rewrite_count += 1;
-        self.observer.record(AccessEvent::EpochRewritten {
-            epoch_id,
-            rows: row_count,
-        });
         Ok(())
     }
 
     /// Update a subset of an epoch's verifiable tags (the enclave refreshes
     /// them after re-encrypting rows).
     pub fn update_tags(&self, epoch_id: u64, updates: Vec<(usize, Vec<u8>)>) -> Result<()> {
-        let mut guard = self.inner.shard(epoch_id).write();
-        let epoch = guard
-            .get_mut(&epoch_id)
-            .ok_or(StorageError::UnknownEpoch { epoch_id })?;
-        for (cell_id, tag) in updates {
-            if let Some(slot) = epoch.metadata.enc_tags.get_mut(cell_id) {
-                *slot = tag;
+        let mut updates = Some(updates);
+        self.backend.update_epoch(epoch_id, &mut |epoch| {
+            let updates = updates.take().expect("update closure runs once");
+            for (cell_id, tag) in updates {
+                if let Some(slot) = epoch.metadata.enc_tags.get_mut(cell_id) {
+                    *slot = tag;
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// How many times an epoch has been rewritten.
     pub fn rewrite_count(&self, epoch_id: u64) -> Result<u64> {
-        self.inner
-            .shard(epoch_id)
-            .read()
-            .get(&epoch_id)
-            .map(|e| e.rewrite_count)
-            .ok_or(StorageError::UnknownEpoch { epoch_id })
+        let mut out = 0;
+        self.backend
+            .with_epoch(epoch_id, &mut |e| out = e.rewrite_count)?;
+        Ok(out)
     }
 }
 
@@ -397,6 +416,7 @@ mod tests {
     #[test]
     fn ingest_and_fetch() {
         let store = EpochStore::new();
+        assert_eq!(store.backend_kind(), "memory");
         store
             .ingest_epoch(1, sample_epoch(100, 1), EpochMetadata::default())
             .unwrap();
@@ -487,6 +507,18 @@ mod tests {
         assert_eq!(store.metadata(9).unwrap(), meta);
         assert_eq!(store.epoch_rows(9).unwrap(), 12);
         assert_eq!(store.epoch_ids(), vec![9]);
+    }
+
+    #[test]
+    fn epoch_metadata_serde_round_trip() {
+        let meta = EpochMetadata {
+            enc_cell_id: vec![1, 2, 3],
+            enc_c_tuple: vec![4, 5],
+            enc_tags: vec![vec![6], vec![], vec![7, 8]],
+            advertised_rows: 99,
+        };
+        let bytes = serde::bin::to_bytes(&meta);
+        assert_eq!(serde::bin::from_bytes::<EpochMetadata>(&bytes), Ok(meta));
     }
 
     #[test]

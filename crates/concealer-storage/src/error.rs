@@ -27,6 +27,26 @@ pub enum StorageError {
     },
     /// Duplicate key inserted into a unique index.
     DuplicateKey,
+    /// An I/O operation against a persistent backend failed.
+    Io {
+        /// What the store was doing (`"write segment"`, `"sync manifest"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: String,
+        /// The underlying OS error, stringified (`std::io::Error` is not
+        /// `Clone`/`PartialEq`, which this error type is).
+        message: String,
+    },
+    /// On-disk data failed structural validation on open (a manifest whose
+    /// checksum does not match, a segment naming collision, …). Torn
+    /// segment *tails* are not errors — recovery truncates them; this
+    /// variant covers damage recovery cannot safely interpret.
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -43,6 +63,12 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+            StorageError::Io { op, path, message } => {
+                write!(f, "storage i/o failure during {op} on {path}: {message}")
+            }
+            StorageError::Corrupt { path, reason } => {
+                write!(f, "corrupt storage file {path}: {reason}")
+            }
         }
     }
 }
@@ -74,5 +100,18 @@ mod tests {
             StorageError::DuplicateKey.to_string(),
             "duplicate key in unique index"
         );
+        assert!(StorageError::Io {
+            op: "write segment",
+            path: "/tmp/x".into(),
+            message: "denied".into()
+        }
+        .to_string()
+        .contains("write segment"));
+        assert!(StorageError::Corrupt {
+            path: "MANIFEST".into(),
+            reason: "checksum mismatch"
+        }
+        .to_string()
+        .contains("checksum mismatch"));
     }
 }

@@ -18,6 +18,13 @@
 //!   metadata blobs (`Ecell_id[]`, `Ec_tuple[]`, verifiable tags) DP ships
 //!   alongside the tuples, with support for atomically replacing an epoch's
 //!   rows (needed by the §6 dynamic-insertion re-encryption protocol).
+//! * [`backend`] — [`backend::StorageBackend`], the pluggable persistence
+//!   seam behind the store: the in-memory [`backend::MemoryBackend`]
+//!   (default) and the crash-safe on-disk [`disk::DiskEpochStore`] serve
+//!   the same query path with bit-identical answers and traces.
+//! * [`disk`] — the durable backend: one append-only segment file per
+//!   epoch (LEB128 frames, footer checksum), a manifest for atomic epoch
+//!   commit, and reopen-time recovery that truncates torn tails.
 //! * [`observer`] — [`observer::AccessObserver`]: everything the untrusted
 //!   service provider can see (which trapdoors were issued, which rows were
 //!   fetched, how many bytes were transferred). The security tests assert
@@ -28,14 +35,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod btree;
+pub mod disk;
 pub mod epoch_store;
 pub mod observer;
 pub mod table;
 
 mod error;
 
+pub use backend::{MemoryBackend, StorageBackend};
 pub use btree::BPlusTree;
+pub use disk::DiskEpochStore;
 pub use epoch_store::{EpochMetadata, EpochStore, StoredEpoch};
 pub use error::StorageError;
 pub use observer::{AccessEvent, AccessObserver, ObserverSummary};

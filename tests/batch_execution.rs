@@ -212,7 +212,8 @@ fn batch_values_match_sequential_even_under_other_default_methods() {
 fn forward_private_batches_fall_back_to_sequential_semantics() {
     let (system, user) = {
         let mut rng = StdRng::seed_from_u64(406);
-        let mut system = ConcealerSystem::new(concealer_examples::demo_config(1), &mut rng);
+        let mut system =
+            concealer_examples::build_system(concealer_examples::demo_config(1), &mut rng);
         let user = system.register_user(1, vec![], true);
         let generator =
             concealer_workloads::WifiGenerator::new(concealer_workloads::WifiConfig::tiny());

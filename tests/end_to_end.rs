@@ -120,7 +120,7 @@ fn tpch_two_d_and_four_d_indexes_answer_aggregations() {
             oblivious: false,
             winsec_rows_per_interval: 1,
         };
-        let mut system = concealer_core::ConcealerSystem::new(config, &mut rng);
+        let mut system = concealer_examples::build_system(config, &mut rng);
         let user = system.register_user(1, vec![], true);
         system.ingest_epoch(0, &records, &mut rng).unwrap();
 
@@ -167,8 +167,7 @@ fn multi_epoch_ingest_and_query_with_forward_privacy() {
     use concealer_workloads::{WifiConfig, WifiGenerator};
 
     let mut rng = StdRng::seed_from_u64(105);
-    let mut system =
-        concealer_core::ConcealerSystem::new(concealer_examples::demo_config(1), &mut rng);
+    let mut system = concealer_examples::build_system(concealer_examples::demo_config(1), &mut rng);
     let user = system.register_user(1, vec![], true);
     let generator = WifiGenerator::new(WifiConfig::tiny());
 
@@ -213,8 +212,8 @@ fn oblivious_and_plain_deployments_agree_on_answers() {
     obliv_cfg.oblivious = true;
 
     let master = concealer_crypto::MasterKey::from_bytes([17u8; 32]);
-    let mut plain = concealer_core::ConcealerSystem::with_master(plain_cfg, master.clone(), 1);
-    let mut obliv = concealer_core::ConcealerSystem::with_master(obliv_cfg, master, 1);
+    let mut plain = concealer_examples::build_system_with_master(plain_cfg, master.clone(), 1);
+    let mut obliv = concealer_examples::build_system_with_master(obliv_cfg, master, 1);
     let pu = plain.register_user(1, vec![], true);
     let ou = obliv.register_user(1, vec![], true);
     plain

@@ -16,8 +16,8 @@
 //!   pre-ingested epochs plus every concurrently ingested one.
 
 use concealer_core::{
-    ConcealerSystem, ExecOptions, FakeTupleStrategy, GridShape, Query, QueryAnswer, RangeMethod,
-    Record, SecureIndex, SystemConfig, UserHandle,
+    ExecOptions, FakeTupleStrategy, GridShape, Query, QueryAnswer, RangeMethod, Record,
+    SecureIndex, SystemConfig, UserHandle,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,7 +70,7 @@ fn oracle_queries(records: &[Record]) -> Vec<(Query, ExecOptions)> {
 #[test]
 fn eight_threads_mixed_ingest_and_queries_agree_with_sequential_oracle() {
     let mut rng = StdRng::seed_from_u64(2024);
-    let mut system = ConcealerSystem::new(stress_config(), &mut rng);
+    let mut system = concealer_examples::build_system(stress_config(), &mut rng);
     let user: UserHandle = system.register_user(1, vec![100, 101, 102, 103, 104], true);
     let records0 = workload(0, 300);
     let records1 = workload(EPOCH_SECONDS, 300);

@@ -114,7 +114,7 @@ fn ciphertext_uniqueness_in_the_store() {
 #[test]
 fn forward_privacy_across_epochs() {
     let mut rng = StdRng::seed_from_u64(204);
-    let mut system = concealer_core::ConcealerSystem::new(demo_config(1), &mut rng);
+    let mut system = concealer_examples::build_system(demo_config(1), &mut rng);
     let user = system.register_user(1, vec![], true);
     let generator = WifiGenerator::new(WifiConfig::tiny());
     // Identical record sets in two different epochs (shifted by the epoch
@@ -196,7 +196,7 @@ fn oblivious_processing_is_predicate_independent() {
     config.oblivious = true;
     let generator = WifiGenerator::new(WifiConfig::tiny());
     let records = generator.generate_epoch(0, 3600, &mut rng);
-    let mut system = concealer_core::ConcealerSystem::new(config, &mut rng);
+    let mut system = concealer_examples::build_system(config, &mut rng);
     let user = system.register_user(1, vec![], true);
     system.ingest_epoch(0, &records, &mut rng).unwrap();
 
