@@ -93,5 +93,8 @@ if [ -n "$manifest_violations" ]; then
     exit 1
 fi
 
-manifest_count=$(ls Cargo.toml crates/*/Cargo.toml shims/*/Cargo.toml 2>/dev/null | wc -l)
+manifest_count=0
+for manifest in Cargo.toml crates/*/Cargo.toml shims/*/Cargo.toml; do
+    [ -f "$manifest" ] && manifest_count=$((manifest_count + 1))
+done
 echo "ok: no version-only dependency declarations across $manifest_count manifests"

@@ -10,6 +10,10 @@
 # the wide 35% band absorbs ordinary runner-to-runner noise, not
 # generational hardware shifts.
 #
+# Exit codes: 0 ok, 1 regression beyond the floor, 2 malformed input
+# (missing file, missing sections, non-numeric qps). Exercised by
+# ci/selftest-compare-bench.sh in the lint-ci job.
+#
 # Usage: compare-bench.sh [baseline.json] [current.json]
 set -eu
 
@@ -17,28 +21,55 @@ BASELINE="${1:-BENCH_baseline.json}"
 CURRENT="${2:-BENCH_pr.json}"
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-35}"
 
+malformed() {
+    echo "error: malformed bench summary: $1" >&2
+    exit 2
+}
+
 for f in "$BASELINE" "$CURRENT"; do
-    if [ ! -f "$f" ]; then
-        echo "error: $f not found" >&2
-        exit 2
-    fi
+    [ -f "$f" ] || malformed "$f not found"
 done
 
+# A well-formed bench-smoke summary carries the schema marker, a
+# sequential qps, a non-empty "parallel" section and the dedup ratio; a
+# summary missing any of them (e.g. a truncated artifact) must fail the
+# gate loudly instead of being skipped.
+check_summary() {
+    grep -q '"schema": *"concealer-bench-smoke/v1"' "$1" \
+        || malformed "$1 lacks the concealer-bench-smoke/v1 schema marker"
+    grep -q '"parallel": *\[' "$1" \
+        || malformed "$1 lacks the \"parallel\" section"
+    grep -q '"threads":' "$1" \
+        || malformed "$1 has an empty \"parallel\" section"
+    grep -q '"dedup_ratio":' "$1" \
+        || malformed "$1 lacks the \"dedup_ratio\" field"
+}
+check_summary "$BASELINE"
+check_summary "$CURRENT"
+
 # The summaries are single-purpose JSON written by bench_smoke; pull the
-# sequential qps with sed so the gate needs no jq on the runner.
+# sequential qps with sed so the gate needs no jq on the runner. The
+# number pattern accepts exponent notation (2.1e3) so a formatter change
+# toward scientific notation cannot silently blank the extraction.
+NUM='[0-9][0-9.]*\([eE][+-]\{0,1\}[0-9]\{1,\}\)\{0,1\}'
 extract_seq_qps() {
-    sed -n 's/.*"sequential": *{ *"qps": *\([0-9][0-9.]*\).*/\1/p' "$1" | head -n 1
+    sed -n "s/.*\"sequential\": *{ *\"qps\": *\($NUM\).*/\1/p" "$1" | head -n 1
 }
 extract_dedup() {
-    sed -n 's/.*"dedup_ratio": *\([0-9][0-9.]*\).*/\1/p' "$1" | head -n 1
+    sed -n "s/.*\"dedup_ratio\": *\($NUM\).*/\1/p" "$1" | head -n 1
 }
 
 base_qps=$(extract_seq_qps "$BASELINE")
 cur_qps=$(extract_seq_qps "$CURRENT")
-if [ -z "$base_qps" ] || [ -z "$cur_qps" ]; then
-    echo "error: could not extract sequential qps (baseline='$base_qps', current='$cur_qps')" >&2
-    exit 2
-fi
+[ -n "$base_qps" ] || malformed "$BASELINE has no parseable sequential qps"
+[ -n "$cur_qps" ] || malformed "$CURRENT has no parseable sequential qps"
+
+# Belt and braces: both values must parse as strictly positive numbers
+# (awk handles exponent notation natively).
+for v in "$base_qps" "$cur_qps"; do
+    awk -v v="$v" 'BEGIN { exit (v + 0 > 0) ? 0 : 1 }' \
+        || malformed "qps value '$v' is not a positive number"
+done
 
 echo "sequential qps: baseline=$base_qps current=$cur_qps (allowed regression: ${MAX_REGRESSION_PCT}%)"
 echo "batch dedup ratio: baseline=$(extract_dedup "$BASELINE") current=$(extract_dedup "$CURRENT")"

@@ -1,0 +1,113 @@
+#!/usr/bin/env sh
+# Self-test for ci/compare-bench.sh: pins the gate's contract — exit 0 on
+# a clean run (including exponent-formatted qps), exit 1 on a regression
+# beyond the floor, exit 2 on any malformed summary (missing file, missing
+# "parallel" section, missing/non-numeric qps). Run by the lint-ci job and
+# runnable locally: sh ci/selftest-compare-bench.sh
+set -eu
+
+script_dir=$(dirname "$0")
+compare="$script_dir/compare-bench.sh"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+failures=0
+
+# Write a minimal well-formed summary with the given sequential qps.
+write_summary() {
+    cat >"$1" <<EOF
+{
+  "schema": "concealer-bench-smoke/v1",
+  "workload": "selftest",
+  "backend": "memory",
+  "queries": 64,
+  "iterations": 1,
+  "threads_available": 2,
+  "sequential": {"qps": $2, "elapsed_ms": 30.0},
+  "parallel": [
+    {"threads": 2, "qps": $2, "elapsed_ms": 30.0, "speedup": 1.0}
+  ],
+  "batch_dedup": {"rows_per_query": 1000, "rows_batched": 100, "dedup_ratio": 10.0}
+}
+EOF
+}
+
+# expect <name> <expected-rc> <baseline> <current>
+expect() {
+    name="$1"
+    want="$2"
+    baseline="$3"
+    current="$4"
+    got=0
+    sh "$compare" "$baseline" "$current" >"$tmp/out" 2>"$tmp/err" || got=$?
+    if [ "$got" -eq "$want" ]; then
+        echo "ok: $name (rc=$got)"
+    else
+        echo "FAIL: $name: expected rc=$want, got rc=$got" >&2
+        sed 's/^/  stdout: /' "$tmp/out" >&2
+        sed 's/^/  stderr: /' "$tmp/err" >&2
+        failures=$((failures + 1))
+    fi
+}
+
+write_summary "$tmp/base.json" "1000.00"
+write_summary "$tmp/same.json" "990.00"
+write_summary "$tmp/regressed.json" "100.00"
+# Exponent-formatted qps on both sides (≈2100 vs ≈2000: within the band).
+write_summary "$tmp/base-exp.json" "2.1e3"
+write_summary "$tmp/cur-exp.json" "2.0e3"
+# Exponent current against a plain baseline, regressed (2e2 = 200).
+write_summary "$tmp/cur-exp-regressed.json" "2.0e2"
+
+expect "clean run passes" 0 "$tmp/base.json" "$tmp/same.json"
+expect "regression beyond the floor fails" 1 "$tmp/base.json" "$tmp/regressed.json"
+expect "exponent qps parses and passes" 0 "$tmp/base-exp.json" "$tmp/cur-exp.json"
+expect "exponent qps parses and regresses" 1 "$tmp/base.json" "$tmp/cur-exp-regressed.json"
+expect "missing current file is malformed" 2 "$tmp/base.json" "$tmp/nonexistent.json"
+
+# Missing "parallel" section → malformed, not silently ignored.
+cat >"$tmp/no-parallel.json" <<'EOF'
+{
+  "schema": "concealer-bench-smoke/v1",
+  "sequential": {"qps": 990.00, "elapsed_ms": 30.0},
+  "batch_dedup": {"rows_per_query": 1000, "rows_batched": 100, "dedup_ratio": 10.0}
+}
+EOF
+expect "missing parallel section is malformed" 2 "$tmp/base.json" "$tmp/no-parallel.json"
+
+# Empty "parallel" section → malformed.
+cat >"$tmp/empty-parallel.json" <<'EOF'
+{
+  "schema": "concealer-bench-smoke/v1",
+  "sequential": {"qps": 990.00, "elapsed_ms": 30.0},
+  "parallel": [],
+  "batch_dedup": {"rows_per_query": 1000, "rows_batched": 100, "dedup_ratio": 10.0}
+}
+EOF
+expect "empty parallel section is malformed" 2 "$tmp/base.json" "$tmp/empty-parallel.json"
+
+# Missing sequential qps → malformed.
+cat >"$tmp/no-qps.json" <<'EOF'
+{
+  "schema": "concealer-bench-smoke/v1",
+  "sequential": {"elapsed_ms": 30.0},
+  "parallel": [
+    {"threads": 2, "qps": 990.0, "elapsed_ms": 30.0, "speedup": 1.0}
+  ],
+  "batch_dedup": {"rows_per_query": 1000, "rows_batched": 100, "dedup_ratio": 10.0}
+}
+EOF
+expect "missing sequential qps is malformed" 2 "$tmp/base.json" "$tmp/no-qps.json"
+
+# Garbage file → malformed.
+echo "not json at all" >"$tmp/garbage.json"
+expect "garbage summary is malformed" 2 "$tmp/base.json" "$tmp/garbage.json"
+
+# The committed baseline itself must satisfy the format checks.
+expect "committed baseline is well-formed" 0 "$script_dir/../BENCH_baseline.json" "$script_dir/../BENCH_baseline.json"
+
+if [ "$failures" -ne 0 ]; then
+    echo "compare-bench self-test: $failures failure(s)" >&2
+    exit 1
+fi
+echo "compare-bench self-test: all cases pass"

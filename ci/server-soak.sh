@@ -1,0 +1,98 @@
+#!/usr/bin/env sh
+# Serving-layer soak: launch the release concealer-server binary on an
+# ephemeral loopback port, drive it with concealer-load (N concurrent
+# clients of mixed point/range/batch workloads, every answer checked
+# bit-for-bit against the in-process oracle, follow-up epochs ingested
+# over the wire while queries are live), then require a graceful wire
+# shutdown. The storage backend follows CONCEALER_TEST_BACKEND (memory /
+# disk) in both processes — the CI server-soak job runs the matrix.
+#
+# Exit codes: 0 soak clean, 1 divergence / client error / non-graceful
+# shutdown, 2 binaries missing.
+#
+# Usage: server-soak.sh [BENCH_server.json]
+set -eu
+
+OUT="${1:-BENCH_server.json}"
+SERVER_BIN="${SERVER_BIN:-target/release/concealer-server}"
+LOAD_BIN="${LOAD_BIN:-target/release/concealer-load}"
+HOURS="${SOAK_HOURS:-2}"
+SEED="${SOAK_SEED:-42}"
+CLIENTS="${SOAK_CLIENTS:-8}"
+REQUESTS="${SOAK_REQUESTS:-36}"
+
+for bin in "$SERVER_BIN" "$LOAD_BIN"; do
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not built (run: cargo build --release -p concealer-server -p concealer-load)" >&2
+        exit 2
+    fi
+done
+
+server_out=$(mktemp)
+server_err=$(mktemp)
+server_pid=""
+
+cleanup() {
+    if [ -n "$server_pid" ]; then
+        kill "$server_pid" 2>/dev/null || true
+    fi
+    rm -f "$server_out" "$server_err"
+}
+trap cleanup EXIT INT TERM
+
+"$SERVER_BIN" --hours "$HOURS" --seed "$SEED" >"$server_out" 2>"$server_err" &
+server_pid=$!
+
+# Wait (up to ~60 s) for the READY line; the server builds and ingests the
+# demo deployment first.
+addr=""
+tries=0
+while [ "$tries" -lt 300 ]; do
+    addr=$(sed -n 's/^READY addr=\([^ ]*\).*/\1/p' "$server_out")
+    if [ -n "$addr" ]; then
+        break
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "error: server exited before READY" >&2
+        cat "$server_err" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "error: server did not become READY in time" >&2
+    cat "$server_err" >&2
+    exit 1
+fi
+backend=$(sed -n 's/^READY.*backend=\([^ ]*\).*/\1/p' "$server_out")
+echo "soak: server ready on $addr (backend: ${backend:-unknown})"
+
+load_rc=0
+"$LOAD_BIN" --addr "$addr" --clients "$CLIENTS" --requests "$REQUESTS" \
+    --hours "$HOURS" --seed "$SEED" --ingest-epochs 2 --shutdown \
+    --out "$OUT" || load_rc=$?
+if [ "$load_rc" -ne 0 ]; then
+    echo "error: load generator failed (rc=$load_rc): answer divergence, client error, or shutdown refusal" >&2
+    exit 1
+fi
+
+# The wire shutdown must drain the server to a clean exit 0 plus the
+# SHUTDOWN marker — anything else is a non-graceful shutdown and fails.
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=""
+if [ "$server_rc" -ne 0 ]; then
+    echo "error: server exited non-gracefully (rc=$server_rc)" >&2
+    cat "$server_err" >&2
+    exit 1
+fi
+if ! grep -q '^SHUTDOWN graceful' "$server_out"; then
+    echo "error: server exited without reporting a graceful shutdown" >&2
+    cat "$server_out" >&2
+    exit 1
+fi
+
+grep '^SHUTDOWN' "$server_out"
+qps=$(sed -n 's/.*"qps": *\([0-9.eE+-]*\).*/\1/p' "$OUT" | head -n 1)
+echo "soak ok: backend=${backend:-unknown} qps=${qps:-?} summary=$OUT"

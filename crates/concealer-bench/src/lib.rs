@@ -20,7 +20,8 @@ pub mod experiments;
 pub mod setup;
 
 pub use setup::{
-    build_tpch_system, build_wifi_system, scale_multiplier, ScaledWifi, TpchBench, WifiScale,
+    build_tpch_system, build_wifi_system, scale_multiplier, server_request_mix, ScaledWifi,
+    ServerRequest, TpchBench, WifiScale,
 };
 
 /// Format a duration in the units the paper uses (seconds with two

@@ -2,7 +2,8 @@
 //! binary.
 
 use concealer_core::{
-    ConcealerSystem, FakeTupleStrategy, GridShape, Query, Record, Session, SystemConfig, UserHandle,
+    ConcealerSystem, ExecOptions, FakeTupleStrategy, GridShape, Query, RangeMethod, Record,
+    Session, SystemConfig, UserHandle,
 };
 use concealer_workloads::{
     QueryWorkload, TpchConfig, TpchGenerator, TpchIndex, WifiConfig, WifiGenerator,
@@ -194,6 +195,64 @@ pub fn build_wifi_system_full(
     }
 }
 
+/// One request of the serving-layer mixed workload: what a wire client
+/// submits in one protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerRequest {
+    /// A single query with the options to carry in the request.
+    Query(Query, ExecOptions),
+    /// A batch with the options to carry (BPB for cross-query dedup; a
+    /// nonzero parallelism exercises the server's thread-pool path).
+    Batch(Vec<Query>, ExecOptions),
+}
+
+impl ServerRequest {
+    /// Number of queries this request answers.
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        match self {
+            ServerRequest::Query(..) => 1,
+            ServerRequest::Batch(queries, _) => queries.len(),
+        }
+    }
+}
+
+/// The deterministic mixed point/range/batch request stream the serving
+/// layer is soaked with — shared by the `concealer-load` generator and the
+/// root loopback tests, and regenerable by an oracle process from the same
+/// `(workload, seed)` pair. Every sixth request is a `batch_len`-query BPB
+/// batch (executed with parallelism 2 on the server); the rest alternate
+/// point lookups, Q1/Q2 aggregate ranges and a Q5 individualized range.
+#[must_use]
+pub fn server_request_mix(
+    workload: &QueryWorkload,
+    seed: u64,
+    requests: usize,
+    batch_len: usize,
+) -> Vec<ServerRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let single = ExecOptions::default();
+    let batch = ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(2);
+    (0..requests)
+        .map(|i| match i % 6 {
+            0 => ServerRequest::Query(workload.q1_point(&mut rng), single),
+            1 | 2 => ServerRequest::Query(workload.q1(30 * 60, &mut rng), single),
+            3 => ServerRequest::Query(workload.q2(45 * 60, 5, &mut rng), single),
+            4 => ServerRequest::Query(workload.q5(25 * 60, &mut rng), single),
+            _ => {
+                let queries: Vec<Query> = (0..batch_len.max(1))
+                    .map(|j| match j % 3 {
+                        0 => workload.q1_point(&mut rng),
+                        1 => workload.q1(20 * 60, &mut rng),
+                        _ => workload.q2(40 * 60, 4, &mut rng),
+                    })
+                    .collect();
+                ServerRequest::Batch(queries, batch)
+            }
+        })
+        .collect()
+}
+
 /// A fully built TPC-H benchmark system (Exp 8).
 pub struct TpchBench {
     /// The Concealer deployment.
@@ -319,6 +378,28 @@ mod tests {
             concealer_core::query::AnswerValue::Count(expected)
         );
         assert!(expected >= 1);
+    }
+
+    #[test]
+    fn server_request_mix_is_deterministic_and_mixed() {
+        let workload = QueryWorkload {
+            locations: 10,
+            devices: vec![1001, 1002],
+            time_extent: (0, 7200),
+        };
+        let a = server_request_mix(&workload, 5, 12, 4);
+        let b = server_request_mix(&workload, 5, 12, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        let batches = a
+            .iter()
+            .filter(|r| matches!(r, ServerRequest::Batch(..)))
+            .count();
+        assert_eq!(batches, 2, "every sixth request is a batch");
+        let queries: usize = a.iter().map(ServerRequest::query_count).sum();
+        assert_eq!(queries, 10 + 2 * 4);
+        // A different seed produces a different stream.
+        assert_ne!(server_request_mix(&workload, 6, 12, 4), a);
     }
 
     #[test]

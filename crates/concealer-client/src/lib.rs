@@ -1,0 +1,406 @@
+//! Blocking client for the Concealer wire protocol.
+//!
+//! A [`Connection`] wraps one TCP stream: it performs the versioned
+//! hello/auth handshake on connect, then exposes the batched query
+//! surface — [`Connection::execute`], [`Connection::execute_batch`],
+//! [`Connection::ingest_epoch`], [`Connection::stats`] — plus *pipelined*
+//! submission ([`Connection::submit_batch`] / [`Connection::wait_batch`])
+//! that keeps several batches in flight on one connection without waiting
+//! for each reply.
+//!
+//! Replies arrive in request order per connection (a protocol guarantee),
+//! but `wait_batch` matches on request ids and parks out-of-order replies,
+//! so callers may await pipelined responses in any order.
+//!
+//! The wire is part of Concealer's **untrusted zone**: a client trusts the
+//! answers because they carry the enclave's verification metadata
+//! (`QueryAnswer::verified`), not because it trusts the transport.
+//!
+//! ```no_run
+//! use concealer_client::Connection;
+//! use concealer_core::Query;
+//!
+//! let mut conn = Connection::connect("127.0.0.1:7171", 7, [0u8; 32], "quickstart")?;
+//! let answer = conn.execute(&Query::count().at_dims([3]).between(0, 1_799))?;
+//! println!("count = {:?} (verified: {})", answer.value, answer.verified);
+//! conn.close()?;
+//! # Ok::<(), concealer_client::ClientError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use concealer_core::{ExecOptions, Query, QueryAnswer, Record, UserHandle};
+use concealer_server::protocol::{
+    Request, Response, ServerInfo, CONNECTION_LEVEL_ID, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use concealer_server::WireError;
+use serde::frame::{read_frame, write_frame, FrameError};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, write, torn frame).
+    Io(std::io::Error),
+    /// A reply frame did not decode as a [`Response`].
+    Decode(String),
+    /// The server closed the connection.
+    Closed,
+    /// The handshake was refused or answered unexpectedly.
+    Handshake(String),
+    /// The server answered with a structured error reply.
+    Server(WireError),
+    /// The server answered with the wrong reply shape or id.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Decode(e) => write!(f, "reply decode error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Handshake(e) => write!(f, "handshake failed: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Decode(e) => ClientError::Decode(e.to_string()),
+            FrameError::Closed => ClientError::Closed,
+            FrameError::TooLarge { len, max } => ClientError::Decode(format!(
+                "reply frame of {len} bytes exceeds the client's {max}-byte limit"
+            )),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A ticket for a pipelined request, redeemed with
+/// [`Connection::wait_batch`] (or the matching `wait_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pending {
+    id: u64,
+}
+
+/// One authenticated connection to a Concealer server.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    info: ServerInfo,
+    next_id: u64,
+    /// Replies read while waiting for a different id (pipelining out of
+    /// order), parked until their ticket is redeemed.
+    parked: BTreeMap<u64, Response>,
+}
+
+impl Connection {
+    /// Connect and run the hello/auth handshake as `user_id` with the
+    /// credential the data provider issued (`UserHandle::credential.0`).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        user_id: u64,
+        credential: [u8; 32],
+        client_name: &str,
+    ) -> Result<Connection, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut conn = Connection {
+            stream,
+            info: ServerInfo {
+                protocol_version: 0,
+                server_name: String::new(),
+                backend: String::new(),
+                max_batch: 0,
+                max_frame_len: DEFAULT_MAX_FRAME_LEN as u64,
+                ingest_allowed: false,
+            },
+            next_id: 1,
+            parked: BTreeMap::new(),
+        };
+        write_frame(
+            &mut conn.stream,
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+                user_id,
+                credential,
+                client_name: client_name.to_string(),
+            },
+        )?;
+        match conn.read_response()? {
+            Response::HelloOk(info) => {
+                conn.info = info;
+                Ok(conn)
+            }
+            Response::Error { error, .. } => Err(ClientError::Handshake(error.to_string())),
+            other => Err(ClientError::Handshake(format!(
+                "expected HelloOk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// [`Connection::connect`] with an in-process [`UserHandle`] (test and
+    /// example convenience).
+    pub fn connect_user(
+        addr: impl ToSocketAddrs,
+        user: &UserHandle,
+        client_name: &str,
+    ) -> Result<Connection, ClientError> {
+        Self::connect(addr, user.user_id.0, user.credential.0, client_name)
+    }
+
+    /// What the server reported in the handshake.
+    #[must_use]
+    pub fn server_info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    // ---------------------------------------------------------------
+    // Synchronous calls (submit + wait in one step)
+    // ---------------------------------------------------------------
+
+    /// Execute one query with the server's default options.
+    pub fn execute(&mut self, query: &Query) -> Result<QueryAnswer, ClientError> {
+        self.execute_opt(query, None)
+    }
+
+    /// Execute one query with explicit options.
+    pub fn execute_with(
+        &mut self,
+        query: &Query,
+        options: ExecOptions,
+    ) -> Result<QueryAnswer, ClientError> {
+        self.execute_opt(query, Some(options))
+    }
+
+    fn execute_opt(
+        &mut self,
+        query: &Query,
+        options: Option<ExecOptions>,
+    ) -> Result<QueryAnswer, ClientError> {
+        let pending = self.submit_execute(query, options)?;
+        self.wait_execute(pending)
+    }
+
+    /// Execute a batch with the server's default options.
+    pub fn execute_batch(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<Result<QueryAnswer, WireError>>, ClientError> {
+        let pending = self.submit_batch(queries, None)?;
+        self.wait_batch(pending)
+    }
+
+    /// Execute a batch with explicit options (e.g. BPB + parallelism for
+    /// cross-query dedup on the server).
+    pub fn execute_batch_with(
+        &mut self,
+        queries: &[Query],
+        options: ExecOptions,
+    ) -> Result<Vec<Result<QueryAnswer, WireError>>, ClientError> {
+        let pending = self.submit_batch(queries, Some(options))?;
+        self.wait_batch(pending)
+    }
+
+    /// Ingest one epoch of cleartext records (the simulated data-provider
+    /// channel); returns the rows stored (reals + fakes).
+    pub fn ingest_epoch(
+        &mut self,
+        epoch_start: u64,
+        records: &[Record],
+    ) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        write_frame(
+            &mut self.stream,
+            &Request::IngestEpoch {
+                id,
+                epoch_start,
+                records: records.to_vec(),
+            },
+        )?;
+        match self.wait_for(id)? {
+            Response::IngestOk { rows_stored, .. } => Ok(rows_stored),
+            other => Err(unexpected("IngestOk", &other)),
+        }
+    }
+
+    /// Fetch the backend's stats profile.
+    pub fn stats(&mut self) -> Result<concealer_server::WireStats, ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.stream, &Request::Stats { id })?;
+        match self.wait_for(id)? {
+            Response::StatsOk { stats, .. } => Ok(stats),
+            other => Err(unexpected("StatsOk", &other)),
+        }
+    }
+
+    /// Request a graceful server-wide shutdown and wait for the ack.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.stream, &Request::Shutdown { id })?;
+        match self.wait_for(id)? {
+            Response::ShutdownOk { .. } => Ok(()),
+            other => Err(unexpected("ShutdownOk", &other)),
+        }
+    }
+
+    /// Close the connection cleanly (Goodbye / Bye). Replies to pipelined
+    /// requests whose tickets were never redeemed are drained and
+    /// discarded — the server answers in order, so they arrive before the
+    /// `Bye`; only a connection-level error aborts the close.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &Request::Goodbye)?;
+        loop {
+            match self.read_response()? {
+                Response::Bye => return Ok(()),
+                Response::Error {
+                    id: CONNECTION_LEVEL_ID,
+                    error,
+                } => return Err(ClientError::Server(error)),
+                _unredeemed_pipelined_reply => {}
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Pipelined submission
+    // ---------------------------------------------------------------
+
+    /// Submit one query without waiting for the reply.
+    pub fn submit_execute(
+        &mut self,
+        query: &Query,
+        options: Option<ExecOptions>,
+    ) -> Result<Pending, ClientError> {
+        let id = self.fresh_id();
+        write_frame(
+            &mut self.stream,
+            &Request::Execute {
+                id,
+                query: query.clone(),
+                options,
+            },
+        )?;
+        Ok(Pending { id })
+    }
+
+    /// Redeem a [`Connection::submit_execute`] ticket.
+    pub fn wait_execute(&mut self, pending: Pending) -> Result<QueryAnswer, ClientError> {
+        match self.wait_for(pending.id)? {
+            Response::Answer { answer, .. } => Ok(answer),
+            other => Err(unexpected("Answer", &other)),
+        }
+    }
+
+    /// Submit a batch without waiting for the reply; several batches can
+    /// be in flight on one connection (the server answers in order, the
+    /// client matches ids).
+    pub fn submit_batch(
+        &mut self,
+        queries: &[Query],
+        options: Option<ExecOptions>,
+    ) -> Result<Pending, ClientError> {
+        let id = self.fresh_id();
+        write_frame(
+            &mut self.stream,
+            &Request::ExecuteBatch {
+                id,
+                queries: queries.to_vec(),
+                options,
+            },
+        )?;
+        Ok(Pending { id })
+    }
+
+    /// Redeem a [`Connection::submit_batch`] ticket: per-query outcomes,
+    /// positionally aligned with the submitted queries.
+    pub fn wait_batch(
+        &mut self,
+        pending: Pending,
+    ) -> Result<Vec<Result<QueryAnswer, WireError>>, ClientError> {
+        match self.wait_for(pending.id)? {
+            Response::BatchAnswer { results, .. } => Ok(results
+                .into_iter()
+                .map(concealer_server::WireResult::into_result)
+                .collect()),
+            other => Err(unexpected("BatchAnswer", &other)),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Plumbing
+    // ---------------------------------------------------------------
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        // Accept replies up to the larger of the default cap and the
+        // limit the server advertised in the handshake — a server
+        // configured for bigger frames (large CollectRows replies) must
+        // not have its answers rejected client-side. During the
+        // handshake itself `info.max_frame_len` already holds the
+        // default, so the cap is never zero.
+        let cap = usize::try_from(self.info.max_frame_len)
+            .unwrap_or(usize::MAX)
+            .max(DEFAULT_MAX_FRAME_LEN);
+        Ok(read_frame(&mut self.stream, cap)?)
+    }
+
+    /// Read until the reply for `id` arrives, parking other ids. A
+    /// structured error reply for `id` — or a connection-level error
+    /// (id 0) — surfaces as [`ClientError::Server`].
+    fn wait_for(&mut self, id: u64) -> Result<Response, ClientError> {
+        if let Some(parked) = self.parked.remove(&id) {
+            return Ok(parked);
+        }
+        loop {
+            let response = self.read_response()?;
+            match response {
+                Response::Error {
+                    id: reply_id,
+                    error,
+                } if reply_id == id || reply_id == CONNECTION_LEVEL_ID => {
+                    return Err(ClientError::Server(error))
+                }
+                response if response.id() == id => return Ok(response),
+                response => {
+                    self.parked.insert(response.id(), response);
+                }
+            }
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error { error, .. } => ClientError::Server(error.clone()),
+        other => ClientError::Protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}

@@ -42,7 +42,10 @@ use crate::{CoreError, Result};
 ///
 /// A [`Session`] carries one of these as its defaults; individual calls can
 /// override them with [`Session::execute_with`].
-#[derive(Debug, Clone, Copy)]
+///
+/// Serializable so remote clients can carry execution options per request
+/// (the serving layer caps `parallelism` server-side before dispatching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ExecOptions {
     /// Which method range queries execute with (§4.2, §5.2, §5.3).
     /// Point queries always fetch their single bin and ignore this.

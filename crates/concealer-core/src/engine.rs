@@ -43,7 +43,7 @@ use crate::verify::verify_cell_chain;
 use crate::{CoreError, Result};
 
 /// Which range-query execution method to use (§4.2, §5.2, §5.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum RangeMethod {
     /// Convert the range into point-style bin fetches (trivial method).
     Bpb,

@@ -111,5 +111,10 @@ pub use types::{EpochWindow, Record};
 pub use concealer_crypto::MasterKey;
 pub use concealer_storage::{DiskEpochStore, MemoryBackend, StorageBackend};
 
+// User identity primitives, re-exported for the serving layer: a wire
+// handshake presents `(UserId, Credential)` and the server reconstructs the
+// [`UserHandle`] the enclave authenticates on every query.
+pub use concealer_enclave::{Credential, EnclaveError, QueryScope, UserId};
+
 /// Convenience alias for fallible Concealer calls.
 pub type Result<T> = std::result::Result<T, CoreError>;

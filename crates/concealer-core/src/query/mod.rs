@@ -271,7 +271,11 @@ impl QueryBuilder {
 }
 
 /// The value part of a query answer.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable (like [`Query`]) so answers can cross the untrusted wire
+/// between the serving layer and clients; the encoding is the positional
+/// `serde::bin` format pinned by `tests/serde_roundtrip.rs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AnswerValue {
     /// A count.
     Count(u64),
@@ -287,7 +291,12 @@ pub enum AnswerValue {
 
 /// A query answer plus the execution metadata the evaluation section of the
 /// paper reports (rows fetched, rows decrypted, verification).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The metadata travels with the value even over the wire: replies from a
+/// remote Concealer server carry the same `verified` / volume fields an
+/// in-process execution produces, so a client can check that integrity
+/// verification actually ran without trusting the transport.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryAnswer {
     /// The answer value.
     pub value: AnswerValue,

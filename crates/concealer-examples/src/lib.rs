@@ -12,7 +12,7 @@ use concealer_core::{
     ConcealerSystem, FakeTupleStrategy, GridShape, MasterKey, Record, SystemBuilder, SystemConfig,
     UserHandle,
 };
-use concealer_workloads::{WifiConfig, WifiGenerator};
+use concealer_workloads::{QueryWorkload, WifiConfig, WifiGenerator};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -68,31 +68,89 @@ pub fn demo_config(hours: u64) -> SystemConfig {
     }
 }
 
+/// Access points (= query-able locations) in the demo deployment.
+pub const DEMO_ACCESS_POINTS: u64 = 30;
+
+/// Device ids present in the demo data and authorized for the demo user.
+pub const DEMO_DEVICES: std::ops::Range<u64> = 1000..1300;
+
+/// The demo deployment's WiFi generator parameters — the single source of
+/// truth shared by [`demo_system`], [`demo_epoch_records`] and (via the
+/// constants above) [`demo_workload`], so a serving-layer oracle built
+/// from the same `(hours, seed)` pair cannot drift from the server's
+/// fixture.
+#[must_use]
+pub fn demo_wifi_config() -> WifiConfig {
+    WifiConfig {
+        access_points: DEMO_ACCESS_POINTS,
+        devices: DEMO_DEVICES.end - DEMO_DEVICES.start,
+        peak_rows_per_hour: 1_500,
+        offpeak_rows_per_hour: 200,
+        location_skew: 0.8,
+    }
+}
+
 /// Build a demo deployment with `hours` of synthetic WiFi data already
 /// ingested. Returns the system, an all-powers user handle, and the
 /// cleartext records (for ground-truth comparison).
 pub fn demo_system(hours: u64, seed: u64) -> (ConcealerSystem, UserHandle, Vec<Record>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let generator = WifiGenerator::new(WifiConfig {
-        access_points: 30,
-        devices: 300,
-        peak_rows_per_hour: 1_500,
-        offpeak_rows_per_hour: 200,
-        location_skew: 0.8,
-    });
+    let generator = WifiGenerator::new(demo_wifi_config());
     let records = generator.generate_epoch(0, hours * 3600, &mut rng);
     let mut system = build_system(demo_config(hours), &mut rng);
-    let devices: Vec<u64> = (1000..1300).collect();
-    let user = system.register_user(7, devices, true);
+    let user = system.register_user(7, DEMO_DEVICES.collect(), true);
     system
         .ingest_epoch(0, &records, &mut rng)
         .expect("demo ingest");
     (system, user, records)
 }
 
+/// The query-workload generator matching [`demo_system`]'s deployment
+/// ([`DEMO_ACCESS_POINTS`] locations, [`DEMO_DEVICES`] device ids,
+/// `hours` of data) — what every harness generating queries against a
+/// demo fixture uses, including the serving-layer load generator and
+/// loopback tests (which must agree with the server about the
+/// deployment).
+#[must_use]
+pub fn demo_workload(hours: u64) -> QueryWorkload {
+    QueryWorkload {
+        locations: DEMO_ACCESS_POINTS,
+        devices: DEMO_DEVICES.collect(),
+        time_extent: (0, hours * 3600),
+    }
+}
+
+/// One epoch of demo WiFi records for the epoch starting at `epoch_start`,
+/// generated with [`demo_system`]'s generator parameters
+/// ([`demo_wifi_config`]). Deterministic in `(hours, seed, epoch_start)`,
+/// so a wire client and a local oracle can ingest identical follow-up
+/// epochs independently.
+#[must_use]
+pub fn demo_epoch_records(hours: u64, seed: u64, epoch_start: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed ^ epoch_start.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    WifiGenerator::new(demo_wifi_config()).generate_epoch(epoch_start, hours * 3600, &mut rng)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn demo_workload_matches_demo_system_extent() {
+        let w = demo_workload(2);
+        assert_eq!(w.time_extent, (0, 7200));
+        assert_eq!(w.locations, 30);
+        assert_eq!(w.devices.len(), 300);
+    }
+
+    #[test]
+    fn demo_epoch_records_are_deterministic_and_in_window() {
+        let a = demo_epoch_records(1, 9, 3600);
+        let b = demo_epoch_records(1, 9, 3600);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|r| r.time >= 3600 && r.time < 7200));
+    }
 
     #[test]
     fn demo_system_builds() {

@@ -1,0 +1,342 @@
+//! `concealer-load`: drive a running Concealer server with N concurrent
+//! clients of mixed point/range/batch workloads, check every answer
+//! bit-for-bit against a local oracle, and emit a `BENCH_server.json`
+//! summary (qps, p50/p95/p99 latency).
+//!
+//! ```text
+//! concealer-load --addr HOST:PORT [--clients N] [--requests N]
+//!                [--batch-len N] [--hours H] [--seed S]
+//!                [--ingest-epochs N] [--no-check] [--shutdown]
+//!                [--out BENCH_server.json]
+//! ```
+//!
+//! `(hours, seed)` must match the server's: the oracle rebuilds the same
+//! deterministic demo deployment in-process (same master key, data, and
+//! credential — the harness stand-in for the data provider distributing
+//! credentials out of band), regenerates each client's request stream
+//! from its seed, and compares the `serde::bin` encoding of every wire
+//! answer against local execution. Any mismatch is a divergence and fails
+//! the run — this is what the CI `server-soak` job gates on.
+//!
+//! With `--ingest-epochs N`, one extra connection ingests follow-up
+//! epochs *while query traffic is live*; checked queries all lie in the
+//! first epoch's window, whose answers ingest must not disturb.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use concealer_bench::{server_request_mix, ServerRequest};
+use concealer_client::Connection;
+use concealer_examples::{demo_epoch_records, demo_system, demo_workload};
+
+struct Args {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    batch_len: usize,
+    hours: u64,
+    seed: u64,
+    ingest_epochs: u64,
+    check: bool,
+    shutdown: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        clients: 8,
+        requests: 36,
+        batch_len: 8,
+        hours: 2,
+        seed: 42,
+        ingest_epochs: 0,
+        check: true,
+        shutdown: false,
+        out: "BENCH_server.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--addr" => args.addr = value("--addr")?,
+            "--clients" => args.clients = parse(&value("--clients")?)?,
+            "--requests" => args.requests = parse(&value("--requests")?)?,
+            "--batch-len" => args.batch_len = parse(&value("--batch-len")?)?,
+            "--hours" => args.hours = parse(&value("--hours")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--ingest-epochs" => args.ingest_epochs = parse(&value("--ingest-epochs")?)?,
+            "--no-check" => args.check = false,
+            "--shutdown" => args.shutdown = true,
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if args.addr.is_empty() {
+        return Err("--addr HOST:PORT is required".to_string());
+    }
+    if args.clients == 0 || args.requests == 0 {
+        return Err("--clients and --requests must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("invalid numeric value {s:?}"))
+}
+
+/// Per-client outcome.
+#[derive(Debug, Default)]
+struct ClientReport {
+    latencies: Vec<Duration>,
+    queries: u64,
+    divergences: u64,
+    errors: Vec<String>,
+}
+
+/// Run one client's deterministic request stream, checking wire answers
+/// against the oracle system in-process.
+fn run_client(
+    args: &Args,
+    client_idx: usize,
+    oracle: Option<&concealer_core::ConcealerSystem>,
+    user: &concealer_core::UserHandle,
+) -> ClientReport {
+    let mut report = ClientReport::default();
+    let workload = demo_workload(args.hours);
+    let mix = server_request_mix(
+        &workload,
+        args.seed.wrapping_add(1_000 + client_idx as u64),
+        args.requests,
+        args.batch_len,
+    );
+    let mut conn =
+        match Connection::connect_user(&args.addr, user, &format!("load-client-{client_idx}")) {
+            Ok(conn) => conn,
+            Err(e) => {
+                report.errors.push(format!("connect: {e}"));
+                return report;
+            }
+        };
+    let oracle_session = oracle.map(|system| system.session(user));
+
+    for (request_idx, request) in mix.iter().enumerate() {
+        let started = Instant::now();
+        let outcome = match request {
+            ServerRequest::Query(query, options) => conn
+                .execute_with(query, *options)
+                .map(|answer| vec![answer]),
+            ServerRequest::Batch(queries, options) => conn
+                .execute_batch_with(queries, *options)
+                .and_then(|results| {
+                    results
+                        .into_iter()
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(concealer_client::ClientError::Server)
+                }),
+        };
+        let elapsed = started.elapsed();
+        let answers = match outcome {
+            Ok(answers) => answers,
+            Err(e) => {
+                report
+                    .errors
+                    .push(format!("client {client_idx} request {request_idx}: {e}"));
+                return report;
+            }
+        };
+        report.latencies.push(elapsed);
+        report.queries += answers.len() as u64;
+
+        if let Some(session) = &oracle_session {
+            let expected: Vec<_> = match request {
+                ServerRequest::Query(query, options) => {
+                    vec![session.execute_with(query, *options).expect("oracle query")]
+                }
+                ServerRequest::Batch(queries, options) => session
+                    .clone()
+                    .with_options(*options)
+                    .execute_batch(queries)
+                    .into_iter()
+                    .map(|r| r.expect("oracle batch query"))
+                    .collect(),
+            };
+            // A short (or long) reply is itself a divergence — zip below
+            // would silently compare only the common prefix.
+            if answers.len() != expected.len() {
+                report.divergences += 1;
+                report.errors.push(format!(
+                    "client {client_idx} request {request_idx}: wire returned {} answer(s), \
+                     oracle expected {}",
+                    answers.len(),
+                    expected.len()
+                ));
+                continue;
+            }
+            // Bit-identical: compare the wire encodings, not just equality.
+            for (got, want) in answers.iter().zip(&expected) {
+                if serde::bin::to_bytes(got) != serde::bin::to_bytes(want) {
+                    report.divergences += 1;
+                    report.errors.push(format!(
+                        "client {client_idx} request {request_idx}: wire answer {got:?} \
+                         diverges from oracle {want:?}"
+                    ));
+                }
+            }
+        }
+    }
+    if let Err(e) = conn.close() {
+        report
+            .errors
+            .push(format!("client {client_idx} close: {e}"));
+    }
+    report
+}
+
+/// Latency percentile in milliseconds over sorted samples.
+fn percentile_ms(sorted: &[Duration], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1].as_secs_f64() * 1e3
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("concealer-load: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!(
+        "concealer-load: building oracle deployment (hours={}, seed={})",
+        args.hours, args.seed
+    );
+    // The oracle is always built (it owns the credential); --no-check only
+    // skips the per-answer comparison.
+    let (oracle_system, user, _records) = demo_system(args.hours, args.seed);
+    let oracle = args.check.then_some(&oracle_system);
+
+    eprintln!(
+        "concealer-load: {} client(s) x {} request(s) (batch-len {}) against {}",
+        args.clients, args.requests, args.batch_len, args.addr
+    );
+    let ingested = AtomicU64::new(0);
+    let started = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let ingest_handle = (args.ingest_epochs > 0).then(|| {
+            let args = &args;
+            let user = &user;
+            let ingested = &ingested;
+            scope.spawn(move || -> Result<(), String> {
+                let mut conn = Connection::connect_user(&args.addr, user, "load-ingest")
+                    .map_err(|e| format!("ingest connect: {e}"))?;
+                for k in 1..=args.ingest_epochs {
+                    let epoch_start = k * args.hours * 3600;
+                    let records = demo_epoch_records(args.hours, args.seed, epoch_start);
+                    conn.ingest_epoch(epoch_start, &records)
+                        .map_err(|e| format!("ingest epoch {epoch_start}: {e}"))?;
+                    ingested.fetch_add(1, Ordering::Relaxed);
+                    // Spread the ingests across the query phase.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                conn.close().map_err(|e| format!("ingest close: {e}"))
+            })
+        });
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client_idx| {
+                let args = &args;
+                let user = &user;
+                scope.spawn(move || run_client(args, client_idx, oracle, user))
+            })
+            .collect();
+        let mut reports: Vec<ClientReport> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        if let Some(handle) = ingest_handle {
+            if let Err(e) = handle.join().expect("ingest thread panicked") {
+                reports.push(ClientReport {
+                    errors: vec![e],
+                    ..ClientReport::default()
+                });
+            }
+        }
+        reports
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<Duration> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort_unstable();
+    let queries: u64 = reports.iter().map(|r| r.queries).sum();
+    let requests: usize = reports.iter().map(|r| r.latencies.len()).sum();
+    let divergences: u64 = reports.iter().map(|r| r.divergences).sum();
+    let errors: Vec<&String> = reports.iter().flat_map(|r| r.errors.iter()).collect();
+    let qps = queries as f64 / elapsed.as_secs_f64().max(1e-9);
+    let backend = oracle_system.store().backend_kind();
+
+    let json = format!(
+        "{{\n  \"schema\": \"concealer-server-load/v1\",\n  \"addr\": \"{}\",\n  \"backend\": \"{backend}\",\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \"batch_len\": {},\n  \"requests\": {requests},\n  \"queries\": {queries},\n  \"ingest_epochs\": {},\n  \"elapsed_s\": {:.3},\n  \"qps\": {qps:.2},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \"checked\": {},\n  \"divergences\": {divergences},\n  \"client_errors\": {}\n}}\n",
+        args.addr,
+        args.clients,
+        args.requests,
+        args.batch_len,
+        ingested.load(Ordering::Relaxed),
+        elapsed.as_secs_f64(),
+        percentile_ms(&latencies, 50.0),
+        percentile_ms(&latencies, 95.0),
+        percentile_ms(&latencies, 99.0),
+        latencies.last().map_or(0.0, |d| d.as_secs_f64() * 1e3),
+        args.check,
+        errors.len(),
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("concealer-load: writing {} failed: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "concealer-load: {queries} queries in {:.2}s ({qps:.0} q/s), p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms; \
+         {divergences} divergence(s), {} client error(s); wrote {}",
+        elapsed.as_secs_f64(),
+        percentile_ms(&latencies, 50.0),
+        percentile_ms(&latencies, 95.0),
+        percentile_ms(&latencies, 99.0),
+        errors.len(),
+        args.out
+    );
+    for error in &errors {
+        eprintln!("concealer-load: error: {error}");
+    }
+
+    if args.shutdown {
+        eprintln!("concealer-load: requesting graceful server shutdown");
+        match Connection::connect_user(&args.addr, &user, "load-shutdown")
+            .and_then(|mut conn| conn.shutdown_server())
+        {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("concealer-load: shutdown request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if divergences > 0 || !errors.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,45 @@
+//! Network serving layer for the Concealer reproduction.
+//!
+//! Turns an in-process [`ConcealerSystem`](concealer_core::ConcealerSystem)
+//! into a multi-client TCP service speaking a length-prefixed
+//! `serde::bin` frame protocol:
+//!
+//! * [`protocol`] — the versioned message set (hello/auth handshake,
+//!   request-id'd execute/batch/ingest/stats/shutdown, structured error
+//!   replies) and the frame limits;
+//! * [`error`] — the wire-facing [`ErrorCode`] mapping of
+//!   [`concealer_core::CoreError`];
+//! * [`server`] — thread-per-connection serving on the scoped pool, with
+//!   a connection cap, admission backpressure and graceful drain.
+//!
+//! The blocking client side lives in the sibling `concealer-client`
+//! crate; `concealer-load` drives many clients for the CI soak job. See
+//! `ARCHITECTURE.md` § "Serving layer" for the frame format and the
+//! trust-boundary argument (the wire is part of the untrusted zone).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use concealer_examples::demo_system;
+//! use concealer_server::{Server, ServerConfig};
+//!
+//! let (system, _user, _records) = demo_system(2, 42);
+//! let handle = Server::new(Arc::new(system), ServerConfig::default())
+//!     .spawn()
+//!     .expect("bind loopback");
+//! println!("serving on {}", handle.local_addr());
+//! # handle.shutdown_and_join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use error::{ErrorCode, WireError};
+pub use protocol::{
+    Request, Response, ServerInfo, WireResult, WireStats, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use server::{ServeReport, Server, ServerConfig, ServerHandle};

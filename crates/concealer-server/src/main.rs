@@ -1,0 +1,137 @@
+//! The `concealer-server` binary: build the deterministic demo deployment
+//! and serve it over TCP until a graceful shutdown.
+//!
+//! ```text
+//! concealer-server [--port N] [--hours H] [--seed S]
+//!                  [--max-connections N] [--max-in-flight N] [--no-ingest]
+//! ```
+//!
+//! The deployment is `concealer_examples::demo_system(hours, seed)` —
+//! fully determined by `(hours, seed)`, including the master key, so a
+//! load generator given the same pair derives the same user credential
+//! and the same oracle answers. The storage backend honors the
+//! `CONCEALER_TEST_BACKEND` harness hook (`memory` default, `disk` for
+//! the durable store), which is how the CI soak matrix runs both.
+//!
+//! Prints exactly one `READY addr=… backend=… protocol=…` line on stdout
+//! once the listener is bound (what `ci/server-soak.sh` waits for), and a
+//! `SHUTDOWN graceful …` line when a wire shutdown drained cleanly.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use concealer_server::{Server, ServerConfig, PROTOCOL_VERSION};
+
+struct Args {
+    port: u16,
+    hours: u64,
+    seed: u64,
+    max_connections: usize,
+    max_in_flight: usize,
+    allow_ingest: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        port: 0,
+        hours: 2,
+        seed: 42,
+        max_connections: 16,
+        max_in_flight: 8,
+        allow_ingest: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--port" => args.port = parse(&value("--port")?)?,
+            "--hours" => args.hours = parse(&value("--hours")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--max-connections" => args.max_connections = parse(&value("--max-connections")?)?,
+            "--max-in-flight" => args.max_in_flight = parse(&value("--max-in-flight")?)?,
+            "--no-ingest" => args.allow_ingest = false,
+            "--help" | "-h" => {
+                return Err("usage: concealer-server [--port N] [--hours H] [--seed S] \
+                            [--max-connections N] [--max-in-flight N] [--no-ingest]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if args.hours == 0 {
+        return Err("--hours must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("invalid numeric value {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!(
+        "concealer-server: building demo deployment (hours={}, seed={})",
+        args.hours, args.seed
+    );
+    let (system, user, records) = concealer_examples::demo_system(args.hours, args.seed);
+    let backend = system.store().backend_kind();
+    eprintln!(
+        "concealer-server: {} rows ingested, backend={backend}, serving user {}",
+        records.len(),
+        user.user_id.0
+    );
+
+    let config = ServerConfig {
+        bind: SocketAddr::from(([127, 0, 0, 1], args.port)),
+        max_connections: args.max_connections,
+        max_in_flight: args.max_in_flight,
+        allow_ingest: args.allow_ingest,
+        ..ServerConfig::default()
+    };
+    let handle = match Server::new(Arc::new(system), config).spawn() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("concealer-server: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The READY line is the machine-readable contract with ci/server-soak.sh
+    // and any other launcher: one line, stdout, flushed before serving.
+    println!(
+        "READY addr={} backend={backend} protocol={PROTOCOL_VERSION}",
+        handle.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let report = handle.join();
+    if report.graceful {
+        println!(
+            "SHUTDOWN graceful connections={} requests={} busy_rejected={}",
+            report.connections_served, report.requests_served, report.rejected_busy
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("concealer-server: listener failed; exiting non-gracefully");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,413 @@
+//! The Concealer wire protocol: versioned handshake, request/response
+//! message enums, and the frame limits both sides agree on.
+//!
+//! Every message is one length-prefixed frame (see `serde::frame`): a
+//! 4-byte little-endian payload length followed by the payload in the
+//! positional `serde::bin` LEB128 format. The message enums below *are*
+//! the wire format — variants are tagged by declaration index, fields are
+//! written in declaration order — so **their declaration order is part of
+//! the protocol**: append new variants/fields, never reorder, and bump
+//! [`PROTOCOL_VERSION`] on any incompatible change.
+//!
+//! A connection's lifecycle:
+//!
+//! ```text
+//! client                                server
+//!   │  Request::Hello{version,user,cred}  │
+//!   ├────────────────────────────────────▶│  authenticate credential
+//!   │      Response::HelloOk(ServerInfo)  │  (or Error{AuthFailed} + close)
+//!   │◀────────────────────────────────────┤
+//!   │  Request::Execute{id,query,opts}    │
+//!   ├────────────────────────────────────▶│  Session::execute_with
+//!   │        Response::Answer{id,answer}  │
+//!   │◀────────────────────────────────────┤
+//!   │  …ExecuteBatch / IngestEpoch /      │  requests may be pipelined;
+//!   │    Stats / Shutdown, any order…     │  replies come back in request
+//!   │  Request::Goodbye                   │  order per connection
+//!   ├────────────────────────────────────▶│
+//!   │                      Response::Bye  │
+//!   │◀────────────────────────────────────┤ close
+//! ```
+//!
+//! The wire sits in the **untrusted zone** of Concealer's threat model:
+//! it connects analysts to the service provider's front-end, exactly like
+//! the DBMS connection the paper assumes. Nothing the protocol carries
+//! extends the trusted base — queries and answers are the same values the
+//! enclave exchanges in-process, answers keep their `verified` metadata,
+//! and credentials are the HMAC capabilities the data provider issued out
+//! of band (an eavesdropper learns what the untrusted service provider
+//! already sees; deploy TLS underneath for channel privacy).
+
+use concealer_core::{ExecOptions, Query, QueryAnswer, Record};
+use serde::{Deserialize, Serialize};
+
+use crate::error::WireError;
+
+/// Version of the message set defined in this module. Sent in
+/// `Request::Hello`; the server refuses mismatches with
+/// [`crate::error::ErrorCode::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Request id used for connection-level errors that cannot be attributed
+/// to a request (malformed frame, handshake refusal, admission rejection).
+/// Clients must not issue this id themselves.
+pub const CONNECTION_LEVEL_ID: u64 = 0;
+
+/// Default cap on one frame's payload size (4 MiB): large enough for a
+/// maximal batch of `CollectRows` answers, small enough that a malicious
+/// length prefix cannot balloon server memory.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 4 << 20;
+
+/// Default cap on the number of queries in one `ExecuteBatch`.
+pub const DEFAULT_MAX_BATCH: usize = 256;
+
+/// Client → server messages.
+///
+/// The first request on a connection must be [`Request::Hello`]; the
+/// server answers everything else before it with a
+/// [`crate::error::ErrorCode::NotAuthenticated`] error and closes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Versioned hello + authentication, the mandatory first frame.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// The registered user executing on this connection.
+        user_id: u64,
+        /// The HMAC credential the data provider issued for `user_id`.
+        credential: [u8; 32],
+        /// Free-form client identification (for server logs only).
+        client_name: String,
+    },
+    /// Execute one query.
+    Execute {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+        /// The query.
+        query: Query,
+        /// Execution options; `None` uses the server's defaults. The
+        /// server caps `parallelism` at its configured maximum.
+        options: Option<ExecOptions>,
+    },
+    /// Execute a batch of queries ([`concealer_core::Session::execute_batch`]
+    /// semantics: cross-query bin dedup under BPB, per-query fallback
+    /// otherwise).
+    ExecuteBatch {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+        /// The queries, answered positionally in
+        /// [`Response::BatchAnswer::results`].
+        queries: Vec<Query>,
+        /// Execution options; `None` uses the server's defaults.
+        options: Option<ExecOptions>,
+    },
+    /// Ingest one epoch of cleartext records. This simulates the data
+    /// provider's channel: in a real deployment it is a separate,
+    /// DP-authenticated endpoint, so servers may refuse it
+    /// ([`crate::server::ServerConfig::allow_ingest`]).
+    IngestEpoch {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+        /// Epoch start (seconds; also the epoch id).
+        epoch_start: u64,
+        /// The cleartext readings of the epoch.
+        records: Vec<Record>,
+    },
+    /// Ask for the backend's [`concealer_core::IndexStats`] profile.
+    Stats {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+    },
+    /// Request a graceful server-wide shutdown: the server acknowledges,
+    /// stops accepting connections, drains in-flight requests and exits.
+    Shutdown {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+    },
+    /// Close this connection cleanly; the server answers [`Response::Bye`].
+    Goodbye,
+}
+
+impl Request {
+    /// The request id a reply to this request will carry
+    /// ([`CONNECTION_LEVEL_ID`] for `Hello` / `Goodbye`).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Hello { .. } | Request::Goodbye => CONNECTION_LEVEL_ID,
+            Request::Execute { id, .. }
+            | Request::ExecuteBatch { id, .. }
+            | Request::IngestEpoch { id, .. }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+}
+
+/// What the server tells a client about itself in [`Response::HelloOk`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerInfo {
+    /// The server's [`PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+    /// Human-readable server identification.
+    pub server_name: String,
+    /// Storage backend the sealed epochs live on (`"memory"` / `"disk"`).
+    pub backend: String,
+    /// Largest accepted `ExecuteBatch` size.
+    pub max_batch: u64,
+    /// Largest accepted frame payload, in bytes.
+    pub max_frame_len: u64,
+    /// Whether this server accepts [`Request::IngestEpoch`].
+    pub ingest_allowed: bool,
+}
+
+/// The backend profile reported by [`Response::StatsOk`] — the wire form
+/// of [`concealer_core::IndexStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Short backend identifier (`"concealer"`).
+    pub backend: String,
+    /// Epochs ingested so far.
+    pub epochs: u64,
+    /// Rows stored, including volume-hiding fakes.
+    pub rows_stored: u64,
+    /// Whether per-query fetch volumes are data-independent.
+    pub volume_hiding: bool,
+    /// Whether fetched data is integrity-verified.
+    pub verifiable: bool,
+}
+
+impl From<concealer_core::IndexStats> for WireStats {
+    fn from(stats: concealer_core::IndexStats) -> Self {
+        WireStats {
+            backend: stats.backend.to_string(),
+            epochs: stats.epochs as u64,
+            rows_stored: stats.rows_stored as u64,
+            volume_hiding: stats.volume_hiding,
+            verifiable: stats.verifiable,
+        }
+    }
+}
+
+/// One per-query outcome inside [`Response::BatchAnswer`] (the shim serde
+/// derive has no `Result` impl, and the error side must be the wire error
+/// anyway).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireResult {
+    /// The query succeeded.
+    Ok(QueryAnswer),
+    /// The query failed; the batch's other queries are unaffected.
+    Err(WireError),
+}
+
+impl WireResult {
+    /// Convert into a std `Result`.
+    pub fn into_result(self) -> Result<QueryAnswer, WireError> {
+        match self {
+            WireResult::Ok(answer) => Ok(answer),
+            WireResult::Err(e) => Err(e),
+        }
+    }
+}
+
+impl From<Result<QueryAnswer, concealer_core::CoreError>> for WireResult {
+    fn from(result: Result<QueryAnswer, concealer_core::CoreError>) -> Self {
+        match result {
+            Ok(answer) => WireResult::Ok(answer),
+            Err(e) => WireResult::Err(WireError::from(&e)),
+        }
+    }
+}
+
+/// Server → client messages. Replies echo the request id; per connection
+/// they arrive in request order, which is what lets clients pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The handshake succeeded; the connection may now issue requests.
+    HelloOk(ServerInfo),
+    /// Reply to [`Request::Execute`].
+    Answer {
+        /// The echoed request id.
+        id: u64,
+        /// The answer, metadata included.
+        answer: QueryAnswer,
+    },
+    /// Reply to [`Request::ExecuteBatch`], positionally aligned with the
+    /// request's `queries`.
+    BatchAnswer {
+        /// The echoed request id.
+        id: u64,
+        /// Per-query outcomes.
+        results: Vec<WireResult>,
+    },
+    /// Reply to [`Request::IngestEpoch`].
+    IngestOk {
+        /// The echoed request id.
+        id: u64,
+        /// The epoch id ingested (its start time).
+        epoch_id: u64,
+        /// Rows now stored for the epoch (reals plus volume-hiding fakes).
+        rows_stored: u64,
+    },
+    /// Reply to [`Request::Stats`].
+    StatsOk {
+        /// The echoed request id.
+        id: u64,
+        /// The backend profile.
+        stats: WireStats,
+    },
+    /// Reply to [`Request::Shutdown`]: acknowledged; the server exits
+    /// after draining.
+    ShutdownOk {
+        /// The echoed request id.
+        id: u64,
+    },
+    /// A structured error reply. `id` is the failed request's id, or
+    /// [`CONNECTION_LEVEL_ID`] for connection-level failures.
+    Error {
+        /// The request id, or [`CONNECTION_LEVEL_ID`].
+        id: u64,
+        /// What went wrong.
+        error: WireError,
+    },
+    /// Reply to [`Request::Goodbye`]; the server closes afterwards.
+    Bye,
+}
+
+impl Response {
+    /// The request id this response answers ([`CONNECTION_LEVEL_ID`] for
+    /// handshake/close frames).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::HelloOk(_) | Response::Bye => CONNECTION_LEVEL_ID,
+            Response::Answer { id, .. }
+            | Response::BatchAnswer { id, .. }
+            | Response::IngestOk { id, .. }
+            | Response::StatsOk { id, .. }
+            | Response::ShutdownOk { id }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorCode;
+    use serde::bin::{from_bytes, to_bytes};
+
+    fn roundtrip<T>(value: &T) -> T
+    where
+        T: Serialize + serde::DeserializeOwned,
+    {
+        from_bytes(&to_bytes(value)).expect("round-trip decode")
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                user_id: 7,
+                credential: [9u8; 32],
+                client_name: "test".into(),
+            },
+            Request::Execute {
+                id: 1,
+                query: Query::count().at_dims([3]).between(0, 1799),
+                options: Some(ExecOptions::default()),
+            },
+            Request::ExecuteBatch {
+                id: 2,
+                queries: vec![
+                    Query::count().at_dims([3]).at(60),
+                    Query::top_k_locations(4).between(0, 3599),
+                ],
+                options: None,
+            },
+            Request::IngestEpoch {
+                id: 3,
+                epoch_start: 7200,
+                records: vec![Record::spatial(1, 7260, 1001)],
+            },
+            Request::Stats { id: 4 },
+            Request::Shutdown { id: 5 },
+            Request::Goodbye,
+        ];
+        for request in requests {
+            assert_eq!(roundtrip(&request), request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        use concealer_core::query::AnswerValue;
+        let answer = QueryAnswer {
+            value: AnswerValue::Count(17),
+            rows_fetched: 120,
+            rows_decrypted: 0,
+            verified: true,
+            epochs_touched: 1,
+        };
+        let responses = [
+            Response::HelloOk(ServerInfo {
+                protocol_version: PROTOCOL_VERSION,
+                server_name: "s".into(),
+                backend: "memory".into(),
+                max_batch: 256,
+                max_frame_len: 4 << 20,
+                ingest_allowed: true,
+            }),
+            Response::Answer {
+                id: 1,
+                answer: answer.clone(),
+            },
+            Response::BatchAnswer {
+                id: 2,
+                results: vec![
+                    WireResult::Ok(answer),
+                    WireResult::Err(WireError {
+                        code: ErrorCode::NoDataForRange,
+                        message: "no ingested epoch overlaps".into(),
+                    }),
+                ],
+            },
+            Response::IngestOk {
+                id: 3,
+                epoch_id: 7200,
+                rows_stored: 640,
+            },
+            Response::StatsOk {
+                id: 4,
+                stats: WireStats {
+                    backend: "concealer".into(),
+                    epochs: 2,
+                    rows_stored: 1280,
+                    volume_hiding: true,
+                    verifiable: true,
+                },
+            },
+            Response::ShutdownOk { id: 5 },
+            Response::Error {
+                id: CONNECTION_LEVEL_ID,
+                error: WireError {
+                    code: ErrorCode::Busy,
+                    message: "connection cap reached".into(),
+                },
+            },
+            Response::Bye,
+        ];
+        for response in responses {
+            assert_eq!(roundtrip(&response), response);
+        }
+    }
+
+    #[test]
+    fn ids_are_extracted() {
+        assert_eq!(Request::Stats { id: 9 }.id(), 9);
+        assert_eq!(Request::Goodbye.id(), CONNECTION_LEVEL_ID);
+        assert_eq!(Response::ShutdownOk { id: 9 }.id(), 9);
+        assert_eq!(Response::Bye.id(), CONNECTION_LEVEL_ID);
+    }
+}

@@ -1,0 +1,678 @@
+//! The multi-client TCP front-end: thread-per-connection on the scoped
+//! thread pool, with a connection cap, engine admission control, and
+//! graceful drain on shutdown.
+//!
+//! Concurrency model:
+//!
+//! * One acceptor loop (the serve thread) polls a non-blocking listener
+//!   and hands each accepted socket to a task on the rayon-shim scoped
+//!   pool — one worker per allowed connection, so the pool size *is* the
+//!   connection cap. Connections beyond [`ServerConfig::max_connections`]
+//!   are refused eagerly with a [`ErrorCode::Busy`] error frame.
+//! * Each connection task owns its socket and processes requests
+//!   serially, so one connection has at most one request executing — a
+//!   pipelining client queues further frames in the socket buffer, which
+//!   is the per-session in-flight bound.
+//! * Across connections, execution dispatches into the engine through an
+//!   admission gate bounding concurrently executing requests
+//!   ([`ServerConfig::max_in_flight`]). A connection waiting on the gate
+//!   stops reading its socket, so TCP flow control propagates the
+//!   backpressure all the way to the client.
+//! * Queries run on the shared [`ConcealerSystem`] through ordinary
+//!   [`Session`](concealer_core::Session) handles; ingest takes `&self`
+//!   on the sharded store, so epochs land concurrently with live query
+//!   traffic.
+//!
+//! Shutdown (via [`ServerHandle::signal_shutdown`] or a wire
+//! `Request::Shutdown`) is graceful: the acceptor stops, every
+//! connection's read half is shut down so blocked reads wake, in-flight
+//! requests still write their replies, and the serve thread joins all
+//! connection tasks before reporting.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use concealer_core::{
+    ConcealerSystem, Credential, ExecOptions, QueryScope, SecureIndex, UserHandle, UserId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::frame::{read_frame, write_frame, FrameError};
+
+use crate::error::{ErrorCode, WireError};
+use crate::protocol::{
+    Request, Response, ServerInfo, WireResult, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+/// Everything that tunes a [`Server`] deployment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port `0` picks an ephemeral port (see
+    /// [`ServerHandle::local_addr`]).
+    pub bind: SocketAddr,
+    /// Name reported in the handshake.
+    pub server_name: String,
+    /// Maximum concurrently served connections (also the thread-pool
+    /// size). Further connections receive a `Busy` error frame.
+    pub max_connections: usize,
+    /// Maximum queries per `ExecuteBatch` request.
+    pub max_batch: usize,
+    /// Maximum frame payload size accepted (and advertised).
+    pub max_frame_len: usize,
+    /// Maximum requests executing concurrently inside the engine; excess
+    /// requests wait, which backpressures their connections.
+    pub max_in_flight: usize,
+    /// Cap applied to client-supplied `ExecOptions::parallelism`.
+    pub max_parallelism: usize,
+    /// Whether `IngestEpoch` requests are accepted (the simulated data
+    /// provider channel; disable on query-only deployments).
+    pub allow_ingest: bool,
+    /// Seed for the per-ingest RNG: the RNG for epoch `e` is derived as
+    /// `ingest_seed ^ mix(e)`, so a server restarted with the same seed
+    /// ingests identically (what lets soak oracles predict post-ingest
+    /// state).
+    pub ingest_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            server_name: "concealer-server".to_string(),
+            max_connections: 16,
+            max_batch: DEFAULT_MAX_BATCH,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_in_flight: 8,
+            max_parallelism: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get),
+            allow_ingest: true,
+            ingest_seed: 0xC0CE_A1E5_0000_0001,
+        }
+    }
+}
+
+/// Totals the serve loop reports after draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeReport {
+    /// Connections accepted and served (not counting busy-rejects).
+    pub connections_served: u64,
+    /// Requests answered (any reply, including error replies).
+    pub requests_served: u64,
+    /// Connections refused at the cap.
+    pub rejected_busy: u64,
+    /// Whether the loop exited via a shutdown signal (as opposed to a
+    /// listener error).
+    pub graceful: bool,
+}
+
+/// A Concealer deployment plus the serving configuration; [`Server::spawn`]
+/// turns it into a running listener.
+#[derive(Debug)]
+pub struct Server {
+    system: Arc<ConcealerSystem>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Wrap a deployment for serving. The system is shared — the caller
+    /// may keep using its own [`Session`](concealer_core::Session) handles
+    /// (the loopback tests use exactly that as the oracle).
+    #[must_use]
+    pub fn new(system: Arc<ConcealerSystem>, config: ServerConfig) -> Self {
+        Server { system, config }
+    }
+
+    /// Bind the configured address and start serving on a background
+    /// thread. Returns once the listener is bound, so
+    /// [`ServerHandle::local_addr`] is immediately connectable.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(self.config.bind)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread_shutdown = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("concealer-serve".to_string())
+            .spawn(move || serve(&self.system, &self.config, &listener, &thread_shutdown))?;
+        Ok(ServerHandle {
+            local_addr,
+            shutdown,
+            thread,
+        })
+    }
+}
+
+/// A running server: the bound address, the shutdown signal, and the serve
+/// thread to join.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<ServeReport>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the ephemeral port
+    /// resolved).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Ask the server to shut down gracefully; returns immediately. The
+    /// acceptor notices within its poll interval, wakes every connection,
+    /// and drains in-flight requests.
+    pub fn signal_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether a shutdown has been signalled (locally or over the wire).
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Wait for the serve loop to finish and return its report. Panics if
+    /// the serve thread panicked.
+    pub fn join(self) -> ServeReport {
+        self.thread.join().expect("serve thread panicked")
+    }
+
+    /// [`ServerHandle::signal_shutdown`] then [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) -> ServeReport {
+        self.signal_shutdown();
+        self.join()
+    }
+}
+
+/// Counting admission gate: at most `max` holders at a time; `acquire`
+/// blocks (backpressure) until a slot frees.
+struct Admission {
+    max: usize,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Admission {
+    fn new(max: usize) -> Self {
+        Admission {
+            max: max.max(1),
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> AdmissionPermit<'_> {
+        let mut in_flight = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *in_flight >= self.max {
+            in_flight = self
+                .freed
+                .wait(in_flight)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *in_flight += 1;
+        AdmissionPermit { gate: self }
+    }
+}
+
+struct AdmissionPermit<'a> {
+    gate: &'a Admission,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut in_flight = self
+            .gate
+            .in_flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *in_flight -= 1;
+        drop(in_flight);
+        self.gate.freed.notify_one();
+    }
+}
+
+/// Read-half handles of live connections, so shutdown can wake blocked
+/// reads without tearing down in-flight replies (writes stay open).
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnRegistry {
+    fn register(&self, conn_id: u64, stream: TcpStream) {
+        self.streams
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(conn_id, stream);
+    }
+
+    fn deregister(&self, conn_id: u64) {
+        self.streams
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&conn_id);
+    }
+
+    fn wake_all(&self) {
+        let streams = self
+            .streams
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for stream in streams.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// State shared between the acceptor and every connection task.
+struct ServeShared<'a> {
+    system: &'a ConcealerSystem,
+    config: &'a ServerConfig,
+    shutdown: &'a AtomicBool,
+    admission: Admission,
+    registry: ConnRegistry,
+    active: AtomicUsize,
+    requests_served: AtomicU64,
+}
+
+/// How often the acceptor polls the non-blocking listener (and thus the
+/// worst-case latency of noticing a shutdown signal).
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// The serve loop: accept until shutdown, then drain.
+fn serve(
+    system: &ConcealerSystem,
+    config: &ServerConfig,
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+) -> ServeReport {
+    let shared = ServeShared {
+        system,
+        config,
+        shutdown,
+        admission: Admission::new(config.max_in_flight),
+        registry: ConnRegistry::default(),
+        active: AtomicUsize::new(0),
+        requests_served: AtomicU64::new(0),
+    };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(config.max_connections.max(1))
+        .build()
+        .expect("the shim thread pool builder is infallible");
+
+    let mut report = ServeReport::default();
+    pool.scope(|scope| {
+        let mut next_conn_id: u64 = 1;
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                report.graceful = true;
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    if shared.active.load(Ordering::Acquire) >= config.max_connections {
+                        report.rejected_busy += 1;
+                        refuse_busy(stream);
+                        continue;
+                    }
+                    let conn_id = next_conn_id;
+                    next_conn_id += 1;
+                    report.connections_served += 1;
+                    if let Ok(read_half) = stream.try_clone() {
+                        shared.registry.register(conn_id, read_half);
+                    }
+                    shared.active.fetch_add(1, Ordering::AcqRel);
+                    let shared_ref = &shared;
+                    scope.spawn(move |_| {
+                        handle_connection(shared_ref, stream);
+                        shared_ref.registry.deregister(conn_id);
+                        shared_ref.active.fetch_sub(1, Ordering::AcqRel);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        // Wake every blocked read so connection tasks can drain; their
+        // in-flight replies still go out on the intact write halves.
+        shared.registry.wake_all();
+    });
+    report.requests_served = shared.requests_served.load(Ordering::Acquire);
+    report
+}
+
+/// Refuse a connection over the cap with a structured `Busy` error frame.
+///
+/// The client has typically already written its `Hello`; closing the
+/// socket with those bytes unread can emit an RST that discards the Busy
+/// frame from the client's receive queue. So after writing the frame,
+/// signal end-of-stream (write-half shutdown) and briefly drain the
+/// client's pending bytes until it closes, so the reply is reliably
+/// delivered before the socket goes away.
+fn refuse_busy(mut stream: TcpStream) {
+    use std::io::Read as _;
+    let reply = Response::Error {
+        id: CONNECTION_LEVEL_ID,
+        error: WireError::new(ErrorCode::Busy, "connection cap reached; retry later"),
+    };
+    let _ = write_frame(&mut stream, &reply);
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut scratch = [0u8; 512];
+    while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
+}
+
+/// Per-connection protocol state.
+enum ConnState {
+    AwaitingHello,
+    Ready(UserHandle),
+}
+
+/// Serve one connection until it closes, errors, or the server drains.
+fn handle_connection(shared: &ServeShared<'_>, mut stream: TcpStream) {
+    let mut state = ConnState::AwaitingHello;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Drain mode: tell a client that is still talking, then leave.
+            let _ = send(
+                shared,
+                &mut stream,
+                &error_reply(
+                    CONNECTION_LEVEL_ID,
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                ),
+            );
+            return;
+        }
+        let request: Request = match read_frame(&mut stream, shared.config.max_frame_len) {
+            Ok(request) => request,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::TooLarge { len, max }) => {
+                // The oversized payload was drained; the stream is still
+                // frame-aligned, so the connection survives.
+                let reply = error_reply(
+                    CONNECTION_LEVEL_ID,
+                    ErrorCode::FrameTooLarge,
+                    format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                );
+                if send(shared, &mut stream, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Decode(e)) => {
+                // A malformed payload means the peer speaks a different
+                // dialect; reply structurally, then close.
+                let reply = error_reply(
+                    CONNECTION_LEVEL_ID,
+                    ErrorCode::MalformedFrame,
+                    format!("payload did not decode as a request: {e}"),
+                );
+                let _ = send(shared, &mut stream, &reply);
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+
+        let outcome = match (&state, request) {
+            (
+                ConnState::AwaitingHello,
+                Request::Hello {
+                    version,
+                    user_id,
+                    credential,
+                    client_name,
+                },
+            ) => match handshake(shared, version, user_id, credential, &client_name) {
+                Ok((user, info)) => {
+                    state = ConnState::Ready(user);
+                    Outcome::Reply(Response::HelloOk(info))
+                }
+                Err(reply) => Outcome::Fatal(reply),
+            },
+            (ConnState::AwaitingHello, _) => Outcome::Fatal(error_reply(
+                CONNECTION_LEVEL_ID,
+                ErrorCode::NotAuthenticated,
+                "the first request must be Hello",
+            )),
+            (ConnState::Ready(_), Request::Hello { .. }) => Outcome::Fatal(error_reply(
+                CONNECTION_LEVEL_ID,
+                ErrorCode::ProtocolViolation,
+                "connection is already authenticated",
+            )),
+            (ConnState::Ready(user), request) => dispatch(shared, user, request),
+        };
+
+        match outcome {
+            Outcome::Reply(reply) => {
+                if send(shared, &mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+            Outcome::Fatal(reply) => {
+                let _ = send(shared, &mut stream, &reply);
+                return;
+            }
+            Outcome::Close(reply) => {
+                let _ = send(shared, &mut stream, &reply);
+                return;
+            }
+        }
+    }
+}
+
+/// What a handled request means for the connection.
+enum Outcome {
+    /// Send and keep serving.
+    Reply(Response),
+    /// Send and close because the connection is unrecoverable.
+    Fatal(Response),
+    /// Send and close cleanly (Goodbye).
+    Close(Response),
+}
+
+/// Validate the hello frame: protocol version, then credential.
+fn handshake(
+    shared: &ServeShared<'_>,
+    version: u32,
+    user_id: u64,
+    credential: [u8; 32],
+    _client_name: &str,
+) -> Result<(UserHandle, ServerInfo), Response> {
+    if version != PROTOCOL_VERSION {
+        return Err(error_reply(
+            CONNECTION_LEVEL_ID,
+            ErrorCode::UnsupportedVersion,
+            format!("server speaks protocol {PROTOCOL_VERSION}, client sent {version}"),
+        ));
+    }
+    let user_id = UserId(user_id);
+    let credential = Credential(credential);
+    // The handshake authenticates the credential only; scope authorization
+    // stays per-query. `open_session` checks both, so a credential-valid
+    // but aggregate-unauthorized user comes back `Unauthorized` — accept
+    // those here and let each query's own scope check decide.
+    match shared
+        .system
+        .engine()
+        .enclave()
+        .open_session(user_id, &credential, QueryScope::Aggregate)
+    {
+        Ok(_) => {}
+        Err(concealer_core::EnclaveError::Unauthorized { .. }) => {}
+        Err(e) => {
+            return Err(error_reply(
+                CONNECTION_LEVEL_ID,
+                ErrorCode::AuthFailed,
+                format!("credential rejected: {e}"),
+            ))
+        }
+    }
+    let info = ServerInfo {
+        protocol_version: PROTOCOL_VERSION,
+        server_name: shared.config.server_name.clone(),
+        backend: shared.system.store().backend_kind().to_string(),
+        max_batch: shared.config.max_batch as u64,
+        max_frame_len: shared.config.max_frame_len as u64,
+        ingest_allowed: shared.config.allow_ingest,
+    };
+    Ok((
+        UserHandle {
+            user_id,
+            credential,
+        },
+        info,
+    ))
+}
+
+/// Execute one authenticated request.
+fn dispatch(shared: &ServeShared<'_>, user: &UserHandle, request: Request) -> Outcome {
+    match request {
+        Request::Hello { .. } => unreachable!("handled by the connection state machine"),
+        Request::Goodbye => Outcome::Close(Response::Bye),
+        Request::Execute { id, query, options } => {
+            if id == CONNECTION_LEVEL_ID {
+                return reserved_id();
+            }
+            let options = clamp_options(shared, options);
+            let _permit = shared.admission.acquire();
+            let result = shared.system.session(user).execute_with(&query, options);
+            Outcome::Reply(match result {
+                Ok(answer) => Response::Answer { id, answer },
+                Err(e) => Response::Error {
+                    id,
+                    error: WireError::from(&e),
+                },
+            })
+        }
+        Request::ExecuteBatch {
+            id,
+            queries,
+            options,
+        } => {
+            if id == CONNECTION_LEVEL_ID {
+                return reserved_id();
+            }
+            if queries.len() > shared.config.max_batch {
+                return Outcome::Reply(error_reply(
+                    id,
+                    ErrorCode::BatchTooLarge,
+                    format!(
+                        "batch of {} queries exceeds the {}-query limit",
+                        queries.len(),
+                        shared.config.max_batch
+                    ),
+                ));
+            }
+            let options = clamp_options(shared, options);
+            let _permit = shared.admission.acquire();
+            let results: Vec<WireResult> = shared
+                .system
+                .session(user)
+                .with_options(options)
+                .execute_batch(&queries)
+                .into_iter()
+                .map(WireResult::from)
+                .collect();
+            Outcome::Reply(Response::BatchAnswer { id, results })
+        }
+        Request::IngestEpoch {
+            id,
+            epoch_start,
+            records,
+        } => {
+            if id == CONNECTION_LEVEL_ID {
+                return reserved_id();
+            }
+            if !shared.config.allow_ingest {
+                return Outcome::Reply(error_reply(
+                    id,
+                    ErrorCode::Unauthorized,
+                    "this server does not accept wire ingest",
+                ));
+            }
+            let _permit = shared.admission.acquire();
+            // Deterministic per-epoch RNG (see `ServerConfig::ingest_seed`).
+            let mut rng = StdRng::seed_from_u64(
+                shared.config.ingest_seed ^ epoch_start.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let result = shared.system.ingest_epoch(epoch_start, &records, &mut rng);
+            Outcome::Reply(match result {
+                Ok(stats) => Response::IngestOk {
+                    id,
+                    epoch_id: epoch_start,
+                    rows_stored: (stats.real_rows + stats.fake_rows) as u64,
+                },
+                Err(e) => Response::Error {
+                    id,
+                    error: WireError::from(&e),
+                },
+            })
+        }
+        Request::Stats { id } => {
+            if id == CONNECTION_LEVEL_ID {
+                return reserved_id();
+            }
+            Outcome::Reply(Response::StatsOk {
+                id,
+                stats: shared.system.answer_stats().into(),
+            })
+        }
+        Request::Shutdown { id } => {
+            if id == CONNECTION_LEVEL_ID {
+                return reserved_id();
+            }
+            shared.shutdown.store(true, Ordering::Release);
+            // Close after acknowledging: the acceptor wakes the remaining
+            // connections within its poll interval.
+            Outcome::Close(Response::ShutdownOk { id })
+        }
+    }
+}
+
+fn reserved_id() -> Outcome {
+    Outcome::Fatal(error_reply(
+        CONNECTION_LEVEL_ID,
+        ErrorCode::ProtocolViolation,
+        "request id 0 is reserved for connection-level errors",
+    ))
+}
+
+/// Apply server policy to client-supplied options.
+fn clamp_options(shared: &ServeShared<'_>, options: Option<ExecOptions>) -> ExecOptions {
+    let mut options = options.unwrap_or_default();
+    options.parallelism = options
+        .parallelism
+        .min(shared.config.max_parallelism.max(1));
+    options
+}
+
+fn error_reply(id: u64, code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        id,
+        error: WireError::new(code, message),
+    }
+}
+
+/// Write one reply frame, counting it.
+fn send(
+    shared: &ServeShared<'_>,
+    stream: &mut TcpStream,
+    reply: &Response,
+) -> Result<(), FrameError> {
+    shared.requests_served.fetch_add(1, Ordering::AcqRel);
+    write_frame(stream, reply)
+}
