@@ -124,6 +124,7 @@ impl SecureIndex for CleartextBaseline {
             volume_hiding: false,
             verifiable: false,
             full_scan_per_query: true,
+            bin_cache: None,
         }
     }
 }

@@ -161,6 +161,7 @@ impl SecureIndex for DetIndexBaseline {
             volume_hiding: false,
             verifiable: false,
             full_scan_per_query: false,
+            bin_cache: None,
         }
     }
 }

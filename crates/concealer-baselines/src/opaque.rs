@@ -150,6 +150,7 @@ impl SecureIndex for OpaqueBaseline {
             volume_hiding: true,
             verifiable: false,
             full_scan_per_query: true,
+            bin_cache: None,
         }
     }
 }

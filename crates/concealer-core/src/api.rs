@@ -75,6 +75,15 @@ pub struct ExecOptions {
     /// their fetches would observably reorder the access pattern the
     /// caller configured.
     pub parallelism: usize,
+    /// Bins per worker task in the parallel fetch stage. `0` (the default)
+    /// slices the batch's bin union evenly across the workers — one chunk
+    /// per worker, minimal task-queue traffic. Smaller chunks trade queue
+    /// overhead for better load balancing when per-bin fetch cost is
+    /// skewed. Purely a scheduling knob: answers and the observable trace
+    /// are identical at every chunk size. Defaults to `0` when absent from
+    /// a serialized request.
+    #[serde(default)]
+    pub fetch_chunk: usize,
 }
 
 impl Default for ExecOptions {
@@ -87,6 +96,7 @@ impl Default for ExecOptions {
             verify: true,
             oblivious: None,
             parallelism: 1,
+            fetch_chunk: 0,
         }
     }
 }
@@ -105,6 +115,14 @@ impl ExecOptions {
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Set the parallel fetch-stage chunk size (builder style); `0` means
+    /// one chunk per worker.
+    #[must_use]
+    pub fn with_fetch_chunk(mut self, fetch_chunk: usize) -> Self {
+        self.fetch_chunk = fetch_chunk;
         self
     }
 }
@@ -373,6 +391,9 @@ pub struct IndexStats {
     pub verifiable: bool,
     /// Whether every query scans the full store (Opaque-style baselines).
     pub full_scan_per_query: bool,
+    /// Decrypted-bin cache statistics, for backends that keep one
+    /// (Concealer's enclave-side cache); `None` for the baselines.
+    pub bin_cache: Option<crate::BinCacheStats>,
 }
 
 /// The minimal interface every secure-index backend exposes: ingest epochs,
@@ -427,6 +448,7 @@ impl SecureIndex for ConcealerSystem {
             volume_hiding: true,
             verifiable: self.engine().config().verify_integrity,
             full_scan_per_query: false,
+            bin_cache: Some(self.engine().bin_cache_stats()),
         }
     }
 }

@@ -16,16 +16,20 @@
 //! `range_query` split was removed in 0.3 (see `MIGRATION.md`).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
-use concealer_crypto::{EpochId, EpochKey, MasterKey};
+use concealer_crypto::{DetBuffer, EpochId, EpochKey, MasterKey};
 use concealer_enclave::registry::{Credential, QueryScope, UserId, UserRegistry};
 use concealer_enclave::{Enclave, EnclaveConfig, SideChannelMeter};
-use concealer_storage::{AccessObserver, EncryptedRow, EpochStore};
+use concealer_storage::{AccessEvent, AccessObserver, EncryptedRow, EpochStore};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::api::{ExecOptions, Session};
+use crate::bin_cache::{BinCache, BinCacheStats, BinEntry, BinKey, DEFAULT_BIN_CACHE_CAPACITY};
 use crate::bins::{BinPlan, PackingAlgorithm};
 use crate::codec;
 use crate::config::SystemConfig;
@@ -33,7 +37,7 @@ use crate::dynamic;
 use crate::grid::Grid;
 use crate::provider::{DataProvider, EpochStats};
 use crate::query::filter::{
-    build_filter_plan, process_rows_oblivious, process_rows_plain, FilterPlan,
+    build_filter_plan, process_rows_oblivious, process_rows_plain, DecodedBin, FilterPlan,
 };
 use crate::query::trapdoor::{generate_oblivious, generate_plain, FetchSpec};
 use crate::query::{Accumulator, Predicate, Query, QueryAnswer};
@@ -153,12 +157,64 @@ struct BinFetchPlan {
     verified: bool,
 }
 
-/// The outcome of one parallel bin fetch: the fetched (and verified) rows
-/// with their round key, plus the storage-access events the fetch produced,
-/// buffered task-locally for deterministic merging.
-struct BinFetchOutcome {
-    result: Result<(EpochKey, Vec<EncryptedRow>)>,
-    events: Vec<concealer_storage::AccessEvent>,
+/// Per-execution filter-plan memo, keyed by `(epoch_id, round)`: one query's
+/// plan against a given round key is built once and reused for every bin
+/// encrypted under that key. Local to one query execution — plans are
+/// query-specific, so nothing is shared across queries.
+type PlanMemo = HashMap<(u64, u64), FilterPlan>;
+
+/// Wall-clock phase accumulators (nanoseconds), shared across worker
+/// threads. The buckets overlap deliberately coarse-grained work — they
+/// need not sum to total batch time — but their *ratios* show where an
+/// execution spends its time (see [`PhaseBreakdown`]).
+#[derive(Debug, Default)]
+struct PhaseTimers {
+    fetch_ns: AtomicU64,
+    decrypt_ns: AtomicU64,
+    verify_ns: AtomicU64,
+    aggregate_ns: AtomicU64,
+}
+
+/// Snapshot of the engine's per-phase wall-clock accumulators, exposed by
+/// [`QueryEngine::phase_breakdown`]. All values are cumulative nanoseconds
+/// since construction or the last [`QueryEngine::reset_phases`]. Parallel
+/// executions accumulate each worker's time, so totals can exceed
+/// wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown {
+    /// Trapdoor generation, store fetches, and warm-cache replay fetches.
+    pub fetch_ns: u64,
+    /// Filter/aggregate passes over fetched rows (incl. payload decryption
+    /// and filter-plan construction).
+    pub decrypt_ns: u64,
+    /// Hash-chain verification of fetched bins.
+    pub verify_ns: u64,
+    /// Batch planning and answer assembly.
+    pub aggregate_ns: u64,
+}
+
+/// Add the elapsed time since `start` to a phase accumulator.
+fn bump_phase(counter: &AtomicU64, start: Instant) {
+    // Saturating at u64::MAX nanoseconds (~584 years) is fine.
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    counter.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Cap the requested worker count at the host's hardware thread count.
+///
+/// Workers that cannot run concurrently only add spawn and scheduling
+/// overhead — on a single-core host a "parallel" batch is strictly slower
+/// than the sequential loop while producing the identical answers and
+/// trace, so the parallelism knob must never cost throughput there.
+/// Setting `CONCEALER_FORCE_THREADS=1` keeps the requested count; the
+/// trace-equality and stress tests use it so the pool machinery is
+/// exercised even on single-core CI hosts.
+fn effective_workers(requested: usize) -> usize {
+    if std::env::var_os("CONCEALER_FORCE_THREADS").is_some_and(|v| v != "0") {
+        return requested;
+    }
+    let hw = std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get);
+    requested.min(hw)
 }
 
 /// The enclave-side query engine.
@@ -168,6 +224,8 @@ pub struct QueryEngine {
     store: EpochStore,
     epochs: RwLock<BTreeMap<u64, EpochRuntime>>,
     rng: Mutex<StdRng>,
+    bin_cache: BinCache,
+    phases: PhaseTimers,
 }
 
 impl std::fmt::Debug for QueryEngine {
@@ -189,6 +247,8 @@ impl QueryEngine {
             store,
             epochs: RwLock::new(BTreeMap::new()),
             rng: Mutex::new(StdRng::seed_from_u64(rng_seed)),
+            bin_cache: BinCache::new(DEFAULT_BIN_CACHE_CAPACITY),
+            phases: PhaseTimers::default(),
         }
     }
 
@@ -196,6 +256,40 @@ impl QueryEngine {
     #[must_use]
     pub fn enclave(&self) -> &Enclave {
         &self.enclave
+    }
+
+    /// Snapshot of the per-phase wall-clock accumulators.
+    #[must_use]
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        PhaseBreakdown {
+            fetch_ns: self.phases.fetch_ns.load(Ordering::Relaxed),
+            decrypt_ns: self.phases.decrypt_ns.load(Ordering::Relaxed),
+            verify_ns: self.phases.verify_ns.load(Ordering::Relaxed),
+            aggregate_ns: self.phases.aggregate_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the per-phase wall-clock accumulators to zero (benchmarks call
+    /// this between timed sections).
+    pub fn reset_phases(&self) {
+        self.phases.fetch_ns.store(0, Ordering::Relaxed);
+        self.phases.decrypt_ns.store(0, Ordering::Relaxed);
+        self.phases.verify_ns.store(0, Ordering::Relaxed);
+        self.phases.aggregate_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Statistics of the enclave-side decrypted-bin cache.
+    #[must_use]
+    pub fn bin_cache_stats(&self) -> BinCacheStats {
+        self.bin_cache.stats()
+    }
+
+    /// Resize the enclave-side decrypted-bin cache (`0` disables it and
+    /// flushes resident entries). Purely an enclave-memory/throughput
+    /// trade-off: the adversary-visible access pattern and the side-channel
+    /// meter are identical at every capacity (see [`crate::BinCacheStats`]).
+    pub fn set_bin_cache_capacity(&self, capacity: usize) {
+        self.bin_cache.set_capacity(capacity);
     }
 
     /// The system configuration this engine was provisioned with.
@@ -375,6 +469,7 @@ impl QueryEngine {
         let mut results: Vec<Option<Result<QueryAnswer>>> = queries.iter().map(|_| None).collect();
         let mut plans: Vec<Option<BinFetchPlan>> = queries.iter().map(|_| None).collect();
 
+        let plan_start = Instant::now();
         let mut epochs = self.epochs.write();
         for (i, query) in queries.iter().enumerate() {
             if let Err(e) =
@@ -413,7 +508,8 @@ impl QueryEngine {
         drop(epochs);
         let epochs = self.epochs.read();
         let epochs: &BTreeMap<u64, EpochRuntime> = &epochs;
-        let workers = opts.parallelism.min(union.len());
+        bump_phase(&self.phases.aggregate_ns, plan_start);
+        let workers = effective_workers(opts.parallelism).min(union.len());
         if workers > 1 {
             self.execute_union_parallel(
                 epochs,
@@ -434,6 +530,7 @@ impl QueryEngine {
         let mut accs: Vec<Accumulator> = queries.iter().map(|_| Accumulator::default()).collect();
         let mut fetched: Vec<usize> = vec![0; queries.len()];
         let mut decrypted: Vec<usize> = vec![0; queries.len()];
+        let mut memos: Vec<PlanMemo> = queries.iter().map(|_| PlanMemo::new()).collect();
 
         for (epoch_id, bin_idx) in union {
             let rt = epochs.get(&epoch_id).expect("planned epoch is registered");
@@ -450,13 +547,22 @@ impl QueryEngine {
                         }
                     }
                 }
-                Ok((key, rows)) => {
+                Ok(entry) => {
                     for (i, plan) in plans.iter_mut().enumerate() {
                         if !plan.as_ref().is_some_and(&interested) {
                             continue;
                         }
-                        fetched[i] += rows.len();
-                        match self.process_rows(&key, rt, &queries[i], &opts, &rows) {
+                        fetched[i] += entry.rows.len();
+                        match self.process_rows(
+                            entry.key.as_ref(),
+                            rt,
+                            entry.round,
+                            &queries[i],
+                            &opts,
+                            &entry.rows,
+                            &entry.decoded,
+                            &mut memos[i],
+                        ) {
                             Ok((bin_acc, d)) => {
                                 decrypted[i] += d;
                                 accs[i].merge(bin_acc);
@@ -476,6 +582,7 @@ impl QueryEngine {
         }
         self.store.mark_query_boundary();
 
+        let assemble_start = Instant::now();
         let mut out = Vec::with_capacity(queries.len());
         for (i, result) in results.into_iter().enumerate() {
             if let Some(r) = result {
@@ -492,15 +599,22 @@ impl QueryEngine {
                 epochs_touched: plan.epochs_touched,
             }));
         }
+        bump_phase(&self.phases.aggregate_ns, assemble_start);
         out
     }
 
     /// The parallel execution of a planned batch: stage 1 fetches and
     /// hash-chain-verifies every `(epoch, bin)` of `union` once across the
-    /// pool; stage 2 filters and aggregates each query's bins in ascending
-    /// bin order (the sequential order) from the shared fetch results.
+    /// pool, in per-worker *chunks* (contiguous slices of the union, sized
+    /// by `opts.fetch_chunk`, default one chunk per worker) so task-queue
+    /// traffic is per-chunk rather than per-bin; stage 2 filters and
+    /// aggregates each query's bins in ascending bin order (the sequential
+    /// order) from the shared fetch results. Both stages run on a **single**
+    /// scope: [`rayon::Scope::quiesce`] is the barrier between them, so the
+    /// pool's threads are spawned (and joined) once per batch, not once per
+    /// stage.
     ///
-    /// Each fetch task records storage accesses into a task-local observer;
+    /// Each chunk task records storage accesses into a task-local observer;
     /// the buffers are concatenated in `union` order and appended to the
     /// shared observer atomically, so the adversary-visible trace is
     /// event-for-event identical to the sequential loop.
@@ -523,37 +637,60 @@ impl QueryEngine {
             .build()
             .expect("the threadpool shim never fails to build");
 
-        // Stage 1: fetch + verify each union bin exactly once.
-        let mut fetches: Vec<Option<BinFetchOutcome>> = union.iter().map(|_| None).collect();
+        // `fetch_chunk == 0` means auto: slice the union evenly, one chunk
+        // per worker, so stage 1 enqueues exactly `workers` tasks.
+        let chunk_size = if opts.fetch_chunk == 0 {
+            union.len().div_ceil(workers)
+        } else {
+            opts.fetch_chunk
+        }
+        .max(1);
+
+        // One result slot per union bin (chunk tasks fill disjoint slices)
+        // and one event buffer per chunk, merged in chunk order below.
+        let fetches: Vec<OnceLock<Result<Arc<BinEntry>>>> =
+            union.iter().map(|_| OnceLock::new()).collect();
+        let buffers: Vec<Mutex<Vec<AccessEvent>>> = union
+            .chunks(chunk_size)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        let fetches = &fetches;
+        let buffers = &buffers;
+
         pool.scope(|s| {
-            for (slot, &(epoch_id, bin_idx)) in fetches.iter_mut().zip(union) {
+            // Stage 1: fetch + verify each union bin exactly once, one task
+            // per chunk. Each task reuses one observer for its whole chunk.
+            for (chunk_idx, chunk) in union.chunks(chunk_size).enumerate() {
                 s.spawn(move |_| {
-                    let rt = epochs.get(&epoch_id).expect("planned epoch is registered");
                     let local = AccessObserver::new();
                     let store = self.store.observed_by(local.clone());
-                    let result = self.fetch_bin_rows(&store, rt, bin_idx, opts);
-                    *slot = Some(BinFetchOutcome {
-                        result,
-                        events: local.take_events(),
-                    });
+                    for (offset, &(epoch_id, bin_idx)) in chunk.iter().enumerate() {
+                        let rt = epochs.get(&epoch_id).expect("planned epoch is registered");
+                        let result = self.fetch_bin_rows(&store, rt, bin_idx, opts);
+                        let slot = chunk_idx * chunk_size + offset;
+                        assert!(
+                            fetches[slot].set(result).is_ok(),
+                            "each union slot is filled exactly once"
+                        );
+                    }
+                    *buffers[chunk_idx].lock() = local.take_events();
                 });
             }
-        });
 
-        // Deterministic merge: task buffers in ascending (epoch, bin) order
-        // — the exact order the sequential loop records in — under a single
-        // observer lock acquisition.
-        let merged: Vec<_> = fetches
-            .iter_mut()
-            .flat_map(|outcome| {
-                std::mem::take(&mut outcome.as_mut().expect("stage 1 filled every slot").events)
-            })
-            .collect();
-        self.store.observer().record_batch(merged);
+            // Barrier: wait for stage 1 without tearing the pool down.
+            s.quiesce();
 
-        // Stage 2: per-query filter/aggregate over the shared fetch results.
-        let fetches = &fetches;
-        pool.scope(|s| {
+            // Deterministic merge: chunk buffers in ascending (epoch, bin)
+            // order — the exact order the sequential loop records in —
+            // under a single observer lock acquisition.
+            let merged: Vec<AccessEvent> = buffers
+                .iter()
+                .flat_map(|b| std::mem::take(&mut *b.lock()))
+                .collect();
+            self.store.observer().record_batch(merged);
+
+            // Stage 2: per-query filter/aggregate over the shared fetch
+            // results, on the same still-open scope.
             for ((result, plan), query) in results.iter_mut().zip(plans).zip(queries) {
                 if result.is_some() {
                     continue; // session or planning error
@@ -577,7 +714,7 @@ impl QueryEngine {
         &self,
         epochs: &BTreeMap<u64, EpochRuntime>,
         union: &[(u64, usize)],
-        fetches: &[Option<BinFetchOutcome>],
+        fetches: &[OnceLock<Result<Arc<BinEntry>>>],
         plan: &BinFetchPlan,
         query: &Query,
         opts: &ExecOptions,
@@ -585,18 +722,27 @@ impl QueryEngine {
         let mut acc = Accumulator::default();
         let mut fetched = 0usize;
         let mut decrypted = 0usize;
+        let mut memo = PlanMemo::new();
         for pair in &plan.bins {
             let idx = union
                 .binary_search(pair)
                 .expect("every planned bin is in the union");
-            let outcome = fetches[idx].as_ref().expect("stage 1 filled every slot");
-            let (key, rows) = match &outcome.result {
-                Ok(fetch) => fetch,
+            let entry = match fetches[idx].get().expect("stage 1 filled every slot") {
+                Ok(entry) => entry,
                 Err(e) => return Err(e.clone()),
             };
             let rt = epochs.get(&pair.0).expect("planned epoch is registered");
-            fetched += rows.len();
-            let (bin_acc, d) = self.process_rows(key, rt, query, opts, rows)?;
+            fetched += entry.rows.len();
+            let (bin_acc, d) = self.process_rows(
+                entry.key.as_ref(),
+                rt,
+                entry.round,
+                query,
+                opts,
+                &entry.rows,
+                &entry.decoded,
+                &mut memo,
+            )?;
             decrypted += d;
             acc.merge(bin_acc);
         }
@@ -652,6 +798,7 @@ impl QueryEngine {
         let mut fetched = 0usize;
         let mut decrypted = 0usize;
         let mut acc = Accumulator::default();
+        let mut memo = PlanMemo::new();
         self.fetch_and_process_bin(
             rt,
             bin_idx,
@@ -660,6 +807,7 @@ impl QueryEngine {
             &mut acc,
             &mut fetched,
             &mut decrypted,
+            &mut memo,
         )?;
         let verified = self.verification_active(&opts, rt);
         self.store.mark_query_boundary();
@@ -717,6 +865,7 @@ impl QueryEngine {
         let mut decrypted = 0usize;
         let mut verified = true;
         let mut epochs_touched = 0usize;
+        let mut memo = PlanMemo::new();
 
         for epoch_id in span {
             let rt = epochs.get_mut(&epoch_id).expect("registered epoch");
@@ -738,6 +887,7 @@ impl QueryEngine {
                                 &mut acc,
                                 &mut fetched,
                                 &mut decrypted,
+                                &mut memo,
                             )?;
                             bins_fetched.push(bin_idx);
                         }
@@ -776,6 +926,7 @@ impl QueryEngine {
                             &mut Accumulator::default(),
                             &mut fetched,
                             &mut decrypted,
+                            &mut memo,
                         )?;
                         bins_fetched.push(candidate);
                         rng = self.rng.lock();
@@ -878,7 +1029,7 @@ impl QueryEngine {
 
     fn grid_for(&self, rt: &EpochRuntime) -> Grid {
         let key = self.enclave.epoch_key(EpochId(rt.epoch_id), 0);
-        Grid::new(self.config.grid.clone(), rt.window, key.grid_prf)
+        Grid::new(self.config.grid.clone(), rt.window, key.grid_prf.clone())
     }
 
     /// The bins covering a range query's cells (BPB trivial method).
@@ -925,8 +1076,19 @@ impl QueryEngine {
         expanded
     }
 
-    /// Fetch one bin's rows (and hash-chain-verify them when verification
-    /// is active), returning the round key the rows are encrypted under.
+    /// Fetch one bin (and hash-chain-verify it when verification is
+    /// active), returning the cached-or-fresh [`BinEntry`] holding the
+    /// rows, their round key, and the lazily-filled decode results.
+    ///
+    /// Consults the decrypted-bin cache first. A warm hit replays the
+    /// cached trapdoors against the store
+    /// ([`EpochStore::fetch_batch_matches`]) — producing the exact
+    /// `TrapdoorIssued`/`RowFetched` event sequence a cold fetch would —
+    /// and replays the recorded generation counters into the shared
+    /// side-channel meter, so the cache is invisible in both adversary
+    /// channels (see [`crate::bin_cache`] module docs). What a hit skips is
+    /// enclave-internal work only: trapdoor re-derivation, hash-chain
+    /// re-verification and payload re-decryption.
     ///
     /// Takes the store handle explicitly so the parallel batch path can
     /// substitute a handle bound to a task-local observer (same stored
@@ -937,11 +1099,39 @@ impl QueryEngine {
         rt: &EpochRuntime,
         bin_idx: usize,
         opts: &ExecOptions,
-    ) -> Result<(EpochKey, Vec<EncryptedRow>)> {
+    ) -> Result<Arc<BinEntry>> {
         let round = rt.bin_rounds[bin_idx];
+        let oblivious = self.oblivious_enabled(opts);
+        let want_verify = self.verification_active(opts, rt);
+        let cache_key: BinKey = (rt.epoch_id, bin_idx, round);
+
+        if let Some(entry) = self.bin_cache.lookup(cache_key) {
+            // An entry is usable only if it was generated under the same
+            // oblivious schedule (its replayed counters must match this
+            // execution's) and satisfies this execution's verification
+            // demand (an unverified entry cannot vouch for a verifying
+            // fetch; a verified one serves either).
+            if entry.oblivious == oblivious && (entry.verified || !want_verify) {
+                let start = Instant::now();
+                let matched =
+                    store.fetch_batch_matches(rt.epoch_id, &entry.trapdoors, &entry.rows)?;
+                bump_phase(&self.phases.fetch_ns, start);
+                if matched {
+                    self.enclave.meter().add_snapshot(entry.gen_meter);
+                    self.bin_cache.record_hit();
+                    return Ok(entry);
+                }
+            }
+            // Stale profile, or the store's answer diverged from the cached
+            // rows (out-of-band rewrite or tampering): drop the entry and
+            // fall through to a cold fetch, whose verification surfaces any
+            // integrity violation.
+            self.bin_cache.invalidate(cache_key);
+        }
+
+        let fetch_start = Instant::now();
         let key = self.enclave.epoch_key(EpochId(rt.epoch_id), round);
         let bin = &rt.bin_plan.bins[bin_idx];
-
         let spec = FetchSpec {
             cells: bin
                 .cell_ids
@@ -950,25 +1140,45 @@ impl QueryEngine {
                 .collect(),
             fake_range: clamp_fake_range(bin.fake_range, rt.total_fakes),
         };
-        let meter = self.enclave.meter();
-        let trapdoors = if self.oblivious_enabled(opts) {
+        // Generate against a private meter so the exact counters this
+        // fetch produces can be replayed verbatim on warm hits; the shared
+        // meter receives the identical totals via the snapshot below.
+        let gen = SideChannelMeter::new();
+        let trapdoors = if oblivious {
             generate_oblivious(
-                &key,
+                key.as_ref(),
                 &spec,
                 rt.bin_plan.max_cells_per_bin(),
                 rt.c_tuple.iter().copied().max().unwrap_or(0),
                 rt.bin_plan.max_fakes_per_bin(),
-                meter,
+                &gen,
             )
         } else {
-            generate_plain(&key, &spec, meter)
+            generate_plain(key.as_ref(), &spec, &gen)
         };
+        let gen_meter = gen.snapshot();
+        self.enclave.meter().add_snapshot(gen_meter);
         let rows = store.fetch_batch(rt.epoch_id, &trapdoors)?;
+        bump_phase(&self.phases.fetch_ns, fetch_start);
 
-        if self.verification_active(opts, rt) {
-            self.verify_bin(rt, &key, &bin.cell_ids, &rows)?;
+        if want_verify {
+            let verify_start = Instant::now();
+            self.verify_bin(rt, key.as_ref(), &bin.cell_ids, &rows)?;
+            bump_phase(&self.phases.verify_ns, verify_start);
         }
-        Ok((key, rows))
+        self.bin_cache.record_miss();
+        let entry = Arc::new(BinEntry {
+            key,
+            round,
+            trapdoors,
+            gen_meter,
+            decoded: DecodedBin::new(rows.len()),
+            rows,
+            verified: want_verify,
+            oblivious,
+        });
+        self.bin_cache.insert(cache_key, Arc::clone(&entry));
+        Ok(entry)
     }
 
     /// Fetch one bin and fold its matching tuples into the accumulator.
@@ -982,17 +1192,31 @@ impl QueryEngine {
         acc: &mut Accumulator,
         fetched: &mut usize,
         decrypted: &mut usize,
+        memo: &mut PlanMemo,
     ) -> Result<()> {
-        let (key, rows) = self.fetch_bin_rows(&self.store, rt, bin_idx, opts)?;
-        *fetched += rows.len();
-        let (bin_acc, d) = self.process_rows(&key, rt, query, opts, &rows)?;
+        let entry = self.fetch_bin_rows(&self.store, rt, bin_idx, opts)?;
+        *fetched += entry.rows.len();
+        let (bin_acc, d) = self.process_rows(
+            entry.key.as_ref(),
+            rt,
+            entry.round,
+            query,
+            opts,
+            &entry.rows,
+            &entry.decoded,
+            memo,
+        )?;
         *decrypted += d;
         acc.merge(bin_acc);
         Ok(())
     }
 
     /// Group fetched rows by cell-id (via the authenticated index
-    /// plaintext) and verify each chain against its tag.
+    /// plaintext) and verify each chain against its tag. Index keys are
+    /// decrypted as one batch into a reused scratch arena — one allocation
+    /// for the whole bin instead of one per row; rows whose index key fails
+    /// authentication (fake tuples) come back as empty slots and are
+    /// skipped, exactly as the per-row path skipped decryption failures.
     fn verify_bin(
         &self,
         rt: &EpochRuntime,
@@ -1000,12 +1224,13 @@ impl QueryEngine {
         cell_ids: &[u32],
         rows: &[EncryptedRow],
     ) -> Result<()> {
+        let mut scratch = DetBuffer::with_capacity(rows.len(), 24);
+        key.det
+            .decrypt_batch(rows.iter().map(|r| r.index_key.as_slice()), &mut scratch);
         let mut per_cell: HashMap<u32, Vec<(u32, &EncryptedRow)>> = HashMap::new();
-        for row in rows {
-            if let Ok(plain) = key.det.decrypt(&row.index_key) {
-                if let Some((cid, counter)) = codec::decode_index_plain(&plain) {
-                    per_cell.entry(cid).or_default().push((counter, row));
-                }
+        for (row, plain) in rows.iter().zip(scratch.iter()) {
+            if let Some((cid, counter)) = plain.and_then(codec::decode_index_plain) {
+                per_cell.entry(cid).or_default().push((counter, row));
             }
         }
         for &cid in cell_ids {
@@ -1021,21 +1246,36 @@ impl QueryEngine {
         Ok(())
     }
 
+    /// Filter and aggregate one bin's rows for one query. The filter plan
+    /// is memoized per `(epoch, round)` in the caller-provided memo (plans
+    /// depend only on the round key, the config and the query, so every bin
+    /// of a round shares one plan), and per-row payload decodes go through
+    /// the bin's shared [`DecodedBin`] so each row is decrypted at most
+    /// once per entry lifetime regardless of how many queries visit it.
+    #[allow(clippy::too_many_arguments)]
     fn process_rows(
         &self,
         key: &EpochKey,
         rt: &EpochRuntime,
+        round: u64,
         query: &Query,
         opts: &ExecOptions,
         rows: &[EncryptedRow],
+        decoded: &DecodedBin,
+        memo: &mut PlanMemo,
     ) -> Result<(Accumulator, usize)> {
-        let plan: FilterPlan = build_filter_plan(key, &self.config, &query.predicate, rt.window);
+        let start = Instant::now();
+        let plan: &FilterPlan = memo
+            .entry((rt.epoch_id, round))
+            .or_insert_with(|| build_filter_plan(key, &self.config, &query.predicate, rt.window));
         let meter = self.enclave.meter();
-        if self.oblivious_enabled(opts) {
-            process_rows_oblivious(key, &plan, &query.aggregate, rows, meter)
+        let out = if self.oblivious_enabled(opts) {
+            process_rows_oblivious(key, plan, &query.aggregate, rows, decoded, meter)
         } else {
-            process_rows_plain(key, &plan, &query.aggregate, rows, meter)
-        }
+            process_rows_plain(key, plan, &query.aggregate, rows, decoded, meter)
+        };
+        bump_phase(&self.phases.decrypt_ns, start);
+        out
     }
 
     /// eBPB (§5.2): fetch exactly the cell-ids covering the range, padded to
@@ -1090,6 +1330,7 @@ impl QueryEngine {
         let mut fetched = 0usize;
         let mut decrypted = 0usize;
         let mut first = true;
+        let mut memo = PlanMemo::new();
         for (round, cells) in by_round {
             let key = self.enclave.epoch_key(EpochId(rt.epoch_id), round);
             let spec = FetchSpec {
@@ -1097,14 +1338,24 @@ impl QueryEngine {
                 fake_range: if first { (0, pad) } else { (0, 0) },
             };
             first = false;
-            let trapdoors = generate_plain(&key, &spec, self.enclave.meter());
+            let trapdoors = generate_plain(key.as_ref(), &spec, self.enclave.meter());
             let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
             fetched += rows.len();
             if self.verification_active(opts, rt) {
                 let cids_in_group: Vec<u32> = spec.cells.iter().map(|(c, _)| *c).collect();
-                self.verify_bin(rt, &key, &cids_in_group, &rows)?;
+                self.verify_bin(rt, key.as_ref(), &cids_in_group, &rows)?;
             }
-            let (group_acc, d) = self.process_rows(&key, rt, query, opts, &rows)?;
+            let decoded = DecodedBin::new(rows.len());
+            let (group_acc, d) = self.process_rows(
+                key.as_ref(),
+                rt,
+                round,
+                query,
+                opts,
+                &rows,
+                &decoded,
+                &mut memo,
+            )?;
             decrypted += d;
             acc.merge(group_acc);
         }
@@ -1186,6 +1437,7 @@ impl QueryEngine {
         let mut fetched = 0usize;
         let mut decrypted = 0usize;
         let mut first = true;
+        let mut memo = PlanMemo::new();
         for (round, cells) in by_round {
             let key = self.enclave.epoch_key(EpochId(rt.epoch_id), round);
             let spec = FetchSpec {
@@ -1197,14 +1449,24 @@ impl QueryEngine {
                 },
             };
             first = false;
-            let trapdoors = generate_plain(&key, &spec, self.enclave.meter());
+            let trapdoors = generate_plain(key.as_ref(), &spec, self.enclave.meter());
             let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
             fetched += rows.len();
             if self.verification_active(opts, rt) {
                 let cids_in_group: Vec<u32> = spec.cells.iter().map(|(c, _)| *c).collect();
-                self.verify_bin(rt, &key, &cids_in_group, &rows)?;
+                self.verify_bin(rt, key.as_ref(), &cids_in_group, &rows)?;
             }
-            let (group_acc, d) = self.process_rows(&key, rt, query, opts, &rows)?;
+            let decoded = DecodedBin::new(rows.len());
+            let (group_acc, d) = self.process_rows(
+                key.as_ref(),
+                rt,
+                round,
+                query,
+                opts,
+                &rows,
+                &decoded,
+                &mut memo,
+            )?;
             decrypted += d;
             acc.merge(group_acc);
         }
@@ -1274,13 +1536,13 @@ impl QueryEngine {
                 .collect(),
             fake_range: clamp_fake_range(bin.fake_range, rt.total_fakes),
         };
-        let trapdoors = generate_plain(&old_key, &spec, self.enclave.meter());
+        let trapdoors = generate_plain(old_key.as_ref(), &spec, self.enclave.meter());
         let rows = self.store.fetch_batch(rt.epoch_id, &trapdoors)?;
 
         let mut rng = self.rng.lock();
         let out = dynamic::reencrypt_bin(
-            &old_key,
-            &new_key,
+            old_key.as_ref(),
+            new_key.as_ref(),
             &rows,
             &bin.cell_ids,
             self.config.grid.num_cell_ids as usize,
@@ -1306,6 +1568,10 @@ impl QueryEngine {
             }
         }
         rt.bin_rounds[bin_idx] = old_round + 1;
+        // The new round key changes the cache key, so queries after the
+        // rewrite miss naturally; drop the superseded entry eagerly anyway
+        // to free enclave memory.
+        self.bin_cache.invalidate((rt.epoch_id, bin_idx, old_round));
         Ok(())
     }
 }
@@ -1481,6 +1747,29 @@ impl ConcealerSystem {
         self.engine.meter()
     }
 
+    /// Statistics of the enclave-side decrypted-bin cache.
+    #[must_use]
+    pub fn bin_cache_stats(&self) -> BinCacheStats {
+        self.engine.bin_cache_stats()
+    }
+
+    /// Resize the enclave-side decrypted-bin cache (`0` disables it). See
+    /// [`QueryEngine::set_bin_cache_capacity`].
+    pub fn set_bin_cache_capacity(&self, capacity: usize) {
+        self.engine.set_bin_cache_capacity(capacity);
+    }
+
+    /// Snapshot of the engine's per-phase wall-clock accumulators.
+    #[must_use]
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        self.engine.phase_breakdown()
+    }
+
+    /// Reset the engine's per-phase wall-clock accumulators.
+    pub fn reset_phases(&self) {
+        self.engine.reset_phases();
+    }
+
     /// The service-provider store.
     #[must_use]
     pub fn store(&self) -> &EpochStore {
@@ -1559,6 +1848,13 @@ mod tests {
                     && r.time <= t.1
             })
             .count() as u64
+    }
+
+    /// On single-core hosts the engine (correctly) caps the worker count
+    /// and runs parallel batches sequentially; tests of the pool machinery
+    /// force the requested count so it is exercised everywhere.
+    fn force_threads() {
+        std::env::set_var("CONCEALER_FORCE_THREADS", "1");
     }
 
     fn setup(oblivious: bool) -> (ConcealerSystem, UserHandle, Vec<Record>) {
@@ -1901,6 +2197,7 @@ mod tests {
 
     #[test]
     fn parallel_batch_matches_sequential_answers_and_trace() {
+        force_threads();
         let (system, user, records) = setup(false);
         let queries = parallel_test_queries(&records);
         let session = system
@@ -1936,6 +2233,7 @@ mod tests {
 
     #[test]
     fn par_execute_batch_matches_execute_batch() {
+        force_threads();
         let (system, user, records) = setup(false);
         let queries = parallel_test_queries(&records);
         let session = system
@@ -1950,6 +2248,7 @@ mod tests {
 
     #[test]
     fn parallel_batch_surfaces_per_query_errors_like_sequential() {
+        force_threads();
         let (system, user, _) = setup(false);
         let queries = vec![
             Query::count().at_dims([1]).between(0, 899),
@@ -1969,6 +2268,7 @@ mod tests {
         // and in parallel: both must fail the same queries with an
         // integrity violation (the per-query error is chosen by ascending
         // bin order, not thread timing).
+        force_threads();
         let (seq_sys, seq_user, records) = setup(false);
         let (par_sys, par_user, _) = setup(false);
         for system in [&seq_sys, &par_sys] {

@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod bin_cache;
 pub mod bins;
 pub mod codec;
 pub mod config;
@@ -94,9 +95,12 @@ pub mod verify;
 mod error;
 
 pub use api::{ExecOptions, IndexStats, SecureIndex, Session, SystemBuilder, BACKEND_ENV_VAR};
+pub use bin_cache::BinCacheStats;
 pub use bins::{Bin, BinPlan};
 pub use config::{FakeTupleStrategy, GridShape, SystemConfig};
-pub use engine::{ConcealerSystem, PlanStats, QueryEngine, RangeMethod, UserHandle, WinSecStats};
+pub use engine::{
+    ConcealerSystem, PhaseBreakdown, PlanStats, QueryEngine, RangeMethod, UserHandle, WinSecStats,
+};
 pub use error::CoreError;
 pub use grid::{CellCoord, Grid};
 pub use provider::{DataProvider, EpochShipment};

@@ -21,6 +21,7 @@
 //! [`SideChannelMeter`] so indistinguishability is testable.
 
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 use concealer_crypto::EpochKey;
 use concealer_enclave::oblivious::{oadd_if, oeq, omove};
@@ -53,6 +54,61 @@ pub struct FilterPlan {
     /// Whether token matching alone decides membership (true when the
     /// predicate pins the indexed attributes or the observation).
     pub token_decides: bool,
+}
+
+/// One row's decoded payload: `(dims, time, payload)` as stored by the
+/// provider.
+pub type DecodedRow = (Vec<u64>, u64, Vec<u64>);
+
+/// Per-row payload decode cache for one fetched bin.
+///
+/// Payload decryption is the dominant per-row cost of the filter stage, and
+/// a batch frequently runs several queries over the same fetched bin. The
+/// cache memoizes each row's decode outcome — `Some((dims, time, payload))`
+/// for a successfully authenticated row, `None` for a volume-hiding fake
+/// (whose payload fails authentication by design) — so the second query
+/// over a bin decrypts nothing.
+///
+/// The cache changes no observable behaviour: the side-channel meter's
+/// `decryptions` counter is driven by the *processing schedule* (which rows
+/// the variant would decrypt), not by whether the cache already holds the
+/// plaintext, so metered counts are identical warm and cold. Slots are
+/// [`OnceLock`]s, making concurrent filling from parallel per-query
+/// aggregation tasks safe. Decode *errors* (a corrupt but authentic
+/// payload) are deliberately not cached: they propagate to the caller and
+/// re-surface on every retry.
+#[derive(Debug, Default)]
+pub struct DecodedBin {
+    slots: Vec<OnceLock<Option<DecodedRow>>>,
+}
+
+impl DecodedBin {
+    /// An empty cache for a bin of `rows` rows.
+    #[must_use]
+    pub fn new(rows: usize) -> Self {
+        DecodedBin {
+            slots: (0..rows).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The memoized decode of row `idx`, computing it on first use.
+    /// `Ok(None)` marks a fake row (payload authentication failed).
+    fn get_or_decode(
+        &self,
+        idx: usize,
+        key: &EpochKey,
+        row: &EncryptedRow,
+    ) -> Result<Option<&DecodedRow>> {
+        let slot = &self.slots[idx];
+        if let Some(cached) = slot.get() {
+            return Ok(cached.as_ref());
+        }
+        let computed = match key.det.decrypt(&row.payload) {
+            Err(_) => None, // fake tuple: fails authentication by design
+            Ok(plain) => Some(codec::decode_payload_plain(&plain)?),
+        };
+        Ok(slot.get_or_init(|| computed).as_ref())
+    }
 }
 
 /// Build the filter plan for a predicate against one epoch window.
@@ -97,11 +153,16 @@ pub fn build_filter_plan(
 }
 
 /// Filter and aggregate the rows of one fetched bin (plain variant).
+///
+/// The metered `decryptions` count follows the processing schedule — one
+/// per row the plain variant decrypts — whether or not `decoded` already
+/// holds the plaintext, so warm and cold executions meter identically.
 pub fn process_rows_plain(
     key: &EpochKey,
     plan: &FilterPlan,
     aggregate: &Aggregate,
     rows: &[EncryptedRow],
+    decoded: &DecodedBin,
     meter: &SideChannelMeter,
 ) -> Result<(Accumulator, usize)> {
     let mut acc = Accumulator::default();
@@ -111,7 +172,7 @@ pub fn process_rows_plain(
     // `SideChannelMeter::add_snapshot`).
     let mut ops = MeterSnapshot::default();
 
-    for row in rows {
+    for (idx, row) in rows.iter().enumerate() {
         // Fake tuples never match any token and their payloads are not
         // decryptable; skip them cheaply by token mismatch / decrypt error.
         let token_match = row_matches_tokens(plan, row);
@@ -126,23 +187,25 @@ pub fn process_rows_plain(
         }
         // Need the payload: either the aggregate requires values, or the
         // predicate could not be decided by tokens alone.
-        let Ok(plain) = key.det.decrypt(&row.payload) else {
-            continue; // fake tuple
-        };
-        decrypted += 1;
-        ops.decryptions += 1;
-        let (dims, time, payload) = match codec::decode_payload_plain(&plain) {
-            Ok(decoded) => decoded,
+        let slot = match decoded.get_or_decode(idx, key, row) {
+            Ok(slot) => slot,
             Err(e) => {
-                // Flush the counters accumulated so far: the work *was*
+                // The decryption preceding the failed decode did succeed;
+                // flush the counters accumulated so far — the work *was*
                 // performed, and the meter is the side-channel model the
                 // security tests reason about.
+                ops.decryptions += 1;
                 meter.add_snapshot(ops);
                 return Err(e);
             }
         };
+        let Some((dims, time, payload)) = slot else {
+            continue; // fake tuple
+        };
+        decrypted += 1;
+        ops.decryptions += 1;
         if !plan.token_decides {
-            if time < plan.time_range.0 || time > plan.time_range.1 {
+            if *time < plan.time_range.0 || *time > plan.time_range.1 {
                 continue;
             }
             if let Some(obs) = plan.observation {
@@ -151,7 +214,7 @@ pub fn process_rows_plain(
                 }
             }
         }
-        fold_record(&mut acc, aggregate, &dims, &payload);
+        fold_record(&mut acc, aggregate, dims, payload);
     }
     meter.add_snapshot(ops);
     Ok((acc, decrypted))
@@ -165,6 +228,7 @@ pub fn process_rows_oblivious(
     plan: &FilterPlan,
     aggregate: &Aggregate,
     rows: &[EncryptedRow],
+    decoded: &DecodedBin,
     meter: &SideChannelMeter,
 ) -> Result<(Accumulator, usize)> {
     let mut acc = Accumulator::default();
@@ -175,7 +239,7 @@ pub fn process_rows_oblivious(
     // per token (see `SideChannelMeter::add_snapshot`).
     let mut ops = MeterSnapshot::default();
 
-    for row in rows {
+    for (idx, row) in rows.iter().enumerate() {
         ops.element_touches += 1;
         // Branch-free token matching: compare against every token.
         let mut dim_match = 0u64;
@@ -201,24 +265,24 @@ pub fn process_rows_oblivious(
         let mut matched = dim_ok & obs_ok;
 
         if needs_payload {
-            // Decrypt every row regardless of the match flag.
-            let plain = key.det.decrypt(&row.payload).ok();
+            // Every row is decrypted regardless of the match flag; the
+            // count is per-schedule, so a decode-cache hit meters the same.
             decrypted += 1;
             ops.decryptions += 1;
-            let Some(plain) = plain else {
-                // Fake rows fail authentication; they contribute nothing but
-                // the work above was already constant.
-                continue;
-            };
-            let (dims, time, payload) = match codec::decode_payload_plain(&plain) {
-                Ok(decoded) => decoded,
+            let slot = match decoded.get_or_decode(idx, key, row) {
+                Ok(slot) => slot,
                 Err(e) => {
                     meter.add_snapshot(ops);
                     return Err(e);
                 }
             };
+            let Some((dims, time, payload)) = slot else {
+                // Fake rows fail authentication; they contribute nothing but
+                // the work above was already constant.
+                continue;
+            };
             if !plan.token_decides {
-                let in_range = u64::from(time >= plan.time_range.0 && time <= plan.time_range.1);
+                let in_range = u64::from(*time >= plan.time_range.0 && *time <= plan.time_range.1);
                 let obs_ok = match plan.observation {
                     Some(obs) => oeq(payload.first().copied().unwrap_or(u64::MAX), obs),
                     None => 1,
@@ -226,7 +290,7 @@ pub fn process_rows_oblivious(
                 matched = in_range & obs_ok;
             }
             ops.cmoves += 4;
-            fold_record_oblivious(&mut acc, aggregate, &dims, &payload, matched);
+            fold_record_oblivious(&mut acc, aggregate, dims, payload, matched);
         } else {
             ops.cmoves += 1;
             acc.count = oadd_if(matched, acc.count, 1);
@@ -397,8 +461,15 @@ mod tests {
             time_end: 3599,
         };
         let plan = build_filter_plan(&key, &config(), &predicate, window());
-        let (acc, decrypted) =
-            process_rows_plain(&key, &plan, &Aggregate::Count, &rows, &meter).unwrap();
+        let (acc, decrypted) = process_rows_plain(
+            &key,
+            &plan,
+            &Aggregate::Count,
+            &rows,
+            &DecodedBin::new(rows.len()),
+            &meter,
+        )
+        .unwrap();
         assert_eq!(acc.count, 2);
         assert_eq!(decrypted, 0, "count queries must not decrypt");
     }
@@ -420,8 +491,15 @@ mod tests {
             time_end: 3599,
         };
         let plan = build_filter_plan(&key, &config(), &predicate, window());
-        let (acc, decrypted) =
-            process_rows_plain(&key, &plan, &Aggregate::Sum { attr: 0 }, &rows, &meter).unwrap();
+        let (acc, decrypted) = process_rows_plain(
+            &key,
+            &plan,
+            &Aggregate::Sum { attr: 0 },
+            &rows,
+            &DecodedBin::new(rows.len()),
+            &meter,
+        )
+        .unwrap();
         assert_eq!(acc.count, 2);
         assert_eq!(acc.sum, 30);
         assert_eq!(decrypted, 2);
@@ -445,7 +523,15 @@ mod tests {
         let plan = build_filter_plan(&key, &config(), &predicate, window());
         assert!(plan.dim_tokens.is_empty());
         assert!(!plan.obs_tokens.is_empty());
-        let (acc, _) = process_rows_plain(&key, &plan, &Aggregate::Count, &rows, &meter).unwrap();
+        let (acc, _) = process_rows_plain(
+            &key,
+            &plan,
+            &Aggregate::Count,
+            &rows,
+            &DecodedBin::new(rows.len()),
+            &meter,
+        )
+        .unwrap();
         assert_eq!(acc.count, 2);
     }
 
@@ -471,6 +557,7 @@ mod tests {
             &plan,
             &Aggregate::TopKLocations { k: 5 },
             &rows,
+            &DecodedBin::new(rows.len()),
             &meter,
         )
         .unwrap();
@@ -502,9 +589,24 @@ mod tests {
                 time_end: 3599,
             };
             let plan = build_filter_plan(&key, &config(), &predicate, window());
-            let (plain, _) = process_rows_plain(&key, &plan, &aggregate, &rows, &meter).unwrap();
-            let (obliv, _) =
-                process_rows_oblivious(&key, &plan, &aggregate, &rows, &meter).unwrap();
+            let (plain, _) = process_rows_plain(
+                &key,
+                &plan,
+                &aggregate,
+                &rows,
+                &DecodedBin::new(rows.len()),
+                &meter,
+            )
+            .unwrap();
+            let (obliv, _) = process_rows_oblivious(
+                &key,
+                &plan,
+                &aggregate,
+                &rows,
+                &DecodedBin::new(rows.len()),
+                &meter,
+            )
+            .unwrap();
             assert_eq!(plain.count, obliv.count, "{aggregate:?}");
             assert_eq!(plain.sum, obliv.sum, "{aggregate:?}");
             assert_eq!(
@@ -531,9 +633,15 @@ mod tests {
             time_end: 3599,
         };
         let plan = build_filter_plan(&key, &config(), &predicate, window());
-        let (_, decrypted) =
-            process_rows_oblivious(&key, &plan, &Aggregate::Sum { attr: 0 }, &rows, &meter)
-                .unwrap();
+        let (_, decrypted) = process_rows_oblivious(
+            &key,
+            &plan,
+            &Aggregate::Sum { attr: 0 },
+            &rows,
+            &DecodedBin::new(rows.len()),
+            &meter,
+        )
+        .unwrap();
         assert_eq!(decrypted, 3);
     }
 
@@ -556,14 +664,90 @@ mod tests {
             )
         };
         let (_, d1) = meter.measure(|| {
-            process_rows_oblivious(&key, &mk_plan(0), &Aggregate::Count, &rows, &meter).unwrap()
+            process_rows_oblivious(
+                &key,
+                &mk_plan(0),
+                &Aggregate::Count,
+                &rows,
+                &DecodedBin::new(rows.len()),
+                &meter,
+            )
+            .unwrap()
         });
         let (_, d2) = meter.measure(|| {
-            process_rows_oblivious(&key, &mk_plan(3), &Aggregate::Count, &rows, &meter).unwrap()
+            process_rows_oblivious(
+                &key,
+                &mk_plan(3),
+                &Aggregate::Count,
+                &rows,
+                &DecodedBin::new(rows.len()),
+                &meter,
+            )
+            .unwrap()
         });
         assert_eq!(d1.element_touches, d2.element_touches);
         assert_eq!(d1.comparisons, d2.comparisons);
         assert_eq!(d1.decryptions, d2.decryptions);
+    }
+
+    #[test]
+    fn decode_cache_reuse_preserves_answers_and_meter_counts() {
+        let key = key();
+        let meter = SideChannelMeter::new();
+        let rows = vec![
+            real_row(&key, 3, 100, 10),
+            real_row(&key, 3, 200, 20),
+            real_row(&key, 4, 100, 30),
+            fake_row(&key),
+        ];
+        let predicate = Predicate::Range {
+            dims: Some(vec![3]),
+            observation: None,
+            time_start: 0,
+            time_end: 3599,
+        };
+        let plan = build_filter_plan(&key, &config(), &predicate, window());
+        let shared = DecodedBin::new(rows.len());
+        for variant in ["plain", "oblivious"] {
+            let run = |decoded: &DecodedBin| {
+                meter.measure(|| {
+                    if variant == "plain" {
+                        process_rows_plain(
+                            &key,
+                            &plan,
+                            &Aggregate::Sum { attr: 0 },
+                            &rows,
+                            decoded,
+                            &meter,
+                        )
+                        .unwrap()
+                    } else {
+                        process_rows_oblivious(
+                            &key,
+                            &plan,
+                            &Aggregate::Sum { attr: 0 },
+                            &rows,
+                            decoded,
+                            &meter,
+                        )
+                        .unwrap()
+                    }
+                })
+            };
+            let ((cold_acc, cold_d), cold_ops) = run(&shared);
+            // Second pass over the same DecodedBin: every slot is already
+            // filled, yet results and metered counters must be identical.
+            let ((warm_acc, warm_d), warm_ops) = run(&shared);
+            assert_eq!(cold_acc.count, warm_acc.count, "{variant}");
+            assert_eq!(cold_acc.sum, warm_acc.sum, "{variant}");
+            assert_eq!(cold_d, warm_d, "{variant}");
+            assert_eq!(cold_ops, warm_ops, "{variant} meter counters");
+            // And both match a cache-free execution.
+            let ((fresh_acc, fresh_d), fresh_ops) = run(&DecodedBin::new(rows.len()));
+            assert_eq!(fresh_acc.sum, warm_acc.sum, "{variant}");
+            assert_eq!(fresh_d, warm_d, "{variant}");
+            assert_eq!(fresh_ops, warm_ops, "{variant} meter counters");
+        }
     }
 
     #[test]

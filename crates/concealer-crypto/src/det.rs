@@ -35,6 +35,73 @@ use crate::{CryptoError, Result};
 /// Length of the synthetic IV prepended to every DET ciphertext.
 pub const SIV_SIZE: usize = BLOCK_SIZE;
 
+/// A reusable arena for batched DET operations over one bin.
+///
+/// All outputs of an [`DeterministicCipher::encrypt_batch`] /
+/// [`DeterministicCipher::decrypt_batch`] call live in one contiguous
+/// backing buffer instead of one heap allocation per row; per-item slices
+/// are addressed through an index table. Reusing the arena across bins
+/// (it is cleared, not shrunk, at the start of every batch call) makes the
+/// steady-state fetch path allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct DetBuffer {
+    data: Vec<u8>,
+    /// `(offset, len)` into `data` per item; `None` marks an item whose
+    /// decryption failed (authentication failure or malformed ciphertext).
+    slots: Vec<Option<(usize, usize)>>,
+}
+
+impl DetBuffer {
+    /// A fresh, empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An arena pre-sized for `items` outputs of roughly `bytes_per_item`
+    /// bytes each.
+    #[must_use]
+    pub fn with_capacity(items: usize, bytes_per_item: usize) -> Self {
+        DetBuffer {
+            data: Vec::with_capacity(items * bytes_per_item),
+            slots: Vec::with_capacity(items),
+        }
+    }
+
+    /// Drop all items but keep the backing allocations.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.slots.clear();
+    }
+
+    /// Number of items (including failed decryptions) in the arena.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the arena holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The bytes of item `idx`, or `None` if the item failed to decrypt or
+    /// `idx` is out of range.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Option<&[u8]> {
+        let (off, len) = (*self.slots.get(idx)?)?;
+        Some(&self.data[off..off + len])
+    }
+
+    /// Iterate over the items in insertion order (`None` for failures).
+    pub fn iter(&self) -> impl Iterator<Item = Option<&[u8]>> {
+        self.slots
+            .iter()
+            .map(|slot| slot.map(|(off, len)| &self.data[off..off + len]))
+    }
+}
+
 /// Deterministic authenticated cipher (AES-CMAC-SIV).
 #[derive(Clone)]
 pub struct DeterministicCipher {
@@ -65,16 +132,31 @@ impl DeterministicCipher {
     /// with the same key and plaintext yields byte-identical output.
     #[must_use]
     pub fn encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
-        let siv = self.cmac.mac(plaintext);
         let mut out = Vec::with_capacity(SIV_SIZE + plaintext.len());
+        self.encrypt_into(plaintext, &mut out);
+        out
+    }
+
+    /// Deterministically encrypt `plaintext`, appending `siv || ciphertext`
+    /// to `out` instead of allocating. Byte-identical to [`Self::encrypt`].
+    pub fn encrypt_into(&self, plaintext: &[u8], out: &mut Vec<u8>) {
+        let siv = self.cmac.mac(plaintext);
+        let start = out.len();
         out.extend_from_slice(&siv);
         out.extend_from_slice(plaintext);
-        self.keystream_xor(&siv, &mut out[SIV_SIZE..]);
-        out
+        self.keystream_xor(&siv, &mut out[start + SIV_SIZE..]);
     }
 
     /// Decrypt and authenticate a ciphertext produced by [`Self::encrypt`].
     pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(ciphertext.len().saturating_sub(SIV_SIZE));
+        self.decrypt_into(ciphertext, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decrypt and authenticate, appending the plaintext to `out` instead of
+    /// allocating. On error `out` is left exactly as it was passed in.
+    pub fn decrypt_into(&self, ciphertext: &[u8], out: &mut Vec<u8>) -> Result<()> {
         if ciphertext.len() < SIV_SIZE {
             return Err(CryptoError::MalformedCiphertext {
                 reason: "shorter than synthetic IV",
@@ -82,13 +164,55 @@ impl DeterministicCipher {
         }
         let (siv_bytes, body) = ciphertext.split_at(SIV_SIZE);
         let siv: [u8; SIV_SIZE] = siv_bytes.try_into().expect("checked length");
-        let mut plaintext = body.to_vec();
-        self.keystream_xor(&siv, &mut plaintext);
-        let expected = self.cmac.mac(&plaintext);
+        let start = out.len();
+        out.extend_from_slice(body);
+        self.keystream_xor(&siv, &mut out[start..]);
+        let expected = self.cmac.mac(&out[start..]);
         if !crate::ct_eq(&expected, &siv) {
+            out.truncate(start);
             return Err(CryptoError::AuthenticationFailed);
         }
-        Ok(plaintext)
+        Ok(())
+    }
+
+    /// Encrypt a whole bin of plaintexts into one arena: equivalent to
+    /// calling [`Self::encrypt`] per item (byte-for-byte, in order) but with
+    /// all outputs packed into `out`'s backing buffer. `out` is cleared
+    /// first, so an arena can be reused across bins without reallocating.
+    pub fn encrypt_batch<'a, I>(&self, plaintexts: I, out: &mut DetBuffer)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        out.clear();
+        for plaintext in plaintexts {
+            let start = out.data.len();
+            self.encrypt_into(plaintext, &mut out.data);
+            out.slots.push(Some((start, out.data.len() - start)));
+        }
+    }
+
+    /// Decrypt a whole bin of ciphertexts into one arena. Per-item results
+    /// match [`Self::decrypt`] exactly: successfully authenticated
+    /// plaintexts appear byte-for-byte at their item index, failures (of
+    /// either kind) become `None` slots. Returns the number of failures.
+    /// `out` is cleared first, so an arena can be reused across bins.
+    pub fn decrypt_batch<'a, I>(&self, ciphertexts: I, out: &mut DetBuffer) -> usize
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        out.clear();
+        let mut failures = 0usize;
+        for ciphertext in ciphertexts {
+            let start = out.data.len();
+            match self.decrypt_into(ciphertext, &mut out.data) {
+                Ok(()) => out.slots.push(Some((start, out.data.len() - start))),
+                Err(_) => {
+                    failures += 1;
+                    out.slots.push(None);
+                }
+            }
+        }
+        failures
     }
 
     /// Produce a *searchable token* for `plaintext`: the deterministic
@@ -189,6 +313,66 @@ mod tests {
         assert_eq!(c.token(b"cid7||3"), c.encrypt(b"cid7||3"));
     }
 
+    #[test]
+    fn empty_batch_yields_empty_arena() {
+        let c = cipher();
+        let mut buf = DetBuffer::new();
+        c.encrypt_batch(std::iter::empty(), &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        assert_eq!(c.decrypt_batch(std::iter::empty(), &mut buf), 0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.get(0), None);
+    }
+
+    #[test]
+    fn single_row_batch_equals_per_row() {
+        let c = cipher();
+        let msg = b"one lonely tuple".as_slice();
+        let mut buf = DetBuffer::new();
+        c.encrypt_batch([msg], &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.get(0).unwrap(), c.encrypt(msg).as_slice());
+        let ct = c.encrypt(msg);
+        let mut plain = DetBuffer::new();
+        assert_eq!(c.decrypt_batch([ct.as_slice()], &mut plain), 0);
+        assert_eq!(plain.get(0).unwrap(), msg);
+    }
+
+    #[test]
+    fn decrypt_batch_marks_failures_without_poisoning_neighbors() {
+        let c = cipher();
+        let good = c.encrypt(b"survives");
+        let mut tampered = c.encrypt(b"tampered row");
+        tampered[SIV_SIZE + 1] ^= 0x80;
+        let short = vec![0u8; 3];
+        let mut buf = DetBuffer::new();
+        let failures = c.decrypt_batch(
+            [good.as_slice(), tampered.as_slice(), short.as_slice()],
+            &mut buf,
+        );
+        assert_eq!(failures, 2);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.get(0).unwrap(), b"survives");
+        assert_eq!(buf.get(1), None);
+        assert_eq!(buf.get(2), None);
+    }
+
+    #[test]
+    fn decrypt_into_failure_leaves_out_untouched() {
+        let c = cipher();
+        let mut out = b"prefix".to_vec();
+        let mut ct = c.encrypt(b"payload");
+        ct[0] ^= 1;
+        assert_eq!(
+            c.decrypt_into(&ct, &mut out),
+            Err(CryptoError::AuthenticationFailed)
+        );
+        assert_eq!(out, b"prefix");
+        c.decrypt_into(&c.encrypt(b"payload"), &mut out).unwrap();
+        assert_eq!(out, b"prefixpayload");
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..512)) {
@@ -211,6 +395,64 @@ mod tests {
             prop_assume!(a != b);
             let c = cipher();
             prop_assert_ne!(c.encrypt(&a), c.encrypt(&b));
+        }
+
+        /// Batched encryption over a bin equals the per-row calls
+        /// byte-for-byte, including the empty-bin and single-row edges
+        /// (the generator's length range covers both).
+        #[test]
+        fn prop_encrypt_batch_equals_per_row(
+            bin in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..96), 0..24),
+        ) {
+            let c = cipher();
+            let mut buf = DetBuffer::new();
+            c.encrypt_batch(bin.iter().map(Vec::as_slice), &mut buf);
+            prop_assert_eq!(buf.len(), bin.len());
+            for (i, msg) in bin.iter().enumerate() {
+                prop_assert_eq!(buf.get(i).unwrap(), c.encrypt(msg).as_slice());
+            }
+        }
+
+        /// Batched decryption equals the per-row calls, item by item —
+        /// successes byte-for-byte, failures in the same positions — even
+        /// with tampered rows mixed in, and across arena reuse.
+        #[test]
+        fn prop_decrypt_batch_equals_per_row(
+            bin in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..96), 0..24),
+            tamper_mask in any::<u32>(),
+        ) {
+            let c = cipher();
+            let cts: Vec<Vec<u8>> = bin
+                .iter()
+                .enumerate()
+                .map(|(i, msg)| {
+                    let mut ct = c.encrypt(msg);
+                    if tamper_mask & (1 << (i % 32)) != 0 {
+                        let idx = SIV_SIZE % ct.len();
+                        ct[idx] ^= 0x55;
+                    }
+                    ct
+                })
+                .collect();
+            let mut buf = DetBuffer::new();
+            // Prime the arena with junk first: a reused arena must not leak
+            // bytes from the previous batch into this one.
+            c.encrypt_batch([b"junk from a previous bin".as_slice()], &mut buf);
+            let failures = c.decrypt_batch(cts.iter().map(Vec::as_slice), &mut buf);
+            prop_assert_eq!(buf.len(), cts.len());
+            let mut expected_failures = 0usize;
+            for (i, ct) in cts.iter().enumerate() {
+                match c.decrypt(ct) {
+                    Ok(plain) => prop_assert_eq!(buf.get(i).unwrap(), plain.as_slice()),
+                    Err(_) => {
+                        expected_failures += 1;
+                        prop_assert_eq!(buf.get(i), None);
+                    }
+                }
+            }
+            prop_assert_eq!(failures, expected_failures);
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod sha256;
 
 mod error;
 
+pub use det::{DetBuffer, DeterministicCipher};
 pub use error::CryptoError;
 pub use keys::{EpochId, EpochKey, MasterKey};
 

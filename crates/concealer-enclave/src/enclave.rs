@@ -47,6 +47,10 @@ impl EnclaveConfig {
     }
 }
 
+/// Derived epoch keys, memoized by `(epoch, round)` and shared across
+/// enclave clones.
+type KeyCache = Arc<parking_lot::Mutex<std::collections::HashMap<(u64, u64), Arc<EpochKey>>>>;
+
 /// The simulated SGX enclave provisioned by the data provider.
 #[derive(Clone)]
 pub struct Enclave {
@@ -54,7 +58,18 @@ pub struct Enclave {
     registry: Arc<RwLock<UserRegistry>>,
     config: EnclaveConfig,
     meter: SideChannelMeter,
+    /// Derived epoch keys, memoized by `(epoch, round)`. Key derivation is
+    /// seven HMAC invocations plus three AES key schedules; the query path
+    /// needs the same handful of keys for every bin it touches, so the
+    /// cache turns a per-fetch KDF into a map lookup. Enclave-resident
+    /// state only — nothing the adversary observes depends on it. Shared
+    /// across clones (like the registry and the meter).
+    key_cache: KeyCache,
 }
+
+/// Cap on memoized epoch keys; reaching it clears the map (keys re-derive
+/// on demand, so eviction is only a memory bound, never a correctness one).
+const KEY_CACHE_CAP: usize = 512;
 
 impl std::fmt::Debug for Enclave {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -77,6 +92,7 @@ impl Enclave {
             registry: Arc::new(RwLock::new(registry)),
             config,
             meter: SideChannelMeter::new(),
+            key_cache: Arc::new(parking_lot::Mutex::new(std::collections::HashMap::new())),
         }
     }
 
@@ -105,10 +121,21 @@ impl Enclave {
 
     /// Derive the key material for an epoch at a given re-encryption round.
     /// Only meaningful inside the trusted region; `concealer-core` calls
-    /// this to build trapdoors and to decrypt fetched tuples.
+    /// this to build trapdoors and to decrypt fetched tuples. Derivations
+    /// are memoized per `(epoch, round)`, so repeated calls on the query
+    /// path cost a map lookup, not a KDF run.
     #[must_use]
-    pub fn epoch_key(&self, epoch: EpochId, round_counter: u64) -> EpochKey {
-        self.master.epoch_key(epoch, round_counter)
+    pub fn epoch_key(&self, epoch: EpochId, round_counter: u64) -> Arc<EpochKey> {
+        let mut cache = self.key_cache.lock();
+        if let Some(key) = cache.get(&(epoch.0, round_counter)) {
+            return Arc::clone(key);
+        }
+        if cache.len() >= KEY_CACHE_CAP {
+            cache.clear();
+        }
+        let key = Arc::new(self.master.epoch_key(epoch, round_counter));
+        cache.insert((epoch.0, round_counter), Arc::clone(&key));
+        key
     }
 
     /// Access the master key for DP-side simulation code (the data provider

@@ -231,14 +231,78 @@ impl EpochStore {
     /// Execute a batch of trapdoors (one bin fetch). Rows are returned in
     /// trapdoor order; misses are silently skipped, as a DBMS `IN (...)`
     /// predicate would.
+    ///
+    /// The whole batch runs under a single backend access and its events
+    /// are appended to the observer in one [`AccessObserver::record_batch`]
+    /// call — per trapdoor this is the same event sequence
+    /// [`Self::fetch_by_trapdoor`] records (`TrapdoorIssued`, then
+    /// `RowFetched` on a hit), just without re-locking per row.
     pub fn fetch_batch(&self, epoch_id: u64, trapdoors: &[Vec<u8>]) -> Result<Vec<EncryptedRow>> {
         let mut out = Vec::with_capacity(trapdoors.len());
-        for t in trapdoors {
-            if let Some(row) = self.fetch_by_trapdoor(epoch_id, t)? {
-                out.push(row);
+        let mut events = Vec::with_capacity(trapdoors.len() * 2);
+        self.backend.with_epoch(epoch_id, &mut |epoch| {
+            for t in trapdoors {
+                let hit = epoch.table.lookup(t);
+                events.push(AccessEvent::TrapdoorIssued {
+                    epoch_id,
+                    trapdoor_len: t.len(),
+                    hit: hit.is_some(),
+                });
+                if let Some((row_id, row)) = hit {
+                    events.push(AccessEvent::RowFetched {
+                        epoch_id,
+                        row_id,
+                        bytes: row.byte_size(),
+                    });
+                    out.push(row.clone());
+                }
             }
-        }
+        })?;
+        self.observer.record_batch(events);
         Ok(out)
+    }
+
+    /// Re-execute a batch of trapdoors and compare the hits against
+    /// `expected` **without cloning any row**. The adversary-observable
+    /// events are exactly those of [`Self::fetch_batch`] with the same
+    /// trapdoors; only the enclave-side copy is skipped. Returns `true`
+    /// when the fetched rows equal `expected` exactly (same rows, same
+    /// order, same count).
+    ///
+    /// This is the warm half of the engine's decrypted-bin cache: a cache
+    /// hit still drives the full fetch through the untrusted store — so the
+    /// trace cannot reveal the cache — and only reuses the enclave-side
+    /// plaintext when the provider returned bit-identical rows.
+    pub fn fetch_batch_matches(
+        &self,
+        epoch_id: u64,
+        trapdoors: &[Vec<u8>],
+        expected: &[EncryptedRow],
+    ) -> Result<bool> {
+        let mut events = Vec::with_capacity(trapdoors.len() * 2);
+        let mut matched = 0usize;
+        let mut same = true;
+        self.backend.with_epoch(epoch_id, &mut |epoch| {
+            for t in trapdoors {
+                let hit = epoch.table.lookup(t);
+                events.push(AccessEvent::TrapdoorIssued {
+                    epoch_id,
+                    trapdoor_len: t.len(),
+                    hit: hit.is_some(),
+                });
+                if let Some((row_id, row)) = hit {
+                    events.push(AccessEvent::RowFetched {
+                        epoch_id,
+                        row_id,
+                        bytes: row.byte_size(),
+                    });
+                    same = same && expected.get(matched) == Some(row);
+                    matched += 1;
+                }
+            }
+        })?;
+        self.observer.record_batch(events);
+        Ok(same && matched == expected.len())
     }
 
     /// Read an entire epoch segment (full scan), as the Opaque-style
@@ -455,6 +519,59 @@ mod tests {
         let trapdoors = vec![vec![1, 0, 2], vec![8, 8, 8], vec![1, 0, 3]];
         let rows = store.fetch_batch(1, &trapdoors).unwrap();
         assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn fetch_batch_events_equal_per_trapdoor_fetches() {
+        let trapdoors = vec![vec![1, 0, 2], vec![8, 8, 8], vec![1, 0, 3]];
+
+        let per_row = EpochStore::new();
+        per_row
+            .ingest_epoch(1, sample_epoch(10, 1), EpochMetadata::default())
+            .unwrap();
+        per_row.observer().reset();
+        for t in &trapdoors {
+            let _ = per_row.fetch_by_trapdoor(1, t).unwrap();
+        }
+
+        let batched = EpochStore::new();
+        batched
+            .ingest_epoch(1, sample_epoch(10, 1), EpochMetadata::default())
+            .unwrap();
+        batched.observer().reset();
+        batched.fetch_batch(1, &trapdoors).unwrap();
+
+        assert_eq!(batched.observer().trace(), per_row.observer().trace());
+    }
+
+    #[test]
+    fn fetch_batch_matches_replays_the_exact_fetch_trace() {
+        let store = EpochStore::new();
+        store
+            .ingest_epoch(1, sample_epoch(10, 1), EpochMetadata::default())
+            .unwrap();
+        let trapdoors = vec![vec![1, 0, 2], vec![8, 8, 8], vec![1, 0, 3]];
+        store.observer().reset();
+        let rows = store.fetch_batch(1, &trapdoors).unwrap();
+        let cold_trace = store.observer().take_events();
+
+        assert!(store.fetch_batch_matches(1, &trapdoors, &rows).unwrap());
+        assert_eq!(
+            store.observer().take_events(),
+            cold_trace,
+            "warm replay must be event-for-event identical to the cold fetch"
+        );
+
+        // Any divergence between stored rows and the expectation is flagged.
+        let mut tampered = rows.clone();
+        tampered[0].payload[0] ^= 1;
+        assert!(!store.fetch_batch_matches(1, &trapdoors, &tampered).unwrap());
+        assert!(!store
+            .fetch_batch_matches(1, &trapdoors, &rows[..1])
+            .unwrap());
+        let mut extra = rows.clone();
+        extra.push(row(&[9, 9, 9], 9));
+        assert!(!store.fetch_batch_matches(1, &trapdoors, &extra).unwrap());
     }
 
     #[test]

@@ -147,6 +147,45 @@ impl<'env> Scope<'_, 'env> {
         drop(state);
         self.shared.work_available.notify_one();
     }
+
+    /// Stage barrier (a shim extension, not in upstream rayon): block until
+    /// every task spawned on this scope so far — including tasks those
+    /// tasks spawned — has finished, then return, with the scope still open
+    /// for further `spawn` calls.
+    ///
+    /// The calling thread participates: it drains queued tasks instead of
+    /// sleeping while work remains, so a single-threaded pool quiesces
+    /// without any worker. This lets a scope body run *staged* fan-outs
+    /// (spawn stage 1, `quiesce`, inspect the results, spawn stage 2) in
+    /// one `scope` call — one round of worker threads instead of one per
+    /// stage.
+    pub fn quiesce(&self) {
+        loop {
+            let task = {
+                let mut state = self.shared.lock_state();
+                loop {
+                    if let Some(task) = state.queue.pop_front() {
+                        break Some(task);
+                    }
+                    if state.pending == 0 {
+                        break None;
+                    }
+                    // Tasks are still running on workers; wait for the
+                    // last TaskGuard's wake-up (or for work they spawn).
+                    state = self
+                        .shared
+                        .work_available
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let Some(task) = task else {
+                return;
+            };
+            let _completion = TaskGuard(self.shared);
+            task(self);
+        }
+    }
 }
 
 impl std::fmt::Debug for Scope<'_, '_> {
@@ -197,7 +236,10 @@ impl Drop for TaskGuard<'_, '_> {
     fn drop(&mut self) {
         let mut state = self.0.lock_state();
         state.pending -= 1;
-        let all_done = state.body_done && state.pending == 0;
+        // Wake everyone whenever the pool drains, not only once the body
+        // finished: a thread blocked in `Scope::quiesce` waits for exactly
+        // this `pending == 0` transition while the body is still running.
+        let all_done = state.pending == 0;
         drop(state);
         if all_done {
             self.0.work_available.notify_all();
@@ -308,6 +350,60 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn quiesce_is_a_stage_barrier() {
+        let stage1 = AtomicUsize::new(0);
+        let stage2 = AtomicUsize::new(0);
+        pool(3).scope(|s| {
+            for _ in 0..50 {
+                s.spawn(|_| {
+                    stage1.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            s.quiesce();
+            // Every stage-1 task has fully finished before quiesce returns.
+            assert_eq!(stage1.load(Ordering::SeqCst), 50);
+            for _ in 0..50 {
+                s.spawn(|_| {
+                    // Stage-1 work can never observe stage-2 increments, so
+                    // the converse also holds: stage 2 started from 50.
+                    assert_eq!(stage1.load(Ordering::SeqCst), 50);
+                    stage2.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(stage2.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn quiesce_waits_for_nested_spawns_and_single_thread_pools() {
+        for threads in [1, 4] {
+            let counter = AtomicUsize::new(0);
+            pool(threads).scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|inner| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        inner.spawn(|_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                    });
+                }
+                s.quiesce();
+                assert_eq!(counter.load(Ordering::SeqCst), 16, "threads={threads}");
+            });
+        }
+    }
+
+    #[test]
+    fn quiesce_on_an_idle_scope_returns_immediately() {
+        pool(2).scope(|s| {
+            s.quiesce();
+            s.quiesce();
+            s.spawn(|_| {});
+            s.quiesce();
+        });
     }
 
     #[test]

@@ -57,6 +57,9 @@ proptest! {
     /// for the sequential batch path *and* the thread-pool path.
     #[test]
     fn batch_answers_equal_sequential(seed in 0u64..1_000, len in 1usize..12) {
+        // Force the pool even on single-core hosts, where the engine would
+        // otherwise (correctly) fall back to the sequential loop.
+        std::env::set_var("CONCEALER_FORCE_THREADS", "1");
         let (system, user, _) = shared_system();
         let session = system
             .session(user)
@@ -74,19 +77,31 @@ proptest! {
             .collect();
         prop_assert_eq!(&batched, &sequential);
 
-        let parallel: Vec<QueryAnswer> = system
-            .session(user)
-            .with_options(ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(4))
-            .execute_batch(&queries)
-            .into_iter()
-            .map(|r| r.expect("parallel batched execute"))
-            .collect();
-        prop_assert_eq!(&parallel, &sequential);
+        // The thread-pool path at every interesting fetch-stage chunk size:
+        // single-bin chunks, tiny chunks, auto (one chunk per worker), and
+        // one chunk swallowing the whole union.
+        for fetch_chunk in [1usize, 2, 0, usize::MAX] {
+            let parallel: Vec<QueryAnswer> = system
+                .session(user)
+                .with_options(
+                    ExecOptions::with_method(RangeMethod::Bpb)
+                        .with_parallelism(4)
+                        .with_fetch_chunk(fetch_chunk),
+                )
+                .execute_batch(&queries)
+                .into_iter()
+                .map(|r| r.expect("parallel batched execute"))
+                .collect();
+            prop_assert_eq!(&parallel, &sequential, "fetch_chunk={}", fetch_chunk);
+        }
     }
 }
 
 #[test]
 fn batch_of_32_fetches_strictly_less_with_identical_answers_and_trace_union() {
+    // Force the pool even on single-core hosts, where the engine would
+    // otherwise (correctly) fall back to the sequential loop.
+    std::env::set_var("CONCEALER_FORCE_THREADS", "1");
     let (system, user, _records) = demo_system(2, 402);
     let workload = QueryWorkload {
         locations: 30,
@@ -154,31 +169,45 @@ fn batch_of_32_fetches_strictly_less_with_identical_answers_and_trace_union() {
     );
     assert_eq!(batch_summary.rows_fetched, sequential_union.len());
 
-    // The thread-pool path satisfies the exact same contract: identical
-    // answers, row set = union, no duplicate fetches — and, because worker
-    // traces are merged back in ascending bin order, the event-level trace
-    // equals the sequential batch trace too.
+    // The thread-pool path satisfies the exact same contract at every
+    // fetch-stage chunk size — single-bin chunks, tiny chunks, auto (one
+    // chunk per worker) and one whole-union chunk: identical answers, row
+    // set = union, no duplicate fetches — and, because chunk traces are
+    // merged back in ascending bin order, the event-level trace equals the
+    // sequential batch trace too.
     let batch_trace = system.observer().take_events();
-    let parallel: Vec<QueryAnswer> = session
-        .with_options(ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(4))
-        .execute_batch(&queries)
-        .into_iter()
-        .map(|r| r.expect("parallel batched"))
-        .collect();
-    let parallel_trace = system.observer().take_events();
-    assert_eq!(parallel, sequential);
-    let parallel_summary = concealer_storage::AccessObserver::summarize(&parallel_trace);
-    let parallel_rows: BTreeSet<(u64, u64)> =
-        parallel_summary.fetch_frequency.keys().copied().collect();
-    assert_eq!(parallel_rows, sequential_union, "parallel row set = union");
-    assert!(
-        parallel_summary.fetch_frequency.values().all(|&f| f == 1),
-        "no row may be fetched more than once by the parallel path"
-    );
-    assert_eq!(
-        parallel_trace, batch_trace,
-        "parallel trace must be event-for-event identical to the sequential batch"
-    );
+    for fetch_chunk in [1usize, 2, 4, 0, usize::MAX] {
+        let parallel: Vec<QueryAnswer> = system
+            .session(&user)
+            .with_options(
+                ExecOptions::with_method(RangeMethod::Bpb)
+                    .with_parallelism(4)
+                    .with_fetch_chunk(fetch_chunk),
+            )
+            .execute_batch(&queries)
+            .into_iter()
+            .map(|r| r.expect("parallel batched"))
+            .collect();
+        let parallel_trace = system.observer().take_events();
+        assert_eq!(parallel, sequential, "fetch_chunk={fetch_chunk}");
+        let parallel_summary = concealer_storage::AccessObserver::summarize(&parallel_trace);
+        let parallel_rows: BTreeSet<(u64, u64)> =
+            parallel_summary.fetch_frequency.keys().copied().collect();
+        assert_eq!(
+            parallel_rows, sequential_union,
+            "parallel row set = union (fetch_chunk={fetch_chunk})"
+        );
+        assert!(
+            parallel_summary.fetch_frequency.values().all(|&f| f == 1),
+            "no row may be fetched more than once by the parallel path \
+             (fetch_chunk={fetch_chunk})"
+        );
+        assert_eq!(
+            parallel_trace, batch_trace,
+            "parallel trace must be event-for-event identical to the \
+             sequential batch (fetch_chunk={fetch_chunk})"
+        );
+    }
 }
 
 #[test]

@@ -69,6 +69,9 @@ fn oracle_queries(records: &[Record]) -> Vec<(Query, ExecOptions)> {
 
 #[test]
 fn eight_threads_mixed_ingest_and_queries_agree_with_sequential_oracle() {
+    // Force the batch pool even on single-core hosts, where the engine
+    // would otherwise (correctly) fall back to the sequential loop.
+    std::env::set_var("CONCEALER_FORCE_THREADS", "1");
     let mut rng = StdRng::seed_from_u64(2024);
     let mut system = concealer_examples::build_system(stress_config(), &mut rng);
     let user: UserHandle = system.register_user(1, vec![100, 101, 102, 103, 104], true);
@@ -139,13 +142,19 @@ fn eight_threads_mixed_ingest_and_queries_agree_with_sequential_oracle() {
                             "thread {t} iter {iter} query {i} diverged"
                         );
                     }
-                    // Batches: odd threads parallel, even threads sequential.
+                    // Batches: odd threads parallel, even threads
+                    // sequential; parallel threads additionally rotate
+                    // through the fetch-stage chunk sizes (auto,
+                    // single-bin, pairs, oversized) so every scheduling
+                    // shape runs under contention.
                     let parallelism = if t % 2 == 1 { 4 } else { 1 };
+                    let fetch_chunk = [0usize, 1, 2, 8][(t as usize + iter) % 4];
                     let answers: Vec<QueryAnswer> = system
                         .session(user)
                         .with_options(
                             ExecOptions::with_method(RangeMethod::Bpb)
-                                .with_parallelism(parallelism),
+                                .with_parallelism(parallelism)
+                                .with_fetch_chunk(fetch_chunk),
                         )
                         .execute_batch(batch_queries)
                         .into_iter()
