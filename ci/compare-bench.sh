@@ -27,23 +27,86 @@
 # the wide 35% band absorbs ordinary runner-to-runner noise, not
 # generational hardware shifts.
 #
+# A second mode validates the server-soak artifact instead:
+#
+#   compare-bench.sh --server-summary BENCH_server.json
+#
+# checks the concealer-server-load/v2 schema (serving mode, connection
+# counts, p50/p95/p99 latency, divergence count) and, when
+# MIN_CONNECTIONS is set, gates the server-reported concurrent-connection
+# high-water mark against that floor — this is how the event-mode soak
+# leg proves its 10k-idle-connection claim.
+#
 # Exit codes: 0 ok, 1 regression beyond a floor, 2 malformed input
 # (missing file, missing sections, non-numeric values). Exercised by
 # ci/selftest-compare-bench.sh in the lint-ci job.
 #
 # Usage: compare-bench.sh [baseline.json] [current.json]
+#        compare-bench.sh --server-summary [BENCH_server.json]
 set -eu
 
-BASELINE="${1:-BENCH_baseline.json}"
-CURRENT="${2:-BENCH_pr.json}"
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-35}"
 MIN_PARALLEL_SPEEDUP="${MIN_PARALLEL_SPEEDUP:-1.0}"
 PARALLEL_RELATIVE_FLOOR="${PARALLEL_RELATIVE_FLOOR:-0.5}"
+MIN_CONNECTIONS="${MIN_CONNECTIONS:-}"
 
 malformed() {
     echo "error: malformed bench summary: $1" >&2
     exit 2
 }
+
+# The number pattern accepts exponent notation (2.1e3) so a formatter
+# change toward scientific notation cannot silently blank the extraction.
+NUM='[0-9][0-9.]*\([eE][+-]\{0,1\}[0-9]\{1,\}\)\{0,1\}'
+
+# --- server-load summary validation -------------------------------------
+check_server_summary() {
+    f="$1"
+    [ -f "$f" ] || malformed "$f not found"
+    grep -q '"schema": *"concealer-server-load/v2"' "$f" \
+        || malformed "$f lacks the concealer-server-load/v2 schema marker"
+    # "unknown" means the load generator's ServeStats probe failed — the
+    # artifact cannot substantiate any concurrency or mode claim.
+    grep -q '"mode": *"\(threaded\|event\)"' "$f" \
+        || malformed "$f has no serving mode (expected \"threaded\" or \"event\")"
+    for key in connections max_concurrent_connections divergences; do
+        grep -q "\"$key\": *[0-9][0-9]*" "$f" \
+            || malformed "$f lacks a numeric \"$key\" field"
+    done
+    for pct in p50 p95 p99; do
+        grep -q "\"$pct\": *$NUM" "$f" \
+            || malformed "$f lacks a numeric latency \"$pct\" field"
+    done
+
+    mode=$(sed -n 's/.*"mode": *"\([a-z]*\)".*/\1/p' "$f" | head -n 1)
+    held=$(sed -n "s/.*\"connections\": *\([0-9][0-9]*\).*/\1/p" "$f" | head -n 1)
+    peak=$(sed -n "s/.*\"max_concurrent_connections\": *\([0-9][0-9]*\).*/\1/p" "$f" | head -n 1)
+    div=$(sed -n "s/.*\"divergences\": *\([0-9][0-9]*\).*/\1/p" "$f" | head -n 1)
+    p50=$(sed -n "s/.*\"p50\": *\($NUM\).*/\1/p" "$f" | head -n 1)
+    p95=$(sed -n "s/.*\"p95\": *\($NUM\).*/\1/p" "$f" | head -n 1)
+    p99=$(sed -n "s/.*\"p99\": *\($NUM\).*/\1/p" "$f" | head -n 1)
+    echo "server summary [$mode]: held=$held peak=$peak p50=${p50}ms p95=${p95}ms p99=${p99}ms divergences=$div"
+
+    if [ "$div" -ne 0 ]; then
+        echo "FAIL: $div answer divergence(s) against the oracle" >&2
+        exit 1
+    fi
+    if [ -n "$MIN_CONNECTIONS" ]; then
+        if [ "$peak" -lt "$MIN_CONNECTIONS" ]; then
+            echo "FAIL: server peak $peak concurrent connections is below the MIN_CONNECTIONS=$MIN_CONNECTIONS floor" >&2
+            exit 1
+        fi
+        echo "ok: server peak $peak clears the MIN_CONNECTIONS=$MIN_CONNECTIONS floor"
+    fi
+    exit 0
+}
+
+if [ "${1:-}" = "--server-summary" ]; then
+    check_server_summary "${2:-BENCH_server.json}"
+fi
+
+BASELINE="${1:-BENCH_baseline.json}"
+CURRENT="${2:-BENCH_pr.json}"
 
 for f in "$BASELINE" "$CURRENT"; do
     [ -f "$f" ] || malformed "$f not found"
@@ -70,10 +133,7 @@ check_summary "$BASELINE"
 check_summary "$CURRENT"
 
 # The summaries are single-purpose JSON written by bench_smoke; pull the
-# gated numbers with sed so the gate needs no jq on the runner. The number
-# pattern accepts exponent notation (2.1e3) so a formatter change toward
-# scientific notation cannot silently blank the extraction.
-NUM='[0-9][0-9.]*\([eE][+-]\{0,1\}[0-9]\{1,\}\)\{0,1\}'
+# gated numbers with sed so the gate needs no jq on the runner.
 extract_seq_qps() {
     sed -n "s/.*\"sequential\": *{ *\"qps\": *\($NUM\).*/\1/p" "$1" | head -n 1
 }

@@ -175,6 +175,88 @@ expect "garbage summary is malformed" 2 "$tmp/base.json" "$tmp/garbage.json"
 # The committed baseline itself must satisfy the format checks.
 expect "committed baseline is well-formed" 0 "$script_dir/../BENCH_baseline.json" "$script_dir/../BENCH_baseline.json"
 
+# --- --server-summary mode (concealer-server-load/v2) -------------------
+
+# write_server_summary <path> <mode> <peak> <divergences>
+write_server_summary() {
+    cat >"$1" <<EOF
+{
+  "schema": "concealer-server-load/v2",
+  "addr": "127.0.0.1:7171",
+  "backend": "memory",
+  "mode": "$2",
+  "clients": 8,
+  "requests_per_client": 36,
+  "batch_len": 8,
+  "idle_connections_target": 10000,
+  "connections": 10000,
+  "max_concurrent_connections": $3,
+  "requests": 288,
+  "queries": 900,
+  "ingest_epochs": 0,
+  "elapsed_s": 1.500,
+  "qps": 600.00,
+  "latency_ms": {"p50": 0.500, "p95": 2.000, "p99": 4.000, "max": 9.000},
+  "checked": true,
+  "divergences": $4,
+  "client_errors": 0
+}
+EOF
+}
+
+# expect_server <name> <expected-rc> <file> [min-connections]
+expect_server() {
+    name="$1"
+    want="$2"
+    file="$3"
+    min="${4:-}"
+    got=0
+    MIN_CONNECTIONS="$min" sh "$compare" --server-summary "$file" \
+        >"$tmp/out" 2>"$tmp/err" || got=$?
+    if [ "$got" -eq "$want" ]; then
+        echo "ok: $name (rc=$got)"
+    else
+        echo "FAIL: $name: expected rc=$want, got rc=$got" >&2
+        sed 's/^/  stdout: /' "$tmp/out" >&2
+        sed 's/^/  stderr: /' "$tmp/err" >&2
+        failures=$((failures + 1))
+    fi
+}
+
+write_server_summary "$tmp/srv-event.json" "event" "10004" "0"
+write_server_summary "$tmp/srv-threaded.json" "threaded" "17" "0"
+expect_server "well-formed event summary passes" 0 "$tmp/srv-event.json"
+expect_server "well-formed threaded summary passes" 0 "$tmp/srv-threaded.json"
+expect_server "connection floor holds" 0 "$tmp/srv-event.json" "10000"
+expect_server "peak below the connection floor fails" 1 "$tmp/srv-threaded.json" "10000"
+
+# Any oracle divergence fails the gate even if the schema is pristine.
+write_server_summary "$tmp/srv-diverged.json" "event" "10004" "3"
+expect_server "divergences fail the gate" 1 "$tmp/srv-diverged.json"
+
+# "unknown" mode means the ServeStats probe failed — no claim to gate on.
+write_server_summary "$tmp/srv-unknown.json" "unknown" "0" "0"
+expect_server "unknown serving mode is malformed" 2 "$tmp/srv-unknown.json"
+
+# A v1 artifact (no mode, no connection counts) must be rejected.
+cat >"$tmp/srv-v1.json" <<'EOF'
+{
+  "schema": "concealer-server-load/v1",
+  "addr": "127.0.0.1:7171",
+  "qps": 600.00,
+  "latency_ms": {"p50": 0.500, "p95": 2.000, "p99": 4.000, "max": 9.000},
+  "divergences": 0
+}
+EOF
+expect_server "server-load v1 schema is malformed" 2 "$tmp/srv-v1.json"
+
+# Missing latency percentiles → malformed.
+write_server_summary "$tmp/srv-nolat.json" "event" "10004" "0"
+sed '/"latency_ms":/d' "$tmp/srv-nolat.json" >"$tmp/srv-nolat2.json"
+expect_server "missing latency percentiles is malformed" 2 "$tmp/srv-nolat2.json"
+
+expect_server "missing server summary is malformed" 2 "$tmp/srv-nonexistent.json"
+
 if [ "$failures" -ne 0 ]; then
     echo "compare-bench self-test: $failures failure(s)" >&2
     exit 1

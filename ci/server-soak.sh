@@ -5,10 +5,20 @@
 # bit-for-bit against the in-process oracle, follow-up epochs ingested
 # over the wire while queries are live), then require a graceful wire
 # shutdown. The storage backend follows CONCEALER_TEST_BACKEND (memory /
-# disk) in both processes — the CI server-soak job runs the matrix.
+# disk) in both processes, and SOAK_MODE selects the serving core
+# (threaded / event) — the CI server-soak job runs the full matrix.
+#
+# Event-mode legs additionally open SOAK_IDLE_CONNECTIONS mostly-idle
+# connections (default 10000 in event mode, 0 in threaded) and gate the
+# server-reported concurrency high-water mark via
+# `compare-bench.sh --server-summary` with MIN_CONNECTIONS. If the
+# runner's fd limit cannot carry the default target, the script lowers it
+# to fit (with a loud note) — the floor gates what was actually attempted,
+# so a constrained runner still proves proportional concurrency instead
+# of flaking. Set SOAK_IDLE_CONNECTIONS explicitly to pin the target.
 #
 # Exit codes: 0 soak clean, 1 divergence / client error / non-graceful
-# shutdown, 2 binaries missing.
+# shutdown / concurrency floor missed, 2 binaries missing.
 #
 # Usage: server-soak.sh [BENCH_server.json]
 set -eu
@@ -20,6 +30,39 @@ HOURS="${SOAK_HOURS:-2}"
 SEED="${SOAK_SEED:-42}"
 CLIENTS="${SOAK_CLIENTS:-8}"
 REQUESTS="${SOAK_REQUESTS:-36}"
+MODE="${SOAK_MODE:-threaded}"
+script_dir=$(dirname "$0")
+
+case "$MODE" in
+    threaded|event) ;;
+    *) echo "error: SOAK_MODE must be 'threaded' or 'event', got '$MODE'" >&2; exit 2 ;;
+esac
+
+# Idle-connection target: event mode defaults to the 10k claim; threaded
+# mode (a thread per connection) defaults to none.
+if [ "$MODE" = "event" ]; then
+    IDLE="${SOAK_IDLE_CONNECTIONS:-10000}"
+else
+    IDLE="${SOAK_IDLE_CONNECTIONS:-0}"
+fi
+
+# Each held connection costs one fd in the load generator and one in the
+# server; leave generous headroom for binaries, logs, and the query
+# clients. Lower the target rather than flake when the limit is tight.
+if [ "$IDLE" -gt 0 ]; then
+    fd_limit=$(ulimit -n 2>/dev/null || echo 1024)
+    case "$fd_limit" in
+        unlimited) ;;
+        *)
+            max_idle=$((fd_limit - 256))
+            if [ "$max_idle" -lt 0 ]; then max_idle=0; fi
+            if [ "$IDLE" -gt "$max_idle" ]; then
+                echo "soak: fd limit $fd_limit cannot hold $IDLE idle connections; lowering target to $max_idle" >&2
+                IDLE="$max_idle"
+            fi
+            ;;
+    esac
+fi
 
 for bin in "$SERVER_BIN" "$LOAD_BIN"; do
     if [ ! -x "$bin" ]; then
@@ -40,7 +83,15 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-"$SERVER_BIN" --hours "$HOURS" --seed "$SEED" >"$server_out" 2>"$server_err" &
+# The connection cap must clear the idle pool plus the query clients plus
+# probe headroom; the threaded default (16) only applies with no pool.
+max_connections=$((IDLE + CLIENTS + 64))
+if [ "$IDLE" -eq 0 ]; then
+    max_connections=16
+fi
+
+"$SERVER_BIN" --mode "$MODE" --hours "$HOURS" --seed "$SEED" \
+    --max-connections "$max_connections" >"$server_out" 2>"$server_err" &
 server_pid=$!
 
 # Wait (up to ~60 s) for the READY line; the server builds and ingests the
@@ -66,12 +117,17 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 backend=$(sed -n 's/^READY.*backend=\([^ ]*\).*/\1/p' "$server_out")
-echo "soak: server ready on $addr (backend: ${backend:-unknown})"
+ready_mode=$(sed -n 's/^READY.*mode=\([^ ]*\).*/\1/p' "$server_out")
+if [ "$ready_mode" != "$MODE" ]; then
+    echo "error: asked for mode '$MODE' but the server reported '$ready_mode'" >&2
+    exit 1
+fi
+echo "soak: server ready on $addr (backend: ${backend:-unknown}, mode: $MODE, idle target: $IDLE)"
 
 load_rc=0
 "$LOAD_BIN" --addr "$addr" --clients "$CLIENTS" --requests "$REQUESTS" \
-    --hours "$HOURS" --seed "$SEED" --ingest-epochs 2 --shutdown \
-    --out "$OUT" || load_rc=$?
+    --hours "$HOURS" --seed "$SEED" --idle-connections "$IDLE" \
+    --ingest-epochs 2 --shutdown --out "$OUT" || load_rc=$?
 if [ "$load_rc" -ne 0 ]; then
     echo "error: load generator failed (rc=$load_rc): answer divergence, client error, or shutdown refusal" >&2
     exit 1
@@ -93,6 +149,14 @@ if ! grep -q '^SHUTDOWN graceful' "$server_out"; then
     exit 1
 fi
 
+# Validate the v2 summary schema; with an idle pool, also gate the
+# server's concurrency high-water mark against what was attempted.
+if [ "$IDLE" -gt 0 ]; then
+    MIN_CONNECTIONS="$IDLE" sh "$script_dir/compare-bench.sh" --server-summary "$OUT"
+else
+    sh "$script_dir/compare-bench.sh" --server-summary "$OUT"
+fi
+
 grep '^SHUTDOWN' "$server_out"
 qps=$(sed -n 's/.*"qps": *\([0-9.eE+-]*\).*/\1/p' "$OUT" | head -n 1)
-echo "soak ok: backend=${backend:-unknown} qps=${qps:-?} summary=$OUT"
+echo "soak ok: backend=${backend:-unknown} mode=$MODE qps=${qps:-?} summary=$OUT"

@@ -32,12 +32,13 @@
 
 use std::collections::BTreeMap;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use concealer_core::{ExecOptions, Query, QueryAnswer, Record, UserHandle};
 use concealer_server::protocol::{
     Request, Response, ServerInfo, CONNECTION_LEVEL_ID, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-use concealer_server::WireError;
+use concealer_server::{ServeStats, WireError};
 use serde::frame::{read_frame, write_frame, FrameError};
 
 /// Errors a client call can produce.
@@ -55,6 +56,11 @@ pub enum ClientError {
     Server(WireError),
     /// The server answered with the wrong reply shape or id.
     Protocol(String),
+    /// A configured connect/read/write timeout elapsed
+    /// ([`ConnectOptions`]). A timeout mid-reply leaves the stream
+    /// misaligned on a partial frame, so the connection should be
+    /// dropped, not retried.
+    TimedOut,
 }
 
 impl std::fmt::Display for ClientError {
@@ -66,6 +72,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Handshake(e) => write!(f, "handshake failed: {e}"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ClientError::TimedOut => write!(f, "operation timed out"),
         }
     }
 }
@@ -83,7 +90,7 @@ impl std::error::Error for ClientError {
 impl From<FrameError> for ClientError {
     fn from(e: FrameError) -> Self {
         match e {
-            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Io(e) => ClientError::from(e),
             FrameError::Decode(e) => ClientError::Decode(e.to_string()),
             FrameError::Closed => ClientError::Closed,
             FrameError::TooLarge { len, max } => ClientError::Decode(format!(
@@ -95,8 +102,30 @@ impl From<FrameError> for ClientError {
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        // A timed-out socket read surfaces as `WouldBlock` on Unix and
+        // `TimedOut` on Windows; fold both into the dedicated variant.
+        match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => ClientError::TimedOut,
+            _ => ClientError::Io(e),
+        }
     }
+}
+
+/// Connection-establishment options for
+/// [`Connection::connect_with_options`]: every field `None` (the
+/// [`Default`]) reproduces plain [`Connection::connect`] — block
+/// indefinitely on the OS defaults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnectOptions {
+    /// Cap on TCP connection establishment per resolved address.
+    pub connect_timeout: Option<Duration>,
+    /// Cap on each blocking read, including the handshake reply — this is
+    /// what turns a server that accepted but stopped responding into a
+    /// clean [`ClientError::TimedOut`] instead of a hang.
+    pub read_timeout: Option<Duration>,
+    /// Cap on each blocking write (a server that stopped *reading* while
+    /// the client streams a large request).
+    pub write_timeout: Option<Duration>,
 }
 
 /// A ticket for a pipelined request, redeemed with
@@ -126,8 +155,59 @@ impl Connection {
         credential: [u8; 32],
         client_name: &str,
     ) -> Result<Connection, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with_options(
+            addr,
+            user_id,
+            credential,
+            client_name,
+            ConnectOptions::default(),
+        )
+    }
+
+    /// [`Connection::connect`] with explicit timeouts; see
+    /// [`ConnectOptions`]. Timeouts apply to the handshake and stay in
+    /// effect for the life of the connection
+    /// ([`Connection::set_read_timeout`] can change them later).
+    pub fn connect_with_options(
+        addr: impl ToSocketAddrs,
+        user_id: u64,
+        credential: [u8; 32],
+        client_name: &str,
+        options: ConnectOptions,
+    ) -> Result<Connection, ClientError> {
+        let stream = match options.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(limit) => {
+                // `TcpStream::connect_timeout` takes a single resolved
+                // address; mirror `connect`'s semantics by trying each in
+                // turn and reporting the last failure.
+                let mut last_err: Option<std::io::Error> = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, limit) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => {
+                        return Err(last_err.map(ClientError::from).unwrap_or_else(|| {
+                            ClientError::Io(std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no candidates",
+                            ))
+                        }))
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(options.read_timeout)?;
+        stream.set_write_timeout(options.write_timeout)?;
         let mut conn = Connection {
             stream,
             info: ServerInfo {
@@ -176,6 +256,13 @@ impl Connection {
     #[must_use]
     pub fn server_info(&self) -> &ServerInfo {
         &self.info
+    }
+
+    /// Change the per-read timeout on the live connection (`None` blocks
+    /// indefinitely). On [`ClientError::TimedOut`] the stream may be
+    /// misaligned mid-frame — drop the connection rather than reuse it.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        Ok(self.stream.set_read_timeout(timeout)?)
     }
 
     // ---------------------------------------------------------------
@@ -254,6 +341,17 @@ impl Connection {
         match self.wait_for(id)? {
             Response::StatsOk { stats, .. } => Ok(stats),
             other => Err(unexpected("StatsOk", &other)),
+        }
+    }
+
+    /// Fetch the serving core's live counters: mode, connection counts,
+    /// in-flight/backlog depth, loop iterations.
+    pub fn serve_stats(&mut self) -> Result<ServeStats, ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.stream, &Request::ServeStats { id })?;
+        match self.wait_for(id)? {
+            Response::ServeStatsOk { stats, .. } => Ok(stats),
+            other => Err(unexpected("ServeStatsOk", &other)),
         }
     }
 
@@ -402,5 +500,98 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
     match got {
         Response::Error { error, .. } => ClientError::Server(error.clone()),
         other => ClientError::Protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    /// A server that never answers the handshake must produce a clean
+    /// `TimedOut`, not a hang. The listener is bound but never calls
+    /// `accept` — the kernel completes the TCP handshake and swallows the
+    /// `Hello`, which is exactly a server that stopped reading.
+    #[test]
+    fn read_timeout_turns_a_silent_server_into_timed_out() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+
+        let started = Instant::now();
+        let result = Connection::connect_with_options(
+            addr,
+            7,
+            [0u8; 32],
+            "timeout-test",
+            ConnectOptions {
+                read_timeout: Some(Duration::from_millis(100)),
+                ..ConnectOptions::default()
+            },
+        );
+        let elapsed = started.elapsed();
+
+        match result {
+            Err(ClientError::TimedOut) => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "timeout took {elapsed:?}, configured 100ms"
+        );
+        drop(listener);
+    }
+
+    /// A configured connect timeout must bound connection establishment.
+    /// The target is a TEST-NET-1 address nothing answers for; depending
+    /// on the sandbox the connect either times out or is refused outright
+    /// — both are acceptable, hanging is not.
+    #[test]
+    fn connect_timeout_fails_fast() {
+        let started = Instant::now();
+        let result = Connection::connect_with_options(
+            "192.0.2.1:9",
+            7,
+            [0u8; 32],
+            "connect-timeout-test",
+            ConnectOptions {
+                connect_timeout: Some(Duration::from_millis(250)),
+                read_timeout: Some(Duration::from_millis(250)),
+                ..ConnectOptions::default()
+            },
+        );
+        let elapsed = started.elapsed();
+
+        assert!(result.is_err(), "nothing listens on TEST-NET-1");
+        match result {
+            Err(ClientError::TimedOut | ClientError::Io(_) | ClientError::Closed) => {}
+            other => panic!("expected a transport failure, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "connect took {elapsed:?}, configured 250ms"
+        );
+    }
+
+    /// Plain `connect` must behave exactly like default options (no
+    /// timeouts set) — guarded here by the error being connection refused,
+    /// not a timeout, against a closed port.
+    #[test]
+    fn default_options_mean_no_timeouts() {
+        let options = ConnectOptions::default();
+        assert!(options.connect_timeout.is_none());
+        assert!(options.read_timeout.is_none());
+        assert!(options.write_timeout.is_none());
+
+        // A bound-then-dropped listener leaves a port nothing listens on;
+        // connecting must fail with a refusal (reported as Io), proving
+        // the no-timeout path still surfaces immediate errors.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("local addr").port()
+        };
+        match Connection::connect(("127.0.0.1", port), 7, [0u8; 32], "refused-test") {
+            Err(ClientError::Io(_) | ClientError::Closed) => {}
+            other => panic!("expected connection refused, got {other:?}"),
+        }
     }
 }

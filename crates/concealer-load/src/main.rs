@@ -1,14 +1,24 @@
 //! `concealer-load`: drive a running Concealer server with N concurrent
 //! clients of mixed point/range/batch workloads, check every answer
 //! bit-for-bit against a local oracle, and emit a `BENCH_server.json`
-//! summary (qps, p50/p95/p99 latency).
+//! summary (schema `concealer-server-load/v2`: serving mode, connection
+//! counts, qps, p50/p95/p99 latency).
 //!
 //! ```text
 //! concealer-load --addr HOST:PORT [--clients N] [--requests N]
 //!                [--batch-len N] [--hours H] [--seed S]
-//!                [--ingest-epochs N] [--no-check] [--shutdown]
-//!                [--out BENCH_server.json]
+//!                [--idle-connections N] [--ingest-epochs N]
+//!                [--no-check] [--shutdown] [--out BENCH_server.json]
 //! ```
+//!
+//! `--idle-connections N` targets the event server: open N authenticated
+//! connections and *hold* them for the run while the regular clients
+//! supply query traffic, plus a trickle of oracle-checked queries through
+//! every [`IDLE_TRICKLE_STRIDE`]th held connection — mostly-idle sockets
+//! must still answer correctly mid-run. The summary records how many were
+//! achieved (`connections`) and the server's own high-water mark
+//! (`max_concurrent_connections`, from the `ServeStats` endpoint), so a
+//! CI gate can assert a concurrency floor.
 //!
 //! `(hours, seed)` must match the server's: the oracle rebuilds the same
 //! deterministic demo deployment in-process (same master key, data, and
@@ -30,6 +40,9 @@ use concealer_bench::{server_request_mix, ServerRequest};
 use concealer_client::Connection;
 use concealer_examples::{demo_epoch_records, demo_system, demo_workload};
 
+/// Every stride-th held idle connection carries one checked query.
+const IDLE_TRICKLE_STRIDE: usize = 97;
+
 struct Args {
     addr: String,
     clients: usize,
@@ -37,6 +50,7 @@ struct Args {
     batch_len: usize,
     hours: u64,
     seed: u64,
+    idle_connections: usize,
     ingest_epochs: u64,
     check: bool,
     shutdown: bool,
@@ -51,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         batch_len: 8,
         hours: 2,
         seed: 42,
+        idle_connections: 0,
         ingest_epochs: 0,
         check: true,
         shutdown: false,
@@ -73,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
             "--batch-len" => args.batch_len = parse(&value("--batch-len")?)?,
             "--hours" => args.hours = parse(&value("--hours")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--idle-connections" => args.idle_connections = parse(&value("--idle-connections")?)?,
             "--ingest-epochs" => args.ingest_epochs = parse(&value("--ingest-epochs")?)?,
             "--no-check" => args.check = false,
             "--shutdown" => args.shutdown = true,
@@ -131,68 +147,15 @@ fn run_client(
     let oracle_session = oracle.map(|system| system.session(user));
 
     for (request_idx, request) in mix.iter().enumerate() {
-        let started = Instant::now();
-        let outcome = match request {
-            ServerRequest::Query(query, options) => conn
-                .execute_with(query, *options)
-                .map(|answer| vec![answer]),
-            ServerRequest::Batch(queries, options) => conn
-                .execute_batch_with(queries, *options)
-                .and_then(|results| {
-                    results
-                        .into_iter()
-                        .collect::<Result<Vec<_>, _>>()
-                        .map_err(concealer_client::ClientError::Server)
-                }),
-        };
-        let elapsed = started.elapsed();
-        let answers = match outcome {
-            Ok(answers) => answers,
-            Err(e) => {
-                report
-                    .errors
-                    .push(format!("client {client_idx} request {request_idx}: {e}"));
-                return report;
-            }
-        };
-        report.latencies.push(elapsed);
-        report.queries += answers.len() as u64;
-
-        if let Some(session) = &oracle_session {
-            let expected: Vec<_> = match request {
-                ServerRequest::Query(query, options) => {
-                    vec![session.execute_with(query, *options).expect("oracle query")]
-                }
-                ServerRequest::Batch(queries, options) => session
-                    .clone()
-                    .with_options(*options)
-                    .execute_batch(queries)
-                    .into_iter()
-                    .map(|r| r.expect("oracle batch query"))
-                    .collect(),
-            };
-            // A short (or long) reply is itself a divergence — zip below
-            // would silently compare only the common prefix.
-            if answers.len() != expected.len() {
-                report.divergences += 1;
-                report.errors.push(format!(
-                    "client {client_idx} request {request_idx}: wire returned {} answer(s), \
-                     oracle expected {}",
-                    answers.len(),
-                    expected.len()
-                ));
-                continue;
-            }
-            // Bit-identical: compare the wire encodings, not just equality.
-            for (got, want) in answers.iter().zip(&expected) {
-                if serde::bin::to_bytes(got) != serde::bin::to_bytes(want) {
-                    report.divergences += 1;
-                    report.errors.push(format!(
-                        "client {client_idx} request {request_idx}: wire answer {got:?} \
-                         diverges from oracle {want:?}"
-                    ));
-                }
-            }
+        let label = format!("client {client_idx} request {request_idx}");
+        if !run_request(
+            &mut conn,
+            request,
+            oracle_session.as_ref(),
+            &mut report,
+            &label,
+        ) {
+            return report;
         }
     }
     if let Err(e) = conn.close() {
@@ -201,6 +164,139 @@ fn run_client(
             .push(format!("client {client_idx} close: {e}"));
     }
     report
+}
+
+/// Send one request, time it, and (when checking) compare every answer's
+/// wire encoding against local oracle execution. Returns `false` when the
+/// connection died and the caller should stop using it.
+fn run_request(
+    conn: &mut Connection,
+    request: &ServerRequest,
+    oracle_session: Option<&concealer_core::Session<'_>>,
+    report: &mut ClientReport,
+    label: &str,
+) -> bool {
+    let started = Instant::now();
+    let outcome = match request {
+        ServerRequest::Query(query, options) => conn
+            .execute_with(query, *options)
+            .map(|answer| vec![answer]),
+        ServerRequest::Batch(queries, options) => conn
+            .execute_batch_with(queries, *options)
+            .and_then(|results| {
+                results
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(concealer_client::ClientError::Server)
+            }),
+    };
+    let elapsed = started.elapsed();
+    let answers = match outcome {
+        Ok(answers) => answers,
+        Err(e) => {
+            report.errors.push(format!("{label}: {e}"));
+            return false;
+        }
+    };
+    report.latencies.push(elapsed);
+    report.queries += answers.len() as u64;
+
+    if let Some(session) = oracle_session {
+        let expected: Vec<_> = match request {
+            ServerRequest::Query(query, options) => {
+                vec![session.execute_with(query, *options).expect("oracle query")]
+            }
+            ServerRequest::Batch(queries, options) => session
+                .clone()
+                .with_options(*options)
+                .execute_batch(queries)
+                .into_iter()
+                .map(|r| r.expect("oracle batch query"))
+                .collect(),
+        };
+        // A short (or long) reply is itself a divergence — zip below
+        // would silently compare only the common prefix.
+        if answers.len() != expected.len() {
+            report.divergences += 1;
+            report.errors.push(format!(
+                "{label}: wire returned {} answer(s), oracle expected {}",
+                answers.len(),
+                expected.len()
+            ));
+            return true;
+        }
+        // Bit-identical: compare the wire encodings, not just equality.
+        for (got, want) in answers.iter().zip(&expected) {
+            if serde::bin::to_bytes(got) != serde::bin::to_bytes(want) {
+                report.divergences += 1;
+                report.errors.push(format!(
+                    "{label}: wire answer {got:?} diverges from oracle {want:?}"
+                ));
+            }
+        }
+    }
+    true
+}
+
+/// Open `target` authenticated connections and hold them. Stops early
+/// (with a note) on the first failure — typically the process's fd limit
+/// or the server's connection cap — so the caller reports what was
+/// actually achieved rather than dying.
+fn open_idle_pool(
+    args: &Args,
+    user: &concealer_core::UserHandle,
+    errors: &mut Vec<String>,
+) -> Vec<Connection> {
+    let target = args.idle_connections;
+    let mut pool = Vec::with_capacity(target);
+    for k in 0..target {
+        match Connection::connect_user(&args.addr, user, &format!("load-idle-{k}")) {
+            Ok(conn) => pool.push(conn),
+            Err(e) => {
+                errors.push(format!(
+                    "idle connection {k}/{target} failed ({e}); holding {} — raise the fd \
+                     limit (ulimit -n) and the server's --max-connections to go higher",
+                    pool.len()
+                ));
+                break;
+            }
+        }
+        if (k + 1) % 2000 == 0 {
+            eprintln!("concealer-load: {} idle connections open", k + 1);
+        }
+    }
+    pool
+}
+
+/// The idle pool's trickle: one checked query through every
+/// [`IDLE_TRICKLE_STRIDE`]th held connection while the main clients load
+/// the server. Takes ownership of the trickle connections and returns
+/// them so they stay open until the pool is torn down.
+fn run_trickle(
+    args: &Args,
+    mut conns: Vec<Connection>,
+    oracle: Option<&concealer_core::ConcealerSystem>,
+    user: &concealer_core::UserHandle,
+) -> (ClientReport, Vec<Connection>) {
+    let mut report = ClientReport::default();
+    if conns.is_empty() {
+        return (report, conns);
+    }
+    let workload = demo_workload(args.hours);
+    let mix = server_request_mix(
+        &workload,
+        args.seed.wrapping_add(500_000),
+        conns.len(),
+        args.batch_len.max(1),
+    );
+    let oracle_session = oracle.map(|system| system.session(user));
+    for (idx, (conn, request)) in conns.iter_mut().zip(mix.iter()).enumerate() {
+        let label = format!("idle trickle {idx}");
+        run_request(conn, request, oracle_session.as_ref(), &mut report, &label);
+        // Space the trickle out so the pool stays mostly idle.
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    (report, conns)
 }
 
 /// Latency percentile in milliseconds over sorted samples.
@@ -230,54 +326,120 @@ fn main() -> ExitCode {
     let (oracle_system, user, _records) = demo_system(args.hours, args.seed);
     let oracle = args.check.then_some(&oracle_system);
 
+    // The idle pool opens before the query phase so its connections are
+    // concurrent with the workload; every stride-th one is pulled aside
+    // to carry the trickle.
+    let mut pool_errors: Vec<String> = Vec::new();
+    let mut idle_pool: Vec<Connection> = Vec::new();
+    let mut trickle_conns: Vec<Connection> = Vec::new();
+    if args.idle_connections > 0 {
+        eprintln!(
+            "concealer-load: opening {} idle connections",
+            args.idle_connections
+        );
+        let mut opened = open_idle_pool(&args, &user, &mut pool_errors);
+        for (k, conn) in opened.drain(..).enumerate() {
+            if k % IDLE_TRICKLE_STRIDE == 0 {
+                trickle_conns.push(conn);
+            } else {
+                idle_pool.push(conn);
+            }
+        }
+        eprintln!(
+            "concealer-load: holding {} idle + {} trickle connections",
+            idle_pool.len(),
+            trickle_conns.len()
+        );
+    }
+    let idle_achieved = idle_pool.len() + trickle_conns.len();
+
     eprintln!(
         "concealer-load: {} client(s) x {} request(s) (batch-len {}) against {}",
         args.clients, args.requests, args.batch_len, args.addr
     );
     let ingested = AtomicU64::new(0);
     let started = Instant::now();
-    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
-        let ingest_handle = (args.ingest_epochs > 0).then(|| {
-            let args = &args;
-            let user = &user;
-            let ingested = &ingested;
-            scope.spawn(move || -> Result<(), String> {
-                let mut conn = Connection::connect_user(&args.addr, user, "load-ingest")
-                    .map_err(|e| format!("ingest connect: {e}"))?;
-                for k in 1..=args.ingest_epochs {
-                    let epoch_start = k * args.hours * 3600;
-                    let records = demo_epoch_records(args.hours, args.seed, epoch_start);
-                    conn.ingest_epoch(epoch_start, &records)
-                        .map_err(|e| format!("ingest epoch {epoch_start}: {e}"))?;
-                    ingested.fetch_add(1, Ordering::Relaxed);
-                    // Spread the ingests across the query phase.
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                conn.close().map_err(|e| format!("ingest close: {e}"))
-            })
-        });
-        let handles: Vec<_> = (0..args.clients)
-            .map(|client_idx| {
+    let (reports, trickle_conns): (Vec<ClientReport>, Vec<Connection>) =
+        std::thread::scope(|scope| {
+            let trickle_handle = (!trickle_conns.is_empty()).then(|| {
                 let args = &args;
                 let user = &user;
-                scope.spawn(move || run_client(args, client_idx, oracle, user))
-            })
-            .collect();
-        let mut reports: Vec<ClientReport> = handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread panicked"))
-            .collect();
-        if let Some(handle) = ingest_handle {
-            if let Err(e) = handle.join().expect("ingest thread panicked") {
-                reports.push(ClientReport {
-                    errors: vec![e],
-                    ..ClientReport::default()
-                });
+                let conns = std::mem::take(&mut trickle_conns);
+                scope.spawn(move || run_trickle(args, conns, oracle, user))
+            });
+            let ingest_handle = (args.ingest_epochs > 0).then(|| {
+                let args = &args;
+                let user = &user;
+                let ingested = &ingested;
+                scope.spawn(move || -> Result<(), String> {
+                    let mut conn = Connection::connect_user(&args.addr, user, "load-ingest")
+                        .map_err(|e| format!("ingest connect: {e}"))?;
+                    for k in 1..=args.ingest_epochs {
+                        let epoch_start = k * args.hours * 3600;
+                        let records = demo_epoch_records(args.hours, args.seed, epoch_start);
+                        conn.ingest_epoch(epoch_start, &records)
+                            .map_err(|e| format!("ingest epoch {epoch_start}: {e}"))?;
+                        ingested.fetch_add(1, Ordering::Relaxed);
+                        // Spread the ingests across the query phase.
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    conn.close().map_err(|e| format!("ingest close: {e}"))
+                })
+            });
+            let handles: Vec<_> = (0..args.clients)
+                .map(|client_idx| {
+                    let args = &args;
+                    let user = &user;
+                    scope.spawn(move || run_client(args, client_idx, oracle, user))
+                })
+                .collect();
+            let mut reports: Vec<ClientReport> = handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect();
+            if let Some(handle) = ingest_handle {
+                if let Err(e) = handle.join().expect("ingest thread panicked") {
+                    reports.push(ClientReport {
+                        errors: vec![e],
+                        ..ClientReport::default()
+                    });
+                }
             }
-        }
-        reports
-    });
+            let mut returned = Vec::new();
+            if let Some(handle) = trickle_handle {
+                let (report, conns) = handle.join().expect("trickle thread panicked");
+                reports.push(report);
+                returned = conns;
+            }
+            (reports, returned)
+        });
     let elapsed = started.elapsed();
+
+    // Ask the server for its own view — serving mode and the concurrent
+    // connection high-water mark — while the idle pool is still open.
+    // Probe over a held connection when there is one: a fresh connect
+    // could be refused if the pool sits at the server's connection cap.
+    let mut trickle_conns = trickle_conns;
+    let probe_result = match trickle_conns.last_mut() {
+        Some(conn) => conn.serve_stats(),
+        None => Connection::connect_user(&args.addr, &user, "load-stats").and_then(|mut conn| {
+            let stats = conn.serve_stats()?;
+            conn.close()?;
+            Ok(stats)
+        }),
+    };
+    let (server_mode, max_concurrent) = match probe_result {
+        Ok(stats) => (stats.mode, stats.peak_connections),
+        Err(e) => {
+            eprintln!("concealer-load: serve-stats probe failed: {e}");
+            ("unknown".to_string(), 0)
+        }
+    };
+    // FIN-close the pool (no Goodbye round-trips — 10k of them would
+    // serialize); the server treats EOF on an idle connection as a clean
+    // close either way.
+    drop(trickle_conns);
+    drop(idle_pool);
 
     let mut latencies: Vec<Duration> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
     latencies.sort_unstable();
@@ -288,12 +450,17 @@ fn main() -> ExitCode {
     let qps = queries as f64 / elapsed.as_secs_f64().max(1e-9);
     let backend = oracle_system.store().backend_kind();
 
+    for warning in &pool_errors {
+        eprintln!("concealer-load: idle pool: {warning}");
+    }
+
     let json = format!(
-        "{{\n  \"schema\": \"concealer-server-load/v1\",\n  \"addr\": \"{}\",\n  \"backend\": \"{backend}\",\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \"batch_len\": {},\n  \"requests\": {requests},\n  \"queries\": {queries},\n  \"ingest_epochs\": {},\n  \"elapsed_s\": {:.3},\n  \"qps\": {qps:.2},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \"checked\": {},\n  \"divergences\": {divergences},\n  \"client_errors\": {}\n}}\n",
+        "{{\n  \"schema\": \"concealer-server-load/v2\",\n  \"addr\": \"{}\",\n  \"backend\": \"{backend}\",\n  \"mode\": \"{server_mode}\",\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \"batch_len\": {},\n  \"idle_connections_target\": {},\n  \"connections\": {idle_achieved},\n  \"max_concurrent_connections\": {max_concurrent},\n  \"requests\": {requests},\n  \"queries\": {queries},\n  \"ingest_epochs\": {},\n  \"elapsed_s\": {:.3},\n  \"qps\": {qps:.2},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \"checked\": {},\n  \"divergences\": {divergences},\n  \"client_errors\": {}\n}}\n",
         args.addr,
         args.clients,
         args.requests,
         args.batch_len,
+        args.idle_connections,
         ingested.load(Ordering::Relaxed),
         elapsed.as_secs_f64(),
         percentile_ms(&latencies, 50.0),
@@ -308,8 +475,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "concealer-load: {queries} queries in {:.2}s ({qps:.0} q/s), p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms; \
-         {divergences} divergence(s), {} client error(s); wrote {}",
+        "concealer-load: [{server_mode}] {queries} queries in {:.2}s ({qps:.0} q/s), \
+         p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms; {idle_achieved} held connection(s), \
+         server peak {max_concurrent}; {divergences} divergence(s), {} client error(s); wrote {}",
         elapsed.as_secs_f64(),
         percentile_ms(&latencies, 50.0),
         percentile_ms(&latencies, 95.0),

@@ -1,0 +1,641 @@
+//! The readiness-driven serving core ([`crate::ServerMode::Event`]).
+//!
+//! One event loop multiplexes every connection over the `mio` shim's
+//! `Poll` (epoll on Linux, POSIX `poll(2)` elsewhere), so connection
+//! count is decoupled from thread count — tens of thousands of mostly
+//! idle clients cost file descriptors, not parked threads:
+//!
+//! ```text
+//!             ┌───────────────────────────────────────────────┐
+//!             │               event loop thread               │
+//!  accept ───▶│ listener ──▶ Conn{ FrameDecoder │ out buffer }│◀── poll readiness
+//!             │                   │ decoded requests          │
+//!             │                   ▼                           │
+//!             │              job queue ──▶ worker pool (N)    │
+//!             │                   ▲              │            │
+//!             │  completions ◀────┴── replies ───┘            │
+//!             │  (drained every iteration; waker-notified)    │
+//!             └───────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Reads** accumulate partial frames in a per-connection incremental
+//!   [`FrameDecoder`](serde::frame::FrameDecoder); a request may arrive
+//!   split across any number of readiness events.
+//! * **Engine requests** (`Execute`/`ExecuteBatch`/`IngestEpoch`/`Stats`)
+//!   are dispatched to a small worker pool and complete out of order;
+//!   connection-level requests (`Hello`, `Goodbye`, `Shutdown`,
+//!   `ServeStats`) are answered on the loop itself. Per-connection
+//!   pipelining is capped ([`ServerConfig::max_pipeline`]): at the cap
+//!   the loop stops reading that socket, so TCP flow control
+//!   backpressures the client.
+//! * **Writes** go to a per-connection buffer flushed eagerly and then
+//!   on writable readiness; interest is re-registered only when it
+//!   actually changes.
+//! * **Drain** (signal or wire `Shutdown`) stops accepting and reading;
+//!   already-dispatched requests complete and their replies flush, idle
+//!   connections close cleanly, and the loop exits gracefully once —
+//!   with a grace deadline against peers that stop reading.
+//!
+//! Nothing here changes the trust argument: this is untrusted-zone
+//! plumbing shuffling the same frames as the threaded core, bit for bit
+//! (the loopback suite runs unchanged against both).
+
+mod conn;
+mod workers;
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use concealer_core::ConcealerSystem;
+use mio::{Events, Interest, Poll, Token, Waker};
+use serde::frame::FrameError;
+
+use crate::error::ErrorCode;
+use crate::protocol::{Request, Response, ServeStats, CONNECTION_LEVEL_ID};
+use crate::server::{
+    error_reply, handshake, reserved_id_reply, ServeReport, ServerConfig, ServerMode,
+};
+
+use conn::{Auth, Closing, Conn};
+use workers::{Job, WorkerPool};
+
+/// Token of the accepting listener.
+const LISTENER: usize = 0;
+/// Token of the cross-thread waker (completions, shutdown signal).
+const WAKER: usize = 1;
+/// First connection id; ids are monotonic and never reused, so a stale
+/// completion for a closed connection can never reach a new one.
+const FIRST_CONN: u64 = 2;
+
+/// Poll timeout when nothing time-based is pending (the waker covers
+/// completions and shutdown, so this is only a liveness backstop).
+const IDLE_POLL: Duration = Duration::from_millis(200);
+/// Poll timeout while deadlines (linger, drain grace) are ticking.
+const BUSY_POLL: Duration = Duration::from_millis(25);
+/// How long a refused/lingering connection may take to read its last
+/// frame and close before being dropped.
+const LINGER_GRACE: Duration = Duration::from_millis(200);
+/// How long a drain waits for in-flight replies to flush before
+/// force-closing connections whose peers stopped reading.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+/// Most bytes read from one connection per readiness event, for fairness
+/// under level-triggered readiness (leftover bytes re-fire immediately).
+const MAX_READ_PER_EVENT: usize = 64 * 1024;
+
+/// Spawn the event serving thread. Returns the join handle and the wake
+/// closure [`crate::ServerHandle::signal_shutdown`] uses to interrupt a
+/// parked poll.
+#[allow(clippy::type_complexity)]
+pub(crate) fn spawn(
+    system: Arc<ConcealerSystem>,
+    config: ServerConfig,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<(
+    std::thread::JoinHandle<ServeReport>,
+    Option<Arc<dyn Fn() + Send + Sync>>,
+)> {
+    let poll = Poll::new()?;
+    let waker = Arc::new(Waker::new(&poll, Token(WAKER))?);
+    let wake: Arc<dyn Fn() + Send + Sync> = {
+        let waker = Arc::clone(&waker);
+        Arc::new(move || {
+            let _ = waker.wake();
+        })
+    };
+    let config = Arc::new(config);
+    let pool = WorkerPool::spawn(
+        Arc::clone(&system),
+        Arc::clone(&config),
+        config.max_in_flight,
+        Arc::clone(&waker),
+    );
+    let event_loop = EventLoop {
+        system,
+        config,
+        listener,
+        shutdown,
+        poll,
+        waker,
+        pool,
+        conns: HashMap::new(),
+        next_conn_id: FIRST_CONN,
+        draining: false,
+        drain_deadline: None,
+        fatal: false,
+        lingering: 0,
+        live_serving: 0,
+        peak: 0,
+        total_in_flight: 0,
+        loop_iterations: 0,
+        connections_served: 0,
+        requests_served: 0,
+        rejected_busy: 0,
+    };
+    let thread = std::thread::Builder::new()
+        .name("concealer-event".to_string())
+        .spawn(move || event_loop.run())?;
+    Ok((thread, Some(wake)))
+}
+
+struct EventLoop {
+    system: Arc<ConcealerSystem>,
+    config: Arc<ServerConfig>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    poll: Poll,
+    waker: Arc<Waker>,
+    pool: WorkerPool,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    /// An unrecoverable listener/poller error: exit ungracefully.
+    fatal: bool,
+    /// Connections in linger-discard with a deadline pending.
+    lingering: usize,
+    /// Connections counting toward the serving cap (excludes busy
+    /// refusals).
+    live_serving: usize,
+    peak: usize,
+    /// Engine requests dispatched and unanswered, across connections.
+    total_in_flight: usize,
+    loop_iterations: u64,
+    connections_served: u64,
+    requests_served: u64,
+    rejected_busy: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) -> ServeReport {
+        let mut events = Events::with_capacity(1024);
+        if self
+            .poll
+            .register(&self.listener, Token(LISTENER), Interest::READABLE)
+            .is_err()
+        {
+            self.fatal = true;
+        }
+        let mut graceful = false;
+        while !self.fatal {
+            let timeout = if self.draining || self.lingering > 0 {
+                BUSY_POLL
+            } else {
+                IDLE_POLL
+            };
+            if let Err(e) = self.poll.poll(&mut events, Some(timeout)) {
+                if e.kind() != std::io::ErrorKind::Interrupted {
+                    break;
+                }
+            }
+            self.loop_iterations += 1;
+            for event in &events {
+                match event.token().0 {
+                    LISTENER => self.on_accept(),
+                    WAKER => self.waker.ack(),
+                    id => self.on_conn_event(id as u64, event.is_readable(), event.is_writable()),
+                }
+            }
+            self.process_completions();
+            if self.shutdown.load(Ordering::Acquire) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining {
+                self.sweep();
+            }
+            self.check_deadlines();
+            if self.draining && self.conns.is_empty() && self.total_in_flight == 0 {
+                graceful = true;
+                break;
+            }
+        }
+        // Workers finish any queued jobs; their replies have nowhere to
+        // go (all connections are closed by now), so drop them.
+        drop(self.pool.shutdown());
+        ServeReport {
+            connections_served: self.connections_served,
+            requests_served: self.requests_served,
+            rejected_busy: self.rejected_busy,
+            graceful,
+        }
+    }
+
+    /// Accept until the listener would block.
+    fn on_accept(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.draining {
+                        continue; // Raced the drain; drop silently.
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn_id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    if self.live_serving >= self.config.max_connections {
+                        self.rejected_busy += 1;
+                        let mut conn = Conn::new(stream, self.config.max_frame_len, false);
+                        conn.queue_reply(&error_reply(
+                            CONNECTION_LEVEL_ID,
+                            ErrorCode::Busy,
+                            "connection cap reached; retry later",
+                        ));
+                        conn.closing = Some(Closing::Linger);
+                        self.settle(conn_id, conn);
+                        continue;
+                    }
+                    self.connections_served += 1;
+                    self.live_serving += 1;
+                    self.peak = self.peak.max(self.live_serving);
+                    let conn = Conn::new(stream, self.config.max_frame_len, true);
+                    self.settle(conn_id, conn);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.fatal = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Readiness on one connection: flush and/or read, then advance its
+    /// state machine.
+    fn on_conn_event(&mut self, conn_id: u64, readable: bool, writable: bool) {
+        let Some(mut conn) = self.conns.remove(&conn_id) else {
+            return; // Closed earlier this iteration; stale event.
+        };
+        if (writable || conn.has_pending_output()) && conn.flush().is_err() {
+            self.close_conn(conn);
+            return;
+        }
+        if readable && !self.read_ready(&mut conn) {
+            self.close_conn(conn);
+            return;
+        }
+        self.settle(conn_id, conn);
+    }
+
+    /// Pull bytes off a readable socket into the connection's decoder
+    /// (or the discard sink while lingering). `false` = close now.
+    fn read_ready(&mut self, conn: &mut Conn) -> bool {
+        use std::io::Read as _;
+        let mut buf = [0u8; 16 * 1024];
+        if conn.discard_deadline.is_some() {
+            // Lingering close: consume and ignore until EOF.
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => return false,
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => return false,
+                }
+            }
+        }
+        let mut taken = 0;
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    return true;
+                }
+                Ok(n) => {
+                    conn.decoder.extend_from_slice(&buf[..n]);
+                    taken += n;
+                    if taken >= MAX_READ_PER_EVENT {
+                        // Fairness cap; leftover bytes re-fire the
+                        // level-triggered readiness immediately.
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Decode and handle every complete request the pipeline cap allows.
+    fn drive_decode(&mut self, conn_id: u64, conn: &mut Conn) {
+        loop {
+            if conn.closing.is_some() || conn.goodbye_pending {
+                return;
+            }
+            // Once the peer half-closed no more bytes can arrive, so the
+            // cap no longer protects anything — decode out the remainder
+            // so `mid_frame` means what it says.
+            if !conn.read_closed && conn.in_flight >= self.config.max_pipeline {
+                return;
+            }
+            match conn.decoder.try_decode::<Request>() {
+                Ok(Some(request)) => self.handle_request(conn_id, conn, request),
+                Ok(None) => return,
+                Err(FrameError::TooLarge { len, max }) => {
+                    // Payload already discarded; the stream is aligned and
+                    // the connection survives (blocking-path parity).
+                    self.reply(
+                        conn,
+                        &error_reply(
+                            CONNECTION_LEVEL_ID,
+                            ErrorCode::FrameTooLarge,
+                            format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                        ),
+                    );
+                }
+                Err(FrameError::Decode(e)) => {
+                    self.reply(
+                        conn,
+                        &error_reply(
+                            CONNECTION_LEVEL_ID,
+                            ErrorCode::MalformedFrame,
+                            format!("payload did not decode as a request: {e}"),
+                        ),
+                    );
+                    conn.closing = Some(Closing::Drop);
+                    return;
+                }
+                // The push decoder performs no I/O; it never returns
+                // Io/Closed.
+                Err(FrameError::Io(_) | FrameError::Closed) => return,
+            }
+        }
+    }
+
+    /// The connection state machine, mirroring the threaded core's
+    /// `handle_connection` arms.
+    fn handle_request(&mut self, conn_id: u64, conn: &mut Conn, request: Request) {
+        match (&conn.auth, request) {
+            (
+                Auth::AwaitingHello,
+                Request::Hello {
+                    version,
+                    user_id,
+                    credential,
+                    client_name,
+                },
+            ) => {
+                let _ = client_name;
+                match handshake(&self.system, &self.config, version, user_id, credential) {
+                    Ok((user, info)) => {
+                        conn.auth = Auth::Ready(user);
+                        self.reply(conn, &Response::HelloOk(info));
+                    }
+                    Err(refusal) => {
+                        self.reply(conn, &refusal);
+                        conn.closing = Some(Closing::Drop);
+                    }
+                }
+            }
+            (Auth::AwaitingHello, _) => {
+                self.reply(
+                    conn,
+                    &error_reply(
+                        CONNECTION_LEVEL_ID,
+                        ErrorCode::NotAuthenticated,
+                        "the first request must be Hello",
+                    ),
+                );
+                conn.closing = Some(Closing::Drop);
+            }
+            (Auth::Ready(_), Request::Hello { .. }) => {
+                self.reply(
+                    conn,
+                    &error_reply(
+                        CONNECTION_LEVEL_ID,
+                        ErrorCode::ProtocolViolation,
+                        "connection is already authenticated",
+                    ),
+                );
+                conn.closing = Some(Closing::Drop);
+            }
+            (Auth::Ready(_), Request::Goodbye) => {
+                // Stop reading; `Bye` goes out once in-flight replies
+                // have been written (see `advance`).
+                conn.goodbye_pending = true;
+            }
+            (Auth::Ready(_), Request::Shutdown { id }) => {
+                if id == CONNECTION_LEVEL_ID {
+                    self.refuse_reserved_id(conn);
+                    return;
+                }
+                self.shutdown.store(true, Ordering::Release);
+                self.reply(conn, &Response::ShutdownOk { id });
+                conn.closing = Some(Closing::Drop);
+            }
+            (Auth::Ready(_), Request::ServeStats { id }) => {
+                if id == CONNECTION_LEVEL_ID {
+                    self.refuse_reserved_id(conn);
+                    return;
+                }
+                let stats = self.serve_stats_snapshot();
+                self.reply(conn, &Response::ServeStatsOk { id, stats });
+            }
+            (
+                Auth::Ready(user),
+                request @ (Request::Execute { .. }
+                | Request::ExecuteBatch { .. }
+                | Request::IngestEpoch { .. }
+                | Request::Stats { .. }),
+            ) => {
+                if request.id() == CONNECTION_LEVEL_ID {
+                    self.refuse_reserved_id(conn);
+                    return;
+                }
+                let user = user.clone();
+                conn.in_flight += 1;
+                self.total_in_flight += 1;
+                self.pool.submit(Job {
+                    conn_id,
+                    user,
+                    request,
+                });
+            }
+        }
+    }
+
+    fn refuse_reserved_id(&mut self, conn: &mut Conn) {
+        self.reply(conn, &reserved_id_reply());
+        conn.closing = Some(Closing::Drop);
+    }
+
+    fn serve_stats_snapshot(&self) -> ServeStats {
+        ServeStats {
+            mode: ServerMode::Event.name().to_string(),
+            connections: self.live_serving as u64,
+            peak_connections: self.peak as u64,
+            connections_served: self.connections_served,
+            in_flight: self.total_in_flight as u64,
+            backlog: self.pool.backlog() as u64,
+            loop_iterations: self.loop_iterations,
+            requests_served: self.requests_served,
+        }
+    }
+
+    /// Deliver finished worker replies to their connections.
+    fn process_completions(&mut self) {
+        for (conn_id, response) in self.pool.drain_completions() {
+            self.total_in_flight -= 1;
+            self.requests_served += 1;
+            let Some(mut conn) = self.conns.remove(&conn_id) else {
+                continue; // Connection died while its request executed.
+            };
+            conn.in_flight -= 1;
+            conn.queue_reply(&response);
+            self.settle(conn_id, conn);
+        }
+    }
+
+    /// Queue a loop-generated reply, counting it like the threaded
+    /// core's `send`.
+    fn reply(&mut self, conn: &mut Conn, response: &Response) {
+        conn.queue_reply(response);
+        self.requests_served += 1;
+    }
+
+    /// Run a connection's state machine forward, then either re-track it
+    /// (with its poller interest updated) or close it.
+    fn settle(&mut self, conn_id: u64, mut conn: Conn) {
+        if self.advance(conn_id, &mut conn) {
+            self.update_interest(conn_id, &mut conn);
+            self.conns.insert(conn_id, conn);
+        } else {
+            self.close_conn(conn);
+        }
+    }
+
+    /// Decode → reply bookkeeping → flush → close transitions.
+    /// `false` = close the connection now.
+    fn advance(&mut self, conn_id: u64, conn: &mut Conn) -> bool {
+        if conn.closing.is_none() && conn.discard_deadline.is_none() {
+            self.drive_decode(conn_id, conn);
+        }
+        if conn.goodbye_pending && conn.in_flight == 0 && conn.closing.is_none() {
+            self.reply(conn, &Response::Bye);
+            conn.closing = Some(Closing::Drop);
+        }
+        if conn.read_closed && conn.closing.is_none() && conn.decoder.mid_frame() {
+            // EOF inside a frame: torn stream, close abruptly (the
+            // blocking core's `FrameError::Io(UnexpectedEof)` path).
+            return false;
+        }
+        if conn.flush().is_err() {
+            return false;
+        }
+        if !conn.has_pending_output() {
+            match conn.closing {
+                Some(Closing::Drop) => return false,
+                Some(Closing::Linger) => {
+                    if conn.discard_deadline.is_none() {
+                        // Signal end-of-stream but give the peer a moment
+                        // to take the final frame before the socket dies.
+                        let _ = conn.stream.shutdown(Shutdown::Write);
+                        conn.discard_deadline = Some(Instant::now() + LINGER_GRACE);
+                        self.lingering += 1;
+                    }
+                }
+                None => {
+                    if conn.in_flight == 0 && (conn.read_closed || self.draining) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Compute and apply the poller interest a connection needs now,
+    /// touching the poller only when it changed.
+    fn update_interest(&mut self, conn_id: u64, conn: &mut Conn) {
+        let readable = if conn.discard_deadline.is_some() {
+            true // Keep draining the peer until it closes.
+        } else {
+            !conn.read_closed
+                && conn.closing.is_none()
+                && !conn.goodbye_pending
+                && !self.draining
+                && conn.in_flight < self.config.max_pipeline
+        };
+        let writable = conn.has_pending_output();
+        let desired = match (readable, writable) {
+            (true, true) => Some(Interest::READABLE | Interest::WRITABLE),
+            (true, false) => Some(Interest::READABLE),
+            (false, true) => Some(Interest::WRITABLE),
+            (false, false) => None,
+        };
+        if desired == conn.interest {
+            return;
+        }
+        let token = Token(conn_id as usize);
+        let outcome = match (conn.interest, desired) {
+            (None, Some(interest)) => self.poll.register(&conn.stream, token, interest),
+            (Some(_), Some(interest)) => self.poll.reregister(&conn.stream, token, interest),
+            (Some(_), None) => self.poll.deregister(&conn.stream),
+            (None, None) => Ok(()),
+        };
+        conn.interest = if outcome.is_ok() { desired } else { None };
+    }
+
+    /// Deregister and drop a connection, maintaining the counters.
+    fn close_conn(&mut self, conn: Conn) {
+        if conn.interest.is_some() {
+            let _ = self.poll.deregister(&conn.stream);
+        }
+        if conn.serving {
+            self.live_serving -= 1;
+        }
+        if conn.discard_deadline.is_some() {
+            self.lingering -= 1;
+        }
+    }
+
+    /// Enter drain: stop accepting, stop reading, let in-flight replies
+    /// flush, close idle connections.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+        let _ = self.poll.deregister(&self.listener);
+    }
+
+    /// Re-advance every connection (drain mode): closes the idle ones and
+    /// those whose last reply has flushed.
+    fn sweep(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for conn_id in ids {
+            if let Some(conn) = self.conns.remove(&conn_id) {
+                self.settle(conn_id, conn);
+            }
+        }
+    }
+
+    /// Enforce linger and drain deadlines.
+    fn check_deadlines(&mut self) {
+        let now = Instant::now();
+        if self.lingering > 0 {
+            let expired: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, conn)| conn.discard_deadline.is_some_and(|d| now >= d))
+                .map(|(&conn_id, _)| conn_id)
+                .collect();
+            for conn_id in expired {
+                if let Some(conn) = self.conns.remove(&conn_id) {
+                    self.close_conn(conn);
+                }
+            }
+        }
+        if self.draining && self.drain_deadline.is_some_and(|d| now >= d) && !self.conns.is_empty()
+        {
+            // Grace expired: peers holding their replies hostage get cut.
+            for (_, conn) in std::mem::take(&mut self.conns) {
+                self.close_conn(conn);
+            }
+        }
+    }
+}

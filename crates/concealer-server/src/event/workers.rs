@@ -1,0 +1,167 @@
+//! The event core's worker pool: engine requests are executed off the
+//! readiness loop on a small fixed pool (its size is the engine
+//! concurrency bound, the role the admission gate plays in the threaded
+//! core). Completions flow back through a queue the loop drains each
+//! iteration, woken by the poller's waker.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use concealer_core::{ConcealerSystem, UserHandle};
+
+use crate::protocol::{Request, Response};
+use crate::server::{execute_engine_request, ServerConfig};
+
+/// One engine-bound request, tagged with the connection awaiting the
+/// reply.
+pub(super) struct Job {
+    pub(super) conn_id: u64,
+    pub(super) user: UserHandle,
+    pub(super) request: Request,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+impl JobQueue {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Block until a job is available; `None` once the queue is closed
+    /// *and* empty — remaining jobs are executed before workers exit, so
+    /// a drain never loses dispatched requests.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Finished replies waiting for the event loop, plus the waker that tells
+/// it to come collect them.
+struct Completions {
+    done: Mutex<Vec<(u64, Response)>>,
+    waker: Arc<mio::Waker>,
+}
+
+impl Completions {
+    fn push(&self, conn_id: u64, reply: Response) {
+        self.done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((conn_id, reply));
+        // A failed wake means the loop is already tearing down; the
+        // completion still sits in the queue for the final drain.
+        let _ = self.waker.wake();
+    }
+}
+
+/// The pool: submit jobs from the loop thread, drain completions from the
+/// loop thread, executed by `workers` background threads.
+pub(super) struct WorkerPool {
+    queue: Arc<JobQueue>,
+    completions: Arc<Completions>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub(super) fn spawn(
+        system: Arc<ConcealerSystem>,
+        config: Arc<ServerConfig>,
+        workers: usize,
+        waker: Arc<mio::Waker>,
+    ) -> WorkerPool {
+        let queue = Arc::new(JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        });
+        let completions = Arc::new(Completions {
+            done: Mutex::new(Vec::new()),
+            waker,
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let completions = Arc::clone(&completions);
+                let system = Arc::clone(&system);
+                let config = Arc::clone(&config);
+                std::thread::Builder::new()
+                    .name(format!("concealer-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let reply =
+                                execute_engine_request(&system, &config, &job.user, job.request);
+                            completions.push(job.conn_id, reply);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            queue,
+            completions,
+            handles,
+        }
+    }
+
+    pub(super) fn submit(&self, job: Job) {
+        let mut state = self.queue.lock();
+        state.jobs.push_back(job);
+        drop(state);
+        self.queue.available.notify_one();
+    }
+
+    /// Jobs queued but not yet picked up by a worker (the `backlog` the
+    /// stats endpoint reports).
+    pub(super) fn backlog(&self) -> usize {
+        self.queue.lock().jobs.len()
+    }
+
+    /// Take every completion produced since the last drain.
+    pub(super) fn drain_completions(&self) -> Vec<(u64, Response)> {
+        std::mem::take(
+            &mut self
+                .completions
+                .done
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Close the queue and join the workers; queued jobs finish first.
+    /// Their completions are returned for the caller's final drain.
+    pub(super) fn shutdown(mut self) -> Vec<(u64, Response)> {
+        {
+            let mut state = self.queue.lock();
+            state.closed = true;
+        }
+        self.queue.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.drain_completions()
+    }
+}

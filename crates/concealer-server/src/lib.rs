@@ -9,8 +9,13 @@
 //!   replies) and the frame limits;
 //! * [`error`] — the wire-facing [`ErrorCode`] mapping of
 //!   [`concealer_core::CoreError`];
-//! * [`server`] — thread-per-connection serving on the scoped pool, with
-//!   a connection cap, admission backpressure and graceful drain.
+//! * [`server`] — serving in one of two modes behind the same wire
+//!   protocol ([`ServerConfig::mode`](server::ServerConfig)): the
+//!   thread-per-connection core (connection cap, admission
+//!   backpressure, graceful drain), or the readiness-driven `event`
+//!   core (one poller loop + a worker pool; connections cost file
+//!   descriptors, not threads — see `ARCHITECTURE.md` § "Event-driven
+//!   serving").
 //!
 //! The blocking client side lives in the sibling `concealer-client`
 //! crate; `concealer-load` drives many clients for the CI soak job. See
@@ -34,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod error;
+#[cfg(unix)]
+mod event;
 pub mod protocol;
 pub mod server;
 
 pub use error::{ErrorCode, WireError};
 pub use protocol::{
-    Request, Response, ServerInfo, WireResult, WireStats, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH,
-    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    Request, Response, ServeStats, ServerInfo, WireResult, WireStats, CONNECTION_LEVEL_ID,
+    DEFAULT_MAX_BATCH, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-pub use server::{ServeReport, Server, ServerConfig, ServerHandle};
+pub use server::{ServeReport, Server, ServerConfig, ServerHandle, ServerMode};

@@ -2,7 +2,7 @@
 //! and serve it over TCP until a graceful shutdown.
 //!
 //! ```text
-//! concealer-server [--port N] [--hours H] [--seed S]
+//! concealer-server [--mode threaded|event] [--port N] [--hours H] [--seed S]
 //!                  [--max-connections N] [--max-in-flight N] [--no-ingest]
 //! ```
 //!
@@ -13,17 +13,23 @@
 //! `CONCEALER_TEST_BACKEND` harness hook (`memory` default, `disk` for
 //! the durable store), which is how the CI soak matrix runs both.
 //!
-//! Prints exactly one `READY addr=… backend=… protocol=…` line on stdout
-//! once the listener is bound (what `ci/server-soak.sh` waits for), and a
-//! `SHUTDOWN graceful …` line when a wire shutdown drained cleanly.
+//! Prints exactly one `READY addr=… backend=… protocol=… mode=…` line on
+//! stdout once the listener is bound (what `ci/server-soak.sh` waits
+//! for), and a `SHUTDOWN graceful …` line when a wire shutdown drained
+//! cleanly.
+//!
+//! `--mode` selects the serving core: `threaded` (the default;
+//! thread-per-connection) or `event` (one readiness loop plus a worker
+//! pool — use it with `--max-connections` in the thousands).
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use concealer_server::{Server, ServerConfig, PROTOCOL_VERSION};
+use concealer_server::{Server, ServerConfig, ServerMode, PROTOCOL_VERSION};
 
 struct Args {
+    mode: ServerMode,
     port: u16,
     hours: u64,
     seed: u64,
@@ -34,6 +40,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        mode: ServerMode::Threaded,
         port: 0,
         hours: 2,
         seed: 42,
@@ -52,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag {
+            "--mode" => args.mode = ServerMode::parse(&value("--mode")?)?,
             "--port" => args.port = parse(&value("--port")?)?,
             "--hours" => args.hours = parse(&value("--hours")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
@@ -59,9 +67,11 @@ fn parse_args() -> Result<Args, String> {
             "--max-in-flight" => args.max_in_flight = parse(&value("--max-in-flight")?)?,
             "--no-ingest" => args.allow_ingest = false,
             "--help" | "-h" => {
-                return Err("usage: concealer-server [--port N] [--hours H] [--seed S] \
-                            [--max-connections N] [--max-in-flight N] [--no-ingest]"
-                    .to_string())
+                return Err(
+                    "usage: concealer-server [--mode threaded|event] [--port N] [--hours H] \
+                     [--seed S] [--max-connections N] [--max-in-flight N] [--no-ingest]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -101,6 +111,7 @@ fn main() -> ExitCode {
 
     let config = ServerConfig {
         bind: SocketAddr::from(([127, 0, 0, 1], args.port)),
+        mode: args.mode,
         max_connections: args.max_connections,
         max_in_flight: args.max_in_flight,
         allow_ingest: args.allow_ingest,
@@ -117,8 +128,9 @@ fn main() -> ExitCode {
     // The READY line is the machine-readable contract with ci/server-soak.sh
     // and any other launcher: one line, stdout, flushed before serving.
     println!(
-        "READY addr={} backend={backend} protocol={PROTOCOL_VERSION}",
-        handle.local_addr()
+        "READY addr={} backend={backend} protocol={PROTOCOL_VERSION} mode={}",
+        handle.local_addr(),
+        args.mode.name()
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();

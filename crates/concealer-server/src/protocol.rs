@@ -126,6 +126,13 @@ pub enum Request {
     },
     /// Close this connection cleanly; the server answers [`Response::Bye`].
     Goodbye,
+    /// Ask for the *serving layer's* live profile ([`ServeStats`]):
+    /// connection counts, dispatch backlog, loop metrics. Complements
+    /// [`Request::Stats`], which profiles the storage backend.
+    ServeStats {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+    },
 }
 
 impl Request {
@@ -139,7 +146,8 @@ impl Request {
             | Request::ExecuteBatch { id, .. }
             | Request::IngestEpoch { id, .. }
             | Request::Stats { id }
-            | Request::Shutdown { id } => *id,
+            | Request::Shutdown { id }
+            | Request::ServeStats { id } => *id,
         }
     }
 }
@@ -189,6 +197,33 @@ impl From<concealer_core::IndexStats> for WireStats {
     }
 }
 
+/// The serving layer's live profile, reported by
+/// [`Response::ServeStatsOk`]. Event-mode servers fill every field from
+/// the loop's own counters; threaded-mode servers report `backlog` and
+/// `loop_iterations` as zero (there is no readiness loop).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Serving mode: `"threaded"` or `"event"`.
+    pub mode: String,
+    /// Connections live right now (the replying one included).
+    pub connections: u64,
+    /// High-water mark of concurrently live connections.
+    pub peak_connections: u64,
+    /// Connections accepted and served so far (busy-rejects excluded).
+    pub connections_served: u64,
+    /// Engine requests dispatched but not yet answered (executing or
+    /// queued for a worker).
+    pub in_flight: u64,
+    /// Dispatched requests still waiting for a worker (a subset of
+    /// `in_flight`; always zero in threaded mode, where the connection
+    /// thread itself blocks on the admission gate).
+    pub backlog: u64,
+    /// Readiness-loop iterations so far (zero in threaded mode).
+    pub loop_iterations: u64,
+    /// Replies written so far, error replies included.
+    pub requests_served: u64,
+}
+
 /// One per-query outcome inside [`Response::BatchAnswer`] (the shim serde
 /// derive has no `Result` impl, and the error side must be the wire error
 /// anyway).
@@ -219,8 +254,11 @@ impl From<Result<QueryAnswer, concealer_core::CoreError>> for WireResult {
     }
 }
 
-/// Server → client messages. Replies echo the request id; per connection
-/// they arrive in request order, which is what lets clients pipeline.
+/// Server → client messages. Replies echo the request id. The threaded
+/// server answers in request order per connection; the event server
+/// completes pipelined requests out of order — clients must match replies
+/// by id (the `concealer-client` crate parks out-of-order replies, so
+/// both behaviours look identical through it).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// The handshake succeeded; the connection may now issue requests.
@@ -272,6 +310,13 @@ pub enum Response {
     },
     /// Reply to [`Request::Goodbye`]; the server closes afterwards.
     Bye,
+    /// Reply to [`Request::ServeStats`].
+    ServeStatsOk {
+        /// The echoed request id.
+        id: u64,
+        /// The serving layer's live profile.
+        stats: ServeStats,
+    },
 }
 
 impl Response {
@@ -286,7 +331,8 @@ impl Response {
             | Response::IngestOk { id, .. }
             | Response::StatsOk { id, .. }
             | Response::ShutdownOk { id }
-            | Response::Error { id, .. } => *id,
+            | Response::Error { id, .. }
+            | Response::ServeStatsOk { id, .. } => *id,
         }
     }
 }
@@ -334,6 +380,7 @@ mod tests {
             Request::Stats { id: 4 },
             Request::Shutdown { id: 5 },
             Request::Goodbye,
+            Request::ServeStats { id: 6 },
         ];
         for request in requests {
             assert_eq!(roundtrip(&request), request);
@@ -397,6 +444,19 @@ mod tests {
                 },
             },
             Response::Bye,
+            Response::ServeStatsOk {
+                id: 6,
+                stats: ServeStats {
+                    mode: "event".into(),
+                    connections: 3,
+                    peak_connections: 11,
+                    connections_served: 40,
+                    in_flight: 2,
+                    backlog: 1,
+                    loop_iterations: 12345,
+                    requests_served: 678,
+                },
+            },
         ];
         for response in responses {
             assert_eq!(roundtrip(&response), response);
@@ -407,7 +467,25 @@ mod tests {
     fn ids_are_extracted() {
         assert_eq!(Request::Stats { id: 9 }.id(), 9);
         assert_eq!(Request::Goodbye.id(), CONNECTION_LEVEL_ID);
+        assert_eq!(Request::ServeStats { id: 9 }.id(), 9);
         assert_eq!(Response::ShutdownOk { id: 9 }.id(), 9);
         assert_eq!(Response::Bye.id(), CONNECTION_LEVEL_ID);
+        assert_eq!(
+            Response::ServeStatsOk {
+                id: 9,
+                stats: ServeStats {
+                    mode: "threaded".into(),
+                    connections: 0,
+                    peak_connections: 0,
+                    connections_served: 0,
+                    in_flight: 0,
+                    backlog: 0,
+                    loop_iterations: 0,
+                    requests_served: 0,
+                },
+            }
+            .id(),
+            9
+        );
     }
 }

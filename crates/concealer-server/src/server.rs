@@ -44,9 +44,57 @@ use serde::frame::{read_frame, write_frame, FrameError};
 
 use crate::error::{ErrorCode, WireError};
 use crate::protocol::{
-    Request, Response, ServerInfo, WireResult, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH,
+    Request, Response, ServeStats, ServerInfo, WireResult, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH,
     DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
+
+/// Which serving core handles connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// Thread-per-connection on the scoped pool (the PR 5 reference
+    /// implementation): simple, strictly ordered replies, concurrency
+    /// capped at the pool size.
+    #[default]
+    Threaded,
+    /// Readiness-driven non-blocking core (`crate::event`): one event
+    /// loop multiplexing every socket, a small worker pool executing
+    /// engine requests, connection count decoupled from thread count.
+    /// Unix-only (the readiness shim is epoll/poll-based).
+    Event,
+}
+
+impl ServerMode {
+    /// Stable lowercase name (`"threaded"` / `"event"`), as reported in
+    /// [`ServeStats::mode`] and the binary's READY line.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerMode::Threaded => "threaded",
+            ServerMode::Event => "event",
+        }
+    }
+
+    /// Parse the CLI/env spelling.
+    pub fn parse(s: &str) -> Result<ServerMode, String> {
+        match s {
+            "threaded" => Ok(ServerMode::Threaded),
+            "event" => Ok(ServerMode::Event),
+            other => Err(format!("unknown server mode {other:?} (threaded|event)")),
+        }
+    }
+
+    /// The default mode, honoring the `CONCEALER_TEST_SERVER_MODE`
+    /// harness hook (same pattern as `CONCEALER_TEST_BACKEND`): it lets
+    /// CI re-run the unchanged loopback suite against the event core.
+    /// Unrecognized values fall back to [`ServerMode::Threaded`].
+    #[must_use]
+    pub fn from_env_default() -> ServerMode {
+        std::env::var("CONCEALER_TEST_SERVER_MODE")
+            .ok()
+            .and_then(|v| ServerMode::parse(&v).ok())
+            .unwrap_or(ServerMode::Threaded)
+    }
+}
 
 /// Everything that tunes a [`Server`] deployment.
 #[derive(Debug, Clone)]
@@ -76,6 +124,13 @@ pub struct ServerConfig {
     /// ingests identically (what lets soak oracles predict post-ingest
     /// state).
     pub ingest_seed: u64,
+    /// Which serving core runs the deployment (see [`ServerMode`]).
+    pub mode: ServerMode,
+    /// Event mode only: maximum requests one connection may have
+    /// dispatched but unanswered. At the cap the loop stops reading that
+    /// connection's socket, so TCP flow control backpressures the client
+    /// exactly as the threaded core's one-at-a-time reads do.
+    pub max_pipeline: usize,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +146,8 @@ impl Default for ServerConfig {
                 .map_or(1, std::num::NonZeroUsize::get),
             allow_ingest: true,
             ingest_seed: 0xC0CE_A1E5_0000_0001,
+            mode: ServerMode::from_env_default(),
+            max_pipeline: 64,
         }
     }
 }
@@ -135,24 +192,60 @@ impl Server {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let thread_shutdown = Arc::clone(&shutdown);
-        let thread = std::thread::Builder::new()
-            .name("concealer-serve".to_string())
-            .spawn(move || serve(&self.system, &self.config, &listener, &thread_shutdown))?;
+        let (thread, waker) = match self.config.mode {
+            ServerMode::Threaded => {
+                let thread = std::thread::Builder::new()
+                    .name("concealer-serve".to_string())
+                    .spawn(move || {
+                        serve(&self.system, &self.config, &listener, &thread_shutdown)
+                    })?;
+                (thread, None)
+            }
+            #[cfg(unix)]
+            ServerMode::Event => crate::event::spawn(
+                Arc::clone(&self.system),
+                self.config.clone(),
+                listener,
+                thread_shutdown,
+            )?,
+            #[cfg(not(unix))]
+            ServerMode::Event => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "event mode requires a Unix readiness backend; use ServerMode::Threaded",
+                ))
+            }
+        };
         Ok(ServerHandle {
             local_addr,
             shutdown,
             thread,
+            waker,
         })
     }
 }
 
 /// A running server: the bound address, the shutdown signal, and the serve
 /// thread to join.
-#[derive(Debug)]
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     thread: std::thread::JoinHandle<ServeReport>,
+    /// Event mode only: pokes the readiness loop so a locally signalled
+    /// shutdown is noticed immediately instead of at the next poll
+    /// timeout. The threaded acceptor polls on a short interval and needs
+    /// no wake-up.
+    waker: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .field("shutdown", &self.shutdown)
+            .field("has_waker", &self.waker.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerHandle {
@@ -168,6 +261,9 @@ impl ServerHandle {
     /// and drains in-flight requests.
     pub fn signal_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
+        if let Some(waker) = &self.waker {
+            waker();
+        }
     }
 
     /// Whether a shutdown has been signalled (locally or over the wire).
@@ -280,6 +376,8 @@ struct ServeShared<'a> {
     admission: Admission,
     registry: ConnRegistry,
     active: AtomicUsize,
+    peak: AtomicUsize,
+    connections_served: AtomicU64,
     requests_served: AtomicU64,
 }
 
@@ -301,6 +399,8 @@ fn serve(
         admission: Admission::new(config.max_in_flight),
         registry: ConnRegistry::default(),
         active: AtomicUsize::new(0),
+        peak: AtomicUsize::new(0),
+        connections_served: AtomicU64::new(0),
         requests_served: AtomicU64::new(0),
     };
     let pool = rayon::ThreadPoolBuilder::new()
@@ -327,10 +427,12 @@ fn serve(
                     let conn_id = next_conn_id;
                     next_conn_id += 1;
                     report.connections_served += 1;
+                    shared.connections_served.fetch_add(1, Ordering::AcqRel);
                     if let Ok(read_half) = stream.try_clone() {
                         shared.registry.register(conn_id, read_half);
                     }
-                    shared.active.fetch_add(1, Ordering::AcqRel);
+                    let live = shared.active.fetch_add(1, Ordering::AcqRel) + 1;
+                    shared.peak.fetch_max(live, Ordering::AcqRel);
                     let shared_ref = &shared;
                     scope.spawn(move |_| {
                         handle_connection(shared_ref, stream);
@@ -436,13 +538,16 @@ fn handle_connection(shared: &ServeShared<'_>, mut stream: TcpStream) {
                     credential,
                     client_name,
                 },
-            ) => match handshake(shared, version, user_id, credential, &client_name) {
-                Ok((user, info)) => {
-                    state = ConnState::Ready(user);
-                    Outcome::Reply(Response::HelloOk(info))
+            ) => {
+                let _ = client_name;
+                match handshake(shared.system, shared.config, version, user_id, credential) {
+                    Ok((user, info)) => {
+                        state = ConnState::Ready(user);
+                        Outcome::Reply(Response::HelloOk(info))
+                    }
+                    Err(reply) => Outcome::Fatal(reply),
                 }
-                Err(reply) => Outcome::Fatal(reply),
-            },
+            }
             (ConnState::AwaitingHello, _) => Outcome::Fatal(error_reply(
                 CONNECTION_LEVEL_ID,
                 ErrorCode::NotAuthenticated,
@@ -484,13 +589,14 @@ enum Outcome {
     Close(Response),
 }
 
-/// Validate the hello frame: protocol version, then credential.
-fn handshake(
-    shared: &ServeShared<'_>,
+/// Validate the hello frame: protocol version, then credential. Shared
+/// by both serving cores.
+pub(crate) fn handshake(
+    system: &ConcealerSystem,
+    config: &ServerConfig,
     version: u32,
     user_id: u64,
     credential: [u8; 32],
-    _client_name: &str,
 ) -> Result<(UserHandle, ServerInfo), Response> {
     if version != PROTOCOL_VERSION {
         return Err(error_reply(
@@ -505,8 +611,7 @@ fn handshake(
     // stays per-query. `open_session` checks both, so a credential-valid
     // but aggregate-unauthorized user comes back `Unauthorized` — accept
     // those here and let each query's own scope check decide.
-    match shared
-        .system
+    match system
         .engine()
         .enclave()
         .open_session(user_id, &credential, QueryScope::Aggregate)
@@ -523,11 +628,11 @@ fn handshake(
     }
     let info = ServerInfo {
         protocol_version: PROTOCOL_VERSION,
-        server_name: shared.config.server_name.clone(),
-        backend: shared.system.store().backend_kind().to_string(),
-        max_batch: shared.config.max_batch as u64,
-        max_frame_len: shared.config.max_frame_len as u64,
-        ingest_allowed: shared.config.allow_ingest,
+        server_name: config.server_name.clone(),
+        backend: system.store().backend_kind().to_string(),
+        max_batch: config.max_batch as u64,
+        max_frame_len: config.max_frame_len as u64,
+        ingest_allowed: config.allow_ingest,
     };
     Ok((
         UserHandle {
@@ -543,92 +648,41 @@ fn dispatch(shared: &ServeShared<'_>, user: &UserHandle, request: Request) -> Ou
     match request {
         Request::Hello { .. } => unreachable!("handled by the connection state machine"),
         Request::Goodbye => Outcome::Close(Response::Bye),
-        Request::Execute { id, query, options } => {
+        Request::Execute { id, .. }
+        | Request::ExecuteBatch { id, .. }
+        | Request::IngestEpoch { id, .. }
+        | Request::Stats { id } => {
             if id == CONNECTION_LEVEL_ID {
                 return reserved_id();
             }
-            let options = clamp_options(shared, options);
+            // The admission gate bounds engine concurrency across
+            // connections; in event mode the worker-pool size plays this
+            // role instead, so the gate lives here and not in
+            // `execute_engine_request`.
             let _permit = shared.admission.acquire();
-            let result = shared.system.session(user).execute_with(&query, options);
-            Outcome::Reply(match result {
-                Ok(answer) => Response::Answer { id, answer },
-                Err(e) => Response::Error {
-                    id,
-                    error: WireError::from(&e),
-                },
-            })
+            Outcome::Reply(execute_engine_request(
+                shared.system,
+                shared.config,
+                user,
+                request,
+            ))
         }
-        Request::ExecuteBatch {
-            id,
-            queries,
-            options,
-        } => {
+        Request::ServeStats { id } => {
             if id == CONNECTION_LEVEL_ID {
                 return reserved_id();
             }
-            if queries.len() > shared.config.max_batch {
-                return Outcome::Reply(error_reply(
-                    id,
-                    ErrorCode::BatchTooLarge,
-                    format!(
-                        "batch of {} queries exceeds the {}-query limit",
-                        queries.len(),
-                        shared.config.max_batch
-                    ),
-                ));
-            }
-            let options = clamp_options(shared, options);
-            let _permit = shared.admission.acquire();
-            let results: Vec<WireResult> = shared
-                .system
-                .session(user)
-                .with_options(options)
-                .execute_batch(&queries)
-                .into_iter()
-                .map(WireResult::from)
-                .collect();
-            Outcome::Reply(Response::BatchAnswer { id, results })
-        }
-        Request::IngestEpoch {
-            id,
-            epoch_start,
-            records,
-        } => {
-            if id == CONNECTION_LEVEL_ID {
-                return reserved_id();
-            }
-            if !shared.config.allow_ingest {
-                return Outcome::Reply(error_reply(
-                    id,
-                    ErrorCode::Unauthorized,
-                    "this server does not accept wire ingest",
-                ));
-            }
-            let _permit = shared.admission.acquire();
-            // Deterministic per-epoch RNG (see `ServerConfig::ingest_seed`).
-            let mut rng = StdRng::seed_from_u64(
-                shared.config.ingest_seed ^ epoch_start.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            let result = shared.system.ingest_epoch(epoch_start, &records, &mut rng);
-            Outcome::Reply(match result {
-                Ok(stats) => Response::IngestOk {
-                    id,
-                    epoch_id: epoch_start,
-                    rows_stored: (stats.real_rows + stats.fake_rows) as u64,
-                },
-                Err(e) => Response::Error {
-                    id,
-                    error: WireError::from(&e),
-                },
-            })
-        }
-        Request::Stats { id } => {
-            if id == CONNECTION_LEVEL_ID {
-                return reserved_id();
-            }
-            Outcome::Reply(Response::StatsOk {
+            Outcome::Reply(Response::ServeStatsOk {
                 id,
-                stats: shared.system.answer_stats().into(),
+                stats: ServeStats {
+                    mode: ServerMode::Threaded.name().to_string(),
+                    connections: shared.active.load(Ordering::Acquire) as u64,
+                    peak_connections: shared.peak.load(Ordering::Acquire) as u64,
+                    connections_served: shared.connections_served.load(Ordering::Acquire),
+                    in_flight: 0,
+                    backlog: 0,
+                    loop_iterations: 0,
+                    requests_served: shared.requests_served.load(Ordering::Acquire),
+                },
             })
         }
         Request::Shutdown { id } => {
@@ -643,24 +697,117 @@ fn dispatch(shared: &ServeShared<'_>, user: &UserHandle, request: Request) -> Ou
     }
 }
 
+/// Run one engine-bound request to completion and produce its reply.
+/// Shared by both serving cores: the threaded core calls it on the
+/// connection thread (under an admission permit), the event core on a
+/// worker thread (the pool size is the concurrency bound). The caller
+/// has already rejected reserved ids.
+pub(crate) fn execute_engine_request(
+    system: &ConcealerSystem,
+    config: &ServerConfig,
+    user: &UserHandle,
+    request: Request,
+) -> Response {
+    match request {
+        Request::Execute { id, query, options } => {
+            let options = clamp_options(config, options);
+            match system.session(user).execute_with(&query, options) {
+                Ok(answer) => Response::Answer { id, answer },
+                Err(e) => Response::Error {
+                    id,
+                    error: WireError::from(&e),
+                },
+            }
+        }
+        Request::ExecuteBatch {
+            id,
+            queries,
+            options,
+        } => {
+            if queries.len() > config.max_batch {
+                return error_reply(
+                    id,
+                    ErrorCode::BatchTooLarge,
+                    format!(
+                        "batch of {} queries exceeds the {}-query limit",
+                        queries.len(),
+                        config.max_batch
+                    ),
+                );
+            }
+            let options = clamp_options(config, options);
+            let results: Vec<WireResult> = system
+                .session(user)
+                .with_options(options)
+                .execute_batch(&queries)
+                .into_iter()
+                .map(WireResult::from)
+                .collect();
+            Response::BatchAnswer { id, results }
+        }
+        Request::IngestEpoch {
+            id,
+            epoch_start,
+            records,
+        } => {
+            if !config.allow_ingest {
+                return error_reply(
+                    id,
+                    ErrorCode::Unauthorized,
+                    "this server does not accept wire ingest",
+                );
+            }
+            // Deterministic per-epoch RNG (see `ServerConfig::ingest_seed`).
+            let mut rng = StdRng::seed_from_u64(
+                config.ingest_seed ^ epoch_start.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            match system.ingest_epoch(epoch_start, &records, &mut rng) {
+                Ok(stats) => Response::IngestOk {
+                    id,
+                    epoch_id: epoch_start,
+                    rows_stored: (stats.real_rows + stats.fake_rows) as u64,
+                },
+                Err(e) => Response::Error {
+                    id,
+                    error: WireError::from(&e),
+                },
+            }
+        }
+        Request::Stats { id } => Response::StatsOk {
+            id,
+            stats: system.answer_stats().into(),
+        },
+        Request::Hello { .. }
+        | Request::Goodbye
+        | Request::Shutdown { .. }
+        | Request::ServeStats { .. } => {
+            unreachable!("connection-level requests never reach the engine executor")
+        }
+    }
+}
+
 fn reserved_id() -> Outcome {
-    Outcome::Fatal(error_reply(
+    Outcome::Fatal(reserved_id_reply())
+}
+
+/// The error reply both cores answer (and then close) when a client uses
+/// the reserved connection-level request id.
+pub(crate) fn reserved_id_reply() -> Response {
+    error_reply(
         CONNECTION_LEVEL_ID,
         ErrorCode::ProtocolViolation,
         "request id 0 is reserved for connection-level errors",
-    ))
+    )
 }
 
 /// Apply server policy to client-supplied options.
-fn clamp_options(shared: &ServeShared<'_>, options: Option<ExecOptions>) -> ExecOptions {
+fn clamp_options(config: &ServerConfig, options: Option<ExecOptions>) -> ExecOptions {
     let mut options = options.unwrap_or_default();
-    options.parallelism = options
-        .parallelism
-        .min(shared.config.max_parallelism.max(1));
+    options.parallelism = options.parallelism.min(config.max_parallelism.max(1));
     options
 }
 
-fn error_reply(id: u64, code: ErrorCode, message: impl Into<String>) -> Response {
+pub(crate) fn error_reply(id: u64, code: ErrorCode, message: impl Into<String>) -> Response {
     Response::Error {
         id,
         error: WireError::new(code, message),

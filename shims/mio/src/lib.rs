@@ -1,0 +1,937 @@
+//! Offline shim for the [`mio`](https://crates.io/crates/mio) crate.
+//!
+//! Implements exactly the readiness subset the workspace's event-driven
+//! server uses: [`Poll`] / [`Events`] / [`Token`] / [`Interest`] plus a
+//! [`Waker`] for cross-thread wake-ups. Two backends:
+//!
+//! * **epoll** (Linux): thin FFI over `epoll_create1` / `epoll_ctl` /
+//!   `epoll_wait` — the production path, O(ready) per poll call.
+//! * **poll** (portable fallback, any Unix): thin FFI over POSIX
+//!   `poll(2)` — O(registered) per call, used automatically off Linux and
+//!   forceable everywhere with `MIO_SHIM_FORCE_FALLBACK=1` (which is how
+//!   the test suite exercises both backends on one machine).
+//!
+//! Divergences from upstream mio, all deliberate for shim minimalism:
+//!
+//! * Sources are plain `std::net` / `std::os::unix::net` values — anything
+//!   implementing [`Source`] (provided for the std socket types via
+//!   `AsRawFd`) — not mio's own wrapper types. Callers must put sockets in
+//!   non-blocking mode themselves.
+//! * Registration is **level-triggered** on both backends (upstream mio is
+//!   edge-triggered): an event keeps firing while the condition holds, so
+//!   handlers may leave data unread without losing wake-ups.
+//! * [`Waker`] requires an explicit [`Waker::ack`] from the polling thread
+//!   when its token surfaces (upstream wakers self-reset). `ack` before
+//!   draining whatever queue the wake-up advertises and no wake-up is ever
+//!   lost.
+//!
+//! This is the one shim that contains `unsafe` code: the FFI declarations
+//! and calls for the two syscalls above, each a direct, argument-checked
+//! wrapper. Everything above the `sys` modules is safe Rust.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::fd::{AsRawFd, RawFd};
+
+/// Associates a registered source with the events it produces.
+///
+/// The value is caller-chosen and comes back verbatim in
+/// [`Event::token`]; the shim never interprets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// The readiness classes a registration subscribes to.
+///
+/// Combine with `|`: `Interest::READABLE | Interest::WRITABLE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness (and, per level-triggered semantics,
+    /// peer hang-ups, which surface as readable EOF).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Whether read readiness is subscribed.
+    #[must_use]
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether write readiness is subscribed.
+    #[must_use]
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    /// Union of two interests (upstream-compatible alias for `|`).
+    // The name mirrors upstream mio's `Interest::add`, not `std::ops::Add`.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, other: Interest) -> Interest {
+        self | other
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness notification: which registration fired and how.
+///
+/// Errors and hang-ups are folded into readability *and* writability (the
+/// caller's next read/write surfaces the actual `io::Error` or EOF), which
+/// matches how level-triggered epoll consumers treat `EPOLLERR`/`EPOLLHUP`.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    #[must_use]
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Whether the source is ready for reading (or has an error/hang-up
+    /// pending, which a read will surface).
+    #[must_use]
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Whether the source is ready for writing (or has an error pending,
+    /// which a write will surface).
+    #[must_use]
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+}
+
+/// A reusable buffer of [`Event`]s filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll call.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterate the events of the last poll call.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last poll call returned no events (i.e. timed out).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of events from the last poll call.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Anything that can be registered with a [`Poll`]: an OS-level I/O
+/// handle identified by its raw file descriptor.
+///
+/// Provided for the std non-blocking socket types; callers registering
+/// their own types implement it in one line.
+#[cfg(unix)]
+pub trait Source {
+    /// The file descriptor to register.
+    fn raw_fd(&self) -> RawFd;
+}
+
+#[cfg(unix)]
+impl Source for std::net::TcpListener {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(unix)]
+impl Source for std::net::TcpStream {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(unix)]
+impl Source for std::net::UdpSocket {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(unix)]
+impl Source for std::os::unix::net::UnixStream {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(unix)]
+impl Source for std::os::unix::net::UnixListener {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// Which readiness backend a [`Poll`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` — the default on Linux.
+    Epoll,
+    /// POSIX `poll(2)` — the portable fallback; default off Linux, forced
+    /// anywhere by `MIO_SHIM_FORCE_FALLBACK=1`.
+    Fallback,
+}
+
+impl Backend {
+    /// The platform's preferred backend, honoring the
+    /// `MIO_SHIM_FORCE_FALLBACK` override.
+    #[must_use]
+    pub fn preferred() -> Backend {
+        let forced = std::env::var("MIO_SHIM_FORCE_FALLBACK").is_ok_and(|v| v == "1");
+        if cfg!(target_os = "linux") && !forced {
+            Backend::Epoll
+        } else {
+            Backend::Fallback
+        }
+    }
+
+    /// Stable lowercase name (for logs and bench summaries).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Epoll => "epoll",
+            Backend::Fallback => "poll",
+        }
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    /// The readiness selector: register sources, then [`Poll::poll`] for
+    /// events.
+    #[derive(Debug)]
+    pub struct Poll {
+        pub(crate) backend: PollBackend,
+    }
+
+    #[derive(Debug)]
+    pub(crate) enum PollBackend {
+        #[cfg(target_os = "linux")]
+        Epoll(sys_epoll::Epoll),
+        Fallback(sys_poll::PollSet),
+    }
+
+    impl Poll {
+        /// A poller on the platform's preferred backend (see
+        /// [`Backend::preferred`]).
+        pub fn new() -> io::Result<Poll> {
+            Poll::with_backend(Backend::preferred())
+        }
+
+        /// A poller on an explicit backend. [`Backend::Epoll`] off Linux
+        /// reports `Unsupported`.
+        pub fn with_backend(backend: Backend) -> io::Result<Poll> {
+            match backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll => Ok(Poll {
+                    backend: PollBackend::Epoll(sys_epoll::Epoll::new()?),
+                }),
+                #[cfg(not(target_os = "linux"))]
+                Backend::Epoll => Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "epoll backend is Linux-only; use Backend::Fallback",
+                )),
+                Backend::Fallback => Ok(Poll {
+                    backend: PollBackend::Fallback(sys_poll::PollSet::new()),
+                }),
+            }
+        }
+
+        /// Which backend this poller runs on.
+        #[must_use]
+        pub fn backend(&self) -> Backend {
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                PollBackend::Epoll(_) => Backend::Epoll,
+                PollBackend::Fallback(_) => Backend::Fallback,
+            }
+        }
+
+        /// Subscribe `source` to `interest`, tagging its events with
+        /// `token`. Registering an already-registered descriptor is an
+        /// error; use [`Poll::reregister`].
+        pub fn register(
+            &self,
+            source: &impl Source,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.register_fd(source.raw_fd(), token, interest)
+        }
+
+        pub(crate) fn register_fd(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                PollBackend::Epoll(e) => e.ctl_add(fd, token, interest),
+                PollBackend::Fallback(p) => p.add(fd, token, interest),
+            }
+        }
+
+        /// Replace an existing registration's token and interest.
+        pub fn reregister(
+            &self,
+            source: &impl Source,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let fd = source.raw_fd();
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                PollBackend::Epoll(e) => e.ctl_mod(fd, token, interest),
+                PollBackend::Fallback(p) => p.modify(fd, token, interest),
+            }
+        }
+
+        /// Remove a registration. Must be called before the descriptor is
+        /// closed on the fallback backend (epoll drops closed descriptors
+        /// itself, but relying on that is a Linux-ism).
+        pub fn deregister(&self, source: &impl Source) -> io::Result<()> {
+            let fd = source.raw_fd();
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                PollBackend::Epoll(e) => e.ctl_del(fd),
+                PollBackend::Fallback(p) => p.remove(fd),
+            }
+        }
+
+        /// Block until at least one registered source is ready, the
+        /// timeout elapses (`None` blocks indefinitely), or a signal
+        /// interrupts the wait (which returns with `events` empty — a
+        /// spurious-wakeup the caller's loop absorbs).
+        pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.inner.clear();
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                PollBackend::Epoll(e) => e.wait(events, timeout),
+                PollBackend::Fallback(p) => p.wait(events, timeout),
+            }
+        }
+    }
+
+    /// Wakes a [`Poll::poll`] blocked on another thread.
+    ///
+    /// Built on a non-blocking `UnixStream` pair whose read half is
+    /// registered with the poller under the caller's token. The polling
+    /// thread must call [`Waker::ack`] when that token surfaces; calling
+    /// `ack` *before* draining the work queue the wake-up advertises makes
+    /// the pair lossless (a `wake` racing the `ack` simply fires the next
+    /// poll call too).
+    #[derive(Debug)]
+    pub struct Waker {
+        reader: std::os::unix::net::UnixStream,
+        writer: std::os::unix::net::UnixStream,
+        pending: std::sync::atomic::AtomicBool,
+    }
+
+    impl Waker {
+        /// Create a waker registered with `poll` under `token`.
+        pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+            let (reader, writer) = std::os::unix::net::UnixStream::pair()?;
+            reader.set_nonblocking(true)?;
+            writer.set_nonblocking(true)?;
+            poll.register_fd(reader.as_raw_fd(), token, Interest::READABLE)?;
+            Ok(Waker {
+                reader,
+                writer,
+                pending: std::sync::atomic::AtomicBool::new(false),
+            })
+        }
+
+        /// Make the poller's next (or current) poll call return with this
+        /// waker's token. Callable from any thread; coalesces — many wakes
+        /// before the `ack` produce one event.
+        pub fn wake(&self) -> io::Result<()> {
+            use std::sync::atomic::Ordering;
+            if self.pending.swap(true, Ordering::AcqRel) {
+                return Ok(()); // A wake-up is already in flight.
+            }
+            use std::io::Write as _;
+            match (&self.writer).write(&[1u8]) {
+                Ok(_) => Ok(()),
+                // Pipe full means wake-ups are pending unread; that is a
+                // wake-up by definition.
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+
+        /// Consume pending wake-ups (shim extension; see type docs). Call
+        /// from the polling thread when this waker's token surfaces.
+        pub fn ack(&self) {
+            use std::sync::atomic::Ordering;
+            self.pending.store(false, Ordering::Release);
+            use std::io::Read as _;
+            let mut sink = [0u8; 64];
+            while matches!((&self.reader).read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+
+    /// Thin FFI over Linux epoll. The only `unsafe` in the workspace lives
+    /// here and in `sys_poll`; each call site passes checked, owned
+    /// arguments to a single syscall.
+    #[cfg(target_os = "linux")]
+    mod sys_epoll {
+        use super::{Event, Events, Interest, Token};
+        use std::io;
+        use std::os::fd::RawFd;
+        use std::time::Duration;
+
+        const EPOLL_CLOEXEC: i32 = 0o2000000;
+        const EPOLL_CTL_ADD: i32 = 1;
+        const EPOLL_CTL_DEL: i32 = 2;
+        const EPOLL_CTL_MOD: i32 = 3;
+        const EPOLLIN: u32 = 0x001;
+        const EPOLLOUT: u32 = 0x004;
+        const EPOLLERR: u32 = 0x008;
+        const EPOLLHUP: u32 = 0x010;
+        const EPOLLRDHUP: u32 = 0x2000;
+
+        /// Mirrors the kernel's `struct epoll_event`; packed on x86 ABIs.
+        #[repr(C)]
+        #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+        #[derive(Clone, Copy)]
+        struct EpollEvent {
+            events: u32,
+            data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+            fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+            fn close(fd: i32) -> i32;
+        }
+
+        #[derive(Debug)]
+        pub(crate) struct Epoll {
+            epfd: RawFd,
+        }
+
+        impl Epoll {
+            pub(crate) fn new() -> io::Result<Epoll> {
+                // SAFETY: plain syscall, no pointers.
+                let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+                if epfd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(Epoll { epfd })
+            }
+
+            fn ctl(&self, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+                let mut event = event;
+                let ptr = event
+                    .as_mut()
+                    .map_or(std::ptr::null_mut(), std::ptr::from_mut);
+                // SAFETY: `ptr` is null (DEL) or points at a live local
+                // that outlives the call; the kernel copies it.
+                let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+                if rc < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+
+            pub(crate) fn ctl_add(
+                &self,
+                fd: RawFd,
+                token: Token,
+                interest: Interest,
+            ) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_ADD, fd, Some(epoll_event(token, interest)))
+            }
+
+            pub(crate) fn ctl_mod(
+                &self,
+                fd: RawFd,
+                token: Token,
+                interest: Interest,
+            ) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_MOD, fd, Some(epoll_event(token, interest)))
+            }
+
+            pub(crate) fn ctl_del(&self, fd: RawFd) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_DEL, fd, None)
+            }
+
+            pub(crate) fn wait(
+                &self,
+                events: &mut Events,
+                timeout: Option<Duration>,
+            ) -> io::Result<()> {
+                let timeout_ms = super::timeout_ms(timeout);
+                let capacity = events.capacity;
+                let mut raw = vec![EpollEvent { events: 0, data: 0 }; capacity];
+                // SAFETY: `raw` is a live, writable buffer of exactly
+                // `capacity` entries for the duration of the call.
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        raw.as_mut_ptr(),
+                        i32::try_from(capacity).unwrap_or(i32::MAX),
+                        timeout_ms,
+                    )
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(()); // Spurious wake-up; events stays empty.
+                    }
+                    return Err(err);
+                }
+                for entry in raw.iter().take(n.unsigned_abs() as usize) {
+                    // Copy out of the (possibly packed) struct before use.
+                    let bits = entry.events;
+                    let data = entry.data;
+                    let closed = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                    events.inner.push(Event {
+                        token: Token(data as usize),
+                        readable: bits & EPOLLIN != 0 || closed,
+                        writable: bits & EPOLLOUT != 0 || closed,
+                    });
+                }
+                Ok(())
+            }
+        }
+
+        impl Drop for Epoll {
+            fn drop(&mut self) {
+                // SAFETY: closing the fd we own exactly once.
+                unsafe { close(self.epfd) };
+            }
+        }
+
+        fn epoll_event(token: Token, interest: Interest) -> EpollEvent {
+            let mut bits = EPOLLRDHUP;
+            if interest.is_readable() {
+                bits |= EPOLLIN;
+            }
+            if interest.is_writable() {
+                bits |= EPOLLOUT;
+            }
+            EpollEvent {
+                events: bits,
+                data: token.0 as u64,
+            }
+        }
+    }
+
+    /// Thin FFI over POSIX `poll(2)`: the portable fallback backend. Keeps
+    /// the registration table in userspace and rebuilds the pollfd array
+    /// per call — O(registered), fine for moderate fan-in and for
+    /// correctness testing of the epoll path.
+    mod sys_poll {
+        use super::{Event, Events, Interest, Token};
+        use std::collections::BTreeMap;
+        use std::io;
+        use std::os::fd::RawFd;
+        use std::sync::Mutex;
+        use std::time::Duration;
+
+        const POLLIN: i16 = 0x001;
+        const POLLOUT: i16 = 0x004;
+        const POLLERR: i16 = 0x008;
+        const POLLHUP: i16 = 0x010;
+
+        /// Mirrors POSIX `struct pollfd` (identical layout on all Unixes).
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        struct PollFd {
+            fd: i32,
+            events: i16,
+            revents: i16,
+        }
+
+        #[cfg(target_os = "linux")]
+        type NFds = u64; // nfds_t = unsigned long on Linux.
+        #[cfg(not(target_os = "linux"))]
+        type NFds = u32; // nfds_t = unsigned int on the BSDs/macOS.
+
+        extern "C" {
+            fn poll(fds: *mut PollFd, nfds: NFds, timeout: i32) -> i32;
+        }
+
+        #[derive(Debug)]
+        pub(crate) struct PollSet {
+            registered: Mutex<BTreeMap<RawFd, (Token, Interest)>>,
+        }
+
+        impl PollSet {
+            pub(crate) fn new() -> PollSet {
+                PollSet {
+                    registered: Mutex::new(BTreeMap::new()),
+                }
+            }
+
+            fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<RawFd, (Token, Interest)>> {
+                self.registered
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+
+            pub(crate) fn add(
+                &self,
+                fd: RawFd,
+                token: Token,
+                interest: Interest,
+            ) -> io::Result<()> {
+                let mut registered = self.lock();
+                if registered.contains_key(&fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered; use reregister",
+                    ));
+                }
+                registered.insert(fd, (token, interest));
+                Ok(())
+            }
+
+            pub(crate) fn modify(
+                &self,
+                fd: RawFd,
+                token: Token,
+                interest: Interest,
+            ) -> io::Result<()> {
+                match self.lock().get_mut(&fd) {
+                    Some(entry) => {
+                        *entry = (token, interest);
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+
+            pub(crate) fn remove(&self, fd: RawFd) -> io::Result<()> {
+                match self.lock().remove(&fd) {
+                    Some(_) => Ok(()),
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+
+            pub(crate) fn wait(
+                &self,
+                events: &mut Events,
+                timeout: Option<Duration>,
+            ) -> io::Result<()> {
+                let entries: Vec<(RawFd, Token, Interest)> = self
+                    .lock()
+                    .iter()
+                    .map(|(&fd, &(token, interest))| (fd, token, interest))
+                    .collect();
+                let mut fds: Vec<PollFd> = entries
+                    .iter()
+                    .map(|&(fd, _, interest)| {
+                        let mut bits = 0i16;
+                        if interest.is_readable() {
+                            bits |= POLLIN;
+                        }
+                        if interest.is_writable() {
+                            bits |= POLLOUT;
+                        }
+                        PollFd {
+                            fd,
+                            events: bits,
+                            revents: 0,
+                        }
+                    })
+                    .collect();
+                let timeout_ms = super::timeout_ms(timeout);
+                // SAFETY: `fds` is a live, writable array of `len` entries
+                // for the duration of the call.
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                for (pollfd, &(_, token, _)) in fds.iter().zip(&entries) {
+                    if events.inner.len() >= events.capacity {
+                        break;
+                    }
+                    let bits = pollfd.revents;
+                    if bits == 0 {
+                        continue;
+                    }
+                    let closed = bits & (POLLERR | POLLHUP) != 0;
+                    events.inner.push(Event {
+                        token,
+                        readable: bits & POLLIN != 0 || closed,
+                        writable: bits & POLLOUT != 0 || closed,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Clamp a poll timeout to the millisecond `int` the syscalls take,
+    /// rounding sub-millisecond waits *up* so `Some(tiny)` never busy-spins.
+    fn timeout_ms(timeout: Option<Duration>) -> i32 {
+        match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && d.as_nanos() > 0 {
+                    1
+                } else {
+                    i32::try_from(ms).unwrap_or(i32::MAX)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use imp::{Poll, Waker};
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    const LISTENER: Token = Token(0);
+    const CLIENT: Token = Token(1);
+    const WAKER: Token = Token(9);
+
+    fn backends() -> Vec<Backend> {
+        let mut backends = vec![Backend::Fallback];
+        if cfg!(target_os = "linux") {
+            backends.push(Backend::Epoll);
+        }
+        backends
+    }
+
+    fn poll_until(poll: &mut Poll, events: &mut Events, pred: impl Fn(&Event) -> bool) -> bool {
+        for _ in 0..200 {
+            poll.poll(events, Some(Duration::from_millis(25))).unwrap();
+            if events.iter().any(&pred) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            assert_eq!(poll.backend(), backend);
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poll.register(&listener, LISTENER, Interest::READABLE)
+                .unwrap();
+
+            let mut events = Events::with_capacity(8);
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: no client yet");
+
+            let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            assert!(
+                poll_until(&mut poll, &mut events, |e| e.token() == LISTENER
+                    && e.is_readable()),
+                "{backend:?}: accept readiness"
+            );
+            poll.deregister(&listener).unwrap();
+        }
+    }
+
+    #[test]
+    fn connected_stream_is_writable_and_reads_fire_on_data() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            client.set_nonblocking(true).unwrap();
+            let (mut peer, _) = listener.accept().unwrap();
+
+            poll.register(&client, CLIENT, Interest::READABLE | Interest::WRITABLE)
+                .unwrap();
+            let mut events = Events::with_capacity(8);
+            assert!(
+                poll_until(&mut poll, &mut events, |e| e.token() == CLIENT
+                    && e.is_writable()),
+                "{backend:?}: connected stream is writable"
+            );
+
+            // Narrow to read interest; now only peer data wakes us.
+            poll.reregister(&client, CLIENT, Interest::READABLE)
+                .unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| !e.is_writable() || e.is_readable()),
+                "{backend:?}: writable-only events after narrowing"
+            );
+            peer.write_all(b"ping").unwrap();
+            assert!(
+                poll_until(&mut poll, &mut events, |e| e.token() == CLIENT
+                    && e.is_readable()),
+                "{backend:?}: data readiness"
+            );
+            let mut buf = [0u8; 8];
+            let n = (&client).read(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"ping");
+            poll.deregister(&client).unwrap();
+        }
+    }
+
+    #[test]
+    fn peer_close_surfaces_as_readable_eof() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            client.set_nonblocking(true).unwrap();
+            let (peer, _) = listener.accept().unwrap();
+            poll.register(&client, CLIENT, Interest::READABLE).unwrap();
+            drop(peer);
+            let mut events = Events::with_capacity(8);
+            assert!(
+                poll_until(&mut poll, &mut events, |e| e.token() == CLIENT
+                    && e.is_readable()),
+                "{backend:?}: hang-up readiness"
+            );
+            let mut buf = [0u8; 8];
+            assert_eq!((&client).read(&mut buf).unwrap(), 0, "{backend:?}: EOF");
+            poll.deregister(&client).unwrap();
+        }
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_from_another_thread() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            let waker = std::sync::Arc::new(Waker::new(&poll, WAKER).unwrap());
+            let remote = std::sync::Arc::clone(&waker);
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                remote.wake().unwrap();
+            });
+            let mut events = Events::with_capacity(8);
+            let started = std::time::Instant::now();
+            assert!(
+                poll_until(&mut poll, &mut events, |e| e.token() == WAKER),
+                "{backend:?}: waker event"
+            );
+            assert!(
+                started.elapsed() < Duration::from_secs(3),
+                "{backend:?}: wake-up was prompt"
+            );
+            waker.ack();
+            // Acked: the next poll times out quietly.
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.token() != WAKER),
+                "{backend:?}: no event after ack"
+            );
+            // Coalescing: many wakes, one event, and ack clears them all.
+            for _ in 0..100 {
+                waker.wake().unwrap();
+            }
+            assert!(
+                poll_until(&mut poll, &mut events, |e| e.token() == WAKER),
+                "{backend:?}: coalesced waker event"
+            );
+            waker.ack();
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.iter().all(|e| e.token() != WAKER));
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn double_register_errors_and_deregister_frees_the_slot() {
+        for backend in backends() {
+            let poll = Poll::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poll.register(&listener, LISTENER, Interest::READABLE)
+                .unwrap();
+            assert!(
+                poll.register(&listener, LISTENER, Interest::READABLE)
+                    .is_err(),
+                "{backend:?}: double register must error"
+            );
+            poll.deregister(&listener).unwrap();
+            poll.register(&listener, LISTENER, Interest::READABLE)
+                .unwrap();
+            poll.deregister(&listener).unwrap();
+        }
+    }
+
+    #[test]
+    fn preferred_backend_matches_platform() {
+        // This test must not set the env var (tests run concurrently);
+        // just pin the platform default when the override is absent.
+        if std::env::var("MIO_SHIM_FORCE_FALLBACK").is_err() {
+            let expected = if cfg!(target_os = "linux") {
+                Backend::Epoll
+            } else {
+                Backend::Fallback
+            };
+            assert_eq!(Backend::preferred(), expected);
+        }
+        assert_eq!(Backend::Epoll.name(), "epoll");
+        assert_eq!(Backend::Fallback.name(), "poll");
+    }
+}
