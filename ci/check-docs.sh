@@ -1,0 +1,156 @@
+#!/usr/bin/env sh
+# Offline documentation checker, run by the lint-ci job.
+#
+# Two gates over the repository's markdown:
+#
+#  1. Link check — every relative link target in every tracked *.md file
+#     must exist, and every `#fragment` (same-file or cross-file into a
+#     .md) must match a heading's GitHub-style anchor slug. External
+#     (http/https/mailto) links are skipped: CI runs offline, and dead
+#     external links are not this gate's job. Fenced code blocks are
+#     ignored for both headings and links.
+#
+#  2. Protocol drift guard — the error-code registry table in PROTOCOL.md
+#     must list exactly the `ErrorCode` variants from
+#     crates/concealer-server/src/error.rs (the `name()` match arms, which
+#     the compiler keeps exhaustive and in declaration order): same names,
+#     same order, tags numbered 0..N-1 — so the spec cannot silently fall
+#     behind the enum that defines the wire format.
+#
+# Exit codes: 0 all checks pass, 1 broken link / anchor / drift,
+# 2 usage error (missing directory or no markdown files).
+#
+# Usage: check-docs.sh [DIR]   (default: the repository root)
+set -eu
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+if [ ! -d "$root" ]; then
+    echo "check-docs: no such directory: $root" >&2
+    exit 2
+fi
+
+# Tracked markdown when DIR is a git checkout; every .md otherwise (the
+# self-test runs against synthetic non-git trees).
+if git -C "$root" rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+    files=$(git -C "$root" ls-files '*.md')
+else
+    files=$(cd "$root" && find . -name '*.md' | sed 's|^\./||' | sort)
+fi
+if [ -z "$files" ]; then
+    echo "check-docs: no markdown files under $root" >&2
+    exit 2
+fi
+
+failures=0
+fail() {
+    echo "check-docs: $1" >&2
+    failures=$((failures + 1))
+}
+
+# GitHub-style anchor slugs for every heading in a file: lowercase, drop
+# everything but alphanumerics/spaces/hyphens/underscores, spaces to
+# hyphens. Headings inside ``` fences are not headings.
+slugs_of() {
+    awk '
+        /^(```|~~~)/ { fence = !fence; next }
+        fence { next }
+        /^#+ / {
+            s = $0
+            sub(/^#+ +/, "", s)
+            s = tolower(s)
+            gsub(/`/, "", s)
+            gsub(/[^a-z0-9 _-]/, "", s)
+            gsub(/ /, "-", s)
+            print s
+        }
+    ' "$root/$1"
+}
+
+# Inline link targets `](...)` outside code fences, one per line.
+links_of() {
+    awk '
+        /^(```|~~~)/ { fence = !fence; next }
+        fence { next }
+        {
+            line = $0
+            while (match(line, /\]\([^)]+\)/)) {
+                print substr(line, RSTART + 2, RLENGTH - 3)
+                line = substr(line, RSTART + RLENGTH)
+            }
+        }
+    ' "$root/$1"
+}
+
+for file in $files; do
+    dir=$(dirname "$file")
+    for target in $(links_of "$file"); do
+        case $target in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        frag=""
+        path=$target
+        case $target in
+        *#*)
+            frag=${target#*#}
+            path=${target%%#*}
+            ;;
+        esac
+        if [ -n "$path" ]; then
+            anchored="$dir/$path"
+            if [ ! -e "$root/$anchored" ]; then
+                fail "$file: broken link: $target"
+                continue
+            fi
+        else
+            anchored="$file"
+        fi
+        # Fragment checks only make sense into markdown (same file, or a
+        # .md target); other targets with fragments are passed through.
+        if [ -n "$frag" ]; then
+            case $anchored in
+            *.md)
+                if ! slugs_of "$anchored" | grep -qx "$frag"; then
+                    fail "$file: broken anchor: $target"
+                fi
+                ;;
+            esac
+        fi
+    done
+done
+
+# --- drift guard -----------------------------------------------------------
+
+spec="$root/PROTOCOL.md"
+enum="$root/crates/concealer-server/src/error.rs"
+if [ -f "$spec" ] && [ -f "$enum" ]; then
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT INT TERM
+    # Registry rows: "| <tag> | `<name>` | ..." inside the error-code
+    # registry section only (the message tables are numbered too).
+    awk '
+        /^## Error-code registry/ { insec = 1; next }
+        insec && /^## / { insec = 0 }
+        insec && /^\| *[0-9]+ *\| *`[a-z_]+`/ {
+            split($0, parts, "|")
+            tag = parts[2]; name = parts[3]
+            gsub(/[ `]/, "", tag); gsub(/[ `]/, "", name)
+            print tag, name
+        }
+    ' "$spec" >"$tmp/table"
+    # The enum, via its name() arms (exhaustive, declaration order).
+    sed -n 's/^ *ErrorCode::[A-Za-z]* => "\([a-z_]*\)".*/\1/p' "$enum" |
+        awk '{ print NR - 1, $1 }' >"$tmp/code"
+    if [ ! -s "$tmp/code" ]; then
+        fail "drift guard: no ErrorCode::name() arms found in $enum"
+    elif ! diff -u "$tmp/code" "$tmp/table" >"$tmp/diff" 2>&1; then
+        fail "PROTOCOL.md error-code registry drifted from ErrorCode (expected vs table):"
+        cat "$tmp/diff" >&2
+    fi
+fi
+
+if [ "$failures" -gt 0 ]; then
+    echo "check-docs: $failures failure(s)" >&2
+    exit 1
+fi
+echo "check-docs ok: $(echo "$files" | wc -l | tr -d ' ') markdown file(s) checked"
+exit 0

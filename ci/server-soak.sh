@@ -17,6 +17,15 @@
 # so a constrained runner still proves proportional concurrency instead
 # of flaking. Set SOAK_IDLE_CONNECTIONS explicitly to pin the target.
 #
+# With SOAK_ROUTER_SHARDS=N (N >= 2) the soak instead exercises the
+# routed deployment: N epoch-sharded servers behind a concealer-router,
+# the load generator pointed at the router with --router, and — the
+# point of the leg — one shard SIGKILLed mid-load. The gate: the load
+# generator exits 0 having seen only structured shard_unavailable
+# errors (at least one, proving the kill landed mid-load) and zero
+# divergences, and the router plus every surviving shard still drain to
+# a graceful SHUTDOWN.
+#
 # Exit codes: 0 soak clean, 1 divergence / client error / non-graceful
 # shutdown / concurrency floor missed, 2 binaries missing.
 #
@@ -26,11 +35,13 @@ set -eu
 OUT="${1:-BENCH_server.json}"
 SERVER_BIN="${SERVER_BIN:-target/release/concealer-server}"
 LOAD_BIN="${LOAD_BIN:-target/release/concealer-load}"
+ROUTER_BIN="${ROUTER_BIN:-target/release/concealer-router}"
 HOURS="${SOAK_HOURS:-2}"
 SEED="${SOAK_SEED:-42}"
 CLIENTS="${SOAK_CLIENTS:-8}"
 REQUESTS="${SOAK_REQUESTS:-36}"
 MODE="${SOAK_MODE:-threaded}"
+ROUTER_SHARDS="${SOAK_ROUTER_SHARDS:-0}"
 script_dir=$(dirname "$0")
 
 case "$MODE" in
@@ -70,6 +81,177 @@ for bin in "$SERVER_BIN" "$LOAD_BIN"; do
         exit 2
     fi
 done
+
+# --- routed deployment leg ----------------------------------------------
+# N shard servers behind a router, one shard killed mid-load. Runs
+# instead of the single-node flow and exits.
+if [ "$ROUTER_SHARDS" -gt 0 ]; then
+    if [ "$ROUTER_SHARDS" -lt 2 ]; then
+        echo "error: SOAK_ROUTER_SHARDS must be >= 2 (got $ROUTER_SHARDS)" >&2
+        exit 2
+    fi
+    if [ ! -x "$ROUTER_BIN" ]; then
+        echo "error: $ROUTER_BIN not built (run: cargo build --release -p concealer-router)" >&2
+        exit 2
+    fi
+
+    workdir=$(mktemp -d)
+    pids=""
+    cleanup_routed() {
+        for pid in $pids; do kill "$pid" 2>/dev/null || true; done
+        rm -rf "$workdir"
+    }
+    trap cleanup_routed EXIT INT TERM
+
+    # Launch the shard servers, in shard order (the router's --shard-addr
+    # list position must match each server's --shard index).
+    i=0
+    while [ "$i" -lt "$ROUTER_SHARDS" ]; do
+        "$SERVER_BIN" --mode "$MODE" --hours "$HOURS" --seed "$SEED" \
+            --shard "$i/$ROUTER_SHARDS" \
+            >"$workdir/shard$i.out" 2>"$workdir/shard$i.err" &
+        eval "shard_pid_$i=$!"
+        pids="$pids $!"
+        i=$((i + 1))
+    done
+    shard_flags=""
+    i=0
+    while [ "$i" -lt "$ROUTER_SHARDS" ]; do
+        addr=""
+        tries=0
+        while [ "$tries" -lt 300 ]; do
+            addr=$(sed -n 's/^READY addr=\([^ ]*\).*/\1/p' "$workdir/shard$i.out")
+            if [ -n "$addr" ]; then
+                break
+            fi
+            eval "pid=\$shard_pid_$i"
+            if ! kill -0 "$pid" 2>/dev/null; then
+                echo "error: shard $i exited before READY" >&2
+                cat "$workdir/shard$i.err" >&2
+                exit 1
+            fi
+            tries=$((tries + 1))
+            sleep 0.2
+        done
+        if [ -z "$addr" ]; then
+            echo "error: shard $i did not become READY in time" >&2
+            exit 1
+        fi
+        shard_flags="$shard_flags --shard-addr $addr"
+        echo "soak: shard $i/$ROUTER_SHARDS ready on $addr"
+        i=$((i + 1))
+    done
+
+    # The router probes the shard map before binding; a READY line means
+    # every shard agreed on its slice.
+    # shellcheck disable=SC2086
+    "$ROUTER_BIN" $shard_flags --mode "$MODE" \
+        >"$workdir/router.out" 2>"$workdir/router.err" &
+    router_pid=$!
+    pids="$pids $router_pid"
+    router_addr=""
+    tries=0
+    while [ "$tries" -lt 300 ]; do
+        router_addr=$(sed -n 's/^READY addr=\([^ ]*\).*/\1/p' "$workdir/router.out")
+        if [ -n "$router_addr" ]; then
+            break
+        fi
+        if ! kill -0 "$router_pid" 2>/dev/null; then
+            echo "error: router exited before READY (startup probe?)" >&2
+            cat "$workdir/router.err" >&2
+            exit 1
+        fi
+        tries=$((tries + 1))
+        sleep 0.2
+    done
+    if [ -z "$router_addr" ]; then
+        echo "error: router did not become READY in time" >&2
+        exit 1
+    fi
+    echo "soak: router ready on $router_addr fronting $ROUTER_SHARDS shard(s) (mode: $MODE)"
+
+    # Drive the load through the router; once its query phase has started,
+    # SIGKILL the last shard out from under the deployment. The routed
+    # leg needs a longer run than the single-node default so release
+    # binaries don't finish before the kill lands — SOAK_REQUESTS still
+    # overrides.
+    routed_requests="${SOAK_REQUESTS:-400}"
+    "$LOAD_BIN" --addr "$router_addr" --router --clients "$CLIENTS" \
+        --requests "$routed_requests" --hours "$HOURS" --seed "$SEED" \
+        --ingest-epochs 2 --shutdown --out "$OUT" 2>"$workdir/load.err" &
+    load_pid=$!
+    pids="$pids $load_pid"
+
+    victim=$((ROUTER_SHARDS - 1))
+    eval "victim_pid=\$shard_pid_$victim"
+    tries=0
+    while [ "$tries" -lt 300 ]; do
+        if grep -q 'client(s) x' "$workdir/load.err" 2>/dev/null; then
+            break
+        fi
+        if ! kill -0 "$load_pid" 2>/dev/null; then
+            break
+        fi
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    sleep 0.1
+    if kill -0 "$load_pid" 2>/dev/null; then
+        echo "soak: killing shard $victim mid-load (pid $victim_pid)"
+        kill -9 "$victim_pid" 2>/dev/null || true
+    else
+        echo "error: load finished before the shard kill could land; raise SOAK_REQUESTS" >&2
+        exit 1
+    fi
+
+    load_rc=0
+    wait "$load_pid" || load_rc=$?
+    sed 's/^/soak: load: /' "$workdir/load.err"
+    if [ "$load_rc" -ne 0 ]; then
+        echo "error: routed load failed (rc=$load_rc): divergence or unstructured error during failover" >&2
+        exit 1
+    fi
+
+    # The kill must have been *observed* — as structured errors, and only
+    # as structured errors (anything else already failed the load above).
+    unavailable=$(sed -n 's/.*"shard_unavailable": *\([0-9][0-9]*\).*/\1/p' "$OUT" | head -n 1)
+    if [ -z "$unavailable" ] || [ "$unavailable" -lt 1 ]; then
+        echo "error: shard $victim was killed mid-load but no structured shard_unavailable reply was observed" >&2
+        exit 1
+    fi
+    if ! grep -q '"router_shards": \[{' "$OUT"; then
+        echo "error: summary lacks the per-shard router counters" >&2
+        exit 1
+    fi
+
+    # The router and every surviving shard must still drain gracefully.
+    router_rc=0
+    wait "$router_pid" || router_rc=$?
+    if [ "$router_rc" -ne 0 ] || ! grep -q '^SHUTDOWN graceful' "$workdir/router.out"; then
+        echo "error: router exited non-gracefully (rc=$router_rc)" >&2
+        cat "$workdir/router.err" >&2
+        exit 1
+    fi
+    i=0
+    while [ "$i" -lt "$victim" ]; do
+        shard_rc=0
+        eval "pid=\$shard_pid_$i"
+        wait "$pid" || shard_rc=$?
+        if [ "$shard_rc" -ne 0 ] || ! grep -q '^SHUTDOWN graceful' "$workdir/shard$i.out"; then
+            echo "error: shard $i exited non-gracefully (rc=$shard_rc)" >&2
+            cat "$workdir/shard$i.err" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+    done
+    wait "$victim_pid" 2>/dev/null || true
+    pids=""
+
+    sh "$script_dir/compare-bench.sh" --server-summary "$OUT"
+    qps=$(sed -n 's/.*"qps": *\([0-9.eE+-]*\).*/\1/p' "$OUT" | head -n 1)
+    echo "soak ok (routed): shards=$ROUTER_SHARDS mode=$MODE killed=$victim tolerated=$unavailable qps=${qps:-?} summary=$OUT"
+    exit 0
+fi
 
 server_out=$(mktemp)
 server_err=$(mktemp)

@@ -14,7 +14,11 @@
 //!
 //! The wire is part of Concealer's **untrusted zone**: a client trusts the
 //! answers because they carry the enclave's verification metadata
-//! (`QueryAnswer::verified`), not because it trusts the transport.
+//! (`QueryAnswer::verified`), not because it trusts the transport. The
+//! canonical frame-and-message specification this client implements is
+//! `PROTOCOL.md` at the repository root; a connection works identically
+//! against a single `concealer-server` or a `concealer-router` fronting
+//! an epoch-sharded deployment.
 //!
 //! ```no_run
 //! use concealer_client::Connection;
@@ -36,7 +40,8 @@ use std::time::Duration;
 
 use concealer_core::{ExecOptions, Query, QueryAnswer, Record, UserHandle};
 use concealer_server::protocol::{
-    Request, Response, ServerInfo, CONNECTION_LEVEL_ID, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    Request, Response, RouterStats, ServerInfo, ShardDescriptor, WirePartial, CONNECTION_LEVEL_ID,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use concealer_server::{ServeStats, WireError};
 use serde::frame::{read_frame, write_frame, FrameError};
@@ -252,6 +257,60 @@ impl Connection {
         Self::connect(addr, user.user_id.0, user.credential.0, client_name)
     }
 
+    /// Connect **without** authenticating: no `Hello` is sent, so only
+    /// pre-authentication requests — [`Connection::shard_info`] — are
+    /// answerable; anything else gets a `not_authenticated` refusal. This
+    /// is how a router probes shard topology at startup, before it holds
+    /// any client credential to forward.
+    pub fn connect_probe(
+        addr: impl ToSocketAddrs,
+        options: ConnectOptions,
+    ) -> Result<Connection, ClientError> {
+        let stream = match options.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(limit) => {
+                let mut last_err: Option<std::io::Error> = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, limit) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => {
+                        return Err(last_err.map(ClientError::from).unwrap_or_else(|| {
+                            ClientError::Io(std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no candidates",
+                            ))
+                        }))
+                    }
+                }
+            }
+        };
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(options.read_timeout)?;
+        stream.set_write_timeout(options.write_timeout)?;
+        Ok(Connection {
+            stream,
+            info: ServerInfo {
+                protocol_version: 0,
+                server_name: String::new(),
+                backend: String::new(),
+                max_batch: 0,
+                max_frame_len: DEFAULT_MAX_FRAME_LEN as u64,
+                ingest_allowed: false,
+            },
+            next_id: 1,
+            parked: BTreeMap::new(),
+        })
+    }
+
     /// What the server reported in the handshake.
     #[must_use]
     pub fn server_info(&self) -> &ServerInfo {
@@ -355,6 +414,30 @@ impl Connection {
         }
     }
 
+    /// Ask which epoch-hash slice the server owns (answerable before
+    /// authentication; see [`Connection::connect_probe`]). An unsharded
+    /// server reports itself as slice `0/1`.
+    pub fn shard_info(&mut self) -> Result<ShardDescriptor, ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.stream, &Request::ShardInfo { id })?;
+        match self.wait_for(id)? {
+            Response::ShardInfoOk { shard, .. } => Ok(shard),
+            other => Err(unexpected("ShardInfoOk", &other)),
+        }
+    }
+
+    /// Fetch a router's per-shard load accounting. Shard servers refuse
+    /// this with a `protocol_violation` error — it only means something
+    /// at the routing tier.
+    pub fn router_stats(&mut self) -> Result<RouterStats, ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.stream, &Request::RouterStats { id })?;
+        match self.wait_for(id)? {
+            Response::RouterStatsOk { stats, .. } => Ok(stats),
+            other => Err(unexpected("RouterStatsOk", &other)),
+        }
+    }
+
     /// Request a graceful server-wide shutdown and wait for the ack.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         let id = self.fresh_id();
@@ -445,6 +528,76 @@ impl Connection {
                 .map(concealer_server::WireResult::into_result)
                 .collect()),
             other => Err(unexpected("BatchAnswer", &other)),
+        }
+    }
+
+    /// Submit a partial execution without waiting: the server answers
+    /// with per-epoch partials over only the epochs it holds (the shard
+    /// half of multi-node serving; see `concealer_core::merge_partials`).
+    pub fn submit_partial(
+        &mut self,
+        query: &Query,
+        options: Option<ExecOptions>,
+    ) -> Result<Pending, ClientError> {
+        let id = self.fresh_id();
+        write_frame(
+            &mut self.stream,
+            &Request::ExecutePartial {
+                id,
+                query: query.clone(),
+                options,
+            },
+        )?;
+        Ok(Pending { id })
+    }
+
+    /// Redeem a [`Connection::submit_partial`] ticket. The outer `Result`
+    /// is the transport; the inner one is the shard's structured outcome
+    /// (kept structured so a router can merge errors positionally).
+    #[allow(clippy::type_complexity)]
+    pub fn wait_partial(
+        &mut self,
+        pending: Pending,
+    ) -> Result<Result<Vec<WirePartial>, WireError>, ClientError> {
+        match self.wait_for(pending.id)? {
+            Response::PartialAnswer { result, .. } => Ok(result.into_result()),
+            other => Err(unexpected("PartialAnswer", &other)),
+        }
+    }
+
+    /// Submit a batch of partial executions without waiting; the shard
+    /// deduplicates `(epoch, bin)` fetches across the batch within its
+    /// slice, exactly as a single-process `ExecuteBatch` would.
+    pub fn submit_batch_partial(
+        &mut self,
+        queries: &[Query],
+        options: Option<ExecOptions>,
+    ) -> Result<Pending, ClientError> {
+        let id = self.fresh_id();
+        write_frame(
+            &mut self.stream,
+            &Request::ExecuteBatchPartial {
+                id,
+                queries: queries.to_vec(),
+                options,
+            },
+        )?;
+        Ok(Pending { id })
+    }
+
+    /// Redeem a [`Connection::submit_batch_partial`] ticket: per-query
+    /// partial outcomes, positionally aligned with the submitted queries.
+    #[allow(clippy::type_complexity)]
+    pub fn wait_batch_partial(
+        &mut self,
+        pending: Pending,
+    ) -> Result<Vec<Result<Vec<WirePartial>, WireError>>, ClientError> {
+        match self.wait_for(pending.id)? {
+            Response::BatchPartialAnswer { results, .. } => Ok(results
+                .into_iter()
+                .map(concealer_server::protocol::WirePartialResult::into_result)
+                .collect()),
+            other => Err(unexpected("BatchPartialAnswer", &other)),
         }
     }
 

@@ -211,6 +211,36 @@ impl<'a> Session<'a> {
             .execute_batch(&self.user, queries, self.options)
     }
 
+    /// Execute one query over only the epochs this process holds,
+    /// returning one [`crate::EpochPartial`] per touched epoch instead of
+    /// a finished answer — the shard half of multi-node serving. Partials
+    /// from every shard recombine through [`crate::merge_partials`] into
+    /// the answer a single-process [`Session::execute_with`] would
+    /// produce, bit for bit. An empty vector is not an error: the query's
+    /// epochs may live on other shards.
+    pub fn execute_partials(
+        &self,
+        query: &Query,
+        options: ExecOptions,
+    ) -> Result<Vec<crate::EpochPartial>> {
+        self.system
+            .engine()
+            .execute_partials(&self.user, query, options, scope_for_query(query))
+    }
+
+    /// Partial-execution counterpart of [`Session::execute_batch`]: run a
+    /// batch over only the epochs this process holds, with `(epoch, bin)`
+    /// fetches deduplicated across the batch within the shard's slice.
+    /// See [`crate::engine::QueryEngine::execute_batch_partials`].
+    pub fn execute_batch_partials(
+        &self,
+        queries: &[Query],
+    ) -> Vec<Result<Vec<crate::EpochPartial>>> {
+        self.system
+            .engine()
+            .execute_batch_partials(&self.user, queries, self.options)
+    }
+
     /// Execute a batch of queries on all available cores: [`Session::execute_batch`]
     /// with [`ExecOptions::parallelism`] set to
     /// [`std::thread::available_parallelism`].

@@ -157,6 +157,79 @@ struct BinFetchPlan {
     verified: bool,
 }
 
+/// One epoch's contribution to a query answer, produced by
+/// [`QueryEngine::execute_partials`] on the process that owns the epoch and
+/// recombined — possibly on another machine — by [`merge_partials`].
+///
+/// A partial carries the *unfinished* aggregation state
+/// ([`Accumulator`]) rather than a finished [`QueryAnswer`]: finishing is
+/// not mergeable (an average collapses `sum`/`count` into one float; row
+/// collections lose their epoch grouping), but accumulators merge
+/// associatively, so recombining per-epoch partials in ascending epoch
+/// order reproduces the exact accumulator-merge sequence — and therefore
+/// the bit-identical answer — of a single-process execution.
+#[derive(Debug, Clone)]
+pub struct EpochPartial {
+    /// The epoch this partial covers (epoch ids are epoch start times).
+    pub epoch_id: u64,
+    /// The epoch's aggregation state: every matching tuple of this epoch
+    /// folded in ascending bin order.
+    pub acc: Accumulator,
+    /// Encrypted rows fetched from this epoch's segments.
+    pub rows_fetched: usize,
+    /// Rows the enclave decrypted while filtering this epoch.
+    pub rows_decrypted: usize,
+    /// Whether hash-chain verification ran for this epoch's fetches.
+    pub verified: bool,
+}
+
+/// Recombine per-epoch partials into the answer a single-process execution
+/// of `query` over the same epochs would produce.
+///
+/// Partials may arrive from different shard processes in any order; they
+/// are sorted by epoch id so accumulator merges (and therefore collected
+/// row order) match the ascending-epoch sequential loop. The caller must
+/// supply at most one partial per epoch — epoch ownership is a partition,
+/// so a correctly sharded deployment can never produce duplicates.
+///
+/// An empty partial set means no epoch overlapped the query, which is the
+/// [`CoreError::NoDataForRange`] condition, exactly as in
+/// [`QueryEngine::execute`].
+pub fn merge_partials(query: &Query, mut partials: Vec<EpochPartial>) -> Result<QueryAnswer> {
+    if partials.is_empty() {
+        return Err(CoreError::NoDataForRange);
+    }
+    partials.sort_by_key(|p| p.epoch_id);
+    let epochs_touched = partials.len();
+    let mut acc = Accumulator::default();
+    let mut rows_fetched = 0usize;
+    let mut rows_decrypted = 0usize;
+    let mut verified = true;
+    for partial in partials {
+        acc.merge(partial.acc);
+        rows_fetched += partial.rows_fetched;
+        rows_decrypted += partial.rows_decrypted;
+        verified &= partial.verified;
+    }
+    Ok(QueryAnswer {
+        value: acc.finish(&query.aggregate),
+        rows_fetched,
+        rows_decrypted,
+        verified,
+        epochs_touched,
+    })
+}
+
+/// A partial-batch query's plan: the epochs it touches on this process
+/// (with their per-epoch verification flags, ascending) and the
+/// `(epoch, bin)` pairs a BPB execution fetches for it. Unlike
+/// [`BinFetchPlan`], an empty plan is not an error — other shards may own
+/// the query's epochs.
+struct PartialBinPlan {
+    epochs: Vec<(u64, bool)>,
+    bins: BTreeSet<(u64, usize)>,
+}
+
 /// Per-execution filter-plan memo, keyed by `(epoch_id, round)`: one query's
 /// plan against a given round key is built once and reused for every bin
 /// encrypted under that key. Local to one query execution — plans are
@@ -873,41 +946,19 @@ impl QueryEngine {
             epochs_touched += 1;
             verified &= self.verification_active(&opts, rt);
 
-            let mut bins_fetched: Vec<usize> = Vec::new();
-            match opts.method {
-                RangeMethod::Bpb => {
-                    if satisfies {
-                        let bin_set = self.range_bins_for_epoch(rt, query, &opts)?;
-                        for bin_idx in bin_set {
-                            self.fetch_and_process_bin(
-                                rt,
-                                bin_idx,
-                                query,
-                                &opts,
-                                &mut acc,
-                                &mut fetched,
-                                &mut decrypted,
-                                &mut memo,
-                            )?;
-                            bins_fetched.push(bin_idx);
-                        }
-                    }
-                }
-                RangeMethod::Ebpb => {
-                    if satisfies {
-                        let (f, d) = self.execute_ebpb(rt, query, &opts, &mut acc)?;
-                        fetched += f;
-                        decrypted += d;
-                    }
-                }
-                RangeMethod::WinSecRange => {
-                    if satisfies {
-                        let (f, d) = self.execute_winsec(rt, query, &opts, &mut acc)?;
-                        fetched += f;
-                        decrypted += d;
-                    }
-                }
-            }
+            let mut bins_fetched: Vec<usize> = if satisfies {
+                self.execute_epoch_slice(
+                    rt,
+                    query,
+                    &opts,
+                    &mut acc,
+                    &mut fetched,
+                    &mut decrypted,
+                    &mut memo,
+                )?
+            } else {
+                Vec::new()
+            };
 
             // §6: when the query spans multiple rounds, fetch extra random
             // bins from every round in the span and re-encrypt everything.
@@ -947,6 +998,351 @@ impl QueryEngine {
             verified,
             epochs_touched,
         })
+    }
+
+    /// Run one epoch's share of a range query with the method in `opts`,
+    /// folding matches into `acc` and returning the BPB bins fetched (the
+    /// §6 multi-round path re-encrypts them afterwards; eBPB / winSecRange
+    /// fetch cell-groups and intervals instead, so they return no bins).
+    ///
+    /// This is the per-epoch body shared by [`QueryEngine::execute_range`]
+    /// and [`QueryEngine::execute_partials`]: partial (sharded) execution
+    /// runs the *identical* code over each owned epoch, so a multi-node
+    /// merge cannot drift from single-process execution.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_epoch_slice(
+        &self,
+        rt: &mut EpochRuntime,
+        query: &Query,
+        opts: &ExecOptions,
+        acc: &mut Accumulator,
+        fetched: &mut usize,
+        decrypted: &mut usize,
+        memo: &mut PlanMemo,
+    ) -> Result<Vec<usize>> {
+        let mut bins_fetched: Vec<usize> = Vec::new();
+        match opts.method {
+            RangeMethod::Bpb => {
+                let bin_set = self.range_bins_for_epoch(rt, query, opts)?;
+                for bin_idx in bin_set {
+                    self.fetch_and_process_bin(
+                        rt, bin_idx, query, opts, acc, fetched, decrypted, memo,
+                    )?;
+                    bins_fetched.push(bin_idx);
+                }
+            }
+            RangeMethod::Ebpb => {
+                let (f, d) = self.execute_ebpb(rt, query, opts, acc)?;
+                *fetched += f;
+                *decrypted += d;
+            }
+            RangeMethod::WinSecRange => {
+                let (f, d) = self.execute_winsec(rt, query, opts, acc)?;
+                *fetched += f;
+                *decrypted += d;
+            }
+        }
+        Ok(bins_fetched)
+    }
+
+    /// Execute `query` over only the epochs this process holds, returning
+    /// one [`EpochPartial`] per touched epoch instead of a finished answer.
+    ///
+    /// This is the shard half of multi-node execution: each
+    /// `concealer-server --shard i/t` process registers an epoch-hash slice
+    /// of the deployment's epochs, runs this over the slice, and the
+    /// router recombines the partials with [`merge_partials`]. An empty
+    /// result is *not* an error — the query's epochs may live on other
+    /// shards; only the merged whole can decide
+    /// [`CoreError::NoDataForRange`].
+    ///
+    /// Forward-private (§6) executions are refused with
+    /// [`CoreError::InvalidConfig`]: the protocol re-encrypts every bin it
+    /// fetched — including extra bins from *non-satisfying* rounds in the
+    /// span — under enclave-resident round counters, so its work is not
+    /// partitionable by epoch ownership.
+    pub fn execute_partials(
+        &self,
+        user: &UserHandle,
+        query: &Query,
+        opts: ExecOptions,
+        registry_scope: QueryScope,
+    ) -> Result<Vec<EpochPartial>> {
+        let _session = self
+            .enclave
+            .open_session(user.user_id, &user.credential, registry_scope)?;
+        if opts.forward_private {
+            return Err(CoreError::InvalidConfig {
+                reason: "forward-private (§6) executions re-encrypt spanning rounds and \
+                         cannot be partitioned into per-epoch partials"
+                    .to_string(),
+            });
+        }
+        let (t_start, t_end) = query.predicate.time_span();
+
+        let mut epochs = self.epochs.write();
+        let touched: Vec<u64> = match &query.predicate {
+            Predicate::Point { time, .. } => epochs
+                .values()
+                .filter(|rt| rt.window.contains(*time))
+                .map(|rt| rt.epoch_id)
+                .collect(),
+            Predicate::Range { .. } => epochs
+                .values()
+                .filter(|rt| rt.window.overlaps(t_start, t_end))
+                .map(|rt| rt.epoch_id)
+                .collect(),
+        };
+
+        let mut memo = PlanMemo::new();
+        let mut out = Vec::with_capacity(touched.len());
+        for epoch_id in touched {
+            let rt = epochs.get_mut(&epoch_id).expect("registered epoch");
+            let verified = self.verification_active(&opts, rt);
+            let mut acc = Accumulator::default();
+            let mut fetched = 0usize;
+            let mut decrypted = 0usize;
+            match &query.predicate {
+                Predicate::Point { dims, time } => {
+                    let bin_idx = self.locate_point_bin(rt, dims, *time)?;
+                    self.fetch_and_process_bin(
+                        rt,
+                        bin_idx,
+                        query,
+                        &opts,
+                        &mut acc,
+                        &mut fetched,
+                        &mut decrypted,
+                        &mut memo,
+                    )?;
+                }
+                Predicate::Range { .. } => {
+                    self.execute_epoch_slice(
+                        rt,
+                        query,
+                        &opts,
+                        &mut acc,
+                        &mut fetched,
+                        &mut decrypted,
+                        &mut memo,
+                    )?;
+                }
+            }
+            out.push(EpochPartial {
+                epoch_id,
+                acc,
+                rows_fetched: fetched,
+                rows_decrypted: decrypted,
+                verified,
+            });
+        }
+        self.store.mark_query_boundary();
+        Ok(out)
+    }
+
+    /// Partial-execution counterpart of [`QueryEngine::execute_batch`]:
+    /// run a batch over only the epochs this process holds, returning each
+    /// query's per-epoch partials.
+    ///
+    /// The BPB dedup discipline is preserved *within the shard*: every
+    /// `(epoch, bin)` pair the batch needs from this process's slice is
+    /// fetched and hash-chain-verified once, then filtered per query —
+    /// and since per-query fetch metadata equals sequential execution
+    /// either way (the `execute_batch` invariant), the merged batch answer
+    /// is bit-identical to a single-process batch. eBPB / winSecRange
+    /// batches fall back to sequential per-query partial execution, and
+    /// forward-private batches are refused per query, both exactly
+    /// mirroring [`QueryEngine::execute_batch`]'s fallback rules.
+    pub fn execute_batch_partials(
+        &self,
+        user: &UserHandle,
+        queries: &[Query],
+        opts: ExecOptions,
+    ) -> Vec<Result<Vec<EpochPartial>>> {
+        if opts.forward_private || opts.method != RangeMethod::Bpb {
+            return queries
+                .iter()
+                .map(|q| self.execute_partials(user, q, opts, scope_for_query(q)))
+                .collect();
+        }
+
+        let mut results: Vec<Option<Result<Vec<EpochPartial>>>> =
+            queries.iter().map(|_| None).collect();
+        let mut plans: Vec<Option<PartialBinPlan>> = queries.iter().map(|_| None).collect();
+
+        let plan_start = Instant::now();
+        let mut epochs = self.epochs.write();
+        for (i, query) in queries.iter().enumerate() {
+            if let Err(e) =
+                self.enclave
+                    .open_session(user.user_id, &user.credential, scope_for_query(query))
+            {
+                results[i] = Some(Err(e.into()));
+                continue;
+            }
+            match self.plan_partial_bins(&mut epochs, query, &opts) {
+                Ok(plan) => plans[i] = Some(plan),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+
+        let union: Vec<(u64, usize)> = plans
+            .iter()
+            .flatten()
+            .flat_map(|p| &p.bins)
+            .copied()
+            .collect::<BTreeSet<(u64, usize)>>()
+            .into_iter()
+            .collect();
+
+        // Same guard downgrade as `execute_batch`: planning needed `&mut`
+        // (lazy super-bin plans), execution only reads.
+        drop(epochs);
+        let epochs = self.epochs.read();
+        let epochs: &BTreeMap<u64, EpochRuntime> = &epochs;
+        bump_phase(&self.phases.aggregate_ns, plan_start);
+
+        // One accumulator per (query, touched epoch), pre-seeded so epochs
+        // whose bins all miss the query's cells still yield an (empty)
+        // partial — they count toward `epochs_touched` and AND into
+        // `verified` exactly as in sequential execution.
+        let mut parts: Vec<BTreeMap<u64, EpochPartial>> =
+            queries.iter().map(|_| BTreeMap::new()).collect();
+        for (i, plan) in plans.iter().enumerate() {
+            if let Some(plan) = plan {
+                for &(epoch_id, verified) in &plan.epochs {
+                    parts[i].insert(
+                        epoch_id,
+                        EpochPartial {
+                            epoch_id,
+                            acc: Accumulator::default(),
+                            rows_fetched: 0,
+                            rows_decrypted: 0,
+                            verified,
+                        },
+                    );
+                }
+            }
+        }
+
+        let mut memos: Vec<PlanMemo> = queries.iter().map(|_| PlanMemo::new()).collect();
+        for (epoch_id, bin_idx) in union {
+            let rt = epochs.get(&epoch_id).expect("planned epoch is registered");
+            let fetch = self.fetch_bin_rows(&self.store, rt, bin_idx, &opts);
+            let interested = |plan: &PartialBinPlan| plan.bins.contains(&(epoch_id, bin_idx));
+            match fetch {
+                Err(e) => {
+                    for (i, plan) in plans.iter_mut().enumerate() {
+                        if plan.as_ref().is_some_and(&interested) {
+                            results[i] = Some(Err(e.clone()));
+                            *plan = None;
+                        }
+                    }
+                }
+                Ok(entry) => {
+                    for (i, plan) in plans.iter_mut().enumerate() {
+                        if !plan.as_ref().is_some_and(&interested) {
+                            continue;
+                        }
+                        let part = parts[i]
+                            .get_mut(&epoch_id)
+                            .expect("planned bins lie in touched epochs");
+                        part.rows_fetched += entry.rows.len();
+                        match self.process_rows(
+                            entry.key.as_ref(),
+                            rt,
+                            entry.round,
+                            &queries[i],
+                            &opts,
+                            &entry.rows,
+                            &entry.decoded,
+                            &mut memos[i],
+                        ) {
+                            Ok((bin_acc, d)) => {
+                                part.rows_decrypted += d;
+                                part.acc.merge(bin_acc);
+                            }
+                            Err(e) => {
+                                results[i] = Some(Err(e));
+                                *plan = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.store.mark_query_boundary();
+
+        let assemble_start = Instant::now();
+        let mut out = Vec::with_capacity(queries.len());
+        for (i, result) in results.into_iter().enumerate() {
+            if let Some(r) = result {
+                out.push(r);
+                continue;
+            }
+            // BTreeMap::into_values yields ascending epoch order, the
+            // order `merge_partials` re-establishes anyway.
+            out.push(Ok(std::mem::take(&mut parts[i]).into_values().collect()));
+        }
+        bump_phase(&self.phases.aggregate_ns, assemble_start);
+        out
+    }
+
+    /// Plan one query of a partial batch: the epochs this process holds
+    /// that the query touches (with per-epoch verification flags) and the
+    /// BPB bins to fetch from them. Shares
+    /// [`QueryEngine::locate_point_bin`] /
+    /// [`QueryEngine::range_bins_for_epoch`] with every other execution
+    /// path. Unlike [`QueryEngine::plan_bins`], zero touched epochs is a
+    /// valid (empty) plan, not `NoDataForRange` — other shards may hold
+    /// the query's epochs.
+    fn plan_partial_bins(
+        &self,
+        epochs: &mut BTreeMap<u64, EpochRuntime>,
+        query: &Query,
+        opts: &ExecOptions,
+    ) -> Result<PartialBinPlan> {
+        match &query.predicate {
+            Predicate::Point { dims, time } => {
+                let Some(epoch_id) = epochs
+                    .values()
+                    .find(|rt| rt.window.contains(*time))
+                    .map(|rt| rt.epoch_id)
+                else {
+                    return Ok(PartialBinPlan {
+                        epochs: Vec::new(),
+                        bins: BTreeSet::new(),
+                    });
+                };
+                let rt = epochs.get_mut(&epoch_id).expect("registered epoch");
+                let verified = self.verification_active(opts, rt);
+                let bin_idx = self.locate_point_bin(rt, dims, *time)?;
+                Ok(PartialBinPlan {
+                    epochs: vec![(epoch_id, verified)],
+                    bins: BTreeSet::from([(epoch_id, bin_idx)]),
+                })
+            }
+            Predicate::Range { .. } => {
+                let (t_start, t_end) = query.predicate.time_span();
+                let touched: Vec<u64> = epochs
+                    .values()
+                    .filter(|rt| rt.window.overlaps(t_start, t_end))
+                    .map(|rt| rt.epoch_id)
+                    .collect();
+                let mut plan = PartialBinPlan {
+                    epochs: Vec::with_capacity(touched.len()),
+                    bins: BTreeSet::new(),
+                };
+                for epoch_id in touched {
+                    let rt = epochs.get_mut(&epoch_id).expect("registered epoch");
+                    plan.epochs
+                        .push((epoch_id, self.verification_active(opts, rt)));
+                    let bin_set = self.range_bins_for_epoch(rt, query, opts)?;
+                    plan.bins.extend(bin_set.into_iter().map(|b| (epoch_id, b)));
+                }
+                Ok(plan)
+            }
+        }
     }
 
     /// Plan a query's bin-granular fetch set: the `(epoch, bin)` pairs a

@@ -99,7 +99,8 @@ pub use bin_cache::BinCacheStats;
 pub use bins::{Bin, BinPlan};
 pub use config::{FakeTupleStrategy, GridShape, SystemConfig};
 pub use engine::{
-    ConcealerSystem, PhaseBreakdown, PlanStats, QueryEngine, RangeMethod, UserHandle, WinSecStats,
+    merge_partials, ConcealerSystem, EpochPartial, PhaseBreakdown, PlanStats, QueryEngine,
+    RangeMethod, UserHandle, WinSecStats,
 };
 pub use error::CoreError;
 pub use grid::{CellCoord, Grid};
@@ -113,7 +114,7 @@ pub use types::{EpochWindow, Record};
 // master key type, because reopening a durable backend requires passing
 // the key the epochs were sealed under to [`SystemBuilder::master`].
 pub use concealer_crypto::MasterKey;
-pub use concealer_storage::{DiskEpochStore, MemoryBackend, StorageBackend};
+pub use concealer_storage::{shard_of_epoch, DiskEpochStore, MemoryBackend, StorageBackend};
 
 // User identity primitives, re-exported for the serving layer: a wire
 // handshake presents `(UserId, Credential)` and the server reconstructs the

@@ -105,6 +105,40 @@ pub fn demo_system(hours: u64, seed: u64) -> (ConcealerSystem, UserHandle, Vec<R
     (system, user, records)
 }
 
+/// [`demo_system`] for one shard of a multi-node deployment: identical
+/// RNG draw order (so the master key, fake-tuple draws, and user
+/// credential match the unsharded fixture exactly), but epoch 0 is only
+/// ingested when `shard_of_epoch(0, shard_total) == shard_index`. The
+/// ingest is the *last* RNG consumer in [`demo_system`], so skipping it
+/// on non-owning shards perturbs nothing. Returns the records whether or
+/// not they were ingested (a router-side oracle still needs them).
+///
+/// # Panics
+///
+/// Panics if `shard_index >= shard_total` (a malformed shard spec).
+pub fn demo_system_sharded(
+    hours: u64,
+    seed: u64,
+    shard_index: u32,
+    shard_total: u32,
+) -> (ConcealerSystem, UserHandle, Vec<Record>) {
+    assert!(
+        shard_index < shard_total,
+        "shard index {shard_index} out of range for total {shard_total}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let generator = WifiGenerator::new(demo_wifi_config());
+    let records = generator.generate_epoch(0, hours * 3600, &mut rng);
+    let mut system = build_system(demo_config(hours), &mut rng);
+    let user = system.register_user(7, DEMO_DEVICES.collect(), true);
+    if concealer_core::shard_of_epoch(0, shard_total as usize) == shard_index as usize {
+        system
+            .ingest_epoch(0, &records, &mut rng)
+            .expect("demo ingest");
+    }
+    (system, user, records)
+}
+
 /// The query-workload generator matching [`demo_system`]'s deployment
 /// ([`DEMO_ACCESS_POINTS`] locations, [`DEMO_DEVICES`] device ids,
 /// `hours` of data) — what every harness generating queries against a

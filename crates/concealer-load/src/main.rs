@@ -8,8 +8,21 @@
 //! concealer-load --addr HOST:PORT [--clients N] [--requests N]
 //!                [--batch-len N] [--hours H] [--seed S]
 //!                [--idle-connections N] [--ingest-epochs N]
-//!                [--no-check] [--shutdown] [--out BENCH_server.json]
+//!                [--router] [--no-check] [--shutdown]
+//!                [--out BENCH_server.json]
 //! ```
+//!
+//! `--router` points `--addr` at a `concealer-router` instead of a single
+//! server; the scenario runs **unchanged** (the routed deployment is
+//! supposed to be indistinguishable). Two differences in accounting:
+//! structured `shard_unavailable` replies are tolerated — counted
+//! (`shard_unavailable` in the summary), never compared against the
+//! oracle, and not run-fatal, because the routed soak kills a shard
+//! mid-load on purpose — and the summary gains a `router_shards` array
+//! with each upstream's forwarded/error/reconnect counters from the
+//! router's `RouterStats` endpoint. Divergences and unstructured
+//! (transport-level) errors still fail the run: a dying shard must never
+//! tear the client-facing connection or shrink an answer.
 //!
 //! `--idle-connections N` targets the event server: open N authenticated
 //! connections and *hold* them for the run while the regular clients
@@ -52,6 +65,7 @@ struct Args {
     seed: u64,
     idle_connections: usize,
     ingest_epochs: u64,
+    router: bool,
     check: bool,
     shutdown: bool,
     out: String,
@@ -67,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         idle_connections: 0,
         ingest_epochs: 0,
+        router: false,
         check: true,
         shutdown: false,
         out: "BENCH_server.json".to_string(),
@@ -90,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--idle-connections" => args.idle_connections = parse(&value("--idle-connections")?)?,
             "--ingest-epochs" => args.ingest_epochs = parse(&value("--ingest-epochs")?)?,
+            "--router" => args.router = true,
             "--no-check" => args.check = false,
             "--shutdown" => args.shutdown = true,
             "--out" => args.out = value("--out")?,
@@ -117,7 +133,23 @@ struct ClientReport {
     latencies: Vec<Duration>,
     queries: u64,
     divergences: u64,
+    /// Structured `shard_unavailable` replies tolerated in `--router`
+    /// mode (a shard was killed mid-load; the answer was refused, not
+    /// shrunk). Never counted as divergences or run-fatal errors.
+    shard_unavailable: u64,
     errors: Vec<String>,
+}
+
+/// In `--router` mode, a structured `shard_unavailable` reply is an
+/// expected mid-failover outcome: count it, skip the oracle compare for
+/// that request, keep the connection (the reply was frame-aligned).
+fn tolerated_by_router(args: &Args, err: &concealer_client::ClientError) -> bool {
+    args.router
+        && matches!(
+            err,
+            concealer_client::ClientError::Server(ref e)
+                if e.code == concealer_server::ErrorCode::ShardUnavailable
+        )
 }
 
 /// Run one client's deterministic request stream, checking wire answers
@@ -149,6 +181,7 @@ fn run_client(
     for (request_idx, request) in mix.iter().enumerate() {
         let label = format!("client {client_idx} request {request_idx}");
         if !run_request(
+            args,
             &mut conn,
             request,
             oracle_session.as_ref(),
@@ -170,6 +203,7 @@ fn run_client(
 /// wire encoding against local oracle execution. Returns `false` when the
 /// connection died and the caller should stop using it.
 fn run_request(
+    args: &Args,
     conn: &mut Connection,
     request: &ServerRequest,
     oracle_session: Option<&concealer_core::Session<'_>>,
@@ -193,6 +227,10 @@ fn run_request(
     let elapsed = started.elapsed();
     let answers = match outcome {
         Ok(answers) => answers,
+        Err(e) if tolerated_by_router(args, &e) => {
+            report.shard_unavailable += 1;
+            return true;
+        }
         Err(e) => {
             report.errors.push(format!("{label}: {e}"));
             return false;
@@ -292,7 +330,14 @@ fn run_trickle(
     let oracle_session = oracle.map(|system| system.session(user));
     for (idx, (conn, request)) in conns.iter_mut().zip(mix.iter()).enumerate() {
         let label = format!("idle trickle {idx}");
-        run_request(conn, request, oracle_session.as_ref(), &mut report, &label);
+        run_request(
+            args,
+            conn,
+            request,
+            oracle_session.as_ref(),
+            &mut report,
+            &label,
+        );
         // Space the trickle out so the pool stays mostly idle.
         std::thread::sleep(Duration::from_millis(5));
     }
@@ -358,6 +403,7 @@ fn main() -> ExitCode {
         args.clients, args.requests, args.batch_len, args.addr
     );
     let ingested = AtomicU64::new(0);
+    let unavailable_ingests = AtomicU64::new(0);
     let started = Instant::now();
     let (reports, trickle_conns): (Vec<ClientReport>, Vec<Connection>) =
         std::thread::scope(|scope| {
@@ -371,15 +417,25 @@ fn main() -> ExitCode {
                 let args = &args;
                 let user = &user;
                 let ingested = &ingested;
+                let unavailable_ingests = &unavailable_ingests;
                 scope.spawn(move || -> Result<(), String> {
                     let mut conn = Connection::connect_user(&args.addr, user, "load-ingest")
                         .map_err(|e| format!("ingest connect: {e}"))?;
                     for k in 1..=args.ingest_epochs {
                         let epoch_start = k * args.hours * 3600;
                         let records = demo_epoch_records(args.hours, args.seed, epoch_start);
-                        conn.ingest_epoch(epoch_start, &records)
-                            .map_err(|e| format!("ingest epoch {epoch_start}: {e}"))?;
-                        ingested.fetch_add(1, Ordering::Relaxed);
+                        match conn.ingest_epoch(epoch_start, &records) {
+                            Ok(_) => {
+                                ingested.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // An epoch whose owning shard is down is
+                            // refused structurally; the next epoch may
+                            // hash to a live shard, so keep going.
+                            Err(e) if tolerated_by_router(args, &e) => {
+                                unavailable_ingests.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => return Err(format!("ingest epoch {epoch_start}: {e}")),
+                        }
                         // Spread the ingests across the query phase.
                         std::thread::sleep(Duration::from_millis(20));
                     }
@@ -441,11 +497,34 @@ fn main() -> ExitCode {
     drop(trickle_conns);
     drop(idle_pool);
 
+    // In router mode, pull the per-shard forwarding counters for the
+    // summary — the routed soak gates on the deployment having actually
+    // fanned out (and, after a kill, reconnected).
+    let router_shards = if args.router {
+        match Connection::connect_user(&args.addr, &user, "load-router-stats").and_then(
+            |mut conn| {
+                let stats = conn.router_stats()?;
+                conn.close()?;
+                Ok(stats)
+            },
+        ) {
+            Ok(stats) => stats.shards,
+            Err(e) => {
+                eprintln!("concealer-load: router-stats probe failed: {e}");
+                Vec::new()
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
     let mut latencies: Vec<Duration> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
     latencies.sort_unstable();
     let queries: u64 = reports.iter().map(|r| r.queries).sum();
     let requests: usize = reports.iter().map(|r| r.latencies.len()).sum();
     let divergences: u64 = reports.iter().map(|r| r.divergences).sum();
+    let shard_unavailable: u64 = reports.iter().map(|r| r.shard_unavailable).sum::<u64>()
+        + unavailable_ingests.load(Ordering::Relaxed);
     let errors: Vec<&String> = reports.iter().flat_map(|r| r.errors.iter()).collect();
     let qps = queries as f64 / elapsed.as_secs_f64().max(1e-9);
     let backend = oracle_system.store().backend_kind();
@@ -454,9 +533,21 @@ fn main() -> ExitCode {
         eprintln!("concealer-load: idle pool: {warning}");
     }
 
+    let router_shards_json = router_shards
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"shard_index\": {}, \"addr\": \"{}\", \"requests_forwarded\": {}, \
+                 \"errors\": {}, \"reconnects\": {}, \"available\": {}}}",
+                s.shard_index, s.addr, s.requests_forwarded, s.errors, s.reconnects, s.available
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"schema\": \"concealer-server-load/v2\",\n  \"addr\": \"{}\",\n  \"backend\": \"{backend}\",\n  \"mode\": \"{server_mode}\",\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \"batch_len\": {},\n  \"idle_connections_target\": {},\n  \"connections\": {idle_achieved},\n  \"max_concurrent_connections\": {max_concurrent},\n  \"requests\": {requests},\n  \"queries\": {queries},\n  \"ingest_epochs\": {},\n  \"elapsed_s\": {:.3},\n  \"qps\": {qps:.2},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \"checked\": {},\n  \"divergences\": {divergences},\n  \"client_errors\": {}\n}}\n",
+        "{{\n  \"schema\": \"concealer-server-load/v2\",\n  \"addr\": \"{}\",\n  \"backend\": \"{backend}\",\n  \"mode\": \"{server_mode}\",\n  \"router\": {},\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \"batch_len\": {},\n  \"idle_connections_target\": {},\n  \"connections\": {idle_achieved},\n  \"max_concurrent_connections\": {max_concurrent},\n  \"requests\": {requests},\n  \"queries\": {queries},\n  \"ingest_epochs\": {},\n  \"elapsed_s\": {:.3},\n  \"qps\": {qps:.2},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n  \"checked\": {},\n  \"divergences\": {divergences},\n  \"shard_unavailable\": {shard_unavailable},\n  \"router_shards\": [{router_shards_json}],\n  \"client_errors\": {}\n}}\n",
         args.addr,
+        args.router,
         args.clients,
         args.requests,
         args.batch_len,
@@ -477,7 +568,8 @@ fn main() -> ExitCode {
     eprintln!(
         "concealer-load: [{server_mode}] {queries} queries in {:.2}s ({qps:.0} q/s), \
          p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms; {idle_achieved} held connection(s), \
-         server peak {max_concurrent}; {divergences} divergence(s), {} client error(s); wrote {}",
+         server peak {max_concurrent}; {divergences} divergence(s), {} client error(s), \
+         {shard_unavailable} shard-unavailable (tolerated); wrote {}",
         elapsed.as_secs_f64(),
         percentile_ms(&latencies, 50.0),
         percentile_ms(&latencies, 95.0),
@@ -485,6 +577,18 @@ fn main() -> ExitCode {
         errors.len(),
         args.out
     );
+    for shard in &router_shards {
+        eprintln!(
+            "concealer-load: shard {} ({}): {} forwarded, {} error(s), {} reconnect(s), \
+             available={}",
+            shard.shard_index,
+            shard.addr,
+            shard.requests_forwarded,
+            shard.errors,
+            shard.reconnects,
+            shard.available
+        );
+    }
     for error in &errors {
         eprintln!("concealer-load: error: {error}");
     }

@@ -1,0 +1,926 @@
+//! The query router for multi-node Concealer serving.
+//!
+//! A deployment shards its epochs across N `concealer-server` processes
+//! (each started with `--shard INDEX/TOTAL`, owning the
+//! [`concealer_core::shard_of_epoch`] slice of the epoch-hash space).
+//! The router sits in front: it speaks the same versioned wire protocol
+//! to clients (see `PROTOCOL.md`) and answers every query by fanning
+//! partial executions out to the shard servers and recombining their
+//! per-epoch partials with [`concealer_core::merge_partials`] — the
+//! disjoint-union merge that reproduces a single-process answer
+//! bit-for-bit, batch dedup metadata included.
+//!
+//! The router reuses both serving cores from `concealer-server`
+//! unchanged: [`RouterHandler`] implements
+//! [`ServeHandler`], so
+//! `Server::with_handler` gives it frame handling, the connection state
+//! machine, pipelining caps, busy refusal, and graceful drain — by
+//! default on the readiness-driven event core, where upstream fan-out
+//! blocks a worker thread, never the event loop.
+//!
+//! Trust: the router lives entirely in the **untrusted zone**. It moves
+//! sealed partials and forwards client credentials verbatim; every
+//! answer still carries the enclave's verification metadata, so a
+//! tampering router is detected exactly like a tampering server (see
+//! `ARCHITECTURE.md` § "Multi-node serving").
+//!
+//! Failure semantics: a shard that cannot be reached (connect refused,
+//! timeout, torn stream) never silently shrinks an answer. The affected
+//! query gets a structured `shard_unavailable` error naming the shard,
+//! the router backs off that upstream, and later requests retry through
+//! fresh connections (see `OPERATIONS.md` § "Failure playbook").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use concealer_client::{ClientError, ConnectOptions, Connection, Pending};
+use concealer_core::{merge_partials, shard_of_epoch, Query, UserHandle};
+use concealer_server::protocol::{
+    Request, Response, RouterStats, ServerInfo, ShardDescriptor, ShardLoad, WirePartial,
+    WirePartialResult, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH, DEFAULT_MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use concealer_server::{ErrorCode, ServeHandler, WireError, WireResult, WireStats};
+
+/// Everything that tunes a router deployment (the serving side — bind
+/// address, connection caps, mode — stays in
+/// [`ServerConfig`](concealer_server::ServerConfig)).
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Name reported to clients in the handshake.
+    pub router_name: String,
+    /// Upstream shard addresses **in shard order**: `shards[i]` must be
+    /// the server started with `--shard i/N`. Validated against each
+    /// upstream's `ShardInfo` at startup.
+    pub shards: Vec<String>,
+    /// Maximum queries per `ExecuteBatch` accepted from clients.
+    pub max_batch: usize,
+    /// Cap on establishing one upstream TCP connection.
+    pub connect_timeout: Duration,
+    /// Cap on each blocking upstream read. A shard that accepted work
+    /// and went silent turns into a clean `shard_unavailable` after this
+    /// long instead of wedging a router worker.
+    pub read_timeout: Duration,
+    /// First backoff applied to an upstream after a transport failure;
+    /// doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Ceiling of the exponential backoff.
+    pub backoff_max: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            router_name: "concealer-router".to_string(),
+            shards: Vec::new(),
+            max_batch: DEFAULT_MAX_BATCH,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(250),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A startup (probe-time) failure: unreachable upstream, inconsistent
+/// shard map, diverging epoch durations.
+#[derive(Debug)]
+pub struct RouterError(String);
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// Why one shard could not contribute to a fan-out.
+enum ShardFailure {
+    /// Transport-level: the shard is unreachable or the stream tore. The
+    /// client sees a structured [`ErrorCode::ShardUnavailable`].
+    Unavailable(String),
+    /// The shard answered with a structured error reply (its stream
+    /// stayed frame-aligned).
+    Server(WireError),
+}
+
+/// Mutable per-upstream state, held only across pool operations — never
+/// across network I/O, so concurrent workers fan out in parallel.
+struct UpstreamState {
+    /// Checkout refuses (fast `shard_unavailable`) until this instant.
+    down_until: Option<Instant>,
+    /// Consecutive transport failures, driving the exponential backoff.
+    fail_streak: u32,
+    /// Idle authenticated connections, keyed by user id. Upstream
+    /// sessions are per-credential, so connections are not shareable
+    /// across users.
+    pool: HashMap<u64, Vec<Connection>>,
+}
+
+/// One configured shard server: its address, connection pool, backoff
+/// state, and load counters (reported by `Request::RouterStats`).
+struct Upstream {
+    index: u32,
+    addr: String,
+    state: Mutex<UpstreamState>,
+    requests_forwarded: AtomicU64,
+    errors: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl Upstream {
+    fn new(index: u32, addr: String) -> Upstream {
+        Upstream {
+            index,
+            addr,
+            state: Mutex::new(UpstreamState {
+                down_until: None,
+                fail_streak: 0,
+                pool: HashMap::new(),
+            }),
+            requests_forwarded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, UpstreamState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Whether checkout would refuse right now (used by the stats
+    /// snapshot's `available` flag).
+    fn in_backoff(&self) -> bool {
+        self.lock()
+            .down_until
+            .is_some_and(|until| until > Instant::now())
+    }
+
+    /// Take an idle pooled connection for `user`, if any. `None` means
+    /// the caller dials; `Err` means the upstream is backing off.
+    fn checkout(&self, user_id: u64) -> Result<Option<Connection>, ShardFailure> {
+        let mut state = self.lock();
+        if state.down_until.is_some_and(|until| until > Instant::now()) {
+            return Err(self.unavailable("backing off after a transport failure"));
+        }
+        Ok(state.pool.get_mut(&user_id).and_then(Vec::pop))
+    }
+
+    /// Return a healthy connection to the pool.
+    fn checkin(&self, user_id: u64, conn: Connection) {
+        self.lock().pool.entry(user_id).or_default().push(conn);
+    }
+
+    /// A request round-tripped: clear the failure streak.
+    fn mark_up(&self) {
+        let mut state = self.lock();
+        state.fail_streak = 0;
+        state.down_until = None;
+    }
+
+    /// A fresh dial (not just a stale pooled stream) failed: back off
+    /// exponentially and drop every pooled connection — they share the
+    /// dead peer.
+    fn mark_down(&self, config: &RouterConfig) {
+        let mut state = self.lock();
+        state.fail_streak = state.fail_streak.saturating_add(1);
+        let exp = state.fail_streak.saturating_sub(1).min(16);
+        let backoff = config
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(config.backoff_max);
+        state.down_until = Some(Instant::now() + backoff);
+        state.pool.clear();
+    }
+
+    fn unavailable(&self, why: &str) -> ShardFailure {
+        ShardFailure::Unavailable(format!(
+            "shard {} ({}) unavailable: {why}",
+            self.index, self.addr
+        ))
+    }
+}
+
+/// The [`ServeHandler`] that answers by fanning out to shard servers.
+///
+/// Built by [`RouterHandler::probe`], which validates the shard map
+/// before any client traffic is accepted; served via
+/// [`Server::with_handler`](concealer_server::Server::with_handler).
+pub struct RouterHandler {
+    config: RouterConfig,
+    upstreams: Vec<Upstream>,
+    /// Epoch duration every shard agreed on at probe time.
+    epoch_duration: u64,
+    /// Union of the shards' registered epochs at probe time — a
+    /// startup snapshot for topology discovery, not a live inventory
+    /// (shards keep ingesting after the probe).
+    probed_epochs: Vec<u64>,
+}
+
+impl std::fmt::Debug for RouterHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterHandler")
+            .field("config", &self.config)
+            .field("epoch_duration", &self.epoch_duration)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RouterHandler {
+    /// Probe every configured upstream and validate the shard map:
+    /// `shards[i]` must report slice `i` of `shards.len()`, and every
+    /// shard must agree on the epoch duration. Refusing to start on a
+    /// disagreement is what keeps a mis-wired deployment from serving
+    /// silently wrong (partially merged) answers.
+    pub fn probe(config: RouterConfig) -> Result<RouterHandler, RouterError> {
+        if config.shards.is_empty() {
+            return Err(RouterError("router configured with no shards".to_string()));
+        }
+        let total = u32::try_from(config.shards.len())
+            .map_err(|_| RouterError("shard count exceeds u32".to_string()))?;
+        let options = ConnectOptions {
+            connect_timeout: Some(config.connect_timeout),
+            read_timeout: Some(config.read_timeout),
+            write_timeout: Some(config.read_timeout),
+        };
+        let mut epoch_duration: Option<u64> = None;
+        let mut epochs = BTreeSet::new();
+        for (i, addr) in config.shards.iter().enumerate() {
+            let index = i as u32;
+            let mut conn = Connection::connect_probe(addr, options)
+                .map_err(|e| RouterError(format!("probing shard {index} at {addr} failed: {e}")))?;
+            let descriptor = conn.shard_info().map_err(|e| {
+                RouterError(format!("shard {index} at {addr} refused ShardInfo: {e}"))
+            })?;
+            if descriptor.shard_total != total {
+                return Err(RouterError(format!(
+                    "shard map disagreement: {addr} reports {}/{} but the router is \
+                     configured with {total} shards",
+                    descriptor.shard_index, descriptor.shard_total
+                )));
+            }
+            if descriptor.shard_index != index {
+                return Err(RouterError(format!(
+                    "shard map disagreement: {addr} reports slice {}/{} but is listed at \
+                     position {index} (shard addresses must be in shard order)",
+                    descriptor.shard_index, descriptor.shard_total
+                )));
+            }
+            match epoch_duration {
+                None => epoch_duration = Some(descriptor.epoch_duration),
+                Some(d) if d != descriptor.epoch_duration => {
+                    return Err(RouterError(format!(
+                        "shard map disagreement: {addr} uses epoch duration {} but shard 0 \
+                         uses {d}",
+                        descriptor.epoch_duration
+                    )));
+                }
+                Some(_) => {}
+            }
+            epochs.extend(descriptor.epochs);
+        }
+        let upstreams = config
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| Upstream::new(i as u32, addr.clone()))
+            .collect();
+        Ok(RouterHandler {
+            config,
+            upstreams,
+            epoch_duration: epoch_duration.unwrap_or(0),
+            probed_epochs: epochs.into_iter().collect(),
+        })
+    }
+
+    fn connect_options(&self) -> ConnectOptions {
+        ConnectOptions {
+            connect_timeout: Some(self.config.connect_timeout),
+            read_timeout: Some(self.config.read_timeout),
+            write_timeout: Some(self.config.read_timeout),
+        }
+    }
+
+    /// Dial and authenticate a fresh connection to `upstream` as `user`
+    /// (the router forwards the client's credential verbatim — it holds
+    /// no authority of its own).
+    fn dial(&self, upstream: &Upstream, user: &UserHandle) -> Result<Connection, ClientError> {
+        Connection::connect_with_options(
+            upstream.addr.as_str(),
+            user.user_id.0,
+            user.credential.0,
+            &self.config.router_name,
+            self.connect_options(),
+        )
+    }
+
+    /// Run one submit/wait exchange against `upstream`, reusing a pooled
+    /// connection when one exists. `retry` allows one full retry on a
+    /// fresh connection — right for idempotent reads, wrong for ingest.
+    ///
+    /// A structured error reply leaves the stream frame-aligned, so the
+    /// connection is still pooled; any transport failure drops it, and a
+    /// failure on a *freshly dialed* connection marks the shard down.
+    fn call_shard<T>(
+        &self,
+        upstream: &Upstream,
+        user: &UserHandle,
+        retry: bool,
+        op: &mut dyn FnMut(&mut Connection) -> Result<T, ClientError>,
+    ) -> Result<T, ShardFailure> {
+        let user_id = user.user_id.0;
+        let pooled = upstream.checkout(user_id)?;
+        let pooled_was_fresh = pooled.is_none();
+        upstream.requests_forwarded.fetch_add(1, Ordering::Relaxed);
+        let mut conn = match pooled {
+            Some(conn) => conn,
+            None => match self.dial(upstream, user) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    upstream.errors.fetch_add(1, Ordering::Relaxed);
+                    upstream.mark_down(&self.config);
+                    return Err(upstream.unavailable(&e.to_string()));
+                }
+            },
+        };
+        match op(&mut conn) {
+            Ok(value) => {
+                upstream.checkin(user_id, conn);
+                upstream.mark_up();
+                return Ok(value);
+            }
+            Err(ClientError::Server(e)) => {
+                // The reply arrived; only its content was an error. Drop
+                // the connection out of caution (connection-level errors
+                // usually precede a close) but do not back off.
+                return Err(ShardFailure::Server(e));
+            }
+            Err(e) => {
+                upstream.errors.fetch_add(1, Ordering::Relaxed);
+                if pooled_was_fresh || !retry {
+                    // The failure happened on a connection we just
+                    // dialed, so the shard itself is unhealthy.
+                    if pooled_was_fresh {
+                        upstream.mark_down(&self.config);
+                    }
+                    return Err(upstream.unavailable(&e.to_string()));
+                }
+            }
+        }
+        // The pooled connection was stale (typical after a shard
+        // restart): reconnect and retry the exchange once.
+        upstream.reconnects.fetch_add(1, Ordering::Relaxed);
+        let mut conn = match self.dial(upstream, user) {
+            Ok(conn) => conn,
+            Err(e) => {
+                upstream.errors.fetch_add(1, Ordering::Relaxed);
+                upstream.mark_down(&self.config);
+                return Err(upstream.unavailable(&e.to_string()));
+            }
+        };
+        match op(&mut conn) {
+            Ok(value) => {
+                upstream.checkin(user_id, conn);
+                upstream.mark_up();
+                Ok(value)
+            }
+            Err(ClientError::Server(e)) => Err(ShardFailure::Server(e)),
+            Err(e) => {
+                upstream.errors.fetch_add(1, Ordering::Relaxed);
+                upstream.mark_down(&self.config);
+                Err(upstream.unavailable(&e.to_string()))
+            }
+        }
+    }
+
+    /// Fan one pipelined exchange out to **every** shard: submit on all
+    /// upstream connections first, then collect the replies — so the
+    /// shards execute concurrently while the router worker blocks only
+    /// once per upstream, in shard order.
+    ///
+    /// Epoch ownership is hash-scattered across the slice space
+    /// ([`shard_of_epoch`]), so any time range may touch any shard; the
+    /// partition of work happens structurally, because each shard only
+    /// holds (and therefore only executes) the epochs its slice owns.
+    /// A shard whose checked-out connection tears at submit or wait time
+    /// falls back to one sequential retry through [`Self::call_shard`].
+    fn fan<T>(
+        &self,
+        user: &UserHandle,
+        submit: &dyn Fn(&mut Connection) -> Result<Pending, ClientError>,
+        wait: &dyn Fn(&mut Connection, Pending) -> Result<T, ClientError>,
+    ) -> Vec<Result<T, ShardFailure>> {
+        let user_id = user.user_id.0;
+        // Phase 1: put a request on the wire to every reachable shard.
+        let mut in_flight: Vec<Option<(Connection, Pending)>> = Vec::new();
+        for upstream in &self.upstreams {
+            let slot = match upstream.checkout(user_id) {
+                Err(_) | Ok(None) => None, // backoff or no pooled conn: sequential path below
+                Ok(Some(mut conn)) => match submit(&mut conn) {
+                    Ok(pending) => {
+                        upstream.requests_forwarded.fetch_add(1, Ordering::Relaxed);
+                        Some((conn, pending))
+                    }
+                    // Stale pooled stream: drop it; the sequential retry
+                    // below dials fresh.
+                    Err(_) => None,
+                },
+            };
+            in_flight.push(slot);
+        }
+        // Phase 2: collect, falling back to a fresh sequential exchange
+        // wherever phase 1 had nothing usable in flight.
+        self.upstreams
+            .iter()
+            .zip(in_flight)
+            .map(|(upstream, slot)| match slot {
+                Some((mut conn, pending)) => match wait(&mut conn, pending) {
+                    Ok(value) => {
+                        upstream.checkin(user_id, conn);
+                        upstream.mark_up();
+                        Ok(value)
+                    }
+                    Err(ClientError::Server(e)) => Err(ShardFailure::Server(e)),
+                    Err(_) => {
+                        // The pipelined attempt tore mid-reply; retry the
+                        // whole exchange once on a fresh connection.
+                        upstream.errors.fetch_add(1, Ordering::Relaxed);
+                        upstream.reconnects.fetch_add(1, Ordering::Relaxed);
+                        self.call_shard(upstream, user, false, &mut |conn| {
+                            let pending = submit(conn)?;
+                            wait(conn, pending)
+                        })
+                    }
+                },
+                None => self.call_shard(upstream, user, true, &mut |conn| {
+                    let pending = submit(conn)?;
+                    wait(conn, pending)
+                }),
+            })
+            .collect()
+    }
+
+    /// Collapse one query's per-shard partial outcomes into the partial
+    /// union, or the error the client should see. Structured errors win
+    /// over transport errors (they are the more specific diagnosis), and
+    /// the lowest shard index wins among structured errors so the choice
+    /// is deterministic.
+    fn combine_partials(
+        outcomes: Vec<Result<Result<Vec<WirePartial>, WireError>, ShardFailure>>,
+    ) -> Result<Vec<WirePartial>, WireError> {
+        let mut partials = Vec::new();
+        let mut unavailable: Option<WireError> = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(Ok(shard_partials)) => partials.extend(shard_partials),
+                Ok(Err(e)) | Err(ShardFailure::Server(e)) => return Err(e),
+                Err(ShardFailure::Unavailable(msg)) => {
+                    unavailable
+                        .get_or_insert_with(|| WireError::new(ErrorCode::ShardUnavailable, msg));
+                }
+            }
+        }
+        match unavailable {
+            // A missing slice must never silently shrink an answer.
+            Some(e) => Err(e),
+            None => {
+                partials.sort_by_key(|p| p.epoch_id);
+                Ok(partials)
+            }
+        }
+    }
+
+    /// Merge a query's partial union into the final answer, reproducing
+    /// the single-process execution bit-for-bit (including the
+    /// `NoDataForRange` refusal when no shard held an overlapping epoch).
+    fn merge_answer(
+        query: &Query,
+        partials: Vec<WirePartial>,
+    ) -> Result<concealer_core::QueryAnswer, WireError> {
+        merge_partials(
+            query,
+            partials
+                .into_iter()
+                .map(WirePartial::into_partial)
+                .collect(),
+        )
+        .map_err(|e| WireError::from(&e))
+    }
+
+    fn batch_too_large(&self, id: u64, len: usize) -> Response {
+        Response::Error {
+            id,
+            error: WireError::new(
+                ErrorCode::BatchTooLarge,
+                format!(
+                    "batch of {len} queries exceeds the {}-query limit",
+                    self.config.max_batch
+                ),
+            ),
+        }
+    }
+}
+
+impl ServeHandler for RouterHandler {
+    /// Version-check locally, then authenticate the credential against
+    /// the first reachable shard — the router holds no credential store
+    /// of its own, so upstream acceptance *is* the authentication.
+    fn handshake(
+        &self,
+        version: u32,
+        user_id: u64,
+        credential: [u8; 32],
+    ) -> Result<(UserHandle, ServerInfo), Response> {
+        if version != PROTOCOL_VERSION {
+            return Err(Response::Error {
+                id: CONNECTION_LEVEL_ID,
+                error: WireError::new(
+                    ErrorCode::UnsupportedVersion,
+                    format!("router speaks protocol {PROTOCOL_VERSION}, client sent {version}"),
+                ),
+            });
+        }
+        let user = UserHandle {
+            user_id: concealer_core::UserId(user_id),
+            credential: concealer_core::Credential(credential),
+        };
+        let mut last_unreachable: Option<String> = None;
+        for upstream in &self.upstreams {
+            if upstream.in_backoff() {
+                last_unreachable = Some(format!(
+                    "shard {} ({}) backing off",
+                    upstream.index, upstream.addr
+                ));
+                continue;
+            }
+            upstream.requests_forwarded.fetch_add(1, Ordering::Relaxed);
+            match self.dial(upstream, &user) {
+                Ok(conn) => {
+                    let upstream_info = conn.server_info().clone();
+                    upstream.checkin(user_id, conn);
+                    upstream.mark_up();
+                    let info = ServerInfo {
+                        protocol_version: PROTOCOL_VERSION,
+                        server_name: self.config.router_name.clone(),
+                        backend: upstream_info.backend,
+                        max_batch: self.config.max_batch as u64,
+                        max_frame_len: DEFAULT_MAX_FRAME_LEN as u64,
+                        ingest_allowed: upstream_info.ingest_allowed,
+                    };
+                    return Ok((user, info));
+                }
+                Err(ClientError::Handshake(e)) => {
+                    // The shard answered and refused: the credential (or
+                    // version) is bad, and every shard shares the same
+                    // enclave registry — propagate instead of retrying.
+                    return Err(Response::Error {
+                        id: CONNECTION_LEVEL_ID,
+                        error: WireError::new(
+                            ErrorCode::AuthFailed,
+                            format!("upstream shard {} refused: {e}", upstream.index),
+                        ),
+                    });
+                }
+                Err(e) => {
+                    upstream.errors.fetch_add(1, Ordering::Relaxed);
+                    upstream.mark_down(&self.config);
+                    last_unreachable =
+                        Some(format!("shard {} ({}): {e}", upstream.index, upstream.addr));
+                }
+            }
+        }
+        Err(Response::Error {
+            id: CONNECTION_LEVEL_ID,
+            error: WireError::new(
+                ErrorCode::ShardUnavailable,
+                format!(
+                    "no shard reachable to authenticate against (last: {})",
+                    last_unreachable.unwrap_or_else(|| "none tried".to_string())
+                ),
+            ),
+        })
+    }
+
+    fn execute(&self, user: &UserHandle, request: Request) -> Response {
+        match request {
+            Request::Execute { id, query, options } => {
+                let outcomes = self.fan(
+                    user,
+                    &|conn| conn.submit_partial(&query, options),
+                    &|conn, pending| conn.wait_partial(pending),
+                );
+                let result =
+                    Self::combine_partials(outcomes).and_then(|p| Self::merge_answer(&query, p));
+                match result {
+                    Ok(answer) => Response::Answer { id, answer },
+                    Err(error) => Response::Error { id, error },
+                }
+            }
+            Request::ExecuteBatch {
+                id,
+                queries,
+                options,
+            } => {
+                if queries.len() > self.config.max_batch {
+                    return self.batch_too_large(id, queries.len());
+                }
+                let per_shard = self.fan(
+                    user,
+                    &|conn| conn.submit_batch_partial(&queries, options),
+                    &|conn, pending| conn.wait_batch_partial(pending),
+                );
+                let per_query = split_batch(per_shard, queries.len());
+                let results = queries
+                    .iter()
+                    .zip(per_query)
+                    .map(|(query, outcomes)| {
+                        match Self::combine_partials(outcomes)
+                            .and_then(|p| Self::merge_answer(query, p))
+                        {
+                            Ok(answer) => WireResult::Ok(answer),
+                            Err(e) => WireResult::Err(e),
+                        }
+                    })
+                    .collect();
+                Response::BatchAnswer { id, results }
+            }
+            Request::ExecutePartial { id, query, options } => {
+                let outcomes = self.fan(
+                    user,
+                    &|conn| conn.submit_partial(&query, options),
+                    &|conn, pending| conn.wait_partial(pending),
+                );
+                let result = match Self::combine_partials(outcomes) {
+                    Ok(partials) => WirePartialResult::Ok(partials),
+                    Err(e) => WirePartialResult::Err(e),
+                };
+                Response::PartialAnswer { id, result }
+            }
+            Request::ExecuteBatchPartial {
+                id,
+                queries,
+                options,
+            } => {
+                if queries.len() > self.config.max_batch {
+                    return self.batch_too_large(id, queries.len());
+                }
+                let per_shard = self.fan(
+                    user,
+                    &|conn| conn.submit_batch_partial(&queries, options),
+                    &|conn, pending| conn.wait_batch_partial(pending),
+                );
+                let results = split_batch(per_shard, queries.len())
+                    .into_iter()
+                    .map(|outcomes| match Self::combine_partials(outcomes) {
+                        Ok(partials) => WirePartialResult::Ok(partials),
+                        Err(e) => WirePartialResult::Err(e),
+                    })
+                    .collect();
+                Response::BatchPartialAnswer { id, results }
+            }
+            Request::IngestEpoch {
+                id,
+                epoch_start,
+                records,
+            } => {
+                // Epoch ownership is a partition: exactly one shard may
+                // take this epoch, so route there and never retry (a
+                // retried ingest that half-landed would double-apply).
+                let owner = shard_of_epoch(epoch_start, self.upstreams.len());
+                let upstream = &self.upstreams[owner];
+                match self.call_shard(upstream, user, false, &mut |conn| {
+                    conn.ingest_epoch(epoch_start, &records)
+                }) {
+                    Ok(rows_stored) => Response::IngestOk {
+                        id,
+                        epoch_id: epoch_start,
+                        rows_stored,
+                    },
+                    Err(ShardFailure::Server(error)) => Response::Error { id, error },
+                    Err(ShardFailure::Unavailable(msg)) => Response::Error {
+                        id,
+                        error: WireError::new(ErrorCode::ShardUnavailable, msg),
+                    },
+                }
+            }
+            Request::Stats { id } => {
+                // Aggregate the backend profile across the deployment:
+                // counters sum, the security properties hold only if
+                // every slice upholds them.
+                let mut merged: Option<WireStats> = None;
+                for upstream in &self.upstreams {
+                    let stats = match self
+                        .call_shard(upstream, user, true, &mut |conn| conn.stats())
+                    {
+                        Ok(stats) => stats,
+                        Err(ShardFailure::Server(error)) => return Response::Error { id, error },
+                        Err(ShardFailure::Unavailable(msg)) => {
+                            return Response::Error {
+                                id,
+                                error: WireError::new(ErrorCode::ShardUnavailable, msg),
+                            }
+                        }
+                    };
+                    merged = Some(match merged {
+                        None => stats,
+                        Some(acc) => WireStats {
+                            backend: acc.backend,
+                            epochs: acc.epochs + stats.epochs,
+                            rows_stored: acc.rows_stored + stats.rows_stored,
+                            volume_hiding: acc.volume_hiding && stats.volume_hiding,
+                            verifiable: acc.verifiable && stats.verifiable,
+                        },
+                    });
+                }
+                match merged {
+                    Some(stats) => Response::StatsOk { id, stats },
+                    None => Response::Error {
+                        id,
+                        error: WireError::new(ErrorCode::ShardUnavailable, "no shards configured"),
+                    },
+                }
+            }
+            Request::Hello { .. }
+            | Request::Goodbye
+            | Request::Shutdown { .. }
+            | Request::ServeStats { .. }
+            | Request::ShardInfo { .. }
+            | Request::RouterStats { .. } => {
+                unreachable!("connection-level requests never reach the handler executor")
+            }
+        }
+    }
+
+    /// The router presents itself as the whole map (`0/1`) and reports
+    /// the probe-time union of its shards' epochs — a topology snapshot,
+    /// not a live inventory.
+    fn shard_info(&self, id: u64) -> Response {
+        Response::ShardInfoOk {
+            id,
+            shard: ShardDescriptor {
+                shard_index: 0,
+                shard_total: 1,
+                epoch_duration: self.epoch_duration,
+                epochs: self.probed_epochs.clone(),
+            },
+        }
+    }
+
+    fn router_stats(&self, id: u64) -> Response {
+        Response::RouterStatsOk {
+            id,
+            stats: RouterStats {
+                shards: self
+                    .upstreams
+                    .iter()
+                    .map(|u| ShardLoad {
+                        shard_index: u.index,
+                        addr: u.addr.clone(),
+                        requests_forwarded: u.requests_forwarded.load(Ordering::Relaxed),
+                        errors: u.errors.load(Ordering::Relaxed),
+                        reconnects: u.reconnects.load(Ordering::Relaxed),
+                        available: !u.in_backoff(),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// A wire shutdown at the router drains the whole deployment:
+    /// forward it to every shard (tolerating shards that are already
+    /// gone), then let the serving core drain the router itself.
+    fn on_wire_shutdown(&self, user: &UserHandle) {
+        for upstream in &self.upstreams {
+            let _ = self.call_shard(upstream, user, false, &mut |conn| conn.shutdown_server());
+        }
+    }
+}
+
+/// Transpose per-shard batch replies into per-query outcome lists for
+/// positional merging. A shard whose reply does not line up with the
+/// submitted batch is treated as unavailable — a length mismatch means
+/// the upstream is not speaking the protocol we validated at probe time.
+#[allow(clippy::type_complexity)]
+fn split_batch(
+    per_shard: Vec<Result<Vec<Result<Vec<WirePartial>, WireError>>, ShardFailure>>,
+    queries: usize,
+) -> Vec<Vec<Result<Result<Vec<WirePartial>, WireError>, ShardFailure>>> {
+    let mut per_query: Vec<Vec<Result<Result<Vec<WirePartial>, WireError>, ShardFailure>>> =
+        (0..queries).map(|_| Vec::new()).collect();
+    for (shard_index, outcome) in per_shard.into_iter().enumerate() {
+        match outcome {
+            Ok(results) if results.len() == queries => {
+                for (slot, result) in per_query.iter_mut().zip(results) {
+                    slot.push(Ok(result));
+                }
+            }
+            Ok(results) => {
+                let msg = format!(
+                    "shard {shard_index} answered {} results for a {queries}-query batch",
+                    results.len()
+                );
+                for slot in &mut per_query {
+                    slot.push(Err(ShardFailure::Unavailable(msg.clone())));
+                }
+            }
+            Err(ShardFailure::Server(e)) => {
+                for slot in &mut per_query {
+                    slot.push(Err(ShardFailure::Server(e.clone())));
+                }
+            }
+            Err(ShardFailure::Unavailable(msg)) => {
+                for slot in &mut per_query {
+                    slot.push(Err(ShardFailure::Unavailable(msg.clone())));
+                }
+            }
+        }
+    }
+    per_query
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_refuses_empty_shard_list() {
+        let err = RouterHandler::probe(RouterConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("no shards"));
+    }
+
+    #[test]
+    fn probe_refuses_unreachable_shard() {
+        // A bound-then-dropped listener leaves a port nothing listens on.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("local addr").port()
+        };
+        let config = RouterConfig {
+            shards: vec![format!("127.0.0.1:{port}")],
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_millis(250),
+            ..RouterConfig::default()
+        };
+        let err = RouterHandler::probe(config).unwrap_err();
+        assert!(
+            err.to_string().contains("probing shard 0"),
+            "unexpected probe error: {err}"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let config = RouterConfig {
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_millis(350),
+            ..RouterConfig::default()
+        };
+        let upstream = Upstream::new(0, "127.0.0.1:1".to_string());
+        assert!(!upstream.in_backoff());
+        upstream.mark_down(&config);
+        assert!(upstream.in_backoff());
+        let first = upstream.lock().down_until.expect("backed off");
+        upstream.mark_down(&config);
+        let second = upstream.lock().down_until.expect("backed off");
+        assert!(second >= first, "backoff must not shrink under failures");
+        // After many failures the backoff saturates at the cap.
+        for _ in 0..20 {
+            upstream.mark_down(&config);
+        }
+        let capped = upstream.lock().down_until.expect("backed off");
+        assert!(capped.saturating_duration_since(Instant::now()) <= Duration::from_millis(400));
+        upstream.mark_up();
+        assert!(!upstream.in_backoff());
+    }
+
+    #[test]
+    fn split_batch_propagates_shard_failures_positionally() {
+        let per_shard = vec![
+            Ok(vec![Ok(vec![]), Ok(vec![])]),
+            Err(ShardFailure::Unavailable("shard 1 down".to_string())),
+        ];
+        let per_query = split_batch(per_shard, 2);
+        assert_eq!(per_query.len(), 2);
+        for outcomes in &per_query {
+            assert_eq!(outcomes.len(), 2);
+            assert!(matches!(outcomes[0], Ok(Ok(_))));
+            assert!(matches!(outcomes[1], Err(ShardFailure::Unavailable(_))));
+        }
+    }
+
+    #[test]
+    fn split_batch_turns_length_mismatch_into_unavailable() {
+        let per_shard = vec![Ok(vec![Ok(Vec::<WirePartial>::new())])];
+        let per_query = split_batch(per_shard, 2);
+        assert_eq!(per_query.len(), 2);
+        assert!(matches!(per_query[1][0], Err(ShardFailure::Unavailable(_))));
+    }
+}

@@ -1,0 +1,150 @@
+//! The `concealer-router` binary: probe a set of epoch-sharded
+//! `concealer-server` processes, validate the shard map, and serve the
+//! same wire protocol in front of them until a graceful shutdown.
+//!
+//! ```text
+//! concealer-router --shard-addr HOST:PORT [--shard-addr HOST:PORT ...]
+//!                  [--mode threaded|event] [--port N]
+//!                  [--max-connections N] [--max-in-flight N]
+//! ```
+//!
+//! `--shard-addr` must be given **in shard order**: the i-th address is
+//! the server started with `--shard i/N`. The startup probe refuses to
+//! serve on any shard-map disagreement (wrong total, wrong position,
+//! diverging epoch durations) — exit code 1 with a diagnostic, before
+//! the listener binds.
+//!
+//! The default mode is `event`: the router's work is mostly waiting on
+//! upstream sockets, so connections should cost file descriptors, not
+//! threads. `--max-in-flight` sizes the worker pool doing the fan-out.
+//!
+//! Prints one `READY addr=… shards=… protocol=… mode=…` line on stdout
+//! once the listener is bound (the contract `ci/server-soak.sh` waits
+//! for), and a `SHUTDOWN graceful …` line when a wire shutdown drained
+//! cleanly. See `OPERATIONS.md` § "Routed deployment" for the full
+//! recipe.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use concealer_router::{RouterConfig, RouterHandler};
+use concealer_server::{Server, ServerConfig, ServerMode, PROTOCOL_VERSION};
+
+struct Args {
+    mode: ServerMode,
+    port: u16,
+    shards: Vec<String>,
+    max_connections: usize,
+    max_in_flight: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        // Unlike the shard server, the router defaults to the event core
+        // (fan-out is I/O-bound; see the module docs).
+        mode: ServerMode::Event,
+        port: 0,
+        shards: Vec::new(),
+        max_connections: 64,
+        max_in_flight: 8,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--mode" => args.mode = ServerMode::parse(&value("--mode")?)?,
+            "--port" => args.port = parse(&value("--port")?)?,
+            "--shard-addr" => args.shards.push(value("--shard-addr")?),
+            "--max-connections" => args.max_connections = parse(&value("--max-connections")?)?,
+            "--max-in-flight" => args.max_in_flight = parse(&value("--max-in-flight")?)?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: concealer-router --shard-addr HOST:PORT [--shard-addr HOST:PORT ...] \
+                     [--mode threaded|event] [--port N] [--max-connections N] [--max-in-flight N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if args.shards.is_empty() {
+        return Err("at least one --shard-addr is required".to_string());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("invalid numeric value {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let shard_count = args.shards.len();
+    eprintln!("concealer-router: probing {shard_count} shard(s)");
+    let router_config = RouterConfig {
+        shards: args.shards,
+        ..RouterConfig::default()
+    };
+    let handler = match RouterHandler::probe(router_config) {
+        Ok(handler) => handler,
+        Err(e) => {
+            eprintln!("concealer-router: startup probe failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = ServerConfig {
+        bind: SocketAddr::from(([127, 0, 0, 1], args.port)),
+        server_name: "concealer-router".to_string(),
+        mode: args.mode,
+        max_connections: args.max_connections,
+        max_in_flight: args.max_in_flight,
+        ..ServerConfig::default()
+    };
+    let handle = match Server::with_handler(Arc::new(handler), config).spawn() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("concealer-router: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Same machine-readable READY contract as concealer-server: one line,
+    // stdout, flushed before serving.
+    println!(
+        "READY addr={} shards={shard_count} protocol={PROTOCOL_VERSION} mode={}",
+        handle.local_addr(),
+        args.mode.name()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let report = handle.join();
+    if report.graceful {
+        println!(
+            "SHUTDOWN graceful connections={} requests={} busy_rejected={}",
+            report.connections_served, report.requests_served, report.rejected_busy
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("concealer-router: listener failed; exiting non-gracefully");
+        ExitCode::FAILURE
+    }
+}

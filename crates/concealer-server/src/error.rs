@@ -62,6 +62,11 @@ pub enum ErrorCode {
     Enclave,
     /// Anything the mapping does not classify more precisely.
     Internal,
+    /// A router could not reach the shard that owns part of the request's
+    /// epoch slice (connect/read timeout, refused connection, or the shard
+    /// is in reconnect backoff). The request may be retried; other slices
+    /// keep serving.
+    ShardUnavailable,
 }
 
 impl ErrorCode {
@@ -90,6 +95,7 @@ impl ErrorCode {
             ErrorCode::Storage => "storage",
             ErrorCode::Enclave => "enclave",
             ErrorCode::Internal => "internal",
+            ErrorCode::ShardUnavailable => "shard_unavailable",
         }
     }
 }

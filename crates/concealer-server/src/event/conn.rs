@@ -10,10 +10,15 @@ use serde::frame::FrameDecoder;
 
 use crate::protocol::Response;
 
-/// Protocol phase of a connection (same states as the threaded core).
+/// Protocol phase of a connection (the threaded core's states plus an
+/// in-validation step, because this core validates hellos off-loop).
 pub(super) enum Auth {
     /// Nothing accepted yet but `Request::Hello`.
     AwaitingHello,
+    /// A `Hello` was dispatched to a worker for validation; decoding is
+    /// paused until the outcome lands (pipelined frames sent behind the
+    /// hello wait in the buffer, preserving request order).
+    HelloPending,
     /// Handshake done; engine requests may flow.
     Ready(UserHandle),
 }

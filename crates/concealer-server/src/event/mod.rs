@@ -21,13 +21,14 @@
 //! * **Reads** accumulate partial frames in a per-connection incremental
 //!   [`FrameDecoder`](serde::frame::FrameDecoder); a request may arrive
 //!   split across any number of readiness events.
-//! * **Engine requests** (`Execute`/`ExecuteBatch`/`IngestEpoch`/`Stats`)
-//!   are dispatched to a small worker pool and complete out of order;
-//!   connection-level requests (`Hello`, `Goodbye`, `Shutdown`,
-//!   `ServeStats`) are answered on the loop itself. Per-connection
-//!   pipelining is capped ([`ServerConfig::max_pipeline`]): at the cap
-//!   the loop stops reading that socket, so TCP flow control
-//!   backpressures the client.
+//! * **Blocking handler work** — engine requests
+//!   (`Execute`/`ExecuteBatch`/partials/`IngestEpoch`/`Stats`) and
+//!   `Hello` validation — is dispatched to a small worker pool and
+//!   completes out of order; cheap connection-level requests (`Goodbye`,
+//!   `Shutdown`, `ServeStats`, `ShardInfo`, `RouterStats`) are answered
+//!   on the loop itself. Per-connection pipelining is capped
+//!   ([`ServerConfig::max_pipeline`]): at the cap the loop stops reading
+//!   that socket, so TCP flow control backpressures the client.
 //! * **Writes** go to a per-connection buffer flushed eagerly and then
 //!   on writable readiness; interest is re-registered only when it
 //!   actually changes.
@@ -49,18 +50,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use concealer_core::ConcealerSystem;
 use mio::{Events, Interest, Poll, Token, Waker};
 use serde::frame::FrameError;
 
 use crate::error::ErrorCode;
 use crate::protocol::{Request, Response, ServeStats, CONNECTION_LEVEL_ID};
 use crate::server::{
-    error_reply, handshake, reserved_id_reply, ServeReport, ServerConfig, ServerMode,
+    error_reply, reserved_id_reply, ServeHandler, ServeReport, ServerConfig, ServerMode,
 };
 
 use conn::{Auth, Closing, Conn};
-use workers::{Job, WorkerPool};
+use workers::{Completion, Job, WorkerPool};
 
 /// Token of the accepting listener.
 const LISTENER: usize = 0;
@@ -90,7 +90,7 @@ const MAX_READ_PER_EVENT: usize = 64 * 1024;
 /// parked poll.
 #[allow(clippy::type_complexity)]
 pub(crate) fn spawn(
-    system: Arc<ConcealerSystem>,
+    handler: Arc<dyn ServeHandler>,
     config: ServerConfig,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
@@ -108,13 +108,12 @@ pub(crate) fn spawn(
     };
     let config = Arc::new(config);
     let pool = WorkerPool::spawn(
-        Arc::clone(&system),
-        Arc::clone(&config),
+        Arc::clone(&handler),
         config.max_in_flight,
         Arc::clone(&waker),
     );
     let event_loop = EventLoop {
-        system,
+        handler,
         config,
         listener,
         shutdown,
@@ -142,7 +141,7 @@ pub(crate) fn spawn(
 }
 
 struct EventLoop {
-    system: Arc<ConcealerSystem>,
+    handler: Arc<dyn ServeHandler>,
     config: Arc<ServerConfig>,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
@@ -328,6 +327,11 @@ impl EventLoop {
             if conn.closing.is_some() || conn.goodbye_pending {
                 return;
             }
+            // A hello is validating on a worker: hold every frame behind
+            // it in the buffer so request order is preserved.
+            if matches!(conn.auth, Auth::HelloPending) {
+                return;
+            }
             // Once the peer half-closed no more bytes can arrive, so the
             // cap no longer protects anything — decode out the remainder
             // so `mid_frame` means what it says.
@@ -381,17 +385,32 @@ impl EventLoop {
                     client_name,
                 },
             ) => {
+                // Validation happens on a worker (a router's handshake
+                // dials upstreams); decoding pauses until the outcome
+                // lands in `process_completions`.
                 let _ = client_name;
-                match handshake(&self.system, &self.config, version, user_id, credential) {
-                    Ok((user, info)) => {
-                        conn.auth = Auth::Ready(user);
-                        self.reply(conn, &Response::HelloOk(info));
-                    }
-                    Err(refusal) => {
-                        self.reply(conn, &refusal);
-                        conn.closing = Some(Closing::Drop);
-                    }
+                conn.auth = Auth::HelloPending;
+                conn.in_flight += 1;
+                self.total_in_flight += 1;
+                self.pool.submit(Job::Hello {
+                    conn_id,
+                    version,
+                    user_id,
+                    credential,
+                });
+            }
+            (Auth::HelloPending, _) => {
+                unreachable!("decoding is paused while a hello validates")
+            }
+            // Pre-auth topology discovery, mirroring the threaded core: a
+            // router probes shard slices before it holds any credential.
+            (_, Request::ShardInfo { id }) => {
+                if id == CONNECTION_LEVEL_ID {
+                    self.refuse_reserved_id(conn);
+                    return;
                 }
+                let reply = self.handler.shard_info(id);
+                self.reply(conn, &reply);
             }
             (Auth::AwaitingHello, _) => {
                 self.reply(
@@ -420,11 +439,16 @@ impl EventLoop {
                 // have been written (see `advance`).
                 conn.goodbye_pending = true;
             }
-            (Auth::Ready(_), Request::Shutdown { id }) => {
+            (Auth::Ready(user), Request::Shutdown { id }) => {
                 if id == CONNECTION_LEVEL_ID {
                     self.refuse_reserved_id(conn);
                     return;
                 }
+                // May block briefly (a router forwards the shutdown to
+                // its upstreams) — acceptable on the loop thread because
+                // the deployment is draining anyway.
+                let user = user.clone();
+                self.handler.on_wire_shutdown(&user);
                 self.shutdown.store(true, Ordering::Release);
                 self.reply(conn, &Response::ShutdownOk { id });
                 conn.closing = Some(Closing::Drop);
@@ -437,10 +461,20 @@ impl EventLoop {
                 let stats = self.serve_stats_snapshot();
                 self.reply(conn, &Response::ServeStatsOk { id, stats });
             }
+            (Auth::Ready(_), Request::RouterStats { id }) => {
+                if id == CONNECTION_LEVEL_ID {
+                    self.refuse_reserved_id(conn);
+                    return;
+                }
+                let reply = self.handler.router_stats(id);
+                self.reply(conn, &reply);
+            }
             (
                 Auth::Ready(user),
                 request @ (Request::Execute { .. }
                 | Request::ExecuteBatch { .. }
+                | Request::ExecutePartial { .. }
+                | Request::ExecuteBatchPartial { .. }
                 | Request::IngestEpoch { .. }
                 | Request::Stats { .. }),
             ) => {
@@ -451,7 +485,7 @@ impl EventLoop {
                 let user = user.clone();
                 conn.in_flight += 1;
                 self.total_in_flight += 1;
-                self.pool.submit(Job {
+                self.pool.submit(Job::Engine {
                     conn_id,
                     user,
                     request,
@@ -478,16 +512,28 @@ impl EventLoop {
         }
     }
 
-    /// Deliver finished worker replies to their connections.
+    /// Deliver finished worker completions to their connections.
     fn process_completions(&mut self) {
-        for (conn_id, response) in self.pool.drain_completions() {
+        for (conn_id, completion) in self.pool.drain_completions() {
             self.total_in_flight -= 1;
             self.requests_served += 1;
             let Some(mut conn) = self.conns.remove(&conn_id) else {
                 continue; // Connection died while its request executed.
             };
             conn.in_flight -= 1;
-            conn.queue_reply(&response);
+            match completion {
+                Completion::Reply(response) => conn.queue_reply(&response),
+                Completion::Hello(Ok((user, info))) => {
+                    conn.auth = Auth::Ready(user);
+                    // Resuming decode of any frames pipelined behind the
+                    // hello happens in `settle` → `advance`.
+                    conn.queue_reply(&Response::HelloOk(info));
+                }
+                Completion::Hello(Err(refusal)) => {
+                    conn.queue_reply(&refusal);
+                    conn.closing = Some(Closing::Drop);
+                }
+            }
             self.settle(conn_id, conn);
         }
     }

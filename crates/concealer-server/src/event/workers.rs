@@ -1,23 +1,43 @@
-//! The event core's worker pool: engine requests are executed off the
-//! readiness loop on a small fixed pool (its size is the engine
-//! concurrency bound, the role the admission gate plays in the threaded
-//! core). Completions flow back through a queue the loop drains each
-//! iteration, woken by the poller's waker.
+//! The event core's worker pool: blocking handler work (engine requests
+//! and hello validation) is executed off the readiness loop on a small
+//! fixed pool (its size is the concurrency bound, the role the admission
+//! gate plays in the threaded core). Completions flow back through a
+//! queue the loop drains each iteration, woken by the poller's waker.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use concealer_core::{ConcealerSystem, UserHandle};
+use concealer_core::UserHandle;
 
-use crate::protocol::{Request, Response};
-use crate::server::{execute_engine_request, ServerConfig};
+use crate::protocol::{Request, Response, ServerInfo};
+use crate::server::ServeHandler;
 
-/// One engine-bound request, tagged with the connection awaiting the
-/// reply.
-pub(super) struct Job {
-    pub(super) conn_id: u64,
-    pub(super) user: UserHandle,
-    pub(super) request: Request,
+/// One blocking task, tagged with the connection awaiting the outcome.
+pub(super) enum Job {
+    /// An authenticated engine-bound request.
+    Engine {
+        conn_id: u64,
+        user: UserHandle,
+        request: Request,
+    },
+    /// A `Hello` to validate. Handled on a worker because a router's
+    /// handshake dials upstream shards — blocking the loop thread on
+    /// that would stall every other connection.
+    Hello {
+        conn_id: u64,
+        version: u32,
+        user_id: u64,
+        credential: [u8; 32],
+    },
+}
+
+/// What a finished job means for its connection.
+pub(super) enum Completion {
+    /// Queue this reply.
+    Reply(Response),
+    /// The handshake outcome: `Ok` authenticates the connection and
+    /// queues `HelloOk`; `Err` queues the refusal and closes.
+    Hello(Result<(UserHandle, ServerInfo), Response>),
 }
 
 struct QueueState {
@@ -57,19 +77,19 @@ impl JobQueue {
     }
 }
 
-/// Finished replies waiting for the event loop, plus the waker that tells
-/// it to come collect them.
+/// Finished completions waiting for the event loop, plus the waker that
+/// tells it to come collect them.
 struct Completions {
-    done: Mutex<Vec<(u64, Response)>>,
+    done: Mutex<Vec<(u64, Completion)>>,
     waker: Arc<mio::Waker>,
 }
 
 impl Completions {
-    fn push(&self, conn_id: u64, reply: Response) {
+    fn push(&self, conn_id: u64, completion: Completion) {
         self.done
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push((conn_id, reply));
+            .push((conn_id, completion));
         // A failed wake means the loop is already tearing down; the
         // completion still sits in the queue for the final drain.
         let _ = self.waker.wake();
@@ -86,8 +106,7 @@ pub(super) struct WorkerPool {
 
 impl WorkerPool {
     pub(super) fn spawn(
-        system: Arc<ConcealerSystem>,
-        config: Arc<ServerConfig>,
+        handler: Arc<dyn ServeHandler>,
         workers: usize,
         waker: Arc<mio::Waker>,
     ) -> WorkerPool {
@@ -106,15 +125,30 @@ impl WorkerPool {
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let completions = Arc::clone(&completions);
-                let system = Arc::clone(&system);
-                let config = Arc::clone(&config);
+                let handler = Arc::clone(&handler);
                 std::thread::Builder::new()
                     .name(format!("concealer-worker-{i}"))
                     .spawn(move || {
                         while let Some(job) = queue.pop() {
-                            let reply =
-                                execute_engine_request(&system, &config, &job.user, job.request);
-                            completions.push(job.conn_id, reply);
+                            match job {
+                                Job::Engine {
+                                    conn_id,
+                                    user,
+                                    request,
+                                } => {
+                                    let reply = handler.execute(&user, request);
+                                    completions.push(conn_id, Completion::Reply(reply));
+                                }
+                                Job::Hello {
+                                    conn_id,
+                                    version,
+                                    user_id,
+                                    credential,
+                                } => {
+                                    let outcome = handler.handshake(version, user_id, credential);
+                                    completions.push(conn_id, Completion::Hello(outcome));
+                                }
+                            }
                         }
                     })
                     .expect("spawn worker thread")
@@ -141,7 +175,7 @@ impl WorkerPool {
     }
 
     /// Take every completion produced since the last drain.
-    pub(super) fn drain_completions(&self) -> Vec<(u64, Response)> {
+    pub(super) fn drain_completions(&self) -> Vec<(u64, Completion)> {
         std::mem::take(
             &mut self
                 .completions
@@ -153,7 +187,7 @@ impl WorkerPool {
 
     /// Close the queue and join the workers; queued jobs finish first.
     /// Their completions are returned for the caller's final drain.
-    pub(super) fn shutdown(mut self) -> Vec<(u64, Response)> {
+    pub(super) fn shutdown(mut self) -> Vec<(u64, Completion)> {
         {
             let mut state = self.queue.lock();
             state.closed = true;

@@ -18,9 +18,12 @@
 //!   serving").
 //!
 //! The blocking client side lives in the sibling `concealer-client`
-//! crate; `concealer-load` drives many clients for the CI soak job. See
-//! `ARCHITECTURE.md` § "Serving layer" for the frame format and the
-//! trust-boundary argument (the wire is part of the untrusted zone).
+//! crate; `concealer-load` drives many clients for the CI soak job;
+//! `concealer-router` fronts epoch-sharded deployments with the same
+//! protocol. The canonical field-by-field wire specification is
+//! `PROTOCOL.md` at the repository root; see `ARCHITECTURE.md`
+//! § "Serving layer" for the trust-boundary argument (the wire is part
+//! of the untrusted zone).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -49,4 +52,6 @@ pub use protocol::{
     Request, Response, ServeStats, ServerInfo, WireResult, WireStats, CONNECTION_LEVEL_ID,
     DEFAULT_MAX_BATCH, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-pub use server::{ServeReport, Server, ServerConfig, ServerHandle, ServerMode};
+pub use server::{
+    EngineHandler, ServeHandler, ServeReport, Server, ServerConfig, ServerHandle, ServerMode,
+};

@@ -4,6 +4,7 @@
 //! ```text
 //! concealer-server [--mode threaded|event] [--port N] [--hours H] [--seed S]
 //!                  [--max-connections N] [--max-in-flight N] [--no-ingest]
+//!                  [--shard INDEX/TOTAL]
 //! ```
 //!
 //! The deployment is `concealer_examples::demo_system(hours, seed)` —
@@ -36,6 +37,23 @@ struct Args {
     max_connections: usize,
     max_in_flight: usize,
     allow_ingest: bool,
+    shard: Option<(u32, u32)>,
+}
+
+/// Parse `--shard i/t` (e.g. `1/4`): this process owns epoch-hash slice
+/// `i` of `t`.
+fn parse_shard(s: &str) -> Result<(u32, u32), String> {
+    let (index, total) = s
+        .split_once('/')
+        .ok_or_else(|| format!("invalid shard spec {s:?} (expected INDEX/TOTAL, e.g. 0/2)"))?;
+    let index: u32 = parse(index)?;
+    let total: u32 = parse(total)?;
+    if total == 0 || index >= total {
+        return Err(format!(
+            "shard index {index} out of range for total {total}"
+        ));
+    }
+    Ok((index, total))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         max_connections: 16,
         max_in_flight: 8,
         allow_ingest: true,
+        shard: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,10 +85,12 @@ fn parse_args() -> Result<Args, String> {
             "--max-connections" => args.max_connections = parse(&value("--max-connections")?)?,
             "--max-in-flight" => args.max_in_flight = parse(&value("--max-in-flight")?)?,
             "--no-ingest" => args.allow_ingest = false,
+            "--shard" => args.shard = Some(parse_shard(&value("--shard")?)?),
             "--help" | "-h" => {
                 return Err(
                     "usage: concealer-server [--mode threaded|event] [--port N] [--hours H] \
-                     [--seed S] [--max-connections N] [--max-in-flight N] [--no-ingest]"
+                     [--seed S] [--max-connections N] [--max-in-flight N] [--no-ingest] \
+                     [--shard INDEX/TOTAL]"
                         .to_string(),
                 )
             }
@@ -101,7 +122,12 @@ fn main() -> ExitCode {
         "concealer-server: building demo deployment (hours={}, seed={})",
         args.hours, args.seed
     );
-    let (system, user, records) = concealer_examples::demo_system(args.hours, args.seed);
+    let (system, user, records) = match args.shard {
+        Some((index, total)) => {
+            concealer_examples::demo_system_sharded(args.hours, args.seed, index, total)
+        }
+        None => concealer_examples::demo_system(args.hours, args.seed),
+    };
     let backend = system.store().backend_kind();
     eprintln!(
         "concealer-server: {} rows ingested, backend={backend}, serving user {}",
@@ -115,6 +141,7 @@ fn main() -> ExitCode {
         max_connections: args.max_connections,
         max_in_flight: args.max_in_flight,
         allow_ingest: args.allow_ingest,
+        shard: args.shard,
         ..ServerConfig::default()
     };
     let handle = match Server::new(Arc::new(system), config).spawn() {
@@ -127,8 +154,12 @@ fn main() -> ExitCode {
 
     // The READY line is the machine-readable contract with ci/server-soak.sh
     // and any other launcher: one line, stdout, flushed before serving.
+    let shard_suffix = args
+        .shard
+        .map(|(i, t)| format!(" shard={i}/{t}"))
+        .unwrap_or_default();
     println!(
-        "READY addr={} backend={backend} protocol={PROTOCOL_VERSION} mode={}",
+        "READY addr={} backend={backend} protocol={PROTOCOL_VERSION} mode={}{shard_suffix}",
         handle.local_addr(),
         args.mode.name()
     );

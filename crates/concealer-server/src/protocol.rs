@@ -46,7 +46,15 @@ use crate::error::WireError;
 /// Version of the message set defined in this module. Sent in
 /// `Request::Hello`; the server refuses mismatches with
 /// [`crate::error::ErrorCode::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: version 1 was the single-process message set (PR 5–7);
+/// version 2 appended the multi-node shard/router messages
+/// ([`Request::ShardInfo`], [`Request::ExecutePartial`],
+/// [`Request::ExecuteBatchPartial`], [`Request::RouterStats`] and their
+/// replies) plus the `shard_unavailable` error code. The canonical
+/// field-by-field layout of every message lives in `PROTOCOL.md` at the
+/// repository root.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Request id used for connection-level errors that cannot be attributed
 /// to a request (malformed frame, handshake refusal, admission rejection).
@@ -133,6 +141,47 @@ pub enum Request {
         /// Caller-chosen request id echoed in the reply (must be nonzero).
         id: u64,
     },
+    /// Ask which epoch slice this server owns ([`ShardDescriptor`]).
+    ///
+    /// Unlike every other non-`Hello` request, this is answerable
+    /// **before** authentication: it carries deployment metadata only (no
+    /// query results), and the router probes it at startup to validate the
+    /// shard map before any user credential exists on the connection.
+    ShardInfo {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+    },
+    /// Execute one query over only the epochs this server owns, answering
+    /// with per-epoch partials ([`Response::PartialAnswer`]) instead of a
+    /// finished answer. The shard half of routed execution; see
+    /// [`concealer_core::QueryEngine::execute_partials`].
+    ExecutePartial {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+        /// The query.
+        query: Query,
+        /// Execution options; `None` uses the server's defaults.
+        options: Option<ExecOptions>,
+    },
+    /// Partial-execution batch: like [`Request::ExecuteBatch`] but each
+    /// query answers with its per-epoch partials over this server's slice
+    /// ([`Response::BatchPartialAnswer`]), with `(epoch, bin)` fetches
+    /// deduplicated across the batch within the slice.
+    ExecuteBatchPartial {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+        /// The queries, answered positionally.
+        queries: Vec<Query>,
+        /// Execution options; `None` uses the server's defaults.
+        options: Option<ExecOptions>,
+    },
+    /// Ask a `concealer-router` for its per-shard forwarding counters
+    /// ([`RouterStats`]). Shard servers are not routers and refuse this
+    /// with [`crate::error::ErrorCode::ProtocolViolation`].
+    RouterStats {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+    },
 }
 
 impl Request {
@@ -147,7 +196,11 @@ impl Request {
             | Request::IngestEpoch { id, .. }
             | Request::Stats { id }
             | Request::Shutdown { id }
-            | Request::ServeStats { id } => *id,
+            | Request::ServeStats { id }
+            | Request::ShardInfo { id }
+            | Request::ExecutePartial { id, .. }
+            | Request::ExecuteBatchPartial { id, .. }
+            | Request::RouterStats { id } => *id,
         }
     }
 }
@@ -254,6 +307,151 @@ impl From<Result<QueryAnswer, concealer_core::CoreError>> for WireResult {
     }
 }
 
+/// The epoch slice one shard server owns, reported by
+/// [`Response::ShardInfoOk`]. The router probes every upstream at startup
+/// and refuses to serve when the shard map is inconsistent (index/total
+/// mismatch, missing slices, diverging epoch durations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardDescriptor {
+    /// This server's shard index (0-based), or `0` when unsharded.
+    pub shard_index: u32,
+    /// Total shard count of the deployment (`1` when unsharded).
+    pub shard_total: u32,
+    /// The deployment's epoch duration in seconds — every shard must
+    /// agree, or time-range routing is meaningless.
+    pub epoch_duration: u64,
+    /// The epoch ids (start times) this server currently holds, ascending.
+    pub epochs: Vec<u64>,
+}
+
+/// One epoch's contribution to a query answer on the wire — the
+/// serializable form of [`concealer_core::EpochPartial`], carried by
+/// [`Response::PartialAnswer`] / [`Response::BatchPartialAnswer`]. The
+/// accumulator fields are flattened (`per_location` as ascending pairs)
+/// because partials cross the wire between shard and router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirePartial {
+    /// The epoch this partial covers (its start time).
+    pub epoch_id: u64,
+    /// Matching-tuple count.
+    pub count: u64,
+    /// Sum of the aggregated payload attribute.
+    pub sum: u64,
+    /// Minimum seen, if any tuple matched.
+    pub min: Option<u64>,
+    /// Maximum seen, if any tuple matched.
+    pub max: Option<u64>,
+    /// Per-first-dimension counts, ascending by dimension value.
+    pub per_location: Vec<(u64, u64)>,
+    /// Collected cleartext records (row-collection queries).
+    pub rows: Vec<Record>,
+    /// Encrypted rows fetched from this epoch's segments.
+    pub rows_fetched: u64,
+    /// Rows decrypted while filtering this epoch.
+    pub rows_decrypted: u64,
+    /// Whether hash-chain verification ran for this epoch's fetches.
+    pub verified: bool,
+}
+
+impl From<concealer_core::EpochPartial> for WirePartial {
+    fn from(partial: concealer_core::EpochPartial) -> Self {
+        WirePartial {
+            epoch_id: partial.epoch_id,
+            count: partial.acc.count,
+            sum: partial.acc.sum,
+            min: partial.acc.min,
+            max: partial.acc.max,
+            per_location: partial.acc.per_location.into_iter().collect(),
+            rows: partial.acc.rows,
+            rows_fetched: partial.rows_fetched as u64,
+            rows_decrypted: partial.rows_decrypted as u64,
+            verified: partial.verified,
+        }
+    }
+}
+
+impl WirePartial {
+    /// Convert back into the engine-side partial for
+    /// [`concealer_core::merge_partials`].
+    #[must_use]
+    pub fn into_partial(self) -> concealer_core::EpochPartial {
+        concealer_core::EpochPartial {
+            epoch_id: self.epoch_id,
+            acc: concealer_core::query::Accumulator {
+                count: self.count,
+                sum: self.sum,
+                min: self.min,
+                max: self.max,
+                per_location: self.per_location.into_iter().collect(),
+                rows: self.rows,
+            },
+            rows_fetched: self.rows_fetched as usize,
+            rows_decrypted: self.rows_decrypted as usize,
+            verified: self.verified,
+        }
+    }
+}
+
+/// One per-query outcome of a partial execution
+/// ([`Response::PartialAnswer`] / [`Response::BatchPartialAnswer`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WirePartialResult {
+    /// The query's per-epoch partials over this server's slice (possibly
+    /// empty — other shards may own the query's epochs).
+    Ok(Vec<WirePartial>),
+    /// The query failed on this server's slice.
+    Err(WireError),
+}
+
+impl WirePartialResult {
+    /// Convert into a std `Result`.
+    pub fn into_result(self) -> Result<Vec<WirePartial>, WireError> {
+        match self {
+            WirePartialResult::Ok(partials) => Ok(partials),
+            WirePartialResult::Err(e) => Err(e),
+        }
+    }
+}
+
+impl From<Result<Vec<concealer_core::EpochPartial>, concealer_core::CoreError>>
+    for WirePartialResult
+{
+    fn from(result: Result<Vec<concealer_core::EpochPartial>, concealer_core::CoreError>) -> Self {
+        match result {
+            Ok(partials) => {
+                WirePartialResult::Ok(partials.into_iter().map(WirePartial::from).collect())
+            }
+            Err(e) => WirePartialResult::Err(WireError::from(&e)),
+        }
+    }
+}
+
+/// A router's per-shard forwarding counters, reported by
+/// [`Response::RouterStatsOk`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterStats {
+    /// One entry per configured upstream shard, ascending by index.
+    pub shards: Vec<ShardLoad>,
+}
+
+/// One upstream shard's load counters inside [`RouterStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLoad {
+    /// The shard's index in the deployment.
+    pub shard_index: u32,
+    /// The shard's upstream address, as configured on the router.
+    pub addr: String,
+    /// Requests forwarded to this shard (auth probes included).
+    pub requests_forwarded: u64,
+    /// Forwards that failed (timeout, refused connection, wire error).
+    pub errors: u64,
+    /// Times the router re-established this shard's connections.
+    pub reconnects: u64,
+    /// Whether the shard was reachable at snapshot time (false while the
+    /// router is backing off from a failed reconnect).
+    pub available: bool,
+}
+
 /// Server → client messages. Replies echo the request id. The threaded
 /// server answers in request order per connection; the event server
 /// completes pipelined requests out of order — clients must match replies
@@ -317,6 +515,35 @@ pub enum Response {
         /// The serving layer's live profile.
         stats: ServeStats,
     },
+    /// Reply to [`Request::ShardInfo`].
+    ShardInfoOk {
+        /// The echoed request id.
+        id: u64,
+        /// The epoch slice this server owns.
+        shard: ShardDescriptor,
+    },
+    /// Reply to [`Request::ExecutePartial`].
+    PartialAnswer {
+        /// The echoed request id.
+        id: u64,
+        /// The query's per-epoch partials over this server's slice.
+        result: WirePartialResult,
+    },
+    /// Reply to [`Request::ExecuteBatchPartial`], positionally aligned
+    /// with the request's `queries`.
+    BatchPartialAnswer {
+        /// The echoed request id.
+        id: u64,
+        /// Per-query outcomes.
+        results: Vec<WirePartialResult>,
+    },
+    /// Reply to [`Request::RouterStats`].
+    RouterStatsOk {
+        /// The echoed request id.
+        id: u64,
+        /// The router's per-shard forwarding counters.
+        stats: RouterStats,
+    },
 }
 
 impl Response {
@@ -332,7 +559,11 @@ impl Response {
             | Response::StatsOk { id, .. }
             | Response::ShutdownOk { id }
             | Response::Error { id, .. }
-            | Response::ServeStatsOk { id, .. } => *id,
+            | Response::ServeStatsOk { id, .. }
+            | Response::ShardInfoOk { id, .. }
+            | Response::PartialAnswer { id, .. }
+            | Response::BatchPartialAnswer { id, .. }
+            | Response::RouterStatsOk { id, .. } => *id,
         }
     }
 }
@@ -381,6 +612,18 @@ mod tests {
             Request::Shutdown { id: 5 },
             Request::Goodbye,
             Request::ServeStats { id: 6 },
+            Request::ShardInfo { id: 7 },
+            Request::ExecutePartial {
+                id: 8,
+                query: Query::average(0).between(0, 7199),
+                options: None,
+            },
+            Request::ExecuteBatchPartial {
+                id: 9,
+                queries: vec![Query::count().at_dims([1]).at(60)],
+                options: Some(ExecOptions::default()),
+            },
+            Request::RouterStats { id: 10 },
         ];
         for request in requests {
             assert_eq!(roundtrip(&request), request);
@@ -457,10 +700,75 @@ mod tests {
                     requests_served: 678,
                 },
             },
+            Response::ShardInfoOk {
+                id: 7,
+                shard: ShardDescriptor {
+                    shard_index: 1,
+                    shard_total: 3,
+                    epoch_duration: 7200,
+                    epochs: vec![0, 14_400],
+                },
+            },
+            Response::PartialAnswer {
+                id: 8,
+                result: WirePartialResult::Ok(vec![WirePartial {
+                    epoch_id: 7200,
+                    count: 5,
+                    sum: 90,
+                    min: Some(3),
+                    max: Some(40),
+                    per_location: vec![(1, 2), (4, 3)],
+                    rows: vec![Record::spatial(1, 7260, 1001)],
+                    rows_fetched: 64,
+                    rows_decrypted: 64,
+                    verified: true,
+                }]),
+            },
+            Response::BatchPartialAnswer {
+                id: 9,
+                results: vec![
+                    WirePartialResult::Ok(Vec::new()),
+                    WirePartialResult::Err(WireError {
+                        code: ErrorCode::ShardUnavailable,
+                        message: "shard 2 unreachable".into(),
+                    }),
+                ],
+            },
+            Response::RouterStatsOk {
+                id: 10,
+                stats: RouterStats {
+                    shards: vec![ShardLoad {
+                        shard_index: 0,
+                        addr: "127.0.0.1:9100".into(),
+                        requests_forwarded: 42,
+                        errors: 1,
+                        reconnects: 2,
+                        available: true,
+                    }],
+                },
+            },
         ];
         for response in responses {
             assert_eq!(roundtrip(&response), response);
         }
+    }
+
+    #[test]
+    fn wire_partial_round_trips_through_engine_form() {
+        let wire = WirePartial {
+            epoch_id: 3600,
+            count: 7,
+            sum: 120,
+            min: Some(2),
+            max: Some(60),
+            per_location: vec![(0, 4), (5, 3)],
+            rows: vec![Record::spatial(2, 3660, 1002)],
+            rows_fetched: 128,
+            rows_decrypted: 96,
+            verified: true,
+        };
+        let back = WirePartial::from(wire.clone().into_partial());
+        assert_eq!(back, wire);
     }
 
     #[test]

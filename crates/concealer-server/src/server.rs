@@ -36,7 +36,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use concealer_core::{
-    ConcealerSystem, Credential, ExecOptions, QueryScope, SecureIndex, UserHandle, UserId,
+    shard_of_epoch, ConcealerSystem, Credential, ExecOptions, QueryScope, SecureIndex, UserHandle,
+    UserId,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,8 +45,8 @@ use serde::frame::{read_frame, write_frame, FrameError};
 
 use crate::error::{ErrorCode, WireError};
 use crate::protocol::{
-    Request, Response, ServeStats, ServerInfo, WireResult, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH,
-    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    Request, Response, ServeStats, ServerInfo, ShardDescriptor, WirePartialResult, WireResult,
+    CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 
 /// Which serving core handles connections.
@@ -131,6 +132,13 @@ pub struct ServerConfig {
     /// connection's socket, so TCP flow control backpressures the client
     /// exactly as the threaded core's one-at-a-time reads do.
     pub max_pipeline: usize,
+    /// Multi-node serving: `Some((index, total))` makes this process own
+    /// the epoch-hash slice `index` of `total` (the
+    /// [`concealer_core::shard_of_epoch`] discipline). The slice is
+    /// reported via `Request::ShardInfo`, and wire ingest of unowned
+    /// epochs is refused so a misrouted ingest can never split an epoch
+    /// across processes. `None` (the default) serves every epoch.
+    pub shard: Option<(u32, u32)>,
 }
 
 impl Default for ServerConfig {
@@ -148,7 +156,95 @@ impl Default for ServerConfig {
             ingest_seed: 0xC0CE_A1E5_0000_0001,
             mode: ServerMode::from_env_default(),
             max_pipeline: 64,
+            shard: None,
         }
+    }
+}
+
+/// What a serving core asks of the deployment behind it. Both cores
+/// (threaded and event) speak the wire protocol themselves — framing,
+/// connection state machine, pipelining, drain — and delegate everything
+/// that needs the deployment to a handler:
+///
+/// * [`EngineHandler`] (what [`Server::new`] installs) answers against a
+///   local [`ConcealerSystem`] — the single-process and shard-server
+///   deployments;
+/// * the `concealer-router` crate's handler answers by fanning out to
+///   shard servers and merging their per-epoch partials.
+///
+/// `handshake` and `execute` may block; the event core always calls them
+/// on a worker thread, the threaded core on the connection's own thread.
+/// `shard_info` and `router_stats` must be cheap — the event core answers
+/// them on the loop itself.
+pub trait ServeHandler: Send + Sync + 'static {
+    /// Validate a `Hello`: protocol version, then credential. `Err` is
+    /// the refusal reply to send before closing.
+    fn handshake(
+        &self,
+        version: u32,
+        user_id: u64,
+        credential: [u8; 32],
+    ) -> Result<(UserHandle, ServerInfo), Response>;
+
+    /// Execute one authenticated engine-bound request
+    /// (`Execute`/`ExecuteBatch`/`ExecutePartial`/`ExecuteBatchPartial`/
+    /// `IngestEpoch`/`Stats`) to completion. The core has already
+    /// rejected reserved ids.
+    fn execute(&self, user: &UserHandle, request: Request) -> Response;
+
+    /// Answer pre-auth topology discovery (`Request::ShardInfo`).
+    fn shard_info(&self, id: u64) -> Response;
+
+    /// Answer `Request::RouterStats` (shard servers refuse it).
+    fn router_stats(&self, id: u64) -> Response;
+
+    /// A wire `Shutdown` was accepted on behalf of `user`; a router
+    /// forwards the shutdown to its upstreams here. Called before the
+    /// core acknowledges, and may block briefly.
+    fn on_wire_shutdown(&self, user: &UserHandle) {
+        let _ = user;
+    }
+}
+
+/// The [`ServeHandler`] answering against a local [`ConcealerSystem`] —
+/// what every non-router deployment uses.
+#[derive(Debug)]
+pub struct EngineHandler {
+    system: Arc<ConcealerSystem>,
+    config: ServerConfig,
+}
+
+impl EngineHandler {
+    /// Wrap a local deployment.
+    #[must_use]
+    pub fn new(system: Arc<ConcealerSystem>, config: ServerConfig) -> Self {
+        EngineHandler { system, config }
+    }
+}
+
+impl ServeHandler for EngineHandler {
+    fn handshake(
+        &self,
+        version: u32,
+        user_id: u64,
+        credential: [u8; 32],
+    ) -> Result<(UserHandle, ServerInfo), Response> {
+        handshake(&self.system, &self.config, version, user_id, credential)
+    }
+
+    fn execute(&self, user: &UserHandle, request: Request) -> Response {
+        execute_engine_request(&self.system, &self.config, user, request)
+    }
+
+    fn shard_info(&self, id: u64) -> Response {
+        Response::ShardInfoOk {
+            id,
+            shard: shard_descriptor(&self.system, &self.config),
+        }
+    }
+
+    fn router_stats(&self, id: u64) -> Response {
+        router_stats_refusal(id)
     }
 }
 
@@ -166,12 +262,19 @@ pub struct ServeReport {
     pub graceful: bool,
 }
 
-/// A Concealer deployment plus the serving configuration; [`Server::spawn`]
+/// A deployment handler plus the serving configuration; [`Server::spawn`]
 /// turns it into a running listener.
-#[derive(Debug)]
 pub struct Server {
-    system: Arc<ConcealerSystem>,
+    handler: Arc<dyn ServeHandler>,
     config: ServerConfig,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Server {
@@ -180,7 +283,17 @@ impl Server {
     /// (the loopback tests use exactly that as the oracle).
     #[must_use]
     pub fn new(system: Arc<ConcealerSystem>, config: ServerConfig) -> Self {
-        Server { system, config }
+        let handler = Arc::new(EngineHandler::new(system, config.clone()));
+        Server { handler, config }
+    }
+
+    /// Serve an arbitrary [`ServeHandler`] — how `concealer-router` reuses
+    /// both serving cores (frame handling, connection state machine,
+    /// pipelining, drain) with fan-out execution instead of a local
+    /// engine.
+    #[must_use]
+    pub fn with_handler(handler: Arc<dyn ServeHandler>, config: ServerConfig) -> Self {
+        Server { handler, config }
     }
 
     /// Bind the configured address and start serving on a background
@@ -197,13 +310,13 @@ impl Server {
                 let thread = std::thread::Builder::new()
                     .name("concealer-serve".to_string())
                     .spawn(move || {
-                        serve(&self.system, &self.config, &listener, &thread_shutdown)
+                        serve(&*self.handler, &self.config, &listener, &thread_shutdown)
                     })?;
                 (thread, None)
             }
             #[cfg(unix)]
             ServerMode::Event => crate::event::spawn(
-                Arc::clone(&self.system),
+                Arc::clone(&self.handler),
                 self.config.clone(),
                 listener,
                 thread_shutdown,
@@ -370,7 +483,7 @@ impl ConnRegistry {
 
 /// State shared between the acceptor and every connection task.
 struct ServeShared<'a> {
-    system: &'a ConcealerSystem,
+    handler: &'a dyn ServeHandler,
     config: &'a ServerConfig,
     shutdown: &'a AtomicBool,
     admission: Admission,
@@ -387,13 +500,13 @@ const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
 /// The serve loop: accept until shutdown, then drain.
 fn serve(
-    system: &ConcealerSystem,
+    handler: &dyn ServeHandler,
     config: &ServerConfig,
     listener: &TcpListener,
     shutdown: &AtomicBool,
 ) -> ServeReport {
     let shared = ServeShared {
-        system,
+        handler,
         config,
         shutdown,
         admission: Admission::new(config.max_in_flight),
@@ -540,12 +653,24 @@ fn handle_connection(shared: &ServeShared<'_>, mut stream: TcpStream) {
                 },
             ) => {
                 let _ = client_name;
-                match handshake(shared.system, shared.config, version, user_id, credential) {
+                match shared.handler.handshake(version, user_id, credential) {
                     Ok((user, info)) => {
                         state = ConnState::Ready(user);
                         Outcome::Reply(Response::HelloOk(info))
                     }
                     Err(reply) => Outcome::Fatal(reply),
+                }
+            }
+            // Topology discovery is answerable before authentication: a
+            // router probes every shard's slice at startup, before it has
+            // any client credential to forward. The descriptor only names
+            // which epochs this process serves — data never moves without
+            // an authenticated session.
+            (_, Request::ShardInfo { id }) => {
+                if id == CONNECTION_LEVEL_ID {
+                    reserved_id()
+                } else {
+                    Outcome::Reply(shared.handler.shard_info(id))
                 }
             }
             (ConnState::AwaitingHello, _) => Outcome::Fatal(error_reply(
@@ -648,8 +773,19 @@ fn dispatch(shared: &ServeShared<'_>, user: &UserHandle, request: Request) -> Ou
     match request {
         Request::Hello { .. } => unreachable!("handled by the connection state machine"),
         Request::Goodbye => Outcome::Close(Response::Bye),
+        Request::ShardInfo { .. } => {
+            unreachable!("handled pre-dispatch by the connection state machine")
+        }
+        Request::RouterStats { id } => {
+            if id == CONNECTION_LEVEL_ID {
+                return reserved_id();
+            }
+            Outcome::Reply(shared.handler.router_stats(id))
+        }
         Request::Execute { id, .. }
         | Request::ExecuteBatch { id, .. }
+        | Request::ExecutePartial { id, .. }
+        | Request::ExecuteBatchPartial { id, .. }
         | Request::IngestEpoch { id, .. }
         | Request::Stats { id } => {
             if id == CONNECTION_LEVEL_ID {
@@ -658,14 +794,9 @@ fn dispatch(shared: &ServeShared<'_>, user: &UserHandle, request: Request) -> Ou
             // The admission gate bounds engine concurrency across
             // connections; in event mode the worker-pool size plays this
             // role instead, so the gate lives here and not in
-            // `execute_engine_request`.
+            // `ServeHandler::execute`.
             let _permit = shared.admission.acquire();
-            Outcome::Reply(execute_engine_request(
-                shared.system,
-                shared.config,
-                user,
-                request,
-            ))
+            Outcome::Reply(shared.handler.execute(user, request))
         }
         Request::ServeStats { id } => {
             if id == CONNECTION_LEVEL_ID {
@@ -689,6 +820,7 @@ fn dispatch(shared: &ServeShared<'_>, user: &UserHandle, request: Request) -> Ou
             if id == CONNECTION_LEVEL_ID {
                 return reserved_id();
             }
+            shared.handler.on_wire_shutdown(user);
             shared.shutdown.store(true, Ordering::Release);
             // Close after acknowledging: the acceptor wakes the remaining
             // connections within its poll interval.
@@ -745,6 +877,40 @@ pub(crate) fn execute_engine_request(
                 .collect();
             Response::BatchAnswer { id, results }
         }
+        Request::ExecutePartial { id, query, options } => {
+            let options = clamp_options(config, options);
+            let result = system.session(user).execute_partials(&query, options);
+            Response::PartialAnswer {
+                id,
+                result: WirePartialResult::from(result),
+            }
+        }
+        Request::ExecuteBatchPartial {
+            id,
+            queries,
+            options,
+        } => {
+            if queries.len() > config.max_batch {
+                return error_reply(
+                    id,
+                    ErrorCode::BatchTooLarge,
+                    format!(
+                        "batch of {} queries exceeds the {}-query limit",
+                        queries.len(),
+                        config.max_batch
+                    ),
+                );
+            }
+            let options = clamp_options(config, options);
+            let results: Vec<WirePartialResult> = system
+                .session(user)
+                .with_options(options)
+                .execute_batch_partials(&queries)
+                .into_iter()
+                .map(WirePartialResult::from)
+                .collect();
+            Response::BatchPartialAnswer { id, results }
+        }
         Request::IngestEpoch {
             id,
             epoch_start,
@@ -756,6 +922,22 @@ pub(crate) fn execute_engine_request(
                     ErrorCode::Unauthorized,
                     "this server does not accept wire ingest",
                 );
+            }
+            // A sharded process only ingests the epochs its slice owns;
+            // accepting a misrouted epoch would split ownership and break
+            // the disjoint-union merge at the router.
+            if let Some((index, total)) = config.shard {
+                let owner = shard_of_epoch(epoch_start, total as usize);
+                if owner != index as usize {
+                    return error_reply(
+                        id,
+                        ErrorCode::InvalidConfig,
+                        format!(
+                            "shard {index}/{total} does not own epoch {epoch_start} \
+                             (owner is shard {owner})"
+                        ),
+                    );
+                }
             }
             // Deterministic per-epoch RNG (see `ServerConfig::ingest_seed`).
             let mut rng = StdRng::seed_from_u64(
@@ -780,10 +962,37 @@ pub(crate) fn execute_engine_request(
         Request::Hello { .. }
         | Request::Goodbye
         | Request::Shutdown { .. }
-        | Request::ServeStats { .. } => {
+        | Request::ServeStats { .. }
+        | Request::ShardInfo { .. }
+        | Request::RouterStats { .. } => {
             unreachable!("connection-level requests never reach the engine executor")
         }
     }
+}
+
+/// Describe this process's epoch slice for topology discovery. Shared by
+/// both serving cores; an unsharded deployment reports itself as the
+/// whole map (`0/1`).
+pub(crate) fn shard_descriptor(system: &ConcealerSystem, config: &ServerConfig) -> ShardDescriptor {
+    let (shard_index, shard_total) = config.shard.unwrap_or((0, 1));
+    ShardDescriptor {
+        shard_index,
+        shard_total,
+        epoch_duration: system.engine().config().epoch_duration,
+        epochs: system.engine().registered_epochs(),
+    }
+}
+
+/// The reply a shard server gives to `Request::RouterStats`: per-shard
+/// load accounting only exists at a router, so asking a shard directly is
+/// a protocol violation (the connection survives — the request was
+/// well-formed, just aimed at the wrong tier).
+pub(crate) fn router_stats_refusal(id: u64) -> Response {
+    error_reply(
+        id,
+        ErrorCode::ProtocolViolation,
+        "router_stats is a router endpoint; this is a shard server",
+    )
 }
 
 fn reserved_id() -> Outcome {

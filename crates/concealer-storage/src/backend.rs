@@ -28,6 +28,23 @@ use std::collections::BTreeMap;
 /// where the bytes land.
 pub(crate) const EPOCH_SHARDS: usize = 16;
 
+/// The shard (out of `total`) owning `epoch_id`.
+///
+/// This is the repository's *one* epoch-sharding discipline: the in-process
+/// lock shards below, the `--shard <i>/<t>` slice a multi-node
+/// `concealer-server` process owns, and the `concealer-router`'s fan-out
+/// all reduce an epoch id through this exact function, so a deployment can
+/// never disagree with itself about which process holds an epoch. Epoch
+/// ids are epoch *start times* (multiples of the epoch duration), so they
+/// are mixed before reduction — a plain modulo would park every epoch of a
+/// deployment whose duration is divisible by the shard count on one shard.
+#[must_use]
+pub fn shard_of_epoch(epoch_id: u64, total: usize) -> usize {
+    assert!(total > 0, "shard total must be positive");
+    let mixed = epoch_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (mixed >> 32) as usize % total
+}
+
 /// The epoch map, split into [`EPOCH_SHARDS`] independently locked shards.
 /// Shared by the in-memory backend and the disk backend's resident cache.
 #[derive(Debug)]
@@ -49,8 +66,7 @@ impl ShardedEpochs {
     /// reduction — a plain modulo would park every epoch of a deployment
     /// whose duration is divisible by the shard count on one shard.
     pub(crate) fn shard(&self, epoch_id: u64) -> &RwLock<BTreeMap<u64, StoredEpoch>> {
-        let mixed = epoch_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(mixed >> 32) as usize % self.shards.len()]
+        &self.shards[shard_of_epoch(epoch_id, self.shards.len())]
     }
 
     pub(crate) fn shard_count(&self) -> usize {

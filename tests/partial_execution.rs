@@ -1,0 +1,141 @@
+//! Pins the partial-execution contract multi-node serving rests on:
+//! `merge_partials(q, execute_partials(q))` must be **bit-identical**
+//! (same `serde::bin` encoding) to a plain `execute(q)` on the same
+//! system — for every aggregate, every dedup-eligible method, under
+//! batches (whose `(epoch, bin)` dedup metadata must survive the
+//! partial detour), and in its refusal cases (`NoDataForRange`,
+//! forward-private).
+//!
+//! The router in `concealer-router` is exactly this merge applied to
+//! partials that crossed the wire; `tests/router_loopback.rs` re-proves
+//! the same identity over TCP.
+
+use concealer_core::{merge_partials, ExecOptions, Query, QueryAnswer, RangeMethod};
+use concealer_examples::{demo_system, demo_workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HOURS: u64 = 2;
+const SEED: u64 = 90_210;
+
+fn wire_bytes(answer: &QueryAnswer) -> Vec<u8> {
+    serde::bin::to_bytes(answer)
+}
+
+/// Every aggregate shape, three range methods: the merged partial answer
+/// encodes byte-for-byte like the direct execution.
+#[test]
+fn merged_partials_match_direct_execution_bit_for_bit() {
+    let (system, user, _records) = demo_system(HOURS, SEED);
+    let session = system.session(&user);
+    let span = HOURS * 3600 - 1;
+    let queries: Vec<Query> = vec![
+        Query::count().at_dims([3]).between(0, span),
+        Query::sum(0).at_dims([5]).between(600, span / 2),
+        Query::min(0).at_dims([2]).between(0, span),
+        Query::max(0).at_dims([7]).between(1_200, span),
+        Query::top_k_locations(4).between(0, span),
+        Query::count().at_dims([1]).at(1_800),
+        Query::collect_rows().observing(1_003).between(0, span),
+    ];
+    for method in [
+        RangeMethod::Bpb,
+        RangeMethod::Ebpb,
+        RangeMethod::WinSecRange,
+    ] {
+        let options = ExecOptions::with_method(method);
+        for query in &queries {
+            let direct = session.execute_with(query, options).expect("direct");
+            let partials = session.execute_partials(query, options).expect("partials");
+            let merged = merge_partials(query, partials).expect("merge");
+            assert_eq!(
+                wire_bytes(&merged),
+                wire_bytes(&direct),
+                "merge diverged for {query:?} under {method:?}"
+            );
+        }
+    }
+}
+
+/// Partials arriving shuffled (shards answer in arbitrary order) still
+/// merge to the identical answer — the merge sorts by epoch id.
+#[test]
+fn merge_is_invariant_under_partial_arrival_order() {
+    let (system, user, _records) = demo_system(HOURS, SEED);
+    // Two more epochs so there is actually an order to scramble.
+    let mut rng = StdRng::seed_from_u64(7);
+    for k in 1..=2u64 {
+        let records = concealer_examples::demo_epoch_records(HOURS, SEED, k * HOURS * 3600);
+        system
+            .ingest_epoch(k * HOURS * 3600, &records, &mut rng)
+            .expect("ingest extra epoch");
+    }
+    let session = system.session(&user);
+    let query = Query::count().at_dims([4]).between(0, 3 * HOURS * 3600 - 1);
+    let direct = session.execute(&query).expect("direct");
+    assert_eq!(direct.epochs_touched, 3);
+
+    let mut partials = session
+        .execute_partials(&query, ExecOptions::default())
+        .expect("partials");
+    assert_eq!(partials.len(), 3);
+    partials.reverse();
+    let merged = merge_partials(&query, partials).expect("merge");
+    assert_eq!(wire_bytes(&merged), wire_bytes(&direct));
+}
+
+/// Batch partial execution keeps the cross-query `(epoch, bin)` dedup:
+/// per-query fetch metadata (rows_fetched / rows_decrypted) after the
+/// merge equals the single-process batch, positionally.
+#[test]
+fn batch_partials_preserve_dedup_metadata() {
+    let (system, user, _records) = demo_system(HOURS, SEED);
+    let workload = demo_workload(HOURS);
+    let mut rng = StdRng::seed_from_u64(31);
+    // Overlapping range queries so the dedup actually fires.
+    let queries: Vec<Query> = (0..6).map(|_| workload.q1(40 * 60, &mut rng)).collect();
+    let options = ExecOptions::with_method(RangeMethod::Bpb).with_parallelism(2);
+    let session = system.session(&user).with_options(options);
+
+    let direct = session.execute_batch(&queries);
+    let partial_batches = session.execute_batch_partials(&queries);
+    assert_eq!(direct.len(), partial_batches.len());
+    for ((query, direct), partials) in queries.iter().zip(direct).zip(partial_batches) {
+        let direct = direct.expect("direct batch entry");
+        let merged = merge_partials(query, partials.expect("partial batch entry")).expect("merge");
+        assert_eq!(
+            wire_bytes(&merged),
+            wire_bytes(&direct),
+            "dedup metadata diverged for {query:?}"
+        );
+    }
+}
+
+/// The refusal cases stay aligned with direct execution: a range no
+/// epoch covers is `NoDataForRange` both ways (merging zero partials is
+/// the same refusal), and forward-private partials are refused outright.
+#[test]
+fn partial_refusals_match_direct_refusals() {
+    let (system, user, _records) = demo_system(HOURS, SEED);
+    let session = system.session(&user);
+
+    let nowhere = Query::count().at_dims([3]).between(1 << 40, (1 << 40) + 10);
+    let direct = session.execute(&nowhere).expect_err("no data");
+    let partials = session
+        .execute_partials(&nowhere, ExecOptions::default())
+        .expect("empty partials is an Ok outcome per slice");
+    assert!(partials.is_empty());
+    let merged = merge_partials(&nowhere, partials).expect_err("merge of nothing");
+    assert_eq!(merged.to_string(), direct.to_string());
+
+    let fp = ExecOptions {
+        forward_private: true,
+        ..ExecOptions::default()
+    };
+    let query = Query::count().at_dims([3]).between(0, 3_599);
+    let err = session.execute_partials(&query, fp).expect_err("refused");
+    assert!(
+        err.to_string().contains("forward-private"),
+        "unexpected refusal: {err}"
+    );
+}

@@ -1,0 +1,488 @@
+//! Loopback tests of multi-node serving: a `concealer-router` fronting
+//! 2–4 epoch-sharded shard servers must deliver answers **bit-identical**
+//! (same `serde::bin` encoding) to a single-process in-process oracle —
+//! across mixed workloads, batches (dedup metadata included), routed
+//! wire ingest, shard failure (structured `shard_unavailable`, never
+//! divergence), shard restart (reconnect, identical answers), and a
+//! router-initiated deployment-wide drain.
+//!
+//! The fixture honors `CONCEALER_TEST_SERVER_MODE`, so the CI matrix
+//! reruns the suite with router and shards on the event core.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use concealer_bench::{server_request_mix, ServerRequest};
+use concealer_client::{ClientError, Connection};
+use concealer_core::{shard_of_epoch, Query, QueryAnswer, UserHandle};
+use concealer_examples::{demo_epoch_records, demo_system, demo_system_sharded, demo_workload};
+use concealer_router::{RouterConfig, RouterHandler};
+use concealer_server::protocol::ShardDescriptor;
+use concealer_server::{
+    ErrorCode, Request, Response, Server, ServerConfig, ServerHandle, CONNECTION_LEVEL_ID,
+    PROTOCOL_VERSION,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::frame::{read_frame, write_frame};
+
+const HOURS: u64 = 2;
+const SEED: u64 = 4242;
+const EPOCH: u64 = HOURS * 3600;
+
+fn wire_bytes(answer: &QueryAnswer) -> Vec<u8> {
+    serde::bin::to_bytes(answer)
+}
+
+/// Spawn `total` shard servers (each owning its epoch-hash slice of the
+/// demo deployment) plus a router fronting them. Returns the running
+/// pieces and the shared demo user.
+fn spawn_routed_deployment(
+    total: u32,
+    router_config: RouterConfig,
+) -> (Vec<ServerHandle>, ServerHandle, UserHandle) {
+    let mut shard_handles = Vec::new();
+    let mut shard_addrs = Vec::new();
+    let mut user = None;
+    for index in 0..total {
+        let (system, shard_user, _records) = demo_system_sharded(HOURS, SEED, index, total);
+        user.get_or_insert(shard_user);
+        let handle = Server::new(
+            Arc::new(system),
+            ServerConfig {
+                shard: Some((index, total)),
+                ..ServerConfig::default()
+            },
+        )
+        .spawn()
+        .expect("bind shard");
+        shard_addrs.push(handle.local_addr().to_string());
+        shard_handles.push(handle);
+    }
+    let handler = RouterHandler::probe(RouterConfig {
+        shards: shard_addrs,
+        ..router_config
+    })
+    .expect("probe shard map");
+    let router = Server::with_handler(Arc::new(handler), ServerConfig::default())
+        .spawn()
+        .expect("bind router");
+    (shard_handles, router, user.expect("at least one shard"))
+}
+
+/// The single-process oracle holding the same data as the whole sharded
+/// deployment: epoch 0 (the demo ingest) plus `extra` follow-up epochs
+/// ingested with the *wire* RNG derivation, so routed `IngestEpoch` and
+/// the oracle produce identical sealed state.
+fn oracle_with_extra_epochs(extra: u64) -> (concealer_core::ConcealerSystem, UserHandle) {
+    let (system, user, _records) = demo_system(HOURS, SEED);
+    let ingest_seed = ServerConfig::default().ingest_seed;
+    for k in 1..=extra {
+        let epoch_start = k * EPOCH;
+        let records = demo_epoch_records(HOURS, SEED, epoch_start);
+        let mut rng =
+            StdRng::seed_from_u64(ingest_seed ^ epoch_start.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        system
+            .ingest_epoch(epoch_start, &records, &mut rng)
+            .expect("oracle ingest");
+    }
+    (system, user)
+}
+
+/// Mixed point/range/batch workloads from concurrent clients, all routed
+/// over 2 shards: every answer — and every per-query batch entry with
+/// its dedup fetch metadata — encodes byte-for-byte like the oracle.
+#[test]
+fn routed_answers_match_single_process_oracle_bit_for_bit() {
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 12;
+    let (shards, router, user) = spawn_routed_deployment(2, RouterConfig::default());
+    let addr = router.local_addr();
+    let (oracle_system, oracle_user) = oracle_with_extra_epochs(0);
+    let workload = demo_workload(HOURS);
+
+    std::thread::scope(|scope| {
+        for client_idx in 0..CLIENTS {
+            let oracle_system = &oracle_system;
+            let oracle_user = &oracle_user;
+            let user = &user;
+            let workload = &workload;
+            scope.spawn(move || {
+                let mix = server_request_mix(workload, SEED + client_idx as u64, REQUESTS, 5);
+                let mut conn =
+                    Connection::connect_user(addr, user, "routed").expect("connect via router");
+                let oracle = oracle_system.session(oracle_user);
+                for request in &mix {
+                    match request {
+                        ServerRequest::Query(query, options) => {
+                            let got = conn.execute_with(query, *options).expect("routed query");
+                            let want = oracle.execute_with(query, *options).expect("oracle");
+                            assert_eq!(wire_bytes(&got), wire_bytes(&want));
+                        }
+                        ServerRequest::Batch(queries, options) => {
+                            let got = conn
+                                .execute_batch_with(queries, *options)
+                                .expect("routed batch");
+                            let want = oracle.clone().with_options(*options).execute_batch(queries);
+                            assert_eq!(got.len(), want.len());
+                            for (g, w) in got.iter().zip(&want) {
+                                let g = g.as_ref().expect("routed batch entry");
+                                let w = w.as_ref().expect("oracle batch entry");
+                                assert_eq!(wire_bytes(g), wire_bytes(w));
+                            }
+                        }
+                    }
+                }
+                conn.close().expect("clean goodbye");
+            });
+        }
+    });
+
+    let report = router.shutdown_and_join();
+    assert!(report.graceful);
+    for shard in shards {
+        shard.shutdown_and_join();
+    }
+}
+
+/// Routed ingest over 3 shards: each `IngestEpoch` lands on the owning
+/// shard only, spanning queries then touch every epoch and match the
+/// oracle bit-for-bit, per-shard counters reflect the fan-out, and a
+/// wire shutdown at the router drains the entire deployment.
+#[test]
+fn routed_ingest_partitions_epochs_and_drains_the_deployment() {
+    const TOTAL: u32 = 3;
+    const EXTRA: u64 = 3;
+    let (shards, router, user) = spawn_routed_deployment(TOTAL, RouterConfig::default());
+    let mut conn = Connection::connect_user(router.local_addr(), &user, "ingest").unwrap();
+
+    for k in 1..=EXTRA {
+        let records = demo_epoch_records(HOURS, SEED, k * EPOCH);
+        let rows = conn
+            .ingest_epoch(k * EPOCH, &records)
+            .expect("routed ingest");
+        assert!(rows > 0);
+    }
+
+    // The epochs really are partitioned: ask each shard directly.
+    let mut owners_seen = std::collections::BTreeSet::new();
+    for (index, shard) in shards.iter().enumerate() {
+        let mut probe = Connection::connect_probe(
+            shard.local_addr(),
+            concealer_client::ConnectOptions::default(),
+        )
+        .expect("probe shard");
+        let ShardDescriptor {
+            shard_index,
+            shard_total,
+            epochs,
+            ..
+        } = probe.shard_info().expect("shard info");
+        assert_eq!(shard_index, index as u32);
+        assert_eq!(shard_total, TOTAL);
+        for epoch in epochs {
+            assert_eq!(
+                shard_of_epoch(epoch, TOTAL as usize),
+                index,
+                "epoch {epoch} stored off its owner slice"
+            );
+            owners_seen.insert(index);
+        }
+    }
+    assert!(
+        owners_seen.len() >= 2,
+        "fixture degenerated: all epochs hashed to one shard"
+    );
+
+    // Spanning queries merge the partitioned epochs back bit-for-bit.
+    let (oracle_system, oracle_user) = oracle_with_extra_epochs(EXTRA);
+    let oracle = oracle_system.session(&oracle_user);
+    let spanning = Query::count()
+        .at_dims([4])
+        .between(0, (EXTRA + 1) * EPOCH - 1);
+    let got = conn.execute(&spanning).expect("spanning query");
+    let want = oracle.execute(&spanning).expect("oracle spanning");
+    assert_eq!(wire_bytes(&got), wire_bytes(&want));
+    assert_eq!(got.epochs_touched as u64, EXTRA + 1);
+    let top_k = Query::top_k_locations(5).between(0, (EXTRA + 1) * EPOCH - 1);
+    assert_eq!(
+        wire_bytes(&conn.execute(&top_k).unwrap()),
+        wire_bytes(&oracle.execute(&top_k).unwrap())
+    );
+
+    // Backend stats aggregate across the deployment.
+    let stats = conn.stats().expect("routed stats");
+    assert_eq!(stats.epochs, EXTRA + 1);
+    assert!(stats.volume_hiding && stats.verifiable);
+
+    // The router accounts its fan-out per shard; every shard served
+    // something (auth, probe, partials, or the ingest it owns).
+    let router_stats = conn.router_stats().expect("router stats");
+    assert_eq!(router_stats.shards.len(), TOTAL as usize);
+    for load in &router_stats.shards {
+        assert!(load.available, "shard {} marked down", load.shard_index);
+        assert!(load.requests_forwarded > 0);
+    }
+
+    // Asking a shard for router stats is a tier error, not a crash.
+    let mut direct = Connection::connect_user(shards[0].local_addr(), &user, "direct").unwrap();
+    let err = direct.router_stats().unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(ref e) if e.code == ErrorCode::ProtocolViolation),
+        "{err}"
+    );
+    direct.close().unwrap();
+
+    // One wire shutdown at the router quiesces the whole deployment.
+    conn.shutdown_server().expect("routed shutdown");
+    drop(conn);
+    let report = router.join();
+    assert!(report.graceful, "router must drain gracefully");
+    for shard in shards {
+        let report = shard.join();
+        assert!(report.graceful, "shard must drain gracefully");
+    }
+}
+
+/// An oversized batch is refused at the router (`batch_too_large`)
+/// before any shard sees work, and the connection stays usable.
+#[test]
+fn router_refuses_oversized_batches() {
+    let (shards, router, user) = spawn_routed_deployment(
+        2,
+        RouterConfig {
+            max_batch: 3,
+            ..RouterConfig::default()
+        },
+    );
+    let mut conn = Connection::connect_user(router.local_addr(), &user, "bigbatch").unwrap();
+    let queries: Vec<Query> = (0..4)
+        .map(|i| Query::count().at_dims([i]).at(600))
+        .collect();
+    let err = conn.execute_batch(&queries).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(ref e) if e.code == ErrorCode::BatchTooLarge),
+        "{err}"
+    );
+    conn.execute(&Query::count().at_dims([1]).at(600))
+        .expect("connection survives the refusal");
+    conn.close().unwrap();
+    router.shutdown_and_join();
+    for shard in shards {
+        shard.shutdown_and_join();
+    }
+}
+
+/// Kill one shard mid-connection: queries fail with a **structured**
+/// `shard_unavailable` error naming the shard — never a silently
+/// shrunken answer. Restart the shard on the same port: the router
+/// reconnects and answers are bit-identical to before the failure.
+#[test]
+fn shard_restart_reconnects_with_identical_answers() {
+    const TOTAL: u32 = 2;
+    let (mut shards, router, user) = spawn_routed_deployment(
+        TOTAL,
+        RouterConfig {
+            // Short backoff so the reconnect probe below converges fast.
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(500),
+            ..RouterConfig::default()
+        },
+    );
+    let mut conn = Connection::connect_user(router.local_addr(), &user, "failover").unwrap();
+    let query = Query::count().at_dims([4]).between(0, EPOCH - 1);
+    let before = wire_bytes(&conn.execute(&query).expect("pre-failure query"));
+
+    // Kill shard 1 out from under the router.
+    let victim = shards.pop().expect("two shards");
+    let victim_addr = victim.local_addr();
+    victim.shutdown_and_join();
+
+    // Every slice must answer for a query to be served: the router
+    // reports the dead shard, structurally.
+    let err = conn.execute(&query).unwrap_err();
+    match err {
+        ClientError::Server(ref e) => {
+            assert_eq!(e.code, ErrorCode::ShardUnavailable, "{e}");
+            assert!(e.message.contains("shard 1"), "{e}");
+        }
+        other => panic!("expected a structured shard_unavailable, got {other:?}"),
+    }
+
+    // Restart the shard on the same address (retrying the bind briefly:
+    // the old listener's sockets may take a moment to release).
+    let (system, _user, _records) = demo_system_sharded(HOURS, SEED, 1, TOTAL);
+    let system = Arc::new(system);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let restarted = loop {
+        match Server::new(
+            Arc::clone(&system),
+            ServerConfig {
+                bind: SocketAddr::from(([127, 0, 0, 1], victim_addr.port())),
+                shard: Some((1, TOTAL)),
+                ..ServerConfig::default()
+            },
+        )
+        .spawn()
+        {
+            Ok(handle) => break handle,
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("rebind pending: {e}");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => panic!("could not rebind shard address: {e}"),
+        }
+    };
+    shards.push(restarted);
+
+    // The router backs off, reconnects, and the answer is bit-identical
+    // to the pre-failure one.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let after = loop {
+        match conn.execute(&query) {
+            Ok(answer) => break wire_bytes(&answer),
+            Err(ClientError::Server(ref e)) if e.code == ErrorCode::ShardUnavailable => {
+                assert!(
+                    Instant::now() < deadline,
+                    "router never reconnected to the restarted shard"
+                );
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(other) => panic!("only structured errors are acceptable: {other:?}"),
+        }
+    };
+    assert_eq!(after, before, "post-restart answer diverged");
+
+    // The reconnect is visible in the router's accounting.
+    let stats = conn.router_stats().expect("router stats");
+    let shard1 = &stats.shards[1];
+    assert!(shard1.errors > 0, "failure never counted");
+    assert!(shard1.available, "restarted shard still marked down");
+
+    conn.close().unwrap();
+    router.shutdown_and_join();
+    for shard in shards {
+        shard.shutdown_and_join();
+    }
+}
+
+/// A shard whose addresses are listed out of order — or a shard map with
+/// the wrong total — is refused at the startup probe, before the router
+/// ever serves a client.
+#[test]
+fn shard_map_disagreement_is_refused_at_startup() {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for index in 0..2u32 {
+        let (system, _user, _records) = demo_system_sharded(HOURS, SEED, index, 2);
+        let handle = Server::new(
+            Arc::new(system),
+            ServerConfig {
+                shard: Some((index, 2)),
+                ..ServerConfig::default()
+            },
+        )
+        .spawn()
+        .unwrap();
+        addrs.push(handle.local_addr().to_string());
+        handles.push(handle);
+    }
+
+    // Reversed order: shard 1 sits at position 0.
+    let err = RouterHandler::probe(RouterConfig {
+        shards: vec![addrs[1].clone(), addrs[0].clone()],
+        ..RouterConfig::default()
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("shard order"), "{err}");
+
+    // Wrong total: a 2-shard deployment behind a 1-shard router config.
+    let err = RouterHandler::probe(RouterConfig {
+        shards: vec![addrs[0].clone()],
+        ..RouterConfig::default()
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("configured with 1 shard"), "{err}");
+
+    for handle in handles {
+        handle.shutdown_and_join();
+    }
+}
+
+/// An upstream speaking a different protocol version: the probe works
+/// (`ShardInfo` is version-independent topology discovery), but the
+/// client handshake is refused with a structured error naming the
+/// upstream version problem — the router never silently downgrades.
+#[test]
+fn version_mismatch_upstream_surfaces_structurally() {
+    // A fake shard: answers the probe, refuses every Hello the way a
+    // future/past server generation would.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        // One probe connection, then one handshake connection.
+        for _ in 0..2 {
+            let (mut stream, _) = listener.accept().unwrap();
+            while let Ok(request) = read_frame::<_, Request>(&mut stream, 1 << 20) {
+                match request {
+                    Request::ShardInfo { id } => {
+                        write_frame(
+                            &mut stream,
+                            &Response::ShardInfoOk {
+                                id,
+                                shard: ShardDescriptor {
+                                    shard_index: 0,
+                                    shard_total: 1,
+                                    epoch_duration: EPOCH,
+                                    epochs: vec![0],
+                                },
+                            },
+                        )
+                        .unwrap();
+                    }
+                    Request::Hello { version, .. } => {
+                        write_frame(
+                            &mut stream,
+                            &Response::Error {
+                                id: CONNECTION_LEVEL_ID,
+                                error: concealer_server::WireError::new(
+                                    ErrorCode::UnsupportedVersion,
+                                    format!(
+                                        "shard speaks protocol {}, router sent {version}",
+                                        PROTOCOL_VERSION + 1
+                                    ),
+                                ),
+                            },
+                        )
+                        .unwrap();
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    });
+
+    let handler = RouterHandler::probe(RouterConfig {
+        shards: vec![addr.to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("probe succeeds: topology discovery is version-independent");
+    let router = Server::with_handler(Arc::new(handler), ServerConfig::default())
+        .spawn()
+        .unwrap();
+
+    let err = Connection::connect(router.local_addr(), 7, [0u8; 32], "future").unwrap_err();
+    match err {
+        ClientError::Handshake(ref m) => {
+            assert!(m.contains("unsupported_version"), "{m}");
+            assert!(m.contains("shard 0"), "{m}");
+        }
+        other => panic!("expected a structured handshake refusal, got {other:?}"),
+    }
+
+    router.shutdown_and_join();
+    fake.join().unwrap();
+}
