@@ -78,6 +78,19 @@ check_server_summary() {
             || malformed "$f lacks a numeric latency \"$pct\" field"
     done
 
+    # Routed runs carry a per-member "router_shards" array; when present,
+    # every entry must name its replica-set position ("member") and carry
+    # the writer flag — that is how the replicated soak leg proves its
+    # counters are per-member, not per-set.
+    if grep -q '"router_shards": *\[{' "$f"; then
+        for key in shard_index member requests_forwarded errors reconnects; do
+            grep -q "\"$key\": *[0-9][0-9]*" "$f" \
+                || malformed "$f router_shards entries lack a numeric \"$key\" field"
+        done
+        grep -q '"writer": *\(true\|false\)' "$f" \
+            || malformed "$f router_shards entries lack a boolean \"writer\" field"
+    fi
+
     mode=$(sed -n 's/.*"mode": *"\([a-z]*\)".*/\1/p' "$f" | head -n 1)
     held=$(sed -n "s/.*\"connections\": *\([0-9][0-9]*\).*/\1/p" "$f" | head -n 1)
     peak=$(sed -n "s/.*\"max_concurrent_connections\": *\([0-9][0-9]*\).*/\1/p" "$f" | head -n 1)

@@ -257,6 +257,53 @@ expect_server "missing latency percentiles is malformed" 2 "$tmp/srv-nolat2.json
 
 expect_server "missing server summary is malformed" 2 "$tmp/srv-nonexistent.json"
 
+# --- routed summaries: per-member router counters ------------------------
+
+# A routed run's router_shards array must carry each member's replica-set
+# position and writer flag; an entry shaped like the pre-replica schema
+# (no "member", no "writer") must be rejected so a stale load binary
+# cannot pass the replicated soak gate.
+# write_routed_server_summary <path> <shard-entry-json>
+write_routed_server_summary() {
+    cat >"$1" <<EOF
+{
+  "schema": "concealer-server-load/v2",
+  "addr": "127.0.0.1:7171",
+  "backend": "memory",
+  "mode": "event",
+  "clients": 8,
+  "requests_per_client": 36,
+  "batch_len": 8,
+  "idle_connections_target": 0,
+  "connections": 8,
+  "max_concurrent_connections": 9,
+  "requests": 288,
+  "queries": 900,
+  "ingest_epochs": 0,
+  "elapsed_s": 1.500,
+  "qps": 600.00,
+  "latency_ms": {"p50": 0.500, "p95": 2.000, "p99": 4.000, "max": 9.000},
+  "checked": true,
+  "divergences": 0,
+  "client_errors": 0,
+  "router_errors": {"shard_unavailable": 2, "other": 0},
+  "router_shards": [$2]
+}
+EOF
+}
+
+member_entry='{"shard_index": 0, "member": 0, "writer": true, "addr": "127.0.0.1:7001", "requests_forwarded": 144, "errors": 0, "reconnects": 0, "available": true}, {"shard_index": 0, "member": 1, "writer": false, "addr": "127.0.0.1:7002", "requests_forwarded": 144, "errors": 2, "reconnects": 1, "available": true}'
+write_routed_server_summary "$tmp/srv-routed.json" "$member_entry"
+expect_server "routed summary with per-member counters passes" 0 "$tmp/srv-routed.json"
+
+no_member_entry='{"shard_index": 0, "writer": true, "addr": "127.0.0.1:7001", "requests_forwarded": 144, "errors": 0, "reconnects": 0, "available": true}'
+write_routed_server_summary "$tmp/srv-routed-nomember.json" "$no_member_entry"
+expect_server "router_shards entry without member is malformed" 2 "$tmp/srv-routed-nomember.json"
+
+no_writer_entry='{"shard_index": 0, "member": 0, "addr": "127.0.0.1:7001", "requests_forwarded": 144, "errors": 0, "reconnects": 0, "available": true}'
+write_routed_server_summary "$tmp/srv-routed-nowriter.json" "$no_writer_entry"
+expect_server "router_shards entry without writer flag is malformed" 2 "$tmp/srv-routed-nowriter.json"
+
 if [ "$failures" -ne 0 ]; then
     echo "compare-bench self-test: $failures failure(s)" >&2
     exit 1

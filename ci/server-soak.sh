@@ -26,6 +26,17 @@
 # divergences, and the router plus every surviving shard still drain to
 # a graceful SHUTDOWN.
 #
+# With SOAK_REPLICAS=N (N >= 2, exclusive with SOAK_ROUTER_SHARDS) the
+# soak exercises one replicated shard instead: a writer plus N-1 read
+# replicas sharing one durable store root behind the router
+# (comma-joined member list), and the WRITER SIGKILLed mid-load. The
+# gate is stricter than the sharded leg's: the load generator exits 0
+# with zero divergences (reads fail over to replicas serving
+# bit-identical answers, so the kill may be fully masked — no
+# shard_unavailable floor), the summary carries per-member router
+# counters (member index + writer flag), and the router plus every
+# replica still drain to a graceful SHUTDOWN.
+#
 # Exit codes: 0 soak clean, 1 divergence / client error / non-graceful
 # shutdown / concurrency floor missed, 2 binaries missing.
 #
@@ -42,7 +53,13 @@ CLIENTS="${SOAK_CLIENTS:-8}"
 REQUESTS="${SOAK_REQUESTS:-36}"
 MODE="${SOAK_MODE:-threaded}"
 ROUTER_SHARDS="${SOAK_ROUTER_SHARDS:-0}"
+REPLICAS="${SOAK_REPLICAS:-0}"
 script_dir=$(dirname "$0")
+
+if [ "$ROUTER_SHARDS" -gt 0 ] && [ "$REPLICAS" -gt 0 ]; then
+    echo "error: SOAK_ROUTER_SHARDS and SOAK_REPLICAS are mutually exclusive" >&2
+    exit 2
+fi
 
 case "$MODE" in
     threaded|event) ;;
@@ -250,6 +267,193 @@ if [ "$ROUTER_SHARDS" -gt 0 ]; then
     sh "$script_dir/compare-bench.sh" --server-summary "$OUT"
     qps=$(sed -n 's/.*"qps": *\([0-9.eE+-]*\).*/\1/p' "$OUT" | head -n 1)
     echo "soak ok (routed): shards=$ROUTER_SHARDS mode=$MODE killed=$victim tolerated=$unavailable qps=${qps:-?} summary=$OUT"
+    exit 0
+fi
+
+# --- replicated deployment leg ------------------------------------------
+# One shard as a replica set: a writer plus N-1 read replicas on a shared
+# store root, fronted by the router, and the writer SIGKILLed mid-load.
+# Runs instead of the single-node flow and exits.
+if [ "$REPLICAS" -gt 0 ]; then
+    if [ "$REPLICAS" -lt 2 ]; then
+        echo "error: SOAK_REPLICAS must be >= 2 (got $REPLICAS)" >&2
+        exit 2
+    fi
+    if [ ! -x "$ROUTER_BIN" ]; then
+        echo "error: $ROUTER_BIN not built (run: cargo build --release -p concealer-router)" >&2
+        exit 2
+    fi
+
+    workdir=$(mktemp -d)
+    store="$workdir/shardstore"
+    pids=""
+    cleanup_replicated() {
+        for pid in $pids; do kill "$pid" 2>/dev/null || true; done
+        rm -rf "$workdir"
+    }
+    trap cleanup_replicated EXIT INT TERM
+
+    # wait_member_ready <index> — block until member INDEX prints READY
+    # (sets $addr), failing loudly if the process dies first.
+    wait_member_ready() {
+        idx="$1"
+        addr=""
+        tries=0
+        while [ "$tries" -lt 300 ]; do
+            addr=$(sed -n 's/^READY addr=\([^ ]*\).*/\1/p' "$workdir/member$idx.out")
+            if [ -n "$addr" ]; then
+                return 0
+            fi
+            eval "pid=\$member_pid_$idx"
+            if ! kill -0 "$pid" 2>/dev/null; then
+                echo "error: replica-set member $idx exited before READY" >&2
+                cat "$workdir/member$idx.err" >&2
+                exit 1
+            fi
+            tries=$((tries + 1))
+            sleep 0.2
+        done
+        echo "error: replica-set member $idx did not become READY in time" >&2
+        exit 1
+    }
+
+    # The writer must be READY (base epoch committed to the store root)
+    # before any replica opens the root, so each replica absorbs the base
+    # epoch during its own startup rather than racing the refresh loop.
+    "$SERVER_BIN" --mode "$MODE" --hours "$HOURS" --seed "$SEED" \
+        --store "$store" \
+        >"$workdir/member0.out" 2>"$workdir/member0.err" &
+    member_pid_0=$!
+    pids="$pids $member_pid_0"
+    wait_member_ready 0
+    if ! grep -q 'role=writer' "$workdir/member0.out"; then
+        echo "error: member 0 did not report role=writer on its READY line" >&2
+        exit 1
+    fi
+    members="$addr"
+    echo "soak: writer ready on $addr (store: $store)"
+
+    i=1
+    while [ "$i" -lt "$REPLICAS" ]; do
+        "$SERVER_BIN" --mode "$MODE" --hours "$HOURS" --seed "$SEED" \
+            --store "$store" --replica --refresh-ms 100 \
+            >"$workdir/member$i.out" 2>"$workdir/member$i.err" &
+        eval "member_pid_$i=$!"
+        pids="$pids $!"
+        wait_member_ready "$i"
+        if ! grep -q 'role=replica' "$workdir/member$i.out"; then
+            echo "error: member $i did not report role=replica on its READY line" >&2
+            exit 1
+        fi
+        members="$members,$addr"
+        echo "soak: replica $i ready on $addr"
+        i=$((i + 1))
+    done
+
+    # One shard entry, comma-joined member list; the probe discovers the
+    # roles and requires exactly one writer.
+    "$ROUTER_BIN" --shard-addr "$members" --mode "$MODE" \
+        >"$workdir/router.out" 2>"$workdir/router.err" &
+    router_pid=$!
+    pids="$pids $router_pid"
+    router_addr=""
+    tries=0
+    while [ "$tries" -lt 300 ]; do
+        router_addr=$(sed -n 's/^READY addr=\([^ ]*\).*/\1/p' "$workdir/router.out")
+        if [ -n "$router_addr" ]; then
+            break
+        fi
+        if ! kill -0 "$router_pid" 2>/dev/null; then
+            echo "error: router exited before READY (startup probe?)" >&2
+            cat "$workdir/router.err" >&2
+            exit 1
+        fi
+        tries=$((tries + 1))
+        sleep 0.2
+    done
+    if [ -z "$router_addr" ]; then
+        echo "error: router did not become READY in time" >&2
+        exit 1
+    fi
+    echo "soak: router ready on $router_addr fronting 1 shard x $REPLICAS member(s) (mode: $MODE)"
+
+    # Drive the load through the router; once its query phase has started,
+    # SIGKILL the writer out from under the set. Same long default run as
+    # the routed leg so release binaries don't finish before the kill.
+    replicated_requests="${SOAK_REQUESTS:-400}"
+    "$LOAD_BIN" --addr "$router_addr" --router --clients "$CLIENTS" \
+        --requests "$replicated_requests" --hours "$HOURS" --seed "$SEED" \
+        --ingest-epochs 2 --shutdown --out "$OUT" 2>"$workdir/load.err" &
+    load_pid=$!
+    pids="$pids $load_pid"
+
+    tries=0
+    while [ "$tries" -lt 300 ]; do
+        if grep -q 'client(s) x' "$workdir/load.err" 2>/dev/null; then
+            break
+        fi
+        if ! kill -0 "$load_pid" 2>/dev/null; then
+            break
+        fi
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    sleep 0.1
+    if kill -0 "$load_pid" 2>/dev/null; then
+        echo "soak: killing the writer mid-load (pid $member_pid_0)"
+        kill -9 "$member_pid_0" 2>/dev/null || true
+    else
+        echo "error: load finished before the writer kill could land; raise SOAK_REQUESTS" >&2
+        exit 1
+    fi
+
+    load_rc=0
+    wait "$load_pid" || load_rc=$?
+    sed 's/^/soak: load: /' "$workdir/load.err"
+    if [ "$load_rc" -ne 0 ]; then
+        echo "error: replicated load failed (rc=$load_rc): divergence or unstructured error during failover" >&2
+        exit 1
+    fi
+
+    # The summary must carry the per-member router counters (the
+    # compare-bench gate below re-checks the full schema, including the
+    # member index and writer flag on every entry).
+    if ! grep -q '"router_shards": \[{' "$OUT"; then
+        echo "error: summary lacks the per-member router counters" >&2
+        exit 1
+    fi
+    if ! grep -q '"member": ' "$OUT"; then
+        echo "error: router counters are not per-member (stale load binary?)" >&2
+        exit 1
+    fi
+
+    # The router and every replica must still drain gracefully.
+    router_rc=0
+    wait "$router_pid" || router_rc=$?
+    if [ "$router_rc" -ne 0 ] || ! grep -q '^SHUTDOWN graceful' "$workdir/router.out"; then
+        echo "error: router exited non-gracefully (rc=$router_rc)" >&2
+        cat "$workdir/router.err" >&2
+        exit 1
+    fi
+    i=1
+    while [ "$i" -lt "$REPLICAS" ]; do
+        member_rc=0
+        eval "pid=\$member_pid_$i"
+        wait "$pid" || member_rc=$?
+        if [ "$member_rc" -ne 0 ] || ! grep -q '^SHUTDOWN graceful' "$workdir/member$i.out"; then
+            echo "error: replica $i exited non-gracefully (rc=$member_rc)" >&2
+            cat "$workdir/member$i.err" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+    done
+    wait "$member_pid_0" 2>/dev/null || true
+    pids=""
+
+    sh "$script_dir/compare-bench.sh" --server-summary "$OUT"
+    unavailable=$(sed -n 's/.*"shard_unavailable": *\([0-9][0-9]*\).*/\1/p' "$OUT" | head -n 1)
+    qps=$(sed -n 's/.*"qps": *\([0-9.eE+-]*\).*/\1/p' "$OUT" | head -n 1)
+    echo "soak ok (replicated): members=$REPLICAS mode=$MODE killed=writer tolerated=${unavailable:-0} qps=${qps:-?} summary=$OUT"
     exit 0
 fi
 

@@ -438,6 +438,21 @@ impl Connection {
         }
     }
 
+    /// Promote the server's read-only replica store to writer (the
+    /// failover half of replica sets; idempotent on a server that is
+    /// already the writer). Returns the number of epochs the promotion's
+    /// recovery pass newly registered.
+    pub fn promote(&mut self) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.stream, &Request::Promote { id })?;
+        match self.wait_for(id)? {
+            Response::PromoteOk {
+                epochs_registered, ..
+            } => Ok(epochs_registered),
+            other => Err(unexpected("PromoteOk", &other)),
+        }
+    }
+
     /// Request a graceful server-wide shutdown and wait for the ack.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         let id = self.fresh_id();

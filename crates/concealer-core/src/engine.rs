@@ -2131,6 +2131,63 @@ impl ConcealerSystem {
         Ok(stats)
     }
 
+    /// Pull in and register epochs another process committed to the shared
+    /// durable store since the last look (the replica's refresh tick; see
+    /// [`concealer_storage::StorageBackend::refresh`]). Returns the epoch
+    /// ids registered. Takes `&self` for the same reason
+    /// [`ConcealerSystem::ingest_epoch`] does: late epochs land while
+    /// earlier ones keep serving.
+    ///
+    /// Epochs the writer has rewritten under the forward-private (§6)
+    /// protocol are *not* registered: their per-bin round counters are the
+    /// writer's enclave state and do not survive the hop (the same rule
+    /// that makes a restarted system refuse them — see the build-time
+    /// check in `assemble`).
+    pub fn refresh_epochs(&self) -> Result<Vec<u64>> {
+        let mut registered = Vec::new();
+        for epoch_id in self.store.refresh()? {
+            if self.store.rewrite_count(epoch_id)? > 0 {
+                continue;
+            }
+            self.engine.register_epoch(epoch_id)?;
+            registered.push(epoch_id);
+        }
+        Ok(registered)
+    }
+
+    /// Promote this system's store from read-only replica to writer (a
+    /// reopen of the durable root — no key material moves; see
+    /// [`concealer_storage::StorageBackend::promote`]), then register
+    /// anything the recovery pass surfaced that the refresh loop had not
+    /// absorbed yet. Idempotent on a system that is already the writer.
+    /// Returns the epoch ids newly registered.
+    ///
+    /// Epochs the dead writer rewrote under the §6 protocol do not survive
+    /// the failover (their round counters were the dead writer's enclave
+    /// state — the restart rule); they are skipped here and must be
+    /// re-ingested, exactly as after a single-node restart.
+    pub fn promote_to_writer(&self) -> Result<Vec<u64>> {
+        self.store.promote()?;
+        let known: std::collections::BTreeSet<u64> =
+            self.engine.registered_epochs().into_iter().collect();
+        let mut registered = Vec::new();
+        for epoch_id in self.store.epoch_ids() {
+            if known.contains(&epoch_id) || self.store.rewrite_count(epoch_id)? > 0 {
+                continue;
+            }
+            self.engine.register_epoch(epoch_id)?;
+            registered.push(epoch_id);
+        }
+        Ok(registered)
+    }
+
+    /// Whether this system's store is a read-only replica (ingest and §6
+    /// rewrites are refused until [`ConcealerSystem::promote_to_writer`]).
+    #[must_use]
+    pub fn store_read_only(&self) -> bool {
+        self.store.read_only()
+    }
+
     /// The adversary's view of the storage layer.
     #[must_use]
     pub fn observer(&self) -> &AccessObserver {

@@ -139,6 +139,57 @@ pub fn demo_system_sharded(
     (system, user, records)
 }
 
+/// [`demo_system_sharded`] for one *member* of a replica set sharing the
+/// durable store root `root`: identical RNG draw order to [`demo_system`]
+/// (backend choice consumes no randomness), so every member of the set —
+/// and the unsharded oracle — derives the same master key and user
+/// credential. The writer opens the root owning it and ingests epoch 0
+/// when its shard owns that epoch; replicas open it read-only with
+/// [`concealer_core::DiskEpochStore::open_replica`] and ingest nothing —
+/// they absorb the writer's committed epochs at open and on
+/// [`ConcealerSystem::refresh_epochs`] ticks. Pass `shard: None` for an
+/// unsharded (single-shard) set.
+///
+/// # Panics
+///
+/// Panics if the shard spec is malformed, the store root cannot be
+/// opened, or the demo ingest fails.
+pub fn demo_system_replica(
+    hours: u64,
+    seed: u64,
+    shard: Option<(u32, u32)>,
+    root: &std::path::Path,
+    writer: bool,
+) -> (ConcealerSystem, UserHandle, Vec<Record>) {
+    use concealer_core::DiskEpochStore;
+    use std::sync::Arc;
+
+    let (shard_index, shard_total) = shard.unwrap_or((0, 1));
+    assert!(
+        shard_index < shard_total,
+        "shard index {shard_index} out of range for total {shard_total}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let generator = WifiGenerator::new(demo_wifi_config());
+    let records = generator.generate_epoch(0, hours * 3600, &mut rng);
+    let backend: Arc<dyn concealer_core::StorageBackend> = if writer {
+        Arc::new(DiskEpochStore::open(root).expect("open writer store"))
+    } else {
+        Arc::new(DiskEpochStore::open_replica(root).expect("open replica store"))
+    };
+    let mut system = SystemBuilder::new(demo_config(hours))
+        .with_backend(backend)
+        .build(&mut rng)
+        .expect("replica-set demo store must assemble");
+    let user = system.register_user(7, DEMO_DEVICES.collect(), true);
+    if writer && concealer_core::shard_of_epoch(0, shard_total as usize) == shard_index as usize {
+        system
+            .ingest_epoch(0, &records, &mut rng)
+            .expect("demo ingest");
+    }
+    (system, user, records)
+}
+
 /// The query-workload generator matching [`demo_system`]'s deployment
 /// ([`DEMO_ACCESS_POINTS`] locations, [`DEMO_DEVICES`] device ids,
 /// `hours` of data) — what every harness generating queries against a
@@ -191,5 +242,32 @@ mod tests {
         let (system, _user, records) = demo_system(2, 1);
         assert!(!records.is_empty());
         assert_eq!(system.engine().registered_epochs(), vec![0]);
+    }
+
+    #[test]
+    fn demo_replica_follows_writer_and_shares_credentials() {
+        let root =
+            std::env::temp_dir().join(format!("concealer-demo-replica-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+
+        // Replica first: the root is empty, so it assembles with nothing
+        // registered and absorbs epoch 0 on a refresh tick after the
+        // writer commits it.
+        let (replica, replica_user, _) = demo_system_replica(1, 5, None, &root, false);
+        assert!(replica.store_read_only());
+        assert!(replica.engine().registered_epochs().is_empty());
+
+        let (writer, writer_user, _) = demo_system_replica(1, 5, None, &root, true);
+        assert!(!writer.store_read_only());
+        assert_eq!(writer.engine().registered_epochs(), vec![0]);
+        assert_eq!(replica.refresh_epochs().unwrap(), vec![0]);
+        assert_eq!(replica.engine().registered_epochs(), vec![0]);
+
+        // Identical RNG draw order: both members hand out the same
+        // credential, so a router can authenticate against either.
+        assert_eq!(writer_user.credential, replica_user.credential);
+        drop(writer);
+        drop(replica);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

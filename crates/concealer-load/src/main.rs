@@ -19,8 +19,9 @@
 //! (`shard_unavailable` in the summary), never compared against the
 //! oracle, and not run-fatal, because the routed soak kills a shard
 //! mid-load on purpose — and the summary gains a `router_shards` array
-//! with each upstream's forwarded/error/reconnect counters from the
-//! router's `RouterStats` endpoint. Divergences and unstructured
+//! with each upstream **member**'s forwarded/error/reconnect counters
+//! (plus its replica-set position and writer flag) from the router's
+//! `RouterStats` endpoint. Divergences and unstructured
 //! (transport-level) errors still fail the run: a dying shard must never
 //! tear the client-facing connection or shrink an answer.
 //!
@@ -537,9 +538,17 @@ fn main() -> ExitCode {
         .iter()
         .map(|s| {
             format!(
-                "{{\"shard_index\": {}, \"addr\": \"{}\", \"requests_forwarded\": {}, \
-                 \"errors\": {}, \"reconnects\": {}, \"available\": {}}}",
-                s.shard_index, s.addr, s.requests_forwarded, s.errors, s.reconnects, s.available
+                "{{\"shard_index\": {}, \"member\": {}, \"writer\": {}, \"addr\": \"{}\", \
+                 \"requests_forwarded\": {}, \"errors\": {}, \"reconnects\": {}, \
+                 \"available\": {}}}",
+                s.shard_index,
+                s.member,
+                s.writer,
+                s.addr,
+                s.requests_forwarded,
+                s.errors,
+                s.reconnects,
+                s.available
             )
         })
         .collect::<Vec<_>>()
@@ -579,9 +588,11 @@ fn main() -> ExitCode {
     );
     for shard in &router_shards {
         eprintln!(
-            "concealer-load: shard {} ({}): {} forwarded, {} error(s), {} reconnect(s), \
-             available={}",
+            "concealer-load: shard {} member {} [{}] ({}): {} forwarded, {} error(s), \
+             {} reconnect(s), available={}",
             shard.shard_index,
+            shard.member,
+            if shard.writer { "writer" } else { "replica" },
             shard.addr,
             shard.requests_forwarded,
             shard.errors,

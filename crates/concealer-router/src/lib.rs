@@ -10,6 +10,25 @@
 //! disjoint-union merge that reproduces a single-process answer
 //! bit-for-bit, batch dedup metadata included.
 //!
+//! # Replica sets
+//!
+//! Each shard position may name a whole **replica set**: a
+//! comma-separated member list (`writer:port,replica:port,...`) whose
+//! members share one durable store root. Roles are not configured — the
+//! startup probe discovers them from each member's extended `ShardInfo`
+//! descriptor (`role`, protocol v3) and validates that every set has
+//! exactly one writer. At serve time:
+//!
+//! - **reads** (partial executions, stats) round-robin across a set's
+//!   members and fail over to the remaining members before a query is
+//!   given up as `shard_unavailable`;
+//! - **ingest** goes to the set's writer only — epoch ownership is a
+//!   partition, and only the writer may mutate the shared store. If the
+//!   writer is unreachable on a *fresh dial* (dead, not merely slow),
+//!   the router promotes the first healthy replica over the wire
+//!   (`Request::Promote`), swaps its writer pointer, and retries the
+//!   ingest exactly once on the new writer.
+//!
 //! The router reuses both serving cores from `concealer-server`
 //! unchanged: [`RouterHandler`] implements
 //! [`ServeHandler`], so
@@ -22,26 +41,29 @@
 //! sealed partials and forwards client credentials verbatim; every
 //! answer still carries the enclave's verification metadata, so a
 //! tampering router is detected exactly like a tampering server (see
-//! `ARCHITECTURE.md` § "Multi-node serving").
+//! `ARCHITECTURE.md` § "Multi-node serving"). Promotion moves no key
+//! material either — it only tells a replica to re-open the store it
+//! already holds as the writer.
 //!
-//! Failure semantics: a shard that cannot be reached (connect refused,
-//! timeout, torn stream) never silently shrinks an answer. The affected
-//! query gets a structured `shard_unavailable` error naming the shard,
-//! the router backs off that upstream, and later requests retry through
-//! fresh connections (see `OPERATIONS.md` § "Failure playbook").
+//! Failure semantics: a shard whose every member is unreachable
+//! (connect refused, timeout, torn stream) never silently shrinks an
+//! answer. The affected query gets a structured `shard_unavailable`
+//! error naming the shard, the router backs off the failing members,
+//! and later requests retry through fresh connections (see
+//! `OPERATIONS.md` § "Failure playbook").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use concealer_client::{ClientError, ConnectOptions, Connection, Pending};
 use concealer_core::{merge_partials, shard_of_epoch, Query, UserHandle};
 use concealer_server::protocol::{
-    Request, Response, RouterStats, ServerInfo, ShardDescriptor, ShardLoad, WirePartial,
+    Request, Response, RouterStats, ServerInfo, ShardDescriptor, ShardLoad, ShardRole, WirePartial,
     WirePartialResult, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH, DEFAULT_MAX_FRAME_LEN,
     PROTOCOL_VERSION,
 };
@@ -54,9 +76,11 @@ use concealer_server::{ErrorCode, ServeHandler, WireError, WireResult, WireStats
 pub struct RouterConfig {
     /// Name reported to clients in the handshake.
     pub router_name: String,
-    /// Upstream shard addresses **in shard order**: `shards[i]` must be
-    /// the server started with `--shard i/N`. Validated against each
-    /// upstream's `ShardInfo` at startup.
+    /// Upstream shard addresses **in shard order**: `shards[i]` must
+    /// name the server(s) started with `--shard i/N`. Each entry is a
+    /// comma-separated replica-set member list (a single address is a
+    /// one-member set); member roles are discovered from `ShardInfo` at
+    /// probe time, and every set must have exactly one writer.
     pub shards: Vec<String>,
     /// Maximum queries per `ExecuteBatch` accepted from clients.
     pub max_batch: usize,
@@ -88,7 +112,8 @@ impl Default for RouterConfig {
 }
 
 /// A startup (probe-time) failure: unreachable upstream, inconsistent
-/// shard map, diverging epoch durations.
+/// shard map, diverging epoch durations, a replica set without exactly
+/// one writer.
 #[derive(Debug)]
 pub struct RouterError(String);
 
@@ -110,7 +135,7 @@ enum ShardFailure {
     Server(WireError),
 }
 
-/// Mutable per-upstream state, held only across pool operations — never
+/// Mutable per-member state, held only across pool operations — never
 /// across network I/O, so concurrent workers fan out in parallel.
 struct UpstreamState {
     /// Checkout refuses (fast `shard_unavailable`) until this instant.
@@ -123,10 +148,14 @@ struct UpstreamState {
     pool: HashMap<u64, Vec<Connection>>,
 }
 
-/// One configured shard server: its address, connection pool, backoff
-/// state, and load counters (reported by `Request::RouterStats`).
+/// One replica-set member: its address, connection pool, backoff state,
+/// and load counters (reported by `Request::RouterStats`).
 struct Upstream {
-    index: u32,
+    /// Shard position this member serves a slice of.
+    shard: u32,
+    /// Position within the shard's replica set (the order of the
+    /// configured member list).
+    member: u32,
     addr: String,
     state: Mutex<UpstreamState>,
     requests_forwarded: AtomicU64,
@@ -135,9 +164,10 @@ struct Upstream {
 }
 
 impl Upstream {
-    fn new(index: u32, addr: String) -> Upstream {
+    fn new(shard: u32, member: u32, addr: String) -> Upstream {
         Upstream {
-            index,
+            shard,
+            member,
             addr,
             state: Mutex::new(UpstreamState {
                 down_until: None,
@@ -165,7 +195,7 @@ impl Upstream {
     }
 
     /// Take an idle pooled connection for `user`, if any. `None` means
-    /// the caller dials; `Err` means the upstream is backing off.
+    /// the caller dials; `Err` means the member is backing off.
     fn checkout(&self, user_id: u64) -> Result<Option<Connection>, ShardFailure> {
         let mut state = self.lock();
         if state.down_until.is_some_and(|until| until > Instant::now()) {
@@ -204,8 +234,46 @@ impl Upstream {
     fn unavailable(&self, why: &str) -> ShardFailure {
         ShardFailure::Unavailable(format!(
             "shard {} ({}) unavailable: {why}",
-            self.index, self.addr
+            self.shard, self.addr
         ))
+    }
+}
+
+/// One shard position's replica set: its members in configured order,
+/// the current writer, and a round-robin cursor for read balancing.
+struct ShardSet {
+    members: Vec<Upstream>,
+    /// Index into `members` of the current writer. Swapped (only) by a
+    /// successful promotion after the probed writer died.
+    writer: AtomicUsize,
+    /// Round-robin cursor: successive reads start at successive members
+    /// so partial executions spread across the set.
+    rr: AtomicUsize,
+}
+
+impl ShardSet {
+    /// Advance the read cursor and return the member index the next
+    /// read should start from.
+    fn next_read(&self) -> usize {
+        self.rr.fetch_add(1, Ordering::Relaxed) % self.members.len()
+    }
+}
+
+/// Split one configured shard entry into its member addresses (empty
+/// segments from stray commas are dropped).
+fn split_members(entry: &str) -> Vec<String> {
+    entry
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn role_name(role: ShardRole) -> &'static str {
+    match role {
+        ShardRole::Writer => "writer",
+        ShardRole::Replica => "replica",
     }
 }
 
@@ -216,13 +284,15 @@ impl Upstream {
 /// [`Server::with_handler`](concealer_server::Server::with_handler).
 pub struct RouterHandler {
     config: RouterConfig,
-    upstreams: Vec<Upstream>,
-    /// Epoch duration every shard agreed on at probe time.
+    sets: Vec<ShardSet>,
+    /// Epoch duration every member agreed on at probe time.
     epoch_duration: u64,
-    /// Union of the shards' registered epochs at probe time — a
+    /// Union of the members' registered epochs at probe time — a
     /// startup snapshot for topology discovery, not a live inventory
     /// (shards keep ingesting after the probe).
     probed_epochs: Vec<u64>,
+    /// Highest committed store generation reported at probe time.
+    probed_generation: u64,
 }
 
 impl std::fmt::Debug for RouterHandler {
@@ -235,11 +305,15 @@ impl std::fmt::Debug for RouterHandler {
 }
 
 impl RouterHandler {
-    /// Probe every configured upstream and validate the shard map:
-    /// `shards[i]` must report slice `i` of `shards.len()`, and every
-    /// shard must agree on the epoch duration. Refusing to start on a
-    /// disagreement is what keeps a mis-wired deployment from serving
-    /// silently wrong (partially merged) answers.
+    /// Probe every configured member and validate the shard map:
+    /// `shards[i]`'s members must all report slice `i` of
+    /// `shards.len()`, every member must agree on the epoch duration,
+    /// and every replica set must have exactly one writer. Refusing to
+    /// start on a disagreement is what keeps a mis-wired deployment
+    /// from serving silently wrong (partially merged) answers — and the
+    /// refusal names **every** disagreeing member and the map it
+    /// reported, so one startup failure is enough to see the whole
+    /// mis-wiring instead of fixing it one address at a time.
     pub fn probe(config: RouterConfig) -> Result<RouterHandler, RouterError> {
         if config.shards.is_empty() {
             return Err(RouterError("router configured with no shards".to_string()));
@@ -253,51 +327,93 @@ impl RouterHandler {
         };
         let mut epoch_duration: Option<u64> = None;
         let mut epochs = BTreeSet::new();
-        for (i, addr) in config.shards.iter().enumerate() {
+        let mut probed_generation = 0u64;
+        let mut disagreements: Vec<String> = Vec::new();
+        let mut sets = Vec::new();
+        for (i, entry) in config.shards.iter().enumerate() {
             let index = i as u32;
-            let mut conn = Connection::connect_probe(addr, options)
-                .map_err(|e| RouterError(format!("probing shard {index} at {addr} failed: {e}")))?;
-            let descriptor = conn.shard_info().map_err(|e| {
-                RouterError(format!("shard {index} at {addr} refused ShardInfo: {e}"))
-            })?;
-            if descriptor.shard_total != total {
+            let addrs = split_members(entry);
+            if addrs.is_empty() {
                 return Err(RouterError(format!(
-                    "shard map disagreement: {addr} reports {}/{} but the router is \
-                     configured with {total} shards",
-                    descriptor.shard_index, descriptor.shard_total
+                    "shard {index} has no member addresses (entry {entry:?})"
                 )));
             }
-            if descriptor.shard_index != index {
-                return Err(RouterError(format!(
-                    "shard map disagreement: {addr} reports slice {}/{} but is listed at \
-                     position {index} (shard addresses must be in shard order)",
-                    descriptor.shard_index, descriptor.shard_total
-                )));
-            }
-            match epoch_duration {
-                None => epoch_duration = Some(descriptor.epoch_duration),
-                Some(d) if d != descriptor.epoch_duration => {
-                    return Err(RouterError(format!(
-                        "shard map disagreement: {addr} uses epoch duration {} but shard 0 \
-                         uses {d}",
-                        descriptor.epoch_duration
-                    )));
+            let mut members = Vec::new();
+            let mut writers: Vec<usize> = Vec::new();
+            let mut roles: Vec<String> = Vec::new();
+            for (m, addr) in addrs.iter().enumerate() {
+                let mut conn = Connection::connect_probe(addr, options).map_err(|e| {
+                    RouterError(format!("probing shard {index} at {addr} failed: {e}"))
+                })?;
+                let descriptor = conn.shard_info().map_err(|e| {
+                    RouterError(format!("shard {index} at {addr} refused ShardInfo: {e}"))
+                })?;
+                if descriptor.shard_total != total {
+                    disagreements.push(format!(
+                        "{addr} reports {}/{} but the router is configured with {total} shards",
+                        descriptor.shard_index, descriptor.shard_total
+                    ));
+                } else if descriptor.shard_index != index {
+                    disagreements.push(format!(
+                        "{addr} reports slice {}/{} but is listed at position {index} (shard \
+                         addresses must be in shard order)",
+                        descriptor.shard_index, descriptor.shard_total
+                    ));
                 }
-                Some(_) => {}
+                match epoch_duration {
+                    None => epoch_duration = Some(descriptor.epoch_duration),
+                    Some(d) if d != descriptor.epoch_duration => {
+                        disagreements.push(format!(
+                            "{addr} uses epoch duration {} but shard 0 uses {d}",
+                            descriptor.epoch_duration
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                if descriptor.role == ShardRole::Writer {
+                    writers.push(m);
+                }
+                roles.push(format!("{addr}={}", role_name(descriptor.role)));
+                probed_generation = probed_generation.max(descriptor.store_generation);
+                epochs.extend(descriptor.epochs);
+                members.push(Upstream::new(index, m as u32, addr.clone()));
             }
-            epochs.extend(descriptor.epochs);
+            let writer = match writers.as_slice() {
+                [w] => *w,
+                [] => {
+                    disagreements.push(format!(
+                        "shard {index} replica set has no writer ({})",
+                        roles.join(", ")
+                    ));
+                    0
+                }
+                many => {
+                    disagreements.push(format!(
+                        "shard {index} replica set has {} writers ({})",
+                        many.len(),
+                        roles.join(", ")
+                    ));
+                    0
+                }
+            };
+            sets.push(ShardSet {
+                members,
+                writer: AtomicUsize::new(writer),
+                rr: AtomicUsize::new(0),
+            });
         }
-        let upstreams = config
-            .shards
-            .iter()
-            .enumerate()
-            .map(|(i, addr)| Upstream::new(i as u32, addr.clone()))
-            .collect();
+        if !disagreements.is_empty() {
+            return Err(RouterError(format!(
+                "shard map disagreement: {}",
+                disagreements.join("; ")
+            )));
+        }
         Ok(RouterHandler {
             config,
-            upstreams,
+            sets,
             epoch_duration: epoch_duration.unwrap_or(0),
             probed_epochs: epochs.into_iter().collect(),
+            probed_generation,
         })
     }
 
@@ -328,7 +444,7 @@ impl RouterHandler {
     ///
     /// A structured error reply leaves the stream frame-aligned, so the
     /// connection is still pooled; any transport failure drops it, and a
-    /// failure on a *freshly dialed* connection marks the shard down.
+    /// failure on a *freshly dialed* connection marks the member down.
     fn call_shard<T>(
         &self,
         upstream: &Upstream,
@@ -367,7 +483,7 @@ impl RouterHandler {
                 upstream.errors.fetch_add(1, Ordering::Relaxed);
                 if pooled_was_fresh || !retry {
                     // The failure happened on a connection we just
-                    // dialed, so the shard itself is unhealthy.
+                    // dialed, so the member itself is unhealthy.
                     if pooled_was_fresh {
                         upstream.mark_down(&self.config);
                     }
@@ -375,7 +491,7 @@ impl RouterHandler {
                 }
             }
         }
-        // The pooled connection was stale (typical after a shard
+        // The pooled connection was stale (typical after a member
         // restart): reconnect and retry the exchange once.
         upstream.reconnects.fetch_add(1, Ordering::Relaxed);
         let mut conn = match self.dial(upstream, user) {
@@ -401,17 +517,109 @@ impl RouterHandler {
         }
     }
 
+    /// Run a read exchange against `set`, starting at member `start`
+    /// and failing over through the remaining members before giving the
+    /// shard up as unavailable. A structured error reply ends the
+    /// attempt immediately — replicas are bit-identical, so every
+    /// member would answer the same error.
+    fn call_set_from<T>(
+        &self,
+        set: &ShardSet,
+        user: &UserHandle,
+        start: usize,
+        op: &mut dyn FnMut(&mut Connection) -> Result<T, ClientError>,
+    ) -> Result<T, ShardFailure> {
+        let n = set.members.len();
+        let mut last: Option<ShardFailure> = None;
+        for k in 0..n {
+            let member = &set.members[(start + k) % n];
+            match self.call_shard(member, user, true, op) {
+                Ok(value) => return Ok(value),
+                Err(ShardFailure::Server(e)) => return Err(ShardFailure::Server(e)),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("replica sets have at least one member"))
+    }
+
+    /// A read exchange against `set` starting at the round-robin cursor.
+    fn call_set_read<T>(
+        &self,
+        set: &ShardSet,
+        user: &UserHandle,
+        op: &mut dyn FnMut(&mut Connection) -> Result<T, ClientError>,
+    ) -> Result<T, ShardFailure> {
+        let start = set.next_read();
+        self.call_set_from(set, user, start, op)
+    }
+
+    /// Route one ingest to `set`'s writer — never retried there (a
+    /// retried ingest that half-landed would double-apply). If the
+    /// writer is unreachable on a fresh dial, promote the first healthy
+    /// replica over the wire, swap the writer pointer, and retry the
+    /// ingest exactly once on the new writer (the epoch cannot have
+    /// half-landed: the dead writer never committed it, and the manifest
+    /// commit point makes a torn segment invisible after the promotion's
+    /// recovery pass).
+    fn call_set_ingest(
+        &self,
+        set: &ShardSet,
+        user: &UserHandle,
+        epoch_start: u64,
+        records: &[concealer_core::Record],
+    ) -> Result<u64, ShardFailure> {
+        let writer_idx = set.writer.load(Ordering::Acquire);
+        let writer = &set.members[writer_idx];
+        let unavailable = match self.call_shard(writer, user, false, &mut |conn| {
+            conn.ingest_epoch(epoch_start, records)
+        }) {
+            Ok(rows) => return Ok(rows),
+            Err(ShardFailure::Server(e)) => return Err(ShardFailure::Server(e)),
+            Err(e) => e,
+        };
+        // A torn pooled stream alone is not death — the exchange's
+        // outcome is unknown and the writer may be fine. Only a failed
+        // *fresh dial* licenses promotion; if the writer still answers,
+        // surface the failure and let the operator (or the next ingest)
+        // decide.
+        if self.dial(writer, user).is_ok() {
+            return Err(unavailable);
+        }
+        // Mid-load failover: the writer is gone. Promotion re-opens the
+        // shared store as owner — no key material moves, and recovery
+        // truncates any segment the dead writer tore mid-write.
+        for k in 1..set.members.len() {
+            let idx = (writer_idx + k) % set.members.len();
+            let member = &set.members[idx];
+            match self.call_shard(member, user, false, &mut |conn| conn.promote()) {
+                Ok(_epochs_registered) => {
+                    set.writer.store(idx, Ordering::Release);
+                    return self.call_shard(member, user, false, &mut |conn| {
+                        conn.ingest_epoch(epoch_start, records)
+                    });
+                }
+                Err(ShardFailure::Server(e)) => return Err(ShardFailure::Server(e)),
+                Err(_) => continue,
+            }
+        }
+        Err(unavailable)
+    }
+
     /// Fan one pipelined exchange out to **every** shard: submit on all
     /// upstream connections first, then collect the replies — so the
     /// shards execute concurrently while the router worker blocks only
-    /// once per upstream, in shard order.
+    /// once per upstream, in shard order. Within each replica set the
+    /// round-robin cursor picks the member, so successive fans spread
+    /// reads across the set.
     ///
     /// Epoch ownership is hash-scattered across the slice space
     /// ([`shard_of_epoch`]), so any time range may touch any shard; the
     /// partition of work happens structurally, because each shard only
     /// holds (and therefore only executes) the epochs its slice owns.
-    /// A shard whose checked-out connection tears at submit or wait time
-    /// falls back to one sequential retry through [`Self::call_shard`].
+    /// A member whose checked-out connection tears at submit or wait
+    /// time falls back to a sequential retry through
+    /// [`Self::call_set_from`], which fails over to the set's other
+    /// members.
     fn fan<T>(
         &self,
         user: &UserHandle,
@@ -420,13 +628,15 @@ impl RouterHandler {
     ) -> Vec<Result<T, ShardFailure>> {
         let user_id = user.user_id.0;
         // Phase 1: put a request on the wire to every reachable shard.
-        let mut in_flight: Vec<Option<(Connection, Pending)>> = Vec::new();
-        for upstream in &self.upstreams {
-            let slot = match upstream.checkout(user_id) {
+        let mut in_flight: Vec<(usize, Option<(Connection, Pending)>)> = Vec::new();
+        for set in &self.sets {
+            let start = set.next_read();
+            let member = &set.members[start];
+            let slot = match member.checkout(user_id) {
                 Err(_) | Ok(None) => None, // backoff or no pooled conn: sequential path below
                 Ok(Some(mut conn)) => match submit(&mut conn) {
                     Ok(pending) => {
-                        upstream.requests_forwarded.fetch_add(1, Ordering::Relaxed);
+                        member.requests_forwarded.fetch_add(1, Ordering::Relaxed);
                         Some((conn, pending))
                     }
                     // Stale pooled stream: drop it; the sequential retry
@@ -434,33 +644,37 @@ impl RouterHandler {
                     Err(_) => None,
                 },
             };
-            in_flight.push(slot);
+            in_flight.push((start, slot));
         }
         // Phase 2: collect, falling back to a fresh sequential exchange
         // wherever phase 1 had nothing usable in flight.
-        self.upstreams
+        self.sets
             .iter()
             .zip(in_flight)
-            .map(|(upstream, slot)| match slot {
-                Some((mut conn, pending)) => match wait(&mut conn, pending) {
-                    Ok(value) => {
-                        upstream.checkin(user_id, conn);
-                        upstream.mark_up();
-                        Ok(value)
+            .map(|(set, (start, slot))| match slot {
+                Some((mut conn, pending)) => {
+                    let member = &set.members[start];
+                    match wait(&mut conn, pending) {
+                        Ok(value) => {
+                            member.checkin(user_id, conn);
+                            member.mark_up();
+                            Ok(value)
+                        }
+                        Err(ClientError::Server(e)) => Err(ShardFailure::Server(e)),
+                        Err(_) => {
+                            // The pipelined attempt tore mid-reply; retry
+                            // the whole exchange, failing over through the
+                            // set's other members.
+                            member.errors.fetch_add(1, Ordering::Relaxed);
+                            member.reconnects.fetch_add(1, Ordering::Relaxed);
+                            self.call_set_from(set, user, start, &mut |conn| {
+                                let pending = submit(conn)?;
+                                wait(conn, pending)
+                            })
+                        }
                     }
-                    Err(ClientError::Server(e)) => Err(ShardFailure::Server(e)),
-                    Err(_) => {
-                        // The pipelined attempt tore mid-reply; retry the
-                        // whole exchange once on a fresh connection.
-                        upstream.errors.fetch_add(1, Ordering::Relaxed);
-                        upstream.reconnects.fetch_add(1, Ordering::Relaxed);
-                        self.call_shard(upstream, user, false, &mut |conn| {
-                            let pending = submit(conn)?;
-                            wait(conn, pending)
-                        })
-                    }
-                },
-                None => self.call_shard(upstream, user, true, &mut |conn| {
+                }
+                None => self.call_set_from(set, user, start, &mut |conn| {
                     let pending = submit(conn)?;
                     wait(conn, pending)
                 }),
@@ -531,7 +745,7 @@ impl RouterHandler {
 
 impl ServeHandler for RouterHandler {
     /// Version-check locally, then authenticate the credential against
-    /// the first reachable shard — the router holds no credential store
+    /// the first reachable member — the router holds no credential store
     /// of its own, so upstream acceptance *is* the authentication.
     fn handshake(
         &self,
@@ -553,47 +767,50 @@ impl ServeHandler for RouterHandler {
             credential: concealer_core::Credential(credential),
         };
         let mut last_unreachable: Option<String> = None;
-        for upstream in &self.upstreams {
-            if upstream.in_backoff() {
-                last_unreachable = Some(format!(
-                    "shard {} ({}) backing off",
-                    upstream.index, upstream.addr
-                ));
-                continue;
-            }
-            upstream.requests_forwarded.fetch_add(1, Ordering::Relaxed);
-            match self.dial(upstream, &user) {
-                Ok(conn) => {
-                    let upstream_info = conn.server_info().clone();
-                    upstream.checkin(user_id, conn);
-                    upstream.mark_up();
-                    let info = ServerInfo {
-                        protocol_version: PROTOCOL_VERSION,
-                        server_name: self.config.router_name.clone(),
-                        backend: upstream_info.backend,
-                        max_batch: self.config.max_batch as u64,
-                        max_frame_len: DEFAULT_MAX_FRAME_LEN as u64,
-                        ingest_allowed: upstream_info.ingest_allowed,
-                    };
-                    return Ok((user, info));
+        for set in &self.sets {
+            for member in &set.members {
+                if member.in_backoff() {
+                    last_unreachable = Some(format!(
+                        "shard {} ({}) backing off",
+                        member.shard, member.addr
+                    ));
+                    continue;
                 }
-                Err(ClientError::Handshake(e)) => {
-                    // The shard answered and refused: the credential (or
-                    // version) is bad, and every shard shares the same
-                    // enclave registry — propagate instead of retrying.
-                    return Err(Response::Error {
-                        id: CONNECTION_LEVEL_ID,
-                        error: WireError::new(
-                            ErrorCode::AuthFailed,
-                            format!("upstream shard {} refused: {e}", upstream.index),
-                        ),
-                    });
-                }
-                Err(e) => {
-                    upstream.errors.fetch_add(1, Ordering::Relaxed);
-                    upstream.mark_down(&self.config);
-                    last_unreachable =
-                        Some(format!("shard {} ({}): {e}", upstream.index, upstream.addr));
+                member.requests_forwarded.fetch_add(1, Ordering::Relaxed);
+                match self.dial(member, &user) {
+                    Ok(conn) => {
+                        let upstream_info = conn.server_info().clone();
+                        member.checkin(user_id, conn);
+                        member.mark_up();
+                        let info = ServerInfo {
+                            protocol_version: PROTOCOL_VERSION,
+                            server_name: self.config.router_name.clone(),
+                            backend: upstream_info.backend,
+                            max_batch: self.config.max_batch as u64,
+                            max_frame_len: DEFAULT_MAX_FRAME_LEN as u64,
+                            ingest_allowed: upstream_info.ingest_allowed,
+                        };
+                        return Ok((user, info));
+                    }
+                    Err(ClientError::Handshake(e)) => {
+                        // The member answered and refused: the credential
+                        // (or version) is bad, and every member shares the
+                        // same enclave registry — propagate instead of
+                        // retrying.
+                        return Err(Response::Error {
+                            id: CONNECTION_LEVEL_ID,
+                            error: WireError::new(
+                                ErrorCode::AuthFailed,
+                                format!("upstream shard {} refused: {e}", member.shard),
+                            ),
+                        });
+                    }
+                    Err(e) => {
+                        member.errors.fetch_add(1, Ordering::Relaxed);
+                        member.mark_down(&self.config);
+                        last_unreachable =
+                            Some(format!("shard {} ({}): {e}", member.shard, member.addr));
+                    }
                 }
             }
         }
@@ -692,13 +909,11 @@ impl ServeHandler for RouterHandler {
                 records,
             } => {
                 // Epoch ownership is a partition: exactly one shard may
-                // take this epoch, so route there and never retry (a
-                // retried ingest that half-landed would double-apply).
-                let owner = shard_of_epoch(epoch_start, self.upstreams.len());
-                let upstream = &self.upstreams[owner];
-                match self.call_shard(upstream, user, false, &mut |conn| {
-                    conn.ingest_epoch(epoch_start, &records)
-                }) {
+                // take this epoch, so route there — and within the set,
+                // to the writer (with promote-on-death failover).
+                let owner = shard_of_epoch(epoch_start, self.sets.len());
+                let set = &self.sets[owner];
+                match self.call_set_ingest(set, user, epoch_start, &records) {
                     Ok(rows_stored) => Response::IngestOk {
                         id,
                         epoch_id: epoch_start,
@@ -711,15 +926,31 @@ impl ServeHandler for RouterHandler {
                     },
                 }
             }
+            Request::Promote { id } => {
+                // Promotion is member-addressed: the wire carries no way
+                // to say *which* member of *which* set should take over,
+                // and the router already promotes automatically when an
+                // ingest finds the writer dead. Operators doing a planned
+                // handover connect to the chosen replica directly (see
+                // OPERATIONS.md § "Planned writer handover").
+                Response::Error {
+                    id,
+                    error: WireError::new(
+                        ErrorCode::InvalidConfig,
+                        "the router does not forward Promote; connect directly to the replica \
+                         member that should become the writer",
+                    ),
+                }
+            }
             Request::Stats { id } => {
                 // Aggregate the backend profile across the deployment:
                 // counters sum, the security properties hold only if
-                // every slice upholds them.
+                // every slice upholds them. One member per set answers —
+                // replicas serve the same committed epochs, so any
+                // member's numbers stand for the shard.
                 let mut merged: Option<WireStats> = None;
-                for upstream in &self.upstreams {
-                    let stats = match self
-                        .call_shard(upstream, user, true, &mut |conn| conn.stats())
-                    {
+                for set in &self.sets {
+                    let stats = match self.call_set_read(set, user, &mut |conn| conn.stats()) {
                         Ok(stats) => stats,
                         Err(ShardFailure::Server(error)) => return Response::Error { id, error },
                         Err(ShardFailure::Unavailable(msg)) => {
@@ -761,7 +992,8 @@ impl ServeHandler for RouterHandler {
 
     /// The router presents itself as the whole map (`0/1`) and reports
     /// the probe-time union of its shards' epochs — a topology snapshot,
-    /// not a live inventory.
+    /// not a live inventory. It reports the writer role: clients route
+    /// ingest through it, and it is never itself a read replica.
     fn shard_info(&self, id: u64) -> Response {
         Response::ShardInfoOk {
             id,
@@ -770,6 +1002,8 @@ impl ServeHandler for RouterHandler {
                 shard_total: 1,
                 epoch_duration: self.epoch_duration,
                 epochs: self.probed_epochs.clone(),
+                role: ShardRole::Writer,
+                store_generation: self.probed_generation,
             },
         }
     }
@@ -779,15 +1013,20 @@ impl ServeHandler for RouterHandler {
             id,
             stats: RouterStats {
                 shards: self
-                    .upstreams
+                    .sets
                     .iter()
-                    .map(|u| ShardLoad {
-                        shard_index: u.index,
-                        addr: u.addr.clone(),
-                        requests_forwarded: u.requests_forwarded.load(Ordering::Relaxed),
-                        errors: u.errors.load(Ordering::Relaxed),
-                        reconnects: u.reconnects.load(Ordering::Relaxed),
-                        available: !u.in_backoff(),
+                    .flat_map(|set| {
+                        let writer = set.writer.load(Ordering::Acquire);
+                        set.members.iter().enumerate().map(move |(m, u)| ShardLoad {
+                            shard_index: u.shard,
+                            addr: u.addr.clone(),
+                            requests_forwarded: u.requests_forwarded.load(Ordering::Relaxed),
+                            errors: u.errors.load(Ordering::Relaxed),
+                            reconnects: u.reconnects.load(Ordering::Relaxed),
+                            available: !u.in_backoff(),
+                            member: u.member,
+                            writer: m == writer,
+                        })
                     })
                     .collect(),
             },
@@ -795,11 +1034,14 @@ impl ServeHandler for RouterHandler {
     }
 
     /// A wire shutdown at the router drains the whole deployment:
-    /// forward it to every shard (tolerating shards that are already
-    /// gone), then let the serving core drain the router itself.
+    /// forward it to every member of every set (tolerating members that
+    /// are already gone), then let the serving core drain the router
+    /// itself.
     fn on_wire_shutdown(&self, user: &UserHandle) {
-        for upstream in &self.upstreams {
-            let _ = self.call_shard(upstream, user, false, &mut |conn| conn.shutdown_server());
+        for set in &self.sets {
+            for member in &set.members {
+                let _ = self.call_shard(member, user, false, &mut |conn| conn.shutdown_server());
+            }
         }
     }
 }
@@ -877,13 +1119,41 @@ mod tests {
     }
 
     #[test]
+    fn split_members_drops_empty_segments() {
+        assert_eq!(
+            split_members("127.0.0.1:7000,127.0.0.1:7001"),
+            vec!["127.0.0.1:7000".to_string(), "127.0.0.1:7001".to_string()]
+        );
+        assert_eq!(
+            split_members(" 127.0.0.1:7000 , ,127.0.0.1:7001,"),
+            vec!["127.0.0.1:7000".to_string(), "127.0.0.1:7001".to_string()]
+        );
+        assert!(split_members(",,").is_empty());
+    }
+
+    #[test]
+    fn round_robin_cursor_cycles_members() {
+        let set = ShardSet {
+            members: vec![
+                Upstream::new(0, 0, "127.0.0.1:1".to_string()),
+                Upstream::new(0, 1, "127.0.0.1:2".to_string()),
+                Upstream::new(0, 2, "127.0.0.1:3".to_string()),
+            ],
+            writer: AtomicUsize::new(0),
+            rr: AtomicUsize::new(0),
+        };
+        let picks: Vec<usize> = (0..6).map(|_| set.next_read()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
     fn backoff_doubles_and_caps() {
         let config = RouterConfig {
             backoff_base: Duration::from_millis(100),
             backoff_max: Duration::from_millis(350),
             ..RouterConfig::default()
         };
-        let upstream = Upstream::new(0, "127.0.0.1:1".to_string());
+        let upstream = Upstream::new(0, 0, "127.0.0.1:1".to_string());
         assert!(!upstream.in_backoff());
         upstream.mark_down(&config);
         assert!(upstream.in_backoff());

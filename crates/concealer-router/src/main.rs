@@ -8,11 +8,15 @@
 //!                  [--max-connections N] [--max-in-flight N]
 //! ```
 //!
-//! `--shard-addr` must be given **in shard order**: the i-th address is
-//! the server started with `--shard i/N`. The startup probe refuses to
+//! `--shard-addr` must be given **in shard order**: the i-th entry
+//! names the server(s) started with `--shard i/N`. An entry may be a
+//! comma-separated replica-set member list
+//! (`writer:port,replica:port`); member roles are discovered from each
+//! member's `ShardInfo` at probe time. The startup probe refuses to
 //! serve on any shard-map disagreement (wrong total, wrong position,
-//! diverging epoch durations) — exit code 1 with a diagnostic, before
-//! the listener binds.
+//! diverging epoch durations, a set without exactly one writer) — exit
+//! code 1 with a diagnostic naming every disagreeing member, before the
+//! listener binds.
 //!
 //! The default mode is `event`: the router's work is mostly waiting on
 //! upstream sockets, so connections should cost file descriptors, not

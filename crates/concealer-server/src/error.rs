@@ -67,6 +67,10 @@ pub enum ErrorCode {
     /// is in reconnect backoff). The request may be retried; other slices
     /// keep serving.
     ShardUnavailable,
+    /// An ingest (or §6 rewrite) reached a read-only replica. Only the
+    /// replica set's writer mutates the shared store root; retry against
+    /// the writer, or promote this member first.
+    NotWriter,
 }
 
 impl ErrorCode {
@@ -96,6 +100,7 @@ impl ErrorCode {
             ErrorCode::Enclave => "enclave",
             ErrorCode::Internal => "internal",
             ErrorCode::ShardUnavailable => "shard_unavailable",
+            ErrorCode::NotWriter => "not_writer",
         }
     }
 }

@@ -22,7 +22,7 @@
 //!   [`FrameDecoder`](serde::frame::FrameDecoder); a request may arrive
 //!   split across any number of readiness events.
 //! * **Blocking handler work** — engine requests
-//!   (`Execute`/`ExecuteBatch`/partials/`IngestEpoch`/`Stats`) and
+//!   (`Execute`/`ExecuteBatch`/partials/`IngestEpoch`/`Promote`/`Stats`) and
 //!   `Hello` validation — is dispatched to a small worker pool and
 //!   completes out of order; cheap connection-level requests (`Goodbye`,
 //!   `Shutdown`, `ServeStats`, `ShardInfo`, `RouterStats`) are answered
@@ -476,6 +476,7 @@ impl EventLoop {
                 | Request::ExecutePartial { .. }
                 | Request::ExecuteBatchPartial { .. }
                 | Request::IngestEpoch { .. }
+                | Request::Promote { .. }
                 | Request::Stats { .. }),
             ) => {
                 if request.id() == CONNECTION_LEVEL_ID {

@@ -4,7 +4,7 @@
 //! ```text
 //! concealer-server [--mode threaded|event] [--port N] [--hours H] [--seed S]
 //!                  [--max-connections N] [--max-in-flight N] [--no-ingest]
-//!                  [--shard INDEX/TOTAL]
+//!                  [--shard INDEX/TOTAL] [--store PATH [--replica] [--refresh-ms N]]
 //! ```
 //!
 //! The deployment is `concealer_examples::demo_system(hours, seed)` —
@@ -13,6 +13,11 @@
 //! and the same oracle answers. The storage backend honors the
 //! `CONCEALER_TEST_BACKEND` harness hook (`memory` default, `disk` for
 //! the durable store), which is how the CI soak matrix runs both.
+//!
+//! `--store PATH` places the sealed epochs in a durable store rooted at
+//! `PATH` instead; with `--replica` the process joins `PATH`'s replica set
+//! read-only, absorbing the writer's committed epochs every `--refresh-ms`
+//! (default 200) until promoted over the wire.
 //!
 //! Prints exactly one `READY addr=… backend=… protocol=… mode=…` line on
 //! stdout once the listener is bound (what `ci/server-soak.sh` waits
@@ -38,6 +43,9 @@ struct Args {
     max_in_flight: usize,
     allow_ingest: bool,
     shard: Option<(u32, u32)>,
+    store: Option<std::path::PathBuf>,
+    replica: bool,
+    refresh_ms: u64,
 }
 
 /// Parse `--shard i/t` (e.g. `1/4`): this process owns epoch-hash slice
@@ -66,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
         max_in_flight: 8,
         allow_ingest: true,
         shard: None,
+        store: None,
+        replica: false,
+        refresh_ms: 200,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -86,11 +97,14 @@ fn parse_args() -> Result<Args, String> {
             "--max-in-flight" => args.max_in_flight = parse(&value("--max-in-flight")?)?,
             "--no-ingest" => args.allow_ingest = false,
             "--shard" => args.shard = Some(parse_shard(&value("--shard")?)?),
+            "--store" => args.store = Some(std::path::PathBuf::from(value("--store")?)),
+            "--replica" => args.replica = true,
+            "--refresh-ms" => args.refresh_ms = parse(&value("--refresh-ms")?)?,
             "--help" | "-h" => {
                 return Err(
                     "usage: concealer-server [--mode threaded|event] [--port N] [--hours H] \
                      [--seed S] [--max-connections N] [--max-in-flight N] [--no-ingest] \
-                     [--shard INDEX/TOTAL]"
+                     [--shard INDEX/TOTAL] [--store PATH [--replica] [--refresh-ms N]]"
                         .to_string(),
                 )
             }
@@ -100,6 +114,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.hours == 0 {
         return Err("--hours must be at least 1".to_string());
+    }
+    if args.replica && args.store.is_none() {
+        return Err("--replica requires --store PATH (the writer's store root)".to_string());
+    }
+    if args.refresh_ms == 0 {
+        return Err("--refresh-ms must be at least 1".to_string());
     }
     Ok(args)
 }
@@ -122,11 +142,18 @@ fn main() -> ExitCode {
         "concealer-server: building demo deployment (hours={}, seed={})",
         args.hours, args.seed
     );
-    let (system, user, records) = match args.shard {
-        Some((index, total)) => {
+    let (system, user, records) = match (&args.store, args.shard) {
+        (Some(root), shard) => concealer_examples::demo_system_replica(
+            args.hours,
+            args.seed,
+            shard,
+            root,
+            !args.replica,
+        ),
+        (None, Some((index, total))) => {
             concealer_examples::demo_system_sharded(args.hours, args.seed, index, total)
         }
-        None => concealer_examples::demo_system(args.hours, args.seed),
+        (None, None) => concealer_examples::demo_system(args.hours, args.seed),
     };
     let backend = system.store().backend_kind();
     eprintln!(
@@ -144,7 +171,8 @@ fn main() -> ExitCode {
         shard: args.shard,
         ..ServerConfig::default()
     };
-    let handle = match Server::new(Arc::new(system), config).spawn() {
+    let system = Arc::new(system);
+    let handle = match Server::new(Arc::clone(&system), config).spawn() {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("concealer-server: bind failed: {e}");
@@ -152,14 +180,41 @@ fn main() -> ExitCode {
         }
     };
 
+    // A replica's refresh loop: absorb the writer's newly committed epochs
+    // every tick. Runs until shutdown; after a wire promotion each tick is
+    // a cheap no-op (the store is no longer read-only).
+    let refresh_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let refresh_thread = args.replica.then(|| {
+        let system = Arc::clone(&system);
+        let stop = Arc::clone(&refresh_stop);
+        let tick = std::time::Duration::from_millis(args.refresh_ms);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                match system.refresh_epochs() {
+                    Ok(new_epochs) if !new_epochs.is_empty() => {
+                        eprintln!("concealer-server: replica absorbed epochs {new_epochs:?}");
+                    }
+                    Ok(_) => {}
+                    Err(e) => eprintln!("concealer-server: replica refresh failed: {e}"),
+                }
+                std::thread::sleep(tick);
+            }
+        })
+    });
+
     // The READY line is the machine-readable contract with ci/server-soak.sh
     // and any other launcher: one line, stdout, flushed before serving.
     let shard_suffix = args
         .shard
         .map(|(i, t)| format!(" shard={i}/{t}"))
         .unwrap_or_default();
+    let role_suffix = match (&args.store, args.replica) {
+        (None, _) => String::new(),
+        (Some(_), false) => " role=writer".to_string(),
+        (Some(_), true) => " role=replica".to_string(),
+    };
     println!(
-        "READY addr={} backend={backend} protocol={PROTOCOL_VERSION} mode={}{shard_suffix}",
+        "READY addr={} backend={backend} protocol={PROTOCOL_VERSION} mode={}{shard_suffix}{role_suffix}",
         handle.local_addr(),
         args.mode.name()
     );
@@ -167,6 +222,10 @@ fn main() -> ExitCode {
     let _ = std::io::stdout().flush();
 
     let report = handle.join();
+    refresh_stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(thread) = refresh_thread {
+        let _ = thread.join();
+    }
     if report.graceful {
         println!(
             "SHUTDOWN graceful connections={} requests={} busy_rejected={}",

@@ -51,10 +51,13 @@ use crate::error::WireError;
 /// version 2 appended the multi-node shard/router messages
 /// ([`Request::ShardInfo`], [`Request::ExecutePartial`],
 /// [`Request::ExecuteBatchPartial`], [`Request::RouterStats`] and their
-/// replies) plus the `shard_unavailable` error code. The canonical
-/// field-by-field layout of every message lives in `PROTOCOL.md` at the
-/// repository root.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// replies) plus the `shard_unavailable` error code; version 3 appended
+/// the replica-set extensions — [`ShardDescriptor`] grew `role` and
+/// `store_generation`, [`ShardLoad`] grew `member` and `writer`,
+/// [`Request::Promote`] / [`Response::PromoteOk`] and the `not_writer`
+/// error code were added. The canonical field-by-field layout of every
+/// message lives in `PROTOCOL.md` at the repository root.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Request id used for connection-level errors that cannot be attributed
 /// to a request (malformed frame, handshake refusal, admission rejection).
@@ -182,6 +185,15 @@ pub enum Request {
         /// Caller-chosen request id echoed in the reply (must be nonzero).
         id: u64,
     },
+    /// Promote this server's read-only replica store to writer (a reopen
+    /// of the shared durable root — no key material moves). The failover
+    /// half of replica sets: the router issues this to a surviving member
+    /// when the writer dies. Idempotent on a server that is already the
+    /// writer.
+    Promote {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+    },
 }
 
 impl Request {
@@ -200,7 +212,8 @@ impl Request {
             | Request::ShardInfo { id }
             | Request::ExecutePartial { id, .. }
             | Request::ExecuteBatchPartial { id, .. }
-            | Request::RouterStats { id } => *id,
+            | Request::RouterStats { id }
+            | Request::Promote { id } => *id,
         }
     }
 }
@@ -307,10 +320,25 @@ impl From<Result<QueryAnswer, concealer_core::CoreError>> for WireResult {
     }
 }
 
+/// A server's role within its shard's replica set (v3). Tagged by
+/// declaration index on the wire, like every protocol enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardRole {
+    /// Owns the durable store root: accepts ingest and §6 rewrites.
+    /// Single-process deployments and servers without a durable root are
+    /// writers too — a replica set of one.
+    Writer,
+    /// Follows the writer's store root read-only, absorbing committed
+    /// epochs on a refresh tick; refuses ingest with
+    /// [`crate::error::ErrorCode::NotWriter`] until promoted.
+    Replica,
+}
+
 /// The epoch slice one shard server owns, reported by
 /// [`Response::ShardInfoOk`]. The router probes every upstream at startup
 /// and refuses to serve when the shard map is inconsistent (index/total
-/// mismatch, missing slices, diverging epoch durations).
+/// mismatch, missing slices, diverging epoch durations, replica sets
+/// without exactly one writer).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardDescriptor {
     /// This server's shard index (0-based), or `0` when unsharded.
@@ -322,6 +350,12 @@ pub struct ShardDescriptor {
     pub epoch_duration: u64,
     /// The epoch ids (start times) this server currently holds, ascending.
     pub epochs: Vec<u64>,
+    /// This server's role in the shard's replica set (v3).
+    pub role: ShardRole,
+    /// The durable store's monotonic commit-point version (v3); `0` on
+    /// backends without one. Replica lag is the writer's value minus the
+    /// replica's.
+    pub store_generation: u64,
 }
 
 /// One epoch's contribution to a query answer on the wire — the
@@ -434,22 +468,30 @@ pub struct RouterStats {
     pub shards: Vec<ShardLoad>,
 }
 
-/// One upstream shard's load counters inside [`RouterStats`].
+/// One replica-set member's load counters inside [`RouterStats`]. Before
+/// v3 a shard had exactly one member; a v3 router reports one entry per
+/// member, ascending by `(shard_index, member)`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardLoad {
     /// The shard's index in the deployment.
     pub shard_index: u32,
-    /// The shard's upstream address, as configured on the router.
+    /// The member's upstream address, as configured on the router.
     pub addr: String,
-    /// Requests forwarded to this shard (auth probes included).
+    /// Requests forwarded to this member (auth probes included).
     pub requests_forwarded: u64,
     /// Forwards that failed (timeout, refused connection, wire error).
     pub errors: u64,
-    /// Times the router re-established this shard's connections.
+    /// Times the router re-established this member's connections.
     pub reconnects: u64,
-    /// Whether the shard was reachable at snapshot time (false while the
+    /// Whether the member was reachable at snapshot time (false while the
     /// router is backing off from a failed reconnect).
     pub available: bool,
+    /// The member's position within its shard's replica set (v3; 0-based,
+    /// configuration order).
+    pub member: u32,
+    /// Whether the router currently routes this shard's ingest to this
+    /// member (v3; moves on promotion).
+    pub writer: bool,
 }
 
 /// Server → client messages. Replies echo the request id. The threaded
@@ -544,6 +586,15 @@ pub enum Response {
         /// The router's per-shard forwarding counters.
         stats: RouterStats,
     },
+    /// Reply to [`Request::Promote`]: this server now owns its store root.
+    PromoteOk {
+        /// The echoed request id.
+        id: u64,
+        /// Epochs newly registered by the promotion's recovery pass (zero
+        /// when the refresh loop had already absorbed everything, or the
+        /// server was already the writer).
+        epochs_registered: u64,
+    },
 }
 
 impl Response {
@@ -563,7 +614,8 @@ impl Response {
             | Response::ShardInfoOk { id, .. }
             | Response::PartialAnswer { id, .. }
             | Response::BatchPartialAnswer { id, .. }
-            | Response::RouterStatsOk { id, .. } => *id,
+            | Response::RouterStatsOk { id, .. }
+            | Response::PromoteOk { id, .. } => *id,
         }
     }
 }
@@ -624,6 +676,7 @@ mod tests {
                 options: Some(ExecOptions::default()),
             },
             Request::RouterStats { id: 10 },
+            Request::Promote { id: 11 },
         ];
         for request in requests {
             assert_eq!(roundtrip(&request), request);
@@ -707,6 +760,8 @@ mod tests {
                     shard_total: 3,
                     epoch_duration: 7200,
                     epochs: vec![0, 14_400],
+                    role: ShardRole::Replica,
+                    store_generation: 12,
                 },
             },
             Response::PartialAnswer {
@@ -744,8 +799,14 @@ mod tests {
                         errors: 1,
                         reconnects: 2,
                         available: true,
+                        member: 1,
+                        writer: false,
                     }],
                 },
+            },
+            Response::PromoteOk {
+                id: 11,
+                epochs_registered: 3,
             },
         ];
         for response in responses {

@@ -787,6 +787,7 @@ fn dispatch(shared: &ServeShared<'_>, user: &UserHandle, request: Request) -> Ou
         | Request::ExecutePartial { id, .. }
         | Request::ExecuteBatchPartial { id, .. }
         | Request::IngestEpoch { id, .. }
+        | Request::Promote { id }
         | Request::Stats { id } => {
             if id == CONNECTION_LEVEL_ID {
                 return reserved_id();
@@ -916,6 +917,17 @@ pub(crate) fn execute_engine_request(
             epoch_start,
             records,
         } => {
+            // The replica check comes first: "you are talking to the wrong
+            // member" is more actionable than this server's ingest policy,
+            // and it is what the router keys failover on.
+            if system.store_read_only() {
+                return error_reply(
+                    id,
+                    ErrorCode::NotWriter,
+                    "this server is a read-only replica; ingest goes to the \
+                     shard's writer (or promote this member first)",
+                );
+            }
             if !config.allow_ingest {
                 return error_reply(
                     id,
@@ -959,6 +971,16 @@ pub(crate) fn execute_engine_request(
             id,
             stats: system.answer_stats().into(),
         },
+        Request::Promote { id } => match system.promote_to_writer() {
+            Ok(registered) => Response::PromoteOk {
+                id,
+                epochs_registered: registered.len() as u64,
+            },
+            Err(e) => Response::Error {
+                id,
+                error: WireError::from(&e),
+            },
+        },
         Request::Hello { .. }
         | Request::Goodbye
         | Request::Shutdown { .. }
@@ -975,11 +997,18 @@ pub(crate) fn execute_engine_request(
 /// whole map (`0/1`).
 pub(crate) fn shard_descriptor(system: &ConcealerSystem, config: &ServerConfig) -> ShardDescriptor {
     let (shard_index, shard_total) = config.shard.unwrap_or((0, 1));
+    let role = if system.store_read_only() {
+        crate::protocol::ShardRole::Replica
+    } else {
+        crate::protocol::ShardRole::Writer
+    };
     ShardDescriptor {
         shard_index,
         shard_total,
         epoch_duration: system.engine().config().epoch_duration,
         epochs: system.engine().registered_epochs(),
+        role,
+        store_generation: system.store().store_generation(),
     }
 }
 

@@ -156,6 +156,39 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
 
     /// Number of independently locked epoch shards.
     fn shard_count(&self) -> usize;
+
+    /// Whether this backend was opened as a read-only replica following
+    /// another process's store. Replicas refuse `put_epoch` /
+    /// `update_epoch` with [`StorageError::ReadOnly`] until
+    /// [`StorageBackend::promote`]d. Backends without a replica mode are
+    /// always writable.
+    fn read_only(&self) -> bool {
+        false
+    }
+
+    /// Re-scan durable state for epochs committed by another process
+    /// since open (the replica's watch over the writer's manifest).
+    /// Returns the epoch ids that became newly visible; backends without
+    /// shared durable state see nothing new, ever.
+    fn refresh(&self) -> Result<Vec<u64>> {
+        Ok(Vec::new())
+    }
+
+    /// Promote a read-only replica to writer: take ownership of the store
+    /// root (running the writer's recovery pass over it) and accept
+    /// mutations from now on. A no-op on backends that are already
+    /// writable.
+    fn promote(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// A monotonic commit-point version for the store (the durable
+    /// manifest's highest committed segment generation). Replica lag is
+    /// the difference between the writer's and the replica's values.
+    /// Backends without a durable commit point report 0.
+    fn store_generation(&self) -> u64 {
+        0
+    }
 }
 
 /// The default backend: epochs in a sharded in-process map, gone when the

@@ -45,7 +45,7 @@ impl Manifest {
         buf
     }
 
-    fn decode(bytes: &[u8]) -> Option<Manifest> {
+    pub(crate) fn decode(bytes: &[u8]) -> Option<Manifest> {
         let body_len = bytes.len().checked_sub(8)?;
         let (body, tail) = bytes.split_at(body_len);
         let checksum = u64::from_le_bytes(tail.try_into().ok()?);

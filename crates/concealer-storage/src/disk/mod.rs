@@ -33,6 +33,23 @@
 //! rewrites a segment consistently (valid frames, matching footer) is
 //! caught by the enclave's hash-chain verification at query time, exactly
 //! as with the in-memory store. Durability adds no new trust assumptions.
+//!
+//! # Replica mode
+//!
+//! [`DiskEpochStore::open_replica`] opens the same root *read-only* and
+//! non-destructively: it loads committed segments that parse completely,
+//! skips anything torn or in-flight (the writer may be mid-write; the next
+//! refresh retries), and never deletes files, truncates tails, or saves
+//! the manifest — the writer owns the root. [`StorageBackend::refresh`]
+//! re-reads `MANIFEST` (with a byte-fingerprint fast path, so an idle
+//! store costs one `read` per tick) and pulls in epochs committed since
+//! the last look; generation changes to epochs already resident — §6
+//! forward-private rewrites — do **not** replicate, matching the enclave's
+//! refusal to re-register rewritten epochs after a restart.
+//! [`StorageBackend::promote`] turns a replica into the writer by running
+//! the destructive recovery pass above over the root, after which writes
+//! are accepted; promotion moves no key material — it is exactly a store
+//! reopen.
 
 mod manifest;
 mod segment;
@@ -46,7 +63,7 @@ use segment::DecodeOutcome;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 const SEGMENT_DIR: &str = "segments";
 
@@ -60,11 +77,20 @@ const SEGMENT_DIR: &str = "segments";
 #[derive(Debug)]
 pub struct DiskEpochStore {
     root: PathBuf,
+    /// What the cache currently holds: epoch → the generation it was
+    /// loaded from. On the writer this mirrors the on-disk manifest; on a
+    /// replica it may lag it (and keeps the *loaded* generation when the
+    /// writer has since rewritten an epoch — rewrites do not replicate).
     cache: ShardedEpochs,
     manifest: Mutex<Manifest>,
     next_gen: AtomicU64,
     /// Scratch stores delete their root when the last handle drops.
     remove_root_on_drop: bool,
+    /// Replica mode: refuse writes until promoted.
+    read_only: AtomicBool,
+    /// fnv1a of the `MANIFEST` bytes last fully absorbed by `refresh`;
+    /// lets an idle replica's refresh tick return after one file read.
+    manifest_fingerprint: AtomicU64,
 }
 
 impl Drop for DiskEpochStore {
@@ -82,90 +108,39 @@ impl DiskEpochStore {
     /// removed.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
-        let seg_dir = root.join(SEGMENT_DIR);
-        fs::create_dir_all(&seg_dir).map_err(|e| io_err("create segment dir", &seg_dir, &e))?;
-
-        let mut manifest = Manifest::load(&root)?;
-        let mut manifest_dirty = false;
-        let mut max_gen = 0u64;
         let cache = ShardedEpochs::default();
-
-        // Every segment file present, committed or not.
-        let mut on_disk: Vec<(u64, u64, PathBuf)> = Vec::new();
-        let entries =
-            fs::read_dir(&seg_dir).map_err(|e| io_err("scan segment dir", &seg_dir, &e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| io_err("scan segment dir", &seg_dir, &e))?;
-            let path = entry.path();
-            let Some((epoch_id, generation)) = parse_segment_name(&path) else {
-                continue; // not ours; leave unknown files alone
-            };
-            max_gen = max_gen.max(generation);
-            on_disk.push((epoch_id, generation, path));
-        }
-
-        for (epoch_id, generation, path) in on_disk {
-            if manifest.entries.get(&epoch_id) != Some(&generation) {
-                // Uncommitted leftover (crash before manifest swap) or a
-                // superseded generation (crash before cleanup): the ingest
-                // or rewrite it belonged to was never acknowledged.
-                fs::remove_file(&path).map_err(|e| io_err("remove stale segment", &path, &e))?;
-                continue;
-            }
-            let bytes = fs::read(&path).map_err(|e| io_err("read segment", &path, &e))?;
-            match segment::decode(&bytes) {
-                DecodeOutcome::Complete {
-                    epoch_id: stored,
-                    epoch,
-                } if stored == epoch_id => {
-                    cache.shard(epoch_id).write().insert(epoch_id, epoch);
-                }
-                DecodeOutcome::Complete { .. } => {
-                    return Err(StorageError::Corrupt {
-                        path: path.display().to_string(),
-                        reason: "segment header epoch does not match its file name",
-                    });
-                }
-                DecodeOutcome::Torn { valid_len } => {
-                    // Truncate the torn tail; without a footer the epoch is
-                    // not servable, so it leaves the committed set.
-                    let f = fs::OpenOptions::new()
-                        .write(true)
-                        .open(&path)
-                        .map_err(|e| io_err("open torn segment", &path, &e))?;
-                    f.set_len(valid_len)
-                        .map_err(|e| io_err("truncate torn segment", &path, &e))?;
-                    f.sync_all()
-                        .map_err(|e| io_err("sync truncated segment", &path, &e))?;
-                    manifest.entries.remove(&epoch_id);
-                    manifest_dirty = true;
-                }
-            }
-        }
-
-        // Committed epochs whose segment file vanished entirely cannot be
-        // served either.
-        let missing: Vec<u64> = manifest
-            .entries
-            .iter()
-            .filter(|(epoch_id, _)| cache.with_epoch(**epoch_id, &mut |_| {}).is_err())
-            .map(|(epoch_id, _)| *epoch_id)
-            .collect();
-        for epoch_id in missing {
-            manifest.entries.remove(&epoch_id);
-            manifest_dirty = true;
-        }
-
-        if manifest_dirty {
-            manifest.save(&root)?;
-        }
+        let (manifest, max_gen) = recover(&root, &cache, &Manifest::default())?;
         Ok(DiskEpochStore {
             root,
             cache,
             manifest: Mutex::new(manifest),
             next_gen: AtomicU64::new(max_gen + 1),
             remove_root_on_drop: false,
+            read_only: AtomicBool::new(false),
+            manifest_fingerprint: AtomicU64::new(0),
         })
+    }
+
+    /// Open the store rooted at `root` as a *read-only replica* of another
+    /// process's writer. Non-destructive: committed segments that parse
+    /// completely are loaded, anything torn or in-flight is skipped (the
+    /// writer may be mid-write; the next [`StorageBackend::refresh`]
+    /// retries), and nothing on disk is created, deleted, truncated or
+    /// rewritten. Writes are refused with [`StorageError::ReadOnly`] until
+    /// [`StorageBackend::promote`] is called. A root the writer has not
+    /// initialized yet opens as an empty replica and fills in on refresh.
+    pub fn open_replica(root: impl Into<PathBuf>) -> Result<Self> {
+        let store = DiskEpochStore {
+            root: root.into(),
+            cache: ShardedEpochs::default(),
+            manifest: Mutex::new(Manifest::default()),
+            next_gen: AtomicU64::new(1),
+            remove_root_on_drop: false,
+            read_only: AtomicBool::new(true),
+            manifest_fingerprint: AtomicU64::new(0),
+        };
+        store.refresh()?;
+        Ok(store)
     }
 
     /// Open a *scratch* store: identical to [`DiskEpochStore::open`],
@@ -233,6 +208,15 @@ impl DiskEpochStore {
             let _ = fs::remove_file(self.segment_file(epoch_id, generation));
         }
     }
+
+    fn check_writable(&self) -> Result<()> {
+        if self.read_only.load(Ordering::Acquire) {
+            return Err(StorageError::ReadOnly {
+                path: self.root.display().to_string(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Parse `ep-<epoch>-g<gen>.seg`.
@@ -243,12 +227,108 @@ fn parse_segment_name(path: &Path) -> Option<(u64, u64)> {
     Some((epoch.parse().ok()?, generation.parse().ok()?))
 }
 
+/// The writer's destructive recovery pass, shared by [`DiskEpochStore::open`]
+/// and [`StorageBackend::promote`]: load committed epochs into `cache`,
+/// truncate torn tails (dropping those epochs from the committed set),
+/// delete uncommitted and superseded segment files, prune manifest entries
+/// whose segment vanished, and persist the manifest if it changed.
+///
+/// `loaded` names the epochs (and the generations) already resident in
+/// `cache` — empty on a fresh open; a promoting replica passes what it has
+/// absorbed so only changed or missing epochs are re-read. Returns the
+/// recovered manifest and the highest generation seen on disk.
+fn recover(root: &Path, cache: &ShardedEpochs, loaded: &Manifest) -> Result<(Manifest, u64)> {
+    let seg_dir = root.join(SEGMENT_DIR);
+    fs::create_dir_all(&seg_dir).map_err(|e| io_err("create segment dir", &seg_dir, &e))?;
+
+    let mut manifest = Manifest::load(root)?;
+    let mut manifest_dirty = false;
+    let mut max_gen = 0u64;
+
+    // Every segment file present, committed or not.
+    let mut on_disk: Vec<(u64, u64, PathBuf)> = Vec::new();
+    let entries = fs::read_dir(&seg_dir).map_err(|e| io_err("scan segment dir", &seg_dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("scan segment dir", &seg_dir, &e))?;
+        let path = entry.path();
+        let Some((epoch_id, generation)) = parse_segment_name(&path) else {
+            continue; // not ours; leave unknown files alone
+        };
+        max_gen = max_gen.max(generation);
+        on_disk.push((epoch_id, generation, path));
+    }
+
+    for (epoch_id, generation, path) in on_disk {
+        if manifest.entries.get(&epoch_id) != Some(&generation) {
+            // Uncommitted leftover (crash before manifest swap) or a
+            // superseded generation (crash before cleanup): the ingest
+            // or rewrite it belonged to was never acknowledged.
+            fs::remove_file(&path).map_err(|e| io_err("remove stale segment", &path, &e))?;
+            continue;
+        }
+        if loaded.entries.get(&epoch_id) == Some(&generation) {
+            continue; // already resident at exactly this generation
+        }
+        let bytes = fs::read(&path).map_err(|e| io_err("read segment", &path, &e))?;
+        match segment::decode(&bytes) {
+            DecodeOutcome::Complete {
+                epoch_id: stored,
+                epoch,
+            } if stored == epoch_id => {
+                cache.shard(epoch_id).write().insert(epoch_id, epoch);
+            }
+            DecodeOutcome::Complete { .. } => {
+                return Err(StorageError::Corrupt {
+                    path: path.display().to_string(),
+                    reason: "segment header epoch does not match its file name",
+                });
+            }
+            DecodeOutcome::Torn { valid_len } => {
+                // Truncate the torn tail; without a footer the epoch is
+                // not servable, so it leaves the committed set.
+                let f = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| io_err("open torn segment", &path, &e))?;
+                f.set_len(valid_len)
+                    .map_err(|e| io_err("truncate torn segment", &path, &e))?;
+                f.sync_all()
+                    .map_err(|e| io_err("sync truncated segment", &path, &e))?;
+                manifest.entries.remove(&epoch_id);
+                manifest_dirty = true;
+                // A promoting replica may hold a stale copy loaded from an
+                // older generation; a half-epoch must never serve bins.
+                cache.shard(epoch_id).write().remove(&epoch_id);
+            }
+        }
+    }
+
+    // Committed epochs whose segment file vanished entirely cannot be
+    // served either.
+    let missing: Vec<u64> = manifest
+        .entries
+        .iter()
+        .filter(|(epoch_id, _)| cache.with_epoch(**epoch_id, &mut |_| {}).is_err())
+        .map(|(epoch_id, _)| *epoch_id)
+        .collect();
+    for epoch_id in missing {
+        manifest.entries.remove(&epoch_id);
+        manifest_dirty = true;
+    }
+
+    if manifest_dirty {
+        manifest.save(root)?;
+    }
+    Ok((manifest, max_gen))
+}
+
 impl StorageBackend for DiskEpochStore {
     fn kind(&self) -> &'static str {
         "disk"
     }
 
     fn put_epoch(&self, epoch_id: u64, epoch: StoredEpoch) -> Result<()> {
+        self.check_writable()?;
         // Segment first; commit + cache insert under the shard lock so a
         // concurrent reader never sees a committed-but-uncached epoch.
         let generation = self.write_segment(epoch_id, &epoch)?;
@@ -270,6 +350,7 @@ impl StorageBackend for DiskEpochStore {
         epoch_id: u64,
         f: &mut dyn FnMut(&mut StoredEpoch) -> Result<()>,
     ) -> Result<()> {
+        self.check_writable()?;
         let shard = self.cache.shard(epoch_id);
         let mut guard = shard.write();
         let current = guard
@@ -301,6 +382,95 @@ impl StorageBackend for DiskEpochStore {
 
     fn shard_count(&self) -> usize {
         self.cache.shard_count()
+    }
+
+    fn read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    fn refresh(&self) -> Result<Vec<u64>> {
+        if !self.read_only.load(Ordering::Acquire) {
+            // The writer's own commits are already resident; nothing else
+            // may legally write this root.
+            return Ok(Vec::new());
+        }
+        let path = Manifest::path(&self.root);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            // Writer has not initialized the root yet; nothing to absorb.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err("read manifest", &path, &e)),
+        };
+        let fingerprint = segment::fnv1a(&bytes);
+        if fingerprint == self.manifest_fingerprint.load(Ordering::Acquire) {
+            return Ok(Vec::new()); // unchanged since last fully absorbed look
+        }
+        let disk_manifest = Manifest::decode(&bytes).ok_or_else(|| StorageError::Corrupt {
+            path: path.display().to_string(),
+            reason: "manifest checksum or framing mismatch",
+        })?;
+
+        let mut loaded = self.manifest.lock();
+        let mut new_epochs = Vec::new();
+        let mut fully_absorbed = true;
+        for (&epoch_id, &generation) in &disk_manifest.entries {
+            if loaded.entries.contains_key(&epoch_id) {
+                // Generation changes to resident epochs are §6 rewrites;
+                // they do not replicate (the enclave likewise refuses to
+                // re-register rewritten epochs after a restart).
+                continue;
+            }
+            let seg = self.segment_file(epoch_id, generation);
+            let Ok(seg_bytes) = fs::read(&seg) else {
+                // Racing the writer (supersede-delete or slow publish):
+                // leave the fingerprint stale so the next tick retries.
+                fully_absorbed = false;
+                continue;
+            };
+            match segment::decode(&seg_bytes) {
+                DecodeOutcome::Complete {
+                    epoch_id: stored,
+                    epoch,
+                } if stored == epoch_id => {
+                    self.cache.shard(epoch_id).write().insert(epoch_id, epoch);
+                    loaded.entries.insert(epoch_id, generation);
+                    new_epochs.push(epoch_id);
+                }
+                // Torn or mislabeled mid-write state: skip, retry next tick.
+                _ => fully_absorbed = false,
+            }
+        }
+        if fully_absorbed {
+            self.manifest_fingerprint
+                .store(fingerprint, Ordering::Release);
+        }
+        Ok(new_epochs)
+    }
+
+    fn promote(&self) -> Result<()> {
+        if !self.read_only.load(Ordering::Acquire) {
+            return Ok(()); // already the writer
+        }
+        // Serialize against refresh, then take ownership of the root by
+        // running the writer's destructive recovery pass over it. Epochs
+        // the replica already absorbed at the manifest's generation are
+        // trusted resident; changed or missing ones are (re)read.
+        let mut loaded = self.manifest.lock();
+        let (recovered, max_gen) = recover(&self.root, &self.cache, &loaded)?;
+        *loaded = recovered;
+        self.next_gen.store(max_gen + 1, Ordering::Release);
+        self.read_only.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    fn store_generation(&self) -> u64 {
+        self.manifest
+            .lock()
+            .entries
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -484,6 +654,153 @@ mod tests {
         let store = disk_store(&scratch.0);
         assert_eq!(store.epoch_ids(), vec![0]);
         assert!(!stray.exists(), "stray uncommitted segment must be removed");
+    }
+
+    #[test]
+    fn replica_follows_writer_commits_and_refuses_writes() {
+        let scratch = ScratchRoot::new("replica");
+        let writer = disk_store(&scratch.0);
+        writer
+            .ingest_epoch(0, sample_rows(20, 1), sample_meta(1))
+            .unwrap();
+
+        let replica = DiskEpochStore::open_replica(&scratch.0).unwrap();
+        assert!(StorageBackend::read_only(&replica));
+        assert_eq!(
+            replica.epoch_ids(),
+            vec![0],
+            "open_replica loads committed epochs"
+        );
+        assert_eq!(
+            replica.store_generation(),
+            writer.backend().store_generation()
+        );
+
+        // The writer commits another epoch; one refresh absorbs it.
+        writer
+            .ingest_epoch(3600, sample_rows(25, 2), sample_meta(2))
+            .unwrap();
+        assert_eq!(replica.refresh().unwrap(), vec![3600]);
+        assert_eq!(replica.epoch_ids(), vec![0, 3600]);
+        // Nothing changed: the fingerprint fast path reports nothing new.
+        assert_eq!(replica.refresh().unwrap(), Vec::<u64>::new());
+        // The replica serves the same bytes the writer does.
+        let mut rows = (0, 0);
+        replica
+            .with_epoch(3600, &mut |e| rows.0 = e.table.len())
+            .unwrap();
+        writer
+            .backend()
+            .with_epoch(3600, &mut |e| rows.1 = e.table.len())
+            .unwrap();
+        assert_eq!(rows.0, rows.1);
+
+        // Writes are refused until promotion.
+        let err = EpochStore::with_backend(Arc::new(replica)).ingest_epoch(
+            7200,
+            sample_rows(5, 3),
+            sample_meta(3),
+        );
+        assert!(matches!(err, Err(StorageError::ReadOnly { .. })));
+        // The writer is never read-only and its refresh is a no-op.
+        assert!(!writer.backend().read_only());
+        assert_eq!(writer.backend().refresh().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn rewrites_do_not_replicate_to_a_live_replica() {
+        let scratch = ScratchRoot::new("replica-rewrite");
+        let writer = disk_store(&scratch.0);
+        writer
+            .ingest_epoch(7, sample_rows(10, 3), sample_meta(3))
+            .unwrap();
+        let replica = DiskEpochStore::open_replica(&scratch.0).unwrap();
+        assert!(replica.with_epoch(7, &mut |_| {}).is_ok());
+
+        // A §6 rewrite bumps the epoch's generation on disk; the replica
+        // keeps serving the generation it absorbed.
+        writer
+            .rewrite_rows(7, vec![(vec![3, 0, 4], row(&[9, 9, 9], 0xEE))])
+            .unwrap();
+        assert_eq!(replica.refresh().unwrap(), Vec::<u64>::new());
+        let mut count = u64::MAX;
+        replica
+            .with_epoch(7, &mut |e| count = e.rewrite_count)
+            .unwrap();
+        assert_eq!(count, 0, "rewrites must not replicate");
+        assert!(replica.store_generation() < writer.backend().store_generation());
+    }
+
+    #[test]
+    fn promote_takes_ownership_and_enables_writes() {
+        let scratch = ScratchRoot::new("promote");
+        {
+            let writer = disk_store(&scratch.0);
+            writer
+                .ingest_epoch(0, sample_rows(20, 1), sample_meta(1))
+                .unwrap();
+            writer
+                .ingest_epoch(3600, sample_rows(25, 2), sample_meta(2))
+                .unwrap();
+        }
+        // Simulate the dead writer's crash leftover: a complete-looking
+        // segment file the manifest never committed.
+        let stray = scratch.0.join(SEGMENT_DIR).join("ep-9999-g77.seg");
+        fs::write(&stray, b"CSG1 not really a segment").unwrap();
+
+        let replica = Arc::new(DiskEpochStore::open_replica(&scratch.0).unwrap());
+        assert_eq!(replica.epoch_ids(), vec![0, 3600]);
+        assert!(stray.exists(), "replicas never delete the writer's files");
+
+        replica.promote().unwrap();
+        assert!(!StorageBackend::read_only(&*replica));
+        assert!(!stray.exists(), "promotion runs the writer's recovery pass");
+        // Promotion is idempotent and the store now accepts writes whose
+        // generations continue past everything already on disk.
+        replica.promote().unwrap();
+        let pre_gen = replica.store_generation();
+        let store = EpochStore::with_backend(replica);
+        store
+            .ingest_epoch(7200, sample_rows(5, 3), sample_meta(3))
+            .unwrap();
+        assert_eq!(store.epoch_ids(), vec![0, 3600, 7200]);
+        assert!(store.backend().store_generation() > pre_gen);
+        // The promoted store is a valid writer root: reopen recovers all.
+        drop(store);
+        let store = disk_store(&scratch.0);
+        assert_eq!(store.epoch_ids(), vec![0, 3600, 7200]);
+    }
+
+    #[test]
+    fn refresh_skips_inflight_segments_and_retries() {
+        let scratch = ScratchRoot::new("inflight");
+        let disk = Arc::new(DiskEpochStore::open(&scratch.0).unwrap());
+        let writer = EpochStore::with_backend(disk.clone());
+        writer
+            .ingest_epoch(0, sample_rows(10, 1), sample_meta(1))
+            .unwrap();
+        let replica = DiskEpochStore::open_replica(&scratch.0).unwrap();
+
+        // Commit an epoch, then hide its segment file: to the replica this
+        // looks like racing the writer mid-publish.
+        writer
+            .ingest_epoch(3600, sample_rows(10, 2), sample_meta(2))
+            .unwrap();
+        let seg = disk.segment_path(3600).unwrap();
+        let hidden = seg.with_extension("seg.hidden");
+        fs::rename(&seg, &hidden).unwrap();
+        assert_eq!(replica.refresh().unwrap(), Vec::<u64>::new());
+        assert_eq!(
+            replica.epoch_ids(),
+            vec![0],
+            "half-published epochs must not serve"
+        );
+
+        // Once the segment is visible, the next tick absorbs it even though
+        // the manifest bytes have not changed since the skipped look.
+        fs::rename(&hidden, &seg).unwrap();
+        assert_eq!(replica.refresh().unwrap(), vec![3600]);
+        assert_eq!(replica.epoch_ids(), vec![0, 3600]);
     }
 
     #[test]

@@ -141,6 +141,33 @@ impl EpochStore {
         self.backend.shard_count()
     }
 
+    /// Whether the backend was opened as a read-only replica (see
+    /// [`StorageBackend::read_only`]).
+    #[must_use]
+    pub fn read_only(&self) -> bool {
+        self.backend.read_only()
+    }
+
+    /// Pull in epochs committed to shared durable state by another process
+    /// since the last look; returns the newly visible epoch ids (see
+    /// [`StorageBackend::refresh`]).
+    pub fn refresh(&self) -> Result<Vec<u64>> {
+        self.backend.refresh()
+    }
+
+    /// Promote a read-only replica backend to writer (see
+    /// [`StorageBackend::promote`]).
+    pub fn promote(&self) -> Result<()> {
+        self.backend.promote()
+    }
+
+    /// The backend's monotonic durable commit-point version (see
+    /// [`StorageBackend::store_generation`]).
+    #[must_use]
+    pub fn store_generation(&self) -> u64 {
+        self.backend.store_generation()
+    }
+
     /// Ingest a new epoch shipment. Replaces any previous segment for the
     /// same epoch id (the paper never re-ships an epoch, but tests do).
     pub fn ingest_epoch(

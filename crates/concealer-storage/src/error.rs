@@ -47,6 +47,13 @@ pub enum StorageError {
         /// What was wrong with it.
         reason: &'static str,
     },
+    /// A write reached a backend opened in replica (read-only) mode. The
+    /// writer process owns the store root; replicas only ever `refresh`
+    /// from it until promoted.
+    ReadOnly {
+        /// The store root the replica follows.
+        path: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -68,6 +75,12 @@ impl fmt::Display for StorageError {
             }
             StorageError::Corrupt { path, reason } => {
                 write!(f, "corrupt storage file {path}: {reason}")
+            }
+            StorageError::ReadOnly { path } => {
+                write!(
+                    f,
+                    "store {path} is open as a read-only replica; only the writer may mutate it"
+                )
             }
         }
     }
@@ -113,5 +126,10 @@ mod tests {
         }
         .to_string()
         .contains("checksum mismatch"));
+        assert!(StorageError::ReadOnly {
+            path: "/var/lib/concealer".into()
+        }
+        .to_string()
+        .contains("read-only replica"));
     }
 }

@@ -6,6 +6,13 @@
 //! divergence), shard restart (reconnect, identical answers), and a
 //! router-initiated deployment-wide drain.
 //!
+//! The replica-set leg (bottom of the file) runs a 1-shard set of one
+//! writer plus one read replica on a shared durable store root: reads
+//! balance across members bit-identically, a replica kill fails over
+//! with zero divergence, and a **writer** kill triggers wire promotion
+//! (store re-open — no key material moves) with answers bit-identical
+//! across the failover.
+//!
 //! The fixture honors `CONCEALER_TEST_SERVER_MODE`, so the CI matrix
 //! reruns the suite with router and shards on the event core.
 
@@ -16,9 +23,11 @@ use std::time::{Duration, Instant};
 use concealer_bench::{server_request_mix, ServerRequest};
 use concealer_client::{ClientError, Connection};
 use concealer_core::{shard_of_epoch, Query, QueryAnswer, UserHandle};
-use concealer_examples::{demo_epoch_records, demo_system, demo_system_sharded, demo_workload};
+use concealer_examples::{
+    demo_epoch_records, demo_system, demo_system_replica, demo_system_sharded, demo_workload,
+};
 use concealer_router::{RouterConfig, RouterHandler};
-use concealer_server::protocol::ShardDescriptor;
+use concealer_server::protocol::{ShardDescriptor, ShardRole};
 use concealer_server::{
     ErrorCode, Request, Response, Server, ServerConfig, ServerHandle, CONNECTION_LEVEL_ID,
     PROTOCOL_VERSION,
@@ -390,13 +399,24 @@ fn shard_map_disagreement_is_refused_at_startup() {
         handles.push(handle);
     }
 
-    // Reversed order: shard 1 sits at position 0.
+    // Reversed order: shard 1 sits at position 0. The refusal names
+    // **every** disagreeing member and the map it reported, so one
+    // startup failure shows the whole mis-wiring.
     let err = RouterHandler::probe(RouterConfig {
         shards: vec![addrs[1].clone(), addrs[0].clone()],
         ..RouterConfig::default()
     })
     .unwrap_err();
-    assert!(err.to_string().contains("shard order"), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("shard order"), "{msg}");
+    assert!(
+        msg.contains(&addrs[0]) && msg.contains(&addrs[1]),
+        "disagreement must name every disagreeing shard: {msg}"
+    );
+    assert!(
+        msg.contains("reports slice 1/2") && msg.contains("reports slice 0/2"),
+        "disagreement must name each shard's reported map: {msg}"
+    );
 
     // Wrong total: a 2-shard deployment behind a 1-shard router config.
     let err = RouterHandler::probe(RouterConfig {
@@ -437,6 +457,8 @@ fn version_mismatch_upstream_surfaces_structurally() {
                                     shard_total: 1,
                                     epoch_duration: EPOCH,
                                     epochs: vec![0],
+                                    role: ShardRole::Writer,
+                                    store_generation: 0,
                                 },
                             },
                         )
@@ -485,4 +507,329 @@ fn version_mismatch_upstream_surfaces_structurally() {
 
     router.shutdown_and_join();
     fake.join().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Replica sets: one writer + one read replica sharing a durable store root.
+// ---------------------------------------------------------------------------
+
+/// A scratch store root under the system temp dir, removed on drop.
+struct TempRoot(std::path::PathBuf);
+
+impl TempRoot {
+    fn new(tag: &str) -> TempRoot {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "concealer-replica-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        TempRoot(path)
+    }
+}
+
+impl Drop for TempRoot {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Drive the replica's refresh path until it has absorbed `epoch` from
+/// the shared store (what the `--refresh-ms` loop does in the binary).
+fn absorb_until(replica: &concealer_core::ConcealerSystem, epoch: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        // Epochs already on disk at build time are registered by
+        // assembly itself; refresh picks up everything committed since.
+        replica.refresh_epochs().expect("replica refresh");
+        if replica.store().epoch_ids().contains(&epoch) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica never absorbed epoch {epoch}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Spawn a 1-shard replica set on `root`: a writer (which performs the
+/// demo ingest of epoch 0) and a read replica that has absorbed it, plus
+/// a router fronting the pair as one comma-separated member list.
+/// Returns the member systems too, so tests can drive the replica's
+/// refresh path deterministically.
+#[allow(clippy::type_complexity)]
+fn spawn_replicated_deployment(
+    root: &std::path::Path,
+    router_config: RouterConfig,
+) -> (
+    ServerHandle,
+    ServerHandle,
+    ServerHandle,
+    Arc<concealer_core::ConcealerSystem>,
+    UserHandle,
+) {
+    let (writer_system, user, _records) = demo_system_replica(HOURS, SEED, None, root, true);
+    let writer = Server::new(Arc::new(writer_system), ServerConfig::default())
+        .spawn()
+        .expect("bind writer");
+
+    let (replica_system, _user, _records) = demo_system_replica(HOURS, SEED, None, root, false);
+    let replica_system = Arc::new(replica_system);
+    absorb_until(&replica_system, 0);
+    let replica = Server::new(Arc::clone(&replica_system), ServerConfig::default())
+        .spawn()
+        .expect("bind replica");
+
+    let handler = RouterHandler::probe(RouterConfig {
+        shards: vec![format!("{},{}", writer.local_addr(), replica.local_addr())],
+        ..router_config
+    })
+    .expect("probe replica set");
+    let router = Server::with_handler(Arc::new(handler), ServerConfig::default())
+        .spawn()
+        .expect("bind router");
+    (writer, replica, router, replica_system, user)
+}
+
+/// Reads round-robin across the replica set: every answer is
+/// bit-identical to the single-process oracle, both members serve
+/// partials, and the router knows which member is the writer.
+#[test]
+fn replicated_reads_balance_across_members_bit_identically() {
+    let root = TempRoot::new("balance");
+    let (writer, replica, router, _replica_system, user) =
+        spawn_replicated_deployment(&root.0, RouterConfig::default());
+    let mut conn = Connection::connect_user(router.local_addr(), &user, "balanced").unwrap();
+    let (oracle_system, oracle_user) = oracle_with_extra_epochs(0);
+    let oracle = oracle_system.session(&oracle_user);
+
+    let workload = demo_workload(HOURS);
+    let mix = server_request_mix(&workload, SEED + 9, 16, 4);
+    for request in &mix {
+        match request {
+            ServerRequest::Query(query, options) => {
+                let got = conn.execute_with(query, *options).expect("routed query");
+                let want = oracle.execute_with(query, *options).expect("oracle");
+                assert_eq!(wire_bytes(&got), wire_bytes(&want));
+            }
+            ServerRequest::Batch(queries, options) => {
+                let got = conn
+                    .execute_batch_with(queries, *options)
+                    .expect("routed batch");
+                let want = oracle.clone().with_options(*options).execute_batch(queries);
+                for (g, w) in got.iter().zip(&want) {
+                    let g = g.as_ref().expect("routed batch entry");
+                    let w = w.as_ref().expect("oracle batch entry");
+                    assert_eq!(wire_bytes(g), wire_bytes(w));
+                }
+            }
+        }
+    }
+
+    // Both members carried read traffic, and the roles are visible.
+    let stats = conn.router_stats().expect("router stats");
+    assert_eq!(stats.shards.len(), 2, "one ShardLoad per member");
+    let mut writers = 0;
+    for load in &stats.shards {
+        assert_eq!(load.shard_index, 0);
+        assert!(
+            load.requests_forwarded > 0,
+            "member {} ({}) never served",
+            load.member,
+            load.addr
+        );
+        if load.writer {
+            writers += 1;
+            assert_eq!(load.member, 0, "probe found the writer at member 0");
+        }
+    }
+    assert_eq!(writers, 1, "exactly one writer per set");
+
+    conn.close().unwrap();
+    router.shutdown_and_join();
+    writer.shutdown_and_join();
+    replica.shutdown_and_join();
+}
+
+/// Kill the read replica mid-load: reads fail over to the writer with
+/// no divergence and no unstructured failure — and after the replica
+/// rejoins on the same address, the router resumes using it.
+#[test]
+fn replica_kill_mid_load_fails_over_and_recovers() {
+    let root = TempRoot::new("replica-kill");
+    let (writer, replica, router, replica_system, user) = spawn_replicated_deployment(
+        &root.0,
+        RouterConfig {
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(500),
+            ..RouterConfig::default()
+        },
+    );
+    let mut conn = Connection::connect_user(router.local_addr(), &user, "replica-kill").unwrap();
+    let query = Query::count().at_dims([4]).between(0, EPOCH - 1);
+    let before = wire_bytes(&conn.execute(&query).expect("pre-kill query"));
+
+    // Kill the replica out from under the router.
+    let replica_addr = replica.local_addr();
+    drop(replica_system);
+    replica.shutdown_and_join();
+
+    // Reads keep being served (by the writer): bit-identical, with at
+    // worst a structured shard_unavailable while the router notices.
+    let mut served = 0;
+    for _ in 0..10 {
+        match conn.execute(&query) {
+            Ok(answer) => {
+                assert_eq!(wire_bytes(&answer), before, "failover answer diverged");
+                served += 1;
+            }
+            Err(ClientError::Server(ref e)) if e.code == ErrorCode::ShardUnavailable => {}
+            Err(other) => panic!("only structured errors are acceptable: {other:?}"),
+        }
+    }
+    assert!(served > 0, "no read survived the replica kill");
+
+    // Rejoin: a fresh replica on the same address re-absorbs the store.
+    let (rejoined_system, _user, _records) = demo_system_replica(HOURS, SEED, None, &root.0, false);
+    let rejoined_system = Arc::new(rejoined_system);
+    absorb_until(&rejoined_system, 0);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let rejoined = loop {
+        match Server::new(
+            Arc::clone(&rejoined_system),
+            ServerConfig {
+                bind: SocketAddr::from(([127, 0, 0, 1], replica_addr.port())),
+                ..ServerConfig::default()
+            },
+        )
+        .spawn()
+        {
+            Ok(handle) => break handle,
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("rebind pending: {e}");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => panic!("could not rebind replica address: {e}"),
+        }
+    };
+
+    // The router reconnects (round-robin lands on the rejoined member
+    // again once its backoff expires) and answers stay bit-identical.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let answer = conn.execute(&query).expect("post-rejoin query");
+        assert_eq!(wire_bytes(&answer), before, "post-rejoin answer diverged");
+        let stats = conn.router_stats().expect("router stats");
+        let member1 = stats
+            .shards
+            .iter()
+            .find(|l| l.member == 1)
+            .expect("member 1 listed");
+        if member1.available {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router never took the rejoined replica back"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    conn.close().unwrap();
+    router.shutdown_and_join();
+    writer.shutdown_and_join();
+    rejoined.shutdown_and_join();
+}
+
+/// Kill the **writer** mid-deployment: the next routed ingest promotes
+/// the replica over the wire (store re-open, no key material moves),
+/// lands on the new writer, and answers before and after the promotion
+/// are bit-identical — zero divergence across the failover.
+#[test]
+fn writer_kill_promotes_replica_with_zero_divergence() {
+    let root = TempRoot::new("writer-kill");
+    let (writer, replica, router, replica_system, user) = spawn_replicated_deployment(
+        &root.0,
+        RouterConfig {
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(500),
+            ..RouterConfig::default()
+        },
+    );
+    let mut conn = Connection::connect_user(router.local_addr(), &user, "writer-kill").unwrap();
+
+    // Routed ingest of epoch 1 lands on the writer; the replica absorbs
+    // it through the shared store before serving reads that touch it.
+    let records = demo_epoch_records(HOURS, SEED, EPOCH);
+    assert!(conn.ingest_epoch(EPOCH, &records).expect("routed ingest") > 0);
+    absorb_until(&replica_system, EPOCH);
+
+    let spanning = Query::count().at_dims([4]).between(0, 2 * EPOCH - 1);
+    let before = wire_bytes(&conn.execute(&spanning).expect("pre-kill query"));
+
+    // Kill the writer. Its store handle dies with it; the replica (and
+    // the shared root) live on.
+    writer.shutdown_and_join();
+
+    // The next ingest finds the writer dead, promotes the replica over
+    // the wire, and lands there — one structured round, no divergence.
+    let records = demo_epoch_records(HOURS, SEED, 2 * EPOCH);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match conn.ingest_epoch(2 * EPOCH, &records) {
+            Ok(rows) => {
+                assert!(rows > 0);
+                break;
+            }
+            Err(ClientError::Server(ref e)) if e.code == ErrorCode::ShardUnavailable => {
+                assert!(
+                    Instant::now() < deadline,
+                    "ingest never failed over to the promoted replica"
+                );
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(other) => panic!("only structured errors are acceptable: {other:?}"),
+        }
+    }
+
+    // The promotion is visible in the router's accounting…
+    let stats = conn.router_stats().expect("router stats");
+    let promoted = stats
+        .shards
+        .iter()
+        .find(|l| l.member == 1)
+        .expect("member 1 listed");
+    assert!(
+        promoted.writer,
+        "member 1 must be the writer after failover"
+    );
+    let demoted = stats
+        .shards
+        .iter()
+        .find(|l| l.member == 0)
+        .expect("member 0 listed");
+    assert!(!demoted.writer, "the dead member cannot stay writer");
+
+    // …and invisible in the answers: pre-kill bytes replay identically,
+    // and the post-promotion ingest serves alongside the old epochs
+    // exactly like a single process that ingested all three.
+    assert_eq!(
+        wire_bytes(&conn.execute(&spanning).expect("post-promotion query")),
+        before,
+        "answers diverged across the failover"
+    );
+    let (oracle_system, oracle_user) = oracle_with_extra_epochs(2);
+    let oracle = oracle_system.session(&oracle_user);
+    let full = Query::count().at_dims([4]).between(0, 3 * EPOCH - 1);
+    let got = conn.execute(&full).expect("spanning query");
+    let want = oracle.execute(&full).expect("oracle spanning");
+    assert_eq!(wire_bytes(&got), wire_bytes(&want));
+    assert_eq!(got.epochs_touched as u64, 3);
+
+    conn.close().unwrap();
+    router.shutdown_and_join();
+    replica.shutdown_and_join();
 }
