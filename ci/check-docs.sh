@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Offline documentation checker, run by the lint-ci job.
 #
-# Two gates over the repository's markdown:
+# Three gates over the repository's markdown:
 #
 #  1. Link check — every relative link target in every tracked *.md file
 #     must exist, and every `#fragment` (same-file or cross-file into a
@@ -16,6 +16,13 @@
 #     the compiler keeps exhaustive and in declaration order): same names,
 #     same order, tags numbered 0..N-1 — so the spec cannot silently fall
 #     behind the enum that defines the wire format.
+#
+#  3. Attestation drift guard — the constants the attestation docs quote
+#     must match the source of truth: every PROTOCOL.md / OPERATIONS.md
+#     mention of `DEFAULT_MAX_QUOTE_AGE_SECS` must carry the value from
+#     crates/concealer-client/src/lib.rs, and PROTOCOL.md must quote the
+#     measurement domain string from
+#     crates/concealer-enclave/src/attest.rs verbatim.
 #
 # Exit codes: 0 all checks pass, 1 broken link / anchor / drift,
 # 2 usage error (missing directory or no markdown files).
@@ -145,6 +152,35 @@ if [ -f "$spec" ] && [ -f "$enum" ]; then
     elif ! diff -u "$tmp/code" "$tmp/table" >"$tmp/diff" 2>&1; then
         fail "PROTOCOL.md error-code registry drifted from ErrorCode (expected vs table):"
         cat "$tmp/diff" >&2
+    fi
+fi
+
+# --- attestation drift guard -----------------------------------------------
+
+client="$root/crates/concealer-client/src/lib.rs"
+attest_src="$root/crates/concealer-enclave/src/attest.rs"
+if [ -f "$spec" ] && [ -f "$client" ]; then
+    src_age=$(sed -n 's/^pub const DEFAULT_MAX_QUOTE_AGE_SECS: u64 = \([0-9][0-9]*\);.*/\1/p' "$client")
+    if [ -z "$src_age" ]; then
+        fail "drift guard: DEFAULT_MAX_QUOTE_AGE_SECS not found in $client"
+    else
+        for doc in PROTOCOL.md OPERATIONS.md; do
+            [ -f "$root/$doc" ] || continue
+            if ! grep -q 'DEFAULT_MAX_QUOTE_AGE_SECS' "$root/$doc"; then
+                fail "$doc: never states the default quote-age bound (DEFAULT_MAX_QUOTE_AGE_SECS)"
+            elif grep 'DEFAULT_MAX_QUOTE_AGE_SECS' "$root/$doc" |
+                grep -Eqv "DEFAULT_MAX_QUOTE_AGE_SECS[^0-9]*${src_age}([^0-9]|\$)"; then
+                fail "$doc: quote-age bound drifted from DEFAULT_MAX_QUOTE_AGE_SECS = $src_age"
+            fi
+        done
+    fi
+fi
+if [ -f "$spec" ] && [ -f "$attest_src" ]; then
+    domain=$(sed -n 's/^pub const MEASUREMENT_DOMAIN: &str = "\([^"]*\)";.*/\1/p' "$attest_src")
+    if [ -z "$domain" ]; then
+        fail "drift guard: MEASUREMENT_DOMAIN not found in $attest_src"
+    elif ! grep -qF "$domain" "$spec"; then
+        fail "PROTOCOL.md: never quotes the measurement domain string ($domain)"
     fi
 fi
 

@@ -37,6 +37,17 @@
 # counters (member index + writer flag), and the router plus every
 # replica still drain to a graceful SHUTDOWN.
 #
+# With SOAK_ROTATE=1 the single-node soak additionally rotates the
+# master-key generation online mid-load: the server runs on a durable
+# store (rotation needs a key vault to re-wrap) with
+# --rotate-after-ms ${SOAK_ROTATE_AFTER_MS:-500}, and the gate requires
+# both the load generator's usual zero-divergence exit 0 AND a
+# `ROTATION generation=G epochs=E` line with G >= 1 and E >= 1 on the
+# server's stdout — proving the vault re-wrapped under live query load
+# with bit-identical answers throughout (OPERATIONS.md § "Master-key
+# rotation"). The default request count is raised so release binaries
+# don't finish before the rotation fires; SOAK_REQUESTS still overrides.
+#
 # Exit codes: 0 soak clean, 1 divergence / client error / non-graceful
 # shutdown / concurrency floor missed, 2 binaries missing.
 #
@@ -54,11 +65,22 @@ REQUESTS="${SOAK_REQUESTS:-36}"
 MODE="${SOAK_MODE:-threaded}"
 ROUTER_SHARDS="${SOAK_ROUTER_SHARDS:-0}"
 REPLICAS="${SOAK_REPLICAS:-0}"
+ROTATE="${SOAK_ROTATE:-0}"
 script_dir=$(dirname "$0")
 
 if [ "$ROUTER_SHARDS" -gt 0 ] && [ "$REPLICAS" -gt 0 ]; then
     echo "error: SOAK_ROUTER_SHARDS and SOAK_REPLICAS are mutually exclusive" >&2
     exit 2
+fi
+if [ "$ROTATE" = "1" ] && { [ "$ROUTER_SHARDS" -gt 0 ] || [ "$REPLICAS" -gt 0 ]; }; then
+    echo "error: SOAK_ROTATE applies to the single-node soak only" >&2
+    exit 2
+fi
+if [ "$ROTATE" = "1" ]; then
+    # A rotation under load needs enough load to still be running when the
+    # rotation fires; release binaries burn the threaded default in well
+    # under the fire delay.
+    REQUESTS="${SOAK_REQUESTS:-200}"
 fi
 
 case "$MODE" in
@@ -460,14 +482,27 @@ fi
 server_out=$(mktemp)
 server_err=$(mktemp)
 server_pid=""
+rotate_store=""
 
 cleanup() {
     if [ -n "$server_pid" ]; then
         kill "$server_pid" 2>/dev/null || true
     fi
     rm -f "$server_out" "$server_err"
+    if [ -n "$rotate_store" ]; then
+        rm -rf "$rotate_store"
+    fi
 }
 trap cleanup EXIT INT TERM
+
+# Rotation leg: a durable store (the key vault lives in its manifest —
+# the in-memory backend has nothing to re-wrap) plus the online-rotation
+# hook. The fire delay lands the rotation inside the load window.
+rotate_flags=""
+if [ "$ROTATE" = "1" ]; then
+    rotate_store=$(mktemp -d)
+    rotate_flags="--store $rotate_store/root --rotate-after-ms ${SOAK_ROTATE_AFTER_MS:-500}"
+fi
 
 # The connection cap must clear the idle pool plus the query clients plus
 # probe headroom; the threaded default (16) only applies with no pool.
@@ -476,8 +511,10 @@ if [ "$IDLE" -eq 0 ]; then
     max_connections=16
 fi
 
+# shellcheck disable=SC2086
 "$SERVER_BIN" --mode "$MODE" --hours "$HOURS" --seed "$SEED" \
-    --max-connections "$max_connections" >"$server_out" 2>"$server_err" &
+    --max-connections "$max_connections" $rotate_flags \
+    >"$server_out" 2>"$server_err" &
 server_pid=$!
 
 # Wait (up to ~60 s) for the READY line; the server builds and ingests the
@@ -533,6 +570,25 @@ if ! grep -q '^SHUTDOWN graceful' "$server_out"; then
     echo "error: server exited without reporting a graceful shutdown" >&2
     cat "$server_out" >&2
     exit 1
+fi
+
+# The rotation gate: the load above already proved zero divergence; here
+# the rotation itself must have completed — generation bumped, at least
+# one vault entry re-wrapped — while the server was serving.
+if [ "$ROTATE" = "1" ]; then
+    rotation=$(sed -n 's/^ROTATION generation=\([0-9][0-9]*\) epochs=\([0-9][0-9]*\)$/\1 \2/p' "$server_out" | head -n 1)
+    if [ -z "$rotation" ]; then
+        echo "error: SOAK_ROTATE=1 but the server never printed a ROTATION line" >&2
+        cat "$server_out" >&2
+        exit 1
+    fi
+    rot_generation=${rotation%% *}
+    rot_epochs=${rotation##* }
+    if [ "$rot_generation" -lt 1 ] || [ "$rot_epochs" -lt 1 ]; then
+        echo "error: rotation did not move the vault (generation=$rot_generation epochs=$rot_epochs)" >&2
+        exit 1
+    fi
+    echo "soak: master key rotated online to generation $rot_generation ($rot_epochs vault entries re-wrapped) under live load"
 fi
 
 # Validate the v2 summary schema; with an idle pool, also gate the

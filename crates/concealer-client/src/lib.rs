@@ -1,12 +1,14 @@
 //! Blocking client for the Concealer wire protocol.
 //!
-//! A [`Connection`] wraps one TCP stream: it performs the versioned
-//! hello/auth handshake on connect, then exposes the batched query
-//! surface — [`Connection::execute`], [`Connection::execute_batch`],
-//! [`Connection::ingest_epoch`], [`Connection::stats`] — plus *pipelined*
-//! submission ([`Connection::submit_batch`] / [`Connection::wait_batch`])
-//! that keeps several batches in flight on one connection without waiting
-//! for each reply.
+//! [`ClientBuilder`] is the connection surface: it resolves the address,
+//! runs the protocol-v4 attestation exchange against the client's
+//! [`TrustPolicy`], then the versioned hello/auth handshake, and produces
+//! a [`Session`]. The session exposes the batched query surface —
+//! [`Session::execute`], [`Session::execute_batch`],
+//! [`Session::ingest_epoch`], [`Session::stats`] — plus *pipelined*
+//! submission ([`Session::submit_batch`] / [`Session::wait_batch`]) that
+//! keeps several batches in flight on one connection without waiting for
+//! each reply.
 //!
 //! Replies arrive in request order per connection (a protocol guarantee),
 //! but `wait_batch` matches on request ids and parks out-of-order replies,
@@ -14,34 +16,43 @@
 //!
 //! The wire is part of Concealer's **untrusted zone**: a client trusts the
 //! answers because they carry the enclave's verification metadata
-//! (`QueryAnswer::verified`), not because it trusts the transport. The
-//! canonical frame-and-message specification this client implements is
-//! `PROTOCOL.md` at the repository root; a connection works identically
-//! against a single `concealer-server` or a `concealer-router` fronting
-//! an epoch-sharded deployment.
+//! (`QueryAnswer::verified`) — and, since protocol v4, because it refused
+//! to hand its credential to any enclave whose signed quote failed the
+//! trust policy. The canonical frame-and-message specification this
+//! client implements is `PROTOCOL.md` at the repository root; a session
+//! works identically against a single `concealer-server` or a
+//! `concealer-router` fronting an epoch-sharded deployment.
 //!
 //! ```no_run
-//! use concealer_client::Connection;
+//! use concealer_client::ClientBuilder;
 //! use concealer_core::Query;
 //!
-//! let mut conn = Connection::connect("127.0.0.1:7171", 7, [0u8; 32], "quickstart")?;
-//! let answer = conn.execute(&Query::count().at_dims([3]).between(0, 1_799))?;
+//! let mut session = ClientBuilder::new("127.0.0.1:7171")
+//!     .credential(7, [0u8; 32])
+//!     .client_name("quickstart")
+//!     .connect()?;
+//! let answer = session.execute(&Query::count().at_dims([3]).between(0, 1_799))?;
 //! println!("count = {:?} (verified: {})", answer.value, answer.verified);
-//! conn.close()?;
+//! session.close()?;
 //! # Ok::<(), concealer_client::ClientError>(())
 //! ```
+//!
+//! The pre-v4 surface (`Connection::connect` and friends) still compiles
+//! as thin `#[deprecated]` shims over the builder; `MIGRATION.md` at the
+//! repository root maps every old call site to its replacement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use concealer_core::{ExecOptions, Query, QueryAnswer, Record, UserHandle};
 use concealer_server::protocol::{
-    Request, Response, RouterStats, ServerInfo, ShardDescriptor, WirePartial, CONNECTION_LEVEL_ID,
-    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    Request, Response, RouterStats, ServerInfo, ShardDescriptor, WirePartial, WireQuote,
+    CONNECTION_LEVEL_ID, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use concealer_server::{ServeStats, WireError};
 use serde::frame::{read_frame, write_frame, FrameError};
@@ -62,10 +73,15 @@ pub enum ClientError {
     /// The server answered with the wrong reply shape or id.
     Protocol(String),
     /// A configured connect/read/write timeout elapsed
-    /// ([`ConnectOptions`]). A timeout mid-reply leaves the stream
-    /// misaligned on a partial frame, so the connection should be
-    /// dropped, not retried.
+    /// ([`ClientBuilder::connect_timeout`] and friends). A timeout
+    /// mid-reply leaves the stream misaligned on a partial frame, so the
+    /// connection should be dropped, not retried.
     TimedOut,
+    /// The attestation exchange failed the client's [`TrustPolicy`]: the
+    /// server refused the challenge, a quote's signature or nonce echo was
+    /// wrong, a quote was too old, or its measurement is not an accepted
+    /// one. No credential was sent.
+    Attestation(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -78,6 +94,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Server(e) => write!(f, "server error: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
             ClientError::TimedOut => write!(f, "operation timed out"),
+            ClientError::Attestation(e) => write!(f, "attestation failed: {e}"),
         }
     }
 }
@@ -116,10 +133,144 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-/// Connection-establishment options for
-/// [`Connection::connect_with_options`]: every field `None` (the
-/// [`Default`]) reproduces plain [`Connection::connect`] — block
-/// indefinitely on the OS defaults.
+/// Default bound on how old a quote's timestamp may be (seconds, either
+/// direction — covers modest clock skew). Documented in `PROTOCOL.md`;
+/// `ci/check-docs.sh` guards the two against drifting apart.
+pub const DEFAULT_MAX_QUOTE_AGE_SECS: u64 = 300;
+
+/// What the client requires of the enclave quotes it receives before it
+/// will send its credential.
+///
+/// The default policy *requires* attestation: quotes must be present,
+/// signature-valid under the attestation root key, echo the client's
+/// nonce, and be no older than [`DEFAULT_MAX_QUOTE_AGE_SECS`]. Pinning
+/// specific measurements is opt-in via
+/// [`TrustPolicy::accepted_measurements`].
+#[derive(Debug, Clone)]
+pub struct TrustPolicy {
+    /// Accepted enclave measurements. Empty (the default) accepts any
+    /// validly signed quote — signature, nonce echo and freshness are
+    /// still enforced; non-empty additionally requires every quote's
+    /// measurement to appear in this list (how an operator pins the exact
+    /// enclave build fleet-wide).
+    pub accepted_measurements: Vec<[u8; 32]>,
+    /// Maximum age of a quote's timestamp, in either direction (allows
+    /// modest clock skew between client and server).
+    pub max_quote_age: Duration,
+    /// Escape hatch: skip quote verification entirely. The attestation
+    /// round still runs — v4 servers refuse `Hello` without it — but the
+    /// quotes are accepted unexamined. For untrusted intermediaries (the
+    /// router's keyless upstream face) and explicitly opted-out tooling
+    /// only; never the default.
+    pub allow_unattested: bool,
+}
+
+impl Default for TrustPolicy {
+    fn default() -> Self {
+        TrustPolicy {
+            accepted_measurements: Vec::new(),
+            max_quote_age: Duration::from_secs(DEFAULT_MAX_QUOTE_AGE_SECS),
+            allow_unattested: false,
+        }
+    }
+}
+
+impl TrustPolicy {
+    /// The policy of an untrusted intermediary (or opted-out tool): run
+    /// the attestation round but accept the quotes unexamined.
+    #[must_use]
+    pub fn allow_unattested() -> Self {
+        TrustPolicy {
+            allow_unattested: true,
+            ..TrustPolicy::default()
+        }
+    }
+
+    /// Require the quote measurements to be exactly one of `measurements`
+    /// (on top of signature, nonce and freshness checks).
+    #[must_use]
+    pub fn pinned(measurements: Vec<[u8; 32]>) -> Self {
+        TrustPolicy {
+            accepted_measurements: measurements,
+            ..TrustPolicy::default()
+        }
+    }
+
+    /// Check one received quote against this policy. `nonce` is the
+    /// challenge the client sent; `now` is the client's clock (seconds
+    /// since the Unix epoch).
+    fn check(&self, quote: &WireQuote, nonce: &[u8; 32], now: u64) -> Result<(), String> {
+        let enclave_quote = concealer_enclave::Quote {
+            measurement: quote.measurement,
+            code_version: quote.code_version,
+            timestamp: quote.timestamp,
+            nonce: quote.nonce,
+            signature: quote.signature,
+        };
+        if !concealer_enclave::attest::verify_signature(&enclave_quote) {
+            return Err(format!(
+                "quote from shard {} member {} has an invalid signature",
+                quote.shard_index, quote.member
+            ));
+        }
+        if &quote.nonce != nonce {
+            return Err(format!(
+                "quote from shard {} member {} echoes the wrong nonce",
+                quote.shard_index, quote.member
+            ));
+        }
+        let age = now.abs_diff(quote.timestamp);
+        if age > self.max_quote_age.as_secs() {
+            return Err(format!(
+                "quote from shard {} member {} is {age}s old (policy allows {}s)",
+                quote.shard_index,
+                quote.member,
+                self.max_quote_age.as_secs()
+            ));
+        }
+        if !self.accepted_measurements.is_empty()
+            && !self.accepted_measurements.contains(&quote.measurement)
+        {
+            return Err(format!(
+                "quote from shard {} member {} reports a measurement not in the accepted set",
+                quote.shard_index, quote.member
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A fresh attestation nonce. No RNG dependency: hash the wall clock, a
+/// process-global counter and the process id — uniqueness (not secrecy)
+/// is what replay protection needs, since the nonce travels in cleartext
+/// anyway.
+fn fresh_nonce() -> [u8; 32] {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos());
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut nonce = [0u8; 32];
+    for (i, chunk) in nonce.chunks_mut(8).enumerate() {
+        let mut h = DefaultHasher::new();
+        nanos.hash(&mut h);
+        count.hash(&mut h);
+        std::process::id().hash(&mut h);
+        i.hash(&mut h);
+        chunk.copy_from_slice(&h.finish().to_le_bytes());
+    }
+    nonce
+}
+
+/// Connection-establishment options for the deprecated
+/// [`Session::connect_with_options`] shim. New code sets timeouts on
+/// [`ClientBuilder`] directly.
+#[deprecated(
+    since = "0.10.0",
+    note = "set timeouts on ClientBuilder (connect_timeout/read_timeout/write_timeout); \
+            see MIGRATION.md"
+)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ConnectOptions {
     /// Cap on TCP connection establishment per resolved address.
@@ -134,111 +285,143 @@ pub struct ConnectOptions {
 }
 
 /// A ticket for a pipelined request, redeemed with
-/// [`Connection::wait_batch`] (or the matching `wait_*`).
+/// [`Session::wait_batch`] (or the matching `wait_*`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pending {
     id: u64,
 }
 
-/// One authenticated connection to a Concealer server.
+/// Builds a [`Session`]: address, identity, timeouts and trust policy,
+/// then [`ClientBuilder::connect`] (attest → verify → hello) or
+/// [`ClientBuilder::probe`] (attest → verify only — the pre-auth
+/// surface).
+///
+/// The address is resolved eagerly in [`ClientBuilder::new`], so a bad
+/// address fails at connect time with the original resolution error.
 #[derive(Debug)]
-pub struct Connection {
-    stream: TcpStream,
-    info: ServerInfo,
-    next_id: u64,
-    /// Replies read while waiting for a different id (pipelining out of
-    /// order), parked until their ticket is redeemed.
-    parked: BTreeMap<u64, Response>,
+pub struct ClientBuilder {
+    addrs: std::io::Result<Vec<SocketAddr>>,
+    credential: Option<(u64, [u8; 32])>,
+    client_name: String,
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    trust: TrustPolicy,
+    attest_nonce: Option<[u8; 32]>,
 }
 
-impl Connection {
-    /// Connect and run the hello/auth handshake as `user_id` with the
-    /// credential the data provider issued (`UserHandle::credential.0`).
-    pub fn connect(
-        addr: impl ToSocketAddrs,
-        user_id: u64,
-        credential: [u8; 32],
-        client_name: &str,
-    ) -> Result<Connection, ClientError> {
-        Self::connect_with_options(
-            addr,
-            user_id,
-            credential,
-            client_name,
-            ConnectOptions::default(),
-        )
+impl ClientBuilder {
+    /// Start building a session to `addr`. Resolution happens now; the
+    /// outcome surfaces from [`ClientBuilder::connect`] /
+    /// [`ClientBuilder::probe`].
+    #[must_use]
+    pub fn new(addr: impl ToSocketAddrs) -> ClientBuilder {
+        ClientBuilder {
+            addrs: addr.to_socket_addrs().map(Iterator::collect),
+            credential: None,
+            client_name: "concealer-client".to_string(),
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+            trust: TrustPolicy::default(),
+            attest_nonce: None,
+        }
     }
 
-    /// [`Connection::connect`] with explicit timeouts; see
-    /// [`ConnectOptions`]. Timeouts apply to the handshake and stay in
-    /// effect for the life of the connection
-    /// ([`Connection::set_read_timeout`] can change them later).
-    pub fn connect_with_options(
-        addr: impl ToSocketAddrs,
-        user_id: u64,
-        credential: [u8; 32],
-        client_name: &str,
-        options: ConnectOptions,
-    ) -> Result<Connection, ClientError> {
-        let stream = match options.connect_timeout {
-            None => TcpStream::connect(addr)?,
-            Some(limit) => {
-                // `TcpStream::connect_timeout` takes a single resolved
-                // address; mirror `connect`'s semantics by trying each in
-                // turn and reporting the last failure.
-                let mut last_err: Option<std::io::Error> = None;
-                let mut connected = None;
-                for resolved in addr.to_socket_addrs()? {
-                    match TcpStream::connect_timeout(&resolved, limit) {
-                        Ok(stream) => {
-                            connected = Some(stream);
-                            break;
-                        }
-                        Err(e) => last_err = Some(e),
-                    }
-                }
-                match connected {
-                    Some(stream) => stream,
-                    None => {
-                        return Err(last_err.map(ClientError::from).unwrap_or_else(|| {
-                            ClientError::Io(std::io::Error::new(
-                                std::io::ErrorKind::InvalidInput,
-                                "address resolved to no candidates",
-                            ))
-                        }))
-                    }
-                }
-            }
+    /// Authenticate as `user_id` with the credential the data provider
+    /// issued (`UserHandle::credential.0`). Required for
+    /// [`ClientBuilder::connect`]; ignored by [`ClientBuilder::probe`].
+    #[must_use]
+    pub fn credential(mut self, user_id: u64, credential: [u8; 32]) -> ClientBuilder {
+        self.credential = Some((user_id, credential));
+        self
+    }
+
+    /// [`ClientBuilder::credential`] from an in-process [`UserHandle`]
+    /// (test and example convenience).
+    #[must_use]
+    pub fn user(self, user: &UserHandle) -> ClientBuilder {
+        self.credential(user.user_id.0, user.credential.0)
+    }
+
+    /// Free-form client identification, sent in the hello (server logs
+    /// only). Defaults to `"concealer-client"`.
+    #[must_use]
+    pub fn client_name(mut self, name: &str) -> ClientBuilder {
+        self.client_name = name.to_string();
+        self
+    }
+
+    /// Cap TCP connection establishment per resolved address.
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> ClientBuilder {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Cap each blocking read, including attestation and handshake
+    /// replies — what turns a server that accepted but stopped responding
+    /// into a clean [`ClientError::TimedOut`] instead of a hang.
+    #[must_use]
+    pub fn read_timeout(mut self, timeout: Duration) -> ClientBuilder {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Cap each blocking write (a server that stopped *reading* while the
+    /// client streams a large request).
+    #[must_use]
+    pub fn write_timeout(mut self, timeout: Duration) -> ClientBuilder {
+        self.write_timeout = Some(timeout);
+        self
+    }
+
+    /// Replace the default [`TrustPolicy`] (which requires validly
+    /// signed, fresh quotes).
+    #[must_use]
+    pub fn trust_policy(mut self, policy: TrustPolicy) -> ClientBuilder {
+        self.trust = policy;
+        self
+    }
+
+    /// Use `nonce` as the attestation challenge instead of generating a
+    /// fresh one. This is how an intermediary (the router) forwards a
+    /// *client's* challenge to its upstreams, so the quotes it relays
+    /// echo the nonce the end client chose and remain end-to-end
+    /// replay-protected across the untrusted hop.
+    #[must_use]
+    pub fn attest_nonce(mut self, nonce: [u8; 32]) -> ClientBuilder {
+        self.attest_nonce = Some(nonce);
+        self
+    }
+
+    /// Connect, attest, verify the quotes against the trust policy, then
+    /// authenticate. Fails with [`ClientError::Attestation`] — before any
+    /// credential crosses the wire — if the quotes do not satisfy the
+    /// policy.
+    pub fn connect(self) -> Result<Session, ClientError> {
+        let Some((user_id, credential)) = self.credential else {
+            return Err(ClientError::Handshake(
+                "no credential configured; call ClientBuilder::credential (or .user) \
+                 before connect, or use probe() for the pre-auth surface"
+                    .to_string(),
+            ));
         };
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(options.read_timeout)?;
-        stream.set_write_timeout(options.write_timeout)?;
-        let mut conn = Connection {
-            stream,
-            info: ServerInfo {
-                protocol_version: 0,
-                server_name: String::new(),
-                backend: String::new(),
-                max_batch: 0,
-                max_frame_len: DEFAULT_MAX_FRAME_LEN as u64,
-                ingest_allowed: false,
-            },
-            next_id: 1,
-            parked: BTreeMap::new(),
-        };
+        let client_name = self.client_name.clone();
+        let mut session = self.open_attested()?;
         write_frame(
-            &mut conn.stream,
+            &mut session.stream,
             &Request::Hello {
                 version: PROTOCOL_VERSION,
                 user_id,
                 credential,
-                client_name: client_name.to_string(),
+                client_name,
             },
         )?;
-        match conn.read_response()? {
+        match session.read_response()? {
             Response::HelloOk(info) => {
-                conn.info = info;
-                Ok(conn)
+                session.info = info;
+                Ok(session)
             }
             Response::Error { error, .. } => Err(ClientError::Handshake(error.to_string())),
             other => Err(ClientError::Handshake(format!(
@@ -247,32 +430,29 @@ impl Connection {
         }
     }
 
-    /// [`Connection::connect`] with an in-process [`UserHandle`] (test and
-    /// example convenience).
-    pub fn connect_user(
-        addr: impl ToSocketAddrs,
-        user: &UserHandle,
-        client_name: &str,
-    ) -> Result<Connection, ClientError> {
-        Self::connect(addr, user.user_id.0, user.credential.0, client_name)
+    /// Connect and attest **without** authenticating: no `Hello` is sent,
+    /// so only pre-authentication requests — [`Session::shard_info`] —
+    /// are answerable; anything else gets a `not_authenticated` refusal.
+    /// This is how a router probes shard topology at startup, before it
+    /// holds any client credential to forward.
+    pub fn probe(self) -> Result<Session, ClientError> {
+        self.open_attested()
     }
 
-    /// Connect **without** authenticating: no `Hello` is sent, so only
-    /// pre-authentication requests — [`Connection::shard_info`] — are
-    /// answerable; anything else gets a `not_authenticated` refusal. This
-    /// is how a router probes shard topology at startup, before it holds
-    /// any client credential to forward.
-    pub fn connect_probe(
-        addr: impl ToSocketAddrs,
-        options: ConnectOptions,
-    ) -> Result<Connection, ClientError> {
-        let stream = match options.connect_timeout {
-            None => TcpStream::connect(addr)?,
+    /// Open the TCP stream and run the attestation round.
+    fn open_attested(self) -> Result<Session, ClientError> {
+        let addrs = self.addrs?;
+        let stream = match self.connect_timeout {
+            None => {
+                // Mirror `TcpStream::connect(&[SocketAddr])`: try each
+                // resolved candidate, report the last failure.
+                TcpStream::connect(addrs.as_slice())?
+            }
             Some(limit) => {
                 let mut last_err: Option<std::io::Error> = None;
                 let mut connected = None;
-                for resolved in addr.to_socket_addrs()? {
-                    match TcpStream::connect_timeout(&resolved, limit) {
+                for resolved in &addrs {
+                    match TcpStream::connect_timeout(resolved, limit) {
                         Ok(stream) => {
                             connected = Some(stream);
                             break;
@@ -294,9 +474,9 @@ impl Connection {
             }
         };
         stream.set_nodelay(true).ok();
-        stream.set_read_timeout(options.read_timeout)?;
-        stream.set_write_timeout(options.write_timeout)?;
-        Ok(Connection {
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.write_timeout)?;
+        let mut session = Session {
             stream,
             info: ServerInfo {
                 protocol_version: 0,
@@ -308,7 +488,91 @@ impl Connection {
             },
             next_id: 1,
             parked: BTreeMap::new(),
-        })
+            quotes: Vec::new(),
+        };
+        session.attest(&self.trust, self.attest_nonce)?;
+        Ok(session)
+    }
+}
+
+/// One attested (and, after [`ClientBuilder::connect`], authenticated)
+/// connection to a Concealer server.
+#[derive(Debug)]
+pub struct Session {
+    stream: TcpStream,
+    info: ServerInfo,
+    next_id: u64,
+    /// Replies read while waiting for a different id (pipelining out of
+    /// order), parked until their ticket is redeemed.
+    parked: BTreeMap<u64, Response>,
+    /// The quotes received (and, unless the policy opted out, verified)
+    /// during the attestation round.
+    quotes: Vec<WireQuote>,
+}
+
+/// The pre-v4 name for [`Session`]. The old associated constructors
+/// (`Connection::connect` and friends) still work as deprecated shims.
+#[deprecated(
+    since = "0.10.0",
+    note = "use ClientBuilder / Session; see MIGRATION.md"
+)]
+pub type Connection = Session;
+
+impl Session {
+    /// Run the v4 attestation round: challenge, collect quotes, verify
+    /// them against `trust` (unless it opts out). Quotes are retained for
+    /// [`Session::quotes`].
+    fn attest(
+        &mut self,
+        trust: &TrustPolicy,
+        nonce_override: Option<[u8; 32]>,
+    ) -> Result<(), ClientError> {
+        let nonce = nonce_override.unwrap_or_else(fresh_nonce);
+        let id = self.fresh_id();
+        write_frame(&mut self.stream, &Request::Attest { id, nonce })?;
+        let quotes = match self.wait_for(id) {
+            Ok(Response::AttestOk { quotes, .. }) => quotes,
+            Ok(other) => return Err(unexpected("AttestOk", &other)),
+            Err(ClientError::Server(e)) => {
+                // A refusal of the challenge itself is an attestation
+                // failure; other refusals (busy, protocol) keep their own
+                // meaning — they happened during the handshake, not
+                // because trust could not be established.
+                return Err(
+                    if e.code == concealer_server::ErrorCode::AttestationFailed {
+                        ClientError::Attestation(e.to_string())
+                    } else {
+                        ClientError::Handshake(e.to_string())
+                    },
+                );
+            }
+            Err(e) => return Err(e),
+        };
+        if !trust.allow_unattested {
+            if quotes.is_empty() {
+                return Err(ClientError::Attestation(
+                    "server produced no enclave quotes".to_string(),
+                ));
+            }
+            let now = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs());
+            for quote in &quotes {
+                trust
+                    .check(quote, &nonce, now)
+                    .map_err(ClientError::Attestation)?;
+            }
+        }
+        self.quotes = quotes;
+        Ok(())
+    }
+
+    /// The enclave quotes received during the attestation round, one per
+    /// serving enclave (a single server reports one; a router reports one
+    /// per reachable replica-set member).
+    #[must_use]
+    pub fn quotes(&self) -> &[WireQuote] {
+        &self.quotes
     }
 
     /// What the server reported in the handshake.
@@ -317,9 +581,9 @@ impl Connection {
         &self.info
     }
 
-    /// Change the per-read timeout on the live connection (`None` blocks
+    /// Change the per-read timeout on the live session (`None` blocks
     /// indefinitely). On [`ClientError::TimedOut`] the stream may be
-    /// misaligned mid-frame — drop the connection rather than reuse it.
+    /// misaligned mid-frame — drop the session rather than reuse it.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
         Ok(self.stream.set_read_timeout(timeout)?)
     }
@@ -415,8 +679,8 @@ impl Connection {
     }
 
     /// Ask which epoch-hash slice the server owns (answerable before
-    /// authentication; see [`Connection::connect_probe`]). An unsharded
-    /// server reports itself as slice `0/1`.
+    /// authentication; see [`ClientBuilder::probe`]). An unsharded server
+    /// reports itself as slice `0/1`.
     pub fn shard_info(&mut self) -> Result<ShardDescriptor, ClientError> {
         let id = self.fresh_id();
         write_frame(&mut self.stream, &Request::ShardInfo { id })?;
@@ -463,7 +727,7 @@ impl Connection {
         }
     }
 
-    /// Close the connection cleanly (Goodbye / Bye). Replies to pipelined
+    /// Close the session cleanly (Goodbye / Bye). Replies to pipelined
     /// requests whose tickets were never redeemed are drained and
     /// discarded — the server answers in order, so they arrive before the
     /// `Bye`; only a connection-level error aborts the close.
@@ -503,7 +767,7 @@ impl Connection {
         Ok(Pending { id })
     }
 
-    /// Redeem a [`Connection::submit_execute`] ticket.
+    /// Redeem a [`Session::submit_execute`] ticket.
     pub fn wait_execute(&mut self, pending: Pending) -> Result<QueryAnswer, ClientError> {
         match self.wait_for(pending.id)? {
             Response::Answer { answer, .. } => Ok(answer),
@@ -512,7 +776,7 @@ impl Connection {
     }
 
     /// Submit a batch without waiting for the reply; several batches can
-    /// be in flight on one connection (the server answers in order, the
+    /// be in flight on one session (the server answers in order, the
     /// client matches ids).
     pub fn submit_batch(
         &mut self,
@@ -531,7 +795,7 @@ impl Connection {
         Ok(Pending { id })
     }
 
-    /// Redeem a [`Connection::submit_batch`] ticket: per-query outcomes,
+    /// Redeem a [`Session::submit_batch`] ticket: per-query outcomes,
     /// positionally aligned with the submitted queries.
     pub fn wait_batch(
         &mut self,
@@ -566,7 +830,7 @@ impl Connection {
         Ok(Pending { id })
     }
 
-    /// Redeem a [`Connection::submit_partial`] ticket. The outer `Result`
+    /// Redeem a [`Session::submit_partial`] ticket. The outer `Result`
     /// is the transport; the inner one is the shard's structured outcome
     /// (kept structured so a router can merge errors positionally).
     #[allow(clippy::type_complexity)]
@@ -600,7 +864,7 @@ impl Connection {
         Ok(Pending { id })
     }
 
-    /// Redeem a [`Connection::submit_batch_partial`] ticket: per-query
+    /// Redeem a [`Session::submit_batch_partial`] ticket: per-query
     /// partial outcomes, positionally aligned with the submitted queries.
     #[allow(clippy::type_complexity)]
     pub fn wait_batch_partial(
@@ -664,6 +928,98 @@ impl Connection {
     }
 }
 
+/// The deprecated pre-v4 constructors, kept as thin shims over
+/// [`ClientBuilder`] so existing call sites keep compiling (with a
+/// deprecation warning pointing at `MIGRATION.md`). They enforce the
+/// default [`TrustPolicy`] exactly like the builder does.
+#[allow(deprecated)]
+impl Session {
+    /// Connect and run the attestation + hello/auth handshake as
+    /// `user_id` with the credential the data provider issued.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use ClientBuilder::new(addr).credential(..).client_name(..).connect(); \
+                see MIGRATION.md"
+    )]
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        user_id: u64,
+        credential: [u8; 32],
+        client_name: &str,
+    ) -> Result<Session, ClientError> {
+        ClientBuilder::new(addr)
+            .credential(user_id, credential)
+            .client_name(client_name)
+            .connect()
+    }
+
+    /// [`Session::connect`] with explicit timeouts.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use ClientBuilder with connect_timeout/read_timeout/write_timeout; \
+                see MIGRATION.md"
+    )]
+    pub fn connect_with_options(
+        addr: impl ToSocketAddrs,
+        user_id: u64,
+        credential: [u8; 32],
+        client_name: &str,
+        options: ConnectOptions,
+    ) -> Result<Session, ClientError> {
+        let mut builder = ClientBuilder::new(addr)
+            .credential(user_id, credential)
+            .client_name(client_name);
+        if let Some(t) = options.connect_timeout {
+            builder = builder.connect_timeout(t);
+        }
+        if let Some(t) = options.read_timeout {
+            builder = builder.read_timeout(t);
+        }
+        if let Some(t) = options.write_timeout {
+            builder = builder.write_timeout(t);
+        }
+        builder.connect()
+    }
+
+    /// [`Session::connect`] with an in-process [`UserHandle`].
+    #[deprecated(
+        since = "0.10.0",
+        note = "use ClientBuilder::new(addr).user(&user).connect(); see MIGRATION.md"
+    )]
+    pub fn connect_user(
+        addr: impl ToSocketAddrs,
+        user: &UserHandle,
+        client_name: &str,
+    ) -> Result<Session, ClientError> {
+        ClientBuilder::new(addr)
+            .user(user)
+            .client_name(client_name)
+            .connect()
+    }
+
+    /// Connect without authenticating (pre-auth surface only).
+    #[deprecated(
+        since = "0.10.0",
+        note = "use ClientBuilder::new(addr).probe(); see MIGRATION.md"
+    )]
+    pub fn connect_probe(
+        addr: impl ToSocketAddrs,
+        options: ConnectOptions,
+    ) -> Result<Session, ClientError> {
+        let mut builder = ClientBuilder::new(addr);
+        if let Some(t) = options.connect_timeout {
+            builder = builder.connect_timeout(t);
+        }
+        if let Some(t) = options.read_timeout {
+            builder = builder.read_timeout(t);
+        }
+        if let Some(t) = options.write_timeout {
+            builder = builder.write_timeout(t);
+        }
+        builder.probe()
+    }
+}
+
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
     match got {
         Response::Error { error, .. } => ClientError::Server(error.clone()),
@@ -676,26 +1032,21 @@ mod tests {
     use super::*;
     use std::time::Instant;
 
-    /// A server that never answers the handshake must produce a clean
-    /// `TimedOut`, not a hang. The listener is bound but never calls
-    /// `accept` — the kernel completes the TCP handshake and swallows the
-    /// `Hello`, which is exactly a server that stopped reading.
+    /// A server that never answers must produce a clean `TimedOut`, not a
+    /// hang. The listener is bound but never calls `accept` — the kernel
+    /// completes the TCP handshake and swallows the `Attest`, which is
+    /// exactly a server that stopped reading.
     #[test]
     fn read_timeout_turns_a_silent_server_into_timed_out() {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("local addr");
 
         let started = Instant::now();
-        let result = Connection::connect_with_options(
-            addr,
-            7,
-            [0u8; 32],
-            "timeout-test",
-            ConnectOptions {
-                read_timeout: Some(Duration::from_millis(100)),
-                ..ConnectOptions::default()
-            },
-        );
+        let result = ClientBuilder::new(addr)
+            .credential(7, [0u8; 32])
+            .client_name("timeout-test")
+            .read_timeout(Duration::from_millis(100))
+            .connect();
         let elapsed = started.elapsed();
 
         match result {
@@ -716,17 +1067,12 @@ mod tests {
     #[test]
     fn connect_timeout_fails_fast() {
         let started = Instant::now();
-        let result = Connection::connect_with_options(
-            "192.0.2.1:9",
-            7,
-            [0u8; 32],
-            "connect-timeout-test",
-            ConnectOptions {
-                connect_timeout: Some(Duration::from_millis(250)),
-                read_timeout: Some(Duration::from_millis(250)),
-                ..ConnectOptions::default()
-            },
-        );
+        let result = ClientBuilder::new("192.0.2.1:9")
+            .credential(7, [0u8; 32])
+            .client_name("connect-timeout-test")
+            .connect_timeout(Duration::from_millis(250))
+            .read_timeout(Duration::from_millis(250))
+            .connect();
         let elapsed = started.elapsed();
 
         assert!(result.is_err(), "nothing listens on TEST-NET-1");
@@ -740,15 +1086,19 @@ mod tests {
         );
     }
 
-    /// Plain `connect` must behave exactly like default options (no
-    /// timeouts set) — guarded here by the error being connection refused,
-    /// not a timeout, against a closed port.
+    /// A builder without timeouts must still surface immediate transport
+    /// errors (proving the no-timeout path blocks on the OS defaults but
+    /// does not swallow refusals), and the default trust policy must
+    /// require attestation.
     #[test]
-    fn default_options_mean_no_timeouts() {
-        let options = ConnectOptions::default();
-        assert!(options.connect_timeout.is_none());
-        assert!(options.read_timeout.is_none());
-        assert!(options.write_timeout.is_none());
+    fn default_builder_means_no_timeouts_and_required_attestation() {
+        let policy = TrustPolicy::default();
+        assert!(!policy.allow_unattested);
+        assert!(policy.accepted_measurements.is_empty());
+        assert_eq!(
+            policy.max_quote_age,
+            Duration::from_secs(DEFAULT_MAX_QUOTE_AGE_SECS)
+        );
 
         // A bound-then-dropped listener leaves a port nothing listens on;
         // connecting must fail with a refusal (reported as Io), proving
@@ -757,9 +1107,62 @@ mod tests {
             let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
             listener.local_addr().expect("local addr").port()
         };
-        match Connection::connect(("127.0.0.1", port), 7, [0u8; 32], "refused-test") {
+        let result = ClientBuilder::new(("127.0.0.1", port))
+            .credential(7, [0u8; 32])
+            .client_name("refused-test")
+            .connect();
+        match result {
             Err(ClientError::Io(_) | ClientError::Closed) => {}
             other => panic!("expected connection refused, got {other:?}"),
         }
+    }
+
+    /// Attestation nonces must differ call to call (replay protection is
+    /// only as good as nonce uniqueness).
+    #[test]
+    fn nonces_are_unique() {
+        let a = fresh_nonce();
+        let b = fresh_nonce();
+        assert_ne!(a, b);
+        assert_ne!(a, [0u8; 32]);
+    }
+
+    /// The trust policy's individual checks: signature, nonce echo,
+    /// freshness, and measurement pinning.
+    #[test]
+    fn trust_policy_checks_quotes() {
+        let nonce = [7u8; 32];
+        let now = 1_000_000u64;
+        let enclave = concealer_enclave::Enclave::provision(
+            concealer_core::MasterKey::from_bytes([1u8; 32]),
+            concealer_enclave::UserRegistry::new(),
+            concealer_enclave::EnclaveConfig::default(),
+        );
+        let good = enclave.quote(nonce, now);
+        let wire = WireQuote {
+            shard_index: 0,
+            member: 0,
+            measurement: good.measurement,
+            code_version: good.code_version,
+            timestamp: good.timestamp,
+            nonce: good.nonce,
+            signature: good.signature,
+        };
+        let policy = TrustPolicy::default();
+        assert!(policy.check(&wire, &nonce, now).is_ok());
+
+        let mut tampered = wire.clone();
+        tampered.measurement[0] ^= 1;
+        assert!(policy.check(&tampered, &nonce, now).is_err());
+
+        assert!(policy.check(&wire, &[8u8; 32], now).is_err());
+
+        let stale = now + DEFAULT_MAX_QUOTE_AGE_SECS + 1;
+        assert!(policy.check(&wire, &nonce, stale).is_err());
+
+        let pinned_wrong = TrustPolicy::pinned(vec![[0xEE; 32]]);
+        assert!(pinned_wrong.check(&wire, &nonce, now).is_err());
+        let pinned_right = TrustPolicy::pinned(vec![wire.measurement]);
+        assert!(pinned_right.check(&wire, &nonce, now).is_ok());
     }
 }

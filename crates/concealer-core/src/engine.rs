@@ -2062,6 +2062,23 @@ impl ConcealerSystem {
                     ),
                 });
             }
+            // Epochs carrying a key-vault entry must unwrap under this
+            // master at the recorded generation — a mismatch means the
+            // store was sealed under a different master (or a different
+            // lifecycle history) and would fail at decrypt time anyway;
+            // refuse here, where the remedy is actionable. Epochs without
+            // an entry predate the vault and are validated by metadata
+            // registration alone, as before.
+            if let Some((generation, blob)) = store.backend().sealed_key(epoch_id) {
+                if engine
+                    .enclave()
+                    .master_key_for_data_provider()
+                    .unwrap_epoch_seal(generation, epoch_id, &blob)
+                    .is_none()
+                {
+                    return Err(CoreError::CorruptMetadata);
+                }
+            }
             engine.register_epoch(epoch_id)?;
         }
         Ok(ConcealerSystem {
@@ -2127,6 +2144,19 @@ impl ConcealerSystem {
         let stats = shipment.stats.clone();
         self.store
             .ingest_epoch(shipment.epoch_id, shipment.rows, shipment.metadata)?;
+        // Record the epoch's wrapped seal secret in the store's key vault
+        // under the current master generation, so reopen can prove the
+        // epoch is readable under this master and rotation has an entry
+        // to re-wrap. A no-op on backends without lifecycle state.
+        let backend = self.store.backend();
+        let generation = backend.key_generation();
+        backend.seal_key(
+            epoch_start,
+            generation,
+            self.provider
+                .master()
+                .wrap_epoch_seal(generation, epoch_start),
+        )?;
         self.engine.register_epoch(epoch_start)?;
         Ok(stats)
     }
@@ -2186,6 +2216,65 @@ impl ConcealerSystem {
     #[must_use]
     pub fn store_read_only(&self) -> bool {
         self.store.read_only()
+    }
+
+    /// The master-key generation most recently begun on this system's
+    /// store (`0` until the first rotation, and always `0` on backends
+    /// without lifecycle state).
+    #[must_use]
+    pub fn key_generation(&self) -> u64 {
+        self.store.backend().key_generation()
+    }
+
+    /// Number of key-vault entries still wrapped under an older master
+    /// generation — `0` when no rotation is in flight.
+    #[must_use]
+    pub fn rotation_pending(&self) -> usize {
+        self.store.backend().rotation_pending()
+    }
+
+    /// Rotate the master-key generation online: durably begin generation
+    /// `current + 1`, then re-wrap every vault entry in bounded batches.
+    /// Returns `(new_generation, entries_rewrapped)`.
+    ///
+    /// The rotation touches only the manifest's key vault — never the
+    /// epochs, the enclave's derived keys, or anything on the query path
+    /// (fetches read the resident cache) — so queries running concurrently
+    /// with a rotation return bit-identical answers and traces. A crash
+    /// mid-rotation is safe: the generation counter is bumped before any
+    /// entry moves, so reopen sees a legal resumable state (see
+    /// [`concealer_storage::StorageBackend::begin_key_rotation`]) and
+    /// [`ConcealerSystem::resume_key_rotation`] finishes the job.
+    pub fn rotate_master_generation(&self) -> Result<(u64, usize)> {
+        let new_generation = self.store.backend().key_generation() + 1;
+        self.store.backend().begin_key_rotation(new_generation)?;
+        let rewrapped = self.resume_key_rotation()?;
+        Ok((new_generation, rewrapped))
+    }
+
+    /// Finish a rotation another process (or a crashed run of this one)
+    /// began: re-wrap every vault entry still behind the current key
+    /// generation, in bounded batches. Returns how many entries moved.
+    /// Idempotent; a store with no rotation in flight returns `0`.
+    pub fn resume_key_rotation(&self) -> Result<usize> {
+        /// Entries per batch: small enough that each durable manifest
+        /// commit is quick, large enough to finish promptly.
+        const REWRAP_BATCH: usize = 8;
+        let backend = self.store.backend();
+        let master = self.provider.master();
+        let mut total = 0;
+        loop {
+            let moved = backend.rewrap_keys(
+                &mut |epoch_id, generation, _old_blob| {
+                    Ok(master.wrap_epoch_seal(generation, epoch_id))
+                },
+                REWRAP_BATCH,
+            )?;
+            if moved == 0 {
+                return Ok(total);
+            }
+            total += moved;
+        }
     }
 
     /// The adversary's view of the storage layer.

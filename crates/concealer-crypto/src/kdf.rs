@@ -29,6 +29,14 @@ pub enum KeyPurpose {
     HashChain,
     /// Key for pseudo-random permutation of tuples before transmission.
     Permutation,
+    /// Per-epoch seal secret recorded (wrapped) in the store's key vault,
+    /// so the lifecycle layer can prove an epoch is readable under the
+    /// current master without touching the epoch's data keys.
+    EpochSeal,
+    /// Key-encryption key for one master-key *generation*: wraps the
+    /// per-epoch seal secrets in the manifest's key vault. `epoch_id`
+    /// carries the generation counter for this purpose.
+    KeyWrap,
 }
 
 impl KeyPurpose {
@@ -41,6 +49,8 @@ impl KeyPurpose {
             KeyPurpose::GridHash => b"concealer/grid-hash",
             KeyPurpose::HashChain => b"concealer/hash-chain",
             KeyPurpose::Permutation => b"concealer/permutation",
+            KeyPurpose::EpochSeal => b"concealer/epoch-seal",
+            KeyPurpose::KeyWrap => b"concealer/key-wrap",
         }
     }
 }
@@ -100,6 +110,8 @@ mod tests {
             KeyPurpose::GridHash,
             KeyPurpose::HashChain,
             KeyPurpose::Permutation,
+            KeyPurpose::EpochSeal,
+            KeyPurpose::KeyWrap,
         ];
         for (i, a) in purposes.iter().enumerate() {
             for b in purposes.iter().skip(i + 1) {

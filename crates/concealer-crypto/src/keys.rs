@@ -91,6 +91,77 @@ impl MasterKey {
     pub fn grid_prf(&self, epoch: EpochId) -> RangePrf {
         RangePrf::new(derive_key(&self.sk, KeyPurpose::GridHash, epoch.0, 0))
     }
+
+    /// The per-epoch *seal secret* recorded (wrapped) in the durable
+    /// store's key vault. It is derived from the same master the epoch's
+    /// data keys come from, so a vault entry that unwraps to this value
+    /// proves the epoch is readable under this master — without ever
+    /// exposing the data keys to the rotation machinery.
+    #[must_use]
+    pub fn epoch_seal_secret(&self, epoch_id: u64) -> [u8; 32] {
+        derive_key(&self.sk, KeyPurpose::EpochSeal, epoch_id, 0)
+    }
+
+    /// Wrap the epoch's seal secret under the key-encryption key of master
+    /// `generation`, producing the 64-byte vault blob (32-byte XOR-pad
+    /// ciphertext followed by a 32-byte HMAC tag binding the epoch id).
+    #[must_use]
+    pub fn wrap_epoch_seal(&self, generation: u64, epoch_id: u64) -> Vec<u8> {
+        let kek = derive_key(&self.sk, KeyPurpose::KeyWrap, generation, 0);
+        let seal = self.epoch_seal_secret(epoch_id);
+        let pad = wrap_block(&kek, b"pad", epoch_id, &[]);
+        let mut ct = [0u8; 32];
+        for (c, (s, p)) in ct.iter_mut().zip(seal.iter().zip(pad.iter())) {
+            *c = s ^ p;
+        }
+        let tag = wrap_block(&kek, b"tag", epoch_id, &ct);
+        let mut blob = Vec::with_capacity(64);
+        blob.extend_from_slice(&ct);
+        blob.extend_from_slice(&tag);
+        blob
+    }
+
+    /// Unwrap a vault blob written by [`MasterKey::wrap_epoch_seal`] under
+    /// the same `(generation, epoch_id)`. Returns `None` when the blob is
+    /// malformed, the tag does not verify, or the recovered secret does not
+    /// match this master's [`MasterKey::epoch_seal_secret`] — i.e. exactly
+    /// when the vault entry was *not* written under this master at that
+    /// generation.
+    #[must_use]
+    pub fn unwrap_epoch_seal(
+        &self,
+        generation: u64,
+        epoch_id: u64,
+        blob: &[u8],
+    ) -> Option<[u8; 32]> {
+        if blob.len() != 64 {
+            return None;
+        }
+        let (ct, tag) = blob.split_at(32);
+        let kek = derive_key(&self.sk, KeyPurpose::KeyWrap, generation, 0);
+        let expected_tag = wrap_block(&kek, b"tag", epoch_id, ct);
+        if !crate::ct_eq(tag, &expected_tag) {
+            return None;
+        }
+        let pad = wrap_block(&kek, b"pad", epoch_id, &[]);
+        let mut seal = [0u8; 32];
+        for (s, (c, p)) in seal.iter_mut().zip(ct.iter().zip(pad.iter())) {
+            *s = c ^ p;
+        }
+        if !crate::ct_eq(&seal, &self.epoch_seal_secret(epoch_id)) {
+            return None;
+        }
+        Some(seal)
+    }
+}
+
+/// One HMAC block of the key-wrap construction: `HMAC(kek, label || epoch || data)`.
+fn wrap_block(kek: &[u8; 32], label: &[u8], epoch_id: u64, data: &[u8]) -> [u8; 32] {
+    let mut mac = crate::hmac::HmacSha256::new(kek);
+    mac.update(label);
+    mac.update(&epoch_id.to_le_bytes());
+    mac.update(data);
+    mac.finalize()
 }
 
 /// All primitives derived for one `(epoch, round_counter)` pair.
@@ -167,6 +238,39 @@ mod tests {
             a.epoch_key(EpochId(1), 0).det.encrypt(b"x"),
             b.epoch_key(EpochId(1), 0).det.encrypt(b"x")
         );
+    }
+
+    #[test]
+    fn wrap_unwrap_epoch_seal_round_trip() {
+        let mk = MasterKey::from_bytes([7u8; 32]);
+        let blob = mk.wrap_epoch_seal(2, 3600);
+        assert_eq!(blob.len(), 64);
+        assert_eq!(
+            mk.unwrap_epoch_seal(2, 3600, &blob),
+            Some(mk.epoch_seal_secret(3600))
+        );
+    }
+
+    #[test]
+    fn unwrap_rejects_wrong_master_generation_epoch_and_garbage() {
+        let mk = MasterKey::from_bytes([7u8; 32]);
+        let other = MasterKey::from_bytes([8u8; 32]);
+        let blob = mk.wrap_epoch_seal(1, 0);
+        assert!(other.unwrap_epoch_seal(1, 0, &blob).is_none());
+        assert!(mk.unwrap_epoch_seal(2, 0, &blob).is_none());
+        assert!(mk.unwrap_epoch_seal(1, 3600, &blob).is_none());
+        assert!(mk.unwrap_epoch_seal(1, 0, &[0u8; 64]).is_none());
+        assert!(mk.unwrap_epoch_seal(1, 0, b"short").is_none());
+        // Flipping any ciphertext byte breaks the tag.
+        let mut torn = blob.clone();
+        torn[5] ^= 1;
+        assert!(mk.unwrap_epoch_seal(1, 0, &torn).is_none());
+    }
+
+    #[test]
+    fn generations_produce_distinct_blobs_for_one_epoch() {
+        let mk = MasterKey::from_bytes([7u8; 32]);
+        assert_ne!(mk.wrap_epoch_seal(0, 42), mk.wrap_epoch_seal(1, 42));
     }
 
     #[test]

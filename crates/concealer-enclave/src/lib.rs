@@ -16,6 +16,11 @@
 //!   Ohrimenko et al. that the paper adopts (§4.3, Fig. 2), plus
 //!   data-independent [`sort::bitonic_sort_by_key`] and
 //!   [`sort::column_sort_by_key`];
+//! * **remote attestation**, simulated in [`attest`]: a deterministic
+//!   measurement over the enclave's code version and configuration, and
+//!   signed quotes binding it to a client nonce, so the serving layer's
+//!   handshake can refuse un-measured enclaves (requirement R1's "the
+//!   client talks to genuine SGX" assumption, made checkable);
 //! * a [`meter::SideChannelMeter`] that records the *shape* of in-enclave
 //!   computation (comparisons, swaps, memory touches) so tests can assert
 //!   that two executions over different query predicates are
@@ -25,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attest;
 pub mod enclave;
 pub mod meter;
 pub mod oblivious;
@@ -33,6 +39,7 @@ pub mod sort;
 
 mod error;
 
+pub use attest::{Quote, ATTESTATION_ROOT_KEY, ENCLAVE_CODE_VERSION, MEASUREMENT_DOMAIN};
 pub use enclave::{Enclave, EnclaveConfig, Session};
 pub use error::EnclaveError;
 pub use meter::{MeterSnapshot, SideChannelMeter};

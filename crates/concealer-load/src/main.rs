@@ -12,6 +12,9 @@
 //!                [--out BENCH_server.json]
 //! ```
 //!
+//! Flags accept both `--flag value` and `--flag=value` (parsing shared
+//! with the other binaries via `concealer-cli`).
+//!
 //! `--router` points `--addr` at a `concealer-router` instead of a single
 //! server; the scenario runs **unchanged** (the routed deployment is
 //! supposed to be indistinguishable). Two differences in accounting:
@@ -51,8 +54,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use concealer_bench::{server_request_mix, ServerRequest};
-use concealer_client::Connection;
+use concealer_client::{ClientBuilder, ClientError, Session};
 use concealer_examples::{demo_epoch_records, demo_system, demo_workload};
+
+const USAGE: &str = "concealer-load --addr HOST:PORT [--clients N] [--requests N] \
+                     [--batch-len N] [--hours H] [--seed S] [--idle-connections N] \
+                     [--ingest-epochs N] [--router] [--no-check] [--shutdown] \
+                     [--out BENCH_server.json]";
+
+/// One authenticated session to the target deployment. The load
+/// generator trusts the demo enclave by default (the default
+/// [`concealer_client::TrustPolicy`] verifies signatures and freshness);
+/// what it *checks* is the answers, bit-for-bit against the oracle.
+fn connect(
+    args: &Args,
+    user: &concealer_core::UserHandle,
+    name: &str,
+) -> Result<Session, ClientError> {
+    ClientBuilder::new(args.addr.as_str())
+        .user(user)
+        .client_name(name)
+        .connect()
+}
 
 /// Every stride-th held idle connection carries one checked query.
 const IDLE_TRICKLE_STRIDE: usize = 97;
@@ -72,7 +95,8 @@ struct Args {
     out: String,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Args {
+    let mut cli = concealer_cli::Args::new("concealer-load", USAGE);
     let mut args = Args {
         addr: String::new(),
         clients: 8,
@@ -87,45 +111,31 @@ fn parse_args() -> Result<Args, String> {
         shutdown: false,
         out: "BENCH_server.json".to_string(),
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let flag = argv[i].as_str();
-        let mut value = |name: &str| -> Result<String, String> {
-            i += 1;
-            argv.get(i)
-                .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
-        match flag {
-            "--addr" => args.addr = value("--addr")?,
-            "--clients" => args.clients = parse(&value("--clients")?)?,
-            "--requests" => args.requests = parse(&value("--requests")?)?,
-            "--batch-len" => args.batch_len = parse(&value("--batch-len")?)?,
-            "--hours" => args.hours = parse(&value("--hours")?)?,
-            "--seed" => args.seed = parse(&value("--seed")?)?,
-            "--idle-connections" => args.idle_connections = parse(&value("--idle-connections")?)?,
-            "--ingest-epochs" => args.ingest_epochs = parse(&value("--ingest-epochs")?)?,
+    while let Some(flag) = cli.next_flag() {
+        match flag.as_str() {
+            "--addr" => args.addr = cli.value("--addr"),
+            "--clients" => args.clients = cli.parse("--clients"),
+            "--requests" => args.requests = cli.parse("--requests"),
+            "--batch-len" => args.batch_len = cli.parse("--batch-len"),
+            "--hours" => args.hours = cli.parse("--hours"),
+            "--seed" => args.seed = cli.parse("--seed"),
+            "--idle-connections" => args.idle_connections = cli.parse("--idle-connections"),
+            "--ingest-epochs" => args.ingest_epochs = cli.parse("--ingest-epochs"),
             "--router" => args.router = true,
             "--no-check" => args.check = false,
             "--shutdown" => args.shutdown = true,
-            "--out" => args.out = value("--out")?,
-            other => return Err(format!("unknown flag {other}")),
+            "--out" => args.out = cli.value("--out"),
+            "--help" | "-h" => cli.help(),
+            other => cli.unknown(other),
         }
-        i += 1;
     }
     if args.addr.is_empty() {
-        return Err("--addr HOST:PORT is required".to_string());
+        cli.fail("--addr HOST:PORT is required");
     }
     if args.clients == 0 || args.requests == 0 {
-        return Err("--clients and --requests must be at least 1".to_string());
+        cli.fail("--clients and --requests must be at least 1");
     }
-    Ok(args)
-}
-
-fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
-    s.parse()
-        .map_err(|_| format!("invalid numeric value {s:?}"))
+    args
 }
 
 /// Per-client outcome.
@@ -169,14 +179,13 @@ fn run_client(
         args.requests,
         args.batch_len,
     );
-    let mut conn =
-        match Connection::connect_user(&args.addr, user, &format!("load-client-{client_idx}")) {
-            Ok(conn) => conn,
-            Err(e) => {
-                report.errors.push(format!("connect: {e}"));
-                return report;
-            }
-        };
+    let mut conn = match connect(args, user, &format!("load-client-{client_idx}")) {
+        Ok(conn) => conn,
+        Err(e) => {
+            report.errors.push(format!("connect: {e}"));
+            return report;
+        }
+    };
     let oracle_session = oracle.map(|system| system.session(user));
 
     for (request_idx, request) in mix.iter().enumerate() {
@@ -205,7 +214,7 @@ fn run_client(
 /// connection died and the caller should stop using it.
 fn run_request(
     args: &Args,
-    conn: &mut Connection,
+    conn: &mut Session,
     request: &ServerRequest,
     oracle_session: Option<&concealer_core::Session<'_>>,
     report: &mut ClientReport,
@@ -285,11 +294,11 @@ fn open_idle_pool(
     args: &Args,
     user: &concealer_core::UserHandle,
     errors: &mut Vec<String>,
-) -> Vec<Connection> {
+) -> Vec<Session> {
     let target = args.idle_connections;
     let mut pool = Vec::with_capacity(target);
     for k in 0..target {
-        match Connection::connect_user(&args.addr, user, &format!("load-idle-{k}")) {
+        match connect(args, user, &format!("load-idle-{k}")) {
             Ok(conn) => pool.push(conn),
             Err(e) => {
                 errors.push(format!(
@@ -313,10 +322,10 @@ fn open_idle_pool(
 /// them so they stay open until the pool is torn down.
 fn run_trickle(
     args: &Args,
-    mut conns: Vec<Connection>,
+    mut conns: Vec<Session>,
     oracle: Option<&concealer_core::ConcealerSystem>,
     user: &concealer_core::UserHandle,
-) -> (ClientReport, Vec<Connection>) {
+) -> (ClientReport, Vec<Session>) {
     let mut report = ClientReport::default();
     if conns.is_empty() {
         return (report, conns);
@@ -355,13 +364,7 @@ fn percentile_ms(sorted: &[Duration], pct: f64) -> f64 {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(args) => args,
-        Err(msg) => {
-            eprintln!("concealer-load: {msg}");
-            return ExitCode::from(2);
-        }
-    };
+    let args = parse_args();
 
     eprintln!(
         "concealer-load: building oracle deployment (hours={}, seed={})",
@@ -376,8 +379,8 @@ fn main() -> ExitCode {
     // concurrent with the workload; every stride-th one is pulled aside
     // to carry the trickle.
     let mut pool_errors: Vec<String> = Vec::new();
-    let mut idle_pool: Vec<Connection> = Vec::new();
-    let mut trickle_conns: Vec<Connection> = Vec::new();
+    let mut idle_pool: Vec<Session> = Vec::new();
+    let mut trickle_conns: Vec<Session> = Vec::new();
     if args.idle_connections > 0 {
         eprintln!(
             "concealer-load: opening {} idle connections",
@@ -406,70 +409,69 @@ fn main() -> ExitCode {
     let ingested = AtomicU64::new(0);
     let unavailable_ingests = AtomicU64::new(0);
     let started = Instant::now();
-    let (reports, trickle_conns): (Vec<ClientReport>, Vec<Connection>) =
-        std::thread::scope(|scope| {
-            let trickle_handle = (!trickle_conns.is_empty()).then(|| {
-                let args = &args;
-                let user = &user;
-                let conns = std::mem::take(&mut trickle_conns);
-                scope.spawn(move || run_trickle(args, conns, oracle, user))
-            });
-            let ingest_handle = (args.ingest_epochs > 0).then(|| {
-                let args = &args;
-                let user = &user;
-                let ingested = &ingested;
-                let unavailable_ingests = &unavailable_ingests;
-                scope.spawn(move || -> Result<(), String> {
-                    let mut conn = Connection::connect_user(&args.addr, user, "load-ingest")
-                        .map_err(|e| format!("ingest connect: {e}"))?;
-                    for k in 1..=args.ingest_epochs {
-                        let epoch_start = k * args.hours * 3600;
-                        let records = demo_epoch_records(args.hours, args.seed, epoch_start);
-                        match conn.ingest_epoch(epoch_start, &records) {
-                            Ok(_) => {
-                                ingested.fetch_add(1, Ordering::Relaxed);
-                            }
-                            // An epoch whose owning shard is down is
-                            // refused structurally; the next epoch may
-                            // hash to a live shard, so keep going.
-                            Err(e) if tolerated_by_router(args, &e) => {
-                                unavailable_ingests.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(e) => return Err(format!("ingest epoch {epoch_start}: {e}")),
-                        }
-                        // Spread the ingests across the query phase.
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
-                    conn.close().map_err(|e| format!("ingest close: {e}"))
-                })
-            });
-            let handles: Vec<_> = (0..args.clients)
-                .map(|client_idx| {
-                    let args = &args;
-                    let user = &user;
-                    scope.spawn(move || run_client(args, client_idx, oracle, user))
-                })
-                .collect();
-            let mut reports: Vec<ClientReport> = handles
-                .into_iter()
-                .map(|h| h.join().expect("client thread panicked"))
-                .collect();
-            if let Some(handle) = ingest_handle {
-                if let Err(e) = handle.join().expect("ingest thread panicked") {
-                    reports.push(ClientReport {
-                        errors: vec![e],
-                        ..ClientReport::default()
-                    });
-                }
-            }
-            let mut returned = Vec::new();
-            if let Some(handle) = trickle_handle {
-                let (report, conns) = handle.join().expect("trickle thread panicked");
-                reports.push(report);
-                returned = conns;
-            }
-            (reports, returned)
+    let (reports, trickle_conns): (Vec<ClientReport>, Vec<Session>) = std::thread::scope(|scope| {
+        let trickle_handle = (!trickle_conns.is_empty()).then(|| {
+            let args = &args;
+            let user = &user;
+            let conns = std::mem::take(&mut trickle_conns);
+            scope.spawn(move || run_trickle(args, conns, oracle, user))
         });
+        let ingest_handle = (args.ingest_epochs > 0).then(|| {
+            let args = &args;
+            let user = &user;
+            let ingested = &ingested;
+            let unavailable_ingests = &unavailable_ingests;
+            scope.spawn(move || -> Result<(), String> {
+                let mut conn = connect(args, user, "load-ingest")
+                    .map_err(|e| format!("ingest connect: {e}"))?;
+                for k in 1..=args.ingest_epochs {
+                    let epoch_start = k * args.hours * 3600;
+                    let records = demo_epoch_records(args.hours, args.seed, epoch_start);
+                    match conn.ingest_epoch(epoch_start, &records) {
+                        Ok(_) => {
+                            ingested.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // An epoch whose owning shard is down is
+                        // refused structurally; the next epoch may
+                        // hash to a live shard, so keep going.
+                        Err(e) if tolerated_by_router(args, &e) => {
+                            unavailable_ingests.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => return Err(format!("ingest epoch {epoch_start}: {e}")),
+                    }
+                    // Spread the ingests across the query phase.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                conn.close().map_err(|e| format!("ingest close: {e}"))
+            })
+        });
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client_idx| {
+                let args = &args;
+                let user = &user;
+                scope.spawn(move || run_client(args, client_idx, oracle, user))
+            })
+            .collect();
+        let mut reports: Vec<ClientReport> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        if let Some(handle) = ingest_handle {
+            if let Err(e) = handle.join().expect("ingest thread panicked") {
+                reports.push(ClientReport {
+                    errors: vec![e],
+                    ..ClientReport::default()
+                });
+            }
+        }
+        let mut returned = Vec::new();
+        if let Some(handle) = trickle_handle {
+            let (report, conns) = handle.join().expect("trickle thread panicked");
+            reports.push(report);
+            returned = conns;
+        }
+        (reports, returned)
+    });
     let elapsed = started.elapsed();
 
     // Ask the server for its own view — serving mode and the concurrent
@@ -479,7 +481,7 @@ fn main() -> ExitCode {
     let mut trickle_conns = trickle_conns;
     let probe_result = match trickle_conns.last_mut() {
         Some(conn) => conn.serve_stats(),
-        None => Connection::connect_user(&args.addr, &user, "load-stats").and_then(|mut conn| {
+        None => connect(&args, &user, "load-stats").and_then(|mut conn| {
             let stats = conn.serve_stats()?;
             conn.close()?;
             Ok(stats)
@@ -502,13 +504,11 @@ fn main() -> ExitCode {
     // summary — the routed soak gates on the deployment having actually
     // fanned out (and, after a kill, reconnected).
     let router_shards = if args.router {
-        match Connection::connect_user(&args.addr, &user, "load-router-stats").and_then(
-            |mut conn| {
-                let stats = conn.router_stats()?;
-                conn.close()?;
-                Ok(stats)
-            },
-        ) {
+        match connect(&args, &user, "load-router-stats").and_then(|mut conn| {
+            let stats = conn.router_stats()?;
+            conn.close()?;
+            Ok(stats)
+        }) {
             Ok(stats) => stats.shards,
             Err(e) => {
                 eprintln!("concealer-load: router-stats probe failed: {e}");
@@ -606,9 +606,7 @@ fn main() -> ExitCode {
 
     if args.shutdown {
         eprintln!("concealer-load: requesting graceful server shutdown");
-        match Connection::connect_user(&args.addr, &user, "load-shutdown")
-            .and_then(|mut conn| conn.shutdown_server())
-        {
+        match connect(&args, &user, "load-shutdown").and_then(|mut conn| conn.shutdown_server()) {
             Ok(()) => {}
             Err(e) => {
                 eprintln!("concealer-load: shutdown request failed: {e}");

@@ -43,7 +43,12 @@
 //! tampering router is detected exactly like a tampering server (see
 //! `ARCHITECTURE.md` § "Multi-node serving"). Promotion moves no key
 //! material either — it only tells a replica to re-open the store it
-//! already holds as the writer.
+//! already holds as the writer. Attestation (protocol v4) keeps the
+//! same shape: the router forwards a client's challenge nonce to every
+//! member and relays the signed quotes verbatim (retagging only the
+//! shard/member labels) — it never verifies them itself, because its
+//! word is worth nothing; the end client's [`TrustPolicy`] checks the
+//! enclave signatures across the untrusted hop.
 //!
 //! Failure semantics: a shard whose every member is unreachable
 //! (connect refused, timeout, torn stream) never silently shrinks an
@@ -60,11 +65,11 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use concealer_client::{ClientError, ConnectOptions, Connection, Pending};
+use concealer_client::{ClientBuilder, ClientError, Pending, Session, TrustPolicy};
 use concealer_core::{merge_partials, shard_of_epoch, Query, UserHandle};
 use concealer_server::protocol::{
     Request, Response, RouterStats, ServerInfo, ShardDescriptor, ShardLoad, ShardRole, WirePartial,
-    WirePartialResult, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH, DEFAULT_MAX_FRAME_LEN,
+    WirePartialResult, WireQuote, CONNECTION_LEVEL_ID, DEFAULT_MAX_BATCH, DEFAULT_MAX_FRAME_LEN,
     PROTOCOL_VERSION,
 };
 use concealer_server::{ErrorCode, ServeHandler, WireError, WireResult, WireStats};
@@ -142,10 +147,10 @@ struct UpstreamState {
     down_until: Option<Instant>,
     /// Consecutive transport failures, driving the exponential backoff.
     fail_streak: u32,
-    /// Idle authenticated connections, keyed by user id. Upstream
-    /// sessions are per-credential, so connections are not shareable
+    /// Idle authenticated sessions, keyed by user id. Upstream
+    /// sessions are per-credential, so they are not shareable
     /// across users.
-    pool: HashMap<u64, Vec<Connection>>,
+    pool: HashMap<u64, Vec<Session>>,
 }
 
 /// One replica-set member: its address, connection pool, backoff state,
@@ -194,9 +199,9 @@ impl Upstream {
             .is_some_and(|until| until > Instant::now())
     }
 
-    /// Take an idle pooled connection for `user`, if any. `None` means
+    /// Take an idle pooled session for `user`, if any. `None` means
     /// the caller dials; `Err` means the member is backing off.
-    fn checkout(&self, user_id: u64) -> Result<Option<Connection>, ShardFailure> {
+    fn checkout(&self, user_id: u64) -> Result<Option<Session>, ShardFailure> {
         let mut state = self.lock();
         if state.down_until.is_some_and(|until| until > Instant::now()) {
             return Err(self.unavailable("backing off after a transport failure"));
@@ -204,8 +209,8 @@ impl Upstream {
         Ok(state.pool.get_mut(&user_id).and_then(Vec::pop))
     }
 
-    /// Return a healthy connection to the pool.
-    fn checkin(&self, user_id: u64, conn: Connection) {
+    /// Return a healthy session to the pool.
+    fn checkin(&self, user_id: u64, conn: Session) {
         self.lock().pool.entry(user_id).or_default().push(conn);
     }
 
@@ -257,6 +262,21 @@ impl ShardSet {
     fn next_read(&self) -> usize {
         self.rr.fetch_add(1, Ordering::Relaxed) % self.members.len()
     }
+}
+
+/// The builder every upstream dial starts from: the router's timeouts,
+/// its name, and — crucially — the *unattested* trust policy. The router
+/// still runs the v4 attestation round (upstream servers demand it
+/// before `Hello`) but never verifies the quotes: it is an untrusted
+/// intermediary with no say in trust decisions. End clients verify the
+/// relayed quotes themselves.
+fn upstream_builder(config: &RouterConfig, addr: &str) -> ClientBuilder {
+    ClientBuilder::new(addr)
+        .client_name(&config.router_name)
+        .connect_timeout(config.connect_timeout)
+        .read_timeout(config.read_timeout)
+        .write_timeout(config.read_timeout)
+        .trust_policy(TrustPolicy::allow_unattested())
 }
 
 /// Split one configured shard entry into its member addresses (empty
@@ -320,11 +340,6 @@ impl RouterHandler {
         }
         let total = u32::try_from(config.shards.len())
             .map_err(|_| RouterError("shard count exceeds u32".to_string()))?;
-        let options = ConnectOptions {
-            connect_timeout: Some(config.connect_timeout),
-            read_timeout: Some(config.read_timeout),
-            write_timeout: Some(config.read_timeout),
-        };
         let mut epoch_duration: Option<u64> = None;
         let mut epochs = BTreeSet::new();
         let mut probed_generation = 0u64;
@@ -342,7 +357,7 @@ impl RouterHandler {
             let mut writers: Vec<usize> = Vec::new();
             let mut roles: Vec<String> = Vec::new();
             for (m, addr) in addrs.iter().enumerate() {
-                let mut conn = Connection::connect_probe(addr, options).map_err(|e| {
+                let mut conn = upstream_builder(&config, addr).probe().map_err(|e| {
                     RouterError(format!("probing shard {index} at {addr} failed: {e}"))
                 })?;
                 let descriptor = conn.shard_info().map_err(|e| {
@@ -417,25 +432,13 @@ impl RouterHandler {
         })
     }
 
-    fn connect_options(&self) -> ConnectOptions {
-        ConnectOptions {
-            connect_timeout: Some(self.config.connect_timeout),
-            read_timeout: Some(self.config.read_timeout),
-            write_timeout: Some(self.config.read_timeout),
-        }
-    }
-
-    /// Dial and authenticate a fresh connection to `upstream` as `user`
+    /// Dial and authenticate a fresh session to `upstream` as `user`
     /// (the router forwards the client's credential verbatim — it holds
     /// no authority of its own).
-    fn dial(&self, upstream: &Upstream, user: &UserHandle) -> Result<Connection, ClientError> {
-        Connection::connect_with_options(
-            upstream.addr.as_str(),
-            user.user_id.0,
-            user.credential.0,
-            &self.config.router_name,
-            self.connect_options(),
-        )
+    fn dial(&self, upstream: &Upstream, user: &UserHandle) -> Result<Session, ClientError> {
+        upstream_builder(&self.config, &upstream.addr)
+            .credential(user.user_id.0, user.credential.0)
+            .connect()
     }
 
     /// Run one submit/wait exchange against `upstream`, reusing a pooled
@@ -450,7 +453,7 @@ impl RouterHandler {
         upstream: &Upstream,
         user: &UserHandle,
         retry: bool,
-        op: &mut dyn FnMut(&mut Connection) -> Result<T, ClientError>,
+        op: &mut dyn FnMut(&mut Session) -> Result<T, ClientError>,
     ) -> Result<T, ShardFailure> {
         let user_id = user.user_id.0;
         let pooled = upstream.checkout(user_id)?;
@@ -527,7 +530,7 @@ impl RouterHandler {
         set: &ShardSet,
         user: &UserHandle,
         start: usize,
-        op: &mut dyn FnMut(&mut Connection) -> Result<T, ClientError>,
+        op: &mut dyn FnMut(&mut Session) -> Result<T, ClientError>,
     ) -> Result<T, ShardFailure> {
         let n = set.members.len();
         let mut last: Option<ShardFailure> = None;
@@ -547,7 +550,7 @@ impl RouterHandler {
         &self,
         set: &ShardSet,
         user: &UserHandle,
-        op: &mut dyn FnMut(&mut Connection) -> Result<T, ClientError>,
+        op: &mut dyn FnMut(&mut Session) -> Result<T, ClientError>,
     ) -> Result<T, ShardFailure> {
         let start = set.next_read();
         self.call_set_from(set, user, start, op)
@@ -623,12 +626,12 @@ impl RouterHandler {
     fn fan<T>(
         &self,
         user: &UserHandle,
-        submit: &dyn Fn(&mut Connection) -> Result<Pending, ClientError>,
-        wait: &dyn Fn(&mut Connection, Pending) -> Result<T, ClientError>,
+        submit: &dyn Fn(&mut Session) -> Result<Pending, ClientError>,
+        wait: &dyn Fn(&mut Session, Pending) -> Result<T, ClientError>,
     ) -> Vec<Result<T, ShardFailure>> {
         let user_id = user.user_id.0;
         // Phase 1: put a request on the wire to every reachable shard.
-        let mut in_flight: Vec<(usize, Option<(Connection, Pending)>)> = Vec::new();
+        let mut in_flight: Vec<(usize, Option<(Session, Pending)>)> = Vec::new();
         for set in &self.sets {
             let start = set.next_read();
             let member = &set.members[start];
@@ -984,10 +987,69 @@ impl ServeHandler for RouterHandler {
             | Request::Shutdown { .. }
             | Request::ServeStats { .. }
             | Request::ShardInfo { .. }
+            | Request::Attest { .. }
             | Request::RouterStats { .. } => {
                 unreachable!("connection-level requests never reach the handler executor")
             }
         }
+    }
+
+    /// Forward the client's attestation challenge to every replica-set
+    /// member and relay the signed quotes verbatim, retagging only the
+    /// shard/member labels to the router's own configuration (a shard
+    /// server cannot know its position in a replica set). The router
+    /// dials fresh probe sessions — pooled sessions are post-handshake,
+    /// where `Attest` is a protocol violation — and skips members that
+    /// are unreachable or backing off: attestation needs proof that the
+    /// enclaves *serving* are genuine, and a dead member is not serving.
+    /// Zero reachable members means the client can verify nothing, which
+    /// is a structured `attestation_failed`, never an empty `AttestOk`.
+    fn attest(&self, id: u64, nonce: [u8; 32]) -> Response {
+        let mut quotes: Vec<WireQuote> = Vec::new();
+        let mut last_failure: Option<String> = None;
+        for set in &self.sets {
+            for member in &set.members {
+                if member.in_backoff() {
+                    last_failure = Some(format!(
+                        "shard {} ({}) backing off",
+                        member.shard, member.addr
+                    ));
+                    continue;
+                }
+                member.requests_forwarded.fetch_add(1, Ordering::Relaxed);
+                match upstream_builder(&self.config, &member.addr)
+                    .attest_nonce(nonce)
+                    .probe()
+                {
+                    Ok(session) => {
+                        quotes.extend(session.quotes().iter().map(|quote| WireQuote {
+                            shard_index: member.shard,
+                            member: member.member,
+                            ..quote.clone()
+                        }));
+                        let _ = session.close();
+                    }
+                    Err(e) => {
+                        member.errors.fetch_add(1, Ordering::Relaxed);
+                        last_failure =
+                            Some(format!("shard {} ({}): {e}", member.shard, member.addr));
+                    }
+                }
+            }
+        }
+        if quotes.is_empty() {
+            return Response::Error {
+                id,
+                error: WireError::new(
+                    ErrorCode::AttestationFailed,
+                    format!(
+                        "no upstream enclave produced a quote (last: {})",
+                        last_failure.unwrap_or_else(|| "none tried".to_string())
+                    ),
+                ),
+            };
+        }
+        Response::AttestOk { id, quotes }
     }
 
     /// The router presents itself as the whole map (`0/1`) and reports

@@ -8,6 +8,9 @@
 //!                  [--max-connections N] [--max-in-flight N]
 //! ```
 //!
+//! Flags accept both `--flag value` and `--flag=value` (parsing shared
+//! with the other binaries via `concealer-cli`).
+//!
 //! `--shard-addr` must be given **in shard order**: the i-th entry
 //! names the server(s) started with `--shard i/N`. An entry may be a
 //! comma-separated replica-set member list
@@ -35,6 +38,10 @@ use std::sync::Arc;
 use concealer_router::{RouterConfig, RouterHandler};
 use concealer_server::{Server, ServerConfig, ServerMode, PROTOCOL_VERSION};
 
+const USAGE: &str = "concealer-router --shard-addr HOST:PORT [--shard-addr HOST:PORT ...] \
+                     [--mode threaded|event] [--port N] [--max-connections N] \
+                     [--max-in-flight N]";
+
 struct Args {
     mode: ServerMode,
     port: u16,
@@ -43,7 +50,8 @@ struct Args {
     max_in_flight: usize,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Args {
+    let mut cli = concealer_cli::Args::new("concealer-router", USAGE);
     let mut args = Args {
         // Unlike the shard server, the router defaults to the event core
         // (fan-out is I/O-bound; see the module docs).
@@ -53,52 +61,25 @@ fn parse_args() -> Result<Args, String> {
         max_connections: 64,
         max_in_flight: 8,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let flag = argv[i].as_str();
-        let mut value = |name: &str| -> Result<String, String> {
-            i += 1;
-            argv.get(i)
-                .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
-        match flag {
-            "--mode" => args.mode = ServerMode::parse(&value("--mode")?)?,
-            "--port" => args.port = parse(&value("--port")?)?,
-            "--shard-addr" => args.shards.push(value("--shard-addr")?),
-            "--max-connections" => args.max_connections = parse(&value("--max-connections")?)?,
-            "--max-in-flight" => args.max_in_flight = parse(&value("--max-in-flight")?)?,
-            "--help" | "-h" => {
-                return Err(
-                    "usage: concealer-router --shard-addr HOST:PORT [--shard-addr HOST:PORT ...] \
-                     [--mode threaded|event] [--port N] [--max-connections N] [--max-in-flight N]"
-                        .to_string(),
-                )
-            }
-            other => return Err(format!("unknown flag {other}")),
+    while let Some(flag) = cli.next_flag() {
+        match flag.as_str() {
+            "--mode" => args.mode = cli.parse_with("--mode", ServerMode::parse),
+            "--port" => args.port = cli.parse("--port"),
+            "--shard-addr" => args.shards.push(cli.value("--shard-addr")),
+            "--max-connections" => args.max_connections = cli.parse("--max-connections"),
+            "--max-in-flight" => args.max_in_flight = cli.parse("--max-in-flight"),
+            "--help" | "-h" => cli.help(),
+            other => cli.unknown(other),
         }
-        i += 1;
     }
     if args.shards.is_empty() {
-        return Err("at least one --shard-addr is required".to_string());
+        cli.fail("at least one --shard-addr is required");
     }
-    Ok(args)
-}
-
-fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
-    s.parse()
-        .map_err(|_| format!("invalid numeric value {s:?}"))
+    args
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(args) => args,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
-    };
+    let args = parse_args();
 
     let shard_count = args.shards.len();
     eprintln!("concealer-router: probing {shard_count} shard(s)");

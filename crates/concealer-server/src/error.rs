@@ -71,6 +71,12 @@ pub enum ErrorCode {
     /// replica set's writer mutates the shared store root; retry against
     /// the writer, or promote this member first.
     NotWriter,
+    /// The attestation exchange failed (v4): a `Hello` arrived on a
+    /// connection that never completed a successful `Attest`, or a router
+    /// could not gather a single quote from its upstreams. Clients also
+    /// raise this code locally when a received quote fails their trust
+    /// policy — in every case the connection is not safe for credentials.
+    AttestationFailed,
 }
 
 impl ErrorCode {
@@ -101,6 +107,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::ShardUnavailable => "shard_unavailable",
             ErrorCode::NotWriter => "not_writer",
+            ErrorCode::AttestationFailed => "attestation_failed",
         }
     }
 }

@@ -13,8 +13,13 @@ use crate::protocol::Response;
 /// Protocol phase of a connection (the threaded core's states plus an
 /// in-validation step, because this core validates hellos off-loop).
 pub(super) enum Auth {
-    /// Nothing accepted yet but `Request::Hello`.
+    /// Nothing accepted yet but `Request::Attest`, `Request::ShardInfo`
+    /// or (once attested) `Request::Hello`.
     AwaitingHello,
+    /// An `Attest` was dispatched to a worker (a router dials its
+    /// upstreams for quotes); decoding is paused until the outcome lands,
+    /// preserving request order exactly like [`Auth::HelloPending`].
+    AttestPending,
     /// A `Hello` was dispatched to a worker for validation; decoding is
     /// paused until the outcome lands (pipelined frames sent behind the
     /// hello wait in the buffer, preserving request order).
@@ -45,6 +50,9 @@ pub(super) struct Conn {
     pub(super) out: Vec<u8>,
     pub(super) out_pos: usize,
     pub(super) auth: Auth,
+    /// Whether this connection has completed a successful `Attest` (v4);
+    /// `Hello` is refused until it has.
+    pub(super) attested: bool,
     /// Engine requests dispatched to the worker pool and unanswered.
     pub(super) in_flight: usize,
     /// A `Goodbye` arrived: stop reading, answer `Bye` once `in_flight`
@@ -83,6 +91,7 @@ impl Conn {
             out: Vec::new(),
             out_pos: 0,
             auth: Auth::AwaitingHello,
+            attested: false,
             in_flight: 0,
             goodbye_pending: false,
             closing: None,

@@ -327,9 +327,9 @@ impl EventLoop {
             if conn.closing.is_some() || conn.goodbye_pending {
                 return;
             }
-            // A hello is validating on a worker: hold every frame behind
-            // it in the buffer so request order is preserved.
-            if matches!(conn.auth, Auth::HelloPending) {
+            // A hello (or attest) is resolving on a worker: hold every
+            // frame behind it in the buffer so request order is preserved.
+            if matches!(conn.auth, Auth::HelloPending | Auth::AttestPending) {
                 return;
             }
             // Once the peer half-closed no more bytes can arrive, so the
@@ -389,6 +389,21 @@ impl EventLoop {
                 // dials upstreams); decoding pauses until the outcome
                 // lands in `process_completions`.
                 let _ = client_name;
+                if !conn.attested {
+                    // Mirrors the threaded core: no credential crosses the
+                    // wire until the enclave has proven its measurement.
+                    self.reply(
+                        conn,
+                        &error_reply(
+                            CONNECTION_LEVEL_ID,
+                            ErrorCode::AttestationFailed,
+                            "Hello before a successful Attest; complete the \
+                             attestation exchange first",
+                        ),
+                    );
+                    conn.closing = Some(Closing::Drop);
+                    return;
+                }
                 conn.auth = Auth::HelloPending;
                 conn.in_flight += 1;
                 self.total_in_flight += 1;
@@ -399,8 +414,32 @@ impl EventLoop {
                     credential,
                 });
             }
-            (Auth::HelloPending, _) => {
-                unreachable!("decoding is paused while a hello validates")
+            (Auth::HelloPending | Auth::AttestPending, _) => {
+                unreachable!("decoding is paused while a hello or attest resolves")
+            }
+            // The other pre-auth request besides ShardInfo: the attestation
+            // challenge. Dispatched to a worker because a router's quote
+            // gathering dials every upstream member.
+            (Auth::AwaitingHello, Request::Attest { id, nonce }) => {
+                if id == CONNECTION_LEVEL_ID {
+                    self.refuse_reserved_id(conn);
+                    return;
+                }
+                conn.auth = Auth::AttestPending;
+                conn.in_flight += 1;
+                self.total_in_flight += 1;
+                self.pool.submit(Job::Attest { conn_id, id, nonce });
+            }
+            (Auth::Ready(_), Request::Attest { .. }) => {
+                self.reply(
+                    conn,
+                    &error_reply(
+                        CONNECTION_LEVEL_ID,
+                        ErrorCode::ProtocolViolation,
+                        "Attest must precede authentication",
+                    ),
+                );
+                conn.closing = Some(Closing::Drop);
             }
             // Pre-auth topology discovery, mirroring the threaded core: a
             // router probes shard slices before it holds any credential.
@@ -533,6 +572,16 @@ impl EventLoop {
                 Completion::Hello(Err(refusal)) => {
                     conn.queue_reply(&refusal);
                     conn.closing = Some(Closing::Drop);
+                }
+                Completion::Attest(reply) => {
+                    // Success unlocks Hello; an error reply leaves the
+                    // connection open and unattested so the client may
+                    // retry the challenge.
+                    if matches!(reply, Response::AttestOk { .. }) {
+                        conn.attested = true;
+                    }
+                    conn.auth = Auth::AwaitingHello;
+                    conn.queue_reply(&reply);
                 }
             }
             self.settle(conn_id, conn);

@@ -29,6 +29,13 @@ pub(super) enum Job {
         user_id: u64,
         credential: [u8; 32],
     },
+    /// A pre-auth `Attest` challenge. On a worker for the same reason as
+    /// `Hello`: a router gathers quotes by dialing every upstream member.
+    Attest {
+        conn_id: u64,
+        id: u64,
+        nonce: [u8; 32],
+    },
 }
 
 /// What a finished job means for its connection.
@@ -38,6 +45,10 @@ pub(super) enum Completion {
     /// The handshake outcome: `Ok` authenticates the connection and
     /// queues `HelloOk`; `Err` queues the refusal and closes.
     Hello(Result<(UserHandle, ServerInfo), Response>),
+    /// The attestation outcome: `AttestOk` marks the connection attested
+    /// (unlocking `Hello`); an error reply leaves it unattested but open,
+    /// so the client may retry.
+    Attest(Response),
 }
 
 struct QueueState {
@@ -147,6 +158,10 @@ impl WorkerPool {
                                 } => {
                                     let outcome = handler.handshake(version, user_id, credential);
                                     completions.push(conn_id, Completion::Hello(outcome));
+                                }
+                                Job::Attest { conn_id, id, nonce } => {
+                                    let reply = handler.attest(id, nonce);
+                                    completions.push(conn_id, Completion::Attest(reply));
                                 }
                             }
                         }

@@ -5,7 +5,11 @@
 //! concealer-server [--mode threaded|event] [--port N] [--hours H] [--seed S]
 //!                  [--max-connections N] [--max-in-flight N] [--no-ingest]
 //!                  [--shard INDEX/TOTAL] [--store PATH [--replica] [--refresh-ms N]]
+//!                  [--rotate-after-ms N]
 //! ```
+//!
+//! Flags accept both `--flag value` and `--flag=value` (parsing shared
+//! with the other binaries via `concealer-cli`).
 //!
 //! The deployment is `concealer_examples::demo_system(hours, seed)` —
 //! fully determined by `(hours, seed)`, including the master key, so a
@@ -18,6 +22,12 @@
 //! `PATH` instead; with `--replica` the process joins `PATH`'s replica set
 //! read-only, absorbing the writer's committed epochs every `--refresh-ms`
 //! (default 200) until promoted over the wire.
+//!
+//! `--rotate-after-ms N` rotates the master-key generation online N
+//! milliseconds after the listener binds, printing one
+//! `ROTATION generation=… epochs=…` line on stdout when the re-wrap
+//! completes — the hook `ci/server-soak.sh` uses to drive a rotation
+//! under live query load (see `OPERATIONS.md` § "Master-key rotation").
 //!
 //! Prints exactly one `READY addr=… backend=… protocol=… mode=…` line on
 //! stdout once the listener is bound (what `ci/server-soak.sh` waits
@@ -34,6 +44,11 @@ use std::sync::Arc;
 
 use concealer_server::{Server, ServerConfig, ServerMode, PROTOCOL_VERSION};
 
+const USAGE: &str = "concealer-server [--mode threaded|event] [--port N] [--hours H] \
+                     [--seed S] [--max-connections N] [--max-in-flight N] [--no-ingest] \
+                     [--shard INDEX/TOTAL] [--store PATH [--replica] [--refresh-ms N]] \
+                     [--rotate-after-ms N]";
+
 struct Args {
     mode: ServerMode,
     port: u16,
@@ -46,6 +61,7 @@ struct Args {
     store: Option<std::path::PathBuf>,
     replica: bool,
     refresh_ms: u64,
+    rotate_after_ms: Option<u64>,
 }
 
 /// Parse `--shard i/t` (e.g. `1/4`): this process owns epoch-hash slice
@@ -54,8 +70,12 @@ fn parse_shard(s: &str) -> Result<(u32, u32), String> {
     let (index, total) = s
         .split_once('/')
         .ok_or_else(|| format!("invalid shard spec {s:?} (expected INDEX/TOTAL, e.g. 0/2)"))?;
-    let index: u32 = parse(index)?;
-    let total: u32 = parse(total)?;
+    let index: u32 = index
+        .parse()
+        .map_err(|_| format!("invalid shard index {index:?}"))?;
+    let total: u32 = total
+        .parse()
+        .map_err(|_| format!("invalid shard total {total:?}"))?;
     if total == 0 || index >= total {
         return Err(format!(
             "shard index {index} out of range for total {total}"
@@ -64,7 +84,8 @@ fn parse_shard(s: &str) -> Result<(u32, u32), String> {
     Ok((index, total))
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Args {
+    let mut cli = concealer_cli::Args::new("concealer-server", USAGE);
     let mut args = Args {
         mode: ServerMode::Threaded,
         port: 0,
@@ -77,66 +98,40 @@ fn parse_args() -> Result<Args, String> {
         store: None,
         replica: false,
         refresh_ms: 200,
+        rotate_after_ms: None,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let flag = argv[i].as_str();
-        let mut value = |name: &str| -> Result<String, String> {
-            i += 1;
-            argv.get(i)
-                .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
-        match flag {
-            "--mode" => args.mode = ServerMode::parse(&value("--mode")?)?,
-            "--port" => args.port = parse(&value("--port")?)?,
-            "--hours" => args.hours = parse(&value("--hours")?)?,
-            "--seed" => args.seed = parse(&value("--seed")?)?,
-            "--max-connections" => args.max_connections = parse(&value("--max-connections")?)?,
-            "--max-in-flight" => args.max_in_flight = parse(&value("--max-in-flight")?)?,
+    while let Some(flag) = cli.next_flag() {
+        match flag.as_str() {
+            "--mode" => args.mode = cli.parse_with("--mode", ServerMode::parse),
+            "--port" => args.port = cli.parse("--port"),
+            "--hours" => args.hours = cli.parse("--hours"),
+            "--seed" => args.seed = cli.parse("--seed"),
+            "--max-connections" => args.max_connections = cli.parse("--max-connections"),
+            "--max-in-flight" => args.max_in_flight = cli.parse("--max-in-flight"),
             "--no-ingest" => args.allow_ingest = false,
-            "--shard" => args.shard = Some(parse_shard(&value("--shard")?)?),
-            "--store" => args.store = Some(std::path::PathBuf::from(value("--store")?)),
+            "--shard" => args.shard = Some(cli.parse_with("--shard", parse_shard)),
+            "--store" => args.store = Some(std::path::PathBuf::from(cli.value("--store"))),
             "--replica" => args.replica = true,
-            "--refresh-ms" => args.refresh_ms = parse(&value("--refresh-ms")?)?,
-            "--help" | "-h" => {
-                return Err(
-                    "usage: concealer-server [--mode threaded|event] [--port N] [--hours H] \
-                     [--seed S] [--max-connections N] [--max-in-flight N] [--no-ingest] \
-                     [--shard INDEX/TOTAL] [--store PATH [--replica] [--refresh-ms N]]"
-                        .to_string(),
-                )
-            }
-            other => return Err(format!("unknown flag {other}")),
+            "--refresh-ms" => args.refresh_ms = cli.parse("--refresh-ms"),
+            "--rotate-after-ms" => args.rotate_after_ms = Some(cli.parse("--rotate-after-ms")),
+            "--help" | "-h" => cli.help(),
+            other => cli.unknown(other),
         }
-        i += 1;
     }
     if args.hours == 0 {
-        return Err("--hours must be at least 1".to_string());
+        cli.fail("--hours must be at least 1");
     }
     if args.replica && args.store.is_none() {
-        return Err("--replica requires --store PATH (the writer's store root)".to_string());
+        cli.fail("--replica requires --store PATH (the writer's store root)");
     }
     if args.refresh_ms == 0 {
-        return Err("--refresh-ms must be at least 1".to_string());
+        cli.fail("--refresh-ms must be at least 1");
     }
-    Ok(args)
-}
-
-fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
-    s.parse()
-        .map_err(|_| format!("invalid numeric value {s:?}"))
+    args
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(args) => args,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
-    };
+    let args = parse_args();
 
     eprintln!(
         "concealer-server: building demo deployment (hours={}, seed={})",
@@ -202,6 +197,24 @@ fn main() -> ExitCode {
         })
     });
 
+    // The online-rotation hook: bump the master-key generation mid-serve,
+    // while queries keep flowing. The ROTATION line is the machine-readable
+    // signal ci/server-soak.sh greps for.
+    let rotate_thread = args.rotate_after_ms.map(|ms| {
+        let system = Arc::clone(&system);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            match system.rotate_master_generation() {
+                Ok((generation, epochs)) => {
+                    println!("ROTATION generation={generation} epochs={epochs}");
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                }
+                Err(e) => eprintln!("concealer-server: online key rotation failed: {e}"),
+            }
+        })
+    });
+
     // The READY line is the machine-readable contract with ci/server-soak.sh
     // and any other launcher: one line, stdout, flushed before serving.
     let shard_suffix = args
@@ -224,6 +237,9 @@ fn main() -> ExitCode {
     let report = handle.join();
     refresh_stop.store(true, std::sync::atomic::Ordering::Release);
     if let Some(thread) = refresh_thread {
+        let _ = thread.join();
+    }
+    if let Some(thread) = rotate_thread {
         let _ = thread.join();
     }
     if report.graceful {

@@ -55,9 +55,13 @@ use crate::error::WireError;
 /// the replica-set extensions — [`ShardDescriptor`] grew `role` and
 /// `store_generation`, [`ShardLoad`] grew `member` and `writer`,
 /// [`Request::Promote`] / [`Response::PromoteOk`] and the `not_writer`
-/// error code were added. The canonical field-by-field layout of every
-/// message lives in `PROTOCOL.md` at the repository root.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// error code were added; version 4 appended the attestation pre-auth
+/// exchange — [`Request::Attest`] / [`Response::AttestOk`] carrying
+/// [`WireQuote`]s, the `attestation_failed` error code — and made a
+/// successful `Attest` a precondition for `Hello`. The canonical
+/// field-by-field layout of every message lives in `PROTOCOL.md` at the
+/// repository root.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Request id used for connection-level errors that cannot be attributed
 /// to a request (malformed frame, handshake refusal, admission rejection).
@@ -194,6 +198,20 @@ pub enum Request {
         /// Caller-chosen request id echoed in the reply (must be nonzero).
         id: u64,
     },
+    /// Ask the serving enclave(s) to prove their identity before any
+    /// credential is sent (v4). Like [`Request::ShardInfo`], this is
+    /// answerable **before** authentication — it must be, because clients
+    /// refuse to send `Hello` until the quotes verify. Servers in turn
+    /// refuse `Hello` on a connection that has not completed a successful
+    /// `Attest` ([`crate::error::ErrorCode::AttestationFailed`]), so the
+    /// exchange is mandatory in both directions.
+    Attest {
+        /// Caller-chosen request id echoed in the reply (must be nonzero).
+        id: u64,
+        /// Client-chosen freshness challenge, echoed inside every quote's
+        /// signature so a captured quote cannot be replayed.
+        nonce: [u8; 32],
+    },
 }
 
 impl Request {
@@ -213,7 +231,8 @@ impl Request {
             | Request::ExecutePartial { id, .. }
             | Request::ExecuteBatchPartial { id, .. }
             | Request::RouterStats { id }
-            | Request::Promote { id } => *id,
+            | Request::Promote { id }
+            | Request::Attest { id, .. } => *id,
         }
     }
 }
@@ -494,6 +513,33 @@ pub struct ShardLoad {
     pub writer: bool,
 }
 
+/// One enclave's attestation evidence inside [`Response::AttestOk`] (v4):
+/// the wire form of [`concealer_enclave::Quote`], tagged with which shard
+/// member produced it. A single server reports one quote; a router reports
+/// one per reachable upstream member, so the client sees every enclave its
+/// queries may touch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireQuote {
+    /// The shard index of the member that produced this quote (`0` when
+    /// unsharded).
+    pub shard_index: u32,
+    /// The member's position within its shard's replica set (0-based).
+    pub member: u32,
+    /// The enclave's deterministic measurement (hash over code version and
+    /// configuration).
+    pub measurement: [u8; 32],
+    /// The enclave code version baked into the measurement.
+    pub code_version: u32,
+    /// When the quote was produced (seconds since the Unix epoch); clients
+    /// bound its age via their trust policy.
+    pub timestamp: u64,
+    /// The client nonce this quote answers (echoed from the request).
+    pub nonce: [u8; 32],
+    /// Signature binding measurement, code version, timestamp and nonce
+    /// under the simulated attestation root key.
+    pub signature: [u8; 32],
+}
+
 /// Server → client messages. Replies echo the request id. The threaded
 /// server answers in request order per connection; the event server
 /// completes pipelined requests out of order — clients must match replies
@@ -595,6 +641,17 @@ pub enum Response {
         /// server was already the writer).
         epochs_registered: u64,
     },
+    /// Reply to [`Request::Attest`] (v4): the enclave quote(s) answering
+    /// the request's nonce. A failed attestation is a
+    /// [`Response::Error`] with
+    /// [`crate::error::ErrorCode::AttestationFailed`] instead.
+    AttestOk {
+        /// The echoed request id.
+        id: u64,
+        /// One quote per serving enclave: a single entry from a shard
+        /// server, one per reachable replica-set member from a router.
+        quotes: Vec<WireQuote>,
+    },
 }
 
 impl Response {
@@ -615,7 +672,8 @@ impl Response {
             | Response::PartialAnswer { id, .. }
             | Response::BatchPartialAnswer { id, .. }
             | Response::RouterStatsOk { id, .. }
-            | Response::PromoteOk { id, .. } => *id,
+            | Response::PromoteOk { id, .. }
+            | Response::AttestOk { id, .. } => *id,
         }
     }
 }
@@ -677,6 +735,10 @@ mod tests {
             },
             Request::RouterStats { id: 10 },
             Request::Promote { id: 11 },
+            Request::Attest {
+                id: 12,
+                nonce: [0xA5u8; 32],
+            },
         ];
         for request in requests {
             assert_eq!(roundtrip(&request), request);
@@ -807,6 +869,18 @@ mod tests {
             Response::PromoteOk {
                 id: 11,
                 epochs_registered: 3,
+            },
+            Response::AttestOk {
+                id: 12,
+                quotes: vec![WireQuote {
+                    shard_index: 2,
+                    member: 1,
+                    measurement: [7u8; 32],
+                    code_version: 1,
+                    timestamp: 1_700_000_000,
+                    nonce: [0xA5u8; 32],
+                    signature: [9u8; 32],
+                }],
             },
         ];
         for response in responses {

@@ -195,6 +195,12 @@ pub trait ServeHandler: Send + Sync + 'static {
     /// Answer pre-auth topology discovery (`Request::ShardInfo`).
     fn shard_info(&self, id: u64) -> Response;
 
+    /// Answer the pre-auth attestation challenge (`Request::Attest`, v4):
+    /// produce the serving enclave's quote(s) over `nonce`. May block —
+    /// a router dials every upstream member for its quote — so the event
+    /// core always calls this on a worker thread.
+    fn attest(&self, id: u64, nonce: [u8; 32]) -> Response;
+
     /// Answer `Request::RouterStats` (shard servers refuse it).
     fn router_stats(&self, id: u64) -> Response;
 
@@ -243,8 +249,40 @@ impl ServeHandler for EngineHandler {
         }
     }
 
+    fn attest(&self, id: u64, nonce: [u8; 32]) -> Response {
+        Response::AttestOk {
+            id,
+            quotes: vec![local_quote(&self.system, &self.config, nonce)],
+        }
+    }
+
     fn router_stats(&self, id: u64) -> Response {
         router_stats_refusal(id)
+    }
+}
+
+/// Produce this process's own enclave quote as a wire quote. Shared by
+/// [`EngineHandler`] and any deployment that reports its local enclave
+/// (member `0` — the member index is a replica-set notion only a router
+/// knows; it rewrites the tag when forwarding).
+pub(crate) fn local_quote(
+    system: &ConcealerSystem,
+    config: &ServerConfig,
+    nonce: [u8; 32],
+) -> crate::protocol::WireQuote {
+    let (shard_index, _total) = config.shard.unwrap_or((0, 1));
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let quote = system.engine().enclave().quote(nonce, timestamp);
+    crate::protocol::WireQuote {
+        shard_index,
+        member: 0,
+        measurement: quote.measurement,
+        code_version: quote.code_version,
+        timestamp: quote.timestamp,
+        nonce: quote.nonce,
+        signature: quote.signature,
     }
 }
 
@@ -598,6 +636,10 @@ enum ConnState {
 /// Serve one connection until it closes, errors, or the server drains.
 fn handle_connection(shared: &ServeShared<'_>, mut stream: TcpStream) {
     let mut state = ConnState::AwaitingHello;
+    // Whether this connection has completed a successful `Attest` (v4).
+    // `Hello` is refused until it has, so a client can never hand its
+    // credential to an enclave that failed (or skipped) measurement.
+    let mut attested = false;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             // Drain mode: tell a client that is still talking, then leave.
@@ -653,14 +695,24 @@ fn handle_connection(shared: &ServeShared<'_>, mut stream: TcpStream) {
                 },
             ) => {
                 let _ = client_name;
-                match shared.handler.handshake(version, user_id, credential) {
-                    Ok((user, info)) => {
-                        state = ConnState::Ready(user);
-                        Outcome::Reply(Response::HelloOk(info))
+                if !attested {
+                    Outcome::Fatal(error_reply(
+                        CONNECTION_LEVEL_ID,
+                        ErrorCode::AttestationFailed,
+                        "Hello before a successful Attest; complete the \
+                         attestation exchange first",
+                    ))
+                } else {
+                    match shared.handler.handshake(version, user_id, credential) {
+                        Ok((user, info)) => {
+                            state = ConnState::Ready(user);
+                            Outcome::Reply(Response::HelloOk(info))
+                        }
+                        Err(reply) => Outcome::Fatal(reply),
                     }
-                    Err(reply) => Outcome::Fatal(reply),
                 }
             }
+            // The pre-authentication surface is exactly {Attest, ShardInfo}.
             // Topology discovery is answerable before authentication: a
             // router probes every shard's slice at startup, before it has
             // any client credential to forward. The descriptor only names
@@ -673,6 +725,26 @@ fn handle_connection(shared: &ServeShared<'_>, mut stream: TcpStream) {
                     Outcome::Reply(shared.handler.shard_info(id))
                 }
             }
+            // Attestation is the other pre-auth request — necessarily so,
+            // because clients refuse to send Hello until quotes verify.
+            // After authentication it is a protocol violation (the
+            // connection's trust decision was already made).
+            (ConnState::AwaitingHello, Request::Attest { id, nonce }) => {
+                if id == CONNECTION_LEVEL_ID {
+                    reserved_id()
+                } else {
+                    let reply = shared.handler.attest(id, nonce);
+                    if matches!(reply, Response::AttestOk { .. }) {
+                        attested = true;
+                    }
+                    Outcome::Reply(reply)
+                }
+            }
+            (ConnState::Ready(_), Request::Attest { .. }) => Outcome::Fatal(error_reply(
+                CONNECTION_LEVEL_ID,
+                ErrorCode::ProtocolViolation,
+                "Attest must precede authentication",
+            )),
             (ConnState::AwaitingHello, _) => Outcome::Fatal(error_reply(
                 CONNECTION_LEVEL_ID,
                 ErrorCode::NotAuthenticated,
@@ -773,7 +845,7 @@ fn dispatch(shared: &ServeShared<'_>, user: &UserHandle, request: Request) -> Ou
     match request {
         Request::Hello { .. } => unreachable!("handled by the connection state machine"),
         Request::Goodbye => Outcome::Close(Response::Bye),
-        Request::ShardInfo { .. } => {
+        Request::ShardInfo { .. } | Request::Attest { .. } => {
             unreachable!("handled pre-dispatch by the connection state machine")
         }
         Request::RouterStats { id } => {
@@ -986,7 +1058,8 @@ pub(crate) fn execute_engine_request(
         | Request::Shutdown { .. }
         | Request::ServeStats { .. }
         | Request::ShardInfo { .. }
-        | Request::RouterStats { .. } => {
+        | Request::RouterStats { .. }
+        | Request::Attest { .. } => {
             unreachable!("connection-level requests never reach the engine executor")
         }
     }

@@ -119,6 +119,11 @@ impl ShardedEpochs {
 ///   parallel batch fetches scale ([`StorageBackend::shard_count`] reports
 ///   the concurrency the backend provides).
 ///
+/// The re-wrap callback [`StorageBackend::rewrap_keys`] drives:
+/// `(epoch_id, new_generation, old_blob)` → the blob re-wrapped under the
+/// new generation.
+pub type RewrapFn<'a> = dyn FnMut(u64, u64, &[u8]) -> Result<Vec<u8>> + 'a;
+
 /// Backends store ciphertext only and are *untrusted*: nothing here is
 /// security-sensitive, because tampering (on disk or in memory) is caught
 /// by the enclave's hash-chain verification at fetch time.
@@ -187,6 +192,62 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     /// the difference between the writer's and the replica's values.
     /// Backends without a durable commit point report 0.
     fn store_generation(&self) -> u64 {
+        0
+    }
+
+    /// Record a wrapped per-epoch seal secret in the store's key vault:
+    /// "epoch `epoch_id`'s seal secret, wrapped under master-key
+    /// generation `generation`". Backends without durable lifecycle state
+    /// accept and discard it — key material never *needs* the vault; it
+    /// exists so a durable store can prove which master generation its
+    /// epochs are readable under and so rotation has something to re-wrap.
+    fn seal_key(&self, epoch_id: u64, generation: u64, wrapped: Vec<u8>) -> Result<()> {
+        let _ = (epoch_id, generation, wrapped);
+        Ok(())
+    }
+
+    /// The vault entry for an epoch: `(generation, wrapped blob)`, or
+    /// `None` when the epoch has no entry (ingested before the vault
+    /// existed, or a backend without one).
+    fn sealed_key(&self, epoch_id: u64) -> Option<(u64, Vec<u8>)> {
+        let _ = epoch_id;
+        None
+    }
+
+    /// The master-key generation rotation has most recently *begun* on
+    /// this store. Vault entries may lag this counter mid-rotation; they
+    /// may never lead it.
+    fn key_generation(&self) -> u64 {
+        0
+    }
+
+    /// Durably begin rotating to `new_generation`: bump the generation
+    /// counter *before* any entry is re-wrapped, so a crash mid-rotation
+    /// leaves entries behind the counter (a legal, resumable state) and
+    /// never ahead of it. Bumping to a generation at or below the current
+    /// one is a no-op (idempotent resume).
+    fn begin_key_rotation(&self, new_generation: u64) -> Result<()> {
+        let _ = new_generation;
+        Ok(())
+    }
+
+    /// Re-wrap up to `limit` vault entries still behind the current key
+    /// generation, calling `rewrap(epoch_id, new_generation, old_blob)`
+    /// for each — `new_generation` is the generation the backend will
+    /// record for the returned blob — and committing every new blob
+    /// durably before the next. Returns how many entries were re-wrapped;
+    /// `0` means the rotation is complete. Bounded batches keep each
+    /// manifest commit small, so the background rotation job never holds
+    /// a lock for long and queries are never blocked on it.
+    fn rewrap_keys(&self, rewrap: &mut RewrapFn<'_>, limit: usize) -> Result<usize> {
+        let _ = (rewrap, limit);
+        Ok(0)
+    }
+
+    /// Number of vault entries still wrapped under a generation older than
+    /// [`StorageBackend::key_generation`] — `0` when no rotation is in
+    /// flight.
+    fn rotation_pending(&self) -> usize {
         0
     }
 }

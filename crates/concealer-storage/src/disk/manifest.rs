@@ -27,19 +27,34 @@ use std::path::{Path, PathBuf};
 
 /// Manifest file name within the store root.
 pub(crate) const MANIFEST_FILE: &str = "MANIFEST";
-const MAGIC: [u8; 4] = *b"CMN1";
+/// Legacy (pre key-vault) manifest format: entries only. Still readable —
+/// a CMN1 store opens at key generation 0 with an empty vault.
+const MAGIC_V1: [u8; 4] = *b"CMN1";
+/// Current format: entries + master-key generation + wrapped-key vault.
+const MAGIC_V2: [u8; 4] = *b"CMN2";
 
-/// Committed epochs: epoch id → segment-file generation.
+/// Committed epochs plus the master-key lifecycle state: the current key
+/// generation and the per-epoch wrapped seal secrets (the "key vault").
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct Manifest {
     pub(crate) entries: BTreeMap<u64, u64>,
+    /// The master-key generation rotation has most recently *begun*.
+    /// Bumped (durably) before any vault entry is re-wrapped, so a crash
+    /// can leave entries *behind* this counter but never ahead of it.
+    pub(crate) key_generation: u64,
+    /// Per-epoch key vault: epoch id → (generation the blob was wrapped
+    /// under, 64-byte wrapped seal secret). Epochs ingested before the
+    /// vault existed have no entry and are skipped by validation.
+    pub(crate) wrapped_keys: BTreeMap<u64, (u64, Vec<u8>)>,
 }
 
 impl Manifest {
     fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
-        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&MAGIC_V2);
         buf.extend_from_slice(&serde::bin::to_bytes(&self.entries));
+        buf.extend_from_slice(&serde::bin::to_bytes(&self.key_generation));
+        buf.extend_from_slice(&serde::bin::to_bytes(&self.wrapped_keys));
         let checksum = fnv1a(&buf);
         buf.extend_from_slice(&checksum.to_le_bytes());
         buf
@@ -49,11 +64,33 @@ impl Manifest {
         let body_len = bytes.len().checked_sub(8)?;
         let (body, tail) = bytes.split_at(body_len);
         let checksum = u64::from_le_bytes(tail.try_into().ok()?);
-        if body.len() < MAGIC.len() || body[..MAGIC.len()] != MAGIC || fnv1a(body) != checksum {
+        if body.len() < 4 || fnv1a(body) != checksum {
             return None;
         }
-        let entries = serde::bin::from_bytes(&body[MAGIC.len()..]).ok()?;
-        Some(Manifest { entries })
+        let (magic, payload) = body.split_at(4);
+        if magic == MAGIC_V1 {
+            let entries = serde::bin::from_bytes(payload).ok()?;
+            return Some(Manifest {
+                entries,
+                key_generation: 0,
+                wrapped_keys: BTreeMap::new(),
+            });
+        }
+        if magic != MAGIC_V2 {
+            return None;
+        }
+        let mut cursor = serde::bin::BinDeserializer::new(payload);
+        let entries = serde::Deserialize::deserialize(&mut cursor).ok()?;
+        let key_generation = serde::Deserialize::deserialize(&mut cursor).ok()?;
+        let wrapped_keys = serde::Deserialize::deserialize(&mut cursor).ok()?;
+        if cursor.remaining() != 0 {
+            return None;
+        }
+        Some(Manifest {
+            entries,
+            key_generation,
+            wrapped_keys,
+        })
     }
 
     pub(crate) fn path(root: &Path) -> PathBuf {
@@ -137,6 +174,45 @@ mod tests {
         assert_eq!(Manifest::load(&root).unwrap(), m);
         assert!(!root.join("MANIFEST.tmp").exists());
         let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn vault_state_round_trips() {
+        let root = temp_root("vault");
+        let mut m = Manifest::default();
+        m.entries.insert(0, 1);
+        m.key_generation = 3;
+        m.wrapped_keys.insert(0, (3, vec![0xAB; 64]));
+        m.wrapped_keys.insert(3600, (2, vec![0xCD; 64]));
+        m.save(&root).unwrap();
+        assert_eq!(Manifest::load(&root).unwrap(), m);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn legacy_cmn1_manifest_opens_at_generation_zero() {
+        // A pre-vault (CMN1) manifest: magic + entries map + fnv1a footer.
+        let mut entries = BTreeMap::new();
+        entries.insert(7u64, 2u64);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"CMN1");
+        bytes.extend_from_slice(&serde::bin::to_bytes(&entries));
+        let checksum = fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+
+        let decoded = Manifest::decode(&bytes).expect("legacy manifests must stay readable");
+        assert_eq!(decoded.entries, entries);
+        assert_eq!(decoded.key_generation, 0);
+        assert!(decoded.wrapped_keys.is_empty());
+    }
+
+    #[test]
+    fn unknown_magic_is_corruption() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"CMN9");
+        let checksum = fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        assert!(Manifest::decode(&bytes).is_none());
     }
 
     #[test]

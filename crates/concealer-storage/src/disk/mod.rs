@@ -54,7 +54,7 @@
 mod manifest;
 mod segment;
 
-use crate::backend::{ShardedEpochs, StorageBackend};
+use crate::backend::{RewrapFn, ShardedEpochs, StorageBackend};
 use crate::epoch_store::StoredEpoch;
 use crate::{Result, StorageError};
 use manifest::{io_err, sync_dir, Manifest};
@@ -242,6 +242,20 @@ fn recover(root: &Path, cache: &ShardedEpochs, loaded: &Manifest) -> Result<(Man
     fs::create_dir_all(&seg_dir).map_err(|e| io_err("create segment dir", &seg_dir, &e))?;
 
     let mut manifest = Manifest::load(root)?;
+    // Vault invariant: `begin_key_rotation` durably bumps the generation
+    // counter *before* any entry is re-wrapped, so no crash can leave an
+    // entry wrapped under a generation the store never began. An entry
+    // ahead of the counter is damage outside the crash model.
+    if manifest
+        .wrapped_keys
+        .values()
+        .any(|(generation, _)| *generation > manifest.key_generation)
+    {
+        return Err(StorageError::Corrupt {
+            path: Manifest::path(root).display().to_string(),
+            reason: "key vault entry wrapped under a generation the store never began",
+        });
+    }
     let mut manifest_dirty = false;
     let mut max_gen = 0u64;
 
@@ -295,6 +309,7 @@ fn recover(root: &Path, cache: &ShardedEpochs, loaded: &Manifest) -> Result<(Man
                 f.sync_all()
                     .map_err(|e| io_err("sync truncated segment", &path, &e))?;
                 manifest.entries.remove(&epoch_id);
+                manifest.wrapped_keys.remove(&epoch_id);
                 manifest_dirty = true;
                 // A promoting replica may hold a stale copy loaded from an
                 // older generation; a half-epoch must never serve bins.
@@ -313,6 +328,7 @@ fn recover(root: &Path, cache: &ShardedEpochs, loaded: &Manifest) -> Result<(Man
         .collect();
     for epoch_id in missing {
         manifest.entries.remove(&epoch_id);
+        manifest.wrapped_keys.remove(&epoch_id);
         manifest_dirty = true;
     }
 
@@ -440,6 +456,13 @@ impl StorageBackend for DiskEpochStore {
                 _ => fully_absorbed = false,
             }
         }
+        // Master-key lifecycle state replicates unconditionally: a
+        // rotation only rewrites the vault, adds no epochs, and the
+        // replica's own master validates entries at registration time —
+        // so a refresh across a rotation boundary just adopts the
+        // writer's counter and blobs.
+        loaded.key_generation = disk_manifest.key_generation;
+        loaded.wrapped_keys = disk_manifest.wrapped_keys;
         if fully_absorbed {
             self.manifest_fingerprint
                 .store(fingerprint, Ordering::Release);
@@ -471,6 +494,76 @@ impl StorageBackend for DiskEpochStore {
             .copied()
             .max()
             .unwrap_or(0)
+    }
+
+    fn seal_key(&self, epoch_id: u64, generation: u64, wrapped: Vec<u8>) -> Result<()> {
+        // The generation is recorded as given — `recover` enforces the
+        // never-ahead-of-the-counter invariant on reopen, which is also
+        // what lets torn-state tests plant an impossible entry.
+        self.check_writable()?;
+        let mut m = self.manifest.lock();
+        let mut next = m.clone();
+        next.wrapped_keys.insert(epoch_id, (generation, wrapped));
+        next.save(&self.root)?;
+        *m = next;
+        Ok(())
+    }
+
+    fn sealed_key(&self, epoch_id: u64) -> Option<(u64, Vec<u8>)> {
+        self.manifest.lock().wrapped_keys.get(&epoch_id).cloned()
+    }
+
+    fn key_generation(&self) -> u64 {
+        self.manifest.lock().key_generation
+    }
+
+    fn begin_key_rotation(&self, new_generation: u64) -> Result<()> {
+        self.check_writable()?;
+        let mut m = self.manifest.lock();
+        if new_generation <= m.key_generation {
+            return Ok(()); // idempotent resume / stale request
+        }
+        let mut next = m.clone();
+        next.key_generation = new_generation;
+        next.save(&self.root)?;
+        *m = next;
+        Ok(())
+    }
+
+    fn rewrap_keys(&self, rewrap: &mut RewrapFn<'_>, limit: usize) -> Result<usize> {
+        self.check_writable()?;
+        let mut done = 0;
+        while done < limit {
+            // One entry per lock hold: each re-wrap is its own durable
+            // manifest commit, so ingest never waits behind a long batch
+            // and a crash between entries loses at most nothing (entries
+            // already committed stay committed; the rest stay resumable).
+            let mut m = self.manifest.lock();
+            let target_generation = m.key_generation;
+            let Some((&epoch_id, (_, old_blob))) = m
+                .wrapped_keys
+                .iter()
+                .find(|(_, (generation, _))| *generation < target_generation)
+            else {
+                return Ok(done);
+            };
+            let new_blob = rewrap(epoch_id, target_generation, old_blob)?;
+            let mut next = m.clone();
+            next.wrapped_keys
+                .insert(epoch_id, (target_generation, new_blob));
+            next.save(&self.root)?;
+            *m = next;
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    fn rotation_pending(&self) -> usize {
+        let m = self.manifest.lock();
+        m.wrapped_keys
+            .values()
+            .filter(|(generation, _)| *generation < m.key_generation)
+            .count()
     }
 }
 
@@ -801,6 +894,94 @@ mod tests {
         fs::rename(&hidden, &seg).unwrap();
         assert_eq!(replica.refresh().unwrap(), vec![3600]);
         assert_eq!(replica.epoch_ids(), vec![0, 3600]);
+    }
+
+    #[test]
+    fn key_vault_rotation_is_resumable_across_reopen() {
+        let scratch = ScratchRoot::new("vault");
+        let disk = DiskEpochStore::open(&scratch.0).unwrap();
+        for epoch in [0u64, 3600, 7200] {
+            disk.seal_key(epoch, 0, vec![epoch as u8; 64]).unwrap();
+        }
+        assert_eq!(disk.key_generation(), 0);
+        assert_eq!(disk.rotation_pending(), 0);
+        assert_eq!(disk.sealed_key(3600), Some((0, vec![3600u64 as u8; 64])));
+
+        disk.begin_key_rotation(1).unwrap();
+        assert_eq!(disk.key_generation(), 1);
+        assert_eq!(disk.rotation_pending(), 3);
+        // Bounded batch: two entries re-wrapped, one left behind.
+        let n = disk
+            .rewrap_keys(
+                &mut |_e, generation, old| {
+                    assert_eq!(generation, 1);
+                    Ok(old.iter().map(|b| b ^ 0xFF).collect())
+                },
+                2,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(disk.rotation_pending(), 1);
+        drop(disk);
+
+        // Crash mid-rotation: reopen resumes exactly where it stopped.
+        let disk = DiskEpochStore::open(&scratch.0).unwrap();
+        assert_eq!(disk.key_generation(), 1);
+        assert_eq!(disk.rotation_pending(), 1);
+        assert_eq!(
+            disk.rewrap_keys(&mut |_e, _g, old| Ok(old.to_vec()), 8)
+                .unwrap(),
+            1
+        );
+        assert_eq!(disk.rotation_pending(), 0);
+        // Re-beginning a finished (or older) generation is a no-op.
+        disk.begin_key_rotation(1).unwrap();
+        disk.begin_key_rotation(0).unwrap();
+        assert_eq!(disk.key_generation(), 1);
+    }
+
+    #[test]
+    fn vault_entry_ahead_of_the_counter_is_corruption_on_reopen() {
+        let scratch = ScratchRoot::new("vault-torn");
+        {
+            let disk = DiskEpochStore::open(&scratch.0).unwrap();
+            // A generation the store never began: impossible under the
+            // crash model, so reopen must refuse rather than "resume".
+            disk.seal_key(0, 7, vec![0u8; 64]).unwrap();
+        }
+        assert!(matches!(
+            DiskEpochStore::open(&scratch.0),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn replica_refresh_adopts_rotation_state() {
+        let scratch = ScratchRoot::new("vault-replica");
+        let writer = disk_store(&scratch.0);
+        writer
+            .ingest_epoch(0, sample_rows(10, 1), sample_meta(1))
+            .unwrap();
+        writer.backend().seal_key(0, 0, vec![1u8; 64]).unwrap();
+
+        let replica = DiskEpochStore::open_replica(&scratch.0).unwrap();
+        assert_eq!(StorageBackend::key_generation(&replica), 0);
+
+        writer.backend().begin_key_rotation(1).unwrap();
+        writer
+            .backend()
+            .rewrap_keys(&mut |_e, _g, _old| Ok(vec![2u8; 64]), 8)
+            .unwrap();
+        // A rotation adds no epochs — the refresh returns nothing new but
+        // still adopts the writer's lifecycle state.
+        assert_eq!(replica.refresh().unwrap(), Vec::<u64>::new());
+        assert_eq!(StorageBackend::key_generation(&replica), 1);
+        assert_eq!(replica.sealed_key(0), Some((1, vec![2u8; 64])));
+        // Epochs committed after the rotation still absorb normally.
+        writer
+            .ingest_epoch(3600, sample_rows(10, 2), sample_meta(2))
+            .unwrap();
+        assert_eq!(replica.refresh().unwrap(), vec![3600]);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod table;
 
 mod error;
 
-pub use backend::{shard_of_epoch, MemoryBackend, StorageBackend};
+pub use backend::{shard_of_epoch, MemoryBackend, RewrapFn, StorageBackend};
 pub use btree::BPlusTree;
 pub use disk::DiskEpochStore;
 pub use epoch_store::{EpochMetadata, EpochStore, StoredEpoch};

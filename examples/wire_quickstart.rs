@@ -8,11 +8,11 @@
 //!
 //! For a real two-process setup, run `cargo run --release -p
 //! concealer-server` in one terminal and point `concealer-load` (or your
-//! own `concealer_client::Connection`) at the printed address.
+//! own `concealer_client::ClientBuilder`) at the printed address.
 
 use std::sync::Arc;
 
-use concealer_client::Connection;
+use concealer_client::ClientBuilder;
 use concealer_core::{ExecOptions, Query, RangeMethod};
 use concealer_examples::{demo_epoch_records, demo_system};
 use concealer_server::{Server, ServerConfig};
@@ -29,8 +29,19 @@ fn main() {
 
     // 2. An analyst connects with the credential the data provider issued
     //    (here: taken from the in-process handle; in a real deployment it
-    //    arrives out of band).
-    let mut conn = Connection::connect_user(addr, &user, "wire-quickstart").expect("handshake");
+    //    arrives out of band). The builder attests the enclave *before*
+    //    the credential crosses the wire — the default trust policy
+    //    refuses any server that cannot produce a verifiable quote.
+    let mut conn = ClientBuilder::new(addr)
+        .user(&user)
+        .client_name("wire-quickstart")
+        .connect()
+        .expect("attest + handshake");
+    println!(
+        "attested: {} enclave quote(s), measurement {:02x?}…",
+        conn.quotes().len(),
+        &conn.quotes()[0].measurement[..4]
+    );
     let info = conn.server_info();
     println!(
         "connected to {} (protocol {}, backend {}, max batch {})",

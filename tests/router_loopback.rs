@@ -21,13 +21,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use concealer_bench::{server_request_mix, ServerRequest};
-use concealer_client::{ClientError, Connection};
+use concealer_client::{ClientBuilder, ClientError, Session, TrustPolicy};
 use concealer_core::{shard_of_epoch, Query, QueryAnswer, UserHandle};
 use concealer_examples::{
     demo_epoch_records, demo_system, demo_system_replica, demo_system_sharded, demo_workload,
 };
 use concealer_router::{RouterConfig, RouterHandler};
-use concealer_server::protocol::{ShardDescriptor, ShardRole};
+use concealer_server::protocol::{ShardDescriptor, ShardRole, WireQuote};
 use concealer_server::{
     ErrorCode, Request, Response, Server, ServerConfig, ServerHandle, CONNECTION_LEVEL_ID,
     PROTOCOL_VERSION,
@@ -42,6 +42,16 @@ const EPOCH: u64 = HOURS * 3600;
 
 fn wire_bytes(answer: &QueryAnswer) -> Vec<u8> {
     serde::bin::to_bytes(answer)
+}
+
+/// Attest + authenticate through the redesigned client surface (default
+/// trust policy: the demo enclaves' relayed quotes must verify end to
+/// end, even through the keyless router).
+fn connect_user(addr: SocketAddr, user: &UserHandle, name: &str) -> Result<Session, ClientError> {
+    ClientBuilder::new(addr)
+        .user(user)
+        .client_name(name)
+        .connect()
 }
 
 /// Spawn `total` shard servers (each owning its epoch-hash slice of the
@@ -119,8 +129,7 @@ fn routed_answers_match_single_process_oracle_bit_for_bit() {
             let workload = &workload;
             scope.spawn(move || {
                 let mix = server_request_mix(workload, SEED + client_idx as u64, REQUESTS, 5);
-                let mut conn =
-                    Connection::connect_user(addr, user, "routed").expect("connect via router");
+                let mut conn = connect_user(addr, user, "routed").expect("connect via router");
                 let oracle = oracle_system.session(oracle_user);
                 for request in &mix {
                     match request {
@@ -164,7 +173,7 @@ fn routed_ingest_partitions_epochs_and_drains_the_deployment() {
     const TOTAL: u32 = 3;
     const EXTRA: u64 = 3;
     let (shards, router, user) = spawn_routed_deployment(TOTAL, RouterConfig::default());
-    let mut conn = Connection::connect_user(router.local_addr(), &user, "ingest").unwrap();
+    let mut conn = connect_user(router.local_addr(), &user, "ingest").unwrap();
 
     for k in 1..=EXTRA {
         let records = demo_epoch_records(HOURS, SEED, k * EPOCH);
@@ -177,11 +186,9 @@ fn routed_ingest_partitions_epochs_and_drains_the_deployment() {
     // The epochs really are partitioned: ask each shard directly.
     let mut owners_seen = std::collections::BTreeSet::new();
     for (index, shard) in shards.iter().enumerate() {
-        let mut probe = Connection::connect_probe(
-            shard.local_addr(),
-            concealer_client::ConnectOptions::default(),
-        )
-        .expect("probe shard");
+        let mut probe = ClientBuilder::new(shard.local_addr())
+            .probe()
+            .expect("probe shard");
         let ShardDescriptor {
             shard_index,
             shard_total,
@@ -235,7 +242,7 @@ fn routed_ingest_partitions_epochs_and_drains_the_deployment() {
     }
 
     // Asking a shard for router stats is a tier error, not a crash.
-    let mut direct = Connection::connect_user(shards[0].local_addr(), &user, "direct").unwrap();
+    let mut direct = connect_user(shards[0].local_addr(), &user, "direct").unwrap();
     let err = direct.router_stats().unwrap_err();
     assert!(
         matches!(err, ClientError::Server(ref e) if e.code == ErrorCode::ProtocolViolation),
@@ -265,7 +272,7 @@ fn router_refuses_oversized_batches() {
             ..RouterConfig::default()
         },
     );
-    let mut conn = Connection::connect_user(router.local_addr(), &user, "bigbatch").unwrap();
+    let mut conn = connect_user(router.local_addr(), &user, "bigbatch").unwrap();
     let queries: Vec<Query> = (0..4)
         .map(|i| Query::count().at_dims([i]).at(600))
         .collect();
@@ -300,7 +307,7 @@ fn shard_restart_reconnects_with_identical_answers() {
             ..RouterConfig::default()
         },
     );
-    let mut conn = Connection::connect_user(router.local_addr(), &user, "failover").unwrap();
+    let mut conn = connect_user(router.local_addr(), &user, "failover").unwrap();
     let query = Query::count().at_dims([4]).between(0, EPOCH - 1);
     let before = wire_bytes(&conn.execute(&query).expect("pre-failure query"));
 
@@ -442,11 +449,34 @@ fn version_mismatch_upstream_surfaces_structurally() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let fake = std::thread::spawn(move || {
-        // One probe connection, then one handshake connection.
-        for _ in 0..2 {
+        // The startup probe, the forwarded attestation round, and the
+        // handshake dial each open their own upstream connection.
+        for _ in 0..3 {
             let (mut stream, _) = listener.accept().unwrap();
             while let Ok(request) = read_frame::<_, Request>(&mut stream, 1 << 20) {
                 match request {
+                    Request::Attest { id, nonce } => {
+                        // A syntactically valid (but unsigned) quote: the
+                        // router forwards it verbatim; the client below
+                        // opts out of verification — this test is about
+                        // the version refusal, not trust establishment.
+                        write_frame(
+                            &mut stream,
+                            &Response::AttestOk {
+                                id,
+                                quotes: vec![WireQuote {
+                                    shard_index: 0,
+                                    member: 0,
+                                    measurement: [0u8; 32],
+                                    code_version: 1,
+                                    timestamp: 0,
+                                    nonce,
+                                    signature: [0u8; 32],
+                                }],
+                            },
+                        )
+                        .unwrap();
+                    }
                     Request::ShardInfo { id } => {
                         write_frame(
                             &mut stream,
@@ -496,7 +526,12 @@ fn version_mismatch_upstream_surfaces_structurally() {
         .spawn()
         .unwrap();
 
-    let err = Connection::connect(router.local_addr(), 7, [0u8; 32], "future").unwrap_err();
+    let err = ClientBuilder::new(router.local_addr())
+        .credential(7, [0u8; 32])
+        .client_name("future")
+        .trust_policy(TrustPolicy::allow_unattested())
+        .connect()
+        .unwrap_err();
     match err {
         ClientError::Handshake(ref m) => {
             assert!(m.contains("unsupported_version"), "{m}");
@@ -600,7 +635,7 @@ fn replicated_reads_balance_across_members_bit_identically() {
     let root = TempRoot::new("balance");
     let (writer, replica, router, _replica_system, user) =
         spawn_replicated_deployment(&root.0, RouterConfig::default());
-    let mut conn = Connection::connect_user(router.local_addr(), &user, "balanced").unwrap();
+    let mut conn = connect_user(router.local_addr(), &user, "balanced").unwrap();
     let (oracle_system, oracle_user) = oracle_with_extra_epochs(0);
     let oracle = oracle_system.session(&oracle_user);
 
@@ -667,7 +702,7 @@ fn replica_kill_mid_load_fails_over_and_recovers() {
             ..RouterConfig::default()
         },
     );
-    let mut conn = Connection::connect_user(router.local_addr(), &user, "replica-kill").unwrap();
+    let mut conn = connect_user(router.local_addr(), &user, "replica-kill").unwrap();
     let query = Query::count().at_dims([4]).between(0, EPOCH - 1);
     let before = wire_bytes(&conn.execute(&query).expect("pre-kill query"));
 
@@ -759,7 +794,7 @@ fn writer_kill_promotes_replica_with_zero_divergence() {
             ..RouterConfig::default()
         },
     );
-    let mut conn = Connection::connect_user(router.local_addr(), &user, "writer-kill").unwrap();
+    let mut conn = connect_user(router.local_addr(), &user, "writer-kill").unwrap();
 
     // Routed ingest of epoch 1 lands on the writer; the replica absorbs
     // it through the shared store before serving reads that touch it.

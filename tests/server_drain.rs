@@ -16,7 +16,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use concealer_client::{ClientError, Connection};
+use concealer_client::{ClientBuilder, ClientError, Session};
 use concealer_core::{ConcealerSystem, Query, QueryAnswer, UserHandle};
 use concealer_examples::{demo_system, demo_workload};
 use concealer_server::{Request, Response, Server, ServerConfig, ServerMode, PROTOCOL_VERSION};
@@ -54,6 +54,18 @@ fn wire_bytes(answer: &QueryAnswer) -> Vec<u8> {
     serde::bin::to_bytes(answer)
 }
 
+/// Attest + authenticate with the redesigned client surface.
+fn connect_user(
+    addr: std::net::SocketAddr,
+    user: &UserHandle,
+    name: &str,
+) -> Result<Session, ClientError> {
+    ClientBuilder::new(addr)
+        .user(user)
+        .client_name(name)
+        .connect()
+}
+
 /// Open a raw authenticated connection that will sit idle: Hello by hand
 /// so the test keeps the bare stream and can observe exactly how the
 /// server ends it.
@@ -62,6 +74,17 @@ fn idle_stream(addr: std::net::SocketAddr, user: &UserHandle) -> TcpStream {
     stream
         .set_read_timeout(Some(IDLE_READ_TIMEOUT))
         .expect("read timeout");
+    // Protocol v4: the pre-auth `Attest` exchange must precede `Hello`.
+    write_frame(
+        &mut stream,
+        &Request::Attest {
+            id: 1,
+            nonce: [9u8; 32],
+        },
+    )
+    .expect("write attest");
+    let reply: Response = read_frame(&mut stream, 1 << 20).expect("read attest reply");
+    assert!(matches!(reply, Response::AttestOk { .. }), "{reply:?}");
     write_frame(
         &mut stream,
         &Request::Hello {
@@ -92,7 +115,7 @@ fn drain_completes_in_flight_reply_and_closes_idle_connections() {
 
     let idlers: Vec<TcpStream> = (0..IDLE).map(|_| idle_stream(addr, &user)).collect();
 
-    let mut active = Connection::connect_user(addr, &user, "active").expect("connect active");
+    let mut active = connect_user(addr, &user, "active").expect("connect active");
     // One full round trip first, so the submit below is the only frame
     // the server still owes this connection.
     let warmup = workload.q1(30 * 60, &mut rng);
@@ -150,7 +173,7 @@ fn wire_shutdown_acknowledges_then_drains_in_flight_work() {
     let workload = demo_workload(HOURS);
     let mut rng = StdRng::seed_from_u64(SEED + 1);
 
-    let mut active = Connection::connect_user(addr, &user, "active").expect("connect active");
+    let mut active = connect_user(addr, &user, "active").expect("connect active");
     let warmup = workload.q1(30 * 60, &mut rng);
     active.execute(&warmup).expect("warm-up query");
     let pending_query = workload.q2(40 * 60, 4, &mut rng);
@@ -159,8 +182,7 @@ fn wire_shutdown_acknowledges_then_drains_in_flight_work() {
         .expect("submit in-flight query");
     std::thread::sleep(DISPATCH_WINDOW);
 
-    let mut controller =
-        Connection::connect_user(addr, &user, "controller").expect("connect controller");
+    let mut controller = connect_user(addr, &user, "controller").expect("connect controller");
     controller.shutdown_server().expect("shutdown acknowledged");
     drop(controller);
 
@@ -197,7 +219,7 @@ fn pipelined_in_flight_replies_all_flush_during_drain() {
 
     let idler = idle_stream(addr, &user);
 
-    let mut active = Connection::connect_user(addr, &user, "pipeliner").expect("connect active");
+    let mut active = connect_user(addr, &user, "pipeliner").expect("connect active");
     let queries: Vec<Query> = (0..PIPELINED)
         .map(|_| workload.q1(30 * 60, &mut rng))
         .collect();

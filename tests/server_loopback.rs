@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use concealer_bench::{server_request_mix, ServerRequest};
-use concealer_client::{ClientError, Connection};
+use concealer_client::{ClientBuilder, ClientError, Session};
 use concealer_core::{
     ConcealerSystem, DiskEpochStore, ExecOptions, MasterKey, Query, QueryAnswer, RangeMethod,
     SystemBuilder, UserHandle,
@@ -49,6 +49,38 @@ fn wire_bytes(answer: &QueryAnswer) -> Vec<u8> {
     serde::bin::to_bytes(answer)
 }
 
+/// Attest + authenticate with the redesigned client surface (the default
+/// trust policy — the demo enclave's quotes must verify).
+fn connect_user(
+    addr: std::net::SocketAddr,
+    user: &UserHandle,
+    name: &str,
+) -> Result<Session, ClientError> {
+    ClientBuilder::new(addr)
+        .user(user)
+        .client_name(name)
+        .connect()
+}
+
+/// Drive the mandatory pre-auth `Attest` exchange on a raw stream, so a
+/// subsequent `Hello` reaches the version/auth checks instead of the v4
+/// pre-auth matrix's `attestation_failed` refusal.
+fn raw_attest(stream: &mut std::net::TcpStream) {
+    write_frame(
+        &mut *stream,
+        &Request::Attest {
+            id: 1,
+            nonce: [7u8; 32],
+        },
+    )
+    .unwrap();
+    let reply: Response = read_frame(&mut *stream, 1 << 20).unwrap();
+    assert!(
+        matches!(reply, Response::AttestOk { id: 1, .. }),
+        "{reply:?}"
+    );
+}
+
 /// ≥ 8 concurrent TCP clients run mixed point/range/batch workloads;
 /// every wire answer must encode byte-for-byte like the in-process oracle
 /// session's answer.
@@ -67,8 +99,8 @@ fn concurrent_clients_match_in_process_oracle_bit_for_bit() {
             let workload = &workload;
             scope.spawn(move || {
                 let mix = server_request_mix(workload, SEED + client_idx as u64, REQUESTS, 6);
-                let mut conn = Connection::connect_user(addr, user, "loopback")
-                    .expect("connect and authenticate");
+                let mut conn =
+                    connect_user(addr, user, "loopback").expect("connect and authenticate");
                 let oracle = system.session(user);
                 for request in &mix {
                     match request {
@@ -117,7 +149,7 @@ fn pipelined_batches_redeemed_out_of_order() {
         .collect();
     let options = ExecOptions::with_method(RangeMethod::Bpb);
 
-    let mut conn = Connection::connect_user(handle.local_addr(), &user, "pipeline").unwrap();
+    let mut conn = connect_user(handle.local_addr(), &user, "pipeline").unwrap();
     let tickets: Vec<_> = batches
         .iter()
         .map(|queries| conn.submit_batch(queries, Some(options)).expect("submit"))
@@ -153,7 +185,7 @@ fn wire_ingest_runs_alongside_live_queries() {
         let user = &user;
         // Ingest client: two follow-up epochs.
         scope.spawn(move || {
-            let mut conn = Connection::connect_user(addr, user, "ingester").unwrap();
+            let mut conn = connect_user(addr, user, "ingester").unwrap();
             for k in 1..=2u64 {
                 let epoch_start = k * HOURS * 3600;
                 let records = demo_epoch_records(HOURS, SEED, epoch_start);
@@ -168,7 +200,7 @@ fn wire_ingest_runs_alongside_live_queries() {
             let epoch_query = &epoch_query;
             let baseline = &baseline;
             scope.spawn(move || {
-                let mut conn = Connection::connect_user(addr, user, "querier").unwrap();
+                let mut conn = connect_user(addr, user, "querier").unwrap();
                 let mut rng = StdRng::seed_from_u64(100 + i);
                 for _ in 0..10 {
                     let q = workload.q1(30 * 60, &mut rng);
@@ -183,7 +215,7 @@ fn wire_ingest_runs_alongside_live_queries() {
 
     // After ingest: a spanning query touches the new epochs, and the wire
     // answer still matches the oracle on the same (shared) system.
-    let mut conn = Connection::connect_user(addr, &user, "after").unwrap();
+    let mut conn = connect_user(addr, &user, "after").unwrap();
     let spanning = Query::count().at_dims([4]).between(0, 3 * HOURS * 3600 - 1);
     let got = conn.execute(&spanning).unwrap();
     let want = system.session(&user).execute(&spanning).unwrap();
@@ -207,22 +239,33 @@ fn structured_error_replies() {
     let addr = handle.local_addr();
 
     // Wrong credential → AuthFailed at the handshake.
-    let err = Connection::connect(addr, user.user_id.0, [0u8; 32], "evil").unwrap_err();
+    let err = ClientBuilder::new(addr)
+        .credential(user.user_id.0, [0u8; 32])
+        .client_name("evil")
+        .connect()
+        .unwrap_err();
     assert!(
         matches!(err, ClientError::Handshake(ref m) if m.contains("auth_failed")),
         "{err}"
     );
 
     // Unknown user → AuthFailed too.
-    let err = Connection::connect(addr, 999, user.credential.0, "ghost").unwrap_err();
+    let err = ClientBuilder::new(addr)
+        .credential(999, user.credential.0)
+        .client_name("ghost")
+        .connect()
+        .unwrap_err();
     assert!(
         matches!(err, ClientError::Handshake(ref m) if m.contains("auth_failed")),
         "{err}"
     );
 
-    // Wrong protocol version → UnsupportedVersion.
+    // Wrong protocol version → UnsupportedVersion. (The `Hello` must be
+    // preceded by the mandatory pre-auth `Attest` exchange, or the v4
+    // pre-auth matrix refuses it with `AttestationFailed` first.)
     {
         let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        raw_attest(&mut stream);
         write_frame(
             &mut stream,
             &Request::Hello {
@@ -273,7 +316,7 @@ fn structured_error_replies() {
 
     // Oversized batch → BatchTooLarge, and the connection stays usable.
     {
-        let mut conn = Connection::connect_user(addr, &user, "bigbatch").unwrap();
+        let mut conn = connect_user(addr, &user, "bigbatch").unwrap();
         let queries: Vec<Query> = (0..5)
             .map(|i| Query::count().at_dims([i]).at(600))
             .collect();
@@ -290,7 +333,7 @@ fn structured_error_replies() {
     // Oversized frame → FrameTooLarge, connection survives (the server
     // drains the payload to stay frame-aligned).
     {
-        let mut conn = Connection::connect_user(addr, &user, "bigframe").unwrap();
+        let mut conn = connect_user(addr, &user, "bigframe").unwrap();
         let records: Vec<concealer_core::Record> = (0..20_000)
             .map(|i| concealer_core::Record::spatial(i % 12, i % 7200, 1000 + i % 40))
             .collect();
@@ -306,6 +349,7 @@ fn structured_error_replies() {
     // Reserved request id 0 → ProtocolViolation.
     {
         let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        raw_attest(&mut stream);
         write_frame(
             &mut stream,
             &Request::Hello {
@@ -333,7 +377,7 @@ fn structured_error_replies() {
 #[test]
 fn wire_queries_enforce_authorization_scope() {
     let (_system, user, handle) = spawn_demo_server(ServerConfig::default());
-    let mut conn = Connection::connect_user(handle.local_addr(), &user, "scope").unwrap();
+    let mut conn = connect_user(handle.local_addr(), &user, "scope").unwrap();
     // demo_system authorizes devices 1000..1300; 555 belongs to no one.
     let foreign = Query::collect_rows().observing(555).between(0, 3_599);
     let err = conn.execute(&foreign).unwrap_err();
@@ -356,12 +400,12 @@ fn connections_over_the_cap_are_refused_busy() {
         ..ServerConfig::default()
     });
     let addr = handle.local_addr();
-    let mut first = Connection::connect_user(addr, &user, "one").unwrap();
-    let second = Connection::connect_user(addr, &user, "two").unwrap();
+    let mut first = connect_user(addr, &user, "one").unwrap();
+    let second = connect_user(addr, &user, "two").unwrap();
     // The third must come back Busy (the cap is checked at accept time;
     // the refusal path drains the pending Hello so the frame is reliably
     // delivered, never lost to an RST).
-    let err = Connection::connect_user(addr, &user, "three").unwrap_err();
+    let err = connect_user(addr, &user, "three").unwrap_err();
     assert!(
         matches!(err, ClientError::Handshake(ref m) if m.contains("busy")),
         "{err}"
@@ -413,7 +457,7 @@ fn disk_backend_survives_mid_connection_server_restart() {
         let handle = Server::new(Arc::new(system), ServerConfig::default())
             .spawn()
             .unwrap();
-        let mut conn = Connection::connect_user(handle.local_addr(), &user, "gen1").unwrap();
+        let mut conn = connect_user(handle.local_addr(), &user, "gen1").unwrap();
         let before: Vec<Vec<u8>> = queries
             .iter()
             .map(|q| wire_bytes(&conn.execute(q).expect("pre-restart query")))
@@ -439,7 +483,7 @@ fn disk_backend_survives_mid_connection_server_restart() {
     let handle = Server::new(Arc::new(system), ServerConfig::default())
         .spawn()
         .expect("serve the reopened deployment");
-    let mut conn = Connection::connect_user(handle.local_addr(), &user, "gen2").unwrap();
+    let mut conn = connect_user(handle.local_addr(), &user, "gen2").unwrap();
     assert_eq!(conn.server_info().backend, "disk");
     for (query, before) in queries.iter().zip(&before) {
         let after = conn.execute(query).expect("post-restart query");
@@ -458,7 +502,7 @@ fn stats_and_server_info_reflect_the_deployment() {
         server_name: "loopback-fixture".into(),
         ..ServerConfig::default()
     });
-    let mut conn = Connection::connect_user(handle.local_addr(), &user, "stats").unwrap();
+    let mut conn = connect_user(handle.local_addr(), &user, "stats").unwrap();
     let info = conn.server_info().clone();
     assert_eq!(info.protocol_version, PROTOCOL_VERSION);
     assert_eq!(info.server_name, "loopback-fixture");
